@@ -1,0 +1,112 @@
+"""A1 (ablation) — why OLD's Step 2 exists.
+
+The OLD algorithm buys leases at the arrival day (Step 1) *and* mirrors
+them at the deadline day (Step 2); the skip rule then relies on those
+deadline-day leases to serve intersecting future clients.  This ablation
+removes Step 2 (and with it the skip rule's safety) and measures the
+infeasibility rate it causes across random workloads — demonstrating the
+design choice is load-bearing, not ornamental.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Sweep
+from repro.core import LeaseSchedule
+from repro.deadlines import make_old_instance, optimal_dp, run_old
+from repro.deadlines.old_online import OnlineLeasingWithDeadlines
+from repro.workloads import deadline_arrivals, make_rng
+
+
+class _NoStepTwo(OnlineLeasingWithDeadlines):
+    """The OLD algorithm with Step 2 surgically removed."""
+
+    def on_demand(self, client) -> None:
+        from repro.deadlines.model import DeadlineClient
+
+        if not isinstance(client, DeadlineClient):
+            client = DeadlineClient(arrival=client[0], slack=client[1])
+        t, deadline = client.arrival, client.deadline
+        for earlier_arrival, earlier_deadline in self._positive_deadlines:
+            if earlier_arrival < t and t <= earlier_deadline <= deadline:
+                self.skipped += 1
+                return
+        candidates = self.schedule.windows_intersecting(t, deadline)
+        slack_of = {
+            candidate.key: candidate.cost
+            - self._contribution.get(
+                (candidate.type_index, candidate.start), 0.0
+            )
+            for candidate in candidates
+        }
+        raise_by = max(0.0, min(slack_of.values()))
+        self._duals[(t, client.slack)] = raise_by
+        if raise_by > 1e-9:
+            self._positive_deadlines.append((t, deadline))
+        for candidate in candidates:
+            key = (candidate.type_index, candidate.start)
+            self._contribution[key] = (
+                self._contribution.get(key, 0.0) + raise_by
+            )
+            if self._contribution[key] >= candidate.cost - 1e-9:
+                if candidate.covers(t):
+                    self.store.buy(candidate)
+        # Step 2 deliberately omitted.
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("A1: OLD with and without Step 2")
+    schedule = LeaseSchedule.power_of_two(3)
+    infeasible_without = 0
+    runs = 0
+    worst_full = (0.0, 1.0)
+    for seed in range(12):
+        clients = deadline_arrivals(
+            150, 0.4, max_slack=8, rng=make_rng(seed)
+        )
+        if not clients:
+            continue
+        instance = make_old_instance(schedule, clients).normalized()
+        runs += 1
+        full = run_old(instance)
+        assert instance.is_feasible_solution(list(full.leases))
+        opt = optimal_dp(instance)
+        if full.cost / opt > worst_full[0] / worst_full[1]:
+            worst_full = (full.cost, opt)
+        ablated = _NoStepTwo(schedule)
+        for client in instance.clients:
+            ablated.on_demand(client)
+        if not instance.is_feasible_solution(list(ablated.leases)):
+            infeasible_without += 1
+    sweep.add(
+        {"variant": "full (Step 1 + Step 2)"},
+        online_cost=worst_full[0],
+        opt_cost=worst_full[1],
+        bound=2.0 * schedule.num_types + 8.0 / schedule.lmin + 2.0,
+        note=f"feasible {runs}/{runs}",
+    )
+    sweep.add(
+        {"variant": "ablated (no Step 2)"},
+        online_cost=0.0,
+        opt_cost=1.0,
+        note=f"INFEASIBLE on {infeasible_without}/{runs} runs",
+    )
+    sweep.detail = (runs, infeasible_without)  # type: ignore[attr-defined]
+    return sweep
+
+
+def _kernel():
+    schedule = LeaseSchedule.power_of_two(3)
+    clients = deadline_arrivals(150, 0.4, max_slack=8, rng=make_rng(0))
+    instance = make_old_instance(schedule, clients).normalized()
+    return run_old(instance).cost
+
+
+def test_a01_old_step2_ablation(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    runs, infeasible_without = sweep.detail
+    # The ablation must break feasibility on a majority of workloads —
+    # Step 2 is what the skip rule's correctness rests on.
+    assert infeasible_without > runs / 2

@@ -1,0 +1,95 @@
+"""A2 (ablation) — the 2*ceil(log2(n+1)) threshold draws of Algorithm 3.
+
+Lemma 3.2 sets each triple's threshold to the *minimum* of
+``2 ceil(log2(n+1))`` uniforms so the fallback (cheapest-candidate
+purchase after failed rounding) fires with probability <= 1/n^2.  This
+ablation sweeps the number of draws: with one draw the fallback fires
+often (and cost concentrates there); with the prescribed count it is
+rare, at the price of buying more sets per demand.  The measured
+fallback rate justifies the constant.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Sweep
+from repro.core import LeaseSchedule, run_online
+from repro.setcover import (
+    OnlineSetMulticoverLeasing,
+    optimum,
+    random_instance,
+)
+from repro.workloads import make_rng
+
+COIN_SEEDS = range(10)
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("A2: threshold draw count ablation (Lemma 3.2)")
+    instance = random_instance(
+        num_elements=20,
+        num_sets=12,
+        memberships=3,
+        schedule=LeaseSchedule.power_of_two(2),
+        horizon=30,
+        num_demands=40,
+        rng=make_rng(3),
+        max_coverage=2,
+    )
+    opt = optimum(instance)
+    import math
+
+    prescribed = 2 * math.ceil(math.log2(instance.system.num_elements + 1))
+    for draws in (1, 2, prescribed, 2 * prescribed):
+        costs, fallbacks = [], 0
+        for seed in COIN_SEEDS:
+            algorithm = OnlineSetMulticoverLeasing(
+                instance, seed=seed, num_threshold_draws=draws
+            )
+            run_online(algorithm, instance.demands)
+            assert instance.is_feasible_solution(list(algorithm.leases))
+            costs.append(algorithm.cost)
+            fallbacks += algorithm.fallback_purchases
+        sweep.add(
+            {
+                "draws": draws,
+                "prescribed": draws == prescribed,
+            },
+            online_cost=sum(costs) / len(costs),
+            opt_cost=opt.lower,
+            note=f"{fallbacks} fallbacks / {len(COIN_SEEDS)} runs",
+        )
+    return sweep
+
+
+def _kernel():
+    instance = random_instance(
+        num_elements=20,
+        num_sets=12,
+        memberships=3,
+        schedule=LeaseSchedule.power_of_two(2),
+        horizon=30,
+        num_demands=40,
+        rng=make_rng(3),
+        max_coverage=2,
+    )
+    algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+    for demand in instance.demands:
+        algorithm.on_demand(demand)
+    return algorithm.cost
+
+
+def test_a02_threshold_draws(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    fallback_counts = [
+        int(row.note.split()[0]) for row in sweep.rows
+    ]
+    # More draws -> fewer fallbacks, and the prescribed count already
+    # drives them (near) zero.
+    assert fallback_counts[0] >= fallback_counts[-1]
+    prescribed_row = next(
+        row for row in sweep.rows if row.params["prescribed"]
+    )
+    assert int(prescribed_row.note.split()[0]) <= 2

@@ -1,0 +1,166 @@
+"""A3 (extensions) — the thesis outlook problems, measured.
+
+Three extension substrates built per the thesis' future-work sections:
+
+* vertex cover leasing (Section 3.5 outlook) via the delta=2 reduction —
+  mean ratio vs exact ILP;
+* capacitated facility leasing (Section 4.5 outlook) — greedy online vs
+  exact capacitated MILP across capacity regimes;
+* Steiner tree leasing (Section 5.1) — greedy doubling online vs the
+  per-round offline Steiner-tree heuristic.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.analysis import Sweep
+from repro.core import LeaseSchedule
+from repro.extensions import (
+    CapacitatedInstance,
+    OnlineCapacitatedFacilityLeasing,
+    optimal_ilp,
+)
+from repro.facility import make_instance as make_facility_instance
+from repro.graphs import (
+    EdgeDemand,
+    OnlineSteinerLeasing,
+    OnlineVertexCoverLeasing,
+    PairDemand,
+    SteinerLeasingInstance,
+    VertexCoverLeasingInstance,
+    offline_heuristic,
+    optimum as vc_optimum,
+)
+from repro.workloads import constant_batches, make_rng
+
+
+def vertex_cover_rows(sweep: Sweep) -> None:
+    rng = make_rng(11)
+    schedule = LeaseSchedule.power_of_two(2)
+    num_vertices = 10
+    edges = []
+    for t in range(20):
+        u, v = rng.sample(range(num_vertices), 2)
+        edges.append(EdgeDemand(u, v, t))
+    instance = VertexCoverLeasingInstance(
+        num_vertices=num_vertices,
+        vertex_costs=tuple(
+            tuple((1.0 + rng.random()) * lt.cost for lt in schedule)
+            for _ in range(num_vertices)
+        ),
+        schedule=schedule,
+        demands=tuple(edges),
+    )
+    opt = vc_optimum(instance)
+    costs = []
+    for seed in range(8):
+        algorithm = OnlineVertexCoverLeasing(instance, seed=seed)
+        for demand in instance.demands:
+            algorithm.on_demand(demand)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+        costs.append(algorithm.cost)
+    sweep.add(
+        {"problem": "vertex-cover-leasing", "param": "20 edges"},
+        online_cost=sum(costs) / len(costs),
+        opt_cost=opt.lower,
+        note="delta=2 reduction",
+    )
+
+
+def capacitated_rows(sweep: Sweep) -> None:
+    schedule = LeaseSchedule.power_of_two(2)
+    for capacity in (1, 2, 4):
+        base = make_facility_instance(
+            schedule,
+            num_facilities=3,
+            batch_sizes=constant_batches(4, 3),
+            rng=make_rng(21),
+        )
+        instance = CapacitatedInstance(
+            base=base, capacities=(capacity,) * 3
+        )
+        algorithm = OnlineCapacitatedFacilityLeasing(instance)
+        for batch in base.batches():
+            algorithm.on_demand(batch)
+        assert instance.is_feasible_solution(
+            list(algorithm.leases), algorithm.connections
+        )
+        opt = optimal_ilp(instance)
+        sweep.add(
+            {"problem": "capacitated-facility", "param": f"cap={capacity}"},
+            online_cost=algorithm.cost,
+            opt_cost=opt,
+            note="greedy online vs MILP",
+        )
+
+
+def steiner_rows(sweep: Sweep) -> None:
+    rng = make_rng(31)
+    schedule = LeaseSchedule.power_of_two(3, cost_growth=1.6)
+    graph = nx.convert_node_labels_to_integers(
+        nx.grid_2d_graph(4, 4), ordering="sorted"
+    )
+    nx.set_edge_attributes(graph, 1.0, "weight")
+    demands = []
+    for t in range(12):
+        s, target = rng.sample(range(16), 2)
+        demands.append(PairDemand(s, target, t))
+    instance = SteinerLeasingInstance(
+        graph=graph, schedule=schedule, demands=tuple(demands)
+    )
+    algorithm = OnlineSteinerLeasing(instance)
+    for demand in instance.demands:
+        algorithm.on_demand(demand)
+    assert instance.is_feasible_solution(list(algorithm.leases))
+    baseline = offline_heuristic(instance)
+    sweep.add(
+        {"problem": "steiner-leasing", "param": "12 pairs on 4x4 grid"},
+        online_cost=algorithm.cost,
+        opt_cost=baseline,
+        note="vs offline round-tree heuristic",
+    )
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("A3: thesis-outlook extensions")
+    vertex_cover_rows(sweep)
+    capacitated_rows(sweep)
+    steiner_rows(sweep)
+    return sweep
+
+
+def _kernel():
+    rng = make_rng(11)
+    schedule = LeaseSchedule.power_of_two(2)
+    edges = []
+    for t in range(20):
+        u, v = rng.sample(range(10), 2)
+        edges.append(EdgeDemand(u, v, t))
+    instance = VertexCoverLeasingInstance(
+        num_vertices=10,
+        vertex_costs=tuple(
+            tuple(2.0 * lt.cost for lt in schedule) for _ in range(10)
+        ),
+        schedule=schedule,
+        demands=tuple(edges),
+    )
+    algorithm = OnlineVertexCoverLeasing(instance, seed=0)
+    for demand in instance.demands:
+        algorithm.on_demand(demand)
+    return algorithm.cost
+
+
+def test_a03_extensions(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    by_problem: dict[str, list[float]] = {}
+    for row in sweep.rows:
+        by_problem.setdefault(row.params["problem"], []).append(row.ratio)
+    # Sanity: every extension's online cost within a small factor of its
+    # exact/heuristic baseline on these workloads.
+    assert max(by_problem["vertex-cover-leasing"]) <= 12.0
+    assert max(by_problem["capacitated-facility"]) <= 4.0
+    assert max(by_problem["steiner-leasing"]) <= 4.0

@@ -1,0 +1,66 @@
+"""E1 — Theorem 2.7: deterministic parking permit is O(K)-competitive.
+
+Sweeps K over Markov-weather workloads and reports the worst measured
+ratio per K against the exact interval-model optimum.  The paper's claim:
+ratio <= K, growing at most linearly in K.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Sweep
+from repro.core import LeaseSchedule, run_online
+from repro.parking import (
+    DeterministicParkingPermit,
+    make_instance,
+    optimal_interval,
+)
+from repro.workloads import make_rng, markov_days
+
+HORIZON = 400
+SEEDS = range(5)
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("E1: deterministic parking permit vs K (Theorem 2.7)")
+    for num_types in (1, 2, 3, 4, 6, 8):
+        schedule = LeaseSchedule.power_of_two(num_types, cost_growth=1.7)
+        worst = 0.0
+        worst_pair = (0.0, 1.0)
+        for seed in SEEDS:
+            rng = make_rng(seed)
+            days = markov_days(HORIZON, 0.08, 0.85, rng)
+            if not days:
+                continue
+            instance = make_instance(schedule, days)
+            algorithm = DeterministicParkingPermit(schedule)
+            run_online(algorithm, instance.rainy_days)
+            assert instance.is_feasible_solution(list(algorithm.leases))
+            opt = optimal_interval(instance).cost
+            if algorithm.cost / opt > worst:
+                worst = algorithm.cost / opt
+                worst_pair = (algorithm.cost, opt)
+        sweep.add(
+            {"K": num_types},
+            online_cost=worst_pair[0],
+            opt_cost=worst_pair[1],
+            bound=float(num_types),
+            note="worst of seeds",
+        )
+    return sweep
+
+
+def _kernel():
+    schedule = LeaseSchedule.power_of_two(8, cost_growth=1.7)
+    days = markov_days(HORIZON, 0.08, 0.85, make_rng(0))
+    algorithm = DeterministicParkingPermit(schedule)
+    for day in days:
+        algorithm.on_demand(day)
+    return algorithm.cost
+
+
+def test_e01_parking_deterministic(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    assert sweep.all_within_bounds(), sweep.render()

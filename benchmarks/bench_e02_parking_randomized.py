@@ -1,0 +1,73 @@
+"""E2 — Section 2.2.3: randomized parking permit is O(log K)-competitive.
+
+For each K, measures the *expected* ratio (mean over coin seeds) on a
+fixed workload and compares the growth against both the randomized
+O(log K) shape and the deterministic algorithm's cost on the same
+instances — randomization should win for large K.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import Sweep, expected_ratio
+from repro.core import LeaseSchedule, run_online
+from repro.parking import (
+    DeterministicParkingPermit,
+    RandomizedParkingPermit,
+    make_instance,
+    optimal_interval,
+)
+from repro.workloads import make_rng, markov_days
+
+HORIZON = 300
+COIN_SEEDS = range(25)
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("E2: randomized parking permit vs K (expected ratio)")
+    for num_types in (2, 4, 6, 8):
+        schedule = LeaseSchedule.power_of_two(num_types, cost_growth=1.7)
+        days = markov_days(HORIZON, 0.08, 0.85, make_rng(99))
+        instance = make_instance(schedule, days)
+        opt = optimal_interval(instance).cost
+
+        def run_with_seed(seed, schedule=schedule, days=days):
+            algorithm = RandomizedParkingPermit(schedule, seed=seed)
+            run_online(algorithm, days)
+            assert instance.is_feasible_solution(list(algorithm.leases))
+            return algorithm.cost
+
+        summary = expected_ratio(run_with_seed, opt, COIN_SEEDS)
+        deterministic = DeterministicParkingPermit(schedule)
+        run_online(deterministic, days)
+        sweep.add(
+            {"K": num_types},
+            online_cost=summary.mean * opt,
+            opt_cost=opt,
+            # Loose explicit-constant O(log K) ceiling for the shape check.
+            bound=4.0 * (math.log2(num_types) + 2.0),
+            note=f"det ratio {deterministic.cost / opt:.2f}",
+        )
+    return sweep
+
+
+def _kernel():
+    schedule = LeaseSchedule.power_of_two(8, cost_growth=1.7)
+    days = markov_days(HORIZON, 0.08, 0.85, make_rng(99))
+    algorithm = RandomizedParkingPermit(schedule, seed=1)
+    for day in days:
+        algorithm.on_demand(day)
+    return algorithm.cost
+
+
+def test_e02_parking_randomized(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    assert sweep.all_within_bounds(), sweep.render()
+    # Shape: expected ratio grows sub-linearly — the K=8 mean ratio stays
+    # below the deterministic worst-case guarantee K.
+    last = sweep.rows[-1]
+    assert last.ratio <= 8.0

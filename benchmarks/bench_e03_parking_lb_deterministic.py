@@ -1,0 +1,57 @@
+"""E3 — Theorem 2.8: the adaptive adversary forces ratio Omega(K).
+
+Runs the adversary (schedule c_k = 2^k, l_k = (2K)^k) against Algorithm 1
+and reports the forced ratio per K.  The paper's claim: the ratio grows
+linearly in K — no deterministic algorithm beats Omega(K).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Sweep
+from repro.parking import (
+    AdaptiveAdversary,
+    DeterministicParkingPermit,
+    adversarial_schedule,
+    optimal_general,
+)
+
+MAX_HORIZON = 6_000
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("E3: deterministic lower bound (Theorem 2.8 adversary)")
+    for num_types in (1, 2, 3, 4):
+        schedule = adversarial_schedule(num_types)
+        horizon = min(schedule.lmax, MAX_HORIZON)
+        adversary = AdaptiveAdversary(schedule, horizon=horizon)
+        outcome = adversary.run(DeterministicParkingPermit(schedule))
+        opt = optimal_general(outcome.instance).cost
+        sweep.add(
+            {"K": num_types, "requests": outcome.num_requests},
+            online_cost=outcome.online_cost,
+            opt_cost=opt,
+            note=f"horizon {horizon}",
+        )
+    return sweep
+
+
+def _kernel():
+    schedule = adversarial_schedule(4)
+    adversary = AdaptiveAdversary(
+        schedule, horizon=min(schedule.lmax, MAX_HORIZON)
+    )
+    return adversary.run(DeterministicParkingPermit(schedule)).online_cost
+
+
+def test_e03_lower_bound_deterministic(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    ratios = [row.ratio for row in sweep.rows]
+    # Shape check: monotone growth in K, starting at 1 for K=1 and at
+    # least doubling by K=4 (Omega(K) with a constant >= 1/2).
+    assert abs(ratios[0] - 1.0) < 1e-9
+    assert ratios == sorted(ratios)
+    assert ratios[-1] >= 2.0
+    assert ratios[-1] >= 0.5 * 4

@@ -1,0 +1,82 @@
+"""E4 — Theorem 2.9: the recursive random instance family.
+
+Samples instances from the hard distribution (active sub-interval i with
+probability 2^{1-i}, costs doubling per level) and measures the expected
+ratio of both the deterministic and the randomized algorithm.  The
+paper's claim: expected ratio grows with K (Omega(log K) for any
+algorithm); the measured means should rise monotonically-ish with K and
+stay super-constant.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis import Sweep
+from repro.parking import (
+    DeterministicParkingPermit,
+    RandomizedParkingPermit,
+    optimal_general,
+    sample_randomized_lower_bound,
+)
+from repro.workloads import make_rng
+
+INSTANCE_SEEDS = range(30)
+BRANCHING = 8
+
+
+def mean_ratio(num_types: int, algorithm_factory) -> tuple[float, float, float]:
+    ratios = []
+    total_cost = total_opt = 0.0
+    for seed in INSTANCE_SEEDS:
+        instance = sample_randomized_lower_bound(
+            num_types, make_rng(seed), branching=BRANCHING
+        )
+        algorithm = algorithm_factory(instance.schedule, seed)
+        for day in instance.rainy_days:
+            algorithm.on_demand(day)
+        opt = optimal_general(instance).cost
+        ratios.append(algorithm.cost / opt)
+        total_cost += algorithm.cost
+        total_opt += opt
+    return statistics.fmean(ratios), total_cost, total_opt
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("E4: randomized lower-bound distribution (Theorem 2.9)")
+    for num_types in (2, 3, 4, 5):
+        det_mean, det_cost, det_opt = mean_ratio(
+            num_types, lambda schedule, seed: DeterministicParkingPermit(schedule)
+        )
+        rand_mean, _, _ = mean_ratio(
+            num_types,
+            lambda schedule, seed: RandomizedParkingPermit(schedule, seed=seed),
+        )
+        sweep.add(
+            {"K": num_types},
+            online_cost=det_cost,
+            opt_cost=det_opt,
+            note=f"det E[ratio] {det_mean:.2f}, rand E[ratio] {rand_mean:.2f}",
+        )
+    return sweep
+
+
+def _kernel():
+    instance = sample_randomized_lower_bound(
+        5, make_rng(0), branching=BRANCHING
+    )
+    algorithm = DeterministicParkingPermit(instance.schedule)
+    for day in instance.rainy_days:
+        algorithm.on_demand(day)
+    return algorithm.cost
+
+
+def test_e04_lower_bound_randomized(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    ratios = [row.ratio for row in sweep.rows]
+    # Shape: the aggregate det ratio exceeds 1 and does not shrink with K.
+    assert all(ratio > 1.05 for ratio in ratios)
+    assert ratios[-1] >= ratios[0] - 0.05

@@ -1,0 +1,87 @@
+"""E5 — Lemma 2.6 / Figure 2.3: the interval model costs at most 4x.
+
+Round-trips random general-model instances through the interval-model
+reduction and reports (a) OPT_interval / OPT_general <= 2 and (b) the
+wrapped algorithm's cost <= 4K * OPT_general — the two halves of the
+lemma, measured.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Sweep
+from repro.core import IntervalModelReduction, LeaseSchedule, round_schedule
+from repro.parking import (
+    DeterministicParkingPermit,
+    make_instance,
+    optimal_general,
+    optimal_interval,
+)
+from repro.workloads import bernoulli_days, make_rng
+
+GENERAL_SCHEDULES = {
+    "coarse": [(3, 1.5), (10, 3.0), (21, 5.0)],
+    "fine": [(2, 1.0), (5, 1.8), (11, 2.9), (23, 4.4)],
+    "steep": [(4, 1.0), (9, 4.0), (30, 12.0)],
+}
+HORIZON = 120
+SEEDS = range(6)
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("E5: interval-model reduction overhead (Lemma 2.6)")
+    for name, pairs in GENERAL_SCHEDULES.items():
+        schedule = LeaseSchedule.from_pairs(pairs)
+        rounded = round_schedule(schedule)
+        worst_opt_ratio = 0.0
+        worst_alg = (0.0, 1.0)
+        for seed in SEEDS:
+            days = bernoulli_days(HORIZON, 0.2, make_rng(seed))
+            if not days:
+                continue
+            instance = make_instance(schedule, days)
+            opt_general = optimal_general(instance).cost
+            opt_interval = optimal_interval(
+                make_instance(rounded, days)
+            ).cost
+            worst_opt_ratio = max(
+                worst_opt_ratio, opt_interval / opt_general
+            )
+            reduction = IntervalModelReduction(
+                schedule, lambda r: DeterministicParkingPermit(r)
+            )
+            for day in instance.rainy_days:
+                reduction.on_demand(day)
+            assert instance.is_feasible_solution(list(reduction.leases))
+            if reduction.cost / opt_general > worst_alg[0] / worst_alg[1]:
+                worst_alg = (reduction.cost, opt_general)
+        sweep.add(
+            {"schedule": name, "K": schedule.num_types},
+            online_cost=worst_alg[0],
+            opt_cost=worst_alg[1],
+            bound=4.0 * schedule.num_types,
+            note=f"OPT_int/OPT_gen {worst_opt_ratio:.2f} (<=2)",
+        )
+    return sweep
+
+
+def _kernel():
+    schedule = LeaseSchedule.from_pairs(GENERAL_SCHEDULES["fine"])
+    days = bernoulli_days(HORIZON, 0.2, make_rng(0))
+    reduction = IntervalModelReduction(
+        schedule, lambda r: DeterministicParkingPermit(r)
+    )
+    for day in days:
+        reduction.on_demand(day)
+    return reduction.cost
+
+
+def test_e05_interval_model(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    assert sweep.all_within_bounds(), sweep.render()
+    # The backward half of the lemma: every note records a <=2 factor.
+    for row in sweep.rows:
+        measured = float(row.note.split()[1])
+        assert measured <= 2.0 + 1e-9

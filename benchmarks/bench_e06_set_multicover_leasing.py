@@ -1,0 +1,104 @@
+"""E6 — Theorem 3.3: SetMulticoverLeasing is O(log(delta K) log n).
+
+Three sweeps, one per parameter (n, delta, K), measuring the mean ratio
+over coin seeds against the exact Figure 3.2 ILP optimum.  The paper's
+claim: ratio grows like log(delta K) * log n — slow growth in every
+parameter, always below the explicit-constant ceiling.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import Sweep
+from repro.core import LeaseSchedule, run_online
+from repro.setcover import (
+    OnlineSetMulticoverLeasing,
+    optimum,
+    random_instance,
+)
+from repro.workloads import make_rng
+
+COIN_SEEDS = range(8)
+
+
+def bound_for(instance) -> float:
+    delta_k = instance.system.delta * instance.schedule.num_types
+    n = instance.system.num_elements
+    return (
+        4.0 * (math.log(delta_k) + 2.0) * (2.0 * math.log2(n + 1) + 2.0)
+    )
+
+
+def measure(instance) -> tuple[float, float]:
+    opt = optimum(instance)
+    costs = []
+    for seed in COIN_SEEDS:
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=seed)
+        run_online(algorithm, instance.demands)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+        costs.append(algorithm.cost)
+    return sum(costs) / len(costs), opt.lower
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("E6: SetMulticoverLeasing mean ratio (Theorem 3.3)")
+    # Sweep n with delta, K fixed.
+    for n in (6, 12, 24, 48):
+        instance = random_instance(
+            num_elements=n, num_sets=max(4, n // 2), memberships=3,
+            schedule=LeaseSchedule.power_of_two(2), horizon=24,
+            num_demands=24, rng=make_rng(100 + n), max_coverage=2,
+        )
+        mean_cost, opt = measure(instance)
+        sweep.add(
+            {"sweep": "n", "n": n, "delta": instance.system.delta, "K": 2},
+            online_cost=mean_cost, opt_cost=opt, bound=bound_for(instance),
+        )
+    # Sweep delta (memberships) with n, K fixed.
+    for memberships in (2, 4, 6):
+        instance = random_instance(
+            num_elements=12, num_sets=8, memberships=memberships,
+            schedule=LeaseSchedule.power_of_two(2), horizon=24,
+            num_demands=24, rng=make_rng(200 + memberships), max_coverage=2,
+        )
+        mean_cost, opt = measure(instance)
+        sweep.add(
+            {"sweep": "delta", "n": 12, "delta": instance.system.delta,
+             "K": 2},
+            online_cost=mean_cost, opt_cost=opt, bound=bound_for(instance),
+        )
+    # Sweep K with n, delta fixed.
+    for num_types in (1, 2, 3, 4):
+        instance = random_instance(
+            num_elements=12, num_sets=8, memberships=3,
+            schedule=LeaseSchedule.power_of_two(num_types), horizon=24,
+            num_demands=24, rng=make_rng(300), max_coverage=2,
+        )
+        mean_cost, opt = measure(instance)
+        sweep.add(
+            {"sweep": "K", "n": 12, "delta": instance.system.delta,
+             "K": num_types},
+            online_cost=mean_cost, opt_cost=opt, bound=bound_for(instance),
+        )
+    return sweep
+
+
+def _kernel():
+    instance = random_instance(
+        num_elements=24, num_sets=12, memberships=3,
+        schedule=LeaseSchedule.power_of_two(3), horizon=24,
+        num_demands=24, rng=make_rng(0), max_coverage=2,
+    )
+    algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+    for demand in instance.demands:
+        algorithm.on_demand(demand)
+    return algorithm.cost
+
+
+def test_e06_set_multicover_leasing(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    assert sweep.all_within_bounds(), sweep.render()

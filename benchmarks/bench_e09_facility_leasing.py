@@ -1,0 +1,96 @@
+"""E9 — Theorem 4.5 / Corollaries 4.6-4.7: facility leasing vs arrivals.
+
+Runs the two-phase algorithm on the four arrival patterns the thesis
+distinguishes — constant, non-increasing, polynomial, exponential — and
+reports ratio against the exact MILP optimum next to the pattern's
+4(3+K) H_lmax bound.  Claims: every ratio below its bound; the 'natural'
+patterns have small H (log lmax), exponential arrivals have the largest H
+(the conjectured-hard regime).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Sweep
+from repro.core import LeaseSchedule
+from repro.facility import (
+    harmonic_series,
+    make_instance,
+    optimum,
+    run_facility_leasing,
+    theoretical_bound,
+)
+from repro.workloads import (
+    constant_batches,
+    exponential_batches,
+    make_rng,
+    nonincreasing_batches,
+    polynomial_batches,
+)
+
+STEPS = 8
+NUM_FACILITIES = 4
+
+
+def patterns(rng):
+    return {
+        "constant": constant_batches(STEPS, 2),
+        "nonincreasing": nonincreasing_batches(STEPS, 6, rng),
+        "polynomial": [min(size, 12) for size in polynomial_batches(STEPS, 1)],
+        "exponential": [min(size, 24) for size in exponential_batches(6)],
+    }
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("E9: facility leasing by arrival pattern (Theorem 4.5)")
+    schedule = LeaseSchedule.power_of_two(3)
+    for name, batches in patterns(make_rng(5)).items():
+        instance = make_instance(
+            schedule,
+            num_facilities=NUM_FACILITIES,
+            batch_sizes=batches,
+            rng=make_rng(42),
+        )
+        algorithm = run_facility_leasing(instance)
+        assert instance.is_feasible_solution(
+            list(algorithm.leases), algorithm.connections
+        )
+        opt = optimum(instance)
+        sweep.add(
+            {
+                "pattern": name,
+                "clients": instance.num_clients,
+                "H": round(harmonic_series(batches), 2),
+            },
+            online_cost=algorithm.cost,
+            opt_cost=opt.lower,
+            bound=theoretical_bound(schedule, batches),
+            note=(
+                f"lease {algorithm.leasing_cost:.0f} + "
+                f"conn {algorithm.connection_cost:.0f}"
+            ),
+        )
+    return sweep
+
+
+def _kernel():
+    schedule = LeaseSchedule.power_of_two(3)
+    instance = make_instance(
+        schedule,
+        num_facilities=NUM_FACILITIES,
+        batch_sizes=constant_batches(STEPS, 2),
+        rng=make_rng(42),
+    )
+    return run_facility_leasing(instance).cost
+
+
+def test_e09_facility_leasing(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    assert sweep.all_within_bounds(), sweep.render()
+    # Shape: exponential arrivals have the largest H of the four patterns.
+    h_values = {row.params["pattern"]: row.params["H"] for row in sweep.rows}
+    assert h_values["exponential"] >= max(
+        h_values["constant"], h_values["nonincreasing"], h_values["polynomial"]
+    )

@@ -1,0 +1,92 @@
+"""E13 — Corollary 5.8: SCLD's ratio is time-independent.
+
+The Chapter 3 bound carries a log n factor (n grows with time); the
+Chapter 5 bound replaces it with log lmax.  Holding the set system and
+lmax fixed while growing the horizon (and the demand count with it), the
+mean ratio should flatten out rather than climb with log(n) — the
+measured signature of time independence.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import Sweep
+from repro.core import LeaseSchedule
+from repro.deadlines import DeadlineElement, OnlineSCLD, SCLDInstance
+from repro.lp import opt_bounds
+from repro.setcover import random_set_system
+from repro.workloads import make_rng
+
+COIN_SEEDS = range(6)
+NUM_ELEMENTS = 10
+NUM_SETS = 8
+
+
+def build_instance(schedule, horizon, seed):
+    rng = make_rng(seed)
+    system = random_set_system(NUM_ELEMENTS, NUM_SETS, 3, schedule, rng)
+    demands = sorted(
+        (
+            (rng.randrange(NUM_ELEMENTS), t, 0)
+            for t in range(0, horizon, 2)
+        ),
+        key=lambda d: d[1],
+    )
+    return SCLDInstance(
+        system=system,
+        schedule=schedule,
+        demands=tuple(DeadlineElement(*d) for d in demands),
+    )
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("E13: time-independence of SCLD (Corollary 5.8)")
+    schedule = LeaseSchedule.power_of_two(2)  # lmax fixed at 2
+    m = NUM_SETS
+    K = schedule.num_types
+    lmax = schedule.lmax
+    bound = (
+        4.0 * (math.log(m * K) + 2.0) * (2.0 * math.log2(max(2, lmax)) + 3.0)
+    )
+    for horizon in (16, 32, 64, 128):
+        instance = build_instance(schedule, horizon, seed=7)
+        opt = opt_bounds(
+            instance.to_covering_program(), exact_variable_limit=6000
+        )
+        costs = []
+        for seed in COIN_SEEDS:
+            algorithm = OnlineSCLD(instance, seed=seed)
+            for demand in instance.demands:
+                algorithm.on_demand(demand)
+            assert instance.is_feasible_solution(list(algorithm.leases))
+            costs.append(algorithm.cost)
+        sweep.add(
+            {"horizon": horizon, "demands": len(instance.demands)},
+            online_cost=sum(costs) / len(costs),
+            opt_cost=opt.lower,
+            bound=bound,
+            note="bound is horizon-free",
+        )
+    return sweep
+
+
+def _kernel():
+    schedule = LeaseSchedule.power_of_two(2)
+    instance = build_instance(schedule, 128, seed=7)
+    algorithm = OnlineSCLD(instance, seed=0)
+    for demand in instance.demands:
+        algorithm.on_demand(demand)
+    return algorithm.cost
+
+
+def test_e13_time_independence(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    assert sweep.all_within_bounds(), sweep.render()
+    # Shape: the ratio does not keep climbing with the horizon — the last
+    # doubling adds less than 35% to the measured ratio.
+    ratios = [row.ratio for row in sweep.rows]
+    assert ratios[-1] <= 1.35 * ratios[-2] + 1e-9

@@ -1,0 +1,91 @@
+"""E14 — the introduction's economics: primal-dual vs naive policies.
+
+The thesis motivates leasing with the two naive failure modes (buy long
+and waste, or rent short and over-pay).  On three workload regimes —
+bursty, sparse, mixed — the primal-dual algorithm must avoid the large
+losses each strawman shows on its bad regime.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Sweep
+from repro.core import LeaseSchedule, run_online
+from repro.parking import (
+    AlwaysLongest,
+    AlwaysShortest,
+    DeterministicParkingPermit,
+    RentThenBuy,
+    make_instance,
+    optimal_interval,
+)
+from repro.workloads import burst_days, make_rng, sparse_days
+
+POLICIES = {
+    "primal-dual": DeterministicParkingPermit,
+    "always-shortest": AlwaysShortest,
+    "always-longest": AlwaysLongest,
+    "rent-then-buy": RentThenBuy,
+}
+
+
+def workloads():
+    rng = make_rng(77)
+    bursty = burst_days(300, 5, 16, rng)
+    sparse = sparse_days(300, 8, rng)
+    mixed = sorted(set(bursty[: len(bursty) // 2] + [d + 400 for d in sparse]))
+    return {"bursty": bursty, "sparse": sparse, "mixed": mixed}
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("E14: primal-dual vs naive policies")
+    schedule = LeaseSchedule.power_of_two(5, cost_growth=2 ** 0.5)
+    for workload_name, days in workloads().items():
+        instance = make_instance(schedule, days)
+        opt = optimal_interval(instance).cost
+        for policy_name, policy_class in POLICIES.items():
+            policy = policy_class(schedule)
+            run_online(policy, instance.rainy_days)
+            assert instance.is_feasible_solution(list(policy.leases))
+            sweep.add(
+                {"workload": workload_name, "policy": policy_name},
+                online_cost=policy.cost,
+                opt_cost=opt,
+                bound=(
+                    float(schedule.num_types)
+                    if policy_name == "primal-dual"
+                    else None
+                ),
+            )
+    return sweep
+
+
+def _kernel():
+    schedule = LeaseSchedule.power_of_two(5, cost_growth=2 ** 0.5)
+    days = workloads()["mixed"]
+    algorithm = DeterministicParkingPermit(schedule)
+    for day in days:
+        algorithm.on_demand(day)
+    return algorithm.cost
+
+
+def test_e14_heuristic_baselines(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    assert sweep.all_within_bounds(), sweep.render()
+    ratio = {
+        (row.params["workload"], row.params["policy"]): row.ratio
+        for row in sweep.rows
+    }
+    # Each strawman loses clearly on its bad regime; primal-dual does not.
+    assert ratio[("bursty", "always-shortest")] > 1.5
+    assert ratio[("sparse", "always-longest")] > 1.5
+    # Primal-dual's worst ratio across regimes beats each strawman's worst.
+    def worst(policy):
+        return max(
+            value for (w, p), value in ratio.items() if p == policy
+        )
+
+    assert worst("primal-dual") <= worst("always-shortest")
+    assert worst("primal-dual") <= worst("always-longest")

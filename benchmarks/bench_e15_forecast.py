@@ -1,0 +1,102 @@
+"""E15 (extension) — prediction-augmented leasing vs oracle error.
+
+The thesis' stochastic-demands outlook (Sections 3.5/5.6), in the modern
+algorithms-with-predictions framing: sweep the oracle error rate from
+clairvoyant to inverted and measure follow-the-prediction, its hedged
+variant, and the prediction-free primal-dual algorithm.  Expected shape:
+at error 0 the forecast policies approach OPT and beat primal-dual; as
+error grows, the pure policy degrades past primal-dual while the hedged
+variant's ratio stays capped.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Sweep
+from repro.core import LeaseSchedule, run_online
+from repro.extensions import (
+    ForecastParkingPermit,
+    HedgedForecastParkingPermit,
+    NoisyOracle,
+)
+from repro.parking import (
+    DeterministicParkingPermit,
+    make_instance,
+    optimal_interval,
+)
+from repro.workloads import burst_days, make_rng
+
+ERROR_RATES = (0.0, 0.1, 0.25, 0.5, 1.0)
+SEEDS = range(6)
+
+
+def build_sweep() -> Sweep:
+    sweep = Sweep("E15: predictions vs error rate (stochastic outlook)")
+    schedule = LeaseSchedule.power_of_two(4, cost_growth=1.5)
+    days = burst_days(240, 5, 12, make_rng(4))
+    instance = make_instance(schedule, days)
+    opt = optimal_interval(instance).cost
+
+    primal_dual = DeterministicParkingPermit(schedule)
+    run_online(primal_dual, instance.rainy_days)
+    primal_dual_ratio = primal_dual.cost / opt
+
+    for error in ERROR_RATES:
+        pure_costs, hedged_costs = [], []
+        for seed in SEEDS:
+            oracle = NoisyOracle(instance, error, make_rng(1000 + seed))
+            pure = ForecastParkingPermit(schedule, oracle)
+            run_online(pure, instance.rainy_days)
+            assert instance.is_feasible_solution(list(pure.leases))
+            pure_costs.append(pure.cost)
+
+            oracle2 = NoisyOracle(instance, error, make_rng(1000 + seed))
+            hedged = HedgedForecastParkingPermit(
+                schedule, oracle2, hedge=1.0
+            )
+            run_online(hedged, instance.rainy_days)
+            assert instance.is_feasible_solution(list(hedged.leases))
+            hedged_costs.append(hedged.cost)
+        sweep.add(
+            {"error": error, "policy": "pure"},
+            online_cost=sum(pure_costs) / len(pure_costs),
+            opt_cost=opt,
+            note=f"primal-dual ratio {primal_dual_ratio:.2f}",
+        )
+        sweep.add(
+            {"error": error, "policy": "hedged"},
+            online_cost=sum(hedged_costs) / len(hedged_costs),
+            opt_cost=opt,
+        )
+    return sweep
+
+
+def _kernel():
+    schedule = LeaseSchedule.power_of_two(4, cost_growth=1.5)
+    days = burst_days(240, 5, 12, make_rng(4))
+    instance = make_instance(schedule, days)
+    oracle = NoisyOracle(instance, 0.25, make_rng(1))
+    policy = HedgedForecastParkingPermit(schedule, oracle)
+    for day in instance.rainy_days:
+        policy.on_demand(day)
+    return policy.cost
+
+
+def test_e15_forecast(benchmark):
+    sweep = build_sweep()
+    benchmark(_kernel)
+    print()
+    print(sweep.render())
+    ratio = {
+        (row.params["error"], row.params["policy"]): row.ratio
+        for row in sweep.rows
+    }
+    # Clairvoyant predictions are near-optimal...
+    assert ratio[(0.0, "pure")] <= 1.6
+    # ...and degrade as errors grow.
+    assert ratio[(1.0, "pure")] >= ratio[(0.0, "pure")]
+    # Hedging tracks the pure policy closely here (the hard cap only
+    # binds on dense-rain windows — unit-tested in
+    # tests/extensions/test_forecast.py); it must not cost materially
+    # more at any error level.
+    for error in ERROR_RATES:
+        assert ratio[(error, "hedged")] <= 1.05 * ratio[(error, "pure")]

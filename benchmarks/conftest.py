@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_eNN_*.py`` module regenerates one experiment from DESIGN.md's
+per-experiment index (the empirical counterpart of a thesis
+theorem/figure).  Modules follow one pattern:
+
+* build the experiment sweep un-timed (includes exact offline solvers),
+* time a representative online-algorithm kernel with the ``benchmark``
+  fixture,
+* print the sweep table (visible with ``-s`` or on failure) and assert
+  the theorem's bound/shape.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Lower bounds live: adversaries vs online algorithms.
+
+Two demonstrations from Chapter 2's competitive analysis:
+
+1. The Theorem 2.8 adaptive adversary interrogates the deterministic
+   algorithm and forces a ratio that climbs linearly in K — watching the
+   transcript shows *why*: every request lands just outside what the
+   algorithm covered.
+
+2. The Theorem 2.9 random instance family, where the deterministic
+   algorithm's expected ratio grows while randomization (Algorithm 2)
+   softens the blow.
+
+Run:  python examples/adversarial_showdown.py
+"""
+
+import statistics
+
+from repro.analysis import print_table
+from repro.parking import (
+    AdaptiveAdversary,
+    DeterministicParkingPermit,
+    RandomizedParkingPermit,
+    adversarial_schedule,
+    optimal_general,
+    sample_randomized_lower_bound,
+)
+from repro.workloads import make_rng
+
+
+def deterministic_adversary() -> None:
+    print("=== Theorem 2.8: the adaptive adversary ===\n")
+    rows = []
+    for num_types in (1, 2, 3, 4):
+        schedule = adversarial_schedule(num_types)
+        horizon = min(schedule.lmax, 5000)
+        adversary = AdaptiveAdversary(schedule, horizon=horizon)
+        outcome = adversary.run(DeterministicParkingPermit(schedule))
+        opt = optimal_general(outcome.instance).cost
+        rows.append(
+            [
+                num_types,
+                outcome.num_requests,
+                outcome.online_cost,
+                opt,
+                outcome.online_cost / opt,
+            ]
+        )
+    print_table(
+        ["K", "forced requests", "online", "OPT", "ratio"],
+        rows,
+        title="Adversary transcript summaries (c_k = 2^k, l_k = (2K)^k)",
+    )
+    print(
+        "\nThe ratio column *is* K: no deterministic algorithm can do "
+        "better (Theorem 2.8).\n"
+    )
+
+
+def randomized_hard_distribution() -> None:
+    print("=== Theorem 2.9: the hard random instance family ===\n")
+    rows = []
+    for num_types in (2, 3, 4, 5):
+        det_ratios, rand_ratios = [], []
+        for seed in range(30):
+            instance = sample_randomized_lower_bound(
+                num_types, make_rng(seed), branching=8
+            )
+            opt = optimal_general(instance).cost
+            deterministic = DeterministicParkingPermit(instance.schedule)
+            randomized = RandomizedParkingPermit(instance.schedule, seed=seed)
+            for day in instance.rainy_days:
+                deterministic.on_demand(day)
+                randomized.on_demand(day)
+            det_ratios.append(deterministic.cost / opt)
+            rand_ratios.append(randomized.cost / opt)
+        rows.append(
+            [
+                num_types,
+                statistics.fmean(det_ratios),
+                statistics.fmean(rand_ratios),
+            ]
+        )
+    print_table(
+        ["K", "E[ratio] deterministic", "E[ratio] randomized"],
+        rows,
+        title="Expected ratios over 30 sampled instances",
+    )
+    print(
+        "\nBoth grow with K (the Omega(log K) floor applies to everyone), "
+        "but randomization stays consistently below the deterministic "
+        "mean — the O(log K) vs O(K) separation in action."
+    )
+
+
+if __name__ == "__main__":
+    deterministic_adversary()
+    randomized_hard_distribution()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The file-server scenario opening thesis Chapter 3, as set multicover
+leasing.
+
+A fleet of servers each hosts a subset of files.  Users request files
+over time; for redundancy, hot files must be served by several distinct
+active servers at once.  Activating (leasing) a server for longer costs
+less per day.  Chapter 3's randomized online algorithm decides which
+servers to activate, when, and for how long; we measure it against the
+exact ILP optimum and the offline greedy.
+
+Run:  python examples/file_server_leasing.py
+"""
+
+from repro.core import LeaseSchedule, run_online
+from repro.analysis import print_table, verify_multicover
+from repro.setcover import (
+    MulticoverDemand,
+    OnlineSetMulticoverLeasing,
+    SetMulticoverLeasingInstance,
+    SetSystem,
+    greedy,
+    optimum,
+)
+from repro.workloads import element_arrivals, make_rng
+
+
+def main() -> None:
+    rng = make_rng(303)
+    num_files, num_servers = 12, 8
+    schedule = LeaseSchedule.power_of_two(3, base_cost=2.0, cost_growth=1.7)
+
+    # Each server hosts a random handful of files; every file lives on at
+    # least three servers so requests with redundancy 2 are satisfiable.
+    hosted = [set(rng.sample(range(num_files), 5)) for _ in range(num_servers)]
+    for file_id in range(num_files):
+        while sum(1 for files in hosted if file_id in files) < 3:
+            hosted[rng.randrange(num_servers)].add(file_id)
+    activation_costs = [
+        [(1.0 + rng.random()) * lease_type.cost for lease_type in schedule]
+        for _ in range(num_servers)
+    ]
+    system = SetSystem(
+        num_elements=num_files, sets=hosted, lease_costs=activation_costs
+    )
+    print(
+        f"{num_files} files on {num_servers} servers "
+        f"(delta = {system.delta} servers/file)"
+    )
+
+    # A month of file requests; popular files need 2 replicas (p = 2).
+    raw = element_arrivals(
+        30, num_files, 1.2, rng, max_coverage=2, repeats_allowed=True
+    )
+    demands = tuple(MulticoverDemand(e, t, p) for e, t, p in raw)
+    instance = SetMulticoverLeasingInstance(
+        system=system, schedule=schedule, demands=demands
+    )
+    redundancy_2 = sum(1 for demand in demands if demand.coverage == 2)
+    print(
+        f"{len(demands)} file requests over 30 days "
+        f"({redundancy_2} need 2 replicas)\n"
+    )
+
+    # Online: Algorithms 3+4.
+    online = OnlineSetMulticoverLeasing(instance, seed=1)
+    run_online(online, instance.demands)
+    verify_multicover(instance, list(online.leases)).raise_if_failed()
+
+    greedy_solution = greedy(instance)
+    opt = optimum(instance)
+
+    print_table(
+        ["strategy", "cost", "leases", "vs OPT"],
+        [
+            [
+                "randomized online (Ch. 3)",
+                online.cost,
+                len(online.leases),
+                online.cost / opt.lower,
+            ],
+            [
+                "offline greedy",
+                greedy_solution.cost,
+                len(greedy_solution.leases),
+                greedy_solution.cost / opt.lower,
+            ],
+            ["offline optimum (ILP)", opt.lower, "", 1.0],
+        ],
+        title="Server activation report",
+    )
+    print(
+        f"\nTheorem 3.3 shape: O(log(delta K) log n) "
+        f"= O(log({system.delta}x{schedule.num_types}) log {num_files}) "
+        "— a few small logs, not a linear factor."
+    )
+
+
+if __name__ == "__main__":
+    main()

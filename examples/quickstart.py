@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: the parking permit problem in ten lines of library use.
+
+Scenario (thesis Figure 1.1): on rainy days you must hold a parking
+permit; permits come in several durations with economies of scale.  We
+generate a month of weather, run Meyerson's deterministic and randomized
+online algorithms, and compare against the exact offline optimum.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import LeaseSchedule, run_online
+from repro.analysis import print_table, verify_parking
+from repro.parking import (
+    DeterministicParkingPermit,
+    RandomizedParkingPermit,
+    make_instance,
+    optimal_general,
+    optimal_interval,
+)
+from repro.workloads import make_rng, markov_days
+
+
+def main() -> None:
+    # Permits: 1 day ($1), 2 days ($1.80), 4 days ($3.24), 8 days ($5.83).
+    schedule = LeaseSchedule.power_of_two(4, base_cost=1.0, cost_growth=1.8)
+    print("Permit types:", [(t.length, round(t.cost, 2)) for t in schedule])
+
+    # A rainy season: weather with memory (rain tends to persist).
+    rng = make_rng(2015)
+    rainy_days = markov_days(
+        horizon=90, start_rain=0.15, stay_rain=0.8, rng=rng
+    )
+    instance = make_instance(schedule, rainy_days)
+    print(f"{instance.num_days} rainy days over {instance.horizon} days\n")
+
+    # Online algorithms: decisions made day by day, no forecasts.
+    deterministic = DeterministicParkingPermit(schedule)
+    run_online(deterministic, instance.rainy_days)
+    verify_parking(instance, list(deterministic.leases)).raise_if_failed()
+
+    randomized = RandomizedParkingPermit(schedule, seed=7)
+    run_online(randomized, instance.rainy_days)
+    verify_parking(instance, list(randomized.leases)).raise_if_failed()
+
+    # Offline optima (they know the whole season in advance).
+    opt = optimal_general(instance)
+    opt_interval = optimal_interval(instance)
+
+    print_table(
+        ["algorithm", "cost", "vs optimal"],
+        [
+            ["deterministic online (Alg 1)", deterministic.cost,
+             deterministic.cost / opt.cost],
+            ["randomized online (Alg 2)", randomized.cost,
+             randomized.cost / opt.cost],
+            ["offline optimum (interval model)", opt_interval.cost,
+             opt_interval.cost / opt.cost],
+            ["offline optimum (general)", opt.cost, 1.0],
+        ],
+        title="Season summary",
+    )
+    print(
+        f"\nTheorem 2.7 guarantee: deterministic <= K x OPT "
+        f"= {schedule.num_types} x {opt_interval.cost:.2f} "
+        f"= {schedule.num_types * opt_interval.cost:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The travel-agency scenario opening thesis Chapter 5: flexible demands.
+
+Tourists arrive daily and want a guided city tour *before they leave* —
+any day inside their stay works.  Hiring a guide means leasing them for
+1, 2, 4 or 8 consecutive days (longer is cheaper per day).  Chapter 5's
+primal-dual algorithm (OLD) decides when to hire and for how long; we
+show how customer flexibility (longer stays) lowers both the optimum and
+the online cost, and reproduce the Figure 5.3 worst case.
+
+Run:  python examples/travel_agency_deadlines.py
+"""
+
+from repro.core import LeaseSchedule
+from repro.analysis import print_table, verify_old
+from repro.deadlines import (
+    make_old_instance,
+    optimal_dp,
+    run_old,
+    tight_example,
+)
+from repro.workloads import deadline_arrivals, make_rng
+
+
+def main() -> None:
+    schedule = LeaseSchedule.power_of_two(4, base_cost=3.0, cost_growth=1.7)
+    print(
+        "Guide contracts:",
+        [(t.length, round(t.cost, 2)) for t in schedule],
+    )
+
+    rows = []
+    for stay_length in (0, 2, 5, 10):
+        rng = make_rng(60 + stay_length)
+        tourists = deadline_arrivals(
+            horizon=60,
+            arrival_probability=0.45,
+            max_slack=0,
+            rng=rng,
+            uniform_slack=stay_length,
+        )
+        instance = make_old_instance(schedule, tourists).normalized()
+        algorithm = run_old(instance)
+        verify_old(instance, list(algorithm.leases)).raise_if_failed()
+        opt = optimal_dp(instance)
+        rows.append(
+            [
+                f"{stay_length} days",
+                len(instance.clients),
+                algorithm.cost,
+                opt,
+                algorithm.cost / opt,
+                algorithm.skipped,
+            ]
+        )
+    print()
+    print_table(
+        ["flexibility", "tourists", "online", "OPT", "ratio", "skipped"],
+        rows,
+        title="Season cost vs tourist flexibility (uniform stays)",
+    )
+    print(
+        "\nMore flexibility lowers everyone's cost; Theorem 5.3 keeps the "
+        f"online ratio below 2K = {2 * schedule.num_types} throughout."
+    )
+
+    # The adversarial flip side: Figure 5.3's tight example.
+    print("\n--- Figure 5.3: when flexibility misleads the algorithm ---")
+    worst = tight_example(dmax=16, lmin=1, epsilon=0.05)
+    algorithm = run_old(worst)
+    opt = optimal_dp(worst)
+    print(
+        f"16-day-flexible first customer + daily followers: online pays "
+        f"{algorithm.cost:.2f}, optimum pays {opt:.2f} "
+        f"(ratio {algorithm.cost / opt:.1f} ~ dmax/lmin = 16)."
+    )
+    print(
+        "This is Proposition 5.4: the Theta(K + dmax/lmin) analysis is "
+        "tight, not pessimism."
+    )
+
+
+if __name__ == "__main__":
+    main()

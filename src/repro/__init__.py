@@ -1,0 +1,57 @@
+"""repro — reproduction of "Online Resource Leasing" (Markarian, PODC 2015).
+
+A library of online leasing algorithms with provable competitive ratios,
+exact offline baselines, synthetic workload generators, and an empirical
+competitive-analysis harness covering all four problem families of the
+paper/thesis:
+
+* :mod:`repro.parking` — the parking permit problem (Chapter 2).
+* :mod:`repro.setcover` — set (multi)cover leasing (Chapter 3).
+* :mod:`repro.facility` — facility leasing (Chapter 4).
+* :mod:`repro.deadlines` — leasing with deadlines, OLD and SCLD (Chapter 5).
+
+Shared substrates live in :mod:`repro.core` (lease model, interval model,
+stores), :mod:`repro.lp` (covering ILPs and exact solvers),
+:mod:`repro.workloads` (request-sequence generators) and
+:mod:`repro.analysis` (feasibility verification and ratio reporting).
+
+Quickstart::
+
+    from repro.core import LeaseSchedule, run_online
+    from repro.parking import DeterministicParkingPermit, optimal_general
+    from repro.parking import make_instance
+
+    schedule = LeaseSchedule.power_of_two(4)      # lengths 1,2,4,8
+    instance = make_instance(schedule, [0, 1, 2, 9, 10])
+    result = run_online(DeterministicParkingPermit(schedule),
+                        instance.rainy_days)
+    print(result.cost, optimal_general(instance).cost)
+"""
+
+from .core import (
+    Lease,
+    LeaseSchedule,
+    LeaseType,
+    OptBounds,
+    RatioReport,
+    RunResult,
+    run_online,
+)
+from .errors import InfeasibleError, ModelError, ReproError, SolverError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InfeasibleError",
+    "Lease",
+    "LeaseSchedule",
+    "LeaseType",
+    "ModelError",
+    "OptBounds",
+    "RatioReport",
+    "ReproError",
+    "RunResult",
+    "SolverError",
+    "__version__",
+    "run_online",
+]

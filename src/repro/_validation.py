@@ -1,0 +1,83 @@
+"""Internal argument-validation helpers shared across subpackages.
+
+These helpers raise :class:`repro.errors.ModelError` with uniform,
+actionable messages.  They are intentionally small and dependency-free so
+that model constructors stay readable: each constructor states *what* must
+hold, and these helpers state *how* violations are reported.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from .errors import ModelError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ModelError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ModelError(message)
+
+
+def require_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an ``int`` strictly greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ModelError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ModelError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_nonnegative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an ``int`` greater than or equal to zero."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ModelError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ModelError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_positive_number(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    value = float(value)
+    if not math.isfinite(value) or value <= 0.0:
+        raise ModelError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def require_nonnegative_number(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    value = float(value)
+    if not math.isfinite(value) or value < 0.0:
+        raise ModelError(f"{name} must be a finite non-negative number, got {value}")
+    return value
+
+
+def require_sorted_unique(values: Sequence[int], name: str) -> None:
+    """Validate that ``values`` is strictly increasing (sorted, no duplicates)."""
+    for earlier, later in zip(values, values[1:]):
+        if later <= earlier:
+            raise ModelError(
+                f"{name} must be strictly increasing, "
+                f"got {earlier} followed by {later}"
+            )
+
+
+def require_in_range(value: int, low: int, high: int, name: str) -> int:
+    """Validate ``low <= value < high`` (half-open, like ``range``)."""
+    if not low <= value < high:
+        raise ModelError(f"{name} must be in [{low}, {high}), got {value}")
+    return value
+
+
+def freeze_ints(values: Iterable[int], name: str) -> tuple[int, ...]:
+    """Coerce an iterable of ints to a tuple, validating each entry."""
+    frozen = []
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ModelError(
+                f"{name} entries must be ints, got {type(value).__name__}"
+            )
+        frozen.append(value)
+    return tuple(frozen)

@@ -1,0 +1,46 @@
+"""Competitive-analysis harness: verification, ratios, experiment sweeps.
+
+The empirical counterpart of Definitions 2.1/2.2: verify feasibility of
+every solution, measure online-vs-OPT ratios (in expectation for
+randomized algorithms), and collect parameter sweeps into the tables the
+benchmark suite prints.
+"""
+
+from .experiments import ExperimentRow, Sweep
+from .growth import GrowthFit, best_shape, fit_growth, grows_sublinearly
+from .ratio import (
+    RatioSummary,
+    expected_ratio,
+    ratio_of,
+    ratios_over_instances,
+)
+from .tables import format_table, print_table
+from .verify import (
+    VerificationReport,
+    verify_facility,
+    verify_multicover,
+    verify_old,
+    verify_parking,
+    verify_scld,
+)
+
+__all__ = [
+    "ExperimentRow",
+    "GrowthFit",
+    "RatioSummary",
+    "Sweep",
+    "VerificationReport",
+    "best_shape",
+    "expected_ratio",
+    "fit_growth",
+    "format_table",
+    "grows_sublinearly",
+    "print_table",
+    "ratio_of",
+    "ratios_over_instances",
+    "verify_facility",
+    "verify_multicover",
+    "verify_old",
+    "verify_parking",
+    "verify_scld",
+]

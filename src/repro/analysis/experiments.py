@@ -1,0 +1,100 @@
+"""Experiment sweep runner shared by the benchmark suite.
+
+Each thesis experiment (E1-E14 in DESIGN.md) is a parameter sweep
+producing rows of ``(parameters, online cost, OPT, ratio, theory bound)``.
+:class:`Sweep` collects such rows and renders/validates them uniformly so
+each benchmark module stays focused on its workload, not on bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .tables import format_table
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentRow:
+    """One sweep point: parameters plus measured and predicted quantities."""
+
+    params: dict
+    online_cost: float
+    opt_cost: float
+    bound: float | None = None
+    note: str = ""
+
+    @property
+    def ratio(self) -> float:
+        if self.opt_cost <= 0:
+            return float("inf") if self.online_cost > 0 else 1.0
+        return self.online_cost / self.opt_cost
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the measured ratio respects the theory bound (if any)."""
+        if self.bound is None:
+            return True
+        return self.ratio <= self.bound + 1e-6
+
+
+@dataclass
+class Sweep:
+    """A named collection of experiment rows with rendering helpers."""
+
+    name: str
+    rows: list[ExperimentRow] = field(default_factory=list)
+
+    def add(
+        self,
+        params: dict,
+        online_cost: float,
+        opt_cost: float,
+        bound: float | None = None,
+        note: str = "",
+    ) -> ExperimentRow:
+        """Record one sweep point and return it."""
+        row = ExperimentRow(
+            params=dict(params),
+            online_cost=online_cost,
+            opt_cost=opt_cost,
+            bound=bound,
+            note=note,
+        )
+        self.rows.append(row)
+        return row
+
+    @property
+    def param_names(self) -> list[str]:
+        names: list[str] = []
+        for row in self.rows:
+            for key in row.params:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def all_within_bounds(self) -> bool:
+        """Whether every row respects its theory bound."""
+        return all(row.within_bound for row in self.rows)
+
+    def max_ratio(self) -> float:
+        """Largest measured ratio across the sweep."""
+        return max((row.ratio for row in self.rows), default=0.0)
+
+    def render(self) -> str:
+        """The sweep as an aligned table (the benchmark's printed output)."""
+        names = self.param_names
+        headers = names + ["online", "OPT", "ratio", "bound", "note"]
+        table_rows: list[Sequence] = []
+        for row in self.rows:
+            table_rows.append(
+                [row.params.get(name, "") for name in names]
+                + [
+                    row.online_cost,
+                    row.opt_cost,
+                    row.ratio,
+                    row.bound if row.bound is not None else "",
+                    row.note,
+                ]
+            )
+        return format_table(headers, table_rows, title=self.name)

@@ -1,0 +1,100 @@
+"""Growth-order estimation for competitive-ratio sweeps.
+
+The thesis' bounds separate *orders of growth* — O(K) vs O(log K),
+O(log n) vs time-independent — and the benchmarks' shape checks need a
+principled way to say "this series grows like log x, not x".  This module
+fits simple least-squares models through measured (x, ratio) points and
+reports which of three canonical shapes — constant, logarithmic, linear —
+explains the series best.
+
+No numpy: ordinary least squares in two unknowns is closed-form, and the
+series involved are a handful of points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .._validation import require
+
+
+@dataclass(frozen=True, slots=True)
+class GrowthFit:
+    """One fitted model: ``ratio ~ intercept + slope * basis(x)``."""
+
+    shape: str
+    intercept: float
+    slope: float
+    residual: float
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * _BASES[self.shape](x)
+
+
+_BASES = {
+    "constant": lambda x: 0.0,
+    "logarithmic": lambda x: math.log(max(x, 1e-12)),
+    "linear": lambda x: float(x),
+}
+
+
+def _least_squares(
+    xs: Sequence[float], ys: Sequence[float], shape: str
+) -> GrowthFit:
+    basis = [_BASES[shape](x) for x in xs]
+    n = len(xs)
+    mean_b = sum(basis) / n
+    mean_y = sum(ys) / n
+    var_b = sum((b - mean_b) ** 2 for b in basis)
+    if var_b < 1e-15:
+        slope = 0.0
+        intercept = mean_y
+    else:
+        cov = sum(
+            (b - mean_b) * (y - mean_y) for b, y in zip(basis, ys)
+        )
+        slope = cov / var_b
+        intercept = mean_y - slope * mean_b
+    residual = sum(
+        (y - (intercept + slope * b)) ** 2 for b, y in zip(basis, ys)
+    )
+    return GrowthFit(
+        shape=shape, intercept=intercept, slope=slope, residual=residual
+    )
+
+
+def fit_growth(
+    xs: Sequence[float], ys: Sequence[float]
+) -> dict[str, GrowthFit]:
+    """Fit all canonical shapes; returns a dict keyed by shape name."""
+    require(len(xs) == len(ys), "xs and ys must have equal length")
+    require(len(xs) >= 3, "need at least three points to compare shapes")
+    require(all(x > 0 for x in xs), "xs must be positive")
+    return {shape: _least_squares(xs, ys, shape) for shape in _BASES}
+
+
+def best_shape(xs: Sequence[float], ys: Sequence[float]) -> str:
+    """The canonical shape with the smallest residual.
+
+    Ties (within 1e-12) break toward the *simpler* shape in the order
+    constant < logarithmic < linear, so flat series are called constant
+    even though the other models can represent them too.
+    """
+    fits = fit_growth(xs, ys)
+    order = ["constant", "logarithmic", "linear"]
+    best = order[0]
+    for shape in order[1:]:
+        if fits[shape].residual < fits[best].residual - 1e-12:
+            best = shape
+    return best
+
+
+def grows_sublinearly(xs: Sequence[float], ys: Sequence[float]) -> bool:
+    """Whether the series is better explained by log/constant than linear.
+
+    The benchmarks' 'this is O(log K), not Theta(K)' check: true when the
+    linear fit is not the strictly best model.
+    """
+    return best_shape(xs, ys) != "linear"

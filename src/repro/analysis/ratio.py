@@ -1,0 +1,73 @@
+"""Competitive-ratio measurement utilities.
+
+Definitions 2.1/2.2 compare online cost against the offline optimum; the
+experiments measure that ratio over seeded workloads.  Randomized
+algorithms are measured in expectation (Section 2.1), so
+:func:`expected_ratio` averages over independent coin-flip seeds while
+holding the instance fixed.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.results import OptBounds
+
+
+@dataclass(frozen=True, slots=True)
+class RatioSummary:
+    """Aggregate of ratio measurements over seeds or instances."""
+
+    mean: float
+    maximum: float
+    minimum: float
+    stdev: float
+    count: int
+
+    @classmethod
+    def of(cls, ratios: Sequence[float]) -> "RatioSummary":
+        """Summarise a non-empty sequence of ratios."""
+        values = list(ratios)
+        return cls(
+            mean=statistics.fmean(values),
+            maximum=max(values),
+            minimum=min(values),
+            stdev=statistics.stdev(values) if len(values) > 1 else 0.0,
+            count=len(values),
+        )
+
+
+def ratio_of(online_cost: float, opt: OptBounds | float) -> float:
+    """Conservative competitive ratio: online cost over the OPT lower bound."""
+    lower = opt.lower if isinstance(opt, OptBounds) else float(opt)
+    if lower <= 0:
+        return float("inf") if online_cost > 0 else 1.0
+    return online_cost / lower
+
+
+def expected_ratio(
+    run_with_seed: Callable[[int], float],
+    opt: OptBounds | float,
+    seeds: Sequence[int],
+) -> RatioSummary:
+    """Expected ratio of a randomized algorithm on one fixed instance.
+
+    Args:
+        run_with_seed: runs the algorithm with the given coin seed and
+            returns its cost.
+        opt: the instance's offline optimum (or bounds).
+        seeds: independent seeds; 20+ give stable means for the
+            logarithmic-factor experiments.
+    """
+    return RatioSummary.of(
+        [ratio_of(run_with_seed(seed), opt) for seed in seeds]
+    )
+
+
+def ratios_over_instances(
+    runs: Sequence[tuple[float, OptBounds | float]]
+) -> RatioSummary:
+    """Summarise ``(online cost, opt)`` pairs across different instances."""
+    return RatioSummary.of([ratio_of(cost, opt) for cost, opt in runs])

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment output.
+
+Benchmarks print the same rows the thesis' theorems predict; a small
+formatter keeps that output aligned and dependency-free.  Numbers are
+rendered with sensible precision, everything else with ``str``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render rows as an aligned ASCII table (one string, no trailing \\n)."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[col]) for row in rendered))
+        if rendered
+        else len(header)
+        for col, header in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(headers, rows, title=title))

@@ -1,0 +1,142 @@
+"""Structured feasibility verification for every problem family.
+
+Each verifier re-checks an online (or offline) solution against the raw
+model semantics — independent of the algorithm's own bookkeeping — and
+returns a :class:`VerificationReport` listing any unserved demands.  Tests
+and benchmarks call these after every run; a silent infeasibility would
+make every measured ratio meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.lease import Lease
+from ..deadlines.model import OLDInstance
+from ..deadlines.scld import SCLDInstance
+from ..facility.model import Connection, FacilityLeasingInstance
+from ..parking.model import ParkingPermitInstance
+from ..setcover.model import SetMulticoverLeasingInstance
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of a feasibility check.
+
+    Attributes:
+        ok: whether every demand is served.
+        failures: human-readable description of each unserved demand.
+        checked: number of demands examined.
+    """
+
+    ok: bool
+    failures: tuple[str, ...] = field(default_factory=tuple)
+    checked: int = 0
+
+    def raise_if_failed(self) -> None:
+        """Raise ``AssertionError`` with the failure list when not ok."""
+        if not self.ok:
+            raise AssertionError(
+                f"{len(self.failures)} of {self.checked} demands unserved: "
+                + "; ".join(self.failures[:5])
+            )
+
+
+def verify_parking(
+    instance: ParkingPermitInstance, leases: list[Lease]
+) -> VerificationReport:
+    """Every rainy day covered by some lease."""
+    failures = [
+        f"day {day} uncovered"
+        for day in instance.rainy_days
+        if not any(lease.covers(day) for lease in leases)
+    ]
+    return VerificationReport(
+        ok=not failures,
+        failures=tuple(failures),
+        checked=len(instance.rainy_days),
+    )
+
+
+def verify_multicover(
+    instance: SetMulticoverLeasingInstance, leases: list[Lease]
+) -> VerificationReport:
+    """Every demand covered by enough *distinct* leased sets."""
+    failures = []
+    for demand in instance.demands:
+        got = len(instance.covering_sets(leases, demand))
+        if got < demand.coverage:
+            failures.append(
+                f"element {demand.element}@{demand.arrival} has {got} of "
+                f"{demand.coverage} sets"
+            )
+    return VerificationReport(
+        ok=not failures,
+        failures=tuple(failures),
+        checked=len(instance.demands),
+    )
+
+
+def verify_facility(
+    instance: FacilityLeasingInstance,
+    leases: list[Lease],
+    connections: list[Connection],
+) -> VerificationReport:
+    """Every client connected to a facility leased at its arrival step."""
+    by_client = {connection.client: connection for connection in connections}
+    failures = []
+    for client in instance.clients:
+        connection = by_client.get(client.ident)
+        if connection is None:
+            failures.append(f"client {client.ident} never connected")
+            continue
+        if not any(
+            lease.resource == connection.facility
+            and lease.covers(client.arrival)
+            for lease in leases
+        ):
+            failures.append(
+                f"client {client.ident} connected to facility "
+                f"{connection.facility} with no active lease at "
+                f"{client.arrival}"
+            )
+    return VerificationReport(
+        ok=not failures,
+        failures=tuple(failures),
+        checked=len(instance.clients),
+    )
+
+
+def verify_old(
+    instance: OLDInstance, leases: list[Lease]
+) -> VerificationReport:
+    """Every client's interval met by some lease."""
+    failures = [
+        f"client ({client.arrival},{client.slack}) unserved"
+        for client in instance.clients
+        if not any(
+            lease.intersects(client.arrival, client.deadline)
+            for lease in leases
+        )
+    ]
+    return VerificationReport(
+        ok=not failures,
+        failures=tuple(failures),
+        checked=len(instance.clients),
+    )
+
+
+def verify_scld(
+    instance: SCLDInstance, leases: list[Lease]
+) -> VerificationReport:
+    """Every deadline element served by a containing leased set."""
+    failures = [
+        f"element {demand.element}@{demand.arrival}+{demand.slack} unserved"
+        for demand in instance.demands
+        if not instance.is_served(leases, demand)
+    ]
+    return VerificationReport(
+        ok=not failures,
+        failures=tuple(failures),
+        checked=len(instance.demands),
+    )

@@ -1,0 +1,212 @@
+"""Command-line interface: run leasing demos without writing code.
+
+``python -m repro <problem> [options]`` generates a seeded workload, runs
+the problem's online algorithm against its offline baseline, verifies
+feasibility, and prints the comparison table — the same pipeline the
+examples script, condensed to one command.
+
+Subcommands::
+
+    python -m repro parking  --num-types 4 --horizon 200 --seed 7
+    python -m repro setcover --elements 20 --sets 10 --demands 30
+    python -m repro facility --facilities 4 --steps 8 --per-step 2
+    python -m repro old      --horizon 120 --max-slack 6
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .analysis import print_table, verify_facility, verify_multicover
+from .analysis import verify_old, verify_parking
+from .core import LeaseSchedule, run_online
+from .deadlines import make_old_instance, optimal_dp, run_old
+from .facility import make_instance as make_facility_instance
+from .facility import optimum as facility_optimum
+from .facility import run_facility_leasing
+from .parking import (
+    DeterministicParkingPermit,
+    RandomizedParkingPermit,
+    make_instance,
+    optimal_interval,
+)
+from .setcover import (
+    OnlineSetMulticoverLeasing,
+    optimum as setcover_optimum,
+    random_instance,
+)
+from .workloads import (
+    constant_batches,
+    deadline_arrivals,
+    make_rng,
+    markov_days,
+)
+
+
+def _schedule(args) -> LeaseSchedule:
+    return LeaseSchedule.power_of_two(
+        args.num_types, cost_growth=args.cost_growth
+    )
+
+
+def cmd_parking(args) -> int:
+    schedule = _schedule(args)
+    days = markov_days(args.horizon, 0.1, 0.8, make_rng(args.seed))
+    instance = make_instance(schedule, days)
+    deterministic = DeterministicParkingPermit(schedule)
+    run_online(deterministic, instance.rainy_days)
+    verify_parking(instance, list(deterministic.leases)).raise_if_failed()
+    randomized = RandomizedParkingPermit(schedule, seed=args.seed)
+    run_online(randomized, instance.rainy_days)
+    verify_parking(instance, list(randomized.leases)).raise_if_failed()
+    opt = optimal_interval(instance).cost
+    print_table(
+        ["algorithm", "cost", "ratio", "bound"],
+        [
+            ["deterministic (Alg 1)", deterministic.cost,
+             deterministic.cost / opt, schedule.num_types],
+            ["randomized (Alg 2)", randomized.cost,
+             randomized.cost / opt, ""],
+            ["offline optimum", opt, 1.0, ""],
+        ],
+        title=f"parking permit: {instance.num_days} rainy days, "
+        f"K={schedule.num_types}",
+    )
+    return 0
+
+
+def cmd_setcover(args) -> int:
+    schedule = _schedule(args)
+    instance = random_instance(
+        num_elements=args.elements,
+        num_sets=args.sets,
+        memberships=min(3, args.sets),
+        schedule=schedule,
+        horizon=args.horizon,
+        num_demands=args.demands,
+        rng=make_rng(args.seed),
+        max_coverage=2,
+    )
+    algorithm = OnlineSetMulticoverLeasing(instance, seed=args.seed)
+    run_online(algorithm, instance.demands)
+    verify_multicover(instance, list(algorithm.leases)).raise_if_failed()
+    opt = setcover_optimum(instance)
+    print_table(
+        ["algorithm", "cost", "ratio"],
+        [
+            ["randomized online (Alg 3+4)", algorithm.cost,
+             algorithm.cost / opt.lower],
+            [f"offline optimum ({opt.method})", opt.lower, 1.0],
+        ],
+        title=f"set multicover leasing: n={args.elements}, m={args.sets}, "
+        f"{args.demands} demands",
+    )
+    return 0
+
+
+def cmd_facility(args) -> int:
+    schedule = _schedule(args)
+    instance = make_facility_instance(
+        schedule,
+        num_facilities=args.facilities,
+        batch_sizes=constant_batches(args.steps, args.per_step),
+        rng=make_rng(args.seed),
+    )
+    algorithm = run_facility_leasing(instance)
+    verify_facility(
+        instance, list(algorithm.leases), algorithm.connections
+    ).raise_if_failed()
+    opt = facility_optimum(instance)
+    print_table(
+        ["algorithm", "leasing", "connection", "total", "ratio"],
+        [
+            ["two-phase online (Ch. 4)", algorithm.leasing_cost,
+             algorithm.connection_cost, algorithm.cost,
+             algorithm.cost / opt.lower],
+            [f"offline optimum ({opt.method})", "", "", opt.lower, 1.0],
+        ],
+        title=f"facility leasing: {instance.num_clients} clients, "
+        f"{args.facilities} facilities",
+    )
+    return 0
+
+
+def cmd_old(args) -> int:
+    schedule = _schedule(args)
+    clients = deadline_arrivals(
+        args.horizon, 0.4, max_slack=args.max_slack, rng=make_rng(args.seed)
+    )
+    instance = make_old_instance(schedule, clients).normalized()
+    algorithm = run_old(instance)
+    verify_old(instance, list(algorithm.leases)).raise_if_failed()
+    opt = optimal_dp(instance)
+    print_table(
+        ["algorithm", "cost", "ratio", "bound"],
+        [
+            ["primal-dual online (Ch. 5)", algorithm.cost,
+             algorithm.cost / opt if opt else 1.0,
+             2 * schedule.num_types
+             + instance.dmax / schedule.lmin + 2],
+            ["offline optimum (DP)", opt, 1.0, ""],
+        ],
+        title=f"leasing with deadlines: {len(instance.clients)} clients, "
+        f"dmax={instance.dmax}",
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--num-types", type=int, default=4,
+                        help="number of lease types K")
+    common.add_argument("--cost-growth", type=float, default=1.7,
+                        help="cost multiplier per length doubling")
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Online Resource Leasing reproduction — demo runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    parking = sub.add_parser(
+        "parking", help="parking permit (Ch. 2)", parents=[common]
+    )
+    parking.add_argument("--horizon", type=int, default=200)
+    parking.set_defaults(func=cmd_parking)
+
+    setcover = sub.add_parser(
+        "setcover", help="set multicover leasing (Ch. 3)", parents=[common]
+    )
+    setcover.add_argument("--elements", type=int, default=20)
+    setcover.add_argument("--sets", type=int, default=10)
+    setcover.add_argument("--demands", type=int, default=30)
+    setcover.add_argument("--horizon", type=int, default=40)
+    setcover.set_defaults(func=cmd_setcover)
+
+    facility = sub.add_parser(
+        "facility", help="facility leasing (Ch. 4)", parents=[common]
+    )
+    facility.add_argument("--facilities", type=int, default=4)
+    facility.add_argument("--steps", type=int, default=8)
+    facility.add_argument("--per-step", type=int, default=2)
+    facility.set_defaults(func=cmd_facility)
+
+    old = sub.add_parser(
+        "old", help="leasing with deadlines (Ch. 5)", parents=[common]
+    )
+    old.add_argument("--horizon", type=int, default=120)
+    old.add_argument("--max-slack", type=int, default=6)
+    old.set_defaults(func=cmd_old)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Core leasing substrate: lease types, interval model, stores, framework.
+
+This package holds everything the four problem families (parking permit,
+set multicover leasing, facility leasing, leasing with deadlines) share:
+the lease-schedule model of Section 2.2.1, the interval model and Lemma 2.6
+reduction, purchased-lease bookkeeping, cost accounting, the Section 2.3
+leasing framework, and the online-run driver.
+"""
+
+from .cost import Charge, CostLedger
+from .framework import (
+    Demand,
+    OnlineLeasingAlgorithm,
+    buy_forever_schedule,
+    candidate_triples,
+    infrastructure_lease,
+)
+from .interval_model import (
+    IntervalModelReduction,
+    ReductionResult,
+    general_to_interval_cover,
+    next_power_of_two,
+    round_schedule,
+    to_general_solution,
+)
+from .lease import Lease, LeaseSchedule, LeaseType
+from .results import OptBounds, RatioReport, RunResult
+from .store import LeaseStore
+from .timeline import replay_prefixes, run_online
+
+__all__ = [
+    "Charge",
+    "CostLedger",
+    "Demand",
+    "IntervalModelReduction",
+    "Lease",
+    "LeaseSchedule",
+    "LeaseStore",
+    "LeaseType",
+    "OnlineLeasingAlgorithm",
+    "OptBounds",
+    "RatioReport",
+    "ReductionResult",
+    "RunResult",
+    "buy_forever_schedule",
+    "candidate_triples",
+    "general_to_interval_cover",
+    "infrastructure_lease",
+    "next_power_of_two",
+    "replay_prefixes",
+    "round_schedule",
+    "run_online",
+    "to_general_solution",
+]

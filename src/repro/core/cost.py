@@ -1,0 +1,74 @@
+"""Categorised cost accounting for online runs.
+
+Facility leasing splits its objective into *leasing* plus *connection*
+costs; the other problems only lease.  :class:`CostLedger` records every
+charge with a category and the simulation day it was incurred, so
+experiments can report cost decompositions and cost-over-time curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Charge:
+    """One recorded expense: ``amount`` in ``category`` at day ``time``."""
+
+    time: int
+    category: str
+    amount: float
+    note: str = ""
+
+
+@dataclass
+class CostLedger:
+    """Append-only list of charges with per-category totals."""
+
+    charges: list[Charge] = field(default_factory=list)
+
+    def add(
+        self, time: int, category: str, amount: float, note: str = ""
+    ) -> None:
+        """Record a charge of ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"charges must be non-negative, got {amount}")
+        self.charges.append(Charge(time, category, amount, note))
+
+    @property
+    def total(self) -> float:
+        """Sum of all charges across categories."""
+        return sum(charge.amount for charge in self.charges)
+
+    def total_for(self, category: str) -> float:
+        """Sum of charges recorded under ``category``."""
+        return sum(
+            charge.amount
+            for charge in self.charges
+            if charge.category == category
+        )
+
+    def by_category(self) -> dict[str, float]:
+        """Totals keyed by category name."""
+        totals: dict[str, float] = {}
+        for charge in self.charges:
+            totals[charge.category] = (
+                totals.get(charge.category, 0.0) + charge.amount
+            )
+        return totals
+
+    def cumulative_by_day(self) -> list[tuple[int, float]]:
+        """Running total after each day with at least one charge.
+
+        Returns ``(day, cumulative_total)`` pairs sorted by day — the
+        cost-over-time curve used in the example scripts.
+        """
+        per_day: dict[int, float] = {}
+        for charge in self.charges:
+            per_day[charge.time] = per_day.get(charge.time, 0.0) + charge.amount
+        running = 0.0
+        curve: list[tuple[int, float]] = []
+        for day in sorted(per_day):
+            running += per_day[day]
+            curve.append((day, running))
+        return curve

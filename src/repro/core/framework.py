@@ -1,0 +1,115 @@
+"""The leasing framework of thesis Section 2.3.
+
+The framework transforms any online problem with a *temporal covering
+aspect* — demands arrive over time and are covered by bought infrastructure
+elements — into its leasing variant: instead of buying element ``i``
+forever at cost ``c_i``, one leases ``(i, k, t)`` for lease type ``k`` at
+cost ``c_{ik}``, covering demands only during ``[t, t + l_k)``.
+
+Setting ``K = 1`` with a single lease long enough to span the whole
+horizon recovers the original non-leasing problem; :func:`buy_forever_schedule`
+builds exactly that degenerate schedule, which is how the library realises
+the special cases ``OnlineSetMulticover`` (Corollary 3.4) and
+``OnlineSetCoverWithRepetitions`` (Corollary 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from .._validation import require_nonnegative_int, require_positive_int
+from .lease import Lease, LeaseSchedule
+
+
+@dataclass(frozen=True, slots=True)
+class Demand:
+    """A demand ``(j, t)``: identity ``j`` arriving at day ``t``."""
+
+    ident: int
+    arrival: int
+
+    def __post_init__(self) -> None:
+        require_nonnegative_int(self.arrival, "Demand.arrival")
+
+
+@runtime_checkable
+class OnlineLeasingAlgorithm(Protocol):
+    """Interface every online algorithm in the library implements.
+
+    An algorithm consumes demands one at a time through ``on_demand`` and
+    exposes its irrevocable purchases through ``leases`` and their total
+    through ``cost``.  Demand signatures vary per problem (a day, an
+    element with a coverage requirement, a batch of clients, ...), hence
+    the permissive ``*args``.
+    """
+
+    def on_demand(self, *args, **kwargs) -> None:
+        """Serve the next demand, possibly buying new leases."""
+        ...
+
+    @property
+    def cost(self) -> float:
+        """Total cost of all purchases so far."""
+        ...
+
+    @property
+    def leases(self) -> tuple[Lease, ...]:
+        """All purchased leases so far."""
+        ...
+
+
+def buy_forever_schedule(horizon: int, cost: float) -> LeaseSchedule:
+    """The degenerate ``K = 1`` schedule realising the non-leasing problem.
+
+    One lease type whose length is a power of two at least ``horizon``
+    (so a single aligned window spans the entire run) at the given cost.
+    Feeding this schedule to a leasing algorithm turns it into the
+    corresponding classical online algorithm, per Section 2.3.
+    """
+    require_positive_int(horizon, "horizon")
+    length = 1
+    while length < horizon:
+        length *= 2
+    return LeaseSchedule.from_pairs([(length, cost)])
+
+
+def infrastructure_lease(
+    schedule: LeaseSchedule, resource: int, type_index: int, t: int, cost: float
+) -> Lease:
+    """The aligned lease triple ``(i, k, t')`` of ``resource`` covering day ``t``.
+
+    The interval model guarantees exactly one window per ``(resource, k)``
+    covers any day; this helper materialises it with a per-resource cost
+    override (``c_{ik}`` instead of the schedule default ``c_k``).
+    """
+    lease_type = schedule[type_index]
+    return Lease(
+        resource=resource,
+        type_index=type_index,
+        start=lease_type.aligned_start(t),
+        length=lease_type.length,
+        cost=cost,
+    )
+
+
+def candidate_triples(
+    schedule: LeaseSchedule,
+    resources: list[int],
+    t: int,
+    cost_of,
+) -> list[Lease]:
+    """All candidate triples ``(i, k, window covering t)`` for the resources.
+
+    ``cost_of(resource, type_index)`` supplies the per-resource lease cost
+    ``c_{ik}``.  This is the common candidate enumeration used by the set
+    cover and facility algorithms: ``|candidates| = K * len(resources)``.
+    """
+    return [
+        infrastructure_lease(
+            schedule, resource, lease_type.index, t,
+            cost_of(resource, lease_type.index),
+        )
+        for resource in resources
+        for lease_type in schedule
+    ]

@@ -1,0 +1,208 @@
+"""The interval model and the Lemma 2.6 reduction (thesis Section 2.2.1).
+
+Meyerson's *interval model* simplifies the general leasing model in two
+ways: lease lengths are powers of two, and leases of the same type start
+only at multiples of their length (so same-type windows tile the timeline
+without overlapping).  Lemma 2.6 shows the simplification is almost free:
+
+    Any c-competitive algorithm for the interval model yields a
+    4c-competitive algorithm for the original model.
+
+The factor 4 decomposes into two factors of 2:
+
+* *Forward* (algorithm side): each interval-model lease of rounded length
+  ``2^ceil(log2 l_k)`` is replaced by **two consecutive** original leases of
+  type ``k`` — covering at least the same window at twice the cost.
+* *Backward* (optimum side): each original lease of an optimal solution is
+  covered by **two aligned** interval-model windows, so the interval-model
+  optimum is at most twice the general-model optimum.
+
+This module implements both directions so the factor can be verified
+empirically (experiment E5) and so every algorithm in the library can be
+run against *arbitrary* lease schedules via :class:`IntervalModelReduction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require
+from .lease import Lease, LeaseSchedule, LeaseType
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``>= n`` (``n >= 1``)."""
+    require(n >= 1, f"next_power_of_two requires n >= 1, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def round_schedule(schedule: LeaseSchedule) -> LeaseSchedule:
+    """Round every lease length up to the next power of two (Lemma 2.6).
+
+    Costs are unchanged.  If two original types round to the same power of
+    two, the cheaper one is kept (the longer-but-equal-length duplicate can
+    never help).
+    """
+    best_cost_by_length: dict[int, float] = {}
+    original_type_by_length: dict[int, int] = {}
+    for lease_type in schedule:
+        rounded = next_power_of_two(lease_type.length)
+        if (
+            rounded not in best_cost_by_length
+            or lease_type.cost < best_cost_by_length[rounded]
+        ):
+            best_cost_by_length[rounded] = lease_type.cost
+            original_type_by_length[rounded] = lease_type.index
+    pairs = sorted(best_cost_by_length.items())
+    rounded_schedule = LeaseSchedule.from_pairs(pairs)
+    # Remember which original type each rounded type came from, for the
+    # forward translation of purchases.
+    rounded_schedule.original_type_of = tuple(  # type: ignore[attr-defined]
+        original_type_by_length[length] for length, _ in pairs
+    )
+    return rounded_schedule
+
+
+@dataclass(frozen=True, slots=True)
+class ReductionResult:
+    """Outcome of translating an interval-model solution back (Lemma 2.6).
+
+    Attributes:
+        interval_leases: leases bought by the interval-model algorithm.
+        general_leases: the doubled general-model leases implementing them.
+        interval_cost: total cost in the interval model.
+        general_cost: total cost after translation (exactly twice
+            ``interval_cost`` by construction).
+    """
+
+    interval_leases: tuple[Lease, ...]
+    general_leases: tuple[Lease, ...]
+    interval_cost: float
+    general_cost: float
+
+
+def to_general_solution(
+    schedule: LeaseSchedule,
+    rounded: LeaseSchedule,
+    interval_leases: list[Lease],
+) -> ReductionResult:
+    """Translate interval-model purchases into general-model purchases.
+
+    For each interval-model lease of rounded type ``k'`` bought at ``t``,
+    buy two consecutive general leases of the originating type ``k`` at
+    ``t`` and ``t + l_k``; since ``2 * l_k >= 2^ceil(log2 l_k)``, the pair
+    covers the whole rounded window (Lemma 2.6 forward direction).
+    """
+    original_of = getattr(rounded, "original_type_of", None)
+    require(
+        original_of is not None,
+        "rounded schedule must come from round_schedule()",
+    )
+    general: list[Lease] = []
+    for lease in interval_leases:
+        origin: LeaseType = schedule[original_of[lease.type_index]]
+        for offset in (0, origin.length):
+            general.append(
+                Lease(
+                    resource=lease.resource,
+                    type_index=origin.index,
+                    start=lease.start + offset,
+                    length=origin.length,
+                    cost=origin.cost,
+                )
+            )
+    interval_cost = sum(lease.cost for lease in interval_leases)
+    general_cost = sum(lease.cost for lease in general)
+    return ReductionResult(
+        interval_leases=tuple(interval_leases),
+        general_leases=tuple(general),
+        interval_cost=interval_cost,
+        general_cost=general_cost,
+    )
+
+
+def general_to_interval_cover(
+    schedule: LeaseSchedule,
+    rounded: LeaseSchedule,
+    general_leases: list[Lease],
+) -> list[Lease]:
+    """Cover a general-model solution by aligned interval-model windows.
+
+    Lemma 2.6 backward direction: a general lease of type ``k`` at time
+    ``t`` is covered by the two aligned rounded windows starting at
+    ``floor(t / l'_k) * l'_k`` and the following one.  The result witnesses
+    ``OPT_interval <= 2 * OPT_general``.
+    """
+    original_of = getattr(rounded, "original_type_of", None)
+    require(
+        original_of is not None,
+        "rounded schedule must come from round_schedule()",
+    )
+    rounded_index_of_original = {
+        original: rounded_index
+        for rounded_index, original in enumerate(original_of)
+    }
+    cover: dict[tuple[int, int, int], Lease] = {}
+    for lease in general_leases:
+        rounded_index = rounded_index_of_original.get(lease.type_index)
+        if rounded_index is None:
+            # The original type was shadowed by a cheaper same-length type
+            # during rounding; use the window of the same rounded length.
+            rounded_index = next(
+                t.index
+                for t in rounded
+                if t.length >= next_power_of_two(lease.length)
+            )
+        window_type = rounded[rounded_index]
+        first_start = window_type.aligned_start(lease.start)
+        for start in (first_start, first_start + window_type.length):
+            candidate = Lease(
+                resource=lease.resource,
+                type_index=window_type.index,
+                start=start,
+                length=window_type.length,
+                cost=window_type.cost,
+            )
+            cover[candidate.key] = candidate
+    return list(cover.values())
+
+
+class IntervalModelReduction:
+    """Run an interval-model online algorithm on a general-model schedule.
+
+    Wraps an algorithm factory so that demands are fed to the algorithm
+    under the rounded schedule, while the reported solution/cost are the
+    Lemma 2.6 translated general-model purchases (twice the interval cost).
+
+    Args:
+        schedule: the general-model lease schedule.
+        algorithm_factory: callable taking a :class:`LeaseSchedule` (the
+            rounded one) and returning an online algorithm exposing
+            ``on_demand`` and ``leases`` / ``cost``.
+    """
+
+    def __init__(self, schedule: LeaseSchedule, algorithm_factory):
+        self.schedule = schedule
+        self.rounded = round_schedule(schedule)
+        self.algorithm = algorithm_factory(self.rounded)
+
+    def on_demand(self, *args, **kwargs) -> None:
+        """Forward a demand to the wrapped interval-model algorithm."""
+        self.algorithm.on_demand(*args, **kwargs)
+
+    @property
+    def result(self) -> ReductionResult:
+        """The translated general-model solution so far."""
+        return to_general_solution(
+            self.schedule, self.rounded, list(self.algorithm.leases)
+        )
+
+    @property
+    def cost(self) -> float:
+        """General-model cost so far (twice the interval-model cost)."""
+        return self.result.general_cost
+
+    @property
+    def leases(self) -> tuple[Lease, ...]:
+        """General-model leases implementing the interval-model solution."""
+        return self.result.general_leases

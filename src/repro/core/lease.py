@@ -1,0 +1,307 @@
+"""Lease types, lease schedules, and purchased leases (thesis Section 2.2.1).
+
+The leasing model of Meyerson (and of the whole thesis) is parameterised by
+``K`` *lease types*.  Lease type ``k`` has an integer *length* ``l_k`` and a
+*cost* ``c_k``; buying a lease of type ``k`` at time ``t`` covers the
+half-open window ``[t, t + l_k)``.  Longer leases typically cost less per
+unit time (economies of scale), but the model does not require it.
+
+Three classes live here:
+
+* :class:`LeaseType` — one ``(length, cost)`` pair, with its index ``k``.
+* :class:`LeaseSchedule` — the ordered collection of all ``K`` types, plus
+  derived quantities (``l_min``, ``l_max``) and interval-model helpers.
+* :class:`Lease` — a concrete purchase: a type instantiated at a start time.
+
+Per-resource cost overrides (a set ``S`` costing ``c_{Sk}``, a facility ``i``
+costing ``c_{ik}``) are layered on top by the problem models; the schedule
+only carries lease *lengths* plus default costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .._validation import (
+    require,
+    require_nonnegative_int,
+    require_positive_int,
+    require_positive_number,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseType:
+    """A single lease type ``k``: length ``l_k`` days at cost ``c_k``.
+
+    Attributes:
+        index: zero-based type index ``k`` within its schedule.
+        length: lease duration ``l_k`` in days (``>= 1``).
+        cost: purchase cost ``c_k`` (``> 0``).
+    """
+
+    index: int
+    length: int
+    cost: float
+
+    def __post_init__(self) -> None:
+        require_nonnegative_int(self.index, "LeaseType.index")
+        require_positive_int(self.length, "LeaseType.length")
+        require_positive_number(self.cost, "LeaseType.cost")
+
+    @property
+    def cost_per_day(self) -> float:
+        """Cost per unit time, ``c_k / l_k``."""
+        return self.cost / self.length
+
+    def aligned_start(self, t: int) -> int:
+        """Start of the unique interval-model window of this type covering ``t``.
+
+        In the interval model (Definition 2.5) leases of type ``k`` start
+        only at multiples of ``l_k``, so the window covering day ``t`` starts
+        at ``(t // l_k) * l_k``.
+        """
+        return (t // self.length) * self.length
+
+
+@dataclass(frozen=True, slots=True)
+class Lease:
+    """A concrete lease purchase: type ``k`` starting at day ``start``.
+
+    Covers the half-open window ``[start, start + length)``.  ``resource``
+    identifies the leased infrastructure element (set index, facility index,
+    ...); single-resource problems such as the parking permit problem use
+    ``resource=0``.
+    """
+
+    resource: int
+    type_index: int
+    start: int
+    length: int
+    cost: float
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.length, "Lease.length")
+
+    @property
+    def end(self) -> int:
+        """First day *not* covered by the lease (exclusive end)."""
+        return self.start + self.length
+
+    def covers(self, t: int) -> bool:
+        """Whether day ``t`` falls inside ``[start, end)``."""
+        return self.start <= t < self.end
+
+    def intersects(self, first: int, last: int) -> bool:
+        """Whether the lease window meets the *closed* interval ``[first, last]``."""
+        return self.start <= last and first < self.end
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        """Identity triple ``(resource, type_index, start)`` used for dedup."""
+        return (self.resource, self.type_index, self.start)
+
+
+class LeaseSchedule:
+    """The ordered collection of the ``K`` available lease types.
+
+    The schedule validates that lengths are strictly increasing (the
+    thesis indexes types by increasing duration) and exposes the derived
+    quantities used throughout the analysis: ``K``, ``l_min``, ``l_max``.
+
+    Args:
+        types: lease types in increasing length order.  Indices must be
+            ``0..K-1`` in order; use :meth:`from_pairs` to avoid writing
+            indices by hand.
+    """
+
+    def __init__(self, types: Sequence[LeaseType]):
+        types = tuple(types)
+        require(len(types) > 0, "LeaseSchedule needs at least one lease type")
+        for position, lease_type in enumerate(types):
+            require(
+                lease_type.index == position,
+                f"LeaseType at position {position} has index {lease_type.index}; "
+                "use LeaseSchedule.from_pairs to assign indices automatically",
+            )
+        for shorter, longer in zip(types, types[1:]):
+            require(
+                shorter.length < longer.length,
+                "lease lengths must be strictly increasing, got "
+                f"{shorter.length} then {longer.length}",
+            )
+        self._types = types
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, float]]) -> "LeaseSchedule":
+        """Build a schedule from ``(length, cost)`` pairs in length order."""
+        types = [
+            LeaseType(index=k, length=length, cost=float(cost))
+            for k, (length, cost) in enumerate(pairs)
+        ]
+        return cls(types)
+
+    @classmethod
+    def power_of_two(
+        cls,
+        num_types: int,
+        base_cost: float = 1.0,
+        cost_growth: float = 1.8,
+    ) -> "LeaseSchedule":
+        """A canonical interval-model schedule: lengths ``1, 2, 4, ...``.
+
+        Costs grow by ``cost_growth`` per doubling of length, so with the
+        default ``1.8 < 2`` longer leases are cheaper per day — the
+        economies of scale the thesis motivates.
+        """
+        require_positive_int(num_types, "num_types")
+        require_positive_number(cost_growth, "cost_growth")
+        pairs = [
+            (2**k, base_cost * cost_growth**k) for k in range(num_types)
+        ]
+        return cls.from_pairs(pairs)
+
+    @classmethod
+    def meyerson_lower_bound(cls, num_types: int) -> "LeaseSchedule":
+        """The Theorem 2.8 adversarial schedule: ``c_k = 2^k``, ``l_k = (2K)^k``.
+
+        Lengths grow by a factor ``2K`` per type while costs only double, so
+        an online algorithm keeps facing the rent-or-buy dilemma at every
+        scale.  Used by the deterministic lower-bound experiment (E3).
+        """
+        require_positive_int(num_types, "num_types")
+        pairs = [
+            ((2 * num_types) ** k, float(2**k)) for k in range(num_types)
+        ]
+        return cls.from_pairs(pairs)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __iter__(self) -> Iterator[LeaseType]:
+        return iter(self._types)
+
+    def __getitem__(self, k: int) -> LeaseType:
+        return self._types[k]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LeaseSchedule):
+            return NotImplemented
+        return self._types == other._types
+
+    def __hash__(self) -> int:
+        return hash(self._types)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"({t.length}, {t.cost:g})" for t in self._types)
+        return f"LeaseSchedule([{pairs}])"
+
+    @property
+    def num_types(self) -> int:
+        """The number of lease types, ``K``."""
+        return len(self._types)
+
+    @property
+    def types(self) -> tuple[LeaseType, ...]:
+        """All lease types in increasing length order."""
+        return self._types
+
+    @property
+    def lmin(self) -> int:
+        """Shortest lease length ``l_min``."""
+        return self._types[0].length
+
+    @property
+    def lmax(self) -> int:
+        """Longest lease length ``l_max``."""
+        return self._types[-1].length
+
+    @property
+    def min_cost(self) -> float:
+        """Cheapest single-lease cost across all types."""
+        return min(t.cost for t in self._types)
+
+    # ------------------------------------------------------------------
+    # Structural predicates used by algorithms and tests
+    # ------------------------------------------------------------------
+    def is_power_of_two(self) -> bool:
+        """Whether every lease length is a power of two (Definition 2.5)."""
+        return all(t.length & (t.length - 1) == 0 for t in self._types)
+
+    def is_nested(self) -> bool:
+        """Whether each length divides the next (interval windows nest)."""
+        return all(
+            longer.length % shorter.length == 0
+            for shorter, longer in zip(self._types, self._types[1:])
+        )
+
+    def has_economies_of_scale(self) -> bool:
+        """Whether cost-per-day is non-increasing in the lease length."""
+        return all(
+            longer.cost_per_day <= shorter.cost_per_day + 1e-12
+            for shorter, longer in zip(self._types, self._types[1:])
+        )
+
+    # ------------------------------------------------------------------
+    # Window enumeration (interval model)
+    # ------------------------------------------------------------------
+    def windows_covering(self, t: int) -> list[Lease]:
+        """The ``K`` aligned windows covering day ``t`` (one per type).
+
+        In the interval model each day is covered by exactly one window per
+        lease type; these are the *candidates* of a client arriving at ``t``
+        (thesis Section 2.2.2).  ``resource`` is set to 0; callers re-key
+        for multi-resource problems.
+        """
+        return [
+            Lease(
+                resource=0,
+                type_index=lease_type.index,
+                start=lease_type.aligned_start(t),
+                length=lease_type.length,
+                cost=lease_type.cost,
+            )
+            for lease_type in self._types
+        ]
+
+    def windows_intersecting(self, first: int, last: int) -> list[Lease]:
+        """All aligned windows meeting the closed day interval ``[first, last]``.
+
+        Used by the deadline model (Chapter 5), where a client ``(t, d)``
+        may be served by any lease whose window intersects ``[t, t + d]``.
+        """
+        require(first <= last, f"empty interval [{first}, {last}]")
+        windows: list[Lease] = []
+        for lease_type in self._types:
+            start = lease_type.aligned_start(first)
+            while start <= last:
+                windows.append(
+                    Lease(
+                        resource=0,
+                        type_index=lease_type.index,
+                        start=start,
+                        length=lease_type.length,
+                        cost=lease_type.cost,
+                    )
+                )
+                start += lease_type.length
+        return windows
+
+    def max_windows_per_interval(self, interval_length: int) -> int:
+        """Upper bound on candidates per client interval of given length.
+
+        Mirrors the thesis bound ``sum_k ceil(d_max / l_k) <= K + d_max/l_min``
+        used in Theorem 5.3.
+        """
+        require_nonnegative_int(interval_length, "interval_length")
+        return sum(
+            math.ceil(interval_length / t.length) + 1 for t in self._types
+        )

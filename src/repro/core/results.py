@@ -1,0 +1,88 @@
+"""Result records produced by online runs and offline baselines.
+
+:class:`RunResult` captures what an online algorithm did on one instance;
+:class:`OptBounds` brackets the unknown offline optimum between a lower
+bound (LP relaxation or exact) and an upper bound (exact or heuristic);
+:class:`RatioReport` combines the two into the bracketed competitive ratio
+reported by every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .lease import Lease
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Outcome of one online run.
+
+    Attributes:
+        algorithm: human-readable algorithm name.
+        cost: total online cost (leasing + any connection costs).
+        leases: purchased leases in purchase order.
+        num_demands: demands served.
+        detail: free-form per-run extras (e.g. cost decomposition).
+    """
+
+    algorithm: str
+    cost: float
+    leases: tuple[Lease, ...]
+    num_demands: int
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class OptBounds:
+    """Bracket on the offline optimum: ``lower <= OPT <= upper``.
+
+    ``exact`` marks that both sides coincide (an exact solver ran).
+    """
+
+    lower: float
+    upper: float
+    exact: bool = False
+    method: str = ""
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper + 1e-9:
+            raise ValueError(
+                f"OPT lower bound {self.lower} exceeds upper bound {self.upper}"
+            )
+
+    @classmethod
+    def exactly(cls, value: float, method: str = "exact") -> "OptBounds":
+        """An exact optimum: both bounds equal ``value``."""
+        return cls(lower=value, upper=value, exact=True, method=method)
+
+
+@dataclass(frozen=True, slots=True)
+class RatioReport:
+    """Competitive ratio of one run, bracketed by the OPT bounds.
+
+    ``ratio_vs_upper <= true ratio <= ratio_vs_lower``; when the OPT is
+    exact the two coincide in :attr:`ratio`.
+    """
+
+    run: RunResult
+    opt: OptBounds
+
+    @property
+    def ratio_vs_lower(self) -> float:
+        """Online cost over the OPT *lower* bound (upper bound on ratio)."""
+        if self.opt.lower <= 0:
+            return float("inf") if self.run.cost > 0 else 1.0
+        return self.run.cost / self.opt.lower
+
+    @property
+    def ratio_vs_upper(self) -> float:
+        """Online cost over the OPT *upper* bound (lower bound on ratio)."""
+        if self.opt.upper <= 0:
+            return float("inf") if self.run.cost > 0 else 1.0
+        return self.run.cost / self.opt.upper
+
+    @property
+    def ratio(self) -> float:
+        """The exact ratio when OPT is exact, else the conservative bound."""
+        return self.ratio_vs_lower

@@ -1,0 +1,110 @@
+"""Purchased-lease bookkeeping shared by every online algorithm.
+
+:class:`LeaseStore` records which ``(resource, lease type, start)`` triples
+have been bought, answers coverage queries ("is resource ``r`` leased at
+day ``t``?"), and accumulates total cost.  Purchases are idempotent: buying
+the same triple twice is a no-op and costs nothing, matching the ILP
+formulations where each indicator variable is set to one at most once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .lease import Lease
+
+
+class LeaseStore:
+    """An append-only set of purchased leases with coverage queries.
+
+    The store is deliberately simple — a dict keyed by the lease identity
+    triple plus a per-resource index — because instance sizes in the
+    reproduction are simulation-scale (thousands of leases, not millions).
+    """
+
+    def __init__(self) -> None:
+        self._leases: dict[tuple[int, int, int], Lease] = {}
+        self._by_resource: dict[int, list[Lease]] = {}
+        self._total_cost = 0.0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def buy(self, lease: Lease) -> bool:
+        """Record a purchase; return ``True`` iff the lease is new.
+
+        Re-buying an identical triple is free (the indicator variable is
+        already one), so algorithms may call :meth:`buy` unconditionally.
+        """
+        if lease.key in self._leases:
+            return False
+        self._leases[lease.key] = lease
+        self._by_resource.setdefault(lease.resource, []).append(lease)
+        self._total_cost += lease.cost
+        return True
+
+    def buy_all(self, leases: Iterable[Lease]) -> int:
+        """Buy each lease in ``leases``; return how many were new."""
+        return sum(1 for lease in leases if self.buy(lease))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __iter__(self) -> Iterator[Lease]:
+        return iter(self._leases.values())
+
+    def __contains__(self, key: tuple[int, int, int]) -> bool:
+        return key in self._leases
+
+    @property
+    def total_cost(self) -> float:
+        """Sum of costs over all distinct purchased leases."""
+        return self._total_cost
+
+    @property
+    def leases(self) -> tuple[Lease, ...]:
+        """All purchased leases in purchase order."""
+        return tuple(self._leases.values())
+
+    def owns(self, resource: int, type_index: int, start: int) -> bool:
+        """Whether the exact triple has been purchased."""
+        return (resource, type_index, start) in self._leases
+
+    def covers(self, resource: int, t: int) -> bool:
+        """Whether some purchased lease of ``resource`` covers day ``t``."""
+        return any(
+            lease.covers(t) for lease in self._by_resource.get(resource, ())
+        )
+
+    def covering(self, resource: int, t: int) -> list[Lease]:
+        """All purchased leases of ``resource`` covering day ``t``."""
+        return [
+            lease
+            for lease in self._by_resource.get(resource, ())
+            if lease.covers(t)
+        ]
+
+    def covering_any_resource(self, t: int) -> list[Lease]:
+        """All purchased leases (any resource) covering day ``t``."""
+        return [lease for lease in self._leases.values() if lease.covers(t)]
+
+    def resources_covering(self, t: int) -> set[int]:
+        """Distinct resources with at least one active lease at day ``t``."""
+        return {
+            resource
+            for resource, leases in self._by_resource.items()
+            if any(lease.covers(t) for lease in leases)
+        }
+
+    def intersecting(
+        self, resource: int, first: int, last: int
+    ) -> list[Lease]:
+        """Leases of ``resource`` meeting the closed interval ``[first, last]``."""
+        return [
+            lease
+            for lease in self._by_resource.get(resource, ())
+            if lease.intersects(first, last)
+        ]

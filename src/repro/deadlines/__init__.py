@@ -1,0 +1,43 @@
+"""Leasing with flexible demands (thesis Chapter 5).
+
+The deadline extension of the leasing model: OLD (online leasing with
+deadlines, Theta(K + d_max/l_min)-competitive deterministic primal-dual,
+Theorem 5.3) with its tight example (Proposition 5.4), plus SCLD (set
+cover leasing with deadlines, Algorithm 5 / Theorem 5.7) whose ``d = 0``
+case improves SetCoverLeasing to a time-independent factor
+(Corollary 5.8).
+"""
+
+from .model import DeadlineClient, OLDInstance, make_old_instance
+from .old_offline import (
+    OfflineOLDSolution,
+    optimal_dp,
+    optimal_leases,
+    optimum,
+)
+from .old_online import OnlineLeasingWithDeadlines, run_old
+from .scld import (
+    DeadlineElement,
+    OnlineSCLD,
+    SCLDInstance,
+    scld_from_setcover,
+)
+from .tight_example import expected_ratio_lower_bound, tight_example
+
+__all__ = [
+    "DeadlineClient",
+    "DeadlineElement",
+    "OLDInstance",
+    "OfflineOLDSolution",
+    "OnlineLeasingWithDeadlines",
+    "OnlineSCLD",
+    "SCLDInstance",
+    "expected_ratio_lower_bound",
+    "make_old_instance",
+    "optimal_dp",
+    "optimal_leases",
+    "optimum",
+    "run_old",
+    "scld_from_setcover",
+    "tight_example",
+]

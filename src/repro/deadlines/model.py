@@ -1,0 +1,150 @@
+"""Online leasing with deadlines — the OLD model (thesis Section 5.2).
+
+A client ``(t, d)`` arrives on day ``t`` and may be served on *any* day of
+its closed interval ``[t, t + d]``; serving means holding a lease that
+covers at least one day of the interval.  The model strictly generalises
+the parking permit problem (``d = 0`` everywhere) and splits into
+*uniform* OLD (all interval lengths equal — O(K)-competitive) and
+*non-uniform* OLD (Theta(K + d_max / l_min), Theorem 5.3).
+
+The thesis observes that only the client with the earliest deadline
+matters among same-day arrivals; :meth:`OLDInstance.normalized` performs
+that reduction so algorithms may assume at most one client per day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require, require_nonnegative_int
+from ..core.lease import Lease, LeaseSchedule
+from ..lp.model import CoveringProgram
+
+
+@dataclass(frozen=True, slots=True)
+class DeadlineClient:
+    """A client ``(t, d)``: arrival day ``t``, slack ``d``, interval [t, t+d]."""
+
+    arrival: int
+    slack: int
+
+    def __post_init__(self) -> None:
+        require_nonnegative_int(self.arrival, "arrival")
+        require_nonnegative_int(self.slack, "slack")
+
+    @property
+    def deadline(self) -> int:
+        """Last admissible service day, ``t + d``."""
+        return self.arrival + self.slack
+
+    def interval(self) -> tuple[int, int]:
+        """The closed service interval ``[t, t + d]``."""
+        return (self.arrival, self.deadline)
+
+
+@dataclass(frozen=True)
+class OLDInstance:
+    """An OLD instance: lease schedule plus deadline clients in arrival order."""
+
+    schedule: LeaseSchedule
+    clients: tuple[DeadlineClient, ...]
+
+    def __post_init__(self) -> None:
+        previous = None
+        for client in self.clients:
+            if previous is not None:
+                require(
+                    client.arrival >= previous,
+                    "clients must be sorted by arrival",
+                )
+            previous = client.arrival
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def dmax(self) -> int:
+        """Longest client slack (the thesis ``d_max``; 0 when empty)."""
+        return max((client.slack for client in self.clients), default=0)
+
+    @property
+    def dmin(self) -> int:
+        """Shortest client slack."""
+        return min((client.slack for client in self.clients), default=0)
+
+    def is_uniform(self) -> bool:
+        """Whether all clients share one interval length (uniform OLD)."""
+        slacks = {client.slack for client in self.clients}
+        return len(slacks) <= 1
+
+    def normalized(self) -> "OLDInstance":
+        """At most one client per day: keep the earliest deadline per day.
+
+        The kept interval ``[t, t + d_min]`` is contained in every dropped
+        same-day interval, so any lease serving the kept client also
+        serves the dropped ones — the reduction the thesis applies without
+        loss of generality in Section 5.2.
+        """
+        best: dict[int, int] = {}
+        for client in self.clients:
+            current = best.get(client.arrival)
+            if current is None or client.slack < current:
+                best[client.arrival] = client.slack
+        clients = tuple(
+            DeadlineClient(arrival=t, slack=best[t]) for t in sorted(best)
+        )
+        return OLDInstance(schedule=self.schedule, clients=clients)
+
+    # ------------------------------------------------------------------
+    # Candidates and verification
+    # ------------------------------------------------------------------
+    def candidates(self, client: DeadlineClient) -> list[Lease]:
+        """All windows intersecting the client's interval (its candidates)."""
+        return self.schedule.windows_intersecting(
+            client.arrival, client.deadline
+        )
+
+    def is_feasible_solution(self, leases: list[Lease]) -> bool:
+        """Whether every client's interval meets some purchased lease."""
+        return all(
+            any(
+                lease.intersects(client.arrival, client.deadline)
+                for lease in leases
+            )
+            for client in self.clients
+        )
+
+    def to_covering_program(self) -> CoveringProgram:
+        """The Figure 5.2 ILP over demand-relevant windows."""
+        program = CoveringProgram()
+        variable_of: dict[tuple[int, int], int] = {}
+        for client in self.clients:
+            terms: dict[int, float] = {}
+            for lease in self.candidates(client):
+                key = (lease.type_index, lease.start)
+                if key not in variable_of:
+                    variable_of[key] = program.add_variable(
+                        cost=lease.cost,
+                        name=f"x[k={lease.type_index},t={lease.start}]",
+                        payload=lease,
+                    )
+                terms[variable_of[key]] = 1.0
+            program.add_constraint(
+                terms,
+                rhs=1.0,
+                name=f"client[t={client.arrival},d={client.slack}]",
+            )
+        return program
+
+
+def make_old_instance(
+    schedule: LeaseSchedule, clients: list[tuple[int, int]]
+) -> OLDInstance:
+    """Build an OLD instance from ``(arrival, slack)`` pairs (sorted here)."""
+    return OLDInstance(
+        schedule=schedule,
+        clients=tuple(
+            DeadlineClient(arrival=t, slack=d)
+            for t, d in sorted(clients)
+        ),
+    )

@@ -1,0 +1,96 @@
+"""Exact offline baselines for OLD.
+
+The Figure 5.2 ILP is a covering program over demand-relevant windows, so
+:func:`optimum` reuses the shared solver stack.  :func:`optimal_dp` is an
+independent ``O(n * (K + d_max/l_min))`` exact dynamic program used to
+cross-check the ILP — two independent exact solvers guard each other in
+the property tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..core.lease import Lease
+from ..core.results import OptBounds
+from ..lp.solver import opt_bounds, solve_ilp
+from .model import OLDInstance
+
+
+@dataclass(frozen=True, slots=True)
+class OfflineOLDSolution:
+    """An exact offline solution for an OLD instance."""
+
+    cost: float
+    leases: tuple[Lease, ...]
+    method: str
+
+
+def optimum(
+    instance: OLDInstance, exact_variable_limit: int = 4_000
+) -> OptBounds:
+    """Bracket (or exactly solve) the Figure 5.2 ILP optimum."""
+    return opt_bounds(
+        instance.to_covering_program(),
+        exact_variable_limit=exact_variable_limit,
+    )
+
+
+def optimal_leases(instance: OLDInstance) -> OfflineOLDSolution:
+    """Exact optimum with the selected leases (small instances only)."""
+    program = instance.to_covering_program()
+    solution = solve_ilp(program)
+    leases = tuple(program.selected_payloads(list(solution.x)))
+    return OfflineOLDSolution(
+        cost=solution.value, leases=leases, method=solution.method
+    )
+
+
+def optimal_dp(instance: OLDInstance) -> float:
+    """Exact optimum by dynamic programming over arrival-sorted clients.
+
+    Correctness: consider the unserved client ``c*`` with the earliest
+    deadline.  Any feasible solution buys some window ``w`` intersecting
+    ``[c*.arrival, c*.deadline]``.  No other unserved client can lie
+    entirely to the left of ``w`` (its deadline would be below
+    ``w.start <= c*.deadline``, contradicting ``c*``'s minimality), so
+    after buying ``w`` the unserved clients are exactly those with
+    ``arrival >= w.end`` — an arrival-order suffix.  The state is
+    therefore the suffix start index; transitions enumerate the candidate
+    windows of the suffix's earliest-deadline client.
+    """
+    clients = sorted(
+        instance.clients,
+        key=lambda client: (client.arrival, client.deadline),
+    )
+    n = len(clients)
+    if n == 0:
+        return 0.0
+    arrivals = [client.arrival for client in clients]
+    schedule = instance.schedule
+
+    # suffix_min_deadline_index[i]: index of the earliest-deadline client
+    # among clients[i:].
+    suffix_best = [0] * n
+    best_index = n - 1
+    for i in range(n - 1, -1, -1):
+        if clients[i].deadline <= clients[best_index].deadline:
+            best_index = i
+        suffix_best[i] = best_index
+
+    @lru_cache(maxsize=None)
+    def best(start_index: int) -> float:
+        if start_index >= n:
+            return 0.0
+        target = clients[suffix_best[start_index]]
+        answer = float("inf")
+        for lease in schedule.windows_intersecting(
+            target.arrival, target.deadline
+        ):
+            next_index = bisect.bisect_left(arrivals, lease.end, lo=start_index)
+            answer = min(answer, lease.cost + best(next_index))
+        return answer
+
+    return best(0)

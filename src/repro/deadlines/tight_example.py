@@ -1,0 +1,57 @@
+"""The tight example of thesis Proposition 5.4 / Figure 5.3.
+
+Two lease types — short leases of length ``l_min`` and cost 1, one long
+lease of length ``2^ceil(log2 d_max)`` and cost ``1 + eps`` — and a client
+stream engineered so the primal-dual algorithm buys (nearly) every short
+lease while the optimum buys the single long one:
+
+* client ``(0, d_max)`` makes *all* short-lease constraints inside
+  ``[0, d_max]`` tight simultaneously (each sees only this client's dual);
+* clients ``((i-1) l_min, l_min)`` for ``i = 2..floor(d_max/l_min)`` then
+  each arrive to an already-tight short lease, forcing a purchase at zero
+  additional dual.
+
+The measured ratio approaches ``floor(d_max / l_min) / (1 + eps)``,
+demonstrating the ``Omega(d_max / l_min)`` term of Theorem 5.3 is real.
+"""
+
+from __future__ import annotations
+
+from .._validation import require, require_positive_int
+from ..core.interval_model import next_power_of_two
+from ..core.lease import LeaseSchedule
+from .model import DeadlineClient, OLDInstance
+
+
+def tight_example(
+    dmax: int, lmin: int = 1, epsilon: float = 0.01
+) -> OLDInstance:
+    """Build the Figure 5.3 instance.
+
+    Args:
+        dmax: the long client's slack; must exceed ``lmin`` so the two
+            lease lengths differ.
+        lmin: the short lease length.
+        epsilon: cost premium of the long lease over the short one.
+    """
+    require_positive_int(dmax, "dmax")
+    require_positive_int(lmin, "lmin")
+    require(epsilon > 0, "epsilon must be positive")
+    long_length = next_power_of_two(dmax + 1)
+    require(
+        long_length > lmin,
+        f"dmax {dmax} too small: long lease length {long_length} must "
+        f"exceed lmin {lmin}",
+    )
+    schedule = LeaseSchedule.from_pairs(
+        [(lmin, 1.0), (long_length, 1.0 + epsilon)]
+    )
+    clients = [DeadlineClient(arrival=0, slack=dmax)]
+    for i in range(2, dmax // lmin + 1):
+        clients.append(DeadlineClient(arrival=(i - 1) * lmin, slack=lmin))
+    return OLDInstance(schedule=schedule, clients=tuple(clients))
+
+
+def expected_ratio_lower_bound(dmax: int, lmin: int = 1) -> float:
+    """The ratio floor the construction is designed to force."""
+    return (dmax // lmin) / 1.0

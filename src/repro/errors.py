@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  The subclasses mirror
+the three ways a leasing computation can go wrong: the *model* is malformed
+(:class:`ModelError`), the *demand sequence* cannot be served
+(:class:`InfeasibleError`), or a *solver* could not complete
+(:class:`SolverError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A problem instance or lease schedule is malformed.
+
+    Raised during construction/validation, e.g. a lease with non-positive
+    length, a demand arriving at a negative time, or a multicover demand
+    requesting more distinct sets than exist.
+    """
+
+
+class InfeasibleError(ReproError):
+    """No feasible solution exists for the given demand sequence.
+
+    Online algorithms raise this when a demand cannot be served by any
+    infrastructure element (e.g. an element contained in no set), which is
+    an instance bug rather than an algorithmic failure.
+    """
+
+
+class SolverError(ReproError):
+    """An exact or LP solver failed to produce a solution.
+
+    Raised when the optional scipy backend is unavailable and the
+    pure-Python fallback exceeds its node budget, or when a solver reports
+    an unexpected status.
+    """

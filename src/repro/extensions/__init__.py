@@ -1,0 +1,30 @@
+"""Extensions realising the thesis' future-work outlooks.
+
+* :mod:`repro.extensions.capacitated` — capacitated facility leasing
+  (Section 4.5 outlook): per-step facility capacities, a capacity-aware
+  greedy online algorithm, and an exact MILP baseline.
+* :mod:`repro.extensions.forecast` — prediction-augmented parking permit
+  (Sections 3.5/5.6 outlook on stochastic demands): noisy clairvoyant
+  oracles, a follow-the-prediction policy, and a hedged variant with a
+  worst-case spending cap.
+"""
+
+from .capacitated import (
+    CapacitatedInstance,
+    OnlineCapacitatedFacilityLeasing,
+    optimal_ilp,
+)
+from .forecast import (
+    ForecastParkingPermit,
+    HedgedForecastParkingPermit,
+    NoisyOracle,
+)
+
+__all__ = [
+    "CapacitatedInstance",
+    "ForecastParkingPermit",
+    "HedgedForecastParkingPermit",
+    "NoisyOracle",
+    "OnlineCapacitatedFacilityLeasing",
+    "optimal_ilp",
+]

@@ -1,0 +1,154 @@
+"""Prediction-augmented leasing — the stochastic-demands outlook.
+
+Sections 3.5 and 5.6 both close with the same question: what if demands
+are not adversarial but "given according to some probability
+distribution" learnable from the past?  This module explores the modern
+framing — algorithms with (possibly erroneous) predictions — on the
+parking permit problem:
+
+* :class:`NoisyOracle` — sees the true future rainy days but flips each
+  day's forecast with an error probability, modelling a trained
+  predictor of tunable quality;
+* :class:`ForecastParkingPermit` — on each uncovered rainy day, buys the
+  lease type with the best *predicted* cost per served day;
+* :class:`HedgedForecastParkingPermit` — the same, but hedged: inside any
+  long-lease window it never spends more than ``hedge`` times what the
+  worst-case primal-dual algorithm would, restoring an O(hedge * K)
+  worst-case guarantee while keeping most of the prediction benefit
+  (consistency/robustness in the learning-augmented sense).
+
+The E15 benchmark sweeps the oracle's error rate: with perfect
+predictions the forecast policies approach OPT, and as errors grow the
+hedged variant degrades gracefully while the pure one does not.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .._validation import require
+from ..core.lease import Lease, LeaseSchedule
+from ..core.store import LeaseStore
+from ..parking.model import ParkingPermitInstance
+
+
+class NoisyOracle:
+    """A forecaster that knows the truth but errs per day.
+
+    Args:
+        instance: supplies the true rainy days.
+        error_rate: probability that any single day's forecast is flipped
+            (rainy <-> dry).  0 is clairvoyance; 0.5 is noise.
+        rng: seeded randomness; forecasts are drawn once per day and
+            memoised, so repeated queries are consistent.
+    """
+
+    def __init__(
+        self,
+        instance: ParkingPermitInstance,
+        error_rate: float,
+        rng: random.Random,
+    ):
+        require(0.0 <= error_rate <= 1.0, "error_rate must be in [0, 1]")
+        self._truth = set(instance.rainy_days)
+        self.error_rate = error_rate
+        self._rng = rng
+        self._memo: dict[int, bool] = {}
+
+    def predicts_rain(self, day: int) -> bool:
+        """The (possibly wrong) forecast for ``day``."""
+        if day not in self._memo:
+            truth = day in self._truth
+            flip = self._rng.random() < self.error_rate
+            self._memo[day] = truth != flip
+        return self._memo[day]
+
+    def predicted_rainy_days(self, start: int, length: int) -> int:
+        """Forecast rainy-day count in the window ``[start, start+length)``."""
+        return sum(
+            1 for day in range(start, start + length)
+            if self.predicts_rain(day)
+        )
+
+
+class ForecastParkingPermit:
+    """Follow-the-prediction: best predicted cost per served day.
+
+    On an uncovered rainy day, each candidate window is scored by
+    ``cost / predicted rainy days inside it`` and the best is bought.
+    Clairvoyant predictions make this near-optimal; bad predictions can
+    make it arbitrarily worse than the primal-dual algorithm — the
+    hedged variant below repairs that.
+    """
+
+    def __init__(self, schedule: LeaseSchedule, oracle: NoisyOracle):
+        self.schedule = schedule
+        self.oracle = oracle
+        self.store = LeaseStore()
+
+    def _score(self, window: Lease) -> float:
+        predicted = self.oracle.predicted_rainy_days(
+            window.start, window.length
+        )
+        # The current day is rainy no matter what the forecast says.
+        predicted = max(1, predicted)
+        return window.cost / predicted
+
+    def on_demand(self, day: int) -> None:
+        if self.store.covers(0, day):
+            return
+        windows = self.schedule.windows_covering(day)
+        self.store.buy(min(windows, key=self._score))
+
+    def covers(self, day: int) -> bool:
+        return self.store.covers(0, day)
+
+    @property
+    def cost(self) -> float:
+        return self.store.total_cost
+
+    @property
+    def leases(self) -> tuple[Lease, ...]:
+        return self.store.leases
+
+
+class HedgedForecastParkingPermit(ForecastParkingPermit):
+    """Prediction-following with a worst-case spending cap.
+
+    Tracks, per longest-lease window, how much has been spent on
+    prediction-driven purchases; once that exceeds ``hedge`` times the
+    longest lease's cost, the policy stops trusting the oracle inside the
+    window and falls back to the shortest lease (whose total further
+    damage is bounded).  With ``hedge = 1`` the policy never pays more
+    than twice the buy-everything-long baseline per window, recovering an
+    O(K)-style guarantee while keeping clairvoyant performance when the
+    oracle is good.
+    """
+
+    def __init__(
+        self,
+        schedule: LeaseSchedule,
+        oracle: NoisyOracle,
+        hedge: float = 1.0,
+    ):
+        super().__init__(schedule, oracle)
+        require(hedge > 0, "hedge must be positive")
+        self.hedge = hedge
+        self._spent_in_window: dict[int, float] = {}
+
+    def on_demand(self, day: int) -> None:
+        if self.store.covers(0, day):
+            return
+        longest = self.schedule[self.schedule.num_types - 1]
+        window_start = longest.aligned_start(day)
+        spent = self._spent_in_window.get(window_start, 0.0)
+        windows = self.schedule.windows_covering(day)
+        budget = self.hedge * longest.cost
+        if spent >= budget:
+            # Oracle trust exhausted: buy the long lease once and be done
+            # with this window (the ski-rental endgame).
+            choice = windows[-1]
+        else:
+            choice = min(windows, key=self._score)
+        if self.store.buy(choice):
+            self._spent_in_window[window_start] = spent + choice.cost

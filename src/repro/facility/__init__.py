@@ -1,0 +1,58 @@
+"""Facility leasing (thesis Chapter 4).
+
+The first time-independent competitive algorithm for facility leasing:
+clients arrive in batches and connect to leased facilities in a metric
+space.  The package provides the metric substrate, the instance model and
+Figure 4.1 ILP, the two-phase primal-dual online algorithm of Section 4.3
+(``(3 + K) H_{l_max}``-competitive by Theorem 4.5), exact and heuristic
+offline baselines, and the arrival patterns of Corollary 4.7.
+"""
+
+from .arrivals import harmonic_series, make_instance, theoretical_bound
+from .metric import (
+    DistanceMatrix,
+    Point,
+    clustered_points,
+    euclidean,
+    random_points,
+    triangle_violation,
+)
+from .model import (
+    Client,
+    ClientBatch,
+    Connection,
+    FacilityLeasingInstance,
+)
+from .offline import (
+    OfflineFacilitySolution,
+    lp_lower_bound,
+    nearest_heuristic,
+    optimal_brute,
+    optimal_ilp,
+    optimum,
+)
+from .online import OnlineFacilityLeasing, run_facility_leasing
+
+__all__ = [
+    "Client",
+    "ClientBatch",
+    "Connection",
+    "DistanceMatrix",
+    "FacilityLeasingInstance",
+    "OfflineFacilitySolution",
+    "OnlineFacilityLeasing",
+    "Point",
+    "clustered_points",
+    "euclidean",
+    "harmonic_series",
+    "lp_lower_bound",
+    "make_instance",
+    "nearest_heuristic",
+    "optimal_brute",
+    "optimal_ilp",
+    "optimum",
+    "random_points",
+    "run_facility_leasing",
+    "theoretical_bound",
+    "triangle_violation",
+]

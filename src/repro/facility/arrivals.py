@@ -1,0 +1,103 @@
+"""Arrival patterns and the ``H_q`` series of thesis Theorem 4.5.
+
+The competitive factor ``4 (3 + K) H_{l_max}`` depends on the client
+arrival pattern only through
+
+    ``H_q = sum_{i=1}^{q} |D_i| / (|D_1| + ... + |D_i|)``.
+
+Corollary 4.7 singles out the 'natural' patterns with ``H_q = O(log q)``
+(constant, non-increasing, polynomially bounded batches); Section 4.4
+conjectures exponential growth ``|D_i| = 2^i`` — where ``H_q = Theta(q)``
+— is genuinely hard.  This module computes the series, builds instances
+from batch-size patterns, and evaluates the theoretical bound so the E9
+benchmark can put measured ratios next to it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .._validation import require
+from ..core.lease import LeaseSchedule
+from .metric import clustered_points, random_points
+from .model import Client, FacilityLeasingInstance
+
+
+def harmonic_series(batch_sizes: list[int]) -> float:
+    """``H_q`` for the given ``|D_i|`` sequence (empty batches contribute 0)."""
+    total = 0
+    value = 0.0
+    for size in batch_sizes:
+        total += size
+        if total > 0 and size > 0:
+            value += size / total
+    return value
+
+
+def theoretical_bound(schedule: LeaseSchedule, batch_sizes: list[int]) -> float:
+    """The Theorem 4.5 bound ``4 (3 + K) H_{l_max}`` for this pattern.
+
+    ``H`` is evaluated per round of length ``l_max`` and the maximum over
+    rounds is used, matching the round decomposition of Section 4.4.
+    """
+    lmax = schedule.lmax
+    worst = 0.0
+    for round_start in range(0, max(1, len(batch_sizes)), lmax):
+        chunk = batch_sizes[round_start:round_start + lmax]
+        worst = max(worst, harmonic_series(chunk))
+    return 4 * (3 + schedule.num_types) * worst
+
+
+def make_instance(
+    schedule: LeaseSchedule,
+    num_facilities: int,
+    batch_sizes: list[int],
+    rng: random.Random,
+    clustered: bool = True,
+    facility_cost_scale: float = 20.0,
+    box: float = 100.0,
+) -> FacilityLeasingInstance:
+    """Build a facility leasing instance from a batch-size pattern.
+
+    Facility positions are uniform in the box; client positions are
+    clustered (default) or uniform.  Facility lease costs follow the
+    schedule's cost profile scaled per facility by a random base around
+    ``facility_cost_scale`` — large enough relative to distances that the
+    lease-vs-connect trade-off is non-trivial.
+    """
+    require(num_facilities > 0, "need at least one facility")
+    require(len(batch_sizes) > 0, "need at least one time step")
+    facility_points = random_points(num_facilities, rng, box)
+    total_clients = sum(batch_sizes)
+    require(total_clients > 0, "batch sizes sum to zero clients")
+    if clustered:
+        client_points = clustered_points(
+            total_clients, max(2, num_facilities // 2), rng, box
+        )
+    else:
+        client_points = random_points(total_clients, rng, box)
+
+    clients: list[Client] = []
+    ident = 0
+    for t, size in enumerate(batch_sizes):
+        for _ in range(size):
+            clients.append(
+                Client(ident=ident, point=client_points[ident], arrival=t)
+            )
+            ident += 1
+
+    lease_costs = []
+    for _ in range(num_facilities):
+        base = facility_cost_scale * (0.5 + rng.random())
+        lease_costs.append(
+            tuple(
+                base * lease_type.cost / schedule[0].cost
+                for lease_type in schedule
+            )
+        )
+    return FacilityLeasingInstance(
+        facility_points=tuple(facility_points),
+        lease_costs=tuple(lease_costs),
+        schedule=schedule,
+        clients=tuple(clients),
+    )

@@ -1,0 +1,112 @@
+"""Metric-space substrate for facility leasing (thesis Section 4.2).
+
+Clients and facilities live in a metric space; connection costs are
+distances and must satisfy the triangle inequality — the property both
+Proposition 4.2 and Proposition 4.3 lean on.  Two concrete metrics are
+provided: Euclidean points in the plane (the generators' default) and an
+explicit distance matrix (for adversarial/tests instances), plus a
+triangle-inequality checker used by validation and property tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from .._validation import require, require_positive_int
+
+Point = tuple[float, float]
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in the plane."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def random_points(
+    count: int, rng: random.Random, box: float = 100.0
+) -> list[Point]:
+    """``count`` uniform points in the ``box x box`` square."""
+    require_positive_int(count, "count")
+    return [(rng.random() * box, rng.random() * box) for _ in range(count)]
+
+
+def clustered_points(
+    count: int,
+    num_clusters: int,
+    rng: random.Random,
+    box: float = 100.0,
+    spread: float = 4.0,
+) -> list[Point]:
+    """Points in Gaussian-ish clusters — the regime facility location likes.
+
+    Clients clustered near few centres make facility opening decisions
+    non-trivial: one facility per cluster is near-optimal offline, but an
+    online algorithm cannot know which clusters materialise.
+    """
+    require_positive_int(count, "count")
+    require_positive_int(num_clusters, "num_clusters")
+    centres = random_points(num_clusters, rng, box)
+    points: list[Point] = []
+    for _ in range(count):
+        cx, cy = centres[rng.randrange(num_clusters)]
+        points.append(
+            (
+                cx + (rng.random() - 0.5) * 2 * spread,
+                cy + (rng.random() - 0.5) * 2 * spread,
+            )
+        )
+    return points
+
+
+class DistanceMatrix:
+    """An explicit finite metric over ``size`` points.
+
+    Args:
+        entries: square, symmetric, zero-diagonal matrix of non-negative
+            distances.  Triangle inequality is validated up-front so that
+            algorithm guarantees relying on it are meaningful.
+    """
+
+    def __init__(self, entries: Sequence[Sequence[float]]):
+        size = len(entries)
+        require(size > 0, "distance matrix must be non-empty")
+        for row_index, row in enumerate(entries):
+            require(
+                len(row) == size,
+                f"row {row_index} has {len(row)} entries, expected {size}",
+            )
+        matrix = [[float(v) for v in row] for row in entries]
+        for i in range(size):
+            require(matrix[i][i] == 0.0, f"diagonal entry ({i},{i}) not zero")
+            for j in range(size):
+                require(matrix[i][j] >= 0.0, "distances must be >= 0")
+                require(
+                    abs(matrix[i][j] - matrix[j][i]) < 1e-9,
+                    f"matrix not symmetric at ({i},{j})",
+                )
+        violation = triangle_violation(matrix)
+        require(
+            violation <= 1e-9,
+            f"triangle inequality violated by {violation}",
+        )
+        self.entries = matrix
+        self.size = size
+
+    def distance(self, i: int, j: int) -> float:
+        """Distance between points ``i`` and ``j``."""
+        return self.entries[i][j]
+
+
+def triangle_violation(matrix: Sequence[Sequence[float]]) -> float:
+    """Largest amount by which ``d(i,k) > d(i,j) + d(j,k)`` anywhere (0 if metric)."""
+    size = len(matrix)
+    worst = 0.0
+    for i in range(size):
+        for j in range(size):
+            for k in range(size):
+                worst = max(
+                    worst, matrix[i][k] - (matrix[i][j] + matrix[j][k])
+                )
+    return worst

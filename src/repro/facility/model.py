@@ -1,0 +1,176 @@
+"""Facility leasing model (thesis Section 4.2, Figure 4.1).
+
+Clients arrive in per-time-step batches and must each be connected, at
+their arrival step, to a facility holding an active lease; the objective
+sums leasing costs ``c_{ik}`` and connection distances ``d_{ij}``.  The
+instance couples facility/client positions in a metric space, the lease
+schedule, a per-facility-per-type cost matrix, and the batch arrival
+pattern whose shape drives the competitive factor through the series
+``H_q`` (Theorem 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require, require_nonnegative_int
+from ..core.lease import Lease, LeaseSchedule
+from .metric import Point, euclidean
+
+
+@dataclass(frozen=True, slots=True)
+class Client:
+    """One client: identity, position, and arrival time step."""
+
+    ident: int
+    point: Point
+    arrival: int
+
+    def __post_init__(self) -> None:
+        require_nonnegative_int(self.arrival, "Client.arrival")
+
+
+@dataclass(frozen=True, slots=True)
+class ClientBatch:
+    """The clients arriving in one time step (the thesis ``D_t``)."""
+
+    arrival: int
+    clients: tuple[Client, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Connection:
+    """An online connection decision: client -> facility at a cost."""
+
+    client: int
+    facility: int
+    distance: float
+
+
+@dataclass(frozen=True)
+class FacilityLeasingInstance:
+    """A facility leasing instance.
+
+    Attributes:
+        facility_points: positions of the ``m`` facilities.
+        lease_costs: ``m x K`` matrix of leasing costs ``c_{ik}``.
+        schedule: the ``K`` lease types.
+        clients: all clients sorted by arrival.
+    """
+
+    facility_points: tuple[Point, ...]
+    lease_costs: tuple[tuple[float, ...], ...]
+    schedule: LeaseSchedule
+    clients: tuple[Client, ...]
+
+    def __post_init__(self) -> None:
+        require(len(self.facility_points) > 0, "need at least one facility")
+        require(
+            len(self.lease_costs) == len(self.facility_points),
+            "lease_costs rows must match the number of facilities",
+        )
+        for row in self.lease_costs:
+            require(
+                len(row) == self.schedule.num_types,
+                "lease_costs columns must match the number of lease types",
+            )
+            for cost in row:
+                require(cost > 0, f"facility lease costs must be > 0, got {cost}")
+        previous = None
+        for client in self.clients:
+            if previous is not None:
+                require(
+                    client.arrival >= previous,
+                    "clients must be sorted by arrival",
+                )
+            previous = client.arrival
+        for index, client in enumerate(self.clients):
+            require(
+                client.ident == index,
+                f"client at position {index} has ident {client.ident}; "
+                "idents must be 0..n-1 in arrival order",
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_facilities(self) -> int:
+        """Number of potential facility sites ``m``."""
+        return len(self.facility_points)
+
+    @property
+    def num_clients(self) -> int:
+        """Total number of clients ``n``."""
+        return len(self.clients)
+
+    def distance(self, facility: int, client: int) -> float:
+        """Connection cost ``d_{ij}`` (Euclidean)."""
+        return euclidean(
+            self.facility_points[facility], self.clients[client].point
+        )
+
+    def batches(self) -> list[ClientBatch]:
+        """Clients grouped into per-time-step batches ``D_t`` (arrival order)."""
+        grouped: dict[int, list[Client]] = {}
+        for client in self.clients:
+            grouped.setdefault(client.arrival, []).append(client)
+        return [
+            ClientBatch(arrival=t, clients=tuple(grouped[t]))
+            for t in sorted(grouped)
+        ]
+
+    def batch_sizes(self) -> list[int]:
+        """``|D_t|`` for every step from 0 through the last arrival."""
+        if not self.clients:
+            return []
+        horizon = self.clients[-1].arrival + 1
+        sizes = [0] * horizon
+        for client in self.clients:
+            sizes[client.arrival] += 1
+        return sizes
+
+    def facility_lease(self, facility: int, type_index: int, t: int) -> Lease:
+        """The aligned lease of ``(i, k)`` covering step ``t`` at cost ``c_{ik}``."""
+        lease_type = self.schedule[type_index]
+        return Lease(
+            resource=facility,
+            type_index=type_index,
+            start=lease_type.aligned_start(t),
+            length=lease_type.length,
+            cost=self.lease_costs[facility][type_index],
+        )
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def is_feasible_solution(
+        self, leases: list[Lease], connections: list[Connection]
+    ) -> bool:
+        """Every client connected to a facility leased at its arrival step."""
+        by_client = {connection.client: connection for connection in connections}
+        for client in self.clients:
+            connection = by_client.get(client.ident)
+            if connection is None:
+                return False
+            if not any(
+                lease.resource == connection.facility
+                and lease.covers(client.arrival)
+                for lease in leases
+            ):
+                return False
+            actual = self.distance(connection.facility, client.ident)
+            if connection.distance < actual - 1e-6:
+                return False  # reported connection cost understates distance
+        return True
+
+    def solution_cost(
+        self, leases: list[Lease], connections: list[Connection]
+    ) -> float:
+        """Total objective: distinct lease costs plus connection distances."""
+        distinct: dict[tuple[int, int, int], float] = {}
+        for lease in leases:
+            distinct[lease.key] = lease.cost
+        return sum(distinct.values()) + sum(
+            connection.distance for connection in connections
+        )

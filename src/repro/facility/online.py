@@ -1,0 +1,316 @@
+"""The online facility leasing algorithm of thesis Section 4.3.
+
+Per time step ``t`` the algorithm runs two phases, following Jain-Vazirani
+style primal-dual with the dual-fitting analysis of Section 4.4:
+
+**Phase 1 (bidding).**  Every client that has ever arrived keeps one
+potential ``alpha_{jk}`` per lease type ``k``, reset to zero each step and
+raised continuously at a common unit rate.  A potential bids
+``(alpha_{jk} - d_{ij})^+`` towards each facility ``(i, k)``; facility
+``(i, k)`` is *temporarily opened* the moment its bids reach its cost
+``c_{ik}`` (invariant INV1).  A potential freezes as soon as it reaches an
+open facility of its type (``alpha_{jk} >= d_{ij}``) or — for clients from
+earlier steps — its recorded value ``alpha_hat_j`` (invariant INV2).  A
+*new* client connects (provisionally) at its first freeze and records
+``alpha_hat_j``; that caps all its potentials at once since they grow in
+lockstep.
+
+**Phase 2 (conflict resolution).**  Per lease type, a conflict graph is
+built on temporarily+permanently open facilities — an edge when one
+client bids positively towards both endpoints — and a maximal independent
+set (preferring already-permanent facilities) is permanently opened
+(leased).  New clients whose phase-1 facility lost out are reconnected to
+a neighbouring MIS facility; Proposition 4.2 bounds the detour by
+``3 alpha_hat_j`` through the triangle inequality.
+
+Theorem 4.5: the algorithm is ``(3 + K) H_{l_max}``-competitive in the
+interval model, hence ``4 (3 + K) H_{l_max}`` in general.
+"""
+
+from __future__ import annotations
+
+from ..core.cost import CostLedger
+from ..core.lease import Lease
+from ..core.store import LeaseStore
+from .model import ClientBatch, Connection, FacilityLeasingInstance
+
+_EPS = 1e-9
+
+
+class OnlineFacilityLeasing:
+    """Two-phase primal-dual online algorithm for facility leasing.
+
+    Args:
+        instance: supplies geometry, costs and the schedule; batches are
+            fed through :meth:`on_demand` (one :class:`ClientBatch` per
+            time step, in arrival order).
+    """
+
+    def __init__(self, instance: FacilityLeasingInstance):
+        self.instance = instance
+        self.schedule = instance.schedule
+        self.store = LeaseStore()
+        self.ledger = CostLedger()
+        self.alpha_hat: dict[int, float] = {}
+        self.connections: list[Connection] = []
+        self._arrived: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Online interface
+    # ------------------------------------------------------------------
+    def on_demand(self, batch: ClientBatch) -> None:
+        """Process one time step's client batch (may be empty)."""
+        t = batch.arrival
+        new_ids = [client.ident for client in batch.clients]
+        self._arrived.extend(new_ids)
+        if not self._arrived:
+            return
+
+        alpha, provisional, open_by_type = self._phase_one(t, set(new_ids))
+        self._phase_two(t, alpha, provisional, open_by_type, new_ids)
+
+    # ------------------------------------------------------------------
+    # Phase 1: continuous bidding, simulated event by event
+    # ------------------------------------------------------------------
+    def _phase_one(self, t: int, new_ids: set[int]):
+        instance = self.instance
+        num_types = self.schedule.num_types
+        clients = self._arrived
+
+        window_start = {
+            k: self.schedule[k].aligned_start(t) for k in range(num_types)
+        }
+        perm_open = {
+            (i, k)
+            for k in range(num_types)
+            for i in range(instance.num_facilities)
+            if self.store.owns(i, k, window_start[k])
+        }
+
+        # Potential state: all (j, k) start active at value tau.
+        active: set[tuple[int, int]] = {
+            (j, k) for j in clients for k in range(num_types)
+        }
+        alpha: dict[tuple[int, int], float] = {}
+        cap = {
+            j: self.alpha_hat.get(j, float("inf")) for j in clients
+        }
+        open_by_type: dict[int, set[int]] = {
+            k: {i for (i, kk) in perm_open if kk == k}
+            for k in range(num_types)
+        }
+        # Facilities not yet open accumulate bids; frozen bids are fixed.
+        frozen_bid: dict[tuple[int, int], float] = {}
+        provisional: dict[int, tuple[int, int]] = {}
+        tau = 0.0
+
+        def freeze(j: int, k: int, value: float) -> None:
+            active.discard((j, k))
+            alpha[(j, k)] = value
+            for i in range(instance.num_facilities):
+                if i in open_by_type[k]:
+                    continue
+                bid = value - instance.distance(i, j)
+                if bid > 0:
+                    frozen_bid[(i, k)] = frozen_bid.get((i, k), 0.0) + bid
+
+        def open_facility(i: int, k: int) -> None:
+            open_by_type[k].add(i)
+            # Potentials that already cover the distance freeze now.
+            for j in clients:
+                if (j, k) in active and instance.distance(i, j) <= tau + _EPS:
+                    self._settle(
+                        j, k, i, tau, new_ids, cap, provisional, freeze,
+                        active, num_types,
+                    )
+
+        def tight_time(i: int, k: int) -> float:
+            """Earliest tau' >= tau at which facility (i, k) goes tight.
+
+            The bid load ``base + sum_active (tau' - d_ij)^+`` is piecewise
+            linear in ``tau'`` with slope increasing by one at every active
+            client's distance; walk the breakpoints.
+            """
+            cost = instance.lease_costs[i][k]
+            distances = sorted(
+                instance.distance(i, j)
+                for j in clients
+                if (j, k) in active
+            )
+            load = frozen_bid.get((i, k), 0.0) + sum(
+                tau - d for d in distances if d < tau
+            )
+            if load >= cost - _EPS:
+                return tau
+            slope = sum(1 for d in distances if d < tau)
+            previous = tau
+            for d in distances:
+                if d <= tau:
+                    continue
+                if slope > 0:
+                    candidate = previous + (cost - load) / slope
+                    if candidate <= d + _EPS:
+                        return candidate
+                load += slope * (d - previous)
+                previous = d
+                slope += 1
+            if slope == 0:
+                return float("inf")
+            return previous + (cost - load) / slope
+
+        while active:
+            # Next freeze-by-open-facility or freeze-by-cap event.
+            best_time = float("inf")
+            best_event = None  # ("freeze", j, k, i) or ("cap", j, k) or ("open", i, k)
+            for (j, k) in active:
+                if cap[j] < best_time:
+                    best_time = cap[j]
+                    best_event = ("cap", j, k, None)
+                for i in open_by_type[k]:
+                    when = max(tau, instance.distance(i, j))
+                    if when < best_time - _EPS:
+                        best_time = when
+                        best_event = ("freeze", j, k, i)
+            for i in range(instance.num_facilities):
+                for k in range(num_types):
+                    if i in open_by_type[k]:
+                        continue
+                    if not any((j, k) in active for j in clients):
+                        continue
+                    when = tight_time(i, k)
+                    if when < best_time - _EPS:
+                        best_time = when
+                        best_event = ("open", i, k, None)
+            if best_event is None:  # pragma: no cover - defensive
+                break
+            tau = max(tau, best_time)
+            kind, a, b, c = best_event
+            if kind == "open":
+                open_facility(a, b)
+            elif kind == "cap":
+                freeze(a, b, min(tau, cap[a]))
+            else:  # freeze by open facility
+                self._settle(
+                    a, b, c, tau, new_ids, cap, provisional, freeze,
+                    active, num_types,
+                )
+
+        return alpha, provisional, open_by_type
+
+    def _settle(
+        self, j, k, i, tau, new_ids, cap, provisional, freeze, active,
+        num_types,
+    ) -> None:
+        """Freeze (j, k) against open facility i; connect j if it is new."""
+        freeze(j, k, tau)
+        if j in new_ids and j not in provisional:
+            provisional[j] = (i, k)
+            self.alpha_hat[j] = tau
+            cap[j] = tau
+            # All potentials of j sit at tau (lockstep growth), so INV2
+            # freezes every other type immediately.
+            for other in range(num_types):
+                if (j, other) in active:
+                    freeze(j, other, tau)
+
+    # ------------------------------------------------------------------
+    # Phase 2: conflict graphs, MIS, permanent opening, reconnection
+    # ------------------------------------------------------------------
+    def _phase_two(self, t, alpha, provisional, open_by_type, new_ids):
+        instance = self.instance
+        num_types = self.schedule.num_types
+        clients = self._arrived
+
+        mis_by_type: dict[int, set[int]] = {}
+        neighbours: dict[tuple[int, int], set[int]] = {}
+        for k in range(num_types):
+            nodes = sorted(open_by_type[k])
+            window = self.schedule[k].aligned_start(t)
+            edges: dict[int, set[int]] = {i: set() for i in nodes}
+            for index, i in enumerate(nodes):
+                for i2 in nodes[index + 1:]:
+                    if self._in_conflict(i, i2, k, alpha, clients):
+                        edges[i].add(i2)
+                        edges[i2].add(i)
+            # Maximal independent set, preferring facilities we already pay
+            # for (permanently open), then cheaper ones.
+            order = sorted(
+                nodes,
+                key=lambda i: (
+                    not self.store.owns(i, k, window),
+                    instance.lease_costs[i][k],
+                ),
+            )
+            mis: set[int] = set()
+            for i in order:
+                if not edges[i] & mis:
+                    mis.add(i)
+            mis_by_type[k] = mis
+            for i in nodes:
+                neighbours[(i, k)] = edges[i]
+            for i in mis:
+                lease = instance.facility_lease(i, k, t)
+                if self.store.buy(lease):
+                    self.ledger.add(t, "leasing", lease.cost, f"facility {i}")
+
+        for j in new_ids:
+            i, k = provisional[j]
+            if i in mis_by_type[k]:
+                target = i
+            else:
+                candidates = neighbours[(i, k)] & mis_by_type[k]
+                # MIS maximality guarantees an open neighbour exists.
+                target = min(
+                    candidates, key=lambda i2: instance.distance(i2, j)
+                )
+            distance = instance.distance(target, j)
+            self.connections.append(
+                Connection(client=j, facility=target, distance=distance)
+            )
+            self.ledger.add(t, "connection", distance, f"client {j}")
+
+    def _in_conflict(self, i, i2, k, alpha, clients) -> bool:
+        """Whether some client bids positively towards both facilities."""
+        instance = self.instance
+        for j in clients:
+            value = alpha.get((j, k))
+            if value is None:
+                continue
+            if value > max(
+                instance.distance(i, j), instance.distance(i2, j)
+            ) + _EPS:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def leasing_cost(self) -> float:
+        """Total facility leasing cost so far."""
+        return self.store.total_cost
+
+    @property
+    def connection_cost(self) -> float:
+        """Total client connection cost so far."""
+        return sum(connection.distance for connection in self.connections)
+
+    @property
+    def cost(self) -> float:
+        """Full objective: leasing plus connection."""
+        return self.leasing_cost + self.connection_cost
+
+    @property
+    def leases(self) -> tuple[Lease, ...]:
+        """Permanently opened facility leases in purchase order."""
+        return self.store.leases
+
+
+def run_facility_leasing(
+    instance: FacilityLeasingInstance,
+) -> OnlineFacilityLeasing:
+    """Feed all of the instance's batches through the online algorithm."""
+    algorithm = OnlineFacilityLeasing(instance)
+    for batch in instance.batches():
+        algorithm.on_demand(batch)
+    return algorithm

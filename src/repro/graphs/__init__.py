@@ -1,0 +1,49 @@
+"""Graph leasing problems — the covering/network outlooks of the thesis.
+
+Section 3.5 proposes extending the leasing treatment to graph covering
+problems (vertex cover, edge cover); Section 5.1 recalls Meyerson's
+SteinerTreeLeasing.  This package realises both on top of the Chapter 3
+machinery and networkx:
+
+* :class:`VertexCoverLeasingInstance` / :class:`OnlineVertexCoverLeasing`
+  — edges arrive, endpoints are leased; ``delta = 2`` reduction to set
+  multicover leasing with an inherited ``O(log(2K) log n)`` guarantee.
+* :class:`SteinerLeasingInstance` / :class:`OnlineSteinerLeasing` —
+  terminal pairs arrive, edges are leased; greedy discounted-shortest-path
+  online algorithm with a per-edge doubling ratchet, plus an offline
+  per-round Steiner-tree baseline.
+"""
+
+from .edge_cover import (
+    EdgeCoverLeasingInstance,
+    OnlineEdgeCoverLeasing,
+    VertexDemand,
+)
+from .edge_cover import optimum as edge_cover_optimum
+from .steiner import (
+    OnlineSteinerLeasing,
+    PairDemand,
+    SteinerLeasingInstance,
+    offline_heuristic,
+)
+from .vertex_cover import (
+    EdgeDemand,
+    OnlineVertexCoverLeasing,
+    VertexCoverLeasingInstance,
+    optimum,
+)
+
+__all__ = [
+    "EdgeCoverLeasingInstance",
+    "EdgeDemand",
+    "OnlineEdgeCoverLeasing",
+    "OnlineSteinerLeasing",
+    "OnlineVertexCoverLeasing",
+    "PairDemand",
+    "SteinerLeasingInstance",
+    "VertexCoverLeasingInstance",
+    "VertexDemand",
+    "edge_cover_optimum",
+    "offline_heuristic",
+    "optimum",
+]

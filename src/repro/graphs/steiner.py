@@ -1,0 +1,222 @@
+"""Steiner tree leasing — the model of Meyerson [2] cited in Section 5.1.
+
+Pairs of communicating terminals announce themselves over time; to serve
+a pair at time ``t`` there must be a path between them whose every edge
+holds an active lease at ``t``.  Edges can be leased for ``K`` durations
+with economies of scale.  Meyerson gave an O(log n log K)-competitive
+algorithm; this module provides the model, a greedy discounted-shortest-
+path online algorithm in his spirit, and an offline per-window heuristic
+baseline, so the thesis' "proceeding in this direction, one may look at
+SteinerTreeLeasing" outlook has a concrete, tested substrate.
+
+The online algorithm routes each pair along the shortest path in a
+*discounted* graph: an edge whose lease is already active costs zero,
+otherwise its cheapest applicable lease cost.  Lease lengths for newly
+leased edges are chosen by the classical doubling rule — an edge that has
+been re-leased often graduates to the next longer type — which is the
+deterministic analogue of Meyerson's randomized type selection.  No
+competitive guarantee is claimed here (the thesis leaves it as future
+work); the benchmark measures the gap against the offline heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from .._validation import require, require_nonnegative_int
+from ..core.lease import Lease, LeaseSchedule
+from ..core.store import LeaseStore
+
+
+@dataclass(frozen=True, slots=True)
+class PairDemand:
+    """Terminals ``(s, t)`` that must be connected at day ``arrival``."""
+
+    s: int
+    t: int
+    arrival: int
+
+    def __post_init__(self) -> None:
+        require_nonnegative_int(self.arrival, "arrival")
+        require(self.s != self.t, "a terminal pair needs distinct nodes")
+
+
+@dataclass(frozen=True)
+class SteinerLeasingInstance:
+    """Steiner tree leasing over an undirected weighted graph.
+
+    Attributes:
+        graph: networkx graph; edge attribute ``weight`` scales the lease
+            cost of that edge (cost of leasing edge ``e`` with type ``k``
+            is ``weight(e) * schedule[k].cost``).
+        schedule: the ``K`` lease types.
+        demands: terminal pairs sorted by arrival.
+    """
+
+    graph: nx.Graph
+    schedule: LeaseSchedule
+    demands: tuple[PairDemand, ...]
+
+    def __post_init__(self) -> None:
+        require(
+            self.graph.number_of_nodes() >= 2,
+            "graph needs at least two nodes",
+        )
+        for u, v, data in self.graph.edges(data=True):
+            require(
+                data.get("weight", 0) > 0,
+                f"edge ({u},{v}) needs a positive weight",
+            )
+        previous = None
+        for demand in self.demands:
+            require(
+                self.graph.has_node(demand.s)
+                and self.graph.has_node(demand.t),
+                f"pair ({demand.s},{demand.t}) not in graph",
+            )
+            if previous is not None:
+                require(
+                    demand.arrival >= previous,
+                    "pair demands must be sorted by arrival",
+                )
+            previous = demand.arrival
+
+    def edge_ids(self) -> dict[frozenset, int]:
+        """A stable integer id per undirected edge (lease resource ids)."""
+        return {
+            frozenset((u, v)): index
+            for index, (u, v) in enumerate(sorted(self.graph.edges()))
+        }
+
+    def lease_cost(self, u, v, type_index: int) -> float:
+        """Cost of leasing edge ``{u, v}`` with lease type ``type_index``."""
+        weight = self.graph[u][v]["weight"]
+        return weight * self.schedule[type_index].cost
+
+    def is_feasible_solution(self, leases: list[Lease]) -> bool:
+        """Each pair connected through active leased edges at its arrival."""
+        ids = self.edge_ids()
+        for demand in self.demands:
+            active = nx.Graph()
+            active.add_nodes_from(self.graph.nodes())
+            for edge, edge_id in ids.items():
+                if any(
+                    lease.resource == edge_id
+                    and lease.covers(demand.arrival)
+                    for lease in leases
+                ):
+                    u, v = tuple(edge)
+                    active.add_edge(u, v)
+            if not nx.has_path(active, demand.s, demand.t):
+                return False
+        return True
+
+
+class OnlineSteinerLeasing:
+    """Greedy discounted-shortest-path online algorithm with lease doubling.
+
+    For each arriving pair, edges already under an active lease are free;
+    other edges cost their cheapest lease.  The pair is routed along the
+    cheapest path and missing leases are bought.  An edge's lease type
+    starts at the shortest and doubles (moves up one type) each time the
+    edge must be re-leased — the ski-rental ratchet applied per edge.
+    """
+
+    def __init__(self, instance: SteinerLeasingInstance):
+        self.instance = instance
+        self.schedule = instance.schedule
+        self.store = LeaseStore()
+        self._edge_ids = instance.edge_ids()
+        self._release_count: dict[int, int] = {}
+
+    def _edge_price(self, u, v, t: int) -> float:
+        edge_id = self._edge_ids[frozenset((u, v))]
+        if self.store.covers(edge_id, t):
+            return 0.0
+        type_index = self._next_type(edge_id)
+        return self.instance.lease_cost(u, v, type_index)
+
+    def _next_type(self, edge_id: int) -> int:
+        """Lease type the edge would be bought with (doubling ratchet)."""
+        return min(
+            self._release_count.get(edge_id, 0),
+            self.schedule.num_types - 1,
+        )
+
+    def on_demand(self, demand: PairDemand | tuple[int, int, int]) -> None:
+        """Connect one arriving terminal pair."""
+        if not isinstance(demand, PairDemand):
+            s, t, arrival = demand
+            demand = PairDemand(s=s, t=t, arrival=arrival)
+        t = demand.arrival
+        priced = nx.Graph()
+        priced.add_nodes_from(self.instance.graph.nodes())
+        for u, v in self.instance.graph.edges():
+            priced.add_edge(u, v, price=self._edge_price(u, v, t))
+        path = nx.shortest_path(
+            priced, demand.s, demand.t, weight="price"
+        )
+        for u, v in zip(path, path[1:]):
+            edge_id = self._edge_ids[frozenset((u, v))]
+            if self.store.covers(edge_id, t):
+                continue
+            type_index = self._next_type(edge_id)
+            lease_type = self.schedule[type_index]
+            self.store.buy(
+                Lease(
+                    resource=edge_id,
+                    type_index=type_index,
+                    start=lease_type.aligned_start(t),
+                    length=lease_type.length,
+                    cost=self.instance.lease_cost(u, v, type_index),
+                )
+            )
+            self._release_count[edge_id] = (
+                self._release_count.get(edge_id, 0) + 1
+            )
+
+    @property
+    def cost(self) -> float:
+        """Total leasing cost so far."""
+        return self.store.total_cost
+
+    @property
+    def leases(self) -> tuple[Lease, ...]:
+        """Purchased edge leases."""
+        return self.store.leases
+
+
+def offline_heuristic(instance: SteinerLeasingInstance) -> float:
+    """A feasible hindsight solution: per-l_max-round Steiner trees.
+
+    Partition time into rounds of length ``l_max``; for each round, build
+    an (approximate) Steiner tree spanning every terminal active in the
+    round and lease all its edges with the longest type for the whole
+    round.  Feasible by construction, so an *upper* bound on OPT; the
+    online/offline gap reported by the benchmark is therefore a lower
+    bound on the true competitive ratio.
+    """
+    if not instance.demands:
+        return 0.0
+    lmax = instance.schedule.lmax
+    longest = instance.schedule[instance.schedule.num_types - 1]
+    total = 0.0
+    horizon = instance.demands[-1].arrival + 1
+    for round_start in range(0, horizon, lmax):
+        terminals: set = set()
+        for demand in instance.demands:
+            if round_start <= demand.arrival < round_start + lmax:
+                terminals.add(demand.s)
+                terminals.add(demand.t)
+        if len(terminals) < 2:
+            continue
+        tree = nx.algorithms.approximation.steiner_tree(
+            instance.graph, terminals, weight="weight"
+        )
+        total += sum(
+            instance.graph[u][v]["weight"] * longest.cost
+            for u, v in tree.edges()
+        )
+    return total

@@ -1,0 +1,198 @@
+"""JSON serialization for problem instances.
+
+Experiments worth publishing are experiments someone else can re-run on
+the *same* instances.  This module round-trips every instance type in the
+library through plain JSON: lease schedules, parking permit, set
+multicover leasing, facility leasing, OLD and SCLD instances.
+
+The format is versioned and deliberately boring — dicts of primitives,
+one ``kind`` tag per payload — so files stay diffable and future-proof.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ._validation import require
+from .core.lease import LeaseSchedule
+from .deadlines.model import DeadlineClient, OLDInstance
+from .deadlines.scld import DeadlineElement, SCLDInstance
+from .errors import ModelError
+from .facility.model import Client, FacilityLeasingInstance
+from .parking.model import ParkingPermitInstance
+from .setcover.model import (
+    MulticoverDemand,
+    SetMulticoverLeasingInstance,
+    SetSystem,
+)
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Encoders
+# ----------------------------------------------------------------------
+def _schedule_payload(schedule: LeaseSchedule) -> list[list[float]]:
+    return [[t.length, t.cost] for t in schedule]
+
+
+def _system_payload(system: SetSystem) -> dict[str, Any]:
+    return {
+        "num_elements": system.num_elements,
+        "sets": [sorted(members) for members in system.sets],
+        "lease_costs": [list(row) for row in system.lease_costs],
+    }
+
+
+def to_payload(instance) -> dict[str, Any]:
+    """Encode any supported instance into a JSON-ready dict."""
+    if isinstance(instance, ParkingPermitInstance):
+        return {
+            "version": FORMAT_VERSION,
+            "kind": "parking",
+            "schedule": _schedule_payload(instance.schedule),
+            "rainy_days": list(instance.rainy_days),
+        }
+    if isinstance(instance, SetMulticoverLeasingInstance):
+        return {
+            "version": FORMAT_VERSION,
+            "kind": "multicover",
+            "schedule": _schedule_payload(instance.schedule),
+            "system": _system_payload(instance.system),
+            "demands": [
+                [d.element, d.arrival, d.coverage] for d in instance.demands
+            ],
+        }
+    if isinstance(instance, FacilityLeasingInstance):
+        return {
+            "version": FORMAT_VERSION,
+            "kind": "facility",
+            "schedule": _schedule_payload(instance.schedule),
+            "facility_points": [list(p) for p in instance.facility_points],
+            "lease_costs": [list(row) for row in instance.lease_costs],
+            "clients": [
+                [c.ident, list(c.point), c.arrival] for c in instance.clients
+            ],
+        }
+    if isinstance(instance, OLDInstance):
+        return {
+            "version": FORMAT_VERSION,
+            "kind": "old",
+            "schedule": _schedule_payload(instance.schedule),
+            "clients": [[c.arrival, c.slack] for c in instance.clients],
+        }
+    if isinstance(instance, SCLDInstance):
+        return {
+            "version": FORMAT_VERSION,
+            "kind": "scld",
+            "schedule": _schedule_payload(instance.schedule),
+            "system": _system_payload(instance.system),
+            "demands": [
+                [d.element, d.arrival, d.slack] for d in instance.demands
+            ],
+        }
+    raise ModelError(
+        f"cannot serialize instances of type {type(instance).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Decoders
+# ----------------------------------------------------------------------
+def _decode_schedule(payload: list[list[float]]) -> LeaseSchedule:
+    return LeaseSchedule.from_pairs(
+        [(int(length), float(cost)) for length, cost in payload]
+    )
+
+
+def _decode_system(payload: dict[str, Any]) -> SetSystem:
+    return SetSystem(
+        num_elements=int(payload["num_elements"]),
+        sets=[set(members) for members in payload["sets"]],
+        lease_costs=[list(map(float, row)) for row in payload["lease_costs"]],
+    )
+
+
+def from_payload(payload: dict[str, Any]):
+    """Decode a payload produced by :func:`to_payload`."""
+    require(
+        payload.get("version") == FORMAT_VERSION,
+        f"unsupported format version {payload.get('version')!r}",
+    )
+    kind = payload.get("kind")
+    schedule = _decode_schedule(payload["schedule"])
+    if kind == "parking":
+        return ParkingPermitInstance(
+            schedule=schedule,
+            rainy_days=tuple(int(day) for day in payload["rainy_days"]),
+        )
+    if kind == "multicover":
+        return SetMulticoverLeasingInstance(
+            system=_decode_system(payload["system"]),
+            schedule=schedule,
+            demands=tuple(
+                MulticoverDemand(int(e), int(t), int(p))
+                for e, t, p in payload["demands"]
+            ),
+        )
+    if kind == "facility":
+        return FacilityLeasingInstance(
+            facility_points=tuple(
+                (float(x), float(y)) for x, y in payload["facility_points"]
+            ),
+            lease_costs=tuple(
+                tuple(map(float, row)) for row in payload["lease_costs"]
+            ),
+            schedule=schedule,
+            clients=tuple(
+                Client(
+                    ident=int(ident),
+                    point=(float(point[0]), float(point[1])),
+                    arrival=int(arrival),
+                )
+                for ident, point, arrival in payload["clients"]
+            ),
+        )
+    if kind == "old":
+        return OLDInstance(
+            schedule=schedule,
+            clients=tuple(
+                DeadlineClient(int(t), int(d)) for t, d in payload["clients"]
+            ),
+        )
+    if kind == "scld":
+        return SCLDInstance(
+            system=_decode_system(payload["system"]),
+            schedule=schedule,
+            demands=tuple(
+                DeadlineElement(int(e), int(t), int(d))
+                for e, t, d in payload["demands"]
+            ),
+        )
+    raise ModelError(f"unknown instance kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# File round-trips
+# ----------------------------------------------------------------------
+def dumps(instance) -> str:
+    """Serialize an instance to a JSON string."""
+    return json.dumps(to_payload(instance), sort_keys=True)
+
+
+def loads(text: str):
+    """Deserialize an instance from a JSON string."""
+    return from_payload(json.loads(text))
+
+
+def save(instance, path) -> None:
+    """Write an instance to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(instance))
+
+
+def load(path):
+    """Read an instance previously written by :func:`save`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

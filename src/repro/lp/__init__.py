@@ -1,0 +1,39 @@
+"""LP/ILP substrate: covering programs, exact solvers, duality checks.
+
+Every offline baseline in the library formulates its problem as a
+:class:`CoveringProgram` (the shape shared by all ILPs in the thesis) and
+solves it through :func:`solve_ilp` / :func:`opt_bounds`.  The primal-dual
+analyses are verified with :func:`check_duality`.
+"""
+
+from .branch_and_bound import (
+    IlpSolution,
+    dual_ascent_bound,
+    greedy_cover,
+    solve_branch_and_bound,
+)
+from .duality import (
+    DualityReport,
+    check_duality,
+    dual_column_slacks,
+    dual_value,
+)
+from .model import Constraint, CoveringProgram
+from .solver import HAVE_SCIPY, lp_relaxation_value, opt_bounds, solve_ilp
+
+__all__ = [
+    "Constraint",
+    "CoveringProgram",
+    "DualityReport",
+    "HAVE_SCIPY",
+    "IlpSolution",
+    "check_duality",
+    "dual_ascent_bound",
+    "dual_column_slacks",
+    "dual_value",
+    "greedy_cover",
+    "lp_relaxation_value",
+    "opt_bounds",
+    "solve_branch_and_bound",
+    "solve_ilp",
+]

@@ -1,0 +1,180 @@
+"""Pure-Python exact solver for small covering ILPs.
+
+Best-first branch and bound over 0/1 covering programs
+(:class:`~repro.lp.model.CoveringProgram`).  The incumbent starts from a
+greedy density cover, lower bounds come from dual ascent
+(:func:`dual_ascent_bound`), and branching fixes the cheapest-per-unit
+variable of the most violated row first — the classic recipe for covering
+structure.  It is the fallback when scipy is unavailable; instance sizes
+in the test-suite keep it comfortably under the node budget.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from ..errors import SolverError
+from .model import CoveringProgram
+
+
+@dataclass(frozen=True, slots=True)
+class IlpSolution:
+    """An exact ILP solution: optimal value, assignment, solver label."""
+
+    value: float
+    x: tuple[float, ...]
+    method: str
+
+
+def greedy_cover(program: CoveringProgram) -> list[float] | None:
+    """Greedy density heuristic: a feasible (not optimal) 0/1 solution.
+
+    Repeatedly picks the variable maximising remaining-coverage per unit
+    cost.  Returns ``None`` only if the program is infeasible (which
+    :meth:`CoveringProgram.add_constraint` already prevents).
+    """
+    x = [0.0] * program.num_variables
+    remaining = [row.rhs for row in program.constraints]
+    rows_of_var: dict[int, list[tuple[int, float]]] = {}
+    for row_index, row in enumerate(program.constraints):
+        for var, coeff in row.terms:
+            rows_of_var.setdefault(var, []).append((row_index, coeff))
+
+    while any(need > 1e-9 for need in remaining):
+        best_var, best_density = -1, 0.0
+        for var in range(program.num_variables):
+            if x[var] == 1.0:
+                continue
+            coverage = sum(
+                min(coeff, remaining[row_index])
+                for row_index, coeff in rows_of_var.get(var, ())
+                if remaining[row_index] > 1e-9
+            )
+            if coverage <= 1e-12:
+                continue
+            cost = program.costs[var]
+            density = coverage / cost if cost > 0 else float("inf")
+            if density > best_density:
+                best_var, best_density = var, density
+        if best_var < 0:
+            return None
+        x[best_var] = 1.0
+        for row_index, coeff in rows_of_var.get(best_var, ()):
+            remaining[row_index] = max(0.0, remaining[row_index] - coeff)
+    return x
+
+
+def dual_ascent_bound(
+    program: CoveringProgram, fixed_one: set[int], fixed_zero: set[int]
+) -> float:
+    """A valid lower bound on the remaining covering cost via dual ascent.
+
+    Raises each unsatisfied row's dual as far as the free variables'
+    reduced costs allow (weak duality for covering LPs).  Variables fixed
+    to one contribute their cost outside this function; variables fixed to
+    zero are ignored entirely.
+    """
+    slack = {
+        var: program.costs[var]
+        for var in range(program.num_variables)
+        if var not in fixed_zero and var not in fixed_one
+    }
+    bound = 0.0
+    for row in program.constraints:
+        covered = sum(
+            coeff for var, coeff in row.terms if var in fixed_one
+        )
+        need = row.rhs - covered
+        if need <= 1e-9:
+            continue
+        free_terms = [
+            (var, coeff) for var, coeff in row.terms if var in slack
+        ]
+        if not free_terms:
+            return float("inf")  # row cannot be satisfied under the fixing
+        # Raise this row's dual until the tightest free column is exhausted.
+        raise_by = min(slack[var] / coeff for var, coeff in free_terms)
+        # The dual contributes rhs_remaining * y; cap y so columns stay
+        # feasible, and never claim more than one unit of need per raise.
+        bound += raise_by * need
+        for var, coeff in free_terms:
+            slack[var] -= raise_by * coeff
+    return bound
+
+
+def solve_branch_and_bound(
+    program: CoveringProgram, node_budget: int = 200_000
+) -> IlpSolution:
+    """Exactly solve a covering ILP by best-first branch and bound.
+
+    Args:
+        program: the covering program.
+        node_budget: abort with :class:`SolverError` after this many nodes,
+            so a mis-sized instance fails loudly instead of hanging.
+    """
+    greedy = greedy_cover(program)
+    if greedy is None:
+        raise SolverError("covering program is infeasible")
+    incumbent_x = list(greedy)
+    incumbent_value = program.objective(incumbent_x)
+
+    counter = itertools.count()
+    root_bound = dual_ascent_bound(program, set(), set())
+    heap: list[tuple[float, int, set[int], set[int]]] = [
+        (root_bound, next(counter), set(), set())
+    ]
+    nodes = 0
+
+    while heap:
+        bound_plus_fixed, _, fixed_one, fixed_zero = heapq.heappop(heap)
+        if bound_plus_fixed >= incumbent_value - 1e-9:
+            continue
+        nodes += 1
+        if nodes > node_budget:
+            raise SolverError(
+                f"branch and bound exceeded node budget {node_budget}"
+            )
+        x = [
+            1.0 if var in fixed_one else 0.0
+            for var in range(program.num_variables)
+        ]
+        violated = program.violated_rows(x)
+        if not violated:
+            value = program.objective(x)
+            if value < incumbent_value:
+                incumbent_value, incumbent_x = value, x
+            continue
+        # Branch on the free variables of the first violated row, cheapest
+        # per covering unit first; one child per "this var is the next one
+        # set to 1", plus implicit exclusion via fixed_zero accumulation.
+        row = program.constraints[violated[0]]
+        free = sorted(
+            (
+                (program.costs[var] / coeff, var)
+                for var, coeff in row.terms
+                if var not in fixed_one and var not in fixed_zero
+            ),
+        )
+        if not free:
+            continue  # row unsatisfiable under this fixing; prune
+        excluded = set(fixed_zero)
+        for _, var in free:
+            child_one = fixed_one | {var}
+            child_zero = set(excluded)
+            fixed_cost = sum(program.costs[v] for v in child_one)
+            child_bound = fixed_cost + dual_ascent_bound(
+                program, child_one, child_zero
+            )
+            if child_bound < incumbent_value - 1e-9:
+                heapq.heappush(
+                    heap, (child_bound, next(counter), child_one, child_zero)
+                )
+            excluded.add(var)
+
+    return IlpSolution(
+        value=incumbent_value,
+        x=tuple(incumbent_x),
+        method="branch-and-bound",
+    )

@@ -1,0 +1,79 @@
+"""Weak-duality verification (thesis Theorem 2.3).
+
+The primal-dual algorithms of Chapters 2 and 5 construct explicit dual
+solutions; their analyses hinge on two checkable facts: the dual is
+*feasible* (no column constraint violated) and *weak duality* holds
+(``b . y <= c . x`` for any feasible primal ``x``).  This module verifies
+both from the raw solutions, independent of any solver — the property
+tests run it after every primal-dual execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import CoveringProgram
+
+
+@dataclass(frozen=True, slots=True)
+class DualityReport:
+    """Outcome of checking a (primal, dual) pair against a covering program."""
+
+    primal_value: float
+    dual_value: float
+    primal_feasible: bool
+    dual_feasible: bool
+    max_dual_violation: float
+
+    @property
+    def weak_duality_holds(self) -> bool:
+        """``dual <= primal`` within tolerance, given both are feasible."""
+        return (
+            self.primal_feasible
+            and self.dual_feasible
+            and self.dual_value <= self.primal_value + 1e-6
+        )
+
+
+def dual_value(program: CoveringProgram, y: list[float]) -> float:
+    """Dual objective ``b . y``."""
+    return sum(
+        row.rhs * y_value for row, y_value in zip(program.constraints, y)
+    )
+
+
+def dual_column_slacks(
+    program: CoveringProgram, y: list[float]
+) -> list[float]:
+    """Per-variable slack ``c_v - sum_rows coeff * y_row`` (negative = violated)."""
+    used = [0.0] * program.num_variables
+    for row, y_value in zip(program.constraints, y):
+        for var, coeff in row.terms:
+            used[var] += coeff * y_value
+    return [cost - load for cost, load in zip(program.costs, used)]
+
+
+def check_duality(
+    program: CoveringProgram,
+    x: list[float],
+    y: list[float],
+    tol: float = 1e-6,
+) -> DualityReport:
+    """Verify primal feasibility, dual feasibility, and weak duality.
+
+    Args:
+        program: the covering program both solutions refer to.
+        x: primal assignment (0/1 or fractional in [0, 1]).
+        y: one dual value per constraint row, ``y >= 0``.
+        tol: numeric tolerance for feasibility checks.
+    """
+    slacks = dual_column_slacks(program, y)
+    max_violation = max((-s for s in slacks), default=0.0)
+    dual_feasible = max_violation <= tol and all(v >= -tol for v in y)
+    return DualityReport(
+        primal_value=program.objective(x),
+        dual_value=dual_value(program, y),
+        primal_feasible=program.is_feasible(x, tol=tol),
+        dual_feasible=dual_feasible,
+        max_dual_violation=max_violation,
+    )

@@ -1,0 +1,122 @@
+"""A small covering-ILP builder shared by every offline baseline.
+
+All ILPs in the thesis (Figures 2.2, 3.2, 4.1, 5.2, 5.4) are *covering*
+programs: minimise ``c . x`` subject to ``A x >= b`` with ``x in {0,1}``,
+non-negative matrix entries, and non-negative right-hand sides.
+:class:`CoveringProgram` represents exactly this shape sparsely, which is
+enough structure for the exact branch-and-bound fallback and the
+dual-ascent lower bound to be correct without a general LP solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """One covering row: ``sum coeff_v * x_v >= rhs``."""
+
+    terms: tuple[tuple[int, float], ...]
+    rhs: float
+    name: str = ""
+
+
+@dataclass
+class CoveringProgram:
+    """Sparse 0/1 covering program ``min c.x : A x >= b, x in {0,1}``.
+
+    Build with :meth:`add_variable` then :meth:`add_constraint`; hand the
+    finished program to :mod:`repro.lp.solver`.
+    """
+
+    costs: list[float] = field(default_factory=list)
+    names: list[str] = field(default_factory=list)
+    constraints: list[Constraint] = field(default_factory=list)
+    payloads: list[object] = field(default_factory=list)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.costs)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def add_variable(
+        self, cost: float, name: str = "", payload: object = None
+    ) -> int:
+        """Add a 0/1 variable with objective coefficient ``cost``; return index.
+
+        ``payload`` carries the domain object the variable selects (a
+        :class:`~repro.core.lease.Lease`, typically) so solutions can be
+        translated back without a parallel lookup table.
+        """
+        cost = float(cost)
+        if cost < 0:
+            raise ModelError(f"covering programs need costs >= 0, got {cost}")
+        self.costs.append(cost)
+        self.names.append(name or f"x{len(self.costs) - 1}")
+        self.payloads.append(payload)
+        return len(self.costs) - 1
+
+    def add_constraint(
+        self, terms: dict[int, float], rhs: float, name: str = ""
+    ) -> int:
+        """Add a row ``sum terms[v] * x_v >= rhs``; return row index."""
+        rhs = float(rhs)
+        if rhs < 0:
+            raise ModelError(f"covering rows need rhs >= 0, got {rhs}")
+        cleaned: list[tuple[int, float]] = []
+        for var, coeff in sorted(terms.items()):
+            coeff = float(coeff)
+            if coeff < 0:
+                raise ModelError(
+                    f"covering rows need coefficients >= 0, got {coeff}"
+                )
+            if not 0 <= var < self.num_variables:
+                raise ModelError(f"unknown variable index {var}")
+            if coeff > 0:
+                cleaned.append((var, coeff))
+        max_cover = sum(coeff for _, coeff in cleaned)
+        if max_cover + 1e-9 < rhs:
+            raise ModelError(
+                f"row {name or len(self.constraints)} is infeasible even with "
+                f"all variables set: coverage {max_cover} < rhs {rhs}"
+            )
+        self.constraints.append(
+            Constraint(terms=tuple(cleaned), rhs=rhs, name=name)
+        )
+        return len(self.constraints) - 1
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers
+    # ------------------------------------------------------------------
+    def objective(self, x: list[float]) -> float:
+        """Objective value ``c . x``."""
+        return sum(c * v for c, v in zip(self.costs, x))
+
+    def is_feasible(self, x: list[float], tol: float = 1e-6) -> bool:
+        """Whether ``x`` satisfies every covering row (within ``tol``)."""
+        return all(
+            sum(coeff * x[var] for var, coeff in row.terms) + tol >= row.rhs
+            for row in self.constraints
+        )
+
+    def violated_rows(self, x: list[float], tol: float = 1e-6) -> list[int]:
+        """Indices of rows not satisfied by ``x``."""
+        return [
+            index
+            for index, row in enumerate(self.constraints)
+            if sum(coeff * x[var] for var, coeff in row.terms) + tol < row.rhs
+        ]
+
+    def selected_payloads(self, x: list[float]) -> list[object]:
+        """Payloads of variables set (rounded) to one in ``x``."""
+        return [
+            payload
+            for payload, value in zip(self.payloads, x)
+            if value > 0.5 and payload is not None
+        ]

@@ -1,0 +1,44 @@
+"""The parking permit problem (thesis Chapter 2 / Meyerson 2005).
+
+The first and simplest leasing model: one resource, ``K`` permit types,
+rainy days must be covered.  This package provides the instance model and
+Figure 2.2 ILP, two exact offline solvers, Meyerson's deterministic O(K)
+and randomized O(log K) online algorithms, both lower-bound constructions,
+and naive strawman policies.
+"""
+
+from .deterministic import DeterministicParkingPermit
+from .lower_bounds import (
+    AdaptiveAdversary,
+    AdversaryOutcome,
+    adversarial_schedule,
+    sample_randomized_lower_bound,
+)
+from .model import ParkingPermitInstance, make_instance
+from .naive import AlwaysLongest, AlwaysShortest, RentThenBuy
+from .offline import (
+    OfflineSolution,
+    optimal_general,
+    optimal_interval,
+    optimal_interval_cost,
+)
+from .randomized import FractionalParkingPermit, RandomizedParkingPermit
+
+__all__ = [
+    "AdaptiveAdversary",
+    "AdversaryOutcome",
+    "AlwaysLongest",
+    "AlwaysShortest",
+    "DeterministicParkingPermit",
+    "FractionalParkingPermit",
+    "OfflineSolution",
+    "ParkingPermitInstance",
+    "RandomizedParkingPermit",
+    "RentThenBuy",
+    "adversarial_schedule",
+    "make_instance",
+    "optimal_general",
+    "optimal_interval",
+    "optimal_interval_cost",
+    "sample_randomized_lower_bound",
+]

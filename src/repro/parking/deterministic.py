@@ -1,0 +1,88 @@
+"""Meyerson's deterministic O(K)-competitive algorithm (thesis Alg. 1).
+
+The algorithm is primal-dual: when an (uncovered) rainy day arrives, its
+dual variable is raised until the constraint of some candidate lease —
+one of the ``K`` interval-model windows covering the day — becomes tight,
+and every tight candidate is bought.  Theorem 2.7 proves O(K)
+competitiveness; Theorem 2.8 shows no deterministic algorithm (whose ratio
+depends only on K) does better.
+
+The implementation keeps, per window, the accumulated *contribution*
+(the sum of dual values of clients inside it); a window is tight when its
+contribution reaches its cost.  Both the primal (purchases) and the dual
+(per-day values) are exposed so tests can verify feasibility and weak
+duality against the Figure 2.2 ILP.
+"""
+
+from __future__ import annotations
+
+from ..core.lease import Lease, LeaseSchedule
+from ..core.store import LeaseStore
+
+
+class DeterministicParkingPermit:
+    """Online primal-dual parking permit algorithm (Algorithm 1).
+
+    Args:
+        schedule: the permit types.  The algorithm operates in the interval
+            model (aligned windows); arbitrary schedules are accepted and
+            aligned implicitly, but the O(K) analysis assumes the interval
+            model — wrap with
+            :class:`~repro.core.interval_model.IntervalModelReduction`
+            for general schedules.
+    """
+
+    def __init__(self, schedule: LeaseSchedule):
+        self.schedule = schedule
+        self.store = LeaseStore()
+        self._contribution: dict[tuple[int, int], float] = {}
+        self._dual: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Online interface
+    # ------------------------------------------------------------------
+    def on_demand(self, day: int) -> None:
+        """Serve the rainy day ``day`` (raise its dual, buy tight leases)."""
+        if day in self._dual:
+            return  # duplicate arrival: constraint already exists
+        candidates = self.schedule.windows_covering(day)
+        slacks = [
+            candidate.cost
+            - self._contribution.get(
+                (candidate.type_index, candidate.start), 0.0
+            )
+            for candidate in candidates
+        ]
+        # If some candidate is already tight (e.g. already bought), the
+        # dual cannot be raised at all.
+        raise_by = max(0.0, min(slacks))
+        self._dual[day] = raise_by
+        for candidate in candidates:
+            key = (candidate.type_index, candidate.start)
+            self._contribution[key] = (
+                self._contribution.get(key, 0.0) + raise_by
+            )
+            if self._contribution[key] >= candidate.cost - 1e-9:
+                self.store.buy(candidate)
+
+    def covers(self, day: int) -> bool:
+        """Whether the current solution already covers ``day``."""
+        return self.store.covers(0, day)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def cost(self) -> float:
+        """Total cost of purchases so far."""
+        return self.store.total_cost
+
+    @property
+    def leases(self) -> tuple[Lease, ...]:
+        """Purchased leases in purchase order."""
+        return self.store.leases
+
+    @property
+    def duals(self) -> dict[int, float]:
+        """The dual value assigned to each served day (Figure 2.2 duals)."""
+        return dict(self._dual)

@@ -1,0 +1,115 @@
+"""Lower-bound constructions for the parking permit problem.
+
+Two constructions from the thesis:
+
+* Theorem 2.8 (deterministic Omega(K)): an *adaptive adversary* that keeps
+  requesting the earliest day the online algorithm has not covered, under
+  the schedule ``c_k = 2^k``, ``l_k = (2K)^k``.  Any deterministic
+  algorithm is forced to pay Omega(K) times the offline optimum.
+  :class:`AdaptiveAdversary` implements the interrogation loop against any
+  algorithm exposing ``covers``/``on_demand``.
+
+* Theorem 2.9 (randomized Omega(log K)): a *distribution* over instances
+  built recursively — inside an active type-``k`` interval, the ``i``-th
+  type-``k-1`` sub-interval is active with probability ``2^{1-i}`` — such
+  that every deterministic algorithm's expected ratio is Omega(log K).
+  :func:`sample_randomized_lower_bound` draws instances from it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .._validation import require, require_positive_int
+from ..core.lease import LeaseSchedule
+from .model import ParkingPermitInstance
+
+
+@dataclass(frozen=True, slots=True)
+class AdversaryOutcome:
+    """Result of an adversary run: the days played and the final instance."""
+
+    instance: ParkingPermitInstance
+    online_cost: float
+    num_requests: int
+
+
+class AdaptiveAdversary:
+    """The Theorem 2.8 adaptive adversary.
+
+    Walks the horizon left to right; whenever the algorithm's current
+    solution does not cover "today", a client is issued there (so every
+    request provably arrives uncovered, the hallmark of the lower-bound
+    strategy).  The adversary observes only coverage, matching the
+    adaptive-adversary model of Section 2.1.
+    """
+
+    def __init__(self, schedule: LeaseSchedule, horizon: int):
+        require_positive_int(horizon, "horizon")
+        self.schedule = schedule
+        self.horizon = horizon
+
+    def run(self, algorithm) -> AdversaryOutcome:
+        """Interrogate ``algorithm`` and return the instance it produced."""
+        days: list[int] = []
+        for day in range(self.horizon):
+            if not algorithm.covers(day):
+                algorithm.on_demand(day)
+                days.append(day)
+        instance = ParkingPermitInstance(
+            schedule=self.schedule, rainy_days=tuple(days)
+        )
+        return AdversaryOutcome(
+            instance=instance,
+            online_cost=algorithm.cost,
+            num_requests=len(days),
+        )
+
+
+def adversarial_schedule(num_types: int) -> LeaseSchedule:
+    """The Theorem 2.8 schedule: ``c_k = 2^k``, ``l_k = (2K)^k``."""
+    return LeaseSchedule.meyerson_lower_bound(num_types)
+
+
+def sample_randomized_lower_bound(
+    num_types: int,
+    rng: random.Random,
+    branching: int = 8,
+) -> ParkingPermitInstance:
+    """Draw one instance from the Theorem 2.9 hard distribution.
+
+    The schedule has ``c_k = 2^k`` and lengths growing by ``branching``
+    per level (the proof wants "arbitrarily larger"; any factor >= 2 shows
+    the logarithmic shape).  Active intervals recurse: inside an active
+    level-``k`` interval, sub-interval ``i`` (1-based) is active with
+    probability ``2^{1-i}`` — the first child is always active.  Each
+    active level-0 interval contributes one rainy day at its first day.
+
+    Args:
+        num_types: ``K``, the number of permit types.
+        rng: source of randomness (seed it for reproducibility).
+        branching: sub-intervals per level; must be >= 2.
+    """
+    require_positive_int(num_types, "num_types")
+    require(branching >= 2, "branching must be >= 2")
+    schedule = LeaseSchedule.from_pairs(
+        [(branching**k, float(2**k)) for k in range(num_types)]
+    )
+
+    rainy: list[int] = []
+
+    def recurse(level: int, start: int) -> None:
+        if level == 0:
+            rainy.append(start)
+            return
+        child_length = branching ** (level - 1)
+        for i in range(branching):
+            # 1-based child index i+1 active with probability 2^{-i}.
+            if i == 0 or rng.random() < 2.0 ** (-i):
+                recurse(level - 1, start + i * child_length)
+
+    recurse(num_types - 1, 0)
+    return ParkingPermitInstance(
+        schedule=schedule, rainy_days=tuple(sorted(rainy))
+    )

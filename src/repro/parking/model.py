@@ -1,0 +1,107 @@
+"""The parking permit problem model (thesis Section 2.2.1, Figure 2.2).
+
+On each rainy day we must hold a valid permit (lease); permits come in
+``K`` types of different durations and costs.  The instance is therefore a
+lease schedule plus the sorted list of rainy days.  The ILP of Figure 2.2
+is materialised by :meth:`ParkingPermitInstance.to_covering_program`, which
+the exact baselines and duality checks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import (
+    freeze_ints,
+    require,
+    require_nonnegative_int,
+    require_sorted_unique,
+)
+from ..core.lease import Lease, LeaseSchedule
+from ..lp.model import CoveringProgram
+
+
+@dataclass(frozen=True)
+class ParkingPermitInstance:
+    """A parking permit instance: lease types plus rainy days.
+
+    Attributes:
+        schedule: the ``K`` available permit types.
+        rainy_days: strictly increasing days on which a permit is needed.
+    """
+
+    schedule: LeaseSchedule
+    rainy_days: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        days = freeze_ints(self.rainy_days, "rainy_days")
+        object.__setattr__(self, "rainy_days", days)
+        for day in days:
+            require_nonnegative_int(day, "rainy day")
+        require_sorted_unique(days, "rainy_days")
+
+    @property
+    def num_days(self) -> int:
+        """Number of rainy days (demands)."""
+        return len(self.rainy_days)
+
+    @property
+    def horizon(self) -> int:
+        """One past the last rainy day (0 for the empty instance)."""
+        return self.rainy_days[-1] + 1 if self.rainy_days else 0
+
+    def candidates(self, day: int) -> list[Lease]:
+        """The ``K`` interval-model windows covering ``day`` (its candidates)."""
+        return self.schedule.windows_covering(day)
+
+    def is_feasible_solution(self, leases: list[Lease]) -> bool:
+        """Whether every rainy day is covered by some lease."""
+        return all(
+            any(lease.covers(day) for lease in leases)
+            for day in self.rainy_days
+        )
+
+    def to_covering_program(self) -> CoveringProgram:
+        """The Figure 2.2 ILP restricted to interval-model windows.
+
+        One 0/1 variable per aligned window containing at least one rainy
+        day; one covering row per rainy day.  Restricting to windows that
+        contain a demand loses nothing (an empty window can be dropped from
+        any solution).
+        """
+        program = CoveringProgram()
+        variable_of: dict[tuple[int, int], int] = {}
+        rows: list[dict[int, float]] = [dict() for _ in self.rainy_days]
+        for day_index, day in enumerate(self.rainy_days):
+            for lease in self.candidates(day):
+                key = (lease.type_index, lease.start)
+                if key not in variable_of:
+                    variable_of[key] = program.add_variable(
+                        cost=lease.cost,
+                        name=f"x[k={lease.type_index},t={lease.start}]",
+                        payload=lease,
+                    )
+                rows[day_index][variable_of[key]] = 1.0
+        for day, terms in zip(self.rainy_days, rows):
+            program.add_constraint(terms, rhs=1.0, name=f"day[{day}]")
+        return program
+
+    def with_days(self, rainy_days: list[int]) -> "ParkingPermitInstance":
+        """Same schedule, different demand sequence."""
+        return ParkingPermitInstance(
+            schedule=self.schedule, rainy_days=tuple(sorted(set(rainy_days)))
+        )
+
+
+def make_instance(
+    schedule: LeaseSchedule, rainy_days: list[int]
+) -> ParkingPermitInstance:
+    """Convenience constructor that sorts and dedupes ``rainy_days``."""
+    require(
+        all(isinstance(day, int) and not isinstance(day, bool)
+            for day in rainy_days),
+        "rainy_days must be ints",
+    )
+    return ParkingPermitInstance(
+        schedule=schedule, rainy_days=tuple(sorted(set(rainy_days)))
+    )

@@ -1,0 +1,104 @@
+"""Naive online strawmen for experiment E14 (heuristic baselines).
+
+The introduction motivates leasing by the two failure modes of naive
+policies: buying long leases that go unused, and buying short leases when
+a long one would have amortised.  These strawmen realise exactly those
+policies so the benchmark can show both losing to the primal-dual
+algorithms on the workloads where the *other* failure mode bites.
+"""
+
+from __future__ import annotations
+
+from ..core.lease import Lease, LeaseSchedule
+from ..core.store import LeaseStore
+
+
+class _SingleTypePolicy:
+    """Buy the fixed lease type's aligned window whenever a day is uncovered."""
+
+    def __init__(self, schedule: LeaseSchedule, type_index: int):
+        self.schedule = schedule
+        self.type_index = type_index
+        self.store = LeaseStore()
+
+    def on_demand(self, day: int) -> None:
+        if self.store.covers(0, day):
+            return
+        lease_type = self.schedule[self.type_index]
+        self.store.buy(
+            Lease(
+                resource=0,
+                type_index=lease_type.index,
+                start=lease_type.aligned_start(day),
+                length=lease_type.length,
+                cost=lease_type.cost,
+            )
+        )
+
+    def covers(self, day: int) -> bool:
+        return self.store.covers(0, day)
+
+    @property
+    def cost(self) -> float:
+        return self.store.total_cost
+
+    @property
+    def leases(self) -> tuple[Lease, ...]:
+        return self.store.leases
+
+
+class AlwaysShortest(_SingleTypePolicy):
+    """Rent day by day: always buy the shortest lease (ski-rental 'rent')."""
+
+    def __init__(self, schedule: LeaseSchedule):
+        super().__init__(schedule, type_index=0)
+
+
+class AlwaysLongest(_SingleTypePolicy):
+    """Always buy the longest lease (ski-rental 'buy')."""
+
+    def __init__(self, schedule: LeaseSchedule):
+        super().__init__(schedule, type_index=schedule.num_types - 1)
+
+
+class RentThenBuy(_SingleTypePolicy):
+    """Classic 2-competitive ski-rental lifted to K types.
+
+    Pays for short leases until the money spent inside the current longest
+    window reaches the longest lease's cost, then buys the long lease.
+    With K = 2 this is the textbook rent-or-buy policy; it serves as the
+    strongest naive baseline in E14.
+    """
+
+    def __init__(self, schedule: LeaseSchedule):
+        super().__init__(schedule, type_index=0)
+        self._spent_in_window: dict[int, float] = {}
+
+    def on_demand(self, day: int) -> None:
+        if self.store.covers(0, day):
+            return
+        longest = self.schedule[self.schedule.num_types - 1]
+        window_start = longest.aligned_start(day)
+        spent = self._spent_in_window.get(window_start, 0.0)
+        shortest = self.schedule[0]
+        if spent + shortest.cost >= longest.cost:
+            self.store.buy(
+                Lease(
+                    resource=0,
+                    type_index=longest.index,
+                    start=window_start,
+                    length=longest.length,
+                    cost=longest.cost,
+                )
+            )
+            return
+        self._spent_in_window[window_start] = spent + shortest.cost
+        self.store.buy(
+            Lease(
+                resource=0,
+                type_index=shortest.index,
+                start=shortest.aligned_start(day),
+                length=shortest.length,
+                cost=shortest.cost,
+            )
+        )

@@ -1,0 +1,174 @@
+"""Exact offline optima for the parking permit problem.
+
+Two exact solvers, used as the OPT baseline in every Chapter 2 experiment:
+
+* :func:`optimal_general` — the *general* model (leases may start any day).
+  A dynamic program over rainy days: some optimal solution starts every
+  lease on a rainy day (shifting a lease right to the first rainy day it
+  covers never uncovers anything), so the state space is the rainy-day
+  index and the transition chooses the lease type bought there.
+
+* :func:`optimal_interval` — the *interval* model (Definition 2.5).  When
+  lease lengths nest (each divides the next — powers of two do), aligned
+  windows form a tree and the optimum decomposes recursively: cover a
+  window either by buying its lease or by optimally covering its child
+  windows that contain demands.
+
+Both return the full purchase list so feasibility can be re-verified.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .._validation import require
+from ..core.lease import Lease
+from .model import ParkingPermitInstance
+
+
+@dataclass(frozen=True, slots=True)
+class OfflineSolution:
+    """An offline solution: total cost and the leases realising it."""
+
+    cost: float
+    leases: tuple[Lease, ...]
+    method: str
+
+
+def optimal_general(instance: ParkingPermitInstance) -> OfflineSolution:
+    """Exact optimum when leases may start on any day (general model).
+
+    ``O(n * K)`` dynamic program over the ``n`` rainy days: ``best(i)`` is
+    the minimum cost to cover rainy days ``i..n-1``; buying type ``k`` at
+    day ``rainy[i]`` covers through ``rainy[i] + l_k - 1`` and jumps to the
+    first uncovered rainy day.
+    """
+    days = instance.rainy_days
+    schedule = instance.schedule
+    n = len(days)
+    if n == 0:
+        return OfflineSolution(cost=0.0, leases=(), method="dp-general")
+
+    best_cost = [0.0] * (n + 1)
+    best_choice: list[int] = [0] * n
+    for i in range(n - 1, -1, -1):
+        best = float("inf")
+        choice = 0
+        for lease_type in schedule:
+            # First rainy day not covered by (type, start=days[i]).
+            next_index = bisect.bisect_left(days, days[i] + lease_type.length)
+            total = lease_type.cost + best_cost[next_index]
+            if total < best - 1e-12:
+                best = total
+                choice = lease_type.index
+        best_cost[i] = best
+        best_choice[i] = choice
+
+    leases: list[Lease] = []
+    i = 0
+    while i < n:
+        lease_type = schedule[best_choice[i]]
+        leases.append(
+            Lease(
+                resource=0,
+                type_index=lease_type.index,
+                start=days[i],
+                length=lease_type.length,
+                cost=lease_type.cost,
+            )
+        )
+        i = bisect.bisect_left(days, days[i] + lease_type.length)
+    return OfflineSolution(
+        cost=best_cost[0], leases=tuple(leases), method="dp-general"
+    )
+
+
+def optimal_interval(instance: ParkingPermitInstance) -> OfflineSolution:
+    """Exact optimum in the interval model, for nested lease lengths.
+
+    Requires :meth:`LeaseSchedule.is_nested` (powers of two qualify).  The
+    recursion on aligned windows: the best way to cover the demands inside
+    a type-``k`` window is the cheaper of (a) buying that window's lease
+    and (b) covering each demand-containing type-``k-1`` child window
+    optimally.  Base case ``k = 0``: buy the window iff it contains a
+    demand.
+    """
+    schedule = instance.schedule
+    require(
+        schedule.is_nested(),
+        "optimal_interval requires nested lease lengths "
+        "(each length divides the next); round the schedule first",
+    )
+    days = instance.rainy_days
+    if not days:
+        return OfflineSolution(cost=0.0, leases=(), method="dp-interval")
+
+    def demands_in(start: int, length: int) -> bool:
+        left = bisect.bisect_left(days, start)
+        return left < len(days) and days[left] < start + length
+
+    @lru_cache(maxsize=None)
+    def window_cost(type_index: int, start: int) -> float:
+        lease_type = schedule[type_index]
+        if not demands_in(start, lease_type.length):
+            return 0.0
+        if type_index == 0:
+            return lease_type.cost
+        child = schedule[type_index - 1]
+        children_total = sum(
+            window_cost(type_index - 1, child_start)
+            for child_start in range(
+                start, start + lease_type.length, child.length
+            )
+        )
+        return min(lease_type.cost, children_total)
+
+    def collect(type_index: int, start: int, out: list[Lease]) -> None:
+        lease_type = schedule[type_index]
+        if not demands_in(start, lease_type.length):
+            return
+        children_total = float("inf")
+        if type_index > 0:
+            child = schedule[type_index - 1]
+            children_total = sum(
+                window_cost(type_index - 1, child_start)
+                for child_start in range(
+                    start, start + lease_type.length, child.length
+                )
+            )
+        if lease_type.cost <= children_total:
+            out.append(
+                Lease(
+                    resource=0,
+                    type_index=type_index,
+                    start=start,
+                    length=lease_type.length,
+                    cost=lease_type.cost,
+                )
+            )
+            return
+        child = schedule[type_index - 1]
+        for child_start in range(
+            start, start + lease_type.length, child.length
+        ):
+            collect(type_index - 1, child_start, out)
+
+    top = schedule[schedule.num_types - 1]
+    total = 0.0
+    leases: list[Lease] = []
+    start = top.aligned_start(days[0])
+    last = days[-1]
+    while start <= last:
+        total += window_cost(top.index, start)
+        collect(top.index, start, leases)
+        start += top.length
+    return OfflineSolution(
+        cost=total, leases=tuple(leases), method="dp-interval"
+    )
+
+
+def optimal_interval_cost(instance: ParkingPermitInstance) -> float:
+    """Cost-only shortcut for :func:`optimal_interval`."""
+    return optimal_interval(instance).cost

@@ -1,0 +1,45 @@
+"""Set multicover leasing (thesis Chapter 3).
+
+The first online algorithms for the set cover leasing family: the
+randomized ``O(log(delta K) log n)`` algorithm for SetMulticoverLeasing
+(Theorem 3.3) plus its special cases — SetCoverLeasing,
+OnlineSetMulticover (Corollary 3.4) and OnlineSetCoverWithRepetitions
+(Corollary 3.5) — together with offline greedy/ILP baselines and random
+instance generators.
+"""
+
+from .fractional import candidate_sum, fractional_cost, raise_fractions
+from .generators import random_instance, random_set_system
+from .model import (
+    MulticoverDemand,
+    SetMulticoverLeasingInstance,
+    SetSystem,
+)
+from .multicover import OnlineSetMulticoverLeasing
+from .offline import GreedySolution, greedy, optimal_leases, optimum
+from .special_cases import (
+    OnlineSetCoverLeasing,
+    OnlineSetCoverWithRepetitions,
+    non_leasing_instance,
+    repetitions_to_multicover,
+)
+
+__all__ = [
+    "GreedySolution",
+    "MulticoverDemand",
+    "OnlineSetCoverLeasing",
+    "OnlineSetCoverWithRepetitions",
+    "OnlineSetMulticoverLeasing",
+    "SetMulticoverLeasingInstance",
+    "SetSystem",
+    "candidate_sum",
+    "fractional_cost",
+    "greedy",
+    "non_leasing_instance",
+    "optimal_leases",
+    "optimum",
+    "raise_fractions",
+    "random_instance",
+    "random_set_system",
+    "repetitions_to_multicover",
+]

@@ -1,0 +1,103 @@
+"""Random set-system and instance generators for Chapter 3 experiments.
+
+Generators control the parameters the competitive bound depends on —
+``n`` (universe), ``m`` (family size), ``delta`` (memberships per
+element), ``K`` and ``p`` — so the benchmark sweeps can vary one at a
+time.  Feasibility is guaranteed by construction: every element belongs
+to at least ``min_memberships`` sets, and demand coverages never exceed
+an element's membership count.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .._validation import require, require_positive_int
+from ..core.lease import LeaseSchedule
+from .model import (
+    MulticoverDemand,
+    SetMulticoverLeasingInstance,
+    SetSystem,
+)
+
+
+def random_set_system(
+    num_elements: int,
+    num_sets: int,
+    memberships: int,
+    schedule: LeaseSchedule,
+    rng: random.Random,
+    cost_spread: float = 4.0,
+) -> SetSystem:
+    """A set system where each element joins ``memberships`` random sets.
+
+    Per-set lease costs follow the schedule's cost profile scaled by a
+    random per-set base in ``[1, cost_spread]``, preserving economies of
+    scale across lease types within each set.
+    """
+    require_positive_int(num_elements, "num_elements")
+    require_positive_int(num_sets, "num_sets")
+    require_positive_int(memberships, "memberships")
+    require(
+        memberships <= num_sets,
+        f"memberships {memberships} exceeds num_sets {num_sets}",
+    )
+    require(cost_spread >= 1.0, "cost_spread must be >= 1")
+
+    members: list[set[int]] = [set() for _ in range(num_sets)]
+    for element in range(num_elements):
+        for set_index in rng.sample(range(num_sets), memberships):
+            members[set_index].add(element)
+    # Re-home elements of any empty set so validation passes.
+    for set_index, chosen in enumerate(members):
+        if not chosen:
+            chosen.add(rng.randrange(num_elements))
+
+    lease_costs = []
+    for _ in range(num_sets):
+        base = 1.0 + rng.random() * (cost_spread - 1.0)
+        lease_costs.append(
+            [base * lease_type.cost for lease_type in schedule]
+        )
+    return SetSystem(
+        num_elements=num_elements,
+        sets=[frozenset(chosen) for chosen in members],
+        lease_costs=lease_costs,
+    )
+
+
+def random_instance(
+    num_elements: int,
+    num_sets: int,
+    memberships: int,
+    schedule: LeaseSchedule,
+    horizon: int,
+    num_demands: int,
+    rng: random.Random,
+    max_coverage: int = 1,
+) -> SetMulticoverLeasingInstance:
+    """A full random instance: system plus a sorted demand sequence.
+
+    Coverage requirements are uniform in ``[1, min(max_coverage,
+    memberships)]`` so every demand is feasible by construction.
+    """
+    require_positive_int(horizon, "horizon")
+    require_positive_int(num_demands, "num_demands")
+    system = random_set_system(
+        num_elements, num_sets, memberships, schedule, rng
+    )
+    cap = min(max_coverage, memberships)
+    demands = sorted(
+        (
+            MulticoverDemand(
+                element=rng.randrange(num_elements),
+                arrival=rng.randrange(horizon),
+                coverage=rng.randint(1, max(1, cap)),
+            )
+            for _ in range(num_demands)
+        ),
+        key=lambda demand: demand.arrival,
+    )
+    return SetMulticoverLeasingInstance(
+        system=system, schedule=schedule, demands=tuple(demands)
+    )

@@ -1,0 +1,229 @@
+"""Set multicover leasing model (thesis Section 3.2, Figure 3.2).
+
+Elements arrive over time, each with a coverage requirement ``p``; they
+must be covered by ``p`` *different* sets that contain them and hold an
+active lease at the arrival time.  The model couples three ingredients:
+
+* a :class:`SetSystem` — the universe, the family of sets, and the
+  per-set-per-lease-type costs ``c_{Sk}``;
+* a :class:`~repro.core.lease.LeaseSchedule` — the ``K`` lease types;
+* a demand sequence of :class:`MulticoverDemand` values ``(j, t, p)``.
+
+``SetMulticoverLeasing`` generalises ``SetCoverLeasing`` (``p = 1``),
+``OnlineSetMulticover`` (``K = 1``, infinite lease) and
+``OnlineSetCoverWithRepetitions`` — see :mod:`repro.setcover.special_cases`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require, require_nonnegative_int, require_positive_int
+from ..core.lease import Lease, LeaseSchedule
+from ..lp.model import CoveringProgram
+
+
+class SetSystem:
+    """A weighted set system with per-lease-type costs.
+
+    Args:
+        num_elements: universe size ``n``; elements are ``0..n-1``.
+        sets: the family ``F`` as iterables of element ids.
+        lease_costs: ``m x K`` matrix, ``lease_costs[s][k] = c_{Sk}``.
+    """
+
+    def __init__(
+        self,
+        num_elements: int,
+        sets: list,
+        lease_costs: list[list[float]],
+    ):
+        require_positive_int(num_elements, "num_elements")
+        require(len(sets) > 0, "a set system needs at least one set")
+        require(
+            len(lease_costs) == len(sets),
+            f"lease_costs has {len(lease_costs)} rows for {len(sets)} sets",
+        )
+        num_types = len(lease_costs[0])
+        frozen_sets: list[frozenset[int]] = []
+        for index, members in enumerate(sets):
+            frozen = frozenset(members)
+            require(len(frozen) > 0, f"set {index} is empty")
+            for element in frozen:
+                require(
+                    isinstance(element, int) and 0 <= element < num_elements,
+                    f"set {index} contains invalid element {element!r}",
+                )
+            frozen_sets.append(frozen)
+        costs: list[tuple[float, ...]] = []
+        for index, row in enumerate(lease_costs):
+            require(
+                len(row) == num_types,
+                f"lease_costs row {index} has {len(row)} entries, "
+                f"expected {num_types}",
+            )
+            for cost in row:
+                require(
+                    float(cost) > 0, f"set {index} has non-positive cost {cost}"
+                )
+            costs.append(tuple(float(c) for c in row))
+
+        self.num_elements = num_elements
+        self.sets: tuple[frozenset[int], ...] = tuple(frozen_sets)
+        self.lease_costs: tuple[tuple[float, ...], ...] = tuple(costs)
+        self._containing: dict[int, tuple[int, ...]] = {}
+        by_element: dict[int, list[int]] = {}
+        for set_index, members in enumerate(self.sets):
+            for element in members:
+                by_element.setdefault(element, []).append(set_index)
+        self._containing = {
+            element: tuple(indices) for element, indices in by_element.items()
+        }
+
+    @property
+    def num_sets(self) -> int:
+        """Family size ``m``."""
+        return len(self.sets)
+
+    @property
+    def num_types(self) -> int:
+        """Number of lease types ``K`` the cost matrix was built for."""
+        return len(self.lease_costs[0])
+
+    @property
+    def delta(self) -> int:
+        """Maximum number of sets any element belongs to (the thesis delta)."""
+        return max(
+            (len(indices) for indices in self._containing.values()), default=0
+        )
+
+    @property
+    def max_set_size(self) -> int:
+        """Maximum set cardinality (the thesis Delta)."""
+        return max(len(members) for members in self.sets)
+
+    def sets_containing(self, element: int) -> tuple[int, ...]:
+        """Indices of sets containing ``element`` (possibly empty)."""
+        return self._containing.get(element, ())
+
+    def cost(self, set_index: int, type_index: int) -> float:
+        """Lease cost ``c_{Sk}``."""
+        return self.lease_costs[set_index][type_index]
+
+
+@dataclass(frozen=True, slots=True)
+class MulticoverDemand:
+    """A demand ``(j, t)`` with coverage requirement ``p`` (thesis p_jt)."""
+
+    element: int
+    arrival: int
+    coverage: int = 1
+
+    def __post_init__(self) -> None:
+        require_nonnegative_int(self.element, "element")
+        require_nonnegative_int(self.arrival, "arrival")
+        require_positive_int(self.coverage, "coverage")
+
+
+@dataclass(frozen=True)
+class SetMulticoverLeasingInstance:
+    """A full instance: set system, lease schedule, demand sequence."""
+
+    system: SetSystem
+    schedule: LeaseSchedule
+    demands: tuple[MulticoverDemand, ...]
+
+    def __post_init__(self) -> None:
+        require(
+            self.system.num_types == self.schedule.num_types,
+            f"cost matrix has {self.system.num_types} lease types but the "
+            f"schedule has {self.schedule.num_types}",
+        )
+        previous = None
+        for demand in self.demands:
+            available = len(self.system.sets_containing(demand.element))
+            require(
+                available >= demand.coverage,
+                f"element {demand.element} needs {demand.coverage} distinct "
+                f"sets but belongs to only {available}",
+            )
+            if previous is not None:
+                require(
+                    demand.arrival >= previous,
+                    "demands must be sorted by arrival",
+                )
+            previous = demand.arrival
+
+    # ------------------------------------------------------------------
+    # Candidates and verification
+    # ------------------------------------------------------------------
+    def candidate_lease(
+        self, set_index: int, type_index: int, t: int
+    ) -> Lease:
+        """The aligned lease of ``(S, k)`` covering day ``t`` with cost c_{Sk}."""
+        lease_type = self.schedule[type_index]
+        return Lease(
+            resource=set_index,
+            type_index=type_index,
+            start=lease_type.aligned_start(t),
+            length=lease_type.length,
+            cost=self.system.cost(set_index, type_index),
+        )
+
+    def candidates(self, element: int, t: int) -> list[Lease]:
+        """All triples ``(S, k, window covering t)`` with ``element in S``.
+
+        Size at most ``delta * K`` — the ``|Q|`` of Lemma 3.1.
+        """
+        return [
+            self.candidate_lease(set_index, lease_type.index, t)
+            for set_index in self.system.sets_containing(element)
+            for lease_type in self.schedule
+        ]
+
+    def covering_sets(self, leases: list[Lease], demand: MulticoverDemand) -> set[int]:
+        """Distinct sets containing the element with a lease active at arrival."""
+        containing = set(self.system.sets_containing(demand.element))
+        return {
+            lease.resource
+            for lease in leases
+            if lease.resource in containing and lease.covers(demand.arrival)
+        }
+
+    def is_feasible_solution(self, leases: list[Lease]) -> bool:
+        """Whether every demand is covered by enough distinct leased sets."""
+        return all(
+            len(self.covering_sets(leases, demand)) >= demand.coverage
+            for demand in self.demands
+        )
+
+    def to_covering_program(self) -> CoveringProgram:
+        """The Figure 3.2 ILP restricted to demand-relevant windows.
+
+        Variables are candidate triples of some demand; each demand
+        contributes one row ``sum x >= p``.  Note the ILP counts *triples*,
+        exactly as Figure 3.2 does; the online verifier is stricter
+        (distinct sets), so ratios measured against this optimum are
+        conservative (never understated).
+        """
+        program = CoveringProgram()
+        variable_of: dict[tuple[int, int, int], int] = {}
+        for demand in self.demands:
+            terms: dict[int, float] = {}
+            for lease in self.candidates(demand.element, demand.arrival):
+                if lease.key not in variable_of:
+                    variable_of[lease.key] = program.add_variable(
+                        cost=lease.cost,
+                        name=(
+                            f"x[S={lease.resource},k={lease.type_index},"
+                            f"t={lease.start}]"
+                        ),
+                        payload=lease,
+                    )
+                terms[variable_of[lease.key]] = 1.0
+            program.add_constraint(
+                terms,
+                rhs=float(demand.coverage),
+                name=f"demand[e={demand.element},t={demand.arrival}]",
+            )
+        return program

@@ -1,0 +1,163 @@
+"""The randomized online algorithm for SetMulticoverLeasing (Algorithms 3+4).
+
+When an element ``(j, t)`` with coverage requirement ``p`` arrives, the
+algorithm repeatedly *i-covers* it: each call takes the candidate triples
+whose sets do not already serve this demand, raises their fractions until
+they sum to one (:func:`~repro.setcover.fractional.raise_fractions`), then
+rounds — a candidate is leased when its fraction exceeds its threshold
+``mu``, the minimum of ``2 * ceil(log2(n+1))`` independent uniforms drawn
+once per triple.  If rounding leases nothing new, the cheapest candidate
+is bought (Lemma 3.2 shows this fallback fires with probability at most
+``1/n^2``).
+
+Theorem 3.3: the algorithm is ``O(log(delta K) log n)``-competitive.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..core.lease import Lease
+from ..core.store import LeaseStore
+from ..errors import InfeasibleError
+from ..workloads.rng import make_rng
+from .fractional import fractional_cost, raise_fractions
+from .model import MulticoverDemand, SetMulticoverLeasingInstance
+
+
+class OnlineSetMulticoverLeasing:
+    """Online randomized algorithm for set multicover leasing.
+
+    Args:
+        instance: supplies the set system and schedule; demands are fed
+            through :meth:`on_demand` (the instance's own demand list is
+            only used by verifiers, so streaming new demands is fine).
+        seed: seeds the per-triple threshold draws.
+        num_threshold_draws: how many uniforms are minimised into each
+            triple's threshold ``mu``; defaults to ``2 * ceil(log2(n+1))``
+            per Algorithm 3.  The repetitions variant (Corollary 3.5)
+            overrides this with ``2 * ceil(log2(delta*n + 1))``.
+    """
+
+    def __init__(
+        self,
+        instance: SetMulticoverLeasingInstance,
+        seed: int | None = 0,
+        num_threshold_draws: int | None = None,
+    ):
+        self.instance = instance
+        self.system = instance.system
+        self.schedule = instance.schedule
+        self.store = LeaseStore()
+        self.fractions: dict[tuple[int, int, int], float] = {}
+        self._mu: dict[tuple[int, int, int], float] = {}
+        self._rng: random.Random = make_rng(seed)
+        if num_threshold_draws is None:
+            num_threshold_draws = 2 * math.ceil(
+                math.log2(self.system.num_elements + 1)
+            )
+        self.num_threshold_draws = max(1, num_threshold_draws)
+        self.fallback_purchases = 0
+        self.increments = 0
+
+    # ------------------------------------------------------------------
+    # Thresholds
+    # ------------------------------------------------------------------
+    def _threshold(self, key: tuple[int, int, int]) -> float:
+        """The triple's ``mu``: min of the pre-committed uniform draws.
+
+        Drawn lazily but memoised, which is equivalent to drawing all
+        thresholds up front (each triple's draws are independent of the
+        demand sequence).
+        """
+        if key not in self._mu:
+            self._mu[key] = min(
+                self._rng.random() for _ in range(self.num_threshold_draws)
+            )
+        return self._mu[key]
+
+    # ------------------------------------------------------------------
+    # Online interface
+    # ------------------------------------------------------------------
+    def on_demand(self, demand: MulticoverDemand | tuple) -> None:
+        """Serve one arriving element until it is ``p``-covered."""
+        if not isinstance(demand, MulticoverDemand):
+            element, arrival, *rest = demand
+            coverage = rest[0] if rest else 1
+            demand = MulticoverDemand(element, arrival, coverage)
+        containing = self.system.sets_containing(demand.element)
+        if len(containing) < demand.coverage:
+            raise InfeasibleError(
+                f"element {demand.element} belongs to {len(containing)} sets; "
+                f"cannot {demand.coverage}-cover it"
+            )
+        # Sets already serving this demand: leased and active at arrival.
+        used = {
+            set_index
+            for set_index in containing
+            if self.store.covers(set_index, demand.arrival)
+        }
+        guard = 0
+        while len(used) < demand.coverage:
+            guard += 1
+            if guard > demand.coverage + len(containing):
+                raise InfeasibleError(
+                    "i-cover loop failed to make progress "
+                    f"for element {demand.element}"
+                )
+            newly = self._cover_once(demand, used)
+            used.update(newly)
+
+    def _cover_once(
+        self, demand: MulticoverDemand, used: set[int]
+    ) -> set[int]:
+        """One i-Cover call: returns the set indices newly serving the demand."""
+        candidates = [
+            lease
+            for lease in self.instance.candidates(
+                demand.element, demand.arrival
+            )
+            if lease.resource not in used
+        ]
+        if not candidates:
+            raise InfeasibleError(
+                f"no remaining candidate sets for element {demand.element}"
+            )
+        self.increments += raise_fractions(
+            self.fractions,
+            [(lease.key, lease.cost) for lease in candidates],
+        )
+        newly: set[int] = set()
+        for lease in candidates:
+            fraction = self.fractions.get(lease.key, 0.0)
+            if fraction > self._threshold(lease.key):
+                self.store.buy(lease)
+                newly.add(lease.resource)
+        if not newly:
+            self.fallback_purchases += 1
+            cheapest = min(candidates, key=lambda lease: lease.cost)
+            self.store.buy(cheapest)
+            newly.add(cheapest.resource)
+        return newly
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def cost(self) -> float:
+        """Total cost of purchases so far."""
+        return self.store.total_cost
+
+    @property
+    def fractional_cost(self) -> float:
+        """Cost of the online fractional solution (Lemma 3.1's quantity)."""
+        return fractional_cost(
+            self.fractions,
+            cost_of=lambda key: self.system.cost(key[0], key[1]),
+        )
+
+    @property
+    def leases(self) -> tuple[Lease, ...]:
+        """Purchased leases in purchase order."""
+        return self.store.leases

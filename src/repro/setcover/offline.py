@@ -1,0 +1,116 @@
+"""Offline baselines for set multicover leasing.
+
+Three reference points bracketing the offline optimum of Definition 2.2:
+
+* :func:`greedy` — density-greedy over candidate triples, respecting the
+  distinct-sets rule; a feasible solution, hence an *upper* bound on OPT.
+* :func:`optimum` — the exact Figure 3.2 ILP optimum via
+  :func:`repro.lp.solver.opt_bounds` (exact for the instance sizes used in
+  tests and benchmarks, bracketed for larger sweeps).
+* LP relaxation (inside :func:`optimum`'s bracket) — a *lower* bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.lease import Lease
+from ..core.results import OptBounds
+from ..lp.solver import opt_bounds, solve_ilp
+from .model import SetMulticoverLeasingInstance
+
+
+@dataclass(frozen=True, slots=True)
+class GreedySolution:
+    """A feasible greedy solution: cost, leases, and demand assignments."""
+
+    cost: float
+    leases: tuple[Lease, ...]
+
+
+def greedy(instance: SetMulticoverLeasingInstance) -> GreedySolution:
+    """Density greedy: repeatedly buy the triple covering most units per cost.
+
+    A unit is one missing (demand, distinct-set) slot; a triple
+    ``(S, k, window)`` covers a unit of demand ``(j, t, p)`` when ``j`` is
+    in ``S``, the window covers ``t``, fewer than ``p`` sets serve the
+    demand so far, and ``S`` is not already one of them.
+    """
+    demands = instance.demands
+    assigned: list[set[int]] = [set() for _ in demands]
+
+    # Candidate triples, deduped across demands.
+    triples: dict[tuple[int, int, int], Lease] = {}
+    demands_of_triple: dict[tuple[int, int, int], list[int]] = {}
+    for demand_index, demand in enumerate(demands):
+        for lease in instance.candidates(demand.element, demand.arrival):
+            triples[lease.key] = lease
+            demands_of_triple.setdefault(lease.key, []).append(demand_index)
+
+    bought: dict[tuple[int, int, int], Lease] = {}
+    bought_sets_by_demand = assigned  # alias for readability below
+
+    def uncovered_units(key: tuple[int, int, int]) -> int:
+        lease = triples[key]
+        return sum(
+            1
+            for demand_index in demands_of_triple[key]
+            if (
+                len(bought_sets_by_demand[demand_index])
+                < demands[demand_index].coverage
+                and lease.resource
+                not in bought_sets_by_demand[demand_index]
+            )
+        )
+
+    while any(
+        len(sets) < demand.coverage
+        for sets, demand in zip(assigned, demands)
+    ):
+        best_key, best_density = None, 0.0
+        for key, lease in triples.items():
+            if key in bought:
+                continue
+            units = uncovered_units(key)
+            if units == 0:
+                continue
+            density = units / lease.cost
+            if density > best_density:
+                best_key, best_density = key, density
+        if best_key is None:  # pragma: no cover - instance validation prevents
+            raise RuntimeError("greedy stalled on a feasible instance")
+        lease = triples[best_key]
+        bought[best_key] = lease
+        for demand_index in demands_of_triple[best_key]:
+            demand = demands[demand_index]
+            if (
+                len(assigned[demand_index]) < demand.coverage
+                and lease.resource not in assigned[demand_index]
+            ):
+                assigned[demand_index].add(lease.resource)
+
+    leases = tuple(bought.values())
+    return GreedySolution(
+        cost=sum(lease.cost for lease in leases), leases=leases
+    )
+
+
+def optimum(
+    instance: SetMulticoverLeasingInstance,
+    exact_variable_limit: int = 4_000,
+) -> OptBounds:
+    """Bracket (or exactly solve) the Figure 3.2 ILP optimum."""
+    return opt_bounds(
+        instance.to_covering_program(),
+        exact_variable_limit=exact_variable_limit,
+    )
+
+
+def optimal_leases(
+    instance: SetMulticoverLeasingInstance,
+) -> tuple[float, tuple[Lease, ...]]:
+    """Exact optimum with the selected leases (small instances only)."""
+    program = instance.to_covering_program()
+    solution = solve_ilp(program)
+    leases = tuple(program.selected_payloads(list(solution.x)))
+    return solution.value, leases

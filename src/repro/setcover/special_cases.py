@@ -1,0 +1,161 @@
+"""The special cases of SetMulticoverLeasing (thesis Section 3.1/3.4).
+
+Three classical problems fall out of the leasing model by fixing
+parameters:
+
+* **SetCoverLeasing** — ``p = 1`` for every element.  The thesis notes the
+  multicover algorithm is its first competitive online algorithm.
+* **OnlineSetMulticover** (Berman & DasGupta) — ``K = 1`` with one lease
+  long enough to never expire (Corollary 3.4: optimal
+  ``O(log delta log n)``).
+* **OnlineSetCoverWithRepetitions** (Alon et al.) — elements may arrive
+  repeatedly and each arrival must be served by a *different* set;
+  realised by tracking used sets per element across arrivals and widening
+  the threshold draws to ``2 ceil(log2(delta n + 1))`` (Corollary 3.5).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.framework import buy_forever_schedule
+from ..core.lease import Lease, LeaseSchedule
+from ..errors import InfeasibleError
+from .model import (
+    MulticoverDemand,
+    SetMulticoverLeasingInstance,
+    SetSystem,
+)
+from .multicover import OnlineSetMulticoverLeasing
+
+
+class OnlineSetCoverLeasing(OnlineSetMulticoverLeasing):
+    """SetCoverLeasing: the ``p = 1`` specialisation (first online algorithm)."""
+
+    def on_demand(self, demand) -> None:
+        """Serve an arrival ``(element, t)``; coverage is forced to one."""
+        if isinstance(demand, MulticoverDemand):
+            demand = MulticoverDemand(demand.element, demand.arrival, 1)
+        else:
+            element, arrival, *_ = demand
+            demand = MulticoverDemand(element, arrival, 1)
+        super().on_demand(demand)
+
+
+def non_leasing_instance(
+    num_elements: int,
+    sets: list,
+    set_costs: list[float],
+    horizon: int,
+    demands: list[tuple[int, int, int]],
+) -> SetMulticoverLeasingInstance:
+    """Build the ``K = 1`` infinite-lease instance of Corollary 3.4.
+
+    One lease type spanning the entire horizon at the set's buy cost: the
+    leasing algorithm then *is* the classical online set multicover
+    algorithm.
+
+    Args:
+        num_elements: universe size.
+        sets: set family.
+        set_costs: classical one-off cost per set (``c_S``).
+        horizon: strict upper bound on all demand arrival times.
+        demands: ``(element, arrival, coverage)`` triples sorted by arrival.
+    """
+    schedule = buy_forever_schedule(horizon, cost=1.0)
+    system = SetSystem(
+        num_elements=num_elements,
+        sets=sets,
+        lease_costs=[[float(c)] for c in set_costs],
+    )
+    return SetMulticoverLeasingInstance(
+        system=system,
+        schedule=schedule,
+        demands=tuple(MulticoverDemand(*d) for d in demands),
+    )
+
+
+class OnlineSetCoverWithRepetitions(OnlineSetMulticoverLeasing):
+    """Alon et al.'s repetitions problem via the leasing machinery.
+
+    Elements arrive repeatedly; arrival ``r`` of element ``e`` must be
+    assigned a set not used by arrivals ``1..r-1`` of ``e``.  Per
+    Corollary 3.5 the threshold draws are widened to
+    ``2 ceil(log2(delta n + 1))``.
+
+    Demands are ``(element, arrival)`` pairs; coverage is implicit (one
+    new set per arrival).
+    """
+
+    def __init__(
+        self,
+        instance: SetMulticoverLeasingInstance,
+        seed: int | None = 0,
+    ):
+        draws = 2 * math.ceil(
+            math.log2(
+                instance.system.delta * instance.system.num_elements + 1
+            )
+        )
+        super().__init__(instance, seed=seed, num_threshold_draws=draws)
+        self._used_by_element: dict[int, set[int]] = {}
+        self.assignments: list[tuple[int, int, int]] = []
+
+    def on_demand(self, demand) -> None:
+        """Serve one (repeated) arrival with a set unused by prior arrivals."""
+        if isinstance(demand, MulticoverDemand):
+            element, arrival = demand.element, demand.arrival
+        else:
+            element, arrival, *_ = demand
+        used = self._used_by_element.setdefault(element, set())
+        containing = set(self.system.sets_containing(element))
+        if used >= containing:
+            raise InfeasibleError(
+                f"element {element} has exhausted all {len(containing)} sets"
+            )
+        # A set leased for another demand but new to this element serves it
+        # for free (its indicator variable is already one).
+        available = {
+            set_index
+            for set_index in containing - used
+            if self.store.covers(set_index, arrival)
+        }
+        if not available:
+            target = MulticoverDemand(element, arrival, 1)
+            available = self._cover_once(target, set(used))
+        chosen = min(available)
+        used.add(chosen)
+        self.assignments.append((element, arrival, chosen))
+
+    def is_assignment_valid(self) -> bool:
+        """Each element's arrivals got pairwise distinct, containing sets."""
+        seen: dict[int, set[int]] = {}
+        for element, arrival, set_index in self.assignments:
+            if element not in set(self.system.sets[set_index]):
+                return False
+            if not self.store.covers(set_index, arrival):
+                return False
+            if set_index in seen.setdefault(element, set()):
+                return False
+            seen[element].add(set_index)
+        return True
+
+
+def repetitions_to_multicover(
+    demands: list[tuple[int, int]]
+) -> list[MulticoverDemand]:
+    """Rewrite a repeated-arrival stream as multicover demands.
+
+    The ``r``-th arrival of an element becomes a demand with coverage
+    ``r``: serving it requires ``r`` distinct active sets, which is
+    exactly the repetitions requirement when arrivals share a time window.
+    Used by equivalence tests between the two formulations.
+    """
+    counts: dict[int, int] = {}
+    rewritten: list[MulticoverDemand] = []
+    for element, arrival in demands:
+        counts[element] = counts.get(element, 0) + 1
+        rewritten.append(
+            MulticoverDemand(element, arrival, counts[element])
+        )
+    return rewritten

@@ -1,0 +1,45 @@
+"""Synthetic request-sequence generators for all four problem families.
+
+The thesis has no experimental section, so workloads are synthesized per
+the motivating scenarios of Chapters 1 and 3-5: weather sequences for the
+parking permit problem, element/client arrival processes for set cover and
+facility leasing, and deadline arrivals for Chapter 5.  Everything is
+seeded through :func:`make_rng` for reproducibility.
+"""
+
+from .arrivals import (
+    constant_batches,
+    deadline_arrivals,
+    element_arrivals,
+    exponential_batches,
+    nonincreasing_batches,
+    poisson_like_batches,
+    polynomial_batches,
+)
+from .rng import make_rng, spawn
+from .weather import (
+    bernoulli_days,
+    burst_days,
+    diurnal_days,
+    markov_days,
+    seasonal_days,
+    sparse_days,
+)
+
+__all__ = [
+    "bernoulli_days",
+    "burst_days",
+    "constant_batches",
+    "diurnal_days",
+    "deadline_arrivals",
+    "element_arrivals",
+    "exponential_batches",
+    "make_rng",
+    "markov_days",
+    "nonincreasing_batches",
+    "poisson_like_batches",
+    "polynomial_batches",
+    "seasonal_days",
+    "sparse_days",
+    "spawn",
+]

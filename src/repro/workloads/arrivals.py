@@ -1,0 +1,137 @@
+"""Multi-demand arrival processes for the infrastructure problems.
+
+Chapter 3 needs streams of (element, coverage) arrivals; Chapter 4 needs
+per-time-step client *batches* whose sizes follow the patterns its
+analysis distinguishes (constant, non-increasing, polynomial, exponential);
+Chapter 5 needs arrivals with deadlines.  Everything is a plain list of
+small tuples so instances stay printable and hashable for tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .._validation import require, require_nonnegative_int, require_positive_int
+
+
+def poisson_like_batches(
+    horizon: int, mean_per_step: float, rng: random.Random
+) -> list[int]:
+    """Batch sizes per time step, approximately Poisson(mean) via binomial.
+
+    A binomial with many cheap trials approximates Poisson without numpy;
+    exactness is irrelevant here — only the arrival *pattern* matters.
+    """
+    require_positive_int(horizon, "horizon")
+    require(mean_per_step >= 0, "mean_per_step must be >= 0")
+    trials = max(1, int(mean_per_step * 10))
+    p = min(1.0, mean_per_step / trials)
+    return [
+        sum(1 for _ in range(trials) if rng.random() < p)
+        for _ in range(horizon)
+    ]
+
+
+def constant_batches(horizon: int, size: int) -> list[int]:
+    """The 'does not vary' pattern of Corollary 4.7: same batch every step."""
+    require_positive_int(horizon, "horizon")
+    require_nonnegative_int(size, "size")
+    return [size] * horizon
+
+
+def nonincreasing_batches(
+    horizon: int, start_size: int, rng: random.Random
+) -> list[int]:
+    """Non-increasing batch sizes (Corollary 4.7's second 'natural' case)."""
+    require_positive_int(horizon, "horizon")
+    require_positive_int(start_size, "start_size")
+    sizes: list[int] = []
+    current = start_size
+    for _ in range(horizon):
+        sizes.append(current)
+        if current > 0 and rng.random() < 0.35:
+            current = max(0, current - rng.randint(1, max(1, current // 2)))
+    return sizes
+
+
+def polynomial_batches(horizon: int, degree: int) -> list[int]:
+    """Batch sizes growing like ``(t+1)^degree`` (poly-bounded case)."""
+    require_positive_int(horizon, "horizon")
+    require_nonnegative_int(degree, "degree")
+    return [(t + 1) ** degree for t in range(horizon)]
+
+
+def exponential_batches(horizon: int, base: int = 2) -> list[int]:
+    """The conjectured-hard pattern of Section 4.4: ``D_i = base^i``.
+
+    Each step's batch matches everything that arrived before it, so every
+    step is as hard as the whole history.
+    """
+    require_positive_int(horizon, "horizon")
+    require(base >= 2, "base must be >= 2")
+    return [base**t for t in range(horizon)]
+
+
+def deadline_arrivals(
+    horizon: int,
+    arrival_probability: float,
+    max_slack: int,
+    rng: random.Random,
+    uniform_slack: int | None = None,
+) -> list[tuple[int, int]]:
+    """Clients ``(t, d)`` for the Chapter 5 deadline model.
+
+    Each day a client arrives with ``arrival_probability``; its slack ``d``
+    is ``uniform_slack`` when given (the *uniform OLD* regime of Theorem
+    5.3) else uniform in ``[0, max_slack]`` (*non-uniform OLD*).
+    """
+    require_positive_int(horizon, "horizon")
+    require_nonnegative_int(max_slack, "max_slack")
+    require(
+        0.0 <= arrival_probability <= 1.0,
+        "arrival_probability must be in [0, 1]",
+    )
+    clients: list[tuple[int, int]] = []
+    for t in range(horizon):
+        if rng.random() < arrival_probability:
+            if uniform_slack is not None:
+                slack = uniform_slack
+            else:
+                slack = rng.randint(0, max_slack)
+            clients.append((t, slack))
+    return clients
+
+
+def element_arrivals(
+    horizon: int,
+    num_elements: int,
+    arrivals_per_step: float,
+    rng: random.Random,
+    max_coverage: int = 1,
+    repeats_allowed: bool = True,
+) -> list[tuple[int, int, int]]:
+    """Element demands ``(element, time, coverage)`` for Chapter 3.
+
+    ``coverage`` (the multicover requirement ``p``) is uniform in
+    ``[1, max_coverage]``.  With ``repeats_allowed=False`` each element
+    arrives at most once (the plain OnlineSetCover regime).
+    """
+    require_positive_int(horizon, "horizon")
+    require_positive_int(num_elements, "num_elements")
+    demands: list[tuple[int, int, int]] = []
+    seen: set[int] = set()
+    for t in range(horizon):
+        batch = int(arrivals_per_step)
+        if rng.random() < arrivals_per_step - batch:
+            batch += 1
+        for _ in range(batch):
+            element = rng.randrange(num_elements)
+            if not repeats_allowed:
+                if len(seen) == num_elements:
+                    break
+                while element in seen:
+                    element = rng.randrange(num_elements)
+                seen.add(element)
+            coverage = rng.randint(1, max(1, max_coverage))
+            demands.append((element, t, coverage))
+    return demands

@@ -1,0 +1,26 @@
+"""Seeded randomness helpers.
+
+Every stochastic component in the library (randomized algorithms, workload
+generators, lower-bound instance samplers) draws from a ``random.Random``
+created here, so experiments are reproducible from a single integer seed.
+``random.Random`` (not numpy) keeps the core library dependency-free.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int | None) -> random.Random:
+    """A fresh ``random.Random``; ``None`` seeds from the OS (tests avoid it)."""
+    return random.Random(seed)
+
+
+def spawn(rng: random.Random, salt: int) -> random.Random:
+    """Derive an independent child stream from ``rng`` and an integer salt.
+
+    Used when one experiment seed must drive several independent
+    components (instance generation vs. algorithm coin flips) without the
+    draws of one perturbing the other.
+    """
+    return random.Random((rng.getrandbits(48) << 16) ^ salt)

@@ -1,0 +1,142 @@
+"""Rainy-day (single-resource demand) sequence generators.
+
+The parking permit problem's demand sequence is the set of *rainy days*
+(Figure 1.1).  These generators produce the request patterns the leasing
+literature cares about: independent coin flips, weather with memory
+(Markov), seasonal bursts (where long leases shine), and isolated sparse
+demands (where short leases shine).  All return sorted day lists.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .._validation import require, require_positive_int
+
+
+def bernoulli_days(
+    horizon: int, probability: float, rng: random.Random
+) -> list[int]:
+    """Each day is rainy independently with the given probability."""
+    require_positive_int(horizon, "horizon")
+    require(0.0 <= probability <= 1.0, "probability must be in [0, 1]")
+    return [t for t in range(horizon) if rng.random() < probability]
+
+
+def markov_days(
+    horizon: int,
+    start_rain: float,
+    stay_rain: float,
+    rng: random.Random,
+) -> list[int]:
+    """Two-state weather chain: rain persists with probability ``stay_rain``.
+
+    ``start_rain`` is the probability of entering rain from a dry day.
+    High persistence produces the long rainy stretches that reward long
+    leases, the regime Meyerson's model was designed for.
+    """
+    require_positive_int(horizon, "horizon")
+    require(0.0 <= start_rain <= 1.0, "start_rain must be in [0, 1]")
+    require(0.0 <= stay_rain <= 1.0, "stay_rain must be in [0, 1]")
+    days: list[int] = []
+    raining = rng.random() < start_rain
+    for t in range(horizon):
+        if raining:
+            days.append(t)
+            raining = rng.random() < stay_rain
+        else:
+            raining = rng.random() < start_rain
+    return days
+
+
+def seasonal_days(
+    horizon: int,
+    season_length: int,
+    wet_probability: float,
+    dry_probability: float,
+    rng: random.Random,
+) -> list[int]:
+    """Alternating wet/dry seasons of ``season_length`` days each.
+
+    Wet seasons rain with ``wet_probability`` per day, dry seasons with
+    ``dry_probability``; the resulting periodicity interacts with lease
+    lengths (a lease matching the season length is near-optimal).
+    """
+    require_positive_int(horizon, "horizon")
+    require_positive_int(season_length, "season_length")
+    days: list[int] = []
+    for t in range(horizon):
+        wet_season = (t // season_length) % 2 == 0
+        p = wet_probability if wet_season else dry_probability
+        if rng.random() < p:
+            days.append(t)
+    return days
+
+
+def sparse_days(
+    horizon: int, num_days: int, rng: random.Random
+) -> list[int]:
+    """Exactly ``num_days`` isolated rainy days, uniformly placed.
+
+    The anti-long-lease workload: demands so spread out that buying
+    anything beyond the shortest lease is wasted.
+    """
+    require_positive_int(horizon, "horizon")
+    require(
+        0 <= num_days <= horizon,
+        f"num_days must be in [0, {horizon}], got {num_days}",
+    )
+    return sorted(rng.sample(range(horizon), num_days))
+
+
+def diurnal_days(
+    horizon: int,
+    period: int,
+    peak_probability: float,
+    trough_probability: float,
+    rng: random.Random,
+) -> list[int]:
+    """Sinusoidal demand intensity — the cloud-trace shape.
+
+    The per-day demand probability oscillates smoothly between
+    ``trough_probability`` and ``peak_probability`` with the given period,
+    modelling the diurnal load cycles of the Section 1.3 cloud scenario.
+    Lease lengths near the period's half-wave amortise best, so this
+    workload exercises the algorithms' type-selection rather than just
+    their buy/skip decisions.
+    """
+    import math
+
+    require_positive_int(horizon, "horizon")
+    require_positive_int(period, "period")
+    require(
+        0.0 <= trough_probability <= peak_probability <= 1.0,
+        "need 0 <= trough_probability <= peak_probability <= 1",
+    )
+    mid = (peak_probability + trough_probability) / 2.0
+    amplitude = (peak_probability - trough_probability) / 2.0
+    days: list[int] = []
+    for t in range(horizon):
+        p = mid + amplitude * math.sin(2.0 * math.pi * t / period)
+        if rng.random() < p:
+            days.append(t)
+    return days
+
+
+def burst_days(
+    horizon: int,
+    num_bursts: int,
+    burst_length: int,
+    rng: random.Random,
+) -> list[int]:
+    """``num_bursts`` solid rainy stretches of ``burst_length`` days.
+
+    Bursts are placed uniformly (they may overlap; overlapping days merge).
+    """
+    require_positive_int(horizon, "horizon")
+    require_positive_int(burst_length, "burst_length")
+    days: set[int] = set()
+    for _ in range(num_bursts):
+        start = rng.randrange(max(1, horizon - burst_length + 1))
+        days.update(range(start, min(horizon, start + burst_length)))
+    return sorted(days)

@@ -1,0 +1,121 @@
+"""Tests for the analysis harness: verifiers, ratios, tables, sweeps."""
+
+import pytest
+
+from repro.core import LeaseSchedule, OptBounds
+from repro.analysis import (
+    RatioSummary,
+    Sweep,
+    expected_ratio,
+    format_table,
+    ratio_of,
+    ratios_over_instances,
+    verify_old,
+    verify_parking,
+)
+from repro.deadlines import make_old_instance
+from repro.parking import make_instance
+
+
+class TestVerifiers:
+    def test_parking_ok(self, schedule3):
+        instance = make_instance(schedule3, [0, 3])
+        leases = instance.candidates(0)[:1] + instance.candidates(3)[:1]
+        report = verify_parking(instance, leases)
+        assert report.ok
+        assert report.checked == 2
+        report.raise_if_failed()
+
+    def test_parking_failure_reported(self, schedule3):
+        instance = make_instance(schedule3, [0, 9])
+        report = verify_parking(instance, instance.candidates(0)[:1])
+        assert not report.ok
+        assert "day 9" in report.failures[0]
+        with pytest.raises(AssertionError):
+            report.raise_if_failed()
+
+    def test_old_verifier(self, schedule3):
+        instance = make_old_instance(schedule3, [(0, 3)])
+        client = instance.clients[0]
+        report = verify_old(instance, instance.candidates(client)[:1])
+        assert report.ok
+        assert not verify_old(instance, []).ok
+
+
+class TestRatio:
+    def test_ratio_of_bounds(self):
+        assert ratio_of(10.0, OptBounds.exactly(5.0)) == 2.0
+        assert ratio_of(10.0, 4.0) == 2.5
+
+    def test_ratio_of_zero_opt(self):
+        assert ratio_of(0.0, 0.0) == 1.0
+        assert ratio_of(1.0, 0.0) == float("inf")
+
+    def test_summary(self):
+        summary = RatioSummary.of([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.maximum == 3.0
+        assert summary.minimum == 1.0
+        assert summary.count == 3
+        assert summary.stdev == pytest.approx(1.0)
+
+    def test_single_value_summary(self):
+        assert RatioSummary.of([2.0]).stdev == 0.0
+
+    def test_expected_ratio_averages_seeds(self):
+        summary = expected_ratio(
+            lambda seed: 4.0 + seed % 2, OptBounds.exactly(2.0), seeds=[0, 1]
+        )
+        assert summary.mean == pytest.approx(2.25)
+
+    def test_ratios_over_instances(self):
+        summary = ratios_over_instances([(4.0, 2.0), (9.0, 3.0)])
+        assert summary.mean == pytest.approx(2.5)
+
+
+class TestTables:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["K", "ratio"], [[2, 1.5], [4, 2.25]], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "K" in lines[1] and "ratio" in lines[1]
+        assert "1.500" in text and "2.250" in text
+
+    def test_large_numbers_use_thousands(self):
+        assert "1,234.5" in format_table(["x"], [[1234.5]])
+
+    def test_infinity_rendering(self):
+        assert "inf" in format_table(["x"], [[float("inf")]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestSweep:
+    def test_rows_and_bounds(self):
+        sweep = Sweep("demo")
+        sweep.add({"K": 1}, online_cost=2.0, opt_cost=1.0, bound=3.0)
+        sweep.add({"K": 2}, online_cost=9.0, opt_cost=1.0, bound=3.0)
+        assert sweep.rows[0].within_bound
+        assert not sweep.rows[1].within_bound
+        assert not sweep.all_within_bounds()
+        assert sweep.max_ratio() == pytest.approx(9.0)
+
+    def test_render_includes_params(self):
+        sweep = Sweep("sweep")
+        sweep.add({"n": 10, "K": 2}, 4.0, 2.0)
+        text = sweep.render()
+        assert "n" in text and "K" in text and "2.000" in text
+
+    def test_rows_without_bound_pass(self):
+        sweep = Sweep("unbounded")
+        sweep.add({"x": 1}, 100.0, 1.0)
+        assert sweep.all_within_bounds()
+
+    def test_zero_opt_row(self):
+        sweep = Sweep("zero")
+        sweep.add({"x": 1}, 0.0, 0.0)
+        assert sweep.rows[0].ratio == 1.0

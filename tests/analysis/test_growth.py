@@ -1,0 +1,70 @@
+"""Tests for growth-order estimation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.analysis.growth import best_shape, fit_growth, grows_sublinearly
+
+
+class TestFitting:
+    def test_perfect_linear(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [2 * x + 1 for x in xs]
+        fits = fit_growth(xs, ys)
+        assert fits["linear"].residual == pytest.approx(0.0, abs=1e-9)
+        assert fits["linear"].slope == pytest.approx(2.0)
+        assert fits["linear"].intercept == pytest.approx(1.0)
+
+    def test_perfect_logarithmic(self):
+        xs = [1, 2, 4, 8, 16, 32]
+        ys = [3 * math.log(x) + 0.5 for x in xs]
+        fits = fit_growth(xs, ys)
+        assert fits["logarithmic"].residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_constant_series(self):
+        assert best_shape([1, 2, 4, 8], [5, 5, 5, 5]) == "constant"
+
+    def test_requires_three_points(self):
+        with pytest.raises(ModelError):
+            fit_growth([1, 2], [1, 2])
+
+    def test_requires_positive_xs(self):
+        with pytest.raises(ModelError):
+            fit_growth([0, 1, 2], [1, 2, 3])
+
+    def test_predict(self):
+        fits = fit_growth([1, 2, 4], [2, 4, 8])
+        assert fits["linear"].predict(3) == pytest.approx(6.0)
+
+
+class TestShapeSelection:
+    @given(slope=st.floats(min_value=0.5, max_value=5.0),
+           intercept=st.floats(min_value=0.0, max_value=3.0))
+    def test_linear_series_detected(self, slope, intercept):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        ys = [slope * x + intercept for x in xs]
+        assert best_shape(xs, ys) == "linear"
+        assert not grows_sublinearly(xs, ys)
+
+    @given(slope=st.floats(min_value=0.5, max_value=5.0),
+           intercept=st.floats(min_value=0.0, max_value=3.0))
+    def test_log_series_detected(self, slope, intercept):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        ys = [slope * math.log(x) + intercept for x in xs]
+        assert best_shape(xs, ys) == "logarithmic"
+        assert grows_sublinearly(xs, ys)
+
+    def test_measured_parking_ratios_are_sublinear(self):
+        """The E1 measured series (from EXPERIMENTS.md) is log-like."""
+        ks = [1, 2, 3, 4, 6, 8]
+        ratios = [1.000, 1.511, 1.931, 2.260, 2.615, 3.018]
+        assert grows_sublinearly(ks, ratios)
+
+    def test_adversary_ratios_are_linear(self):
+        """The E3 forced series ratio == K is linear."""
+        ks = [1, 2, 3, 4]
+        assert best_shape(ks, [1.0, 2.0, 3.0, 4.0]) == "linear"

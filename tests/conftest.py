@@ -1,0 +1,49 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core import LeaseSchedule
+from repro.workloads import make_rng
+
+# One moderate profile for all property tests: exhaustive enough to catch
+# logic errors, fast enough that the suite stays interactive.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; reseed inside tests when independence matters."""
+    return make_rng(12345)
+
+
+@pytest.fixture
+def schedule2():
+    """Two power-of-two lease types (lengths 1, 2)."""
+    return LeaseSchedule.power_of_two(2)
+
+
+@pytest.fixture
+def schedule3():
+    """Three power-of-two lease types (lengths 1, 2, 4)."""
+    return LeaseSchedule.power_of_two(3)
+
+
+@pytest.fixture
+def schedule4():
+    """Four power-of-two lease types (lengths 1, 2, 4, 8)."""
+    return LeaseSchedule.power_of_two(4)
+
+
+@pytest.fixture
+def general_schedule():
+    """A non-power-of-two schedule for interval-model reduction tests."""
+    return LeaseSchedule.from_pairs([(3, 2.0), (7, 3.5), (25, 8.0)])

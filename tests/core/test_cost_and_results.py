@@ -1,0 +1,74 @@
+"""Unit tests for CostLedger, RunResult, OptBounds and RatioReport."""
+
+import pytest
+
+from repro.core import CostLedger, OptBounds, RatioReport, RunResult
+
+
+class TestCostLedger:
+    def test_totals_by_category(self):
+        ledger = CostLedger()
+        ledger.add(0, "leasing", 5.0)
+        ledger.add(1, "leasing", 2.0)
+        ledger.add(1, "connection", 1.5)
+        assert ledger.total == 8.5
+        assert ledger.total_for("leasing") == 7.0
+        assert ledger.total_for("connection") == 1.5
+        assert ledger.by_category() == {"leasing": 7.0, "connection": 1.5}
+
+    def test_rejects_negative_charge(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError):
+            ledger.add(0, "leasing", -1.0)
+
+    def test_cumulative_curve_sorted_and_running(self):
+        ledger = CostLedger()
+        ledger.add(5, "a", 1.0)
+        ledger.add(2, "a", 2.0)
+        ledger.add(5, "b", 3.0)
+        assert ledger.cumulative_by_day() == [(2, 2.0), (5, 6.0)]
+
+    def test_empty_ledger(self):
+        ledger = CostLedger()
+        assert ledger.total == 0.0
+        assert ledger.cumulative_by_day() == []
+
+
+class TestOptBounds:
+    def test_exactly(self):
+        opt = OptBounds.exactly(4.0, method="dp")
+        assert opt.lower == opt.upper == 4.0
+        assert opt.exact
+
+    def test_rejects_crossed_bounds(self):
+        with pytest.raises(ValueError):
+            OptBounds(lower=5.0, upper=4.0)
+
+    def test_bracket(self):
+        opt = OptBounds(lower=3.0, upper=4.0, method="lp+greedy")
+        assert not opt.exact
+
+
+class TestRatioReport:
+    def run(self, cost):
+        return RunResult(algorithm="x", cost=cost, leases=(), num_demands=1)
+
+    def test_exact_ratio(self):
+        report = RatioReport(run=self.run(8.0), opt=OptBounds.exactly(4.0))
+        assert report.ratio == pytest.approx(2.0)
+        assert report.ratio_vs_lower == report.ratio_vs_upper
+
+    def test_bracketed_ratio(self):
+        report = RatioReport(
+            run=self.run(8.0), opt=OptBounds(lower=2.0, upper=4.0)
+        )
+        assert report.ratio_vs_lower == pytest.approx(4.0)
+        assert report.ratio_vs_upper == pytest.approx(2.0)
+
+    def test_zero_opt_with_zero_cost(self):
+        report = RatioReport(run=self.run(0.0), opt=OptBounds.exactly(0.0))
+        assert report.ratio == 1.0
+
+    def test_zero_opt_with_positive_cost(self):
+        report = RatioReport(run=self.run(1.0), opt=OptBounds.exactly(0.0))
+        assert report.ratio == float("inf")

@@ -1,0 +1,87 @@
+"""Tests for the Section 2.3 framework helpers and the run driver."""
+
+import pytest
+
+from repro.core import (
+    Demand,
+    LeaseSchedule,
+    buy_forever_schedule,
+    candidate_triples,
+    infrastructure_lease,
+    replay_prefixes,
+    run_online,
+)
+from repro.errors import ModelError
+from repro.parking import DeterministicParkingPermit
+
+
+class TestBuyForeverSchedule:
+    def test_single_type_spans_horizon(self):
+        schedule = buy_forever_schedule(100, cost=7.0)
+        assert schedule.num_types == 1
+        assert schedule.lmax >= 100
+        assert schedule[0].cost == 7.0
+
+    def test_length_is_power_of_two(self):
+        assert buy_forever_schedule(100, 1.0).is_power_of_two()
+
+    def test_one_window_covers_everything(self):
+        schedule = buy_forever_schedule(50, 1.0)
+        starts = {schedule[0].aligned_start(t) for t in range(50)}
+        assert starts == {0}
+
+    def test_rejects_zero_horizon(self):
+        with pytest.raises(ModelError):
+            buy_forever_schedule(0, 1.0)
+
+
+class TestInfrastructureLease:
+    def test_cost_override(self, schedule3):
+        lease = infrastructure_lease(schedule3, resource=4, type_index=1, t=5, cost=9.0)
+        assert lease.resource == 4
+        assert lease.cost == 9.0
+        assert lease.covers(5)
+
+    def test_candidate_triples_size(self, schedule3):
+        triples = candidate_triples(
+            schedule3, resources=[0, 1], t=3, cost_of=lambda r, k: 1.0
+        )
+        assert len(triples) == 2 * schedule3.num_types
+        assert all(lease.covers(3) for lease in triples)
+
+
+class TestDemand:
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ModelError):
+            Demand(ident=0, arrival=-1)
+
+
+class TestRunOnline:
+    def test_runs_in_order_and_reports(self, schedule3):
+        algorithm = DeterministicParkingPermit(schedule3)
+        result = run_online(algorithm, [1, 2, 5])
+        assert result.num_demands == 3
+        assert result.cost == algorithm.cost
+        assert result.algorithm == "DeterministicParkingPermit"
+
+    def test_rejects_out_of_order_demands(self, schedule3):
+        algorithm = DeterministicParkingPermit(schedule3)
+        with pytest.raises(ModelError):
+            run_online(algorithm, [5, 2])
+
+    def test_custom_name(self, schedule3):
+        result = run_online(
+            DeterministicParkingPermit(schedule3), [0], name="det"
+        )
+        assert result.algorithm == "det"
+
+    def test_replay_prefixes_monotone(self, schedule3):
+        """Online cost is non-decreasing in the demand prefix."""
+        days = [0, 3, 4, 9, 10, 11]
+        costs = replay_prefixes(
+            lambda: DeterministicParkingPermit(schedule3),
+            days,
+            range(len(days) + 1),
+        )
+        assert costs == sorted(costs)
+        assert costs[0] == 0.0

@@ -1,0 +1,150 @@
+"""Tests for the interval model and the Lemma 2.6 reduction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    IntervalModelReduction,
+    LeaseSchedule,
+    next_power_of_two,
+    round_schedule,
+    general_to_interval_cover,
+    to_general_solution,
+)
+from repro.errors import ModelError
+from repro.parking import (
+    DeterministicParkingPermit,
+    make_instance,
+    optimal_general,
+)
+from repro.workloads import bernoulli_days, make_rng
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (17, 32), (1024, 1024)],
+    )
+    def test_values(self, value, expected):
+        assert next_power_of_two(value) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ModelError):
+            next_power_of_two(0)
+
+    @given(n=st.integers(min_value=1, max_value=10**6))
+    def test_is_power_and_tight(self, n):
+        p = next_power_of_two(n)
+        assert p >= n
+        assert p & (p - 1) == 0
+        assert p < 2 * n  # tightness: never more than double
+
+
+class TestRoundSchedule:
+    def test_rounds_lengths_up(self, general_schedule):
+        rounded = round_schedule(general_schedule)
+        assert [t.length for t in rounded] == [4, 8, 32]
+        assert rounded.is_power_of_two()
+
+    def test_costs_preserved(self, general_schedule):
+        rounded = round_schedule(general_schedule)
+        assert [t.cost for t in rounded] == [2.0, 3.5, 8.0]
+
+    def test_collision_keeps_cheaper(self):
+        schedule = LeaseSchedule.from_pairs([(3, 5.0), (4, 2.0)])
+        rounded = round_schedule(schedule)
+        assert rounded.num_types == 1
+        assert rounded[0].length == 4
+        assert rounded[0].cost == 2.0
+
+    def test_original_type_tracking(self, general_schedule):
+        rounded = round_schedule(general_schedule)
+        assert rounded.original_type_of == (0, 1, 2)
+
+
+class TestLemma26Reduction:
+    """Empirical verification of the 4x bound (experiment E5's invariant)."""
+
+    def test_forward_translation_doubles_cost(self, general_schedule):
+        rounded = round_schedule(general_schedule)
+        algorithm = DeterministicParkingPermit(rounded)
+        for day in [0, 1, 5, 9, 30]:
+            algorithm.on_demand(day)
+        result = to_general_solution(
+            general_schedule, rounded, list(algorithm.leases)
+        )
+        assert result.general_cost == pytest.approx(2 * result.interval_cost)
+        assert len(result.general_leases) == 2 * len(result.interval_leases)
+
+    def test_forward_translation_preserves_coverage(self, general_schedule):
+        rounded = round_schedule(general_schedule)
+        algorithm = DeterministicParkingPermit(rounded)
+        days = [0, 1, 5, 9, 30, 31, 44]
+        for day in days:
+            algorithm.on_demand(day)
+        result = to_general_solution(
+            general_schedule, rounded, list(algorithm.leases)
+        )
+        for day in days:
+            assert any(lease.covers(day) for lease in result.general_leases)
+
+    def test_backward_cover_covers_general_solution(self, general_schedule):
+        rounded = round_schedule(general_schedule)
+        instance = make_instance(general_schedule, [0, 2, 9, 15, 26])
+        general = optimal_general(instance)
+        cover = general_to_interval_cover(
+            general_schedule, rounded, list(general.leases)
+        )
+        # Each general lease's window is inside the union of its two covers.
+        for lease in general.leases:
+            for day in range(lease.start, lease.end):
+                assert any(c.covers(day) for c in cover)
+
+    def test_backward_cover_at_most_doubles(self, general_schedule):
+        rounded = round_schedule(general_schedule)
+        instance = make_instance(general_schedule, [0, 2, 9, 15, 26])
+        general = optimal_general(instance)
+        cover = general_to_interval_cover(
+            general_schedule, rounded, list(general.leases)
+        )
+        cover_cost = sum(lease.cost for lease in cover)
+        assert cover_cost <= 2 * general.cost + 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_end_to_end_factor_reasonable(self, seed):
+        """Reduction output is feasible; cost within (4 * K) * OPT.
+
+        Lemma 2.6 promises a factor 4 on top of the algorithm's own
+        competitive factor (K for the deterministic algorithm), so the
+        wrapped run must stay below 4K * OPT_general.
+        """
+        rng = make_rng(seed)
+        schedule = LeaseSchedule.from_pairs([(3, 1.5), (10, 3.0), (21, 5.0)])
+        days = bernoulli_days(60, 0.25, rng)
+        if not days:
+            return
+        instance = make_instance(schedule, days)
+        reduction = IntervalModelReduction(
+            schedule, lambda rounded: DeterministicParkingPermit(rounded)
+        )
+        for day in instance.rainy_days:
+            reduction.on_demand(day)
+        assert instance.is_feasible_solution(list(reduction.leases))
+        opt = optimal_general(instance).cost
+        assert reduction.cost <= 4 * schedule.num_types * opt + 1e-6
+
+
+class TestIntervalModelReductionWrapper:
+    def test_cost_property_matches_result(self, general_schedule):
+        reduction = IntervalModelReduction(
+            general_schedule, lambda rounded: DeterministicParkingPermit(rounded)
+        )
+        reduction.on_demand(3)
+        reduction.on_demand(11)
+        assert reduction.cost == pytest.approx(reduction.result.general_cost)
+
+    def test_translation_requires_round_schedule(self, general_schedule):
+        other = LeaseSchedule.power_of_two(2)
+        with pytest.raises(ModelError):
+            to_general_solution(general_schedule, other, [])

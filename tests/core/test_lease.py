@@ -1,0 +1,190 @@
+"""Unit tests for the lease model (LeaseType, Lease, LeaseSchedule)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Lease, LeaseSchedule, LeaseType
+from repro.errors import ModelError
+
+
+class TestLeaseType:
+    def test_basic_fields(self):
+        lease_type = LeaseType(index=1, length=4, cost=3.0)
+        assert lease_type.length == 4
+        assert lease_type.cost == 3.0
+        assert lease_type.cost_per_day == 0.75
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ModelError):
+            LeaseType(index=0, length=0, cost=1.0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ModelError):
+            LeaseType(index=0, length=1, cost=-1.0)
+
+    def test_rejects_zero_cost(self):
+        with pytest.raises(ModelError):
+            LeaseType(index=0, length=1, cost=0.0)
+
+    def test_rejects_bool_length(self):
+        with pytest.raises(ModelError):
+            LeaseType(index=0, length=True, cost=1.0)
+
+    @given(t=st.integers(min_value=0, max_value=10_000),
+           length=st.integers(min_value=1, max_value=64))
+    def test_aligned_start_covers_t(self, t, length):
+        lease_type = LeaseType(index=0, length=length, cost=1.0)
+        start = lease_type.aligned_start(t)
+        assert start % length == 0
+        assert start <= t < start + length
+
+
+class TestLease:
+    def test_covers_half_open(self):
+        lease = Lease(resource=0, type_index=0, start=4, length=4, cost=1.0)
+        assert not lease.covers(3)
+        assert lease.covers(4)
+        assert lease.covers(7)
+        assert not lease.covers(8)
+
+    def test_end_exclusive(self):
+        lease = Lease(resource=0, type_index=1, start=2, length=3, cost=1.0)
+        assert lease.end == 5
+
+    def test_intersects_closed_interval(self):
+        lease = Lease(resource=0, type_index=0, start=10, length=5, cost=1.0)
+        assert lease.intersects(14, 20)
+        assert lease.intersects(0, 10)
+        assert not lease.intersects(0, 9)
+        assert not lease.intersects(15, 20)
+
+    def test_key_identity(self):
+        lease = Lease(resource=3, type_index=1, start=8, length=2, cost=9.0)
+        assert lease.key == (3, 1, 8)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ModelError):
+            Lease(resource=0, type_index=0, start=0, length=0, cost=1.0)
+
+
+class TestLeaseSchedule:
+    def test_from_pairs_assigns_indices(self):
+        schedule = LeaseSchedule.from_pairs([(1, 1.0), (4, 2.0)])
+        assert schedule[0].index == 0
+        assert schedule[1].index == 1
+        assert schedule.num_types == 2
+
+    def test_requires_increasing_lengths(self):
+        with pytest.raises(ModelError):
+            LeaseSchedule.from_pairs([(4, 1.0), (2, 2.0)])
+
+    def test_rejects_equal_lengths(self):
+        with pytest.raises(ModelError):
+            LeaseSchedule.from_pairs([(2, 1.0), (2, 2.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            LeaseSchedule([])
+
+    def test_rejects_misindexed_types(self):
+        types = [LeaseType(index=1, length=1, cost=1.0)]
+        with pytest.raises(ModelError):
+            LeaseSchedule(types)
+
+    def test_lmin_lmax(self, schedule4):
+        assert schedule4.lmin == 1
+        assert schedule4.lmax == 8
+
+    def test_power_of_two_factory(self):
+        schedule = LeaseSchedule.power_of_two(5)
+        assert [t.length for t in schedule] == [1, 2, 4, 8, 16]
+        assert schedule.is_power_of_two()
+        assert schedule.is_nested()
+
+    def test_power_of_two_has_economies_of_scale(self):
+        assert LeaseSchedule.power_of_two(4, cost_growth=1.8).has_economies_of_scale()
+
+    def test_steep_cost_growth_breaks_economies(self):
+        schedule = LeaseSchedule.power_of_two(3, cost_growth=2.5)
+        assert not schedule.has_economies_of_scale()
+
+    def test_meyerson_lower_bound_schedule(self):
+        schedule = LeaseSchedule.meyerson_lower_bound(3)
+        assert [t.cost for t in schedule] == [1.0, 2.0, 4.0]
+        assert [t.length for t in schedule] == [1, 6, 36]
+
+    def test_is_nested_non_power_of_two(self):
+        schedule = LeaseSchedule.from_pairs([(3, 1.0), (9, 2.0)])
+        assert schedule.is_nested()
+        assert not schedule.is_power_of_two()
+
+    def test_not_nested(self):
+        schedule = LeaseSchedule.from_pairs([(2, 1.0), (5, 2.0)])
+        assert not schedule.is_nested()
+
+    def test_windows_covering_one_per_type(self, schedule4):
+        windows = schedule4.windows_covering(13)
+        assert len(windows) == 4
+        for window in windows:
+            assert window.covers(13)
+            assert window.start % window.length == 0
+
+    def test_windows_covering_types_distinct(self, schedule4):
+        windows = schedule4.windows_covering(5)
+        assert sorted(w.type_index for w in windows) == [0, 1, 2, 3]
+
+    def test_windows_intersecting_counts(self, schedule4):
+        # Interval [0, 7]: 8 windows of length 1, 4 of length 2, 2 of 4, 1 of 8.
+        windows = schedule4.windows_intersecting(0, 7)
+        by_type = {}
+        for window in windows:
+            by_type.setdefault(window.type_index, []).append(window)
+        assert len(by_type[0]) == 8
+        assert len(by_type[1]) == 4
+        assert len(by_type[2]) == 2
+        assert len(by_type[3]) == 1
+
+    def test_windows_intersecting_rejects_empty_interval(self, schedule4):
+        with pytest.raises(ModelError):
+            schedule4.windows_intersecting(5, 4)
+
+    @given(first=st.integers(min_value=0, max_value=200),
+           width=st.integers(min_value=0, max_value=50))
+    def test_windows_intersecting_all_intersect(self, first, width):
+        schedule = LeaseSchedule.power_of_two(3)
+        last = first + width
+        for window in schedule.windows_intersecting(first, last):
+            assert window.intersects(first, last)
+
+    @given(first=st.integers(min_value=0, max_value=200),
+           width=st.integers(min_value=0, max_value=50))
+    def test_windows_intersecting_complete(self, first, width):
+        """Every aligned window meeting the interval is enumerated."""
+        schedule = LeaseSchedule.power_of_two(3)
+        last = first + width
+        enumerated = {
+            (w.type_index, w.start)
+            for w in schedule.windows_intersecting(first, last)
+        }
+        for lease_type in schedule:
+            start = 0
+            while start <= last:
+                if start + lease_type.length > first:
+                    assert (lease_type.index, start) in enumerated
+                start += lease_type.length
+
+    def test_max_windows_per_interval_bound(self, schedule4):
+        # Theorem 5.3's counting: sum ceil(d/l_k) + K candidates.
+        bound = schedule4.max_windows_per_interval(8)
+        actual = len(schedule4.windows_intersecting(0, 8))
+        assert actual <= bound
+
+    def test_equality_and_hash(self):
+        a = LeaseSchedule.power_of_two(3)
+        b = LeaseSchedule.power_of_two(3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_mentions_pairs(self):
+        assert "(1, 1)" in repr(LeaseSchedule.power_of_two(1))

@@ -1,0 +1,98 @@
+"""Unit tests for LeaseStore bookkeeping."""
+
+from repro.core import Lease, LeaseStore
+
+
+def lease(resource=0, type_index=0, start=0, length=4, cost=2.0):
+    return Lease(
+        resource=resource,
+        type_index=type_index,
+        start=start,
+        length=length,
+        cost=cost,
+    )
+
+
+class TestBuy:
+    def test_buy_returns_true_for_new(self):
+        store = LeaseStore()
+        assert store.buy(lease()) is True
+
+    def test_rebuy_is_free_noop(self):
+        store = LeaseStore()
+        store.buy(lease())
+        assert store.buy(lease()) is False
+        assert store.total_cost == 2.0
+        assert len(store) == 1
+
+    def test_buy_all_counts_new(self):
+        store = LeaseStore()
+        count = store.buy_all([lease(), lease(start=4), lease()])
+        assert count == 2
+
+    def test_total_cost_accumulates(self):
+        store = LeaseStore()
+        store.buy(lease(cost=2.0))
+        store.buy(lease(resource=1, cost=3.5))
+        assert store.total_cost == 5.5
+
+
+class TestQueries:
+    def test_covers_respects_resource(self):
+        store = LeaseStore()
+        store.buy(lease(resource=1, start=0, length=4))
+        assert store.covers(1, 3)
+        assert not store.covers(0, 3)
+        assert not store.covers(1, 4)
+
+    def test_covering_lists_active_leases(self):
+        store = LeaseStore()
+        a = lease(start=0, length=4)
+        b = lease(type_index=1, start=0, length=8)
+        store.buy(a)
+        store.buy(b)
+        assert set(l.key for l in store.covering(0, 2)) == {a.key, b.key}
+        assert [l.key for l in store.covering(0, 6)] == [b.key]
+
+    def test_covering_any_resource(self):
+        store = LeaseStore()
+        store.buy(lease(resource=0, start=0))
+        store.buy(lease(resource=5, start=0))
+        assert len(store.covering_any_resource(1)) == 2
+
+    def test_resources_covering(self):
+        store = LeaseStore()
+        store.buy(lease(resource=0, start=0, length=2))
+        store.buy(lease(resource=3, start=0, length=8))
+        assert store.resources_covering(1) == {0, 3}
+        assert store.resources_covering(5) == {3}
+
+    def test_owns_exact_triple(self):
+        store = LeaseStore()
+        store.buy(lease(resource=2, type_index=1, start=8))
+        assert store.owns(2, 1, 8)
+        assert not store.owns(2, 1, 0)
+        assert not store.owns(2, 0, 8)
+
+    def test_intersecting_closed_interval(self):
+        store = LeaseStore()
+        store.buy(lease(start=10, length=5))  # covers [10, 15)
+        assert store.intersecting(0, 14, 20)
+        assert store.intersecting(0, 0, 10)
+        assert not store.intersecting(0, 0, 9)
+        assert not store.intersecting(0, 15, 20)
+
+    def test_contains_by_key(self):
+        store = LeaseStore()
+        store.buy(lease(resource=1, type_index=0, start=4))
+        assert (1, 0, 4) in store
+        assert (1, 0, 8) not in store
+
+    def test_iteration_preserves_purchase_order(self):
+        store = LeaseStore()
+        first = lease(start=0)
+        second = lease(start=8)
+        store.buy(first)
+        store.buy(second)
+        assert [l.key for l in store] == [first.key, second.key]
+        assert store.leases == (first, second)

@@ -1,0 +1,112 @@
+"""Model-based (stateful) testing of LeaseStore.
+
+Hypothesis drives random buy/query sequences against both the real
+:class:`LeaseStore` and a deliberately naive reference implementation
+(a plain list with linear scans); any behavioural divergence — coverage,
+ownership, totals, ordering — fails the run.  This is the strongest
+guarantee we can give for the data structure every algorithm leans on.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import Lease, LeaseStore
+
+resources = st.integers(min_value=0, max_value=3)
+types = st.integers(min_value=0, max_value=2)
+starts = st.integers(min_value=0, max_value=12)
+lengths = st.sampled_from([1, 2, 4])
+days = st.integers(min_value=0, max_value=20)
+
+
+class _Reference:
+    """The obviously-correct (and obviously slow) lease store."""
+
+    def __init__(self):
+        self.leases: list[Lease] = []
+
+    def buy(self, lease: Lease) -> bool:
+        if any(l.key == lease.key for l in self.leases):
+            return False
+        self.leases.append(lease)
+        return True
+
+    def total_cost(self) -> float:
+        return sum(l.cost for l in self.leases)
+
+    def covers(self, resource: int, t: int) -> bool:
+        return any(
+            l.resource == resource and l.start <= t < l.start + l.length
+            for l in self.leases
+        )
+
+    def resources_covering(self, t: int) -> set[int]:
+        return {
+            l.resource
+            for l in self.leases
+            if l.start <= t < l.start + l.length
+        }
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = LeaseStore()
+        self.reference = _Reference()
+
+    @rule(
+        resource=resources,
+        type_index=types,
+        start=starts,
+        length=lengths,
+        cost=st.floats(min_value=0.1, max_value=9.0, allow_nan=False),
+    )
+    def buy(self, resource, type_index, start, length, cost):
+        lease = Lease(
+            resource=resource,
+            type_index=type_index,
+            start=start,
+            length=length,
+            cost=cost,
+        )
+        assert self.store.buy(lease) == self.reference.buy(lease)
+
+    @rule(resource=resources, t=days)
+    def check_covers(self, resource, t):
+        assert self.store.covers(resource, t) == self.reference.covers(
+            resource, t
+        )
+
+    @rule(t=days)
+    def check_resources_covering(self, t):
+        assert (
+            self.store.resources_covering(t)
+            == self.reference.resources_covering(t)
+        )
+
+    @rule(resource=resources, type_index=types, start=starts)
+    def check_owns(self, resource, type_index, start):
+        expected = any(
+            l.key == (resource, type_index, start)
+            for l in self.reference.leases
+        )
+        assert self.store.owns(resource, type_index, start) == expected
+
+    @invariant()
+    def totals_agree(self):
+        assert abs(
+            self.store.total_cost - self.reference.total_cost()
+        ) < 1e-9
+
+    @invariant()
+    def purchase_order_preserved(self):
+        assert [l.key for l in self.store.leases] == [
+            l.key for l in self.reference.leases
+        ]
+
+
+TestStoreStateful = StoreMachine.TestCase
+TestStoreStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,84 @@
+"""Candidate-count bounds behind Theorem 5.3 and Lemma 5.5.
+
+The competitive factors of Chapter 5 hinge on counting candidates:
+a client interval of length ``d`` meets at most ``K + d/l_min``-ish
+aligned windows (Theorem 5.3's purchase bound) and an SCLD demand has at
+most ``delta * (that)`` candidate triples (Lemma 5.5's ``|F|``).  These
+property tests pin the implementation to the counting argument.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.deadlines import DeadlineElement, SCLDInstance
+from repro.setcover import random_set_system
+from repro.workloads import make_rng
+
+
+class TestWindowCounting:
+    @given(
+        t=st.integers(min_value=0, max_value=500),
+        slack=st.integers(min_value=0, max_value=64),
+        num_types=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60)
+    def test_windows_per_type_is_ceil_plus_one(self, t, slack, num_types):
+        """Per type k, the interval [t, t+d] meets <= ceil(d/l_k) + 1 windows."""
+        schedule = LeaseSchedule.power_of_two(num_types)
+        windows = schedule.windows_intersecting(t, t + slack)
+        per_type: dict[int, int] = {}
+        for window in windows:
+            per_type[window.type_index] = (
+                per_type.get(window.type_index, 0) + 1
+            )
+        for lease_type in schedule:
+            count = per_type.get(lease_type.index, 0)
+            assert count <= math.ceil(slack / lease_type.length) + 1
+            assert count >= 1
+
+    @given(
+        t=st.integers(min_value=0, max_value=500),
+        slack=st.integers(min_value=0, max_value=64),
+    )
+    @settings(max_examples=40)
+    def test_total_candidates_theorem_5_3_bound(self, t, slack):
+        """Total windows <= 2K + 2d/l_min.
+
+        Sum over types of (ceil(d/l_k) + 1) <= 2K + d * sum 1/l_k, and the
+        power-of-two lengths make the sum a geometric series bounded by
+        2/l_min — the O(K + d_max/l_min) shape of Theorem 5.3.
+        """
+        schedule = LeaseSchedule.power_of_two(3)
+        windows = schedule.windows_intersecting(t, t + slack)
+        K = schedule.num_types
+        assert len(windows) <= 2 * K + 2 * slack / schedule.lmin + 1e-9
+
+
+class TestSCLDCandidates:
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        slack=st.integers(min_value=0, max_value=16),
+    )
+    @settings(max_examples=25)
+    def test_lemma_5_5_candidate_bound(self, seed, slack):
+        """|F_(e,t,d)| <= delta * (2K + 2d/l_min)."""
+        rng = make_rng(seed)
+        schedule = LeaseSchedule.power_of_two(2)
+        system = random_set_system(8, 6, 3, schedule, rng)
+        demand = DeadlineElement(
+            element=rng.randrange(8), arrival=rng.randrange(20), slack=slack
+        )
+        instance = SCLDInstance(
+            system=system, schedule=schedule, demands=(demand,)
+        )
+        candidates = instance.candidates(demand)
+        delta = len(system.sets_containing(demand.element))
+        K = schedule.num_types
+        bound = delta * (2 * K + 2 * slack / schedule.lmin)
+        assert len(candidates) <= bound + 1e-9
+        # And every candidate is genuinely usable.
+        for lease in candidates:
+            assert lease.intersects(demand.arrival, demand.deadline)

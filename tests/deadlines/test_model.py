@@ -1,0 +1,101 @@
+"""Unit tests for the OLD model and its normalization."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.deadlines import DeadlineClient, OLDInstance, make_old_instance
+
+
+class TestDeadlineClient:
+    def test_interval(self):
+        client = DeadlineClient(arrival=3, slack=4)
+        assert client.deadline == 7
+        assert client.interval() == (3, 7)
+
+    def test_zero_slack_is_parking_permit(self):
+        client = DeadlineClient(arrival=5, slack=0)
+        assert client.interval() == (5, 5)
+
+    def test_rejects_negative_slack(self):
+        with pytest.raises(ModelError):
+            DeadlineClient(arrival=0, slack=-1)
+
+
+class TestInstance:
+    def test_make_sorts(self, schedule3):
+        instance = make_old_instance(schedule3, [(5, 1), (2, 3)])
+        assert [c.arrival for c in instance.clients] == [2, 5]
+
+    def test_rejects_unsorted(self, schedule3):
+        with pytest.raises(ModelError):
+            OLDInstance(
+                schedule=schedule3,
+                clients=(
+                    DeadlineClient(5, 0),
+                    DeadlineClient(2, 0),
+                ),
+            )
+
+    def test_dmax_dmin(self, schedule3):
+        instance = make_old_instance(schedule3, [(0, 4), (1, 2), (5, 7)])
+        assert instance.dmax == 7
+        assert instance.dmin == 2
+
+    def test_uniformity(self, schedule3):
+        assert make_old_instance(schedule3, [(0, 3), (4, 3)]).is_uniform()
+        assert not make_old_instance(schedule3, [(0, 3), (4, 2)]).is_uniform()
+        assert make_old_instance(schedule3, []).is_uniform()
+
+
+class TestNormalization:
+    def test_keeps_earliest_deadline_per_day(self, schedule3):
+        instance = make_old_instance(
+            schedule3, [(0, 9), (0, 2), (0, 5), (3, 1)]
+        )
+        normalized = instance.normalized()
+        assert [(c.arrival, c.slack) for c in normalized.clients] == [
+            (0, 2),
+            (3, 1),
+        ]
+
+    def test_normalized_serves_original(self, schedule3):
+        """A solution serving the normalized instance serves the original."""
+        instance = make_old_instance(schedule3, [(0, 9), (0, 2), (4, 6)])
+        normalized = instance.normalized()
+        # Serve each normalized client with a single short lease.
+        leases = []
+        for client in normalized.clients:
+            leases.extend(
+                w for w in normalized.candidates(client) if w.type_index == 0
+            )
+        assert normalized.is_feasible_solution(leases)
+        assert instance.is_feasible_solution(leases)
+
+
+class TestCandidates:
+    def test_all_candidates_intersect(self, schedule3):
+        instance = make_old_instance(schedule3, [(3, 5)])
+        client = instance.clients[0]
+        for lease in instance.candidates(client):
+            assert lease.intersects(3, 8)
+
+    def test_zero_slack_candidates_are_covering_windows(self, schedule3):
+        instance = make_old_instance(schedule3, [(6, 0)])
+        candidates = instance.candidates(instance.clients[0])
+        assert len(candidates) == schedule3.num_types
+        assert all(lease.covers(6) for lease in candidates)
+
+
+class TestCoveringProgram:
+    def test_row_per_client(self, schedule3):
+        instance = make_old_instance(schedule3, [(0, 2), (5, 1)])
+        program = instance.to_covering_program()
+        assert program.num_constraints == 2
+
+    def test_feasibility_matches_program(self, schedule3):
+        instance = make_old_instance(schedule3, [(0, 2), (5, 1)])
+        program = instance.to_covering_program()
+        x = [1.0] * program.num_variables
+        leases = program.selected_payloads(x)
+        assert instance.is_feasible_solution(leases)
+        assert program.is_feasible(x)

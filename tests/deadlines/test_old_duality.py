@@ -1,0 +1,86 @@
+"""Dual feasibility of the OLD primal-dual algorithm vs the Figure 5.2 ILP.
+
+Theorem 5.3's proof needs the constructed dual to be feasible (no lease
+window's constraint over-subscribed) so that weak duality applies.  These
+tests rebuild the ILP from the instance and check the algorithm's duals
+against it row by row via the shared duality checker.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.lp import check_duality
+from repro.deadlines import make_old_instance, run_old
+
+client_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=6),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def duality_report(clients):
+    schedule = LeaseSchedule.power_of_two(3)
+    instance = make_old_instance(schedule, clients).normalized()
+    algorithm = run_old(instance)
+    program = instance.to_covering_program()
+    owned = {
+        (lease.type_index, lease.start) for lease in algorithm.leases
+    }
+    x = []
+    for payload in program.payloads:
+        key = (payload.type_index, payload.start)
+        x.append(1.0 if key in owned else 0.0)
+    y = [
+        algorithm.duals.get((client.arrival, client.slack), 0.0)
+        for client in instance.clients
+    ]
+    return instance, algorithm, check_duality(program, x, y)
+
+
+class TestDualFeasibility:
+    @given(clients=client_lists)
+    @settings(max_examples=25)
+    def test_dual_never_violates_columns(self, clients):
+        _, _, report = duality_report(clients)
+        assert report.dual_feasible, (
+            f"dual violated by {report.max_dual_violation}"
+        )
+
+    @given(clients=client_lists)
+    @settings(max_examples=25)
+    def test_weak_duality(self, clients):
+        _, _, report = duality_report(clients)
+        assert report.dual_value <= report.primal_value + 1e-6
+
+    @given(clients=client_lists)
+    @settings(max_examples=15)
+    def test_primal_covers_program(self, clients):
+        """The purchased leases, mapped back onto the ILP, are feasible.
+
+        This is stronger than the interval-intersection verifier: it
+        confirms that for every client row, some *candidate* window
+        variable is set — i.e. the algorithm serves clients with leases
+        the ILP recognises.
+        """
+        _, _, report = duality_report(clients)
+        assert report.primal_feasible
+
+    @given(clients=client_lists)
+    @settings(max_examples=15)
+    def test_skipped_clients_have_zero_dual(self, clients):
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = make_old_instance(schedule, clients).normalized()
+        algorithm = run_old(instance)
+        recorded = set(algorithm.duals)
+        for client in instance.clients:
+            key = (client.arrival, client.slack)
+            if key not in recorded:
+                # Skipped entirely: contributes nothing to any column.
+                continue
+        # All recorded duals are non-negative.
+        assert all(value >= 0.0 for value in algorithm.duals.values())

@@ -1,0 +1,78 @@
+"""Tests for OLD offline solvers: ILP vs DP cross-validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.deadlines import (
+    make_old_instance,
+    optimal_dp,
+    optimal_leases,
+    optimum,
+)
+
+client_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=10),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestCrossValidation:
+    @given(clients=client_lists)
+    @settings(max_examples=40)
+    def test_dp_matches_ilp(self, clients):
+        """Two independent exact solvers agree on every instance."""
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = make_old_instance(schedule, clients)
+        dp = optimal_dp(instance)
+        ilp = optimum(instance)
+        assert dp == pytest.approx(ilp.lower, abs=1e-6)
+
+    @given(clients=client_lists)
+    @settings(max_examples=20)
+    def test_dp_on_normalized_matches_raw(self, clients):
+        """Normalization never changes the optimum."""
+        schedule = LeaseSchedule.power_of_two(3)
+        raw = make_old_instance(schedule, clients)
+        assert optimal_dp(raw) == pytest.approx(
+            optimal_dp(raw.normalized()), abs=1e-9
+        )
+
+
+class TestStructure:
+    def test_empty_instance(self, schedule3):
+        assert optimal_dp(make_old_instance(schedule3, [])) == 0.0
+
+    def test_single_client_buys_cheapest_candidate(self, schedule3):
+        instance = make_old_instance(schedule3, [(3, 4)])
+        cheapest = min(
+            lease.cost for lease in instance.candidates(instance.clients[0])
+        )
+        assert optimal_dp(instance) == pytest.approx(cheapest)
+
+    def test_slack_never_hurts(self, schedule3):
+        """More slack can only lower the optimum (more candidates)."""
+        tight = make_old_instance(schedule3, [(0, 0), (5, 0), (9, 0)])
+        loose = make_old_instance(schedule3, [(0, 3), (5, 3), (9, 3)])
+        assert optimal_dp(loose) <= optimal_dp(tight) + 1e-9
+
+    def test_shared_deadline_day_single_lease(self, schedule3):
+        """Intervals overlapping in one day need only one short lease."""
+        instance = make_old_instance(schedule3, [(0, 4), (2, 2), (4, 0)])
+        # Day 4 lies in all three intervals.
+        assert optimal_dp(instance) == pytest.approx(schedule3[0].cost)
+
+    def test_optimal_leases_feasible(self, schedule3):
+        instance = make_old_instance(
+            schedule3, [(0, 2), (4, 1), (9, 3), (9, 0)]
+        )
+        solution = optimal_leases(instance)
+        assert instance.is_feasible_solution(list(solution.leases))
+        assert solution.cost == pytest.approx(
+            sum(lease.cost for lease in solution.leases)
+        )

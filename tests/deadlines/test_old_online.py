@@ -1,0 +1,142 @@
+"""Tests for the OLD primal-dual algorithm (Section 5.3, Theorem 5.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.analysis import verify_old
+from repro.deadlines import (
+    OnlineLeasingWithDeadlines,
+    make_old_instance,
+    optimal_dp,
+    optimum,
+    run_old,
+)
+from repro.workloads import deadline_arrivals, make_rng
+
+client_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=8),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+def build(schedule, clients):
+    return make_old_instance(schedule, clients).normalized()
+
+
+class TestFeasibility:
+    @given(clients=client_lists)
+    @settings(max_examples=30)
+    def test_always_feasible(self, clients):
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = build(schedule, clients)
+        algorithm = run_old(instance)
+        verify_old(instance, list(algorithm.leases)).raise_if_failed()
+
+    @given(clients=client_lists)
+    @settings(max_examples=20)
+    def test_feasible_on_unnormalized_stream(self, clients):
+        """The algorithm also handles raw streams with same-day clients."""
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = make_old_instance(schedule, clients)
+        algorithm = OnlineLeasingWithDeadlines(schedule)
+        for client in instance.clients:
+            algorithm.on_demand(client)
+        verify_old(instance, list(algorithm.leases)).raise_if_failed()
+
+
+class TestBehaviour:
+    def test_zero_slack_reduces_to_parking_permit(self, schedule3):
+        """With d = 0 everywhere, purchases match Algorithm 1 exactly."""
+        from repro.parking import DeterministicParkingPermit
+
+        days = [0, 1, 4, 9, 10, 11]
+        old = OnlineLeasingWithDeadlines(schedule3)
+        parking = DeterministicParkingPermit(schedule3)
+        for day in days:
+            old.on_demand((day, 0))
+            parking.on_demand(day)
+        # Step 2 at t+d = t re-buys the Step-1 lease, so the sets coincide.
+        assert {l.key for l in old.leases} == {l.key for l in parking.leases}
+        assert old.cost == pytest.approx(parking.cost)
+
+    def test_skip_rule_fires_on_intersection(self, schedule3):
+        algorithm = OnlineLeasingWithDeadlines(schedule3)
+        algorithm.on_demand((0, 6))  # positive dual, deadline point 6
+        cost_before = algorithm.cost
+        algorithm.on_demand((2, 5))  # interval [2, 7] contains 6 -> skip
+        assert algorithm.skipped == 1
+        assert algorithm.cost == cost_before
+
+    def test_skipped_client_is_still_served(self, schedule3):
+        algorithm = OnlineLeasingWithDeadlines(schedule3)
+        algorithm.on_demand((0, 6))
+        algorithm.on_demand((2, 5))
+        from repro.deadlines import DeadlineClient
+
+        assert algorithm.serves(DeadlineClient(2, 5))
+
+    def test_no_skip_when_deadline_point_outside(self, schedule3):
+        algorithm = OnlineLeasingWithDeadlines(schedule3)
+        algorithm.on_demand((0, 10))  # deadline point 10
+        algorithm.on_demand((2, 3))   # interval [2, 5]: 10 outside
+        assert algorithm.skipped == 0
+
+    def test_step2_buys_lease_at_deadline(self, schedule3):
+        algorithm = OnlineLeasingWithDeadlines(schedule3)
+        algorithm.on_demand((0, 6))
+        assert any(lease.covers(6) for lease in algorithm.leases)
+
+    def test_dual_recorded(self, schedule3):
+        algorithm = OnlineLeasingWithDeadlines(schedule3)
+        algorithm.on_demand((0, 2))
+        assert algorithm.duals[(0, 2)] > 0
+
+
+class TestTheorem53:
+    @given(clients=client_lists)
+    @settings(max_examples=20)
+    def test_nonuniform_bound(self, clients):
+        """ALG <= (2K + dmax/lmin + 2) * OPT with explicit constants."""
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = build(schedule, clients)
+        algorithm = run_old(instance)
+        opt = optimal_dp(instance)
+        K = schedule.num_types
+        bound = 2 * K + instance.dmax / schedule.lmin + 2
+        assert algorithm.cost <= bound * opt + 1e-6
+
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        slack=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=20)
+    def test_uniform_bound(self, seed, slack):
+        """Uniform OLD: ALG <= 2K * OPT (Theorem 5.3 first part)."""
+        rng = make_rng(seed)
+        schedule = LeaseSchedule.power_of_two(3)
+        clients = deadline_arrivals(
+            40, 0.4, max_slack=0, rng=rng, uniform_slack=slack
+        )
+        if not clients:
+            return
+        instance = build(schedule, clients)
+        algorithm = run_old(instance)
+        opt = optimal_dp(instance)
+        assert algorithm.cost <= 2 * schedule.num_types * opt + 1e-6
+
+    @given(clients=client_lists)
+    @settings(max_examples=15)
+    def test_duals_lower_bound_opt(self, clients):
+        """Feasible duals: their sum never exceeds OPT (weak duality)."""
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = build(schedule, clients)
+        algorithm = run_old(instance)
+        opt = optimum(instance)
+        total_dual = sum(algorithm.duals.values())
+        assert total_dual <= opt.lower + 1e-6

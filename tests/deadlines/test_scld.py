@@ -1,0 +1,182 @@
+"""Tests for SCLD (Algorithm 5, Theorem 5.7, Corollary 5.8)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.analysis import verify_scld
+from repro.errors import InfeasibleError, ModelError
+from repro.deadlines import (
+    DeadlineElement,
+    OnlineSCLD,
+    SCLDInstance,
+    scld_from_setcover,
+)
+from repro.lp import opt_bounds
+from repro.setcover import SetSystem, random_set_system
+from repro.workloads import make_rng
+
+
+def build_instance(seed, num_elements=10, num_sets=6, horizon=24, demands=18,
+                   max_slack=5, num_types=2):
+    rng = make_rng(seed)
+    schedule = LeaseSchedule.power_of_two(num_types)
+    system = random_set_system(
+        num_elements, num_sets, 2, schedule, rng
+    )
+    raw = sorted(
+        (
+            rng.randrange(num_elements),
+            rng.randrange(horizon),
+            rng.randint(0, max_slack),
+        )
+        for _ in range(demands)
+    )
+    raw.sort(key=lambda d: d[1])
+    return SCLDInstance(
+        system=system,
+        schedule=schedule,
+        demands=tuple(DeadlineElement(*d) for d in raw),
+    )
+
+
+class TestModel:
+    def test_candidate_triples_intersect(self):
+        instance = build_instance(0)
+        demand = instance.demands[0]
+        for lease in instance.candidates(demand):
+            assert lease.intersects(demand.arrival, demand.deadline)
+            assert demand.element in instance.system.sets[lease.resource]
+
+    def test_rejects_uncoverable_element(self, schedule2):
+        system = SetSystem(
+            num_elements=2, sets=[{0}], lease_costs=[[1.0, 1.5]]
+        )
+        with pytest.raises(ModelError):
+            SCLDInstance(
+                system=system,
+                schedule=schedule2,
+                demands=(DeadlineElement(1, 0, 0),),
+            )
+
+    def test_covering_program_shape(self):
+        instance = build_instance(1, demands=5)
+        program = instance.to_covering_program()
+        assert program.num_constraints == 5
+
+
+class TestAlgorithm:
+    @given(
+        seed=st.integers(min_value=0, max_value=60),
+        algo_seed=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=20)
+    def test_always_feasible(self, seed, algo_seed):
+        instance = build_instance(seed)
+        algorithm = OnlineSCLD(instance, seed=algo_seed)
+        for demand in instance.demands:
+            algorithm.on_demand(demand)
+        verify_scld(instance, list(algorithm.leases)).raise_if_failed()
+
+    def test_threshold_draw_count(self):
+        instance = build_instance(2)
+        algorithm = OnlineSCLD(instance, seed=0)
+        lmax = instance.schedule.lmax
+        assert algorithm.num_threshold_draws == max(
+            1, 2 * math.ceil(math.log2(max(2, lmax)))
+        )
+
+    def test_empty_candidates_raises(self, schedule2):
+        system = SetSystem(
+            num_elements=2, sets=[{0}, {0, 1}], lease_costs=[[1.0, 1.5]] * 2
+        )
+        instance = SCLDInstance(system=system, schedule=schedule2, demands=())
+        algorithm = OnlineSCLD(instance, seed=0)
+        # Element 1 IS coverable; feed it as tuple to exercise that path.
+        algorithm.on_demand((1, 0, 2))
+        assert algorithm.store.total_cost > 0
+
+    def test_slack_exploited_for_savings(self):
+        """With slack, one lease can serve two spread-out demands."""
+        schedule = LeaseSchedule.from_pairs([(2, 1.0), (8, 1.5)])
+        system = SetSystem(
+            num_elements=1, sets=[{0}], lease_costs=[[1.0, 1.5]]
+        )
+        tight_inst = SCLDInstance(
+            system=system,
+            schedule=schedule,
+            demands=(
+                DeadlineElement(0, 0, 0),
+                DeadlineElement(0, 9, 0),
+            ),
+        )
+        loose_inst = SCLDInstance(
+            system=system,
+            schedule=schedule,
+            demands=(
+                DeadlineElement(0, 0, 9),
+                DeadlineElement(0, 9, 6),
+            ),
+        )
+        tight_opt = opt_bounds(tight_inst.to_covering_program())
+        loose_opt = opt_bounds(loose_inst.to_covering_program())
+        assert loose_opt.lower <= tight_opt.lower
+
+    def test_deterministic_given_seed(self):
+        instance = build_instance(4)
+        costs = []
+        for _ in range(2):
+            algorithm = OnlineSCLD(instance, seed=11)
+            for demand in instance.demands:
+                algorithm.on_demand(demand)
+            costs.append(round(algorithm.cost, 9))
+        assert costs[0] == costs[1]
+
+
+class TestCompetitiveness:
+    def test_mean_ratio_within_theorem_bound(self):
+        instance = build_instance(8, demands=20)
+        opt = opt_bounds(instance.to_covering_program())
+        ratios = []
+        for seed in range(12):
+            algorithm = OnlineSCLD(instance, seed=seed)
+            for demand in instance.demands:
+                algorithm.on_demand(demand)
+            ratios.append(algorithm.cost / opt.lower)
+        mean = sum(ratios) / len(ratios)
+        m = instance.system.num_sets
+        K = instance.schedule.num_types
+        dmax = max(demand.slack for demand in instance.demands)
+        lmin = instance.schedule.lmin
+        lmax = instance.schedule.lmax
+        bound = (
+            4.0
+            * (math.log(m * (K + dmax / lmin)) + 2.0)
+            * (2.0 * math.log2(max(2, lmax)) + 3.0)
+        )
+        assert mean <= bound
+
+
+class TestCorollary58:
+    def test_zero_slack_construction(self):
+        rng = make_rng(3)
+        schedule = LeaseSchedule.power_of_two(2)
+        system = random_set_system(6, 4, 2, schedule, rng)
+        instance = scld_from_setcover(
+            system, schedule, [(0, 0), (3, 2), (5, 4)]
+        )
+        assert all(demand.slack == 0 for demand in instance.demands)
+
+    def test_zero_slack_run_feasible(self):
+        rng = make_rng(5)
+        schedule = LeaseSchedule.power_of_two(2)
+        system = random_set_system(6, 4, 2, schedule, rng)
+        demands = [(rng.randrange(6), t) for t in range(0, 20, 2)]
+        instance = scld_from_setcover(system, schedule, demands)
+        algorithm = OnlineSCLD(instance, seed=0)
+        for demand in instance.demands:
+            algorithm.on_demand(demand)
+        verify_scld(instance, list(algorithm.leases)).raise_if_failed()

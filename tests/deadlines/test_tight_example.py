@@ -1,0 +1,63 @@
+"""Tests for the Proposition 5.4 / Figure 5.3 tight example."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.deadlines import (
+    expected_ratio_lower_bound,
+    optimal_dp,
+    run_old,
+    tight_example,
+)
+
+
+class TestConstruction:
+    def test_schedule_shape(self):
+        instance = tight_example(dmax=16, lmin=1, epsilon=0.05)
+        assert instance.schedule.num_types == 2
+        assert instance.schedule[0].length == 1
+        assert instance.schedule[0].cost == 1.0
+        assert instance.schedule[1].cost == pytest.approx(1.05)
+        assert instance.schedule[1].length >= 16
+
+    def test_client_pattern(self):
+        instance = tight_example(dmax=8, lmin=2)
+        pairs = [(c.arrival, c.slack) for c in instance.clients]
+        assert pairs[0] == (0, 8)
+        assert pairs[1:] == [(2, 2), (4, 2), (6, 2)]
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ModelError):
+            tight_example(dmax=1, lmin=2)
+
+
+class TestTightness:
+    def test_optimum_is_single_long_lease(self):
+        instance = tight_example(dmax=32, lmin=1, epsilon=0.01)
+        assert optimal_dp(instance) == pytest.approx(1.01)
+
+    def test_algorithm_pays_linear_in_dmax_over_lmin(self):
+        """The measured ratio realises the Omega(dmax/lmin) lower bound."""
+        instance = tight_example(dmax=32, lmin=1, epsilon=0.01)
+        algorithm = run_old(instance)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+        ratio = algorithm.cost / optimal_dp(instance)
+        assert ratio >= expected_ratio_lower_bound(32, 1) * 0.9
+
+    def test_ratio_scales_with_dmax(self):
+        """Doubling dmax/lmin roughly doubles the forced ratio."""
+        ratios = []
+        for dmax in (8, 16, 32):
+            instance = tight_example(dmax=dmax, lmin=1)
+            algorithm = run_old(instance)
+            ratios.append(algorithm.cost / optimal_dp(instance))
+        assert ratios[1] > 1.5 * ratios[0]
+        assert ratios[2] > 1.5 * ratios[1]
+
+    def test_lmin_scaling(self):
+        """Larger lmin with fixed dmax lowers the forced ratio."""
+        small = tight_example(dmax=32, lmin=1)
+        large = tight_example(dmax=32, lmin=4)
+        ratio_small = run_old(small).cost / optimal_dp(small)
+        ratio_large = run_old(large).cost / optimal_dp(large)
+        assert ratio_large < ratio_small

@@ -1,0 +1,118 @@
+"""Tests for capacitated facility leasing (Section 4.5 outlook)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.errors import ModelError
+from repro.extensions import (
+    CapacitatedInstance,
+    OnlineCapacitatedFacilityLeasing,
+    optimal_ilp,
+)
+from repro.facility import Client, Connection, FacilityLeasingInstance, make_instance
+from repro.workloads import constant_batches, make_rng
+
+
+def build(seed, capacities, batches=None, num_facilities=3):
+    rng = make_rng(seed)
+    schedule = LeaseSchedule.power_of_two(2)
+    if batches is None:
+        batches = constant_batches(4, 2)
+    base = make_instance(
+        schedule, num_facilities=num_facilities, batch_sizes=batches, rng=rng
+    )
+    return CapacitatedInstance(base=base, capacities=tuple(capacities))
+
+
+def run(instance):
+    algorithm = OnlineCapacitatedFacilityLeasing(instance)
+    for batch in instance.base.batches():
+        algorithm.on_demand(batch)
+    return algorithm
+
+
+class TestModel:
+    def test_rejects_capacity_shape(self):
+        with pytest.raises(ModelError):
+            build(0, capacities=[1, 1])  # 3 facilities need 3 capacities
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ModelError):
+            build(0, capacities=[0, 1, 1])
+
+    def test_rejects_oversized_batch(self):
+        with pytest.raises(ModelError):
+            build(0, capacities=[1, 1, 1], batches=[4])
+
+    def test_feasibility_catches_overload(self, schedule2):
+        base = FacilityLeasingInstance(
+            facility_points=((0.0, 0.0), (5.0, 0.0)),
+            lease_costs=((1.0, 1.6), (1.0, 1.6)),
+            schedule=schedule2,
+            clients=(
+                Client(ident=0, point=(1.0, 0.0), arrival=0),
+                Client(ident=1, point=(2.0, 0.0), arrival=0),
+            ),
+        )
+        lease = base.facility_lease(0, 0, 0)
+        overloaded = [
+            Connection(client=0, facility=0, distance=1.0),
+            Connection(client=1, facility=0, distance=2.0),
+        ]
+        roomy = CapacitatedInstance(base=base, capacities=(2, 2))
+        assert roomy.is_feasible_solution([lease], overloaded)
+        tight = CapacitatedInstance(base=base, capacities=(1, 1))
+        assert not tight.is_feasible_solution([lease], overloaded)
+
+
+class TestOnline:
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15)
+    def test_always_feasible(self, seed):
+        instance = build(seed, capacities=[2, 2, 2])
+        algorithm = run(instance)
+        assert instance.is_feasible_solution(
+            list(algorithm.leases), algorithm.connections
+        )
+
+    def test_capacity_forces_spread(self):
+        """Capacity 1 per facility forces one client per facility/step."""
+        instance = build(3, capacities=[1, 1, 1], batches=[3, 3])
+        algorithm = run(instance)
+        assert instance.is_feasible_solution(
+            list(algorithm.leases), algorithm.connections
+        )
+        # Each step's three clients use three distinct facilities.
+        arrival_of = {
+            client.ident: client.arrival
+            for client in instance.base.clients
+        }
+        per_step: dict[int, set[int]] = {}
+        for connection in algorithm.connections:
+            per_step.setdefault(
+                arrival_of[connection.client], set()
+            ).add(connection.facility)
+        for facilities in per_step.values():
+            assert len(facilities) == 3
+
+    def test_capacity_cost_dominates_uncapacitated(self):
+        """Tighter capacity can only raise the (exact) optimum."""
+        loose = build(4, capacities=[4, 4, 4])
+        tight = build(4, capacities=[1, 1, 1])
+        assert optimal_ilp(tight) >= optimal_ilp(loose) - 1e-6
+
+    def test_online_within_modest_factor_of_ilp(self):
+        instance = build(6, capacities=[2, 2, 2])
+        algorithm = run(instance)
+        opt = optimal_ilp(instance)
+        assert algorithm.cost <= 5.0 * opt + 1e-6
+
+    def test_demand_rate_ratchets_lease_type(self):
+        """Sustained demand pushes the preferred type beyond the shortest."""
+        instance = build(
+            8, capacities=[6, 6, 6], batches=constant_batches(8, 4)
+        )
+        algorithm = run(instance)
+        assert any(lease.type_index > 0 for lease in algorithm.leases)

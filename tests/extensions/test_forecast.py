@@ -1,0 +1,135 @@
+"""Tests for prediction-augmented parking permits (stochastic outlook)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule, run_online
+from repro.errors import ModelError
+from repro.extensions import (
+    ForecastParkingPermit,
+    HedgedForecastParkingPermit,
+    NoisyOracle,
+)
+from repro.parking import (
+    DeterministicParkingPermit,
+    make_instance,
+    optimal_interval,
+)
+from repro.workloads import burst_days, make_rng, markov_days
+
+
+def build(seed, horizon=120):
+    schedule = LeaseSchedule.power_of_two(4, cost_growth=1.6)
+    days = markov_days(horizon, 0.1, 0.85, make_rng(seed))
+    if not days:
+        days = [0]
+    return schedule, make_instance(schedule, days)
+
+
+class TestNoisyOracle:
+    def test_zero_error_is_truth(self):
+        schedule, instance = build(1)
+        oracle = NoisyOracle(instance, 0.0, make_rng(0))
+        for day in range(instance.horizon):
+            assert oracle.predicts_rain(day) == (day in instance.rainy_days)
+
+    def test_full_error_is_inverted_truth(self):
+        schedule, instance = build(1)
+        oracle = NoisyOracle(instance, 1.0, make_rng(0))
+        for day in range(instance.horizon):
+            assert oracle.predicts_rain(day) != (day in instance.rainy_days)
+
+    def test_forecast_memoised(self):
+        schedule, instance = build(2)
+        oracle = NoisyOracle(instance, 0.5, make_rng(3))
+        first = [oracle.predicts_rain(d) for d in range(30)]
+        second = [oracle.predicts_rain(d) for d in range(30)]
+        assert first == second
+
+    def test_window_count(self):
+        schedule, instance = build(3)
+        oracle = NoisyOracle(instance, 0.0, make_rng(0))
+        count = oracle.predicted_rainy_days(0, instance.horizon)
+        assert count == instance.num_days
+
+    def test_rejects_bad_rate(self):
+        schedule, instance = build(0)
+        with pytest.raises(ModelError):
+            NoisyOracle(instance, 1.5, make_rng(0))
+
+
+class TestForecastPolicies:
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        error=st.sampled_from([0.0, 0.2, 0.5]),
+    )
+    @settings(max_examples=20)
+    def test_both_policies_feasible(self, seed, error):
+        schedule, instance = build(seed)
+        for policy_class in (ForecastParkingPermit, HedgedForecastParkingPermit):
+            oracle = NoisyOracle(instance, error, make_rng(seed + 1))
+            policy = policy_class(schedule, oracle)
+            run_online(policy, instance.rainy_days)
+            assert instance.is_feasible_solution(list(policy.leases))
+
+    def test_clairvoyant_beats_primal_dual_on_bursts(self):
+        """Perfect predictions buy the right long leases immediately."""
+        schedule = LeaseSchedule.power_of_two(4, cost_growth=1.6)
+        days = burst_days(200, 4, 8, make_rng(11))
+        instance = make_instance(schedule, days)
+        oracle = NoisyOracle(instance, 0.0, make_rng(0))
+        forecast = ForecastParkingPermit(schedule, oracle)
+        run_online(forecast, instance.rainy_days)
+        primal_dual = DeterministicParkingPermit(schedule)
+        run_online(primal_dual, instance.rainy_days)
+        assert forecast.cost <= primal_dual.cost + 1e-9
+
+    def test_clairvoyant_near_optimal(self):
+        schedule, instance = build(13)
+        oracle = NoisyOracle(instance, 0.0, make_rng(0))
+        forecast = ForecastParkingPermit(schedule, oracle)
+        run_online(forecast, instance.rainy_days)
+        opt = optimal_interval(instance).cost
+        assert forecast.cost <= 2.0 * opt + 1e-6
+
+    def test_hedge_caps_window_spending(self):
+        """With adversarial predictions the hedged policy's spend per
+        longest window is bounded by hedge * c_K + c_K + c_0-ish."""
+        schedule = LeaseSchedule.power_of_two(3, cost_growth=1.5)
+        days = list(range(4))  # one longest window (length 4)
+        instance = make_instance(schedule, days)
+        oracle = NoisyOracle(instance, 1.0, make_rng(5))  # always wrong
+        hedged = HedgedForecastParkingPermit(schedule, oracle, hedge=1.0)
+        run_online(hedged, instance.rainy_days)
+        assert instance.is_feasible_solution(list(hedged.leases))
+        longest_cost = schedule[2].cost
+        assert hedged.cost <= 2 * longest_cost + schedule[0].cost + 1e-6
+
+    def test_hedged_never_much_worse_than_pure_with_good_oracle(self):
+        schedule, instance = build(17)
+        pure = ForecastParkingPermit(
+            schedule, NoisyOracle(instance, 0.0, make_rng(1))
+        )
+        hedged = HedgedForecastParkingPermit(
+            schedule, NoisyOracle(instance, 0.0, make_rng(1)), hedge=1.0
+        )
+        run_online(pure, instance.rainy_days)
+        run_online(hedged, instance.rainy_days)
+        assert hedged.cost <= 2.0 * pure.cost + 1e-9
+
+    def test_hedged_beats_pure_under_bad_predictions(self):
+        """The robustness payoff: with an inverted oracle on dense rain,
+        hedging must not lose to pure prediction-following."""
+        schedule = LeaseSchedule.power_of_two(4, cost_growth=1.3)
+        days = list(range(32))
+        instance = make_instance(schedule, days)
+        pure = ForecastParkingPermit(
+            schedule, NoisyOracle(instance, 1.0, make_rng(2))
+        )
+        hedged = HedgedForecastParkingPermit(
+            schedule, NoisyOracle(instance, 1.0, make_rng(2)), hedge=1.0
+        )
+        run_online(pure, instance.rainy_days)
+        run_online(hedged, instance.rainy_days)
+        assert hedged.cost <= pure.cost + 1e-9

@@ -1,0 +1,92 @@
+"""Measured invariants of the facility algorithm's analysis (Section 4.4).
+
+The proof of Theorem 4.5 rests on per-run quantities we can check
+directly on every execution:
+
+* Lemma 4.1: total solution cost <= (3 + K) * sum of alpha_hat values.
+* Proposition 4.2: every client's final connection distance <= 3 alpha_hat.
+* INV2: a client's alpha_hat is set exactly once, at its arrival step.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.facility import make_instance, run_facility_leasing
+from repro.workloads import make_rng
+
+
+def run_random(seed, steps=5, per_step=2, num_facilities=3, num_types=2):
+    rng = make_rng(seed)
+    schedule = LeaseSchedule.power_of_two(num_types)
+    instance = make_instance(
+        schedule,
+        num_facilities=num_facilities,
+        batch_sizes=[per_step] * steps,
+        rng=rng,
+    )
+    return instance, run_facility_leasing(instance)
+
+
+class TestLemma41:
+    @given(seed=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=15)
+    def test_cost_at_most_3_plus_K_alpha_sum(self, seed):
+        instance, algorithm = run_random(seed)
+        alpha_sum = sum(algorithm.alpha_hat.values())
+        K = instance.schedule.num_types
+        assert algorithm.cost <= (3 + K) * alpha_sum + 1e-6
+
+    @given(seed=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=10)
+    def test_alpha_covers_own_connection(self, seed):
+        """Phase-1 connections satisfy alpha_hat >= distance."""
+        instance, algorithm = run_random(seed)
+        by_client = {c.client: c for c in algorithm.connections}
+        for client_id, alpha in algorithm.alpha_hat.items():
+            connection = by_client[client_id]
+            # Proposition 4.2: even after MIS reconnection the distance is
+            # at most 3 alpha_hat.
+            assert connection.distance <= 3 * alpha + 1e-6
+
+
+class TestAlphaHatLifecycle:
+    def test_set_once_per_client(self):
+        instance, algorithm = run_random(3)
+        assert set(algorithm.alpha_hat) == set(
+            range(instance.num_clients)
+        )
+        assert all(alpha > 0 for alpha in algorithm.alpha_hat.values())
+
+    def test_alpha_stable_across_later_steps(self):
+        """Re-running the tail of the stream never rewrites old alphas."""
+        instance, _ = run_random(9)
+        from repro.facility import OnlineFacilityLeasing
+
+        algorithm = OnlineFacilityLeasing(instance)
+        batches = instance.batches()
+        algorithm.on_demand(batches[0])
+        snapshot = dict(algorithm.alpha_hat)
+        for batch in batches[1:]:
+            algorithm.on_demand(batch)
+        for client_id, alpha in snapshot.items():
+            assert algorithm.alpha_hat[client_id] == pytest.approx(alpha)
+
+    def test_connection_count_equals_clients(self):
+        instance, algorithm = run_random(12)
+        assert len(algorithm.connections) == instance.num_clients
+
+
+class TestCostDecomposition:
+    @given(seed=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=10)
+    def test_ledger_matches_totals(self, seed):
+        _, algorithm = run_random(seed)
+        assert algorithm.ledger.total_for("leasing") == pytest.approx(
+            algorithm.leasing_cost
+        )
+        assert algorithm.ledger.total_for("connection") == pytest.approx(
+            algorithm.connection_cost
+        )
+        assert algorithm.cost == pytest.approx(algorithm.ledger.total)

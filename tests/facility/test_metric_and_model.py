@@ -1,0 +1,155 @@
+"""Tests for the metric substrate and the facility leasing model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.errors import ModelError
+from repro.facility import (
+    Client,
+    Connection,
+    DistanceMatrix,
+    FacilityLeasingInstance,
+    clustered_points,
+    euclidean,
+    random_points,
+    triangle_violation,
+)
+from repro.workloads import make_rng
+
+
+class TestEuclidean:
+    def test_known_distance(self):
+        assert euclidean((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+    @given(
+        ax=st.floats(-100, 100), ay=st.floats(-100, 100),
+        bx=st.floats(-100, 100), by=st.floats(-100, 100),
+        cx=st.floats(-100, 100), cy=st.floats(-100, 100),
+    )
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = (ax, ay), (bx, by), (cx, cy)
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-9
+
+
+class TestPointGenerators:
+    def test_random_points_in_box(self, rng):
+        points = random_points(50, rng, box=10.0)
+        assert len(points) == 50
+        assert all(0 <= x <= 10 and 0 <= y <= 10 for x, y in points)
+
+    def test_clustered_points_count(self, rng):
+        assert len(clustered_points(30, 3, rng)) == 30
+
+
+class TestDistanceMatrix:
+    def test_valid_metric(self):
+        matrix = DistanceMatrix([[0, 1, 2], [1, 0, 1], [2, 1, 0]])
+        assert matrix.distance(0, 2) == 2
+
+    def test_rejects_triangle_violation(self):
+        with pytest.raises(ModelError):
+            DistanceMatrix([[0, 1, 5], [1, 0, 1], [5, 1, 0]])
+
+    def test_rejects_asymmetry(self):
+        with pytest.raises(ModelError):
+            DistanceMatrix([[0, 1], [2, 0]])
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ModelError):
+            DistanceMatrix([[1]])
+
+    def test_triangle_violation_zero_for_metric(self):
+        assert triangle_violation([[0, 1], [1, 0]]) == 0.0
+
+
+def tiny_instance(schedule):
+    return FacilityLeasingInstance(
+        facility_points=((0.0, 0.0), (10.0, 0.0)),
+        lease_costs=((5.0, 8.0), (5.0, 8.0)),
+        schedule=schedule,
+        clients=(
+            Client(ident=0, point=(1.0, 0.0), arrival=0),
+            Client(ident=1, point=(9.0, 0.0), arrival=0),
+            Client(ident=2, point=(1.0, 1.0), arrival=1),
+        ),
+    )
+
+
+class TestInstance:
+    def test_batches_grouping(self, schedule2):
+        instance = tiny_instance(schedule2)
+        batches = instance.batches()
+        assert [batch.arrival for batch in batches] == [0, 1]
+        assert len(batches[0].clients) == 2
+
+    def test_batch_sizes(self, schedule2):
+        assert tiny_instance(schedule2).batch_sizes() == [2, 1]
+
+    def test_distance(self, schedule2):
+        instance = tiny_instance(schedule2)
+        assert instance.distance(0, 0) == pytest.approx(1.0)
+        assert instance.distance(1, 0) == pytest.approx(9.0)
+
+    def test_rejects_bad_cost_shape(self, schedule2):
+        with pytest.raises(ModelError):
+            FacilityLeasingInstance(
+                facility_points=((0.0, 0.0),),
+                lease_costs=((1.0,),),
+                schedule=schedule2,
+                clients=(),
+            )
+
+    def test_rejects_unsorted_clients(self, schedule2):
+        with pytest.raises(ModelError):
+            FacilityLeasingInstance(
+                facility_points=((0.0, 0.0),),
+                lease_costs=((1.0, 2.0),),
+                schedule=schedule2,
+                clients=(
+                    Client(ident=0, point=(0.0, 0.0), arrival=5),
+                    Client(ident=1, point=(0.0, 0.0), arrival=1),
+                ),
+            )
+
+    def test_rejects_misnumbered_idents(self, schedule2):
+        with pytest.raises(ModelError):
+            FacilityLeasingInstance(
+                facility_points=((0.0, 0.0),),
+                lease_costs=((1.0, 2.0),),
+                schedule=schedule2,
+                clients=(Client(ident=3, point=(0.0, 0.0), arrival=0),),
+            )
+
+    def test_facility_lease_costs(self, schedule2):
+        instance = tiny_instance(schedule2)
+        lease = instance.facility_lease(1, 1, t=1)
+        assert lease.cost == 8.0
+        assert lease.covers(1)
+
+    def test_feasibility_checks_lease_activity(self, schedule2):
+        instance = tiny_instance(schedule2)
+        lease = instance.facility_lease(0, 0, t=0)  # covers step 0 only
+        good = Connection(client=0, facility=0, distance=1.0)
+        late = Connection(client=2, facility=0, distance=1.5)
+        assert not instance.is_feasible_solution([lease], [good, late])
+
+    def test_feasibility_rejects_understated_distance(self, schedule2):
+        instance = tiny_instance(schedule2)
+        leases = [
+            instance.facility_lease(0, 1, t=0),
+            instance.facility_lease(1, 1, t=0),
+        ]
+        connections = [
+            Connection(client=0, facility=0, distance=0.0),  # lies: 1.0
+            Connection(client=1, facility=1, distance=1.0),
+            Connection(client=2, facility=0, distance=2.0),
+        ]
+        assert not instance.is_feasible_solution(leases, connections)
+
+    def test_solution_cost_dedupes_leases(self, schedule2):
+        instance = tiny_instance(schedule2)
+        lease = instance.facility_lease(0, 0, t=0)
+        cost = instance.solution_cost([lease, lease], [])
+        assert cost == pytest.approx(lease.cost)

@@ -1,0 +1,126 @@
+"""Tests for facility offline baselines and the H_q arrival series."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.facility import (
+    Client,
+    FacilityLeasingInstance,
+    harmonic_series,
+    lp_lower_bound,
+    make_instance,
+    nearest_heuristic,
+    optimal_brute,
+    optimal_ilp,
+    optimum,
+    theoretical_bound,
+)
+from repro.errors import SolverError
+from repro.workloads import (
+    constant_batches,
+    exponential_batches,
+    make_rng,
+    polynomial_batches,
+)
+
+
+def small_instance(seed, steps=4, per_step=2, num_facilities=3):
+    rng = make_rng(seed)
+    schedule = LeaseSchedule.power_of_two(2)
+    return make_instance(
+        schedule,
+        num_facilities=num_facilities,
+        batch_sizes=[per_step] * steps,
+        rng=rng,
+    )
+
+
+class TestHarmonicSeries:
+    def test_constant_batches_are_harmonic(self):
+        # |D_i| = c: H_q = 1 + 1/2 + ... + 1/q.
+        assert harmonic_series([5, 5, 5]) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_empty_batches_skipped(self):
+        assert harmonic_series([0, 4, 0, 4]) == pytest.approx(1 + 0.5)
+
+    def test_single_batch(self):
+        assert harmonic_series([7]) == pytest.approx(1.0)
+
+    def test_exponential_batches_linear_H(self):
+        """|D_i| = 2^i gives H_q ~ q/2 (the conjectured hard pattern)."""
+        sizes = exponential_batches(10)
+        value = harmonic_series(sizes)
+        assert value > 0.4 * len(sizes)
+
+    def test_polynomial_batches_log_H(self):
+        sizes = polynomial_batches(64, degree=2)
+        value = harmonic_series(sizes)
+        # Poly growth keeps H logarithmic-ish: far below q/2.
+        assert value < 0.25 * len(sizes)
+
+    def test_theoretical_bound_uses_per_round_maximum(self):
+        schedule = LeaseSchedule.power_of_two(2)  # lmax = 2
+        sizes = [1, 1, 8, 8]
+        per_round = max(harmonic_series([1, 1]), harmonic_series([8, 8]))
+        assert theoretical_bound(schedule, sizes) == pytest.approx(
+            4 * (3 + 2) * per_round
+        )
+
+
+class TestOfflineSolvers:
+    @given(seed=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=8)
+    def test_lp_below_ilp_below_heuristic(self, seed):
+        instance = small_instance(seed)
+        lp = lp_lower_bound(instance)
+        ilp = optimal_ilp(instance)
+        heuristic = nearest_heuristic(instance)
+        assert lp <= ilp.cost + 1e-6
+        assert ilp.cost <= heuristic.cost + 1e-6
+
+    @given(seed=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=8)
+    def test_ilp_solution_feasible(self, seed):
+        instance = small_instance(seed)
+        solution = optimal_ilp(instance)
+        assert instance.is_feasible_solution(
+            list(solution.leases), list(solution.connections)
+        )
+        assert solution.cost == pytest.approx(
+            instance.solution_cost(
+                list(solution.leases), list(solution.connections)
+            )
+        )
+
+    def test_heuristic_feasible(self):
+        instance = small_instance(9)
+        solution = nearest_heuristic(instance)
+        assert instance.is_feasible_solution(
+            list(solution.leases), list(solution.connections)
+        )
+
+    def test_brute_force_matches_ilp_on_tiny(self):
+        schedule = LeaseSchedule.from_pairs([(2, 3.0), (4, 5.0)])
+        instance = FacilityLeasingInstance(
+            facility_points=((0.0, 0.0), (10.0, 0.0)),
+            lease_costs=((3.0, 5.0), (3.0, 5.0)),
+            schedule=schedule,
+            clients=(
+                Client(ident=0, point=(1.0, 0.0), arrival=0),
+                Client(ident=1, point=(9.0, 0.0), arrival=1),
+            ),
+        )
+        brute = optimal_brute(instance)
+        ilp = optimal_ilp(instance)
+        assert brute.cost == pytest.approx(ilp.cost, abs=1e-6)
+
+    def test_brute_force_rejects_large(self):
+        instance = small_instance(0, steps=6, per_step=3, num_facilities=4)
+        with pytest.raises(SolverError):
+            optimal_brute(instance, max_windows=4)
+
+    def test_optimum_exact_with_scipy(self):
+        bounds = optimum(small_instance(1))
+        assert bounds.exact

@@ -1,0 +1,183 @@
+"""Tests for the two-phase online facility leasing algorithm (Section 4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.analysis import verify_facility
+from repro.facility import (
+    Client,
+    FacilityLeasingInstance,
+    OnlineFacilityLeasing,
+    make_instance,
+    optimum,
+    run_facility_leasing,
+    theoretical_bound,
+)
+from repro.workloads import constant_batches, make_rng, nonincreasing_batches
+
+
+def random_instance(seed, batches=None, num_facilities=3, num_types=2):
+    rng = make_rng(seed)
+    schedule = LeaseSchedule.power_of_two(num_types)
+    if batches is None:
+        batches = [rng.randint(0, 3) for _ in range(6)]
+        if sum(batches) == 0:
+            batches[0] = 1
+    return make_instance(
+        schedule,
+        num_facilities=num_facilities,
+        batch_sizes=batches,
+        rng=rng,
+    )
+
+
+class TestFeasibility:
+    @given(seed=st.integers(min_value=0, max_value=80))
+    @settings(max_examples=20)
+    def test_always_feasible(self, seed):
+        instance = random_instance(seed)
+        algorithm = run_facility_leasing(instance)
+        verify_facility(
+            instance, list(algorithm.leases), algorithm.connections
+        ).raise_if_failed()
+
+    @given(seed=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=10)
+    def test_every_client_connected_exactly_once(self, seed):
+        instance = random_instance(seed)
+        algorithm = run_facility_leasing(instance)
+        connected = [c.client for c in algorithm.connections]
+        assert sorted(connected) == list(range(instance.num_clients))
+
+    def test_empty_batches_are_noops(self, schedule2):
+        instance = FacilityLeasingInstance(
+            facility_points=((0.0, 0.0),),
+            lease_costs=((2.0, 3.0),),
+            schedule=schedule2,
+            clients=(Client(ident=0, point=(1.0, 0.0), arrival=3),),
+        )
+        algorithm = OnlineFacilityLeasing(instance)
+        from repro.facility.model import ClientBatch
+
+        algorithm.on_demand(ClientBatch(arrival=0, clients=()))
+        assert algorithm.cost == 0.0
+        algorithm.on_demand(ClientBatch(arrival=3, clients=instance.clients))
+        assert algorithm.cost > 0.0
+
+
+class TestSingleStepBehaviour:
+    def one_facility_instance(self, schedule, client_points, facility_cost=4.0):
+        return FacilityLeasingInstance(
+            facility_points=((0.0, 0.0),),
+            lease_costs=((facility_cost,) * schedule.num_types,),
+            schedule=schedule,
+            clients=tuple(
+                Client(ident=i, point=p, arrival=0)
+                for i, p in enumerate(client_points)
+            ),
+        )
+
+    def test_single_client_pays_cost_plus_distance(self):
+        schedule = LeaseSchedule.from_pairs([(4, 4.0)])
+        instance = self.one_facility_instance(schedule, [(3.0, 0.0)])
+        algorithm = run_facility_leasing(instance)
+        assert algorithm.leasing_cost == pytest.approx(4.0)
+        assert algorithm.connection_cost == pytest.approx(3.0)
+
+    def test_alpha_hat_equals_cost_share_plus_distance(self):
+        """With one facility and one client, alpha = d + c (JV invariant)."""
+        schedule = LeaseSchedule.from_pairs([(4, 4.0)])
+        instance = self.one_facility_instance(schedule, [(3.0, 0.0)])
+        algorithm = run_facility_leasing(instance)
+        assert algorithm.alpha_hat[0] == pytest.approx(3.0 + 4.0)
+
+    def test_two_clients_share_opening_cost(self):
+        schedule = LeaseSchedule.from_pairs([(4, 4.0)])
+        instance = self.one_facility_instance(
+            schedule, [(1.0, 0.0), (-1.0, 0.0)]
+        )
+        algorithm = run_facility_leasing(instance)
+        # Both potentials grow past distance 1, then split the cost 4:
+        # alpha = 1 + 2 each.
+        assert algorithm.alpha_hat[0] == pytest.approx(3.0)
+        assert algorithm.alpha_hat[1] == pytest.approx(3.0)
+        assert algorithm.leasing_cost == pytest.approx(4.0)
+
+    def test_conflict_resolution_opens_one_of_two_close_facilities(self):
+        schedule = LeaseSchedule.from_pairs([(4, 2.0)])
+        instance = FacilityLeasingInstance(
+            facility_points=((0.0, 0.0), (0.5, 0.0)),
+            lease_costs=((2.0,), (2.0,)),
+            schedule=schedule,
+            clients=(
+                Client(ident=0, point=(0.25, 0.0), arrival=0),
+                Client(ident=1, point=(0.25, 1.0), arrival=0),
+            ),
+        )
+        algorithm = run_facility_leasing(instance)
+        # Both facilities go tight around the same moment; the conflict
+        # graph must keep only one.
+        assert len(algorithm.leases) == 1
+
+
+class TestReuseAcrossSteps:
+    def test_open_lease_reused_while_active(self):
+        """A second batch inside the lease window connects for free-ish."""
+        schedule = LeaseSchedule.from_pairs([(8, 5.0)])
+        instance = FacilityLeasingInstance(
+            facility_points=((0.0, 0.0),),
+            lease_costs=((5.0,),),
+            schedule=schedule,
+            clients=(
+                Client(ident=0, point=(1.0, 0.0), arrival=0),
+                Client(ident=1, point=(1.0, 0.0), arrival=3),
+            ),
+        )
+        algorithm = run_facility_leasing(instance)
+        assert algorithm.leasing_cost == pytest.approx(5.0)  # one lease only
+        assert len(algorithm.leases) == 1
+
+    def test_expired_lease_repurchased(self):
+        schedule = LeaseSchedule.from_pairs([(2, 5.0)])
+        instance = FacilityLeasingInstance(
+            facility_points=((0.0, 0.0),),
+            lease_costs=((5.0,),),
+            schedule=schedule,
+            clients=(
+                Client(ident=0, point=(1.0, 0.0), arrival=0),
+                Client(ident=1, point=(1.0, 0.0), arrival=4),
+            ),
+        )
+        algorithm = run_facility_leasing(instance)
+        assert algorithm.leasing_cost == pytest.approx(10.0)
+        assert len(algorithm.leases) == 2
+
+
+class TestCompetitiveness:
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=8)
+    def test_theorem_4_5_bound(self, seed):
+        """Measured ratio stays below 4(3+K) H_lmax."""
+        rng = make_rng(seed)
+        schedule = LeaseSchedule.power_of_two(2)
+        batches = constant_batches(4, 2)
+        instance = make_instance(
+            schedule, num_facilities=3, batch_sizes=batches, rng=rng
+        )
+        algorithm = run_facility_leasing(instance)
+        opt = optimum(instance)
+        bound = theoretical_bound(schedule, batches)
+        assert algorithm.cost <= bound * opt.lower + 1e-6
+
+    def test_nonincreasing_batches_low_ratio(self):
+        rng = make_rng(17)
+        schedule = LeaseSchedule.power_of_two(2)
+        batches = nonincreasing_batches(6, 4, rng)
+        instance = make_instance(
+            schedule, num_facilities=3, batch_sizes=batches, rng=rng
+        )
+        algorithm = run_facility_leasing(instance)
+        opt = optimum(instance)
+        assert algorithm.cost <= theoretical_bound(schedule, batches) * opt.lower

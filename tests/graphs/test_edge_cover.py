@@ -1,0 +1,118 @@
+"""Tests for edge cover leasing (the second Section 3.5 covering problem)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.errors import ModelError
+from repro.graphs import (
+    EdgeCoverLeasingInstance,
+    OnlineEdgeCoverLeasing,
+    VertexDemand,
+    edge_cover_optimum,
+)
+from repro.workloads import make_rng
+
+
+def path_instance(schedule, demands, num_vertices=5, cost_scale=1.0):
+    edges = tuple((v, v + 1) for v in range(num_vertices - 1))
+    costs = tuple(
+        tuple(cost_scale * lt.cost for lt in schedule) for _ in edges
+    )
+    return EdgeCoverLeasingInstance(
+        num_vertices=num_vertices,
+        edges=edges,
+        edge_costs=costs,
+        schedule=schedule,
+        demands=tuple(VertexDemand(v, t) for v, t in demands),
+    )
+
+
+class TestModel:
+    def test_rejects_isolated_vertex_demand(self, schedule2):
+        with pytest.raises(ModelError):
+            EdgeCoverLeasingInstance(
+                num_vertices=3,
+                edges=((0, 1),),
+                edge_costs=((1.0, 1.6),),
+                schedule=schedule2,
+                demands=(VertexDemand(2, 0),),
+            )
+
+    def test_rejects_self_loop(self, schedule2):
+        with pytest.raises(ModelError):
+            EdgeCoverLeasingInstance(
+                num_vertices=2,
+                edges=((1, 1),),
+                edge_costs=((1.0, 1.6),),
+                schedule=schedule2,
+                demands=(),
+            )
+
+    def test_max_degree(self, schedule2):
+        instance = path_instance(schedule2, [])
+        assert instance.max_degree == 2
+
+    def test_reduction_sets_are_edges(self, schedule2):
+        instance = path_instance(schedule2, [(0, 0)])
+        multicover = instance.to_multicover()
+        assert multicover.system.num_sets == 4
+        assert all(
+            len(members) == 2 for members in multicover.system.sets
+        )
+        # delta of the reduction equals the max degree.
+        assert multicover.system.delta == instance.max_degree
+
+
+class TestOnline:
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20)
+    def test_always_feasible(self, seed):
+        rng = make_rng(seed)
+        schedule = LeaseSchedule.power_of_two(2)
+        demands = sorted(
+            ((rng.randrange(5), t) for t in range(10)),
+            key=lambda d: d[1],
+        )
+        instance = path_instance(schedule, demands)
+        algorithm = OnlineEdgeCoverLeasing(instance, seed=seed)
+        for demand in instance.demands:
+            algorithm.on_demand(demand)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+
+    def test_endpoint_vertex_uses_its_only_edge(self, schedule2):
+        instance = path_instance(schedule2, [(0, 0)])
+        algorithm = OnlineEdgeCoverLeasing(instance, seed=0)
+        algorithm.on_demand((0, 0))
+        # Vertex 0's only incident edge is edge 0.
+        assert {lease.resource for lease in algorithm.leases} == {0}
+
+    def test_shared_edge_covers_both_endpoints(self, schedule2):
+        """Adjacent vertex demands inside one window share a lease."""
+        schedule = LeaseSchedule.from_pairs([(4, 1.0), (8, 1.6)])
+        instance = path_instance(schedule, [(1, 0), (2, 1)])
+        algorithm = OnlineEdgeCoverLeasing(instance, seed=0)
+        for demand in instance.demands:
+            algorithm.on_demand(demand)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+        opt = edge_cover_optimum(instance)
+        # Optimum covers both with the single middle edge (1,2).
+        assert opt.lower == pytest.approx(1.0)
+
+    def test_mean_ratio_reasonable(self):
+        rng = make_rng(5)
+        schedule = LeaseSchedule.power_of_two(2)
+        demands = sorted(
+            ((rng.randrange(6), t) for t in range(14)),
+            key=lambda d: d[1],
+        )
+        instance = path_instance(schedule, demands, num_vertices=6)
+        opt = edge_cover_optimum(instance)
+        ratios = []
+        for seed in range(8):
+            algorithm = OnlineEdgeCoverLeasing(instance, seed=seed)
+            for demand in instance.demands:
+                algorithm.on_demand(demand)
+            ratios.append(algorithm.cost / opt.lower)
+        assert sum(ratios) / len(ratios) <= 12.0

@@ -1,0 +1,124 @@
+"""Tests for Steiner tree leasing (Section 5.1 model)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.errors import ModelError
+from repro.graphs import (
+    OnlineSteinerLeasing,
+    PairDemand,
+    SteinerLeasingInstance,
+    offline_heuristic,
+)
+from repro.workloads import make_rng
+
+
+def grid_instance(schedule, demands, size=3, weight=1.0):
+    graph = nx.grid_2d_graph(size, size)
+    graph = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+    nx.set_edge_attributes(graph, weight, "weight")
+    return SteinerLeasingInstance(
+        graph=graph,
+        schedule=schedule,
+        demands=tuple(PairDemand(s, t, a) for s, t, a in demands),
+    )
+
+
+class TestModel:
+    def test_rejects_identical_terminals(self):
+        with pytest.raises(ModelError):
+            PairDemand(1, 1, 0)
+
+    def test_rejects_missing_weight(self, schedule2):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        with pytest.raises(ModelError):
+            SteinerLeasingInstance(
+                graph=graph, schedule=schedule2, demands=()
+            )
+
+    def test_rejects_unknown_terminal(self, schedule2):
+        with pytest.raises(ModelError):
+            grid_instance(schedule2, [(0, 99, 0)])
+
+    def test_edge_ids_stable(self, schedule2):
+        instance = grid_instance(schedule2, [])
+        ids = instance.edge_ids()
+        assert len(ids) == instance.graph.number_of_edges()
+        assert sorted(ids.values()) == list(range(len(ids)))
+
+
+class TestOnline:
+    @given(seed=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=15)
+    def test_always_feasible(self, seed):
+        rng = make_rng(seed)
+        schedule = LeaseSchedule.power_of_two(2)
+        demands = []
+        for t in range(6):
+            s = rng.randrange(9)
+            target = rng.randrange(9)
+            if s != target:
+                demands.append((s, target, t))
+        instance = grid_instance(schedule, demands)
+        algorithm = OnlineSteinerLeasing(instance)
+        for demand in instance.demands:
+            algorithm.on_demand(demand)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+
+    def test_adjacent_pair_buys_one_edge(self, schedule2):
+        instance = grid_instance(schedule2, [(0, 1, 0)])
+        algorithm = OnlineSteinerLeasing(instance)
+        algorithm.on_demand(instance.demands[0])
+        assert len(algorithm.leases) == 1
+        assert algorithm.cost == pytest.approx(schedule2[0].cost)
+
+    def test_active_leases_are_free_paths(self, schedule2):
+        """A second pair along an already-leased path costs nothing."""
+        schedule = LeaseSchedule.from_pairs([(4, 1.0), (8, 1.6)])
+        instance = grid_instance(schedule, [(0, 2, 0), (0, 2, 1)])
+        algorithm = OnlineSteinerLeasing(instance)
+        algorithm.on_demand(instance.demands[0])
+        cost_first = algorithm.cost
+        algorithm.on_demand(instance.demands[1])
+        assert algorithm.cost == cost_first
+
+    def test_doubling_ratchet_upgrades_type(self):
+        """Re-leasing the same edge graduates to the longer lease type."""
+        schedule = LeaseSchedule.from_pairs([(1, 1.0), (8, 3.0)])
+        demands = [(0, 1, 0), (0, 1, 1), (0, 1, 2)]
+        instance = grid_instance(schedule, demands)
+        algorithm = OnlineSteinerLeasing(instance)
+        for demand in instance.demands:
+            algorithm.on_demand(demand)
+        types = [lease.type_index for lease in algorithm.leases]
+        assert types[0] == 0
+        assert 1 in types  # upgraded on re-lease
+
+
+class TestOfflineHeuristic:
+    def test_empty(self, schedule2):
+        assert offline_heuristic(grid_instance(schedule2, [])) == 0.0
+
+    def test_feasible_cost_upper_bounds_tree(self, schedule2):
+        demands = [(0, 8, 0), (2, 6, 1)]
+        instance = grid_instance(schedule2, demands)
+        value = offline_heuristic(instance)
+        # The per-round tree spans 4 terminals on a 3x3 unit grid: at
+        # least 4 edges at the long-lease price.
+        assert value >= 4 * schedule2[1].cost * 0.99
+
+    def test_online_gap_is_bounded_on_repeats(self):
+        """Doubling keeps repeated demand affordable vs the heuristic."""
+        schedule = LeaseSchedule.power_of_two(4, cost_growth=1.5)
+        demands = [(0, 8, t) for t in range(8)]
+        instance = grid_instance(schedule, demands)
+        algorithm = OnlineSteinerLeasing(instance)
+        for demand in instance.demands:
+            algorithm.on_demand(demand)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+        baseline = offline_heuristic(instance)
+        assert algorithm.cost <= 4 * baseline

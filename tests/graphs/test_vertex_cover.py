@@ -1,0 +1,144 @@
+"""Tests for vertex cover leasing (Chapter 3 outlook)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.errors import ModelError
+from repro.graphs import (
+    EdgeDemand,
+    OnlineVertexCoverLeasing,
+    VertexCoverLeasingInstance,
+    optimum,
+)
+from repro.workloads import make_rng
+
+
+def build_instance(num_vertices, edges, schedule, costs=None):
+    if costs is None:
+        costs = [
+            [lease_type.cost for lease_type in schedule]
+            for _ in range(num_vertices)
+        ]
+    return VertexCoverLeasingInstance(
+        num_vertices=num_vertices,
+        vertex_costs=tuple(tuple(row) for row in costs),
+        schedule=schedule,
+        demands=tuple(EdgeDemand(u, v, t) for u, v, t in edges),
+    )
+
+
+def random_edges(num_vertices, count, horizon, rng):
+    edges = []
+    for t in sorted(rng.choices(range(horizon), k=count)):
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        while v == u:
+            v = rng.randrange(num_vertices)
+        edges.append((u, v, t))
+    return edges
+
+
+class TestModel:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ModelError):
+            EdgeDemand(1, 1, 0)
+
+    def test_rejects_out_of_range_edge(self, schedule2):
+        with pytest.raises(ModelError):
+            build_instance(2, [(0, 5, 0)], schedule2)
+
+    def test_reduction_delta_is_two(self, schedule2):
+        instance = build_instance(4, [(0, 1, 0), (1, 2, 1), (2, 3, 2)], schedule2)
+        multicover = instance.to_multicover()
+        # Every real element (edge) is in exactly its two endpoints.
+        for demand in multicover.demands:
+            assert (
+                len(multicover.system.sets_containing(demand.element)) == 2
+            )
+
+    def test_reduction_handles_isolated_vertices(self, schedule2):
+        instance = build_instance(5, [(0, 1, 0)], schedule2)
+        multicover = instance.to_multicover()  # vertices 2,3,4 are isolated
+        assert multicover.system.num_sets == 5
+
+    def test_repeated_edge_maps_to_same_element(self, schedule2):
+        instance = build_instance(3, [(0, 1, 0), (1, 0, 4)], schedule2)
+        multicover = instance.to_multicover()
+        elements = [demand.element for demand in multicover.demands]
+        assert elements[0] == elements[1]
+
+
+class TestOnline:
+    @given(seed=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=20)
+    def test_always_feasible(self, seed):
+        rng = make_rng(seed)
+        schedule = LeaseSchedule.power_of_two(2)
+        edges = random_edges(6, 10, 12, rng)
+        instance = build_instance(6, edges, schedule)
+        algorithm = OnlineVertexCoverLeasing(instance, seed=seed)
+        for demand in instance.demands:
+            algorithm.on_demand(demand)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+
+    def test_leases_are_vertices(self, schedule2):
+        instance = build_instance(3, [(0, 1, 0), (1, 2, 1)], schedule2)
+        algorithm = OnlineVertexCoverLeasing(instance, seed=0)
+        for demand in instance.demands:
+            algorithm.on_demand(demand)
+        assert all(
+            0 <= lease.resource < 3 for lease in algorithm.leases
+        )
+
+    def test_star_graph_centre_dominates(self, schedule2):
+        """All edges share vertex 0; the cheap centre must carry coverage.
+
+        The rounding is randomized, so an occasional expensive endpoint
+        lease is possible; the structural claim is that the centre is
+        leased and the total stays far below the all-endpoints cost.
+        """
+        costs = [[0.5, 0.8]] + [[10.0, 16.0]] * 4
+        edges = [(0, v, v - 1) for v in range(1, 5)]
+        instance = build_instance(5, edges, schedule2, costs)
+        all_endpoints_cost = 4 * 10.0
+        worst = 0.0
+        for seed in range(5):
+            algorithm = OnlineVertexCoverLeasing(instance, seed=seed)
+            for demand in instance.demands:
+                algorithm.on_demand(demand)
+            assert 0 in {lease.resource for lease in algorithm.leases}
+            worst = max(worst, algorithm.cost)
+        assert worst < all_endpoints_cost
+
+    def test_undeclared_edge_rejected(self, schedule2):
+        instance = build_instance(3, [(0, 1, 0)], schedule2)
+        algorithm = OnlineVertexCoverLeasing(instance, seed=0)
+        with pytest.raises(ModelError):
+            algorithm.on_demand((1, 2, 0))
+
+
+class TestCompetitiveness:
+    def test_mean_ratio_within_inherited_bound(self):
+        rng = make_rng(7)
+        schedule = LeaseSchedule.power_of_two(2)
+        edges = random_edges(8, 14, 16, rng)
+        instance = build_instance(8, edges, schedule)
+        opt = optimum(instance)
+        ratios = []
+        for seed in range(10):
+            algorithm = OnlineVertexCoverLeasing(instance, seed=seed)
+            for demand in instance.demands:
+                algorithm.on_demand(demand)
+            ratios.append(algorithm.cost / opt.lower)
+        mean = sum(ratios) / len(ratios)
+        n_edges = len({frozenset((u, v)) for u, v, _ in edges})
+        bound = (
+            4.0
+            * (math.log(2 * schedule.num_types) + 2.0)
+            * (2.0 * math.log2(n_edges + 2) + 2.0)
+        )
+        assert mean <= bound

@@ -1,0 +1,171 @@
+"""Cross-chapter integration tests: the reductions the thesis states.
+
+The thesis ties its models together through explicit specialisations:
+OLD with d=0 is the parking permit problem; SCLD with d=0 is
+SetCoverLeasing; SetMulticoverLeasing with one single-element set system
+is the parking permit problem; K=1 with an infinite lease recovers the
+non-leasing problems.  Each reduction is checked end to end.
+"""
+
+import pytest
+
+from repro.core import LeaseSchedule, buy_forever_schedule, run_online
+from repro.deadlines import (
+    DeadlineElement,
+    OnlineLeasingWithDeadlines,
+    OnlineSCLD,
+    SCLDInstance,
+    make_old_instance,
+    optimal_dp,
+)
+from repro.parking import (
+    DeterministicParkingPermit,
+    make_instance,
+    optimal_general,
+    optimal_interval,
+)
+from repro.setcover import (
+    MulticoverDemand,
+    OnlineSetMulticoverLeasing,
+    SetMulticoverLeasingInstance,
+    SetSystem,
+    optimum as setcover_optimum,
+)
+from repro.workloads import bernoulli_days, make_rng
+
+
+class TestOldIsParkingPermitWhenSlackZero:
+    def test_optima_coincide(self, schedule3):
+        days = [0, 2, 3, 9, 12]
+        parking = make_instance(schedule3, days)
+        old = make_old_instance(schedule3, [(day, 0) for day in days])
+        assert optimal_dp(old) == pytest.approx(
+            optimal_interval(parking).cost
+        )
+
+    def test_online_costs_coincide(self, schedule3):
+        rng = make_rng(0)
+        days = bernoulli_days(40, 0.3, rng)
+        old_algorithm = OnlineLeasingWithDeadlines(schedule3)
+        parking_algorithm = DeterministicParkingPermit(schedule3)
+        for day in days:
+            old_algorithm.on_demand((day, 0))
+            parking_algorithm.on_demand(day)
+        assert old_algorithm.cost == pytest.approx(parking_algorithm.cost)
+
+
+class TestMulticoverWithSingleSetIsParkingPermit:
+    def single_set_instance(self, schedule, days):
+        system = SetSystem(
+            num_elements=1,
+            sets=[{0}],
+            lease_costs=[[t.cost for t in schedule]],
+        )
+        demands = tuple(MulticoverDemand(0, day) for day in days)
+        return SetMulticoverLeasingInstance(
+            system=system, schedule=schedule, demands=demands
+        )
+
+    def test_optima_coincide(self, schedule3):
+        days = [0, 1, 5, 9]
+        instance = self.single_set_instance(schedule3, days)
+        parking = make_instance(schedule3, days)
+        bounds = setcover_optimum(instance)
+        assert bounds.lower == pytest.approx(optimal_interval(parking).cost)
+
+    def test_online_feasible_and_bounded(self, schedule3):
+        days = [0, 1, 5, 9, 13]
+        instance = self.single_set_instance(schedule3, days)
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+        run_online(algorithm, instance.demands)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+
+
+class TestScldZeroSlackIsSetCoverLeasing:
+    def test_same_covering_program_optimum(self, schedule2):
+        system = SetSystem(
+            num_elements=3,
+            sets=[{0, 1}, {1, 2}, {0, 2}],
+            lease_costs=[[1.0, 1.6]] * 3,
+        )
+        demand_pairs = [(0, 0), (1, 1), (2, 5)]
+        scld = SCLDInstance(
+            system=system,
+            schedule=schedule2,
+            demands=tuple(
+                DeadlineElement(e, t, 0) for e, t in demand_pairs
+            ),
+        )
+        multicover = SetMulticoverLeasingInstance(
+            system=system,
+            schedule=schedule2,
+            demands=tuple(
+                MulticoverDemand(e, t, 1) for e, t in demand_pairs
+            ),
+        )
+        from repro.lp import solve_ilp
+
+        scld_opt = solve_ilp(scld.to_covering_program()).value
+        multi_opt = solve_ilp(multicover.to_covering_program()).value
+        assert scld_opt == pytest.approx(multi_opt)
+
+    def test_scld_solution_serves_multicover_semantics(self, schedule2):
+        system = SetSystem(
+            num_elements=2,
+            sets=[{0}, {1}, {0, 1}],
+            lease_costs=[[1.0, 1.6]] * 3,
+        )
+        scld = SCLDInstance(
+            system=system,
+            schedule=schedule2,
+            demands=(
+                DeadlineElement(0, 0, 0),
+                DeadlineElement(1, 2, 0),
+            ),
+        )
+        algorithm = OnlineSCLD(scld, seed=1)
+        for demand in scld.demands:
+            algorithm.on_demand(demand)
+        multicover = SetMulticoverLeasingInstance(
+            system=system,
+            schedule=schedule2,
+            demands=(
+                MulticoverDemand(0, 0, 1),
+                MulticoverDemand(1, 2, 1),
+            ),
+        )
+        assert multicover.is_feasible_solution(list(algorithm.leases))
+
+
+class TestBuyForeverRecoversClassicalProblems:
+    def test_parking_with_infinite_lease_buys_once(self):
+        schedule = buy_forever_schedule(64, cost=5.0)
+        algorithm = DeterministicParkingPermit(schedule)
+        for day in [0, 10, 30, 63]:
+            algorithm.on_demand(day)
+        assert algorithm.cost == pytest.approx(5.0)
+        assert len(algorithm.leases) == 1
+
+    def test_infinite_lease_optimum_is_single_purchase(self):
+        schedule = buy_forever_schedule(64, cost=5.0)
+        instance = make_instance(schedule, [0, 10, 30, 63])
+        assert optimal_general(instance).cost == pytest.approx(5.0)
+
+
+class TestLeaseExpiryForcesRepurchase:
+    def test_same_demand_after_expiry_costs_again(self, schedule2):
+        """The defining difference between leasing and buying."""
+        system = SetSystem(
+            num_elements=1, sets=[{0}], lease_costs=[[1.0, 1.6]]
+        )
+        demands = (
+            MulticoverDemand(0, 0, 1),
+            MulticoverDemand(0, 50, 1),
+        )
+        instance = SetMulticoverLeasingInstance(
+            system=system, schedule=schedule2, demands=demands
+        )
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+        run_online(algorithm, demands)
+        # lmax = 2 < 50: no single lease spans both arrivals.
+        assert len(algorithm.leases) >= 2

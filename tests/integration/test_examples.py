@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library; a broken example is a
+broken deliverable.  Each is executed in-process (fresh module
+namespace) and must finish without raising and produce output.
+"""
+
+import io
+import runpy
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLE_SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(EXAMPLE_SCRIPTS) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs_and_prints(script):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = buffer.getvalue()
+    assert len(output.strip()) > 50, f"{script} produced no real output"
+
+
+def test_quickstart_reports_bound():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__"
+        )
+    assert "Theorem 2.7" in buffer.getvalue()
+
+
+def test_adversarial_showdown_shows_exact_lower_bound():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "adversarial_showdown.py"),
+            run_name="__main__",
+        )
+    output = buffer.getvalue()
+    # The adversary table's K=4 row ends with ratio exactly 4.000.
+    assert "4.000" in output

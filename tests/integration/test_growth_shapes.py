@@ -1,0 +1,68 @@
+"""Growth-shape integration: the O(K) vs Omega(K) separation, measured live.
+
+Definitions 2.1/2.2 are about orders of growth; this test derives the
+shapes from live runs of the library (not hard-coded series) and checks
+them with the growth-fit module:
+
+* on benign stochastic workloads, the deterministic algorithm's ratio
+  grows *sublinearly* in K (the worst case is not typical);
+* against the Theorem 2.8 adversary, the forced ratio is *linear* in K
+  (the worst case is achieved).
+"""
+
+from repro.analysis import best_shape, grows_sublinearly
+from repro.core import LeaseSchedule, run_online
+from repro.parking import (
+    AdaptiveAdversary,
+    DeterministicParkingPermit,
+    adversarial_schedule,
+    make_instance,
+    optimal_general,
+    optimal_interval,
+)
+from repro.workloads import make_rng, markov_days
+
+
+def benign_ratios(ks):
+    ratios = []
+    for num_types in ks:
+        schedule = LeaseSchedule.power_of_two(num_types, cost_growth=1.7)
+        days = markov_days(300, 0.08, 0.85, make_rng(17))
+        instance = make_instance(schedule, days)
+        algorithm = DeterministicParkingPermit(schedule)
+        run_online(algorithm, instance.rainy_days)
+        ratios.append(algorithm.cost / optimal_interval(instance).cost)
+    return ratios
+
+
+def adversarial_ratios(ks):
+    ratios = []
+    for num_types in ks:
+        schedule = adversarial_schedule(num_types)
+        adversary = AdaptiveAdversary(
+            schedule, horizon=min(schedule.lmax, 5000)
+        )
+        outcome = adversary.run(DeterministicParkingPermit(schedule))
+        opt = optimal_general(outcome.instance).cost
+        ratios.append(outcome.online_cost / opt)
+    return ratios
+
+
+class TestShapeSeparation:
+    def test_benign_workloads_are_sublinear_in_K(self):
+        ks = [1, 2, 3, 4, 6, 8]
+        assert grows_sublinearly(ks, benign_ratios(ks))
+
+    def test_adversarial_ratios_are_linear_in_K(self):
+        ks = [1, 2, 3, 4]
+        ratios = adversarial_ratios(ks)
+        assert best_shape(ks, ratios) == "linear"
+
+    def test_adversary_dominates_benign_at_same_K(self):
+        ks = [2, 3, 4]
+        benign = benign_ratios(ks)
+        forced = adversarial_ratios(ks)
+        for soft, hard, k in zip(benign, forced, ks):
+            # The adversary meets the K bound; benign workloads sit below.
+            assert hard >= k - 1e-9
+            assert soft < hard + 1e-9

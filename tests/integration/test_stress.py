@@ -1,0 +1,115 @@
+"""Scale smoke tests: the library handles realistic stream sizes quickly.
+
+These are not micro-benchmarks (see benchmarks/) but guardrails: each
+algorithm must process a workload one to two orders of magnitude larger
+than the property tests use, stay feasible, and finish within a loose
+wall-clock budget, so accidental quadratic blow-ups get caught by CI
+rather than by users.
+"""
+
+import time
+
+import pytest
+
+from repro.core import LeaseSchedule, run_online
+from repro.deadlines import make_old_instance, run_old
+from repro.parking import (
+    DeterministicParkingPermit,
+    RandomizedParkingPermit,
+    make_instance,
+    optimal_general,
+)
+from repro.setcover import OnlineSetMulticoverLeasing, random_instance
+from repro.workloads import bernoulli_days, deadline_arrivals, make_rng
+
+BUDGET_SECONDS = 10.0
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def covers_all_days(leases, days) -> bool:
+    """Linear-time feasibility check for large parking instances.
+
+    The model's quadratic verifier is fine at property-test scale but
+    dominates these stress runs; expanding leases into a covered-day set
+    once keeps the check honest and fast.
+    """
+    covered: set[int] = set()
+    for lease in leases:
+        covered.update(range(lease.start, lease.end))
+    return all(day in covered for day in days)
+
+
+class TestScale:
+    def test_parking_ten_thousand_days(self):
+        schedule = LeaseSchedule.power_of_two(6, cost_growth=1.7)
+        days = bernoulli_days(50_000, 0.2, make_rng(0))
+        instance = make_instance(schedule, days)
+
+        def run():
+            algorithm = DeterministicParkingPermit(schedule)
+            run_online(algorithm, instance.rainy_days)
+            return algorithm
+
+        algorithm, elapsed = timed(run)
+        assert elapsed < BUDGET_SECONDS
+        assert covers_all_days(algorithm.leases, instance.rainy_days)
+
+    def test_parking_offline_dp_scales(self):
+        schedule = LeaseSchedule.power_of_two(6, cost_growth=1.7)
+        days = bernoulli_days(50_000, 0.2, make_rng(1))
+        instance = make_instance(schedule, days)
+        solution, elapsed = timed(lambda: optimal_general(instance))
+        assert elapsed < BUDGET_SECONDS
+        assert solution.cost > 0
+
+    def test_randomized_parking_scales(self):
+        schedule = LeaseSchedule.power_of_two(6, cost_growth=1.7)
+        days = bernoulli_days(20_000, 0.15, make_rng(2))
+        instance = make_instance(schedule, days)
+
+        def run():
+            algorithm = RandomizedParkingPermit(schedule, seed=0)
+            run_online(algorithm, instance.rainy_days)
+            return algorithm
+
+        algorithm, elapsed = timed(run)
+        assert elapsed < BUDGET_SECONDS
+        assert covers_all_days(algorithm.leases, instance.rainy_days)
+
+    def test_multicover_thousand_demands(self):
+        instance = random_instance(
+            num_elements=200,
+            num_sets=60,
+            memberships=4,
+            schedule=LeaseSchedule.power_of_two(3),
+            horizon=500,
+            num_demands=1_000,
+            rng=make_rng(3),
+            max_coverage=2,
+        )
+
+        def run():
+            algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+            run_online(algorithm, instance.demands)
+            return algorithm
+
+        algorithm, elapsed = timed(run)
+        assert elapsed < BUDGET_SECONDS
+        assert instance.is_feasible_solution(list(algorithm.leases))
+
+    def test_old_thousand_clients(self):
+        schedule = LeaseSchedule.power_of_two(4)
+        clients = deadline_arrivals(
+            4_000, 0.4, max_slack=10, rng=make_rng(4)
+        )
+        instance = make_old_instance(schedule, clients).normalized()
+        algorithm, elapsed = timed(lambda: run_old(instance))
+        assert elapsed < BUDGET_SECONDS
+        assert instance.is_feasible_solution(list(algorithm.leases))
+        assert len(instance.clients) > 1_000

@@ -1,0 +1,72 @@
+"""Weak-duality checker tests (Theorem 2.3 machinery)."""
+
+import pytest
+
+from repro.lp import (
+    CoveringProgram,
+    check_duality,
+    dual_column_slacks,
+    dual_value,
+)
+
+
+def two_row_program():
+    program = CoveringProgram()
+    a = program.add_variable(3.0)
+    b = program.add_variable(2.0)
+    program.add_constraint({a: 1.0, b: 1.0}, rhs=1.0)
+    program.add_constraint({b: 1.0}, rhs=1.0)
+    return program
+
+
+class TestDualValue:
+    def test_weighted_by_rhs(self):
+        program = CoveringProgram()
+        v = program.add_variable(1.0)
+        program.add_constraint({v: 2.0}, rhs=2.0)
+        assert dual_value(program, [1.5]) == pytest.approx(3.0)
+
+
+class TestColumnSlacks:
+    def test_slack_computation(self):
+        program = two_row_program()
+        slacks = dual_column_slacks(program, [1.0, 1.0])
+        # a participates in row 0 only: 3 - 1 = 2.
+        # b participates in both rows: 2 - 2 = 0.
+        assert slacks == pytest.approx([2.0, 0.0])
+
+
+class TestCheckDuality:
+    def test_valid_pair(self):
+        program = two_row_program()
+        report = check_duality(program, x=[0.0, 1.0], y=[0.0, 2.0])
+        assert report.primal_feasible
+        assert report.dual_feasible
+        assert report.weak_duality_holds
+        assert report.dual_value == pytest.approx(2.0)
+        assert report.primal_value == pytest.approx(2.0)
+
+    def test_infeasible_dual_detected(self):
+        program = two_row_program()
+        report = check_duality(program, x=[0.0, 1.0], y=[0.0, 5.0])
+        assert not report.dual_feasible
+        assert report.max_dual_violation == pytest.approx(3.0)
+        assert not report.weak_duality_holds
+
+    def test_infeasible_primal_detected(self):
+        program = two_row_program()
+        report = check_duality(program, x=[1.0, 0.0], y=[0.0, 0.0])
+        assert not report.primal_feasible
+
+    def test_negative_dual_rejected(self):
+        program = two_row_program()
+        report = check_duality(program, x=[0.0, 1.0], y=[-0.5, 0.0])
+        assert not report.dual_feasible
+
+    def test_weak_duality_gap(self):
+        """Any feasible dual sits below any feasible primal (Theorem 2.3)."""
+        program = two_row_program()
+        for y in ([0.0, 0.0], [0.5, 0.5], [1.0, 1.0], [0.0, 2.0]):
+            report = check_duality(program, x=[1.0, 1.0], y=list(y))
+            if report.dual_feasible:
+                assert report.dual_value <= report.primal_value + 1e-9

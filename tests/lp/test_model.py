@@ -1,0 +1,87 @@
+"""Unit tests for the covering-program builder."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lp import CoveringProgram
+
+
+def small_program():
+    program = CoveringProgram()
+    a = program.add_variable(1.0, name="a")
+    b = program.add_variable(2.0, name="b")
+    c = program.add_variable(4.0, name="c")
+    program.add_constraint({a: 1, b: 1}, rhs=1)
+    program.add_constraint({b: 1, c: 1}, rhs=1)
+    return program, (a, b, c)
+
+
+class TestBuilder:
+    def test_variable_indices_sequential(self):
+        program, (a, b, c) = small_program()
+        assert (a, b, c) == (0, 1, 2)
+        assert program.num_variables == 3
+        assert program.num_constraints == 2
+
+    def test_rejects_negative_cost(self):
+        program = CoveringProgram()
+        with pytest.raises(ModelError):
+            program.add_variable(-1.0)
+
+    def test_rejects_negative_coefficient(self):
+        program = CoveringProgram()
+        v = program.add_variable(1.0)
+        with pytest.raises(ModelError):
+            program.add_constraint({v: -1.0}, rhs=1)
+
+    def test_rejects_negative_rhs(self):
+        program = CoveringProgram()
+        v = program.add_variable(1.0)
+        with pytest.raises(ModelError):
+            program.add_constraint({v: 1.0}, rhs=-1)
+
+    def test_rejects_unknown_variable(self):
+        program = CoveringProgram()
+        program.add_variable(1.0)
+        with pytest.raises(ModelError):
+            program.add_constraint({7: 1.0}, rhs=1)
+
+    def test_rejects_unsatisfiable_row(self):
+        program = CoveringProgram()
+        v = program.add_variable(1.0)
+        with pytest.raises(ModelError):
+            program.add_constraint({v: 1.0}, rhs=2.0)
+
+    def test_zero_coefficients_dropped(self):
+        program = CoveringProgram()
+        a = program.add_variable(1.0)
+        b = program.add_variable(1.0)
+        row = program.add_constraint({a: 0.0, b: 1.0}, rhs=1)
+        assert program.constraints[row].terms == ((b, 1.0),)
+
+    def test_payloads_recorded(self):
+        program = CoveringProgram()
+        program.add_variable(1.0, payload="lease-x")
+        assert program.selected_payloads([1.0]) == ["lease-x"]
+        assert program.selected_payloads([0.0]) == []
+
+
+class TestEvaluation:
+    def test_objective(self):
+        program, _ = small_program()
+        assert program.objective([1, 1, 0]) == 3.0
+
+    def test_feasibility(self):
+        program, _ = small_program()
+        assert program.is_feasible([0, 1, 0])      # b covers both rows
+        assert not program.is_feasible([1, 0, 0])  # a misses row 2
+        assert program.is_feasible([1, 0, 1])
+
+    def test_violated_rows(self):
+        program, _ = small_program()
+        assert program.violated_rows([1, 0, 0]) == [1]
+        assert program.violated_rows([0, 0, 0]) == [0, 1]
+
+    def test_fractional_feasibility(self):
+        program, _ = small_program()
+        assert program.is_feasible([0.5, 0.5, 0.5])

@@ -1,0 +1,77 @@
+"""A third, independent optimum solver: exhaustive window enumeration.
+
+The interval DP and the ILP already cross-check each other; this adds a
+brute-force enumerator over *all subsets* of candidate windows for tiny
+instances, closing the loop: if all three agree everywhere hypothesis
+looks, a shared blind spot is very unlikely.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule, run_online
+from repro.parking import (
+    DeterministicParkingPermit,
+    make_instance,
+    optimal_general,
+    optimal_interval,
+)
+
+tiny_days = st.lists(
+    st.integers(min_value=0, max_value=7), min_size=1, max_size=6
+)
+
+
+def brute_force_interval_opt(instance) -> float:
+    """True optimum by trying every subset of demand-relevant windows."""
+    windows = {}
+    for day in instance.rainy_days:
+        for lease in instance.candidates(day):
+            windows[lease.key] = lease
+    window_list = list(windows.values())
+    best = float("inf")
+    for size in range(len(window_list) + 1):
+        for subset in itertools.combinations(window_list, size):
+            cost = sum(lease.cost for lease in subset)
+            if cost >= best:
+                continue
+            if instance.is_feasible_solution(list(subset)):
+                best = cost
+    return best
+
+
+class TestThreeSolverAgreement:
+    @given(days=tiny_days)
+    @settings(max_examples=30)
+    def test_dp_matches_brute_force(self, days):
+        schedule = LeaseSchedule.power_of_two(2, cost_growth=1.6)
+        instance = make_instance(schedule, days)
+        assert abs(
+            optimal_interval(instance).cost
+            - brute_force_interval_opt(instance)
+        ) < 1e-9
+
+    @given(days=tiny_days)
+    @settings(max_examples=20)
+    def test_general_dp_never_above_brute_force(self, days):
+        """The general model allows arbitrary starts, so its optimum can
+        only be at most the interval brute force value."""
+        schedule = LeaseSchedule.power_of_two(2, cost_growth=1.6)
+        instance = make_instance(schedule, days)
+        assert (
+            optimal_general(instance).cost
+            <= brute_force_interval_opt(instance) + 1e-9
+        )
+
+    @given(days=tiny_days)
+    @settings(max_examples=20)
+    def test_online_bound_against_brute_force(self, days):
+        """Theorem 2.7 checked against the most trustworthy optimum."""
+        schedule = LeaseSchedule.power_of_two(2, cost_growth=1.6)
+        instance = make_instance(schedule, days)
+        algorithm = DeterministicParkingPermit(schedule)
+        run_online(algorithm, instance.rainy_days)
+        opt = brute_force_interval_opt(instance)
+        assert algorithm.cost <= schedule.num_types * opt + 1e-6

@@ -1,0 +1,106 @@
+"""Tests for Algorithm 1 (deterministic primal-dual parking permit)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule, run_online
+from repro.lp import check_duality
+from repro.parking import (
+    DeterministicParkingPermit,
+    make_instance,
+    optimal_interval,
+)
+
+day_sets = st.lists(
+    st.integers(min_value=0, max_value=60), min_size=1, max_size=20
+)
+
+
+def run_on(schedule, days):
+    instance = make_instance(schedule, days)
+    algorithm = DeterministicParkingPermit(schedule)
+    run_online(algorithm, instance.rainy_days)
+    return instance, algorithm
+
+
+class TestBehaviour:
+    def test_first_client_buys_cheapest_tight_lease(self, schedule3):
+        _, algorithm = run_on(schedule3, [0])
+        # Dual rises to the cheapest candidate cost; exactly it goes tight.
+        assert algorithm.cost == pytest.approx(schedule3[0].cost)
+        assert algorithm.duals[0] == pytest.approx(schedule3[0].cost)
+
+    def test_covered_day_costs_nothing_extra(self, schedule3):
+        instance, algorithm = run_on(schedule3, [0])
+        cost_before = algorithm.cost
+        algorithm.on_demand(0)  # duplicate arrival
+        assert algorithm.cost == cost_before
+
+    def test_accumulated_duals_eventually_buy_longer_lease(self):
+        # Equal-cost types: one client should tighten all candidates at once.
+        schedule = LeaseSchedule.from_pairs([(1, 1.0), (2, 1.0), (4, 1.0)])
+        _, algorithm = run_on(schedule, [0])
+        assert algorithm.cost == pytest.approx(3.0)
+        assert len(algorithm.leases) == 3
+
+    def test_repeated_days_in_same_window_trigger_upgrade(self):
+        schedule = LeaseSchedule.from_pairs([(1, 1.0), (4, 2.0)])
+        instance, algorithm = run_on(schedule, [0, 1])
+        # Day 0: dual 1 buys [0,1) and contributes 1 to window [0,4).
+        # Day 1: slack of [0,4) is 1, slack of [1,2) is 1 -> both tight.
+        assert instance.is_feasible_solution(list(algorithm.leases))
+        assert algorithm.covers(2)  # long lease bought
+        assert algorithm.cost == pytest.approx(1.0 + 1.0 + 2.0)
+
+    def test_covers_query(self, schedule3):
+        _, algorithm = run_on(schedule3, [4])
+        assert algorithm.covers(4)
+        assert not algorithm.covers(5)
+
+
+class TestInvariants:
+    @given(days=day_sets)
+    def test_feasibility(self, days):
+        schedule = LeaseSchedule.power_of_two(3)
+        instance, algorithm = run_on(schedule, days)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+
+    @given(days=day_sets)
+    def test_theorem_2_7_bound(self, days):
+        """ALG <= K * OPT_interval (Theorem 2.7, exact constant)."""
+        schedule = LeaseSchedule.power_of_two(4)
+        instance, algorithm = run_on(schedule, days)
+        opt = optimal_interval(instance).cost
+        assert algorithm.cost <= schedule.num_types * opt + 1e-6
+
+    @given(days=day_sets)
+    def test_dual_is_feasible_and_weak_duality_holds(self, days):
+        """The constructed dual never violates Figure 2.2's constraints."""
+        schedule = LeaseSchedule.power_of_two(3)
+        instance, algorithm = run_on(schedule, days)
+        program = instance.to_covering_program()
+        owned = {lease.key for lease in algorithm.leases}
+        x = [
+            1.0 if payload.key in owned else 0.0
+            for payload in program.payloads
+        ]
+        y = [algorithm.duals.get(day, 0.0) for day in instance.rainy_days]
+        report = check_duality(program, x, y)
+        assert report.primal_feasible
+        assert report.dual_feasible
+        assert report.weak_duality_holds
+
+    @given(days=day_sets)
+    def test_primal_cost_at_most_K_times_dual(self, days):
+        """The per-day candidate count caps primal/dual at K (proof of 2.7)."""
+        schedule = LeaseSchedule.power_of_two(4)
+        instance, algorithm = run_on(schedule, days)
+        dual_total = sum(algorithm.duals.values())
+        assert algorithm.cost <= schedule.num_types * dual_total + 1e-6
+
+    @given(days=day_sets)
+    def test_duals_nonnegative(self, days):
+        schedule = LeaseSchedule.power_of_two(3)
+        _, algorithm = run_on(schedule, days)
+        assert all(value >= 0 for value in algorithm.duals.values())

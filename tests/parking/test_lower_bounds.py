@@ -1,0 +1,118 @@
+"""Tests for the Theorem 2.8 / 2.9 lower-bound constructions."""
+
+import pytest
+
+from repro.core import LeaseSchedule
+from repro.errors import ModelError
+from repro.parking import (
+    AdaptiveAdversary,
+    DeterministicParkingPermit,
+    adversarial_schedule,
+    make_instance,
+    optimal_general,
+    sample_randomized_lower_bound,
+)
+from repro.workloads import make_rng
+
+
+class TestAdversarialSchedule:
+    def test_costs_and_lengths(self):
+        schedule = adversarial_schedule(4)
+        assert [t.cost for t in schedule] == [1.0, 2.0, 4.0, 8.0]
+        assert [t.length for t in schedule] == [1, 8, 64, 512]
+
+
+class TestAdaptiveAdversary:
+    def test_every_request_arrives_uncovered(self):
+        schedule = adversarial_schedule(3)
+        adversary = AdaptiveAdversary(schedule, horizon=40)
+
+        class Spy(DeterministicParkingPermit):
+            def __init__(self, inner_schedule):
+                super().__init__(inner_schedule)
+                self.was_covered_at_arrival = []
+
+            def on_demand(self, day):
+                self.was_covered_at_arrival.append(self.covers(day))
+                super().on_demand(day)
+
+        spy = Spy(schedule)
+        adversary.run(spy)
+        assert spy.was_covered_at_arrival
+        assert not any(spy.was_covered_at_arrival)
+
+    def test_outcome_instance_matches_requests(self):
+        schedule = adversarial_schedule(2)
+        adversary = AdaptiveAdversary(schedule, horizon=10)
+        outcome = adversary.run(DeterministicParkingPermit(schedule))
+        assert outcome.num_requests == len(outcome.instance.rainy_days)
+        assert outcome.online_cost > 0
+
+    def test_ratio_grows_with_K(self):
+        """The adversary forces a ratio that increases with K (Omega(K))."""
+        ratios = []
+        for num_types in (1, 2, 3, 4):
+            schedule = adversarial_schedule(num_types)
+            adversary = AdaptiveAdversary(
+                schedule, horizon=min(schedule.lmax, 4000)
+            )
+            outcome = adversary.run(DeterministicParkingPermit(schedule))
+            opt = optimal_general(outcome.instance).cost
+            ratios.append(outcome.online_cost / opt)
+        assert ratios[0] == pytest.approx(1.0)
+        # Strict growth across the sweep and a linear-ish last value.
+        assert ratios == sorted(ratios)
+        assert ratios[-1] >= ratios[0] * 2
+
+    def test_rejects_zero_horizon(self, schedule2):
+        with pytest.raises(ModelError):
+            AdaptiveAdversary(schedule2, horizon=0)
+
+
+class TestRandomizedLowerBound:
+    def test_instance_valid_and_nonempty(self):
+        instance = sample_randomized_lower_bound(3, make_rng(0))
+        assert instance.num_days >= 1
+        assert instance.schedule.num_types == 3
+
+    def test_first_subinterval_always_active(self):
+        """Day 0 is always rainy: the first child is active at every level."""
+        for seed in range(10):
+            instance = sample_randomized_lower_bound(3, make_rng(seed))
+            assert instance.rainy_days[0] == 0
+
+    def test_costs_double_per_level(self):
+        instance = sample_randomized_lower_bound(4, make_rng(1))
+        assert [t.cost for t in instance.schedule] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_branching_validation(self):
+        with pytest.raises(ModelError):
+            sample_randomized_lower_bound(3, make_rng(0), branching=1)
+
+    def test_expected_days_grow_with_K(self):
+        """Active-interval recursion doubles expected demand per level."""
+        means = []
+        for num_types in (2, 4):
+            sizes = [
+                sample_randomized_lower_bound(
+                    num_types, make_rng(seed)
+                ).num_days
+                for seed in range(40)
+            ]
+            means.append(sum(sizes) / len(sizes))
+        assert means[1] > means[0] * 1.8
+
+    def test_deterministic_algorithm_suffers(self):
+        """Deterministic Alg 1 averages a super-constant ratio on the
+        hard distribution (the Theorem 2.9 shape, measured loosely)."""
+        ratios = []
+        for seed in range(25):
+            instance = sample_randomized_lower_bound(
+                4, make_rng(seed), branching=8
+            )
+            algorithm = DeterministicParkingPermit(instance.schedule)
+            for day in instance.rainy_days:
+                algorithm.on_demand(day)
+            opt = optimal_general(instance).cost
+            ratios.append(algorithm.cost / opt)
+        assert sum(ratios) / len(ratios) > 1.1

@@ -1,0 +1,76 @@
+"""Unit tests for the parking permit instance model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lp import solve_ilp
+from repro.parking import ParkingPermitInstance, make_instance
+
+
+class TestConstruction:
+    def test_make_instance_sorts_and_dedupes(self, schedule3):
+        instance = make_instance(schedule3, [5, 1, 5, 3])
+        assert instance.rainy_days == (1, 3, 5)
+
+    def test_rejects_negative_day(self, schedule3):
+        with pytest.raises(ModelError):
+            ParkingPermitInstance(schedule=schedule3, rainy_days=(-1,))
+
+    def test_rejects_unsorted(self, schedule3):
+        with pytest.raises(ModelError):
+            ParkingPermitInstance(schedule=schedule3, rainy_days=(3, 1))
+
+    def test_rejects_duplicates(self, schedule3):
+        with pytest.raises(ModelError):
+            ParkingPermitInstance(schedule=schedule3, rainy_days=(1, 1))
+
+    def test_empty_instance(self, schedule3):
+        instance = make_instance(schedule3, [])
+        assert instance.num_days == 0
+        assert instance.horizon == 0
+
+    def test_horizon(self, schedule3):
+        assert make_instance(schedule3, [0, 7]).horizon == 8
+
+
+class TestCandidates:
+    def test_one_candidate_per_type(self, schedule4):
+        instance = make_instance(schedule4, [5])
+        candidates = instance.candidates(5)
+        assert len(candidates) == 4
+        assert all(lease.covers(5) for lease in candidates)
+
+
+class TestFeasibility:
+    def test_feasible_and_infeasible(self, schedule3):
+        instance = make_instance(schedule3, [0, 3])
+        good = instance.candidates(0) + instance.candidates(3)
+        assert instance.is_feasible_solution(good)
+        assert not instance.is_feasible_solution(instance.candidates(0)[:1])
+
+
+class TestCoveringProgram:
+    def test_one_row_per_day(self, schedule3):
+        instance = make_instance(schedule3, [0, 1, 9])
+        program = instance.to_covering_program()
+        assert program.num_constraints == 3
+
+    def test_windows_shared_across_days(self, schedule3):
+        # Days 0 and 1 share the length-2 window [0,2) and length-4 [0,4).
+        instance = make_instance(schedule3, [0, 1])
+        program = instance.to_covering_program()
+        # 2 length-1 windows + 1 length-2 + 1 length-4 = 4 variables.
+        assert program.num_variables == 4
+
+    def test_ilp_solution_is_feasible_lease_set(self, schedule3):
+        instance = make_instance(schedule3, [0, 1, 2, 9])
+        program = instance.to_covering_program()
+        solution = solve_ilp(program)
+        leases = program.selected_payloads(list(solution.x))
+        assert instance.is_feasible_solution(leases)
+
+    def test_with_days_rebuilds(self, schedule3):
+        instance = make_instance(schedule3, [0])
+        other = instance.with_days([4, 2])
+        assert other.rainy_days == (2, 4)
+        assert other.schedule is schedule3

@@ -1,0 +1,117 @@
+"""Tests for the naive strawman policies (E14 baselines)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule, run_online
+from repro.parking import (
+    AlwaysLongest,
+    AlwaysShortest,
+    DeterministicParkingPermit,
+    RentThenBuy,
+    make_instance,
+    optimal_interval,
+)
+
+day_sets = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=1, max_size=15
+)
+
+
+@pytest.mark.parametrize(
+    "policy_class", [AlwaysShortest, AlwaysLongest, RentThenBuy]
+)
+class TestAllPolicies:
+    @given(days=day_sets)
+    def test_feasible(self, policy_class, days):
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = make_instance(schedule, days)
+        policy = policy_class(schedule)
+        run_online(policy, instance.rainy_days)
+        assert instance.is_feasible_solution(list(policy.leases))
+
+    def test_idempotent_on_covered_days(self, policy_class, schedule3):
+        policy = policy_class(schedule3)
+        policy.on_demand(0)
+        cost = policy.cost
+        policy.on_demand(0)
+        assert policy.cost == cost
+
+
+class TestFailureModes:
+    def test_always_shortest_loses_on_dense_demand(self):
+        """Dense rain: renting daily pays ~lmax while one lease suffices."""
+        schedule = LeaseSchedule.power_of_two(4, cost_growth=1.3)
+        days = list(range(16))
+        shortest = AlwaysShortest(schedule)
+        run_online(shortest, days)
+        instance = make_instance(schedule, days)
+        opt = optimal_interval(instance).cost
+        assert shortest.cost > 2.0 * opt
+
+    def test_always_longest_loses_on_sparse_demand(self):
+        """Isolated rainy days: buying 8-day leases wastes most of each."""
+        schedule = LeaseSchedule.power_of_two(4, cost_growth=1.3)
+        days = [0, 20, 40, 60]
+        longest = AlwaysLongest(schedule)
+        run_online(longest, days)
+        instance = make_instance(schedule, days)
+        opt = optimal_interval(instance).cost
+        assert longest.cost > 2.0 * opt
+
+    def test_primal_dual_avoids_both_failure_modes(self):
+        """Algorithm 1 beats each strawman on that strawman's bad workload.
+
+        The schedule balances the two failure modes: cost ratio
+        c_K / c_1 = sqrt(l_max), so daily renting over a dense window and
+        long-leasing isolated days are both ~4x wasteful.
+        """
+        schedule = LeaseSchedule.power_of_two(5, cost_growth=2 ** 0.5)
+        dense = list(range(16))
+        sparse = [100, 200, 300, 400]
+
+        def cost_of(policy, days):
+            run_online(policy, days)
+            return policy.cost
+
+        # Dense window: AlwaysShortest pays per day; primal-dual ratchets
+        # up to the long lease.
+        pd_dense = cost_of(DeterministicParkingPermit(schedule), dense)
+        shortest_dense = cost_of(AlwaysShortest(schedule), dense)
+        assert pd_dense < shortest_dense
+
+        # Isolated days: AlwaysLongest wastes whole long leases;
+        # primal-dual buys singles.
+        pd_sparse = cost_of(DeterministicParkingPermit(schedule), sparse)
+        longest_sparse = cost_of(AlwaysLongest(schedule), sparse)
+        assert pd_sparse < longest_sparse
+
+        # And the theorem bound holds on the combined stream.
+        days = dense + sparse
+        instance = make_instance(schedule, days)
+        opt = optimal_interval(instance).cost
+        combined = cost_of(DeterministicParkingPermit(schedule), days)
+        assert combined <= schedule.num_types * opt + 1e-6
+
+
+class TestRentThenBuy:
+    def test_buys_long_lease_after_enough_rent(self):
+        schedule = LeaseSchedule.from_pairs([(1, 1.0), (8, 3.0)])
+        policy = RentThenBuy(schedule)
+        for day in range(5):
+            policy.on_demand(day)
+        # Rents twice (cost 2), then 2 + 1 >= 3 triggers the buy.
+        types = [lease.type_index for lease in policy.leases]
+        assert types.count(1) == 1
+        assert policy.cost == pytest.approx(2 * 1.0 + 3.0)
+
+    def test_within_classic_ski_rental_factor(self):
+        schedule = LeaseSchedule.from_pairs([(1, 1.0), (32, 10.0)])
+        days = list(range(32))
+        instance = make_instance(schedule, days)
+        policy = RentThenBuy(schedule)
+        run_online(policy, days)
+        opt = optimal_interval(instance).cost
+        # rent-then-buy is 2-competitive against the rent/buy optimum.
+        assert policy.cost <= 2.0 * opt + schedule[0].cost + 1e-6

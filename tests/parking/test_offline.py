@@ -1,0 +1,118 @@
+"""Exact offline solvers: DP correctness and cross-validation against ILP."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.errors import ModelError
+from repro.lp import solve_ilp
+from repro.parking import (
+    make_instance,
+    optimal_general,
+    optimal_interval,
+    optimal_interval_cost,
+)
+
+day_sets = st.lists(
+    st.integers(min_value=0, max_value=80), min_size=0, max_size=25
+)
+
+
+class TestOptimalGeneral:
+    def test_empty(self, schedule3):
+        assert optimal_general(make_instance(schedule3, [])).cost == 0.0
+
+    def test_single_day_buys_cheapest(self, schedule3):
+        solution = optimal_general(make_instance(schedule3, [7]))
+        assert solution.cost == pytest.approx(schedule3[0].cost)
+
+    def test_dense_block_prefers_long_lease(self):
+        schedule = LeaseSchedule.power_of_two(3, cost_growth=1.5)
+        # 4 consecutive days: one length-4 lease at 2.25 beats 4 singles at 4.
+        solution = optimal_general(make_instance(schedule, [0, 1, 2, 3]))
+        assert solution.cost == pytest.approx(schedule[2].cost)
+
+    def test_general_leases_start_on_rainy_days(self, schedule3):
+        instance = make_instance(schedule3, [3, 4, 11])
+        solution = optimal_general(instance)
+        rainy = set(instance.rainy_days)
+        assert all(lease.start in rainy for lease in solution.leases)
+
+    @given(days=day_sets)
+    def test_solution_is_feasible(self, days):
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = make_instance(schedule, days)
+        solution = optimal_general(instance)
+        assert instance.is_feasible_solution(list(solution.leases))
+        assert solution.cost == pytest.approx(
+            sum(lease.cost for lease in solution.leases)
+        )
+
+
+class TestOptimalInterval:
+    def test_requires_nested_lengths(self):
+        schedule = LeaseSchedule.from_pairs([(2, 1.0), (5, 2.0)])
+        with pytest.raises(ModelError):
+            optimal_interval(make_instance(schedule, [0]))
+
+    def test_empty(self, schedule3):
+        assert optimal_interval(make_instance(schedule3, [])).cost == 0.0
+
+    @given(days=day_sets)
+    def test_matches_ilp_exactly(self, days):
+        """Two independent exact solvers must agree (interval model)."""
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = make_instance(schedule, days)
+        dp_cost = optimal_interval(instance).cost
+        ilp = solve_ilp(instance.to_covering_program())
+        assert dp_cost == pytest.approx(ilp.value, abs=1e-6)
+
+    @given(days=day_sets)
+    def test_interval_at_least_general(self, days):
+        """Restricting starts to aligned positions can only cost more."""
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = make_instance(schedule, days)
+        assert (
+            optimal_general(instance).cost
+            <= optimal_interval(instance).cost + 1e-9
+        )
+
+    @given(days=day_sets)
+    def test_interval_within_double_of_general(self, days):
+        """Lemma 2.6 backward direction: OPT_interval <= 2 OPT_general."""
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = make_instance(schedule, days)
+        assert (
+            optimal_interval(instance).cost
+            <= 2 * optimal_general(instance).cost + 1e-9
+        )
+
+    @given(days=day_sets)
+    def test_solution_leases_match_cost(self, days):
+        schedule = LeaseSchedule.power_of_two(4)
+        instance = make_instance(schedule, days)
+        solution = optimal_interval(instance)
+        assert instance.is_feasible_solution(list(solution.leases))
+        assert solution.cost == pytest.approx(
+            sum(lease.cost for lease in solution.leases)
+        )
+
+    def test_cost_shortcut(self, schedule3):
+        instance = make_instance(schedule3, [0, 1, 5])
+        assert optimal_interval_cost(instance) == pytest.approx(
+            optimal_interval(instance).cost
+        )
+
+
+class TestMonotonicity:
+    @given(days=day_sets, extra=st.integers(min_value=0, max_value=80))
+    def test_opt_monotone_in_demands(self, days, extra):
+        """Adding a rainy day never decreases the offline optimum."""
+        schedule = LeaseSchedule.power_of_two(3)
+        base = make_instance(schedule, days)
+        grown = make_instance(schedule, list(days) + [extra])
+        assert (
+            optimal_general(base).cost
+            <= optimal_general(grown).cost + 1e-9
+        )

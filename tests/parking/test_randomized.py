@@ -1,0 +1,142 @@
+"""Tests for Algorithm 2 (randomized parking permit) and its fractional core."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule, run_online
+from repro.analysis import expected_ratio
+from repro.parking import (
+    FractionalParkingPermit,
+    RandomizedParkingPermit,
+    make_instance,
+    optimal_interval,
+)
+
+day_sets = st.lists(
+    st.integers(min_value=0, max_value=60), min_size=1, max_size=20
+)
+
+
+class TestFractional:
+    def test_first_client_reaches_unit_coverage(self, schedule3):
+        fractional = FractionalParkingPermit(schedule3)
+        fractional.on_demand(5)
+        assert fractional.candidate_sum(5) >= 1.0
+
+    def test_no_increment_when_already_covered(self, schedule3):
+        fractional = FractionalParkingPermit(schedule3)
+        fractional.on_demand(5)
+        increments = fractional.increments
+        fractional.on_demand(5)
+        assert fractional.increments == increments
+
+    def test_fractions_nondecreasing(self, schedule3):
+        fractional = FractionalParkingPermit(schedule3)
+        fractional.on_demand(0)
+        snapshot = dict(fractional.fractions)
+        fractional.on_demand(1)
+        for key, value in snapshot.items():
+            assert fractional.fractions[key] >= value - 1e-12
+
+    @given(days=day_sets)
+    def test_fractional_cost_logK_bound(self, days):
+        """Section 2.2.3(i): fractional cost = O(log K) * OPT.
+
+        Each increment adds at most 2 to the fractional cost and at most
+        O(c_opt log K) increments charge to each optimal lease; with the
+        explicit constants the bound 2 * (c + 1) * (log2 K + 3) per
+        optimal-lease-cost unit is safe for power-of-two schedules.
+        """
+        schedule = LeaseSchedule.power_of_two(4)
+        instance = make_instance(schedule, days)
+        fractional = FractionalParkingPermit(schedule)
+        run_online(fractional, instance.rainy_days)
+        opt = optimal_interval(instance).cost
+        K = schedule.num_types
+        bound = 2.0 * (math.log2(K) + 3.0) * (opt + schedule[0].cost)
+        assert fractional.cost <= bound + 1e-6
+
+    @given(days=day_sets)
+    def test_increment_count_bound(self, days):
+        """Total increments are O(OPT * log K) with explicit constants."""
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = make_instance(schedule, days)
+        fractional = FractionalParkingPermit(schedule)
+        run_online(fractional, instance.rainy_days)
+        opt = optimal_interval(instance).cost
+        K = schedule.num_types
+        # Each increment adds ~[1,2] fractional cost; fractional cost is
+        # O(log K) OPT, so increments <= 2 (log2 K + 3)(OPT + c_min).
+        bound = 2.0 * (math.log2(K) + 3.0) * (opt + schedule[0].cost)
+        assert fractional.increments <= bound + 1e-6
+
+
+class TestRandomized:
+    @given(days=day_sets, seed=st.integers(min_value=0, max_value=50))
+    def test_feasibility_for_any_seed(self, days, seed):
+        schedule = LeaseSchedule.power_of_two(3)
+        instance = make_instance(schedule, days)
+        algorithm = RandomizedParkingPermit(schedule, seed=seed)
+        run_online(algorithm, instance.rainy_days)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+
+    def test_reproducible_given_seed(self, schedule3):
+        days = [0, 1, 4, 9, 10]
+        costs = set()
+        for _ in range(3):
+            algorithm = RandomizedParkingPermit(schedule3, seed=7)
+            run_online(algorithm, days)
+            costs.add(round(algorithm.cost, 9))
+        assert len(costs) == 1
+
+    def test_tau_in_unit_interval(self, schedule3):
+        for seed in range(30):
+            algorithm = RandomizedParkingPermit(schedule3, seed=seed)
+            assert 0.0 < algorithm.tau <= 1.0
+
+    def test_buys_single_lease_per_uncovered_day(self, schedule3):
+        algorithm = RandomizedParkingPermit(schedule3, seed=1)
+        algorithm.on_demand(0)
+        assert len(algorithm.leases) >= 1
+        assert algorithm.covers(0)
+
+    def test_expected_cost_tracks_fractional(self, schedule4):
+        """E[integer cost] stays within a small factor of fractional cost.
+
+        Section 2.2.3(ii) proves E[int] <= frac; empirically the mean over
+        seeds should not exceed the fractional cost by more than small
+        noise (we allow 1.5x for 40 seeds).
+        """
+        days = [0, 1, 2, 3, 8, 9, 20, 33, 34, 35]
+        fractional_cost = None
+        costs = []
+        for seed in range(40):
+            algorithm = RandomizedParkingPermit(schedule4, seed=seed)
+            run_online(algorithm, days)
+            costs.append(algorithm.cost)
+            fractional_cost = algorithm.fractional_cost
+        mean = sum(costs) / len(costs)
+        assert mean <= 1.5 * fractional_cost + 1e-6
+
+    def test_expected_ratio_close_to_logK_not_K(self, schedule4):
+        """On a bursty workload the randomized mean beats the K bound."""
+        days = sorted(
+            set(
+                list(range(0, 8))
+                + list(range(16, 20))
+                + [30, 40, 41, 42, 43, 44]
+            )
+        )
+        instance = make_instance(schedule4, days)
+        opt = optimal_interval(instance).cost
+
+        def run_with_seed(seed):
+            algorithm = RandomizedParkingPermit(schedule4, seed=seed)
+            run_online(algorithm, days)
+            return algorithm.cost
+
+        summary = expected_ratio(run_with_seed, opt, seeds=range(30))
+        assert summary.mean <= schedule4.num_types + 1e-9

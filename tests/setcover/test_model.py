@@ -1,0 +1,146 @@
+"""Unit tests for the set multicover leasing model."""
+
+import pytest
+
+from repro.core import LeaseSchedule
+from repro.errors import ModelError
+from repro.setcover import (
+    MulticoverDemand,
+    SetMulticoverLeasingInstance,
+    SetSystem,
+)
+
+
+def tiny_system(schedule):
+    return SetSystem(
+        num_elements=3,
+        sets=[{0, 1}, {1, 2}, {0, 2}],
+        lease_costs=[
+            [lease_type.cost for lease_type in schedule] for _ in range(3)
+        ],
+    )
+
+
+class TestSetSystem:
+    def test_basic_shape(self, schedule3):
+        system = tiny_system(schedule3)
+        assert system.num_sets == 3
+        assert system.num_elements == 3
+        assert system.num_types == 3
+        assert system.max_set_size == 2
+
+    def test_delta(self, schedule3):
+        assert tiny_system(schedule3).delta == 2
+
+    def test_sets_containing(self, schedule3):
+        system = tiny_system(schedule3)
+        assert set(system.sets_containing(0)) == {0, 2}
+        assert set(system.sets_containing(1)) == {0, 1}
+
+    def test_rejects_empty_set(self, schedule3):
+        with pytest.raises(ModelError):
+            SetSystem(num_elements=2, sets=[set()], lease_costs=[[1.0] * 3])
+
+    def test_rejects_out_of_range_element(self):
+        with pytest.raises(ModelError):
+            SetSystem(num_elements=2, sets=[{0, 5}], lease_costs=[[1.0]])
+
+    def test_rejects_cost_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            SetSystem(
+                num_elements=2,
+                sets=[{0}, {1}],
+                lease_costs=[[1.0]],
+            )
+
+    def test_rejects_nonpositive_cost(self):
+        with pytest.raises(ModelError):
+            SetSystem(num_elements=1, sets=[{0}], lease_costs=[[0.0]])
+
+    def test_cost_lookup(self, schedule3):
+        system = tiny_system(schedule3)
+        assert system.cost(1, 2) == schedule3[2].cost
+
+
+class TestDemand:
+    def test_defaults(self):
+        demand = MulticoverDemand(element=1, arrival=4)
+        assert demand.coverage == 1
+
+    def test_rejects_zero_coverage(self):
+        with pytest.raises(ModelError):
+            MulticoverDemand(element=0, arrival=0, coverage=0)
+
+
+class TestInstance:
+    def test_rejects_over_coverage(self, schedule3):
+        system = tiny_system(schedule3)
+        with pytest.raises(ModelError):
+            SetMulticoverLeasingInstance(
+                system=system,
+                schedule=schedule3,
+                demands=(MulticoverDemand(0, 0, coverage=3),),
+            )
+
+    def test_rejects_unsorted_demands(self, schedule3):
+        system = tiny_system(schedule3)
+        with pytest.raises(ModelError):
+            SetMulticoverLeasingInstance(
+                system=system,
+                schedule=schedule3,
+                demands=(
+                    MulticoverDemand(0, 5),
+                    MulticoverDemand(1, 2),
+                ),
+            )
+
+    def test_rejects_type_count_mismatch(self, schedule3):
+        system = tiny_system(schedule3)
+        with pytest.raises(ModelError):
+            SetMulticoverLeasingInstance(
+                system=system,
+                schedule=LeaseSchedule.power_of_two(2),
+                demands=(),
+            )
+
+    def test_candidates_size(self, schedule3):
+        system = tiny_system(schedule3)
+        instance = SetMulticoverLeasingInstance(
+            system=system,
+            schedule=schedule3,
+            demands=(MulticoverDemand(0, 4),),
+        )
+        candidates = instance.candidates(0, 4)
+        # Element 0 is in 2 sets, K = 3 -> 6 candidate triples.
+        assert len(candidates) == 6
+        assert all(lease.covers(4) for lease in candidates)
+
+    def test_covering_sets_distinct(self, schedule3):
+        system = tiny_system(schedule3)
+        demand = MulticoverDemand(0, 2, coverage=2)
+        instance = SetMulticoverLeasingInstance(
+            system=system, schedule=schedule3, demands=(demand,)
+        )
+        # Two leases of the same set count once.
+        lease_a = instance.candidate_lease(0, 0, 2)
+        lease_b = instance.candidate_lease(0, 1, 2)
+        assert instance.covering_sets([lease_a, lease_b], demand) == {0}
+        lease_c = instance.candidate_lease(2, 0, 2)
+        assert instance.covering_sets(
+            [lease_a, lease_c], demand
+        ) == {0, 2}
+
+    def test_covering_program_rows_and_rhs(self, schedule3):
+        system = tiny_system(schedule3)
+        instance = SetMulticoverLeasingInstance(
+            system=system,
+            schedule=schedule3,
+            demands=(
+                MulticoverDemand(0, 0, coverage=2),
+                MulticoverDemand(1, 1),
+            ),
+        )
+        program = instance.to_covering_program()
+        assert program.num_constraints == 2
+        assert program.constraints[0].rhs == 2.0
+        assert program.constraints[1].rhs == 1.0

@@ -1,0 +1,166 @@
+"""Tests for the randomized SetMulticoverLeasing algorithm (Alg 3+4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule, run_online
+from repro.analysis import verify_multicover
+from repro.errors import InfeasibleError
+from repro.setcover import (
+    MulticoverDemand,
+    OnlineSetMulticoverLeasing,
+    SetMulticoverLeasingInstance,
+    SetSystem,
+    optimum,
+    random_instance,
+)
+from repro.workloads import make_rng
+
+
+def small_instance(seed, max_coverage=2, num_demands=15):
+    rng = make_rng(seed)
+    schedule = LeaseSchedule.power_of_two(2)
+    return random_instance(
+        num_elements=8,
+        num_sets=6,
+        memberships=3,
+        schedule=schedule,
+        horizon=16,
+        num_demands=num_demands,
+        rng=rng,
+        max_coverage=max_coverage,
+    )
+
+
+class TestFeasibility:
+    @given(
+        seed=st.integers(min_value=0, max_value=100),
+        algo_seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=25)
+    def test_always_feasible(self, seed, algo_seed):
+        instance = small_instance(seed)
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=algo_seed)
+        run_online(algorithm, instance.demands)
+        verify_multicover(instance, list(algorithm.leases)).raise_if_failed()
+
+    def test_distinct_sets_enforced(self, schedule2):
+        """A demand with p=2 must end with two distinct active sets."""
+        system = SetSystem(
+            num_elements=1,
+            sets=[{0}, {0}, {0}],
+            lease_costs=[[1.0, 1.5]] * 3,
+        )
+        demand = MulticoverDemand(0, 0, coverage=2)
+        instance = SetMulticoverLeasingInstance(
+            system=system, schedule=schedule2, demands=(demand,)
+        )
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+        algorithm.on_demand(demand)
+        covering = instance.covering_sets(list(algorithm.leases), demand)
+        assert len(covering) >= 2
+
+    def test_infeasible_demand_raises(self, schedule2):
+        system = SetSystem(
+            num_elements=2, sets=[{0}], lease_costs=[[1.0, 1.5]]
+        )
+        instance = SetMulticoverLeasingInstance(
+            system=system, schedule=schedule2, demands=()
+        )
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+        with pytest.raises(InfeasibleError):
+            algorithm.on_demand((1, 0, 1))  # element 1 is in no set
+
+    def test_tuple_demand_accepted(self, schedule2):
+        system = SetSystem(
+            num_elements=1, sets=[{0}], lease_costs=[[1.0, 1.5]]
+        )
+        instance = SetMulticoverLeasingInstance(
+            system=system, schedule=schedule2, demands=()
+        )
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+        algorithm.on_demand((0, 3))
+        assert algorithm.store.covers(0, 3)
+
+
+class TestThresholds:
+    def test_default_draw_count(self):
+        instance = small_instance(0)
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+        n = instance.system.num_elements
+        assert algorithm.num_threshold_draws == 2 * math.ceil(
+            math.log2(n + 1)
+        )
+
+    def test_thresholds_memoised(self):
+        instance = small_instance(0)
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+        key = (0, 0, 0)
+        first = algorithm._threshold(key)
+        assert algorithm._threshold(key) == first
+
+    def test_reproducible_with_seed(self):
+        instance = small_instance(3)
+        costs = {
+            OnlineSetMulticoverLeasing(instance, seed=5).cost
+            for _ in range(2)
+        }
+        runs = []
+        for _ in range(2):
+            algorithm = OnlineSetMulticoverLeasing(instance, seed=5)
+            run_online(algorithm, instance.demands)
+            runs.append(round(algorithm.cost, 9))
+        assert runs[0] == runs[1]
+        assert costs == {0.0}
+
+
+class TestCompetitiveness:
+    def test_ratio_within_theorem_bound_on_average(self):
+        """Theorem 3.3 with explicit constants, averaged over seeds.
+
+        The proof constants give roughly 4 log(delta K) * 2 log(n+1); we
+        assert the measured mean ratio stays under that generous ceiling.
+        """
+        instance = small_instance(7, max_coverage=2, num_demands=20)
+        opt = optimum(instance)
+        ratios = []
+        for seed in range(15):
+            algorithm = OnlineSetMulticoverLeasing(instance, seed=seed)
+            run_online(algorithm, instance.demands)
+            ratios.append(algorithm.cost / opt.lower)
+        mean = sum(ratios) / len(ratios)
+        system = instance.system
+        delta_k = system.delta * instance.schedule.num_types
+        n = system.num_elements
+        bound = (
+            4.0
+            * (math.log(delta_k) + 2.0)
+            * (2.0 * math.log2(n + 1) + 2.0)
+        )
+        assert mean <= bound
+
+    def test_fractional_cost_bound(self):
+        """Lemma 3.1: fractional cost <= O(log(delta K)) * OPT."""
+        instance = small_instance(11, num_demands=20)
+        opt = optimum(instance)
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=1)
+        run_online(algorithm, instance.demands)
+        delta_k = instance.system.delta * instance.schedule.num_types
+        # p_max multiplies the optimal charge per layer; include it.
+        p_max = max(demand.coverage for demand in instance.demands)
+        bound = 2.0 * (math.log(delta_k) + 2.0) * (
+            p_max * opt.lower + instance.system.lease_costs[0][0] + 2.0
+        )
+        assert algorithm.fractional_cost <= bound
+
+    def test_cost_monotone_over_stream(self):
+        instance = small_instance(2)
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+        previous = 0.0
+        for demand in instance.demands:
+            algorithm.on_demand(demand)
+            assert algorithm.cost >= previous - 1e-12
+            previous = algorithm.cost

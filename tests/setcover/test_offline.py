@@ -1,0 +1,110 @@
+"""Tests for the set cover leasing offline baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.setcover import (
+    greedy,
+    optimal_leases,
+    optimum,
+    random_instance,
+    random_set_system,
+)
+from repro.workloads import make_rng
+from repro.errors import ModelError
+
+
+def instance_for(seed, **overrides):
+    params = dict(
+        num_elements=6,
+        num_sets=5,
+        memberships=2,
+        schedule=LeaseSchedule.power_of_two(2),
+        horizon=10,
+        num_demands=8,
+        rng=make_rng(seed),
+        max_coverage=2,
+    )
+    params.update(overrides)
+    return random_instance(**params)
+
+
+class TestGenerators:
+    def test_every_element_in_enough_sets(self):
+        system = random_set_system(
+            10, 6, 3, LeaseSchedule.power_of_two(2), make_rng(0)
+        )
+        for element in range(10):
+            assert len(system.sets_containing(element)) >= 3
+
+    def test_no_empty_sets(self):
+        system = random_set_system(
+            3, 20, 1, LeaseSchedule.power_of_two(2), make_rng(1)
+        )
+        assert all(len(members) > 0 for members in system.sets)
+
+    def test_costs_follow_schedule_profile(self):
+        schedule = LeaseSchedule.power_of_two(3)
+        system = random_set_system(5, 4, 2, schedule, make_rng(2))
+        for row in system.lease_costs:
+            ratios = [row[k] / schedule[k].cost for k in range(3)]
+            assert max(ratios) - min(ratios) < 1e-9
+
+    def test_membership_validation(self):
+        with pytest.raises(ModelError):
+            random_set_system(
+                5, 3, 4, LeaseSchedule.power_of_two(2), make_rng(0)
+            )
+
+    def test_demands_sorted_and_feasible(self):
+        instance = instance_for(5)
+        arrivals = [demand.arrival for demand in instance.demands]
+        assert arrivals == sorted(arrivals)
+
+
+class TestGreedy:
+    @given(seed=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=20)
+    def test_feasible(self, seed):
+        instance = instance_for(seed)
+        solution = greedy(instance)
+        assert instance.is_feasible_solution(list(solution.leases))
+
+    @given(seed=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=20)
+    def test_upper_bounds_opt(self, seed):
+        instance = instance_for(seed)
+        solution = greedy(instance)
+        bounds = optimum(instance)
+        assert solution.cost >= bounds.lower - 1e-6
+
+    def test_cost_matches_leases(self):
+        instance = instance_for(9)
+        solution = greedy(instance)
+        assert solution.cost == pytest.approx(
+            sum(lease.cost for lease in solution.leases)
+        )
+
+
+class TestOptimum:
+    @given(seed=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=15)
+    def test_exact_solution_feasible_per_ilp(self, seed):
+        instance = instance_for(seed, num_demands=6)
+        value, leases = optimal_leases(instance)
+        program = instance.to_covering_program()
+        owned = {lease.key for lease in leases}
+        x = [
+            1.0 if payload.key in owned else 0.0
+            for payload in program.payloads
+        ]
+        assert program.is_feasible(x)
+        assert value == pytest.approx(sum(lease.cost for lease in leases))
+
+    def test_bracket_mode_for_large_limit(self):
+        instance = instance_for(3)
+        bounds = optimum(instance, exact_variable_limit=1)
+        assert not bounds.exact
+        assert bounds.lower <= bounds.upper + 1e-9

@@ -1,0 +1,171 @@
+"""Tests for the special cases: SetCoverLeasing, OnlineSetMulticover,
+OnlineSetCoverWithRepetitions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_online
+from repro.errors import InfeasibleError
+from repro.setcover import (
+    MulticoverDemand,
+    OnlineSetCoverLeasing,
+    OnlineSetCoverWithRepetitions,
+    SetMulticoverLeasingInstance,
+    non_leasing_instance,
+    optimum,
+    repetitions_to_multicover,
+)
+from repro.workloads import make_rng
+
+
+def star_instance(horizon=12):
+    """Three elements, four sets, classical buy-forever costs."""
+    return non_leasing_instance(
+        num_elements=3,
+        sets=[{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}],
+        set_costs=[1.0, 2.0, 1.5, 3.0],
+        horizon=horizon,
+        demands=[(0, 0, 1), (1, 2, 2), (2, 4, 1)],
+    )
+
+
+class TestNonLeasingInstance:
+    def test_single_infinite_type(self):
+        instance = star_instance()
+        assert instance.schedule.num_types == 1
+        assert instance.schedule.lmax >= 12
+
+    def test_leases_never_expire_within_horizon(self):
+        instance = star_instance()
+        lease = instance.candidate_lease(0, 0, 0)
+        assert lease.covers(11)
+
+    def test_online_run_feasible_and_bounded(self):
+        instance = star_instance()
+        from repro.setcover import OnlineSetMulticoverLeasing
+
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+        run_online(algorithm, instance.demands)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+        # Buying every set costs 7.5; the algorithm must not exceed that.
+        assert algorithm.cost <= 7.5 + 1e-9
+
+
+class TestSetCoverLeasing:
+    def test_forces_unit_coverage(self):
+        instance = star_instance()
+        algorithm = OnlineSetCoverLeasing(instance, seed=0)
+        algorithm.on_demand(MulticoverDemand(1, 0, coverage=2))
+        demand = MulticoverDemand(1, 0, coverage=1)
+        covering = instance.covering_sets(list(algorithm.leases), demand)
+        assert len(covering) >= 1
+
+    def test_tuple_demands(self):
+        instance = star_instance()
+        algorithm = OnlineSetCoverLeasing(instance, seed=0)
+        algorithm.on_demand((2, 1))
+        assert any(
+            lease.covers(1) and 2 in instance.system.sets[lease.resource]
+            for lease in algorithm.leases
+        )
+
+
+class TestRepetitions:
+    def test_assignments_distinct_per_element(self):
+        instance = star_instance()
+        algorithm = OnlineSetCoverWithRepetitions(instance, seed=0)
+        for demand in [(0, 0), (0, 1), (0, 2), (1, 3)]:
+            algorithm.on_demand(demand)
+        assert algorithm.is_assignment_valid()
+        used = [
+            set_index
+            for element, _, set_index in algorithm.assignments
+            if element == 0
+        ]
+        assert len(used) == len(set(used)) == 3
+
+    def test_exhausting_sets_raises(self):
+        instance = star_instance()
+        algorithm = OnlineSetCoverWithRepetitions(instance, seed=0)
+        for arrival in range(3):
+            algorithm.on_demand((0, arrival))  # element 0 is in 3 sets
+        with pytest.raises(InfeasibleError):
+            algorithm.on_demand((0, 3))
+
+    def test_wider_threshold_draws(self):
+        instance = star_instance()
+        import math
+
+        algorithm = OnlineSetCoverWithRepetitions(instance, seed=0)
+        delta = instance.system.delta
+        n = instance.system.num_elements
+        assert algorithm.num_threshold_draws == 2 * math.ceil(
+            math.log2(delta * n + 1)
+        )
+
+    def test_free_riding_on_existing_leases(self):
+        """A set leased for one element serves another's arrival for free."""
+        instance = star_instance()
+        algorithm = OnlineSetCoverWithRepetitions(instance, seed=0)
+        algorithm.on_demand((0, 0))
+        cost_after_first = algorithm.cost
+        # Element 1 shares sets with element 0; if the leased set contains
+        # element 1, its first arrival costs nothing.
+        leased = {lease.resource for lease in algorithm.leases}
+        shared = leased & set(instance.system.sets_containing(1))
+        if shared:
+            algorithm.on_demand((1, 1))
+            assert algorithm.cost == cost_after_first
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15)
+    def test_random_streams_stay_valid(self, seed):
+        rng = make_rng(seed)
+        instance = star_instance(horizon=30)
+        algorithm = OnlineSetCoverWithRepetitions(instance, seed=seed)
+        arrivals_left = {0: 3, 1: 3, 2: 3}
+        t = 0
+        for _ in range(6):
+            element = rng.choice(
+                [e for e, left in arrivals_left.items() if left > 0]
+            )
+            arrivals_left[element] -= 1
+            algorithm.on_demand((element, t))
+            t += 1
+        assert algorithm.is_assignment_valid()
+
+
+class TestRewriting:
+    def test_repetitions_to_multicover_counts(self):
+        demands = [(0, 0), (1, 0), (0, 1), (0, 2)]
+        rewritten = repetitions_to_multicover(demands)
+        coverages = [d.coverage for d in rewritten]
+        assert coverages == [1, 1, 2, 3]
+
+    def test_rewritten_instance_validates(self):
+        instance = star_instance()
+        rewritten = repetitions_to_multicover([(0, 0), (0, 1)])
+        SetMulticoverLeasingInstance(
+            system=instance.system,
+            schedule=instance.schedule,
+            demands=tuple(rewritten),
+        )
+
+
+class TestOnlineSetMulticoverOptimality:
+    def test_matches_offline_on_trivial_instance(self):
+        """With one set per element, online must buy exactly OPT."""
+        instance = non_leasing_instance(
+            num_elements=2,
+            sets=[{0}, {1}],
+            set_costs=[2.0, 3.0],
+            horizon=4,
+            demands=[(0, 0, 1), (1, 1, 1)],
+        )
+        from repro.setcover import OnlineSetMulticoverLeasing
+
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
+        run_online(algorithm, instance.demands)
+        opt = optimum(instance)
+        assert algorithm.cost == pytest.approx(opt.lower)

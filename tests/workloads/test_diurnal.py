@@ -1,0 +1,47 @@
+"""Tests for the diurnal (sinusoidal) demand generator."""
+
+import pytest
+
+from repro.core import LeaseSchedule, run_online
+from repro.errors import ModelError
+from repro.parking import (
+    DeterministicParkingPermit,
+    make_instance,
+    optimal_interval,
+)
+from repro.workloads import diurnal_days, make_rng
+
+
+class TestDiurnalDays:
+    def test_range_and_order(self):
+        days = diurnal_days(200, 24, 0.9, 0.1, make_rng(0))
+        assert days == sorted(set(days))
+        assert all(0 <= d < 200 for d in days)
+
+    def test_rejects_crossed_probabilities(self):
+        with pytest.raises(ModelError):
+            diurnal_days(100, 24, 0.1, 0.9, make_rng(0))
+
+    def test_peak_phase_denser_than_trough_phase(self):
+        """First half of each period (sin > 0) must carry more demand."""
+        period = 40
+        days = diurnal_days(4000, period, 0.95, 0.05, make_rng(3))
+        peak = sum(1 for d in days if (d % period) < period // 2)
+        trough = len(days) - peak
+        assert peak > 2 * trough
+
+    def test_zero_amplitude_is_bernoulli_like(self):
+        days = diurnal_days(2000, 24, 0.3, 0.3, make_rng(1))
+        rate = len(days) / 2000
+        assert 0.25 < rate < 0.35
+
+    def test_parking_algorithm_handles_diurnal_load(self):
+        """End to end: the Theorem 2.7 bound holds on diurnal demand."""
+        schedule = LeaseSchedule.power_of_two(4, cost_growth=1.6)
+        days = diurnal_days(256, 32, 0.9, 0.02, make_rng(7))
+        instance = make_instance(schedule, days)
+        algorithm = DeterministicParkingPermit(schedule)
+        run_online(algorithm, instance.rainy_days)
+        assert instance.is_feasible_solution(list(algorithm.leases))
+        opt = optimal_interval(instance).cost
+        assert algorithm.cost <= schedule.num_types * opt + 1e-6

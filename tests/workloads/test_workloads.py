@@ -1,0 +1,144 @@
+"""Tests for workload generators: determinism, ranges, pattern shapes."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.workloads import (
+    bernoulli_days,
+    burst_days,
+    constant_batches,
+    deadline_arrivals,
+    element_arrivals,
+    exponential_batches,
+    make_rng,
+    markov_days,
+    nonincreasing_batches,
+    poisson_like_batches,
+    polynomial_batches,
+    seasonal_days,
+    sparse_days,
+    spawn,
+)
+
+
+class TestRng:
+    def test_seeded_reproducibility(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_spawn_independent_streams(self):
+        parent = make_rng(1)
+        a = spawn(parent, 1)
+        b = spawn(parent, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_deterministic(self):
+        a = spawn(make_rng(3), 7).random()
+        b = spawn(make_rng(3), 7).random()
+        assert a == b
+
+
+class TestWeather:
+    def test_bernoulli_range_and_sorted(self):
+        days = bernoulli_days(100, 0.3, make_rng(0))
+        assert days == sorted(set(days))
+        assert all(0 <= day < 100 for day in days)
+
+    def test_bernoulli_extremes(self):
+        assert bernoulli_days(10, 0.0, make_rng(0)) == []
+        assert bernoulli_days(10, 1.0, make_rng(0)) == list(range(10))
+
+    def test_bernoulli_rejects_bad_probability(self):
+        with pytest.raises(ModelError):
+            bernoulli_days(10, 1.5, make_rng(0))
+
+    def test_markov_persistence_creates_runs(self):
+        """High persistence must produce longer runs than iid at same rate."""
+        rng = make_rng(42)
+        persistent = markov_days(2000, 0.05, 0.95, rng)
+
+        def mean_run_length(days):
+            if not days:
+                return 0.0
+            runs, current = [], 1
+            for a, b in zip(days, days[1:]):
+                if b == a + 1:
+                    current += 1
+                else:
+                    runs.append(current)
+                    current = 1
+            runs.append(current)
+            return sum(runs) / len(runs)
+
+        iid = bernoulli_days(2000, len(persistent) / 2000, make_rng(7))
+        assert mean_run_length(persistent) > 2 * mean_run_length(iid)
+
+    def test_seasonal_wet_seasons_denser(self):
+        days = seasonal_days(400, 50, 0.8, 0.05, make_rng(3))
+        wet = sum(1 for d in days if (d // 50) % 2 == 0)
+        dry = len(days) - wet
+        assert wet > 3 * dry
+
+    def test_sparse_exact_count(self):
+        days = sparse_days(100, 7, make_rng(1))
+        assert len(days) == 7
+        assert days == sorted(days)
+
+    def test_sparse_count_validation(self):
+        with pytest.raises(ModelError):
+            sparse_days(5, 10, make_rng(0))
+
+    def test_burst_days_solid_stretches(self):
+        days = burst_days(200, 1, 10, make_rng(5))
+        assert len(days) == 10
+        assert days == list(range(days[0], days[0] + 10))
+
+
+class TestBatches:
+    def test_constant(self):
+        assert constant_batches(4, 3) == [3, 3, 3, 3]
+
+    def test_nonincreasing_is_nonincreasing(self):
+        sizes = nonincreasing_batches(30, 20, make_rng(2))
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_polynomial_growth(self):
+        assert polynomial_batches(4, 2) == [1, 4, 9, 16]
+
+    def test_exponential_growth(self):
+        assert exponential_batches(5) == [1, 2, 4, 8, 16]
+
+    def test_poisson_like_mean(self):
+        sizes = poisson_like_batches(2000, 2.5, make_rng(9))
+        mean = sum(sizes) / len(sizes)
+        assert 2.2 < mean < 2.8
+
+
+class TestArrivals:
+    def test_deadline_arrivals_uniform_slack(self):
+        clients = deadline_arrivals(
+            50, 0.5, max_slack=9, rng=make_rng(0), uniform_slack=4
+        )
+        assert all(slack == 4 for _, slack in clients)
+
+    def test_deadline_arrivals_slack_range(self):
+        clients = deadline_arrivals(200, 0.5, max_slack=6, rng=make_rng(1))
+        assert all(0 <= slack <= 6 for _, slack in clients)
+        assert [t for t, _ in clients] == sorted(t for t, _ in clients)
+
+    def test_element_arrivals_no_repeats_mode(self):
+        demands = element_arrivals(
+            50, 10, 0.8, make_rng(2), repeats_allowed=False
+        )
+        elements = [element for element, _, _ in demands]
+        assert len(elements) == len(set(elements))
+
+    def test_element_arrivals_coverage_range(self):
+        demands = element_arrivals(
+            40, 8, 1.0, make_rng(3), max_coverage=3
+        )
+        assert all(1 <= coverage <= 3 for _, _, coverage in demands)
+
+    def test_element_arrivals_sorted_by_time(self):
+        demands = element_arrivals(40, 8, 1.5, make_rng(4))
+        times = [t for _, t, _ in demands]
+        assert times == sorted(times)
