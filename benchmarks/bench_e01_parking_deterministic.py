@@ -3,12 +3,17 @@
 Sweeps K over Markov-weather workloads and reports the worst measured
 ratio per K against the exact interval-model optimum.  The paper's claim:
 ratio <= K, growing at most linearly in K.
+
+Runs on the :mod:`repro.engine` scenario/replay substrate: each K is an
+ad-hoc registered scenario and all (K, seed) jobs go through
+``runner.replay``, which also re-verifies feasibility per run.
 """
 
 from __future__ import annotations
 
-from repro.analysis import Sweep
-from repro.core import LeaseSchedule, run_online
+from repro.analysis import Sweep, verify_parking
+from repro.core import LeaseSchedule, OptBounds, run_online
+from repro.engine import Scenario, register, replay
 from repro.parking import (
     DeterministicParkingPermit,
     make_instance,
@@ -18,31 +23,55 @@ from repro.workloads import make_rng, markov_days
 
 HORIZON = 400
 SEEDS = range(5)
+NUM_TYPES = (1, 2, 3, 4, 6, 8)
+
+
+def _scenario(num_types: int) -> Scenario:
+    schedule = LeaseSchedule.power_of_two(num_types, cost_growth=1.7)
+
+    def build(seed: int):
+        days = markov_days(HORIZON, 0.08, 0.85, make_rng(seed))
+        return make_instance(schedule, days or [0])
+
+    def run(instance, seed: int):
+        return run_online(
+            DeterministicParkingPermit(instance.schedule),
+            instance.rainy_days,
+            name=f"deterministic K={num_types}",
+        )
+
+    return Scenario(
+        name=f"bench-e01-K{num_types}",
+        family="parking",
+        workload="markov",
+        description=f"E1 sweep point, K={num_types}",
+        build=build,
+        run=run,
+        verify=lambda instance, result: verify_parking(
+            instance, list(result.leases)
+        ),
+        optimum=lambda instance: OptBounds.exactly(
+            optimal_interval(instance).cost, method="dp-interval"
+        ),
+    )
+
+
+SCENARIOS = tuple(
+    register(_scenario(num_types), replace=True) for num_types in NUM_TYPES
+)
 
 
 def build_sweep() -> Sweep:
     sweep = Sweep("E1: deterministic parking permit vs K (Theorem 2.7)")
-    for num_types in (1, 2, 3, 4, 6, 8):
-        schedule = LeaseSchedule.power_of_two(num_types, cost_growth=1.7)
-        worst = 0.0
-        worst_pair = (0.0, 1.0)
-        for seed in SEEDS:
-            rng = make_rng(seed)
-            days = markov_days(HORIZON, 0.08, 0.85, rng)
-            if not days:
-                continue
-            instance = make_instance(schedule, days)
-            algorithm = DeterministicParkingPermit(schedule)
-            run_online(algorithm, instance.rainy_days)
-            assert instance.is_feasible_solution(list(algorithm.leases))
-            opt = optimal_interval(instance).cost
-            if algorithm.cost / opt > worst:
-                worst = algorithm.cost / opt
-                worst_pair = (algorithm.cost, opt)
+    outcomes = replay([s.name for s in SCENARIOS], seeds=SEEDS)
+    assert all(outcome.verified for outcome in outcomes)
+    for num_types, scenario in zip(NUM_TYPES, SCENARIOS):
+        per_k = [o for o in outcomes if o.scenario == scenario.name]
+        worst = max(per_k, key=lambda outcome: outcome.ratio)
         sweep.add(
             {"K": num_types},
-            online_cost=worst_pair[0],
-            opt_cost=worst_pair[1],
+            online_cost=worst.run.cost,
+            opt_cost=worst.opt.lower,
             bound=float(num_types),
             note="worst of seeds",
         )

@@ -4,12 +4,24 @@ Round-trips random general-model instances through the interval-model
 reduction and reports (a) OPT_interval / OPT_general <= 2 and (b) the
 wrapped algorithm's cost <= 4K * OPT_general — the two halves of the
 lemma, measured.
+
+Runs on the :mod:`repro.engine` substrate: each general schedule is an
+ad-hoc scenario whose online run is the reduction-wrapped algorithm and
+whose baseline is the exact general-model optimum; the (a) half reuses
+the scenario's builder so both halves measure the same instances.
 """
 
 from __future__ import annotations
 
-from repro.analysis import Sweep
-from repro.core import IntervalModelReduction, LeaseSchedule, round_schedule
+from repro.analysis import Sweep, verify_parking
+from repro.core import (
+    IntervalModelReduction,
+    LeaseSchedule,
+    OptBounds,
+    round_schedule,
+    run_online,
+)
+from repro.engine import Scenario, register, replay
 from repro.parking import (
     DeterministicParkingPermit,
     make_instance,
@@ -27,37 +39,65 @@ HORIZON = 120
 SEEDS = range(6)
 
 
+def _scenario(name: str, pairs: list[tuple[int, float]]) -> Scenario:
+    schedule = LeaseSchedule.from_pairs(pairs)
+
+    def build(seed: int):
+        days = bernoulli_days(HORIZON, 0.2, make_rng(seed))
+        return make_instance(schedule, days or [0])
+
+    def run(instance, seed: int):
+        reduction = IntervalModelReduction(
+            schedule, lambda rounded: DeterministicParkingPermit(rounded)
+        )
+        return run_online(
+            reduction, instance.rainy_days, name=f"reduction[{name}]"
+        )
+
+    return Scenario(
+        name=f"bench-e05-{name}",
+        family="parking",
+        workload="bernoulli",
+        description=f"E5 general schedule {name!r}",
+        build=build,
+        run=run,
+        verify=lambda instance, result: verify_parking(
+            instance, list(result.leases)
+        ),
+        optimum=lambda instance: OptBounds.exactly(
+            optimal_general(instance).cost, method="dp-general"
+        ),
+    )
+
+
+SCENARIOS = {
+    name: register(_scenario(name, pairs), replace=True)
+    for name, pairs in GENERAL_SCHEDULES.items()
+}
+
+
 def build_sweep() -> Sweep:
     sweep = Sweep("E5: interval-model reduction overhead (Lemma 2.6)")
-    for name, pairs in GENERAL_SCHEDULES.items():
-        schedule = LeaseSchedule.from_pairs(pairs)
+    outcomes = replay([s.name for s in SCENARIOS.values()], seeds=SEEDS)
+    assert all(outcome.verified for outcome in outcomes)
+    for name, scenario in SCENARIOS.items():
+        schedule = LeaseSchedule.from_pairs(GENERAL_SCHEDULES[name])
         rounded = round_schedule(schedule)
+        per_schedule = [o for o in outcomes if o.scenario == scenario.name]
+        worst = max(per_schedule, key=lambda outcome: outcome.ratio)
         worst_opt_ratio = 0.0
-        worst_alg = (0.0, 1.0)
-        for seed in SEEDS:
-            days = bernoulli_days(HORIZON, 0.2, make_rng(seed))
-            if not days:
-                continue
-            instance = make_instance(schedule, days)
-            opt_general = optimal_general(instance).cost
+        for outcome in per_schedule:
+            instance = scenario.build(outcome.seed)
             opt_interval = optimal_interval(
-                make_instance(rounded, days)
+                make_instance(rounded, list(instance.rainy_days))
             ).cost
             worst_opt_ratio = max(
-                worst_opt_ratio, opt_interval / opt_general
+                worst_opt_ratio, opt_interval / outcome.opt.lower
             )
-            reduction = IntervalModelReduction(
-                schedule, lambda r: DeterministicParkingPermit(r)
-            )
-            for day in instance.rainy_days:
-                reduction.on_demand(day)
-            assert instance.is_feasible_solution(list(reduction.leases))
-            if reduction.cost / opt_general > worst_alg[0] / worst_alg[1]:
-                worst_alg = (reduction.cost, opt_general)
         sweep.add(
             {"schedule": name, "K": schedule.num_types},
-            online_cost=worst_alg[0],
-            opt_cost=worst_alg[1],
+            online_cost=worst.run.cost,
+            opt_cost=worst.opt.lower,
             bound=4.0 * schedule.num_types,
             note=f"OPT_int/OPT_gen {worst_opt_ratio:.2f} (<=2)",
         )

@@ -4,12 +4,17 @@ The thesis motivates leasing with the two naive failure modes (buy long
 and waste, or rent short and over-pay).  On three workload regimes —
 bursty, sparse, mixed — the primal-dual algorithm must avoid the large
 losses each strawman shows on its bad regime.
+
+Runs on the :mod:`repro.engine` substrate: every (workload, policy) pair
+is an ad-hoc scenario, so one ``runner.replay`` call produces the whole
+policy-comparison grid with per-run feasibility verification.
 """
 
 from __future__ import annotations
 
-from repro.analysis import Sweep
-from repro.core import LeaseSchedule, run_online
+from repro.analysis import Sweep, verify_parking
+from repro.core import LeaseSchedule, OptBounds, run_online
+from repro.engine import Scenario, register, replay
 from repro.parking import (
     AlwaysLongest,
     AlwaysShortest,
@@ -27,6 +32,8 @@ POLICIES = {
     "rent-then-buy": RentThenBuy,
 }
 
+SCHEDULE = LeaseSchedule.power_of_two(5, cost_growth=2 ** 0.5)
+
 
 def workloads():
     rng = make_rng(77)
@@ -36,33 +43,65 @@ def workloads():
     return {"bursty": bursty, "sparse": sparse, "mixed": mixed}
 
 
+def _scenario(workload_name: str, policy_name: str) -> Scenario:
+    policy_class = POLICIES[policy_name]
+
+    def build(seed: int):
+        return make_instance(SCHEDULE, workloads()[workload_name])
+
+    def run(instance, seed: int):
+        return run_online(
+            policy_class(SCHEDULE), instance.rainy_days, name=policy_name
+        )
+
+    return Scenario(
+        name=f"bench-e14-{workload_name}-{policy_name}",
+        family="parking",
+        workload=workload_name,
+        description=f"E14 {policy_name} on {workload_name} days",
+        build=build,
+        run=run,
+        verify=lambda instance, result: verify_parking(
+            instance, list(result.leases)
+        ),
+        optimum=lambda instance: OptBounds.exactly(
+            optimal_interval(instance).cost, method="dp-interval"
+        ),
+    )
+
+
+SCENARIOS = {
+    (workload_name, policy_name): register(
+        _scenario(workload_name, policy_name), replace=True
+    )
+    for workload_name in workloads()
+    for policy_name in POLICIES
+}
+
+
 def build_sweep() -> Sweep:
     sweep = Sweep("E14: primal-dual vs naive policies")
-    schedule = LeaseSchedule.power_of_two(5, cost_growth=2 ** 0.5)
-    for workload_name, days in workloads().items():
-        instance = make_instance(schedule, days)
-        opt = optimal_interval(instance).cost
-        for policy_name, policy_class in POLICIES.items():
-            policy = policy_class(schedule)
-            run_online(policy, instance.rainy_days)
-            assert instance.is_feasible_solution(list(policy.leases))
-            sweep.add(
-                {"workload": workload_name, "policy": policy_name},
-                online_cost=policy.cost,
-                opt_cost=opt,
-                bound=(
-                    float(schedule.num_types)
-                    if policy_name == "primal-dual"
-                    else None
-                ),
-            )
+    outcomes = replay([s.name for s in SCENARIOS.values()])
+    assert all(outcome.verified for outcome in outcomes)
+    by_name = {outcome.scenario: outcome for outcome in outcomes}
+    for (workload_name, policy_name), scenario in SCENARIOS.items():
+        outcome = by_name[scenario.name]
+        sweep.add(
+            {"workload": workload_name, "policy": policy_name},
+            online_cost=outcome.run.cost,
+            opt_cost=outcome.opt.lower,
+            bound=(
+                float(SCHEDULE.num_types)
+                if policy_name == "primal-dual"
+                else None
+            ),
+        )
     return sweep
 
 
 def _kernel():
-    schedule = LeaseSchedule.power_of_two(5, cost_growth=2 ** 0.5)
     days = workloads()["mixed"]
-    algorithm = DeterministicParkingPermit(schedule)
+    algorithm = DeterministicParkingPermit(SCHEDULE)
     for day in days:
         algorithm.on_demand(day)
     return algorithm.cost

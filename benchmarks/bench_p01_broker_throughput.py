@@ -1,0 +1,87 @@
+"""P1 — broker throughput: >=100k acquire/release events in one run.
+
+The perf-trajectory baseline for the serving layer.  A synthetic
+round-robin tenant/resource stream drives :class:`repro.engine.LeaseBroker`
+end to end — policy demand, lease purchase, grant bookkeeping, heap
+expiry — and the run records events/sec.  The expiry-heap index is what
+makes this linear: an O(n)-scan-per-event broker would replay this trace
+three orders of magnitude slower (sub-1k events/sec at this size), so the
+rate floor doubles as a complexity regression guard.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import LeaseSchedule
+from repro.engine import LeaseBroker
+from repro.engine.events import Acquire, Release, Tick
+
+NUM_DAYS = 50_000
+NUM_TENANTS = 8
+NUM_RESOURCES = 16
+MIN_EVENTS = 100_000
+MIN_EVENTS_PER_SEC = 2_000  # ~30x below measured; trips only on O(n) scans
+
+
+def make_events() -> list:
+    """Two events per day: release yesterday's grant, acquire today's."""
+    events: list = [Tick(time=0)]
+    for day in range(NUM_DAYS):
+        if day:
+            events.append(
+                Release(
+                    time=day,
+                    tenant=f"tenant-{(day - 1) % NUM_TENANTS}",
+                    resource=(day - 1) % NUM_RESOURCES,
+                )
+            )
+        events.append(
+            Acquire(
+                time=day,
+                tenant=f"tenant-{day % NUM_TENANTS}",
+                resource=day % NUM_RESOURCES,
+            )
+        )
+    return events
+
+
+def _run(events) -> tuple[LeaseBroker, float]:
+    broker = LeaseBroker(LeaseSchedule.power_of_two(4, cost_growth=1.7))
+    start = time.perf_counter()
+    for event in events:
+        broker.handle(event)
+    return broker, time.perf_counter() - start
+
+
+def test_p01_broker_throughput(benchmark):
+    events = make_events()
+    assert len(events) >= MIN_EVENTS
+
+    broker, elapsed = _run(events)
+    benchmark.pedantic(lambda: _run(events), rounds=1, iterations=1)
+
+    stats = broker.stats
+    assert stats.events == len(events)
+    assert stats.acquires == NUM_DAYS
+    assert stats.releases + stats.noop_releases + stats.expirations >= NUM_DAYS - 1
+    rate = stats.events / elapsed
+    print()
+    print(
+        f"P1: {stats.events:,} broker events in {elapsed:.2f}s "
+        f"= {rate:,.0f} events/sec "
+        f"({len(broker.leases):,} leases, cost {broker.cost:,.0f})"
+    )
+    assert rate >= MIN_EVENTS_PER_SEC, (
+        f"{rate:,.0f} events/sec — broker has regressed to superlinear "
+        "per-event work (expiry index broken?)"
+    )
+
+
+if __name__ == "__main__":  # standalone: python benchmarks/bench_p01_....py
+    events = make_events()
+    broker, elapsed = _run(events)
+    print(
+        f"{broker.stats.events:,} events in {elapsed:.2f}s = "
+        f"{broker.stats.events / elapsed:,.0f} events/sec"
+    )

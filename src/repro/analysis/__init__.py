@@ -13,6 +13,7 @@ from .ratio import (
     expected_ratio,
     ratio_of,
     ratios_over_instances,
+    summarize_reports,
 )
 from .tables import format_table, print_table
 from .verify import (
@@ -38,6 +39,7 @@ __all__ = [
     "print_table",
     "ratio_of",
     "ratios_over_instances",
+    "summarize_reports",
     "verify_facility",
     "verify_multicover",
     "verify_old",

@@ -13,7 +13,7 @@ import statistics
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from ..core.results import OptBounds
+from ..core.results import OptBounds, RatioReport
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,3 +71,12 @@ def ratios_over_instances(
 ) -> RatioSummary:
     """Summarise ``(online cost, opt)`` pairs across different instances."""
     return RatioSummary.of([ratio_of(cost, opt) for cost, opt in runs])
+
+
+def summarize_reports(reports: Sequence[RatioReport]) -> RatioSummary:
+    """Aggregate per-run :class:`RatioReport` ratios across scenarios.
+
+    The scenario-replay engine produces one report per (scenario, seed)
+    job; this is the cross-scenario rollup its aggregate table prints.
+    """
+    return RatioSummary.of([report.ratio for report in reports])

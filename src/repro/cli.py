@@ -11,6 +11,14 @@ Subcommands::
     python -m repro setcover --elements 20 --sets 10 --demands 30
     python -m repro facility --facilities 4 --steps 8 --per-step 2
     python -m repro old      --horizon 120 --max-slack 6
+    python -m repro engine list
+    python -m repro engine run --scenario all --workers 4 --seed 7
+    python -m repro engine replay --workload markov --horizon 400
+
+The ``engine`` subcommands front :mod:`repro.engine`: ``list`` prints the
+scenario registry, ``run`` replays scenarios through the parallel runner
+and prints one aggregate ratio table, ``replay`` drives the lease broker
+from a generated or saved JSONL event trace.
 """
 
 from __future__ import annotations
@@ -155,6 +163,85 @@ def cmd_old(args) -> int:
     return 0
 
 
+def cmd_engine_list(args) -> int:
+    from .engine import all_scenarios
+
+    scenarios = all_scenarios()
+    print_table(
+        ["scenario", "family", "workload", "description"],
+        [
+            [s.name, s.family, s.workload, s.description]
+            for s in scenarios
+        ],
+        title=f"{len(scenarios)} registered scenarios",
+    )
+    return 0
+
+
+def cmd_engine_run(args) -> int:
+    from .engine import render_report, replay, scenario_names
+
+    explicit = tuple(name for name in args.scenario if name != "all")
+    if "all" in args.scenario:
+        # 'all' expands to the registry; explicitly named extras (e.g.
+        # ad-hoc registered scenarios) still run alongside it.
+        names = scenario_names() + tuple(
+            name for name in explicit if name not in scenario_names()
+        )
+    else:
+        names = explicit
+    outcomes = replay(names, seeds=[args.seed], workers=args.workers)
+    print(
+        render_report(
+            outcomes,
+            title=(
+                f"engine run: {len(names)} scenarios, seed {args.seed}, "
+                f"{args.workers} workers"
+            ),
+        )
+    )
+    return 0 if all(outcome.verified for outcome in outcomes) else 1
+
+
+def cmd_engine_replay(args) -> int:
+    from . import io as repro_io
+    from .engine import LeaseBroker, generate_trace, replay_trace
+
+    if args.trace:
+        events = repro_io.load_trace(args.trace)
+        source = args.trace
+    else:
+        events = generate_trace(
+            args.workload,
+            args.horizon,
+            seed=args.seed,
+            num_tenants=args.tenants,
+            num_resources=args.resources,
+        )
+        source = f"{args.workload} workload, seed {args.seed}"
+    if args.save:
+        repro_io.save_trace(events, args.save)
+    broker = LeaseBroker(_schedule(args))
+    stats = replay_trace(broker, events)
+    print_table(
+        ["metric", "value"],
+        [
+            ["events", stats.events],
+            ["acquires", stats.acquires],
+            ["renewals", stats.renewals],
+            ["releases", stats.releases],
+            ["no-op releases", stats.noop_releases],
+            ["expirations", stats.expirations],
+            ["ticks", stats.ticks],
+            ["active grants", broker.num_active],
+            ["leases bought", len(broker.leases)],
+            ["total cost", broker.cost],
+        ],
+        title=f"broker replay: {source}, K={args.num_types}",
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--seed", type=int, default=0)
@@ -198,6 +285,47 @@ def build_parser() -> argparse.ArgumentParser:
     old.add_argument("--horizon", type=int, default=120)
     old.add_argument("--max-slack", type=int, default=6)
     old.set_defaults(func=cmd_old)
+
+    engine = sub.add_parser(
+        "engine", help="lease-broker service and scenario-replay engine"
+    )
+    engine_sub = engine.add_subparsers(dest="engine_command", required=True)
+
+    engine_list = engine_sub.add_parser(
+        "list", help="print the scenario registry"
+    )
+    engine_list.set_defaults(func=cmd_engine_list)
+
+    engine_run = engine_sub.add_parser(
+        "run", help="replay scenarios and print the aggregate ratio table"
+    )
+    engine_run.add_argument(
+        "--scenario", action="append", default=None, required=True,
+        help="scenario name, repeatable; 'all' replays the whole registry",
+    )
+    engine_run.add_argument("--seed", type=int, default=0)
+    engine_run.add_argument("--workers", type=int, default=1,
+                            help="process-pool size (1 = inline)")
+    engine_run.set_defaults(func=cmd_engine_run)
+
+    engine_replay = engine_sub.add_parser(
+        "replay", help="drive the lease broker from an event trace",
+        parents=[common],
+    )
+    engine_replay.add_argument(
+        "--trace", default=None, help="JSONL trace file to replay"
+    )
+    engine_replay.add_argument(
+        "--workload", default="markov",
+        help="workload shape to generate when no --trace is given",
+    )
+    engine_replay.add_argument("--horizon", type=int, default=400)
+    engine_replay.add_argument("--tenants", type=int, default=3)
+    engine_replay.add_argument("--resources", type=int, default=4)
+    engine_replay.add_argument(
+        "--save", default=None, help="write the replayed trace as JSONL"
+    )
+    engine_replay.set_defaults(func=cmd_engine_replay)
 
     return parser
 

@@ -9,6 +9,7 @@ formulations where each indicator variable is set to one at most once.
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable, Iterator
 
 from .lease import Lease
@@ -20,12 +21,23 @@ class LeaseStore:
     The store is deliberately simple — a dict keyed by the lease identity
     triple plus a per-resource index — because instance sizes in the
     reproduction are simulation-scale (thousands of leases, not millions).
+    Two additions serve incremental consumers such as the
+    :mod:`repro.engine` broker: :meth:`leases_since` (poll new purchases
+    without re-materialising the full tuple; the broker's coverage index
+    is fed from it) and an opt-in expiry watch (:meth:`pop_expired` /
+    :attr:`earliest_expiry`, a min-heap on lease end).  The watch is
+    built lazily on first use, so algorithms that never poll it pay
+    nothing per purchase.
     """
 
     def __init__(self) -> None:
         self._leases: dict[tuple[int, int, int], Lease] = {}
         self._by_resource: dict[int, list[Lease]] = {}
+        self._order: list[Lease] = []
         self._total_cost = 0.0
+        # (end, sequence, lease) — sequence breaks ties so heapq never
+        # compares Lease objects.  None until a caller opts in.
+        self._expiry_heap: list[tuple[int, int, Lease]] | None = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -40,7 +52,12 @@ class LeaseStore:
             return False
         self._leases[lease.key] = lease
         self._by_resource.setdefault(lease.resource, []).append(lease)
+        self._order.append(lease)
         self._total_cost += lease.cost
+        if self._expiry_heap is not None:
+            heapq.heappush(
+                self._expiry_heap, (lease.end, len(self._order), lease)
+            )
         return True
 
     def buy_all(self, leases: Iterable[Lease]) -> int:
@@ -67,7 +84,17 @@ class LeaseStore:
     @property
     def leases(self) -> tuple[Lease, ...]:
         """All purchased leases in purchase order."""
-        return tuple(self._leases.values())
+        return tuple(self._order)
+
+    def leases_since(self, start: int) -> list[Lease]:
+        """Purchases from position ``start`` onwards, in purchase order.
+
+        Incremental consumers (the broker's per-resource coverage index)
+        poll this with their last-seen ``len(store)`` so each lease is
+        examined once, instead of re-materialising the full purchase
+        tuple on every event.
+        """
+        return self._order[start:]
 
     def owns(self, resource: int, type_index: int, start: int) -> bool:
         """Whether the exact triple has been purchased."""
@@ -98,6 +125,42 @@ class LeaseStore:
             for resource, leases in self._by_resource.items()
             if any(lease.covers(t) for lease in leases)
         }
+
+    # ------------------------------------------------------------------
+    # Expiry watch (opt-in, built lazily)
+    # ------------------------------------------------------------------
+    def _watch(self) -> list[tuple[int, int, Lease]]:
+        if self._expiry_heap is None:
+            self._expiry_heap = [
+                (lease.end, index, lease)
+                for index, lease in enumerate(self._order)
+            ]
+            heapq.heapify(self._expiry_heap)
+        return self._expiry_heap
+
+    @property
+    def earliest_expiry(self) -> int | None:
+        """Smallest ``end`` among leases not yet drained by :meth:`pop_expired`."""
+        heap = self._watch()
+        if not heap:
+            return None
+        return heap[0][0]
+
+    def pop_expired(self, now: int) -> list[Lease]:
+        """Drain and return every lease whose window ended by day ``now``.
+
+        Each purchased lease is returned exactly once, in ``end`` order,
+        the first time ``now`` reaches its (exclusive) end.  The purchase
+        record itself is untouched — the store stays append-only; only the
+        expiry *watch* is consumed.  Cost is O(log n) per expired lease,
+        so an event-driven consumer can track expirations over a long
+        stream without ever rescanning its whole lease table.
+        """
+        heap = self._watch()
+        expired: list[Lease] = []
+        while heap and heap[0][0] <= now:
+            expired.append(heapq.heappop(heap)[2])
+        return expired
 
     def intersecting(
         self, resource: int, first: int, last: int

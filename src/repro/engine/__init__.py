@@ -1,0 +1,78 @@
+"""repro.engine — lease-broker service and parallel scenario-replay engine.
+
+The problem packages answer "what does the algorithm buy on this
+instance?"; this package answers the two *serving* questions on top of
+them:
+
+* :mod:`repro.engine.broker` — a multi-tenant :class:`LeaseBroker` that
+  exposes ``acquire / renew / release / active_leases / force_release``
+  semantics and maps every request onto an
+  :class:`~repro.core.framework.OnlineLeasingAlgorithm`, so any policy in
+  the library can back a lease service.
+* :mod:`repro.engine.events` — the typed event/trace model
+  (:class:`Acquire`, :class:`Release`, :class:`Tick`) the broker consumes,
+  with deterministic trace generation from :mod:`repro.workloads` and a
+  JSONL round-trip.
+* :mod:`repro.engine.scenarios` — a registry naming every problem-family
+  × workload combination as a first-class :class:`Scenario` with build,
+  run, verify, and offline-optimum hooks.
+* :mod:`repro.engine.runner` — a batched replay engine that fans
+  scenarios out across a process pool and aggregates per-scenario
+  results into the existing ratio/table machinery.
+
+``python -m repro engine {list,run,replay}`` is the command-line front
+end; the benchmarks ``bench_e01``, ``bench_e05`` and ``bench_e14`` run on
+the same substrate.
+"""
+
+from .broker import BrokerStats, LeaseBroker, LeaseGrant, replay_trace
+from .events import (
+    WORKLOAD_NAMES,
+    Acquire,
+    Event,
+    Release,
+    Tick,
+    day_pattern,
+    event_from_payload,
+    event_to_payload,
+    generate_trace,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
+from .runner import ScenarioOutcome, render_report, replay, run_scenario
+from .scenarios import (
+    Scenario,
+    all_scenarios,
+    families,
+    get_scenario,
+    register,
+    scenario_names,
+)
+
+__all__ = [
+    "Acquire",
+    "BrokerStats",
+    "Event",
+    "LeaseBroker",
+    "LeaseGrant",
+    "Release",
+    "Scenario",
+    "ScenarioOutcome",
+    "Tick",
+    "WORKLOAD_NAMES",
+    "all_scenarios",
+    "day_pattern",
+    "event_from_payload",
+    "event_to_payload",
+    "families",
+    "generate_trace",
+    "get_scenario",
+    "register",
+    "render_report",
+    "replay",
+    "replay_trace",
+    "run_scenario",
+    "scenario_names",
+    "trace_from_jsonl",
+    "trace_to_jsonl",
+]

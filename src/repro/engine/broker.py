@@ -1,0 +1,395 @@
+"""A multi-tenant lease broker backed by any online leasing policy.
+
+:class:`LeaseBroker` is the service layer of the reproduction: tenants
+``acquire`` resources, ``renew`` running grants, and ``release`` them;
+the broker maps every request onto a per-resource
+:class:`~repro.core.framework.OnlineLeasingAlgorithm` (Meyerson's
+deterministic primal-dual by default) which makes the actual
+rent-or-buy decision.  The service surface —
+``acquire / renew / release / active_leases / force_release`` — mirrors
+the lease-service APIs of orchestration systems (list active grants,
+admin force-release for stuck tenants), with simulated integer days in
+place of wall-clock timestamps.
+
+Two heap indexes keep every operation O(log n) regardless of how many
+leases the policies accumulate:
+
+* a *grant* expiry heap ``(expires_at, grant_id)`` — grants auto-expire
+  the moment the clock passes them, without scanning the grant table;
+* a per-resource *coverage* heap of active policy leases — the broker
+  finds the furthest-covering lease for a request by popping expired
+  windows, never by rescanning the policy's whole purchase history.
+
+The broker consumes the typed events of :mod:`repro.engine.events`
+(:func:`replay_trace`), which is how ``python -m repro engine replay``
+and the throughput benchmark drive it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..core.framework import OnlineLeasingAlgorithm
+from ..core.lease import Lease, LeaseSchedule
+from ..core.store import LeaseStore
+from ..errors import ModelError
+from ..parking.deterministic import DeterministicParkingPermit
+from .events import Acquire, Event, Release, Tick
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseGrant:
+    """An immutable snapshot of one grant, as returned to tenants.
+
+    ``expires_at`` is exclusive, like a lease's ``end``: the grant is
+    live on days ``acquired_at .. expires_at - 1``.
+    """
+
+    grant_id: int
+    tenant: str
+    resource: int
+    acquired_at: int
+    expires_at: int
+    released_at: int | None = None
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the grant was still live when the snapshot was taken."""
+        return self.released_at is None
+
+
+@dataclass
+class BrokerStats:
+    """Event counters accumulated over a broker's lifetime."""
+
+    events: int = 0
+    acquires: int = 0
+    renewals: int = 0
+    releases: int = 0
+    noop_releases: int = 0
+    expirations: int = 0
+    force_releases: int = 0
+    ticks: int = 0
+
+
+@dataclass
+class _Grant:
+    """Mutable broker-side grant record (snapshots go out, this stays in)."""
+
+    grant_id: int
+    tenant: str
+    resource: int
+    acquired_at: int
+    expires_at: int
+    released_at: int | None = None
+
+    def snapshot(self) -> LeaseGrant:
+        return LeaseGrant(
+            grant_id=self.grant_id,
+            tenant=self.tenant,
+            resource=self.resource,
+            acquired_at=self.acquired_at,
+            expires_at=self.expires_at,
+            released_at=self.released_at,
+        )
+
+
+@dataclass
+class _Coverage:
+    """Per-resource view of the backing policy's active lease windows."""
+
+    policy: OnlineLeasingAlgorithm
+    seen: int = 0
+    # Max-heap by lease end: (-end, sequence). Only ends matter here;
+    # the policy's store remains the ledger of record.
+    heap: list[tuple[int, int]] = field(default_factory=list)
+    pushed: int = 0
+
+
+PolicyFactory = Callable[[int], OnlineLeasingAlgorithm]
+
+
+class LeaseBroker:
+    """Multi-tenant acquire/renew/release service over online leasing.
+
+    Args:
+        schedule: lease types available to the default policy.
+        policy_factory: ``resource -> OnlineLeasingAlgorithm`` override;
+            each resource gets its own policy instance (its own store and
+            primal-dual state).  Defaults to
+            :class:`~repro.parking.DeterministicParkingPermit` on
+            ``schedule``, the O(K)-competitive choice.
+
+    Tenants share the leases a policy buys: two tenants acquiring the
+    same resource on the same day are covered by one purchase, which is
+    exactly the economies-of-scale the leasing model monetises.  Time is
+    a monotone integer clock; feeding an event older than the clock is a
+    :class:`~repro.errors.ModelError`, matching ``run_online``'s
+    non-decreasing-arrival contract.
+    """
+
+    def __init__(
+        self,
+        schedule: LeaseSchedule,
+        policy_factory: PolicyFactory | None = None,
+    ):
+        self.schedule = schedule
+        self._policy_factory = policy_factory or (
+            lambda resource: DeterministicParkingPermit(schedule)
+        )
+        self._coverage: dict[int, _Coverage] = {}
+        self._grants: dict[int, _Grant] = {}
+        self._active: dict[tuple[str, int], int] = {}
+        self._grant_heap: list[tuple[int, int]] = []
+        self._clock = 0
+        self._next_grant_id = 1
+        self.stats = BrokerStats()
+
+    # ------------------------------------------------------------------
+    # Clock and expiry
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> int:
+        """The latest event time seen so far."""
+        return self._clock
+
+    def _advance(self, now: int) -> None:
+        if now < self._clock:
+            raise ModelError(
+                "events must arrive in non-decreasing time order: "
+                f"saw {now} after {self._clock}"
+            )
+        self._clock = now
+        self._expire(now)
+
+    def _expire(self, now: int) -> None:
+        """Retire every grant whose window ended by ``now`` (O(log n) each)."""
+        while self._grant_heap and self._grant_heap[0][0] <= now:
+            expires_at, grant_id = heapq.heappop(self._grant_heap)
+            grant = self._grants.get(grant_id)
+            if (
+                grant is None
+                or grant.released_at is not None
+                or grant.expires_at != expires_at
+            ):
+                continue  # stale heap entry: renewed or already closed
+            grant.released_at = expires_at
+            del self._active[(grant.tenant, grant.resource)]
+            self.stats.expirations += 1
+
+    # ------------------------------------------------------------------
+    # Coverage bookkeeping
+    # ------------------------------------------------------------------
+    def _coverage_of(self, resource: int) -> _Coverage:
+        coverage = self._coverage.get(resource)
+        if coverage is None:
+            coverage = _Coverage(policy=self._policy_factory(resource))
+            self._coverage[resource] = coverage
+        return coverage
+
+    def _covered_until(
+        self, resource: int, coverage: _Coverage, now: int
+    ) -> int:
+        """Exclusive end of the furthest active lease window at ``now``.
+
+        New policy purchases are ingested incrementally (each lease is
+        pushed once); windows that ended are popped.  Every lease a
+        policy buys for a demand at ``now`` starts at or before ``now``,
+        so any un-popped entry with ``end > now`` covers ``now``.
+        """
+        store = getattr(coverage.policy, "store", None)
+        if isinstance(store, LeaseStore):
+            fresh: Iterable[Lease] = store.leases_since(coverage.seen)
+            coverage.seen = len(store)
+        else:
+            leases = coverage.policy.leases
+            fresh = leases[coverage.seen:]
+            coverage.seen = len(leases)
+        for lease in fresh:
+            heapq.heappush(coverage.heap, (-lease.end, coverage.pushed))
+            coverage.pushed += 1
+        while coverage.heap and -coverage.heap[0][0] <= now:
+            heapq.heappop(coverage.heap)
+        if not coverage.heap:
+            raise ModelError(
+                f"policy {type(coverage.policy).__name__} for resource "
+                f"{resource} bought no lease covering day {now}"
+            )
+        return -coverage.heap[0][0]
+
+    # ------------------------------------------------------------------
+    # Service surface
+    # ------------------------------------------------------------------
+    def acquire(self, tenant: str, resource: int, now: int) -> LeaseGrant:
+        """Grant ``tenant`` the resource from day ``now``.
+
+        Feeds the demand to the resource's policy (which may buy leases)
+        and returns a grant running until the furthest covering lease
+        expires.  Acquiring a resource the tenant already holds renews
+        the existing grant instead of opening a second one.
+        """
+        self._advance(now)
+        existing = self._active.get((tenant, resource))
+        if existing is not None:
+            return self._renew(self._grants[existing], now)
+        coverage = self._coverage_of(resource)
+        coverage.policy.on_demand(now)
+        expires_at = self._covered_until(resource, coverage, now)
+        grant = _Grant(
+            grant_id=self._next_grant_id,
+            tenant=tenant,
+            resource=resource,
+            acquired_at=now,
+            expires_at=expires_at,
+        )
+        self._next_grant_id += 1
+        self._grants[grant.grant_id] = grant
+        self._active[(tenant, resource)] = grant.grant_id
+        heapq.heappush(self._grant_heap, (expires_at, grant.grant_id))
+        self.stats.acquires += 1
+        self.stats.events += 1
+        return grant.snapshot()
+
+    def renew(self, tenant: str, resource: int, now: int) -> LeaseGrant:
+        """Extend the tenant's running grant through day ``now``.
+
+        The demand is re-fed to the policy, which decides — per its own
+        rent-or-buy rule — whether a new lease is needed; the grant's
+        expiry moves to the furthest covering lease.
+        """
+        self._advance(now)
+        grant_id = self._active.get((tenant, resource))
+        if grant_id is None:
+            raise ModelError(
+                f"{tenant!r} holds no active grant on resource {resource} "
+                f"at day {now}"
+            )
+        return self._renew(self._grants[grant_id], now)
+
+    def _renew(self, grant: _Grant, now: int) -> LeaseGrant:
+        coverage = self._coverage_of(grant.resource)
+        coverage.policy.on_demand(now)
+        expires_at = max(
+            grant.expires_at,
+            self._covered_until(grant.resource, coverage, now),
+        )
+        if expires_at != grant.expires_at:
+            grant.expires_at = expires_at
+            heapq.heappush(self._grant_heap, (expires_at, grant.grant_id))
+        self.stats.renewals += 1
+        self.stats.events += 1
+        return grant.snapshot()
+
+    def release(
+        self, tenant: str, resource: int, now: int
+    ) -> LeaseGrant | None:
+        """Close the tenant's grant; returns ``None`` if none is live.
+
+        A missing grant is not an error: with short lease schedules a
+        grant can expire before the tenant's planned release day, so
+        replayed traces routinely release already-expired grants.  The
+        underlying lease purchases are irrevocable either way — release
+        only stops the *grant*, never refunds the policy.
+        """
+        self._advance(now)
+        self.stats.events += 1
+        grant_id = self._active.pop((tenant, resource), None)
+        if grant_id is None:
+            self.stats.noop_releases += 1
+            return None
+        grant = self._grants[grant_id]
+        grant.released_at = now
+        self.stats.releases += 1
+        return grant.snapshot()
+
+    def force_release(self, grant_id: int, now: int | None = None) -> LeaseGrant:
+        """Admin action: close a grant by id regardless of tenant."""
+        if now is not None:
+            self._advance(now)
+        grant = self._grants.get(grant_id)
+        if grant is None:
+            raise ModelError(f"unknown grant id {grant_id}")
+        if grant.released_at is None:
+            grant.released_at = self._clock
+            self._active.pop((grant.tenant, grant.resource), None)
+            self.stats.force_releases += 1
+        self.stats.events += 1
+        return grant.snapshot()
+
+    def tick(self, now: int) -> None:
+        """Advance the clock (expiring grants) without serving a request."""
+        self._advance(now)
+        self.stats.ticks += 1
+        self.stats.events += 1
+
+    def active_leases(
+        self, resource: int | None = None, tenant: str | None = None
+    ) -> tuple[LeaseGrant, ...]:
+        """Snapshots of all live grants, optionally filtered, by grant id."""
+        grants = sorted(self._active.values())
+        out = []
+        for grant_id in grants:
+            grant = self._grants[grant_id]
+            if resource is not None and grant.resource != resource:
+                continue
+            if tenant is not None and grant.tenant != tenant:
+                continue
+            out.append(grant.snapshot())
+        return tuple(out)
+
+    def grant(self, grant_id: int) -> LeaseGrant:
+        """Snapshot of any grant, live or closed."""
+        record = self._grants.get(grant_id)
+        if record is None:
+            raise ModelError(f"unknown grant id {grant_id}")
+        return record.snapshot()
+
+    # ------------------------------------------------------------------
+    # Event dispatch and aggregate results
+    # ------------------------------------------------------------------
+    def handle(self, event: Event) -> LeaseGrant | None:
+        """Dispatch one typed event; returns the grant it touched, if any."""
+        if isinstance(event, Acquire):
+            return self.acquire(event.tenant, event.resource, event.time)
+        if isinstance(event, Release):
+            return self.release(event.tenant, event.resource, event.time)
+        if isinstance(event, Tick):
+            self.tick(event.time)
+            return None
+        raise ModelError(f"cannot handle events of type {type(event).__name__}")
+
+    @property
+    def cost(self) -> float:
+        """Total cost of every lease purchased across all resources."""
+        return sum(c.policy.cost for c in self._coverage.values())
+
+    @property
+    def leases(self) -> tuple[Lease, ...]:
+        """All purchased leases, re-keyed to their broker resource ids."""
+        out: list[Lease] = []
+        for resource, coverage in sorted(self._coverage.items()):
+            for lease in coverage.policy.leases:
+                out.append(
+                    Lease(
+                        resource=resource,
+                        type_index=lease.type_index,
+                        start=lease.start,
+                        length=lease.length,
+                        cost=lease.cost,
+                    )
+                )
+        return tuple(out)
+
+    @property
+    def num_active(self) -> int:
+        """Number of currently live grants."""
+        return len(self._active)
+
+
+def replay_trace(broker: LeaseBroker, events: Iterable[Event]) -> BrokerStats:
+    """Feed a whole trace through the broker; returns its stats."""
+    for event in events:
+        broker.handle(event)
+    return broker.stats

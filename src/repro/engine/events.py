@@ -1,0 +1,254 @@
+"""Typed request events and traces for the lease broker.
+
+A *trace* is the serving-side view of a demand sequence: instead of an
+instance's static demand list, a stream of :class:`Acquire`,
+:class:`Release` and :class:`Tick` events arriving in non-decreasing time
+order, tagged with the tenant that issued them and the resource they
+target.  Traces are what :class:`repro.engine.broker.LeaseBroker`
+consumes, what ``python -m repro engine replay`` replays, and what the
+throughput benchmark drives by the hundred thousand.
+
+Generation is deterministic: :func:`generate_trace` derives every tenant's
+demand days from the :mod:`repro.workloads` generators under a single
+seed, so a ``(workload, horizon, seed)`` triple names one exact byte
+sequence.  Persistence is JSONL — one event per line — matching the
+versioned-and-boring philosophy of :mod:`repro.io`, which exposes the
+file-level ``save_trace``/``load_trace`` wrappers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterable, Union
+
+from .._validation import (
+    require,
+    require_nonnegative_int,
+    require_positive_int,
+)
+from ..errors import ModelError
+from ..workloads import (
+    burst_days,
+    diurnal_days,
+    make_rng,
+    markov_days,
+    sparse_days,
+    spawn,
+)
+
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Acquire:
+    """Tenant asks to hold ``resource`` from day ``time`` onwards."""
+
+    time: int
+    tenant: str
+    resource: int
+
+    def __post_init__(self) -> None:
+        require_nonnegative_int(self.time, "Acquire.time")
+        require_nonnegative_int(self.resource, "Acquire.resource")
+
+
+@dataclass(frozen=True, slots=True)
+class Release:
+    """Tenant gives ``resource`` back at day ``time``."""
+
+    time: int
+    tenant: str
+    resource: int
+
+    def __post_init__(self) -> None:
+        require_nonnegative_int(self.time, "Release.time")
+        require_nonnegative_int(self.resource, "Release.resource")
+
+
+@dataclass(frozen=True, slots=True)
+class Tick:
+    """Pure clock advance: expire grants up to day ``time``, serve nothing."""
+
+    time: int
+
+    def __post_init__(self) -> None:
+        require_nonnegative_int(self.time, "Tick.time")
+
+
+Event = Union[Acquire, Release, Tick]
+
+# Within one day the broker first advances the clock, then frees
+# resources, then serves new requests — mirroring run_online's
+# non-decreasing-arrival contract at sub-day granularity.
+_KIND_RANK = {"tick": 0, "release": 1, "acquire": 2}
+
+
+# ----------------------------------------------------------------------
+# Workload day patterns
+# ----------------------------------------------------------------------
+def _adversarial_days(horizon: int, rng) -> list[int]:
+    """Sparse singletons plus solid bursts — both naive-policy killers."""
+    isolated = sparse_days(horizon, max(1, horizon // 30), spawn(rng, 1))
+    bursts = burst_days(
+        horizon, max(1, horizon // 80), max(2, horizon // 12), spawn(rng, 2)
+    )
+    return sorted(set(isolated) | set(bursts))
+
+
+def _batch_days(horizon: int, rng) -> list[int]:
+    """Regular heavy arrival windows: two busy days in every eight."""
+    return [t for t in range(horizon) if t % 8 < 2]
+
+
+_DAY_PATTERNS: dict[str, Callable[[int, object], list[int]]] = {
+    "markov": lambda horizon, rng: markov_days(horizon, 0.1, 0.8, rng),
+    "diurnal": lambda horizon, rng: diurnal_days(horizon, 32, 0.5, 0.05, rng),
+    "adversarial": _adversarial_days,
+    "batch": _batch_days,
+}
+
+WORKLOAD_NAMES: tuple[str, ...] = tuple(sorted(_DAY_PATTERNS))
+
+
+def day_pattern(workload: str, horizon: int, rng) -> list[int]:
+    """Sorted demand days for one named workload shape.
+
+    The same four shapes parameterise scenario registration and trace
+    generation, so ``parking-markov`` the scenario and a ``markov`` trace
+    stress the algorithms with the same arrival statistics.
+    """
+    require_positive_int(horizon, "horizon")
+    if workload not in _DAY_PATTERNS:
+        raise ModelError(
+            f"unknown workload {workload!r}; known: {', '.join(WORKLOAD_NAMES)}"
+        )
+    return _DAY_PATTERNS[workload](horizon, rng)
+
+
+# ----------------------------------------------------------------------
+# Trace generation
+# ----------------------------------------------------------------------
+def generate_trace(
+    workload: str,
+    horizon: int,
+    seed: int,
+    num_tenants: int = 3,
+    num_resources: int = 4,
+    hold: int = 2,
+    tick_every: int = 16,
+) -> tuple[Event, ...]:
+    """A deterministic acquire/release/tick stream for the broker.
+
+    Each tenant draws its own demand-day sequence from the workload shape
+    (independent child streams of one seed), acquires a seeded-random
+    resource on each demand day, and schedules a release ``hold`` days
+    later.  Demand days inside a hold window re-acquire the held resource,
+    which the broker serves as a *renewal* — so generated traces exercise
+    the full acquire/renew/release/expire lifecycle.  ``Tick`` events fire
+    every ``tick_every`` days so the broker expires idle grants even
+    between requests.  Events are sorted by
+    ``(time, tick < release < acquire, tenant, resource)``, making the
+    trace a pure function of its arguments.
+    """
+    require_positive_int(num_tenants, "num_tenants")
+    require_positive_int(num_resources, "num_resources")
+    require_positive_int(hold, "hold")
+    require_positive_int(tick_every, "tick_every")
+    root = make_rng(seed)
+    events: list[Event] = []
+    for index in range(num_tenants):
+        tenant = f"tenant-{index}"
+        tenant_rng = spawn(root, index)
+        release_at: dict[int, int] = {}
+        for day in day_pattern(workload, horizon, tenant_rng):
+            resource = tenant_rng.randrange(num_resources)
+            events.append(Acquire(time=day, tenant=tenant, resource=resource))
+            release_at[resource] = max(
+                release_at.get(resource, 0), day + hold
+            )
+        for resource, when in release_at.items():
+            events.append(
+                Release(time=when, tenant=tenant, resource=resource)
+            )
+    for t in range(0, horizon + hold + 1, tick_every):
+        events.append(Tick(time=t))
+    return tuple(sorted(events, key=_event_sort_key))
+
+
+def _event_sort_key(event: Event) -> tuple:
+    if isinstance(event, Tick):
+        return (event.time, _KIND_RANK["tick"], "", -1)
+    rank = _KIND_RANK["release" if isinstance(event, Release) else "acquire"]
+    return (event.time, rank, event.tenant, event.resource)
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip
+# ----------------------------------------------------------------------
+def event_to_payload(event: Event) -> dict:
+    """Encode one event as a JSON-ready dict with a ``kind`` tag."""
+    if isinstance(event, Acquire):
+        return {
+            "kind": "acquire",
+            "time": event.time,
+            "tenant": event.tenant,
+            "resource": event.resource,
+        }
+    if isinstance(event, Release):
+        return {
+            "kind": "release",
+            "time": event.time,
+            "tenant": event.tenant,
+            "resource": event.resource,
+        }
+    if isinstance(event, Tick):
+        return {"kind": "tick", "time": event.time}
+    raise ModelError(f"cannot serialize events of type {type(event).__name__}")
+
+
+def event_from_payload(payload: dict) -> Event:
+    """Decode one event payload produced by :func:`event_to_payload`."""
+    kind = payload.get("kind")
+    if kind == "acquire":
+        return Acquire(
+            time=int(payload["time"]),
+            tenant=str(payload["tenant"]),
+            resource=int(payload["resource"]),
+        )
+    if kind == "release":
+        return Release(
+            time=int(payload["time"]),
+            tenant=str(payload["tenant"]),
+            resource=int(payload["resource"]),
+        )
+    if kind == "tick":
+        return Tick(time=int(payload["time"]))
+    raise ModelError(f"unknown event kind {kind!r}")
+
+
+def trace_to_jsonl(events: Iterable[Event]) -> str:
+    """Serialize a trace as JSONL: a version header line, then one event per line."""
+    lines = [
+        json.dumps(
+            {"kind": "trace-header", "version": TRACE_FORMAT_VERSION},
+            sort_keys=True,
+        )
+    ]
+    lines.extend(
+        json.dumps(event_to_payload(event), sort_keys=True) for event in events
+    )
+    return "\n".join(lines) + "\n"
+
+
+def trace_from_jsonl(text: str) -> tuple[Event, ...]:
+    """Deserialize a trace written by :func:`trace_to_jsonl`."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    require(len(lines) >= 1, "trace is empty (missing header line)")
+    header = json.loads(lines[0])
+    require(
+        header.get("kind") == "trace-header"
+        and header.get("version") == TRACE_FORMAT_VERSION,
+        f"unsupported trace header {lines[0]!r}",
+    )
+    return tuple(event_from_payload(json.loads(line)) for line in lines[1:])

@@ -1,0 +1,146 @@
+"""Batched scenario replay across a process pool.
+
+The runner turns scenario names into :class:`ScenarioOutcome` records —
+build the instance, run the online algorithm, verify feasibility against
+the raw model, solve the offline baseline — and aggregates them through
+the library's existing ratio machinery (:class:`~repro.core.RatioReport`
+per run, :func:`~repro.analysis.summarize_reports` across runs,
+:func:`~repro.analysis.format_table` for output).
+
+Parallelism is process-level (:mod:`multiprocessing`): jobs are
+``(scenario name, seed)`` pairs, so only primitives cross the pool
+boundary and workers resolve the scenario in their own registry.  Results
+stream back via ``imap`` in job order, which keeps the aggregate report
+byte-identical for any worker count — the property the determinism tests
+pin down.  On platforms without ``fork``, ad-hoc scenarios registered
+outside :mod:`repro.engine.scenarios` must be importable by workers;
+the built-in registry always is.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..analysis import format_table, summarize_reports
+from ..core.results import OptBounds, RatioReport, RunResult
+from .scenarios import get_scenario, scenario_names
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioOutcome:
+    """Everything one (scenario, seed) job produced, pool-serializable."""
+
+    scenario: str
+    family: str
+    workload: str
+    seed: int
+    run: RunResult
+    opt: OptBounds
+    verified: bool
+    failures: tuple[str, ...]
+
+    @property
+    def report(self) -> RatioReport:
+        """The run bracketed by its OPT bounds."""
+        return RatioReport(run=self.run, opt=self.opt)
+
+    @property
+    def ratio(self) -> float:
+        """Conservative competitive ratio (online cost over OPT lower)."""
+        return self.report.ratio
+
+
+def run_scenario(name: str, seed: int = 0) -> ScenarioOutcome:
+    """Execute one scenario end to end: build, run, verify, baseline."""
+    scenario = get_scenario(name)
+    instance = scenario.build(seed)
+    result = scenario.run(instance, seed)
+    verification = scenario.verify(instance, result)
+    opt = scenario.optimum(instance)
+    return ScenarioOutcome(
+        scenario=scenario.name,
+        family=scenario.family,
+        workload=scenario.workload,
+        seed=seed,
+        run=result,
+        opt=opt,
+        verified=verification.ok,
+        failures=verification.failures,
+    )
+
+
+def _run_job(job: tuple[str, int]) -> ScenarioOutcome:
+    return run_scenario(job[0], job[1])
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def replay(
+    names: Iterable[str] | None = None,
+    seeds: Sequence[int] = (0,),
+    workers: int = 1,
+) -> list[ScenarioOutcome]:
+    """Replay scenarios × seeds, fanning jobs over a process pool.
+
+    Args:
+        names: scenario names; ``None`` replays the whole registry in
+            name order.
+        seeds: one outcome is produced per (name, seed) pair.
+        workers: pool size; ``1`` runs inline (no processes spawned).
+
+    Returns:
+        Outcomes in deterministic job order — names outermost, seeds
+        innermost — regardless of ``workers``.
+    """
+    if names is None:
+        names = scenario_names()
+    jobs = [(name, seed) for name in names for seed in seeds]
+    # Resolve every name before forking so typos fail fast and locally.
+    for name, _ in jobs:
+        get_scenario(name)
+    if workers <= 1 or len(jobs) <= 1:
+        return [_run_job(job) for job in jobs]
+    context = _pool_context()
+    with context.Pool(processes=min(workers, len(jobs))) as pool:
+        return list(pool.imap(_run_job, jobs, chunksize=1))
+
+
+def render_report(outcomes: Sequence[ScenarioOutcome], title: str = "") -> str:
+    """The aggregate ratio table plus a cross-scenario summary line."""
+    headers = [
+        "scenario", "seed", "algorithm", "demands", "leases",
+        "online", "OPT", "method", "ratio", "ok",
+    ]
+    rows = [
+        [
+            outcome.scenario,
+            outcome.seed,
+            outcome.run.algorithm,
+            outcome.run.num_demands,
+            len(outcome.run.leases),
+            outcome.run.cost,
+            outcome.opt.lower,
+            outcome.opt.method,
+            outcome.ratio,
+            "yes" if outcome.verified else "NO",
+        ]
+        for outcome in outcomes
+    ]
+    table = format_table(headers, rows, title=title)
+    if not outcomes:
+        return table
+    summary = summarize_reports([outcome.report for outcome in outcomes])
+    verified = sum(1 for outcome in outcomes if outcome.verified)
+    footer = (
+        f"{summary.count} runs: mean ratio {summary.mean:.3f}, "
+        f"max {summary.maximum:.3f}, min {summary.minimum:.3f}; "
+        f"verified {verified}/{len(outcomes)}"
+    )
+    return table + "\n" + footer

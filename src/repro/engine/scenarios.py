@@ -1,0 +1,316 @@
+"""First-class scenarios: every problem family × workload shape, named.
+
+A :class:`Scenario` packages what the benchmarks used to wire up ad hoc —
+instance construction, the online algorithm, the feasibility verifier and
+the offline-optimum baseline — behind one name like ``parking-markov``.
+The registry makes the full cross product of the four problem families
+(parking, setcover, facility, deadlines) and the four workload shapes
+(markov, diurnal, adversarial, batch) addressable from the CLI, the
+replay runner, and the benchmark suite alike; benchmarks may register
+additional ad-hoc scenarios (``bench-e01-K4``, ...) on top.
+
+Everything is a pure function of ``(scenario name, seed)``: builders
+derive all randomness from the seed through independent child streams,
+so any scenario run is reproducible from its name and one integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..analysis.verify import (
+    VerificationReport,
+    verify_facility,
+    verify_multicover,
+    verify_old,
+    verify_parking,
+)
+from ..core.lease import LeaseSchedule
+from ..core.results import OptBounds, RunResult
+from ..core.timeline import run_online
+from ..deadlines import make_old_instance, optimal_dp, run_old
+from ..errors import ModelError
+from ..facility import make_instance as make_facility_instance
+from ..facility import optimum as facility_optimum
+from ..facility import run_facility_leasing
+from ..parking import DeterministicParkingPermit, make_instance, optimal_interval
+from ..setcover import (
+    MulticoverDemand,
+    OnlineSetMulticoverLeasing,
+    SetMulticoverLeasingInstance,
+    optimum as setcover_optimum,
+    random_set_system,
+)
+from ..workloads import diurnal_days, exponential_batches, make_rng, markov_days, spawn
+from .events import WORKLOAD_NAMES, day_pattern
+
+FAMILY_NAMES: tuple[str, ...] = ("parking", "setcover", "facility", "deadlines")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, fully self-describing experiment configuration.
+
+    Attributes:
+        name: registry key, e.g. ``"parking-markov"``.
+        family: problem family (one of :data:`FAMILY_NAMES` for builtins).
+        workload: workload shape the builder draws demands from.
+        description: one-line summary for ``engine list``.
+        build: ``seed -> instance``.
+        run: ``(instance, seed) -> RunResult`` — runs the online algorithm.
+        verify: ``(instance, result) -> VerificationReport`` — re-checks
+            feasibility against raw model semantics.
+        optimum: ``instance -> OptBounds`` — the offline baseline.
+    """
+
+    name: str
+    family: str
+    workload: str
+    description: str
+    build: Callable[[int], object]
+    run: Callable[[object, int], RunResult]
+    verify: Callable[[object, RunResult], VerificationReport]
+    optimum: Callable[[object], OptBounds]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry; returns it for chaining."""
+    if scenario.name in _REGISTRY and not replace:
+        raise ModelError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    if name not in _REGISTRY:
+        raise ModelError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        )
+    return _REGISTRY[name]
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def all_scenarios() -> tuple[Scenario, ...]:
+    """All registered scenarios in name order."""
+    return tuple(_REGISTRY[name] for name in scenario_names())
+
+
+def families() -> tuple[str, ...]:
+    """Distinct families present in the registry, sorted."""
+    return tuple(sorted({s.family for s in _REGISTRY.values()}))
+
+
+def by_family(family: str) -> tuple[Scenario, ...]:
+    """Registered scenarios of one family, in name order."""
+    return tuple(s for s in all_scenarios() if s.family == family)
+
+
+# ----------------------------------------------------------------------
+# Builtin scenario builders
+# ----------------------------------------------------------------------
+def _parking_scenario(workload: str) -> Scenario:
+    schedule = LeaseSchedule.power_of_two(4, cost_growth=1.7)
+
+    def build(seed: int):
+        days = day_pattern(workload, 240, make_rng(seed))
+        return make_instance(schedule, days or [0])
+
+    def run(instance, seed: int) -> RunResult:
+        algorithm = DeterministicParkingPermit(instance.schedule)
+        return run_online(
+            algorithm, instance.rainy_days, name="parking primal-dual (Alg 1)"
+        )
+
+    return Scenario(
+        name=f"parking-{workload}",
+        family="parking",
+        workload=workload,
+        description=f"parking permit, K=4, {workload} rainy days",
+        build=build,
+        run=run,
+        verify=lambda instance, result: verify_parking(
+            instance, list(result.leases)
+        ),
+        optimum=lambda instance: OptBounds.exactly(
+            optimal_interval(instance).cost, method="dp-interval"
+        ),
+    )
+
+
+def _setcover_scenario(workload: str) -> Scenario:
+    schedule = LeaseSchedule.power_of_two(3, cost_growth=1.7)
+    per_day = 3 if workload == "batch" else 1
+
+    def build(seed: int):
+        rng = make_rng(seed)
+        system = random_set_system(
+            num_elements=12,
+            num_sets=8,
+            memberships=3,
+            schedule=schedule,
+            rng=spawn(rng, 101),
+        )
+        demand_rng = spawn(rng, 202)
+        days = day_pattern(workload, 48, spawn(rng, 303)) or [0]
+        demands = tuple(
+            MulticoverDemand(
+                element=demand_rng.randrange(system.num_elements),
+                arrival=day,
+                coverage=demand_rng.randint(1, 2),
+            )
+            for day in days
+            for _ in range(per_day)
+        )
+        return SetMulticoverLeasingInstance(
+            system=system, schedule=schedule, demands=demands
+        )
+
+    def run(instance, seed: int) -> RunResult:
+        algorithm = OnlineSetMulticoverLeasing(instance, seed=seed)
+        return run_online(
+            algorithm,
+            instance.demands,
+            name="set multicover leasing (Alg 3+4)",
+        )
+
+    return Scenario(
+        name=f"setcover-{workload}",
+        family="setcover",
+        workload=workload,
+        description=f"set multicover leasing, n=12 m=8 K=3, {workload} arrivals",
+        build=build,
+        run=run,
+        verify=lambda instance, result: verify_multicover(
+            instance, list(result.leases)
+        ),
+        optimum=setcover_optimum,
+    )
+
+
+def _facility_batch_sizes(workload: str, rng) -> list[int]:
+    if workload == "batch":
+        return [2] * 8
+    if workload == "adversarial":
+        # The conjectured-hard Section 4.4 pattern |D_i| = 2^i, kept tiny.
+        return exponential_batches(4)
+    if workload == "markov":
+        days = set(markov_days(12, 0.3, 0.7, rng))
+    else:  # diurnal
+        days = set(diurnal_days(12, 8, 0.9, 0.1, rng))
+    sizes = [1 if t in days else 0 for t in range(12)]
+    return sizes if sum(sizes) else [1] + [0] * 11
+
+
+def _facility_scenario(workload: str) -> Scenario:
+    schedule = LeaseSchedule.power_of_two(2, cost_growth=1.7)
+
+    def build(seed: int):
+        rng = make_rng(seed)
+        return make_facility_instance(
+            schedule,
+            num_facilities=3,
+            batch_sizes=_facility_batch_sizes(workload, spawn(rng, 11)),
+            rng=spawn(rng, 22),
+        )
+
+    def run(instance, seed: int) -> RunResult:
+        algorithm = run_facility_leasing(instance)
+        return RunResult(
+            algorithm="facility two-phase online (Ch. 4)",
+            cost=algorithm.cost,
+            leases=tuple(algorithm.leases),
+            num_demands=instance.num_clients,
+            detail={
+                "connections": tuple(algorithm.connections),
+                "leasing_cost": algorithm.leasing_cost,
+                "connection_cost": algorithm.connection_cost,
+            },
+        )
+
+    return Scenario(
+        name=f"facility-{workload}",
+        family="facility",
+        workload=workload,
+        description=f"facility leasing, 3 sites K=2, {workload} client batches",
+        build=build,
+        run=run,
+        verify=lambda instance, result: verify_facility(
+            instance, list(result.leases), list(result.detail["connections"])
+        ),
+        optimum=facility_optimum,
+    )
+
+
+def _deadline_slacks(workload: str, days: list[int], rng) -> list[tuple[int, int]]:
+    if workload == "adversarial":
+        # Zero slack everywhere: OLD degenerates to its hardest regime
+        # for the dual raising (every interval is a single day).
+        return [(day, 0) for day in days]
+    if workload == "batch":
+        # Same-day clients with staggered slacks; normalization keeps the
+        # earliest deadline, exercising the Section 5.2 reduction.
+        return [(day, slack) for day in days for slack in (0, 2, 4)]
+    return [(day, rng.randint(0, 5)) for day in days]
+
+
+def _deadlines_scenario(workload: str) -> Scenario:
+    schedule = LeaseSchedule.power_of_two(3, cost_growth=1.7)
+
+    def build(seed: int):
+        rng = make_rng(seed)
+        days = day_pattern(workload, 120, spawn(rng, 7)) or [0]
+        clients = _deadline_slacks(workload, days, spawn(rng, 13))
+        return make_old_instance(schedule, clients).normalized()
+
+    def run(instance, seed: int) -> RunResult:
+        algorithm = run_old(instance)
+        return RunResult(
+            algorithm="OLD primal-dual (Ch. 5)",
+            cost=algorithm.cost,
+            leases=tuple(algorithm.leases),
+            num_demands=len(instance.clients),
+        )
+
+    return Scenario(
+        name=f"deadlines-{workload}",
+        family="deadlines",
+        workload=workload,
+        description=f"leasing with deadlines, K=3, {workload} arrivals",
+        build=build,
+        run=run,
+        verify=lambda instance, result: verify_old(
+            instance, list(result.leases)
+        ),
+        optimum=lambda instance: OptBounds.exactly(
+            optimal_dp(instance), method="dp"
+        ),
+    )
+
+
+_FAMILY_BUILDERS: dict[str, Callable[[str], Scenario]] = {
+    "parking": _parking_scenario,
+    "setcover": _setcover_scenario,
+    "facility": _facility_scenario,
+    "deadlines": _deadlines_scenario,
+}
+
+
+def _register_builtins() -> Iterator[Scenario]:
+    for family in FAMILY_NAMES:
+        for workload in WORKLOAD_NAMES:
+            yield register(_FAMILY_BUILDERS[family](workload))
+
+
+BUILTIN_SCENARIOS: tuple[Scenario, ...] = tuple(_register_builtins())

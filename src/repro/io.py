@@ -196,3 +196,28 @@ def load(path):
     """Read an instance previously written by :func:`save`."""
     with open(path, "r", encoding="utf-8") as handle:
         return loads(handle.read())
+
+
+# ----------------------------------------------------------------------
+# Event traces (JSONL)
+# ----------------------------------------------------------------------
+def save_trace(events, path) -> None:
+    """Write a broker event trace to ``path`` as JSONL (one event per line).
+
+    The line format is owned by :mod:`repro.engine.events`; this is the
+    file-level front door, symmetric with :func:`save`/:func:`load` for
+    instances.  Imported lazily so loading an instance never pulls in the
+    engine package.
+    """
+    from .engine.events import trace_to_jsonl
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_to_jsonl(events))
+
+
+def load_trace(path):
+    """Read an event trace previously written by :func:`save_trace`."""
+    from .engine.events import trace_from_jsonl
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return trace_from_jsonl(handle.read())

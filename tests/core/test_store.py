@@ -96,3 +96,45 @@ class TestQueries:
         store.buy(second)
         assert [l.key for l in store] == [first.key, second.key]
         assert store.leases == (first, second)
+
+    def test_leases_since_is_incremental(self):
+        store = LeaseStore()
+        first = lease(start=0)
+        store.buy(first)
+        watermark = len(store)
+        assert store.leases_since(0) == [first]
+        second = lease(start=8)
+        store.buy(second)
+        assert store.leases_since(watermark) == [second]
+        assert store.leases_since(len(store)) == []
+
+
+class TestExpiryIndex:
+    def test_earliest_expiry_tracks_min_end(self):
+        store = LeaseStore()
+        assert store.earliest_expiry is None
+        store.buy(lease(start=4, length=8))   # ends 12
+        store.buy(lease(start=0, length=4))   # ends 4
+        assert store.earliest_expiry == 4
+
+    def test_pop_expired_returns_each_lease_once_in_end_order(self):
+        store = LeaseStore()
+        short = lease(start=0, length=2)                 # ends 2
+        medium = lease(type_index=1, start=0, length=4)  # ends 4
+        long = lease(type_index=2, start=0, length=16)   # ends 16
+        for item in (long, short, medium):
+            store.buy(item)
+        assert store.pop_expired(1) == []
+        assert [l.key for l in store.pop_expired(4)] == [short.key, medium.key]
+        assert store.pop_expired(4) == []  # already drained
+        assert store.earliest_expiry == 16
+        assert [l.key for l in store.pop_expired(100)] == [long.key]
+        assert store.earliest_expiry is None
+        # The purchase record itself is untouched.
+        assert len(store) == 3
+
+    def test_rebuy_does_not_duplicate_watch(self):
+        store = LeaseStore()
+        store.buy(lease(start=0, length=2))
+        store.buy(lease(start=0, length=2))
+        assert len(store.pop_expired(10)) == 1

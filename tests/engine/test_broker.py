@@ -1,0 +1,225 @@
+"""Broker lifecycle, expiry correctness, and a property test vs a naive
+reference implementation (linear scans everywhere)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import LeaseSchedule
+from repro.engine import LeaseBroker, generate_trace, replay_trace
+from repro.engine.events import Acquire, Release, Tick
+from repro.errors import ModelError
+from repro.parking import DeterministicParkingPermit
+
+# lmin=4: first purchases already outlive same-day grants, so renewals
+# and explicit releases actually occur in lifecycle tests.
+LONG_SCHEDULE = LeaseSchedule.from_pairs([(4, 3.0), (16, 9.0), (64, 24.0)])
+SHORT_SCHEDULE = LeaseSchedule.power_of_two(3, cost_growth=1.7)
+
+
+class TestLifecycle:
+    def test_acquire_creates_active_grant(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        grant = broker.acquire("alice", 0, 0)
+        assert grant.is_active
+        assert grant.acquired_at == 0
+        assert grant.expires_at == 4  # aligned length-4 lease
+        assert broker.active_leases() == (grant,)
+        assert broker.cost == 3.0
+
+    def test_same_day_second_tenant_shares_the_lease(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        broker.acquire("alice", 0, 0)
+        broker.acquire("bob", 0, 0)
+        assert broker.num_active == 2
+        assert broker.cost == 3.0  # one purchase covers both grants
+
+    def test_acquire_while_held_renews(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        first = broker.acquire("alice", 0, 0)
+        second = broker.acquire("alice", 0, 2)
+        assert second.grant_id == first.grant_id
+        assert broker.stats.acquires == 1
+        assert broker.stats.renewals == 1
+
+    def test_renew_extends_expiry(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        broker.acquire("alice", 0, 0)
+        renewed = broker.renew("alice", 0, 3)
+        # Day 3 re-raises duals; eventually a longer/later window is
+        # bought, and expiry never moves backwards.
+        assert renewed.expires_at >= 4
+        assert renewed.released_at is None
+
+    def test_renew_without_grant_rejected(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        with pytest.raises(ModelError):
+            broker.renew("alice", 0, 0)
+
+    def test_release_closes_grant(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        grant = broker.acquire("alice", 0, 0)
+        released = broker.release("alice", 0, 2)
+        assert released.grant_id == grant.grant_id
+        assert released.released_at == 2
+        assert broker.active_leases() == ()
+        # Purchases are irrevocable: releasing refunds nothing.
+        assert broker.cost == 3.0
+
+    def test_release_without_grant_is_noop(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        assert broker.release("alice", 0, 1) is None
+        assert broker.stats.noop_releases == 1
+
+    def test_grants_expire_on_clock_advance(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        broker.acquire("alice", 0, 0)
+        broker.tick(4)
+        assert broker.active_leases() == ()
+        assert broker.stats.expirations == 1
+        # Late release of the expired grant is a no-op, not an error.
+        assert broker.release("alice", 0, 5) is None
+
+    def test_force_release_by_id(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        grant = broker.acquire("alice", 0, 0)
+        closed = broker.force_release(grant.grant_id)
+        assert closed.released_at == 0
+        assert broker.active_leases() == ()
+        with pytest.raises(ModelError):
+            broker.force_release(999)
+
+    def test_active_leases_filters(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        broker.acquire("alice", 0, 0)
+        broker.acquire("bob", 1, 0)
+        assert len(broker.active_leases(tenant="alice")) == 1
+        assert len(broker.active_leases(resource=1)) == 1
+        assert len(broker.active_leases(resource=2)) == 0
+
+    def test_clock_must_not_regress(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        broker.acquire("alice", 0, 5)
+        with pytest.raises(ModelError):
+            broker.acquire("bob", 0, 4)
+
+    def test_leases_rekeyed_per_resource(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        broker.acquire("alice", 3, 0)
+        broker.acquire("alice", 7, 1)
+        assert sorted({lease.resource for lease in broker.leases}) == [3, 7]
+
+    def test_custom_policy_factory(self):
+        broker = LeaseBroker(
+            LONG_SCHEDULE,
+            policy_factory=lambda r: DeterministicParkingPermit(SHORT_SCHEDULE),
+        )
+        grant = broker.acquire("alice", 0, 0)
+        assert grant.expires_at == 1  # short policy buys length-1 first
+
+    def test_trace_replay_accounts_every_event(self):
+        trace = generate_trace("markov", 200, seed=11)
+        broker = LeaseBroker(SHORT_SCHEDULE)
+        stats = replay_trace(broker, trace)
+        assert stats.events == len(trace)
+        assert stats.acquires + stats.renewals == sum(
+            1 for event in trace if isinstance(event, Acquire)
+        )
+        closed = stats.releases + stats.noop_releases
+        assert closed == sum(
+            1 for event in trace if isinstance(event, Release)
+        )
+
+
+# ----------------------------------------------------------------------
+# Property test: heap-indexed broker == naive scan-everything broker
+# ----------------------------------------------------------------------
+class _ReferenceBroker:
+    """The obviously-correct broker: linear scans, no indexes."""
+
+    def __init__(self, schedule: LeaseSchedule):
+        self.schedule = schedule
+        self.policies: dict[int, DeterministicParkingPermit] = {}
+        # key -> (acquired_at, expires_at)
+        self.grants: dict[tuple[str, int], tuple[int, int]] = {}
+
+    def _advance(self, now: int) -> None:
+        self.grants = {
+            key: grant
+            for key, grant in self.grants.items()
+            if grant[1] > now
+        }
+
+    def _expiry(self, resource: int, now: int) -> int:
+        policy = self.policies[resource]
+        return max(
+            lease.end for lease in policy.leases if lease.covers(now)
+        )
+
+    def acquire(self, tenant: str, resource: int, now: int) -> None:
+        self._advance(now)
+        policy = self.policies.setdefault(
+            resource, DeterministicParkingPermit(self.schedule)
+        )
+        policy.on_demand(now)
+        key = (tenant, resource)
+        expires = self._expiry(resource, now)
+        if key in self.grants:
+            acquired, old_expires = self.grants[key]
+            self.grants[key] = (acquired, max(old_expires, expires))
+        else:
+            self.grants[key] = (now, expires)
+
+    def release(self, tenant: str, resource: int, now: int) -> None:
+        self._advance(now)
+        self.grants.pop((tenant, resource), None)
+
+    def tick(self, now: int) -> None:
+        self._advance(now)
+
+    @property
+    def cost(self) -> float:
+        return sum(policy.cost for policy in self.policies.values())
+
+    def active(self, now: int) -> dict[tuple[str, int], int]:
+        return {
+            key: grant[1]
+            for key, grant in self.grants.items()
+            if grant[1] > now
+        }
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["acquire", "release", "tick"]),
+        st.integers(min_value=0, max_value=2),   # tenant index
+        st.integers(min_value=0, max_value=2),   # resource index
+        st.integers(min_value=0, max_value=3),   # clock increment
+    ),
+    max_size=60,
+)
+
+
+@given(operations)
+def test_broker_matches_naive_reference(ops):
+    broker = LeaseBroker(SHORT_SCHEDULE)
+    reference = _ReferenceBroker(SHORT_SCHEDULE)
+    now = 0
+    for op, tenant_index, resource, delta in ops:
+        now += delta
+        tenant = f"tenant-{tenant_index}"
+        if op == "acquire":
+            broker.acquire(tenant, resource, now)
+            reference.acquire(tenant, resource, now)
+        elif op == "release":
+            broker.release(tenant, resource, now)
+            reference.release(tenant, resource, now)
+        else:
+            broker.tick(now)
+            reference.tick(now)
+        got = {
+            (grant.tenant, grant.resource): grant.expires_at
+            for grant in broker.active_leases()
+        }
+        assert got == reference.active(now)
+        assert broker.cost == pytest.approx(reference.cost)

@@ -1,0 +1,108 @@
+"""Tests for the typed event/trace model: generation, ordering, JSONL."""
+
+import pytest
+
+from repro import io as repro_io
+from repro.engine import (
+    WORKLOAD_NAMES,
+    Acquire,
+    Release,
+    Tick,
+    day_pattern,
+    event_from_payload,
+    event_to_payload,
+    generate_trace,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
+from repro.errors import ModelError
+from repro.workloads import make_rng
+
+
+class TestDayPatterns:
+    def test_all_workloads_named(self):
+        assert set(WORKLOAD_NAMES) == {
+            "adversarial", "batch", "diurnal", "markov",
+        }
+
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    def test_days_sorted_unique_in_range(self, workload):
+        days = day_pattern(workload, 200, make_rng(5))
+        assert days == sorted(set(days))
+        assert all(0 <= day < 200 for day in days)
+        assert days  # every shape produces demand at this horizon
+
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    def test_deterministic_in_seed(self, workload):
+        assert day_pattern(workload, 150, make_rng(9)) == day_pattern(
+            workload, 150, make_rng(9)
+        )
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ModelError):
+            day_pattern("fullmoon", 10, make_rng(0))
+
+
+class TestGenerateTrace:
+    def test_deterministic(self):
+        first = generate_trace("markov", 120, seed=4)
+        second = generate_trace("markov", 120, seed=4)
+        assert first == second
+        assert first != generate_trace("markov", 120, seed=5)
+
+    def test_time_nondecreasing_and_day_ordering(self):
+        trace = generate_trace("diurnal", 150, seed=2)
+        times = [event.time for event in trace]
+        assert times == sorted(times)
+        # Within a day: ticks, then releases, then acquires.
+        rank = {Tick: 0, Release: 1, Acquire: 2}
+        for earlier, later in zip(trace, trace[1:]):
+            if earlier.time == later.time:
+                assert rank[type(earlier)] <= rank[type(later)]
+
+    def test_contains_full_lifecycle(self):
+        trace = generate_trace("markov", 150, seed=1)
+        kinds = {type(event) for event in trace}
+        assert kinds == {Acquire, Release, Tick}
+
+    def test_every_acquire_gets_a_release(self):
+        trace = generate_trace("batch", 100, seed=3)
+        acquired = {
+            (e.tenant, e.resource) for e in trace if isinstance(e, Acquire)
+        }
+        released = {
+            (e.tenant, e.resource) for e in trace if isinstance(e, Release)
+        }
+        assert acquired == released
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_equality(self):
+        trace = generate_trace("adversarial", 100, seed=8)
+        assert trace_from_jsonl(trace_to_jsonl(trace)) == trace
+
+    def test_file_round_trip_via_io(self, tmp_path):
+        trace = generate_trace("markov", 80, seed=6)
+        path = tmp_path / "trace.jsonl"
+        repro_io.save_trace(trace, path)
+        assert repro_io.load_trace(path) == trace
+
+    def test_payload_round_trip_each_kind(self):
+        for event in (
+            Acquire(time=3, tenant="a", resource=1),
+            Release(time=4, tenant="a", resource=1),
+            Tick(time=5),
+        ):
+            assert event_from_payload(event_to_payload(event)) == event
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ModelError):
+            event_from_payload({"kind": "preempt", "time": 0})
+
+    def test_rejects_missing_header(self):
+        with pytest.raises(ModelError):
+            trace_from_jsonl('{"kind": "tick", "time": 0}')
+
+    def test_rejects_unserializable_event(self):
+        with pytest.raises(ModelError):
+            event_to_payload("not an event")

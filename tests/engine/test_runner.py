@@ -1,0 +1,81 @@
+"""Replay-engine determinism: same seed => identical aggregate report,
+independent of worker count, plus job ordering and error handling."""
+
+import pytest
+
+from repro.engine import (
+    render_report,
+    replay,
+    run_scenario,
+    scenario_names,
+)
+from repro.errors import ModelError
+
+
+class TestRunScenario:
+    def test_outcome_fields(self):
+        outcome = run_scenario("parking-markov", seed=7)
+        assert outcome.scenario == "parking-markov"
+        assert outcome.family == "parking"
+        assert outcome.workload == "markov"
+        assert outcome.seed == 7
+        assert outcome.verified
+        assert outcome.failures == ()
+        assert outcome.ratio >= 1.0 - 1e-9
+        assert outcome.report.opt.lower == outcome.opt.lower
+
+    def test_repeat_runs_identical(self):
+        first = run_scenario("setcover-diurnal", seed=5)
+        second = run_scenario("setcover-diurnal", seed=5)
+        assert first == second
+
+
+class TestReplay:
+    def test_job_order_names_outer_seeds_inner(self):
+        outcomes = replay(
+            ["parking-markov", "parking-diurnal"], seeds=[1, 2]
+        )
+        assert [(o.scenario, o.seed) for o in outcomes] == [
+            ("parking-markov", 1),
+            ("parking-markov", 2),
+            ("parking-diurnal", 1),
+            ("parking-diurnal", 2),
+        ]
+
+    def test_unknown_name_fails_before_forking(self):
+        with pytest.raises(ModelError):
+            replay(["parking-markov", "nope"], workers=4)
+
+    def test_default_replays_whole_registry(self):
+        outcomes = replay(seeds=[3], workers=4)
+        assert {o.scenario for o in outcomes} >= set(scenario_names())
+
+
+class TestDeterminism:
+    def test_workers_1_vs_4_identical_aggregate_report(self):
+        names = scenario_names()
+        serial = replay(names, seeds=[7], workers=1)
+        parallel = replay(names, seeds=[7], workers=4)
+        assert serial == parallel
+        assert render_report(serial) == render_report(parallel)
+        assert all(outcome.verified for outcome in parallel)
+
+    def test_repeated_parallel_runs_byte_identical(self):
+        names = ("parking-adversarial", "deadlines-markov", "facility-batch")
+        first = render_report(replay(names, seeds=[7], workers=4))
+        second = render_report(replay(names, seeds=[7], workers=4))
+        assert first == second
+
+
+class TestRenderReport:
+    def test_contains_summary_footer_and_rows(self):
+        outcomes = replay(["parking-markov"], seeds=[7])
+        report = render_report(outcomes, title="unit")
+        assert report.startswith("unit")
+        assert "parking-markov" in report
+        assert "mean ratio" in report
+        assert "verified 1/1" in report
+
+    def test_empty_outcomes(self):
+        report = render_report([])
+        assert "scenario" in report
