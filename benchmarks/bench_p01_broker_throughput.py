@@ -1,12 +1,19 @@
 """P1 — broker throughput: >=100k acquire/release events in one run.
 
-The perf-trajectory baseline for the serving layer.  A synthetic
-round-robin tenant/resource stream drives :class:`repro.engine.LeaseBroker`
-end to end — policy demand, lease purchase, grant bookkeeping, heap
-expiry — and the run records events/sec.  The expiry-heap index is what
-makes this linear: an O(n)-scan-per-event broker would replay this trace
-three orders of magnitude slower (sub-1k events/sec at this size), so the
-rate floor doubles as a complexity regression guard.
+The perf-trajectory benchmark for the serving layer.  A synthetic
+round-robin tenant/resource stream (:func:`repro.engine.perf.p01_trace`,
+the same stream ``benchmarks/perf.py`` measures and gates) drives
+:class:`repro.engine.LeaseBroker` end to end — policy demand, lease
+purchase, grant bookkeeping, heap expiry — and the run records
+events/sec.  The expiry-heap index plus the coverage-horizon fast path
+are what make this linear: an O(n)-scan-per-event broker would replay
+this trace three orders of magnitude slower, so the rate floor doubles
+as a complexity regression guard.  The committed trajectory lives in
+``benchmarks/BENCH_p01_broker.json``; standalone runs can emit the same
+machine-readable record with ``--json``::
+
+    PYTHONPATH=src python benchmarks/bench_p01_broker_throughput.py \\
+        --json p01.json --mode full
 """
 
 from __future__ import annotations
@@ -14,43 +21,26 @@ from __future__ import annotations
 import time
 
 from repro.core import LeaseSchedule
-from repro.engine import LeaseBroker
-from repro.engine.events import Acquire, Release, Tick
+from repro.engine import LeaseBroker, replay_trace
+from repro.engine.perf import p01_trace
 
 NUM_DAYS = 50_000
-NUM_TENANTS = 8
-NUM_RESOURCES = 16
 MIN_EVENTS = 100_000
-MIN_EVENTS_PER_SEC = 2_000  # ~30x below measured; trips only on O(n) scans
+# ~30x below the post-coverage-caching rate (~300k/s on a 1-cpu
+# container); trips on a return to O(n) scans or a lost fast path, not
+# on machine noise.
+MIN_EVENTS_PER_SEC = 10_000
 
 
 def make_events() -> list:
     """Two events per day: release yesterday's grant, acquire today's."""
-    events: list = [Tick(time=0)]
-    for day in range(NUM_DAYS):
-        if day:
-            events.append(
-                Release(
-                    time=day,
-                    tenant=f"tenant-{(day - 1) % NUM_TENANTS}",
-                    resource=(day - 1) % NUM_RESOURCES,
-                )
-            )
-        events.append(
-            Acquire(
-                time=day,
-                tenant=f"tenant-{day % NUM_TENANTS}",
-                resource=day % NUM_RESOURCES,
-            )
-        )
-    return events
+    return p01_trace(NUM_DAYS)
 
 
 def _run(events) -> tuple[LeaseBroker, float]:
     broker = LeaseBroker(LeaseSchedule.power_of_two(4, cost_growth=1.7))
     start = time.perf_counter()
-    for event in events:
-        broker.handle(event)
+    replay_trace(broker, events)
     return broker, time.perf_counter() - start
 
 
@@ -74,14 +64,38 @@ def test_p01_broker_throughput(benchmark):
     )
     assert rate >= MIN_EVENTS_PER_SEC, (
         f"{rate:,.0f} events/sec — broker has regressed to superlinear "
-        "per-event work (expiry index broken?)"
+        "per-event work (expiry index or coverage fast path broken?)"
     )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry: print the rate, optionally dump the JSON record."""
+    import argparse
+
+    from repro.engine import perf
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable perf record to PATH",
+    )
+    parser.add_argument(
+        "--mode", choices=perf.MODES, default="full",
+        help="workload size (default: full, the committed-trajectory size)",
+    )
+    args = parser.parse_args(argv)
+    record = perf.measure_p01(args.mode)
+    metrics = record["metrics"]
+    print(
+        f"{metrics['events']:,} events in {metrics['elapsed_sec']:.2f}s = "
+        f"{metrics['events_per_sec']:,} events/sec "
+        f"({metrics['leases']:,} leases)"
+    )
+    if args.json:
+        perf.dump_json(record, args.json)
+        print(f"wrote {args.json}")
+    return 0
 
 
 if __name__ == "__main__":  # standalone: python benchmarks/bench_p01_....py
-    events = make_events()
-    broker, elapsed = _run(events)
-    print(
-        f"{broker.stats.events:,} events in {elapsed:.2f}s = "
-        f"{broker.stats.events / elapsed:,.0f} events/sec"
-    )
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ Subcommands::
     python -m repro old      --horizon 120 --max-slack 6
     python -m repro engine list
     python -m repro engine run --scenario all --workers 4 --seed 7
+    python -m repro engine run --scenario broker-markov --shards 4 --workers 4
     python -m repro engine replay --workload markov --horizon 400
 
 The ``engine`` subcommands front :mod:`repro.engine`: ``list`` prints the
@@ -179,7 +180,7 @@ def cmd_engine_list(args) -> int:
 
 
 def cmd_engine_run(args) -> int:
-    from .engine import render_report, replay, scenario_names
+    from .engine import render_report, replay, replay_sharded, scenario_names
 
     explicit = tuple(name for name in args.scenario if name != "all")
     if "all" in args.scenario:
@@ -190,16 +191,35 @@ def cmd_engine_run(args) -> int:
         )
     else:
         names = explicit
-    outcomes = replay(names, seeds=[args.seed], workers=args.workers)
-    print(
-        render_report(
-            outcomes,
-            title=(
-                f"engine run: {len(names)} scenarios, seed {args.seed}, "
-                f"{args.workers} workers"
-            ),
+    if args.shards > 1:
+        # Intra-scenario sharding: each scenario splits by resource into
+        # shard jobs; merged outcomes are byte-identical to unsharded.
+        outcomes = [
+            replay_sharded(
+                name,
+                seed=args.seed,
+                shards=args.shards,
+                workers=args.workers,
+                transport=args.transport,
+            )
+            for name in names
+        ]
+        title = (
+            f"engine run: {len(names)} scenarios, seed {args.seed}, "
+            f"{args.shards} shards x {args.workers} workers"
         )
-    )
+    else:
+        outcomes = replay(
+            names,
+            seeds=[args.seed],
+            workers=args.workers,
+            transport=args.transport,
+        )
+        title = (
+            f"engine run: {len(names)} scenarios, seed {args.seed}, "
+            f"{args.workers} workers"
+        )
+    print(render_report(outcomes, title=title))
     return 0 if all(outcome.verified for outcome in outcomes) else 1
 
 
@@ -306,6 +326,17 @@ def build_parser() -> argparse.ArgumentParser:
     engine_run.add_argument("--seed", type=int, default=0)
     engine_run.add_argument("--workers", type=int, default=1,
                             help="process-pool size (1 = inline)")
+    engine_run.add_argument(
+        "--shards", type=int, default=1,
+        help="split each scenario into N intra-scenario shards "
+        "(scenario must be shardable, e.g. the broker-* family)",
+    )
+    engine_run.add_argument(
+        "--transport", default="auto",
+        choices=("auto", "packed", "shm", "object"),
+        help="how lease bulk returns from pool workers (default: auto — "
+        "packed columns, shared memory for large results)",
+    )
     engine_run.set_defaults(func=cmd_engine_run)
 
     engine_replay = engine_sub.add_parser(

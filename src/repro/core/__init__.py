@@ -24,6 +24,7 @@ from .interval_model import (
     to_general_solution,
 )
 from .lease import Lease, LeaseSchedule, LeaseType
+from .leasebuf import LeaseView, claim_payload, pack_leases, share_payload
 from .results import OptBounds, RatioReport, RunResult
 from .store import LeaseStore
 from .timeline import replay_prefixes, run_online
@@ -37,6 +38,7 @@ __all__ = [
     "LeaseSchedule",
     "LeaseStore",
     "LeaseType",
+    "LeaseView",
     "OnlineLeasingAlgorithm",
     "OptBounds",
     "RatioReport",
@@ -44,11 +46,14 @@ __all__ = [
     "RunResult",
     "buy_forever_schedule",
     "candidate_triples",
+    "claim_payload",
     "general_to_interval_cover",
     "infrastructure_lease",
     "next_power_of_two",
+    "pack_leases",
     "replay_prefixes",
     "round_schedule",
+    "share_payload",
     "run_online",
     "to_general_solution",
 ]

@@ -117,6 +117,12 @@ class LeaseSchedule:
             indices by hand.
     """
 
+    #: Window-memo entries kept before the cache resets.  Each entry is
+    #: one aligned ``(type_index, start)`` window, so the bound caps the
+    #: schedule's footprint on million-event traces without ever evicting
+    #: the working set of a realistic horizon.
+    WINDOW_CACHE_LIMIT = 65536
+
     def __init__(self, types: Sequence[LeaseType]):
         types = tuple(types)
         require(len(types) > 0, "LeaseSchedule needs at least one lease type")
@@ -133,6 +139,11 @@ class LeaseSchedule:
                 f"{shorter.length} then {longer.length}",
             )
         self._types = types
+        # (type_index, start) -> Lease memo shared by every consumer of
+        # this schedule (policies, brokers, tenants).  Lease is frozen,
+        # so handing the same object out repeatedly is safe; identity
+        # and equality never diverge.
+        self._window_cache: dict[tuple[int, int], Lease] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -253,6 +264,36 @@ class LeaseSchedule:
     # ------------------------------------------------------------------
     # Window enumeration (interval model)
     # ------------------------------------------------------------------
+    def window(self, type_index: int, start: int) -> Lease:
+        """The aligned window of ``type_index`` starting at ``start``, memoised.
+
+        Hot paths call this once per candidate per demand; the memo turns
+        repeat visits to the same ``(type_index, start)`` bucket — every
+        demand inside one window shares it — into a dict hit instead of a
+        fresh ``Lease`` construction plus validation.  The cache resets
+        wholesale past :data:`WINDOW_CACHE_LIMIT` entries, bounding memory
+        on unbounded horizons.
+        """
+        cache = self._window_cache
+        key = (type_index, start)
+        lease = cache.get(key)
+        if lease is None:
+            lease_type = self._types[type_index]
+            # Direct slot fill: the schedule already validated its
+            # lengths, so Lease's __post_init__ re-check is skipped on
+            # this (hot) constructor.
+            lease = object.__new__(Lease)
+            set_slot = object.__setattr__
+            set_slot(lease, "resource", 0)
+            set_slot(lease, "type_index", type_index)
+            set_slot(lease, "start", start)
+            set_slot(lease, "length", lease_type.length)
+            set_slot(lease, "cost", lease_type.cost)
+            if len(cache) >= self.WINDOW_CACHE_LIMIT:
+                cache.clear()
+            cache[key] = lease
+        return lease
+
     def windows_covering(self, t: int) -> list[Lease]:
         """The ``K`` aligned windows covering day ``t`` (one per type).
 
@@ -262,13 +303,7 @@ class LeaseSchedule:
         for multi-resource problems.
         """
         return [
-            Lease(
-                resource=0,
-                type_index=lease_type.index,
-                start=lease_type.aligned_start(t),
-                length=lease_type.length,
-                cost=lease_type.cost,
-            )
+            self.window(lease_type.index, lease_type.aligned_start(t))
             for lease_type in self._types
         ]
 
@@ -283,15 +318,7 @@ class LeaseSchedule:
         for lease_type in self._types:
             start = lease_type.aligned_start(first)
             while start <= last:
-                windows.append(
-                    Lease(
-                        resource=0,
-                        type_index=lease_type.index,
-                        start=start,
-                        length=lease_type.length,
-                        cost=lease_type.cost,
-                    )
-                )
+                windows.append(self.window(lease_type.index, start))
                 start += lease_type.length
         return windows
 

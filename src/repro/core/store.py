@@ -21,10 +21,12 @@ class LeaseStore:
     The store is deliberately simple — a dict keyed by the lease identity
     triple plus a per-resource index — because instance sizes in the
     reproduction are simulation-scale (thousands of leases, not millions).
-    Two additions serve incremental consumers such as the
-    :mod:`repro.engine` broker: :meth:`leases_since` (poll new purchases
-    without re-materialising the full tuple; the broker's coverage index
-    is fed from it) and an opt-in expiry watch (:meth:`pop_expired` /
+    Three additions serve incremental consumers such as the
+    :mod:`repro.engine` broker: an O(1) coverage horizon
+    (:meth:`furthest_end` / :attr:`coverage_horizon`, which the broker's
+    covered fast path reads per event), :meth:`leases_since` (generic
+    incremental polling of new purchases without re-materialising the
+    full tuple), and an opt-in expiry watch (:meth:`pop_expired` /
     :attr:`earliest_expiry`, a min-heap on lease end).  The watch is
     built lazily on first use, so algorithms that never poll it pay
     nothing per purchase.
@@ -35,6 +37,13 @@ class LeaseStore:
         self._by_resource: dict[int, list[Lease]] = {}
         self._order: list[Lease] = []
         self._total_cost = 0.0
+        # resource -> max lease end ever purchased; O(1) coverage-horizon
+        # queries for serving-layer fast paths (see furthest_end).
+        self._max_end: dict[int, int] = {}
+        #: Largest (exclusive) lease end ever purchased, 0 when empty.
+        #: Public so hot paths can read the horizon as a bare attribute;
+        #: treat as read-only.
+        self.coverage_horizon: int = 0
         # (end, sequence, lease) — sequence breaks ties so heapq never
         # compares Lease objects.  None until a caller opts in.
         self._expiry_heap: list[tuple[int, int, Lease]] | None = None
@@ -48,15 +57,24 @@ class LeaseStore:
         Re-buying an identical triple is free (the indicator variable is
         already one), so algorithms may call :meth:`buy` unconditionally.
         """
-        if lease.key in self._leases:
+        resource = lease.resource
+        key = (resource, lease.type_index, lease.start)
+        leases = self._leases
+        if key in leases:
             return False
-        self._leases[lease.key] = lease
-        self._by_resource.setdefault(lease.resource, []).append(lease)
+        leases[key] = lease
+        self._by_resource.setdefault(resource, []).append(lease)
         self._order.append(lease)
         self._total_cost += lease.cost
+        end = lease.start + lease.length
+        known = self._max_end.get(resource)
+        if known is None or end > known:
+            self._max_end[resource] = end
+        if end > self.coverage_horizon:
+            self.coverage_horizon = end
         if self._expiry_heap is not None:
             heapq.heappush(
-                self._expiry_heap, (lease.end, len(self._order), lease)
+                self._expiry_heap, (end, len(self._order), lease)
             )
         return True
 
@@ -95,6 +113,21 @@ class LeaseStore:
         tuple on every event.
         """
         return self._order[start:]
+
+    def furthest_end(self, resource: int | None = None) -> int | None:
+        """Largest (exclusive) ``end`` purchased, O(1).
+
+        With a ``resource``, restricted to that resource's leases; with
+        ``None``, across every purchase.  ``None`` when there are no
+        matching purchases.  For policies whose purchases always start at
+        or before the day that triggered them — every primal-dual
+        algorithm in the library — this *is* the coverage horizon: day
+        ``t`` is covered iff ``furthest_end(...) > t``.  The broker's
+        covered fast path rides on exactly this query.
+        """
+        if resource is None:
+            return self.coverage_horizon if self._leases else None
+        return self._max_end.get(resource)
 
     def owns(self, resource: int, type_index: int, start: int) -> bool:
         """Whether the exact triple has been purchased."""

@@ -35,29 +35,45 @@ from .events import (
     day_pattern,
     event_from_payload,
     event_to_payload,
+    generate_resource_trace,
     generate_trace,
     trace_from_jsonl,
     trace_to_jsonl,
 )
-from .runner import ScenarioOutcome, render_report, replay, run_scenario
+from .runner import (
+    TRANSPORT_MODES,
+    ScenarioOutcome,
+    merge_shard_outcomes,
+    render_report,
+    replay,
+    replay_sharded,
+    run_scenario,
+    run_scenario_shard,
+)
 from .scenarios import (
+    BROKER_SCENARIOS,
+    BrokerTraceInstance,
     Scenario,
     all_scenarios,
     families,
     get_scenario,
+    make_broker_scenario,
     register,
     scenario_names,
 )
 
 __all__ = [
     "Acquire",
+    "BROKER_SCENARIOS",
     "BrokerStats",
+    "BrokerTraceInstance",
     "Event",
     "LeaseBroker",
     "LeaseGrant",
     "Release",
     "Scenario",
     "ScenarioOutcome",
+    "TRANSPORT_MODES",
     "Tick",
     "WORKLOAD_NAMES",
     "all_scenarios",
@@ -65,13 +81,18 @@ __all__ = [
     "event_from_payload",
     "event_to_payload",
     "families",
+    "generate_resource_trace",
     "generate_trace",
     "get_scenario",
+    "make_broker_scenario",
+    "merge_shard_outcomes",
     "register",
     "render_report",
     "replay",
+    "replay_sharded",
     "replay_trace",
     "run_scenario",
+    "run_scenario_shard",
     "scenario_names",
     "trace_from_jsonl",
     "trace_to_jsonl",

@@ -11,14 +11,30 @@ the lease-service APIs of orchestration systems (list active grants,
 admin force-release for stuck tenants), with simulated integer days in
 place of wall-clock timestamps.
 
-Two heap indexes keep every operation O(log n) regardless of how many
-leases the policies accumulate:
+Three structures keep every operation O(log n) — and the common ones
+O(1) — regardless of how many leases the policies accumulate:
 
 * a *grant* expiry heap ``(expires_at, grant_id)`` — grants auto-expire
   the moment the clock passes them, without scanning the grant table;
-* a per-resource *coverage* heap of active policy leases — the broker
-  finds the furthest-covering lease for a request by popping expired
-  windows, never by rescanning the policy's whole purchase history.
+* a per-resource *coverage horizon* ``covered_until`` — the furthest
+  exclusive end any purchased lease reaches, maintained in O(1) from
+  :meth:`~repro.core.store.LeaseStore.furthest_end` (or an incremental
+  scan for storeless policies).  Requests on already-covered days take
+  the O(1) fast path: no policy call, no heap maintenance (see
+  *Coverage caching* below);
+* a bounded *grant table*: closed grants beyond a retention window are
+  compacted away, so million-event traces run in constant memory.
+
+**Coverage caching.**  When ``coverage_caching`` is on (the default) and
+a request arrives on a day the resource's purchases already cover, the
+broker answers from ``covered_until`` without feeding the demand to the
+policy.  This is exact for *lazy* policies — ones for which a demand on
+a covered day never changes purchases or cost.  Every primal-dual
+algorithm in the library is lazy (a covered day's dual cannot be
+raised: some candidate is already tight), which the property tests pin
+down by replaying randomized traces through cached and uncached brokers
+and asserting identical grants, stats, and cost.  Policies that consume
+randomness or mutate state on every demand should disable it.
 
 The broker consumes the typed events of :mod:`repro.engine.events`
 (:func:`replay_trace`), which is how ``python -m repro engine replay``
@@ -28,7 +44,7 @@ and the throughput benchmark drive it.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from ..core.framework import OnlineLeasingAlgorithm
@@ -37,6 +53,10 @@ from ..core.store import LeaseStore
 from ..errors import ModelError
 from ..parking.deterministic import DeterministicParkingPermit
 from .events import Acquire, Event, Release, Tick
+
+#: Closed grants retained before compaction, unless overridden.  Active
+#: grants are never compacted; the bound only trims history.
+DEFAULT_MAX_CLOSED_GRANTS = 262_144
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,9 +92,11 @@ class BrokerStats:
     expirations: int = 0
     force_releases: int = 0
     ticks: int = 0
+    covered_fast_path: int = 0
+    compactions: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Grant:
     """Mutable broker-side grant record (snapshots go out, this stays in)."""
 
@@ -96,16 +118,22 @@ class _Grant:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class _Coverage:
-    """Per-resource view of the backing policy's active lease windows."""
+    """Per-resource view of the backing policy's purchases.
+
+    ``covered_until`` is the furthest exclusive lease end the policy has
+    reached — the resource's coverage horizon.  Every lease the policies
+    buy for a demand at ``now`` starts at or before ``now``, so
+    ``covered_until > now`` means the resource is covered at ``now``; no
+    heap of individual windows is needed.  ``seen`` tracks how many
+    leases of a *storeless* policy have been folded into the horizon.
+    """
 
     policy: OnlineLeasingAlgorithm
+    store: LeaseStore | None = None
+    covered_until: int = 0
     seen: int = 0
-    # Max-heap by lease end: (-end, sequence). Only ends matter here;
-    # the policy's store remains the ledger of record.
-    heap: list[tuple[int, int]] = field(default_factory=list)
-    pushed: int = 0
 
 
 PolicyFactory = Callable[[int], OnlineLeasingAlgorithm]
@@ -121,6 +149,12 @@ class LeaseBroker:
             primal-dual state).  Defaults to
             :class:`~repro.parking.DeterministicParkingPermit` on
             ``schedule``, the O(K)-competitive choice.
+        coverage_caching: serve requests on already-covered days from the
+            cached coverage horizon without calling the policy (exact for
+            lazy policies; see the module docstring).
+        max_closed_grants: closed grants retained before the grant table
+            is compacted; ``None`` disables compaction entirely.
+            Compacted grant ids become unknown to :meth:`grant`.
 
     Tenants share the leases a policy buys: two tenants acquiring the
     same resource on the same day are covered by one purchase, which is
@@ -134,17 +168,25 @@ class LeaseBroker:
         self,
         schedule: LeaseSchedule,
         policy_factory: PolicyFactory | None = None,
+        coverage_caching: bool = True,
+        max_closed_grants: int | None = DEFAULT_MAX_CLOSED_GRANTS,
     ):
+        if max_closed_grants is not None and max_closed_grants < 0:
+            raise ModelError("max_closed_grants must be >= 0 or None")
         self.schedule = schedule
         self._policy_factory = policy_factory or (
             lambda resource: DeterministicParkingPermit(schedule)
         )
+        self._coverage_caching = coverage_caching
+        self._max_closed_grants = max_closed_grants
         self._coverage: dict[int, _Coverage] = {}
         self._grants: dict[int, _Grant] = {}
         self._active: dict[tuple[str, int], int] = {}
         self._grant_heap: list[tuple[int, int]] = []
         self._clock = 0
         self._next_grant_id = 1
+        self._closed = 0
+        self._leases_cache: tuple[tuple[int, int], tuple[Lease, ...]] | None = None
         self.stats = BrokerStats()
 
     # ------------------------------------------------------------------
@@ -162,13 +204,17 @@ class LeaseBroker:
                 f"saw {now} after {self._clock}"
             )
         self._clock = now
-        self._expire(now)
+        heap = self._grant_heap
+        if heap and heap[0][0] <= now:
+            self._expire(now)
 
     def _expire(self, now: int) -> None:
         """Retire every grant whose window ended by ``now`` (O(log n) each)."""
-        while self._grant_heap and self._grant_heap[0][0] <= now:
-            expires_at, grant_id = heapq.heappop(self._grant_heap)
-            grant = self._grants.get(grant_id)
+        heap = self._grant_heap
+        grants = self._grants
+        while heap and heap[0][0] <= now:
+            expires_at, grant_id = heapq.heappop(heap)
+            grant = grants.get(grant_id)
             if (
                 grant is None
                 or grant.released_at is not None
@@ -178,6 +224,44 @@ class LeaseBroker:
             grant.released_at = expires_at
             del self._active[(grant.tenant, grant.resource)]
             self.stats.expirations += 1
+            self._note_closed()
+
+    # ------------------------------------------------------------------
+    # Grant-table compaction
+    # ------------------------------------------------------------------
+    def _note_closed(self) -> None:
+        self._closed += 1
+        limit = self._max_closed_grants
+        if limit is not None and self._closed > 2 * limit:
+            self.compact(limit)
+
+    def compact(self, retain_closed: int | None = None) -> int:
+        """Drop the oldest closed grants beyond a retention window.
+
+        Returns how many grant records were discarded.  Active grants are
+        untouched; so are the most recent ``retain_closed`` closed ones
+        (default: the broker's ``max_closed_grants``).  Looking up a
+        compacted grant id afterwards raises
+        :class:`~repro.errors.ModelError`, exactly like an id that never
+        existed — callers that need unbounded history keep it themselves
+        or construct the broker with ``max_closed_grants=None``.
+        """
+        if retain_closed is None:
+            retain_closed = self._max_closed_grants
+        if retain_closed is None or self._closed <= retain_closed:
+            return 0
+        drop = self._closed - retain_closed
+        doomed = []
+        for grant_id, grant in self._grants.items():  # id == insertion order
+            if grant.released_at is not None:
+                doomed.append(grant_id)
+                if len(doomed) == drop:
+                    break
+        for grant_id in doomed:
+            del self._grants[grant_id]
+        self._closed -= len(doomed)
+        self.stats.compactions += 1
+        return len(doomed)
 
     # ------------------------------------------------------------------
     # Coverage bookkeeping
@@ -185,39 +269,43 @@ class LeaseBroker:
     def _coverage_of(self, resource: int) -> _Coverage:
         coverage = self._coverage.get(resource)
         if coverage is None:
-            coverage = _Coverage(policy=self._policy_factory(resource))
+            policy = self._policy_factory(resource)
+            store = getattr(policy, "store", None)
+            coverage = _Coverage(
+                policy=policy,
+                store=store if isinstance(store, LeaseStore) else None,
+            )
             self._coverage[resource] = coverage
         return coverage
 
     def _covered_until(
         self, resource: int, coverage: _Coverage, now: int
     ) -> int:
-        """Exclusive end of the furthest active lease window at ``now``.
+        """Exclusive end of the furthest purchased lease window at ``now``.
 
-        New policy purchases are ingested incrementally (each lease is
-        pushed once); windows that ended are popped.  Every lease a
-        policy buys for a demand at ``now`` starts at or before ``now``,
-        so any un-popped entry with ``end > now`` covers ``now``.
+        Every lease a policy buys for a demand at ``now`` starts at or
+        before ``now``, so the furthest end — O(1) from the store's
+        per-resource max, or an incremental scan of new purchases for
+        storeless policies — covers ``now`` whenever it exceeds it.
         """
-        store = getattr(coverage.policy, "store", None)
-        if isinstance(store, LeaseStore):
-            fresh: Iterable[Lease] = store.leases_since(coverage.seen)
-            coverage.seen = len(store)
+        store = coverage.store
+        if store is not None:
+            covered = store.furthest_end() or 0
         else:
             leases = coverage.policy.leases
-            fresh = leases[coverage.seen:]
+            covered = coverage.covered_until
+            for lease in leases[coverage.seen:]:
+                end = lease.end
+                if end > covered:
+                    covered = end
             coverage.seen = len(leases)
-        for lease in fresh:
-            heapq.heappush(coverage.heap, (-lease.end, coverage.pushed))
-            coverage.pushed += 1
-        while coverage.heap and -coverage.heap[0][0] <= now:
-            heapq.heappop(coverage.heap)
-        if not coverage.heap:
+        coverage.covered_until = covered
+        if covered <= now:
             raise ModelError(
                 f"policy {type(coverage.policy).__name__} for resource "
                 f"{resource} bought no lease covering day {now}"
             )
-        return -coverage.heap[0][0]
+        return covered
 
     # ------------------------------------------------------------------
     # Service surface
@@ -228,29 +316,51 @@ class LeaseBroker:
         Feeds the demand to the resource's policy (which may buy leases)
         and returns a grant running until the furthest covering lease
         expires.  Acquiring a resource the tenant already holds renews
-        the existing grant instead of opening a second one.
+        the existing grant instead of opening a second one.  Requests on
+        already-covered days take the O(1) cached fast path.
         """
-        self._advance(now)
+        return self._acquire(tenant, resource, now).snapshot()
+
+    def _acquire(self, tenant: str, resource: int, now: int) -> _Grant:
+        """The acquire core: returns the broker-side record, no snapshot."""
+        if now < self._clock:
+            self._advance(now)  # raises the ordering error
+        self._clock = now
+        heap = self._grant_heap
+        if heap and heap[0][0] <= now:
+            self._expire(now)
         existing = self._active.get((tenant, resource))
         if existing is not None:
             return self._renew(self._grants[existing], now)
-        coverage = self._coverage_of(resource)
-        coverage.policy.on_demand(now)
-        expires_at = self._covered_until(resource, coverage, now)
+        stats = self.stats
+        coverage = self._coverage.get(resource)
+        if coverage is None:
+            coverage = self._coverage_of(resource)
+        if self._coverage_caching and coverage.covered_until > now:
+            expires_at = coverage.covered_until
+            stats.covered_fast_path += 1
+        else:
+            coverage.policy.on_demand(now)
+            store = coverage.store
+            if store is not None and store.coverage_horizon > now:
+                expires_at = coverage.covered_until = store.coverage_horizon
+            else:
+                expires_at = self._covered_until(resource, coverage, now)
+        grant_id = self._next_grant_id
+        self._next_grant_id = grant_id + 1
         grant = _Grant(
-            grant_id=self._next_grant_id,
+            grant_id=grant_id,
             tenant=tenant,
             resource=resource,
             acquired_at=now,
             expires_at=expires_at,
         )
-        self._next_grant_id += 1
-        self._grants[grant.grant_id] = grant
-        self._active[(tenant, resource)] = grant.grant_id
-        heapq.heappush(self._grant_heap, (expires_at, grant.grant_id))
-        self.stats.acquires += 1
-        self.stats.events += 1
-        return grant.snapshot()
+        self._grants[grant_id] = grant
+        self._active[(tenant, resource)] = grant_id
+        heapq.heappush(heap, (expires_at, grant_id))
+        stats.acquires += 1
+        stats.events += 1
+        return grant
 
     def renew(self, tenant: str, resource: int, now: int) -> LeaseGrant:
         """Extend the tenant's running grant through day ``now``.
@@ -266,21 +376,29 @@ class LeaseBroker:
                 f"{tenant!r} holds no active grant on resource {resource} "
                 f"at day {now}"
             )
-        return self._renew(self._grants[grant_id], now)
+        return self._renew(self._grants[grant_id], now).snapshot()
 
-    def _renew(self, grant: _Grant, now: int) -> LeaseGrant:
+    def _renew(self, grant: _Grant, now: int) -> _Grant:
+        stats = self.stats
         coverage = self._coverage_of(grant.resource)
-        coverage.policy.on_demand(now)
-        expires_at = max(
-            grant.expires_at,
-            self._covered_until(grant.resource, coverage, now),
-        )
-        if expires_at != grant.expires_at:
-            grant.expires_at = expires_at
-            heapq.heappush(self._grant_heap, (expires_at, grant.grant_id))
-        self.stats.renewals += 1
-        self.stats.events += 1
-        return grant.snapshot()
+        if self._coverage_caching and coverage.covered_until > now:
+            # Covered fast path: the policy would be a no-op; the grant
+            # can only extend to the cached horizon.
+            covered = coverage.covered_until
+            stats.covered_fast_path += 1
+        else:
+            coverage.policy.on_demand(now)
+            store = coverage.store
+            if store is not None and store.coverage_horizon > now:
+                covered = coverage.covered_until = store.coverage_horizon
+            else:
+                covered = self._covered_until(grant.resource, coverage, now)
+        if covered > grant.expires_at:
+            grant.expires_at = covered
+            heapq.heappush(self._grant_heap, (covered, grant.grant_id))
+        stats.renewals += 1
+        stats.events += 1
+        return grant
 
     def release(
         self, tenant: str, resource: int, now: int
@@ -293,16 +411,28 @@ class LeaseBroker:
         underlying lease purchases are irrevocable either way — release
         only stops the *grant*, never refunds the policy.
         """
-        self._advance(now)
-        self.stats.events += 1
+        grant = self._release(tenant, resource, now)
+        return None if grant is None else grant.snapshot()
+
+    def _release(self, tenant: str, resource: int, now: int) -> _Grant | None:
+        """The release core: returns the broker-side record, no snapshot."""
+        if now < self._clock:
+            self._advance(now)  # raises the ordering error
+        self._clock = now
+        heap = self._grant_heap
+        if heap and heap[0][0] <= now:
+            self._expire(now)
+        stats = self.stats
+        stats.events += 1
         grant_id = self._active.pop((tenant, resource), None)
         if grant_id is None:
-            self.stats.noop_releases += 1
+            stats.noop_releases += 1
             return None
         grant = self._grants[grant_id]
         grant.released_at = now
-        self.stats.releases += 1
-        return grant.snapshot()
+        stats.releases += 1
+        self._note_closed()
+        return grant
 
     def force_release(self, grant_id: int, now: int | None = None) -> LeaseGrant:
         """Admin action: close a grant by id regardless of tenant."""
@@ -315,6 +445,7 @@ class LeaseBroker:
             grant.released_at = self._clock
             self._active.pop((grant.tenant, grant.resource), None)
             self.stats.force_releases += 1
+            self._note_closed()
         self.stats.events += 1
         return grant.snapshot()
 
@@ -327,20 +458,27 @@ class LeaseBroker:
     def active_leases(
         self, resource: int | None = None, tenant: str | None = None
     ) -> tuple[LeaseGrant, ...]:
-        """Snapshots of all live grants, optionally filtered, by grant id."""
-        grants = sorted(self._active.values())
-        out = []
-        for grant_id in grants:
-            grant = self._grants[grant_id]
-            if resource is not None and grant.resource != resource:
-                continue
-            if tenant is not None and grant.tenant != tenant:
-                continue
-            out.append(grant.snapshot())
-        return tuple(out)
+        """Snapshots of all live grants, optionally filtered, by grant id.
+
+        Filters narrow *before* ordering, so a query for one tenant or
+        resource sorts only its own grants, not the whole active set.
+        """
+        grants = self._grants
+        selected = [
+            grant_id
+            for key, grant_id in self._active.items()
+            if (tenant is None or key[0] == tenant)
+            and (resource is None or key[1] == resource)
+        ]
+        selected.sort()
+        return tuple(grants[grant_id].snapshot() for grant_id in selected)
 
     def grant(self, grant_id: int) -> LeaseGrant:
-        """Snapshot of any grant, live or closed."""
+        """Snapshot of any retained grant, live or closed.
+
+        Closed grants older than the compaction window are gone; looking
+        them up raises like any unknown id.
+        """
         record = self._grants.get(grant_id)
         if record is None:
             raise ModelError(f"unknown grant id {grant_id}")
@@ -351,11 +489,12 @@ class LeaseBroker:
     # ------------------------------------------------------------------
     def handle(self, event: Event) -> LeaseGrant | None:
         """Dispatch one typed event; returns the grant it touched, if any."""
-        if isinstance(event, Acquire):
+        kind = type(event)
+        if kind is Acquire:
             return self.acquire(event.tenant, event.resource, event.time)
-        if isinstance(event, Release):
+        if kind is Release:
             return self.release(event.tenant, event.resource, event.time)
-        if isinstance(event, Tick):
+        if kind is Tick:
             self.tick(event.time)
             return None
         raise ModelError(f"cannot handle events of type {type(event).__name__}")
@@ -365,9 +504,27 @@ class LeaseBroker:
         """Total cost of every lease purchased across all resources."""
         return sum(c.policy.cost for c in self._coverage.values())
 
+    def _purchase_count(self) -> int:
+        total = 0
+        for coverage in self._coverage.values():
+            if coverage.store is not None:
+                total += len(coverage.store)
+            else:
+                total += len(coverage.policy.leases)
+        return total
+
     @property
     def leases(self) -> tuple[Lease, ...]:
-        """All purchased leases, re-keyed to their broker resource ids."""
+        """All purchased leases, re-keyed to their broker resource ids.
+
+        Rebuilt only when the purchase count changed since the last
+        access — stores are append-only, so ``(resources, purchases)``
+        is a complete cache key.
+        """
+        key = (len(self._coverage), self._purchase_count())
+        cached = self._leases_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
         out: list[Lease] = []
         for resource, coverage in sorted(self._coverage.items()):
             for lease in coverage.policy.leases:
@@ -380,7 +537,9 @@ class LeaseBroker:
                         cost=lease.cost,
                     )
                 )
-        return tuple(out)
+        result = tuple(out)
+        self._leases_cache = (key, result)
+        return result
 
     @property
     def num_active(self) -> int:
@@ -389,7 +548,23 @@ class LeaseBroker:
 
 
 def replay_trace(broker: LeaseBroker, events: Iterable[Event]) -> BrokerStats:
-    """Feed a whole trace through the broker; returns its stats."""
+    """Feed a whole trace through the broker; returns its stats.
+
+    Equivalent to calling :meth:`LeaseBroker.handle` per event, but
+    dispatches straight to the broker cores so bulk replay never builds
+    the per-event :class:`LeaseGrant` snapshots nobody reads.
+    """
+    acquire = broker._acquire
+    release = broker._release
+    tick = broker.tick
     for event in events:
-        broker.handle(event)
+        kind = type(event)
+        if kind is Acquire:
+            acquire(event.tenant, event.resource, event.time)
+        elif kind is Release:
+            release(event.tenant, event.resource, event.time)
+        elif kind is Tick:
+            tick(event.time)
+        else:
+            broker.handle(event)  # raises the unknown-event error
     return broker.stats

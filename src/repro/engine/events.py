@@ -176,6 +176,75 @@ def generate_trace(
     return tuple(sorted(events, key=_event_sort_key))
 
 
+def generate_resource_trace(
+    workload: str,
+    horizon: int,
+    seed: int,
+    num_resources: int = 8,
+    tenants_per_resource: int = 2,
+    hold: int = 3,
+    tick_every: int = 32,
+    resource_lo: int = 0,
+    resource_hi: int | None = None,
+) -> tuple[Event, ...]:
+    """A broker trace whose per-resource streams are independent — shardable.
+
+    Unlike :func:`generate_trace` (which draws one stream per tenant and
+    scatters it over random resources), every ``(resource, tenant slot)``
+    pair here derives its demand days from its *own* child RNG stream.
+    That makes the trace for a resource range a pure function of
+    ``(args, range)``: generating ``[lo, hi)`` yields exactly the events
+    of the full trace that touch those resources — plus the shared
+    ``Tick`` skeleton, which every shard replicates so all shards advance
+    to the same final clock.  This is the property intra-scenario
+    sharding rides on: shard traces replay independently and their
+    outcomes merge to the unsharded run's, byte for byte.
+
+    The final tick lands at ``horizon + hold``, at or after every
+    acquire/release in any shard, so expiry classification (expired vs
+    still-active at end of trace) is identical shard-by-shard.
+    """
+    require_positive_int(horizon, "horizon")
+    require_positive_int(num_resources, "num_resources")
+    require_positive_int(tenants_per_resource, "tenants_per_resource")
+    require_positive_int(hold, "hold")
+    require_positive_int(tick_every, "tick_every")
+    if resource_hi is None:
+        resource_hi = num_resources
+    require(
+        0 <= resource_lo <= resource_hi <= num_resources,
+        f"resource range [{resource_lo}, {resource_hi}) outside "
+        f"[0, {num_resources})",
+    )
+    events: list[Event] = []
+    for resource in range(resource_lo, resource_hi):
+        for slot in range(tenants_per_resource):
+            tenant = f"tenant-r{resource}-{slot}"
+            # Child seeds are a pure function of (seed, resource, slot):
+            # spawn() would consume parent-RNG state, making the stream
+            # depend on which *other* resources were generated first —
+            # exactly what shard purity must rule out.
+            child = make_rng(
+                (seed * 0x9E3779B1 + resource) * 0x9E3779B1 + slot
+            )
+            days = day_pattern(workload, horizon, child)
+            release_day = None
+            for day in days:
+                events.append(
+                    Acquire(time=day, tenant=tenant, resource=resource)
+                )
+                release_day = day + hold
+            if release_day is not None:
+                events.append(
+                    Release(time=release_day, tenant=tenant, resource=resource)
+                )
+    last_tick = horizon + hold
+    for t in range(0, last_tick, tick_every):
+        events.append(Tick(time=t))
+    events.append(Tick(time=last_tick))
+    return tuple(sorted(events, key=_event_sort_key))
+
+
 def _event_sort_key(event: Event) -> tuple:
     if isinstance(event, Tick):
         return (event.time, _KIND_RANK["tick"], "", -1)

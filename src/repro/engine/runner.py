@@ -15,17 +15,39 @@ byte-identical for any worker count — the property the determinism tests
 pin down.  On platforms without ``fork``, ad-hoc scenarios registered
 outside :mod:`repro.engine.scenarios` must be importable by workers;
 the built-in registry always is.
+
+Two scaling paths sit on top of the basic fan-out:
+
+* **Result transport** — bulk lease data returns from workers as a
+  columnar payload (:mod:`repro.core.leasebuf`), inline for small runs
+  and via ``multiprocessing.shared_memory`` past a size threshold, never
+  as a per-object pickle stream.  Decoded outcomes carry a lazy
+  :class:`~repro.core.leasebuf.LeaseView` that compares equal to the
+  tuple it was packed from.
+* **Intra-scenario sharding** — :func:`replay_sharded` splits one
+  shardable scenario (``Scenario.build_shard``) into per-resource-range
+  shard jobs, replays them in parallel, and merges the shard runs
+  (``Scenario.merge_runs``) into a single outcome that is byte-identical
+  to the unsharded run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from ..analysis import format_table, summarize_reports
+from ..core.leasebuf import LeaseView, claim_payload, pack_leases, share_payload
 from ..core.results import OptBounds, RatioReport, RunResult
-from .scenarios import get_scenario, scenario_names
+from ..errors import ModelError
+from .scenarios import Scenario, get_scenario, scenario_names
+
+#: Valid result-transport modes for pooled replay.
+TRANSPORT_MODES = ("auto", "packed", "shm", "object")
+
+#: Packed payloads at least this large ride shared memory under "auto".
+SHM_THRESHOLD_BYTES = 1 << 20
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,10 +74,9 @@ class ScenarioOutcome:
         return self.report.ratio
 
 
-def run_scenario(name: str, seed: int = 0) -> ScenarioOutcome:
-    """Execute one scenario end to end: build, run, verify, baseline."""
-    scenario = get_scenario(name)
-    instance = scenario.build(seed)
+def _outcome_for(
+    scenario: Scenario, instance: object, seed: int
+) -> ScenarioOutcome:
     result = scenario.run(instance, seed)
     verification = scenario.verify(instance, result)
     opt = scenario.optimum(instance)
@@ -71,8 +92,95 @@ def run_scenario(name: str, seed: int = 0) -> ScenarioOutcome:
     )
 
 
-def _run_job(job: tuple[str, int]) -> ScenarioOutcome:
-    return run_scenario(job[0], job[1])
+def run_scenario(name: str, seed: int = 0) -> ScenarioOutcome:
+    """Execute one scenario end to end: build, run, verify, baseline."""
+    scenario = get_scenario(name)
+    return _outcome_for(scenario, scenario.build(seed), seed)
+
+
+def run_scenario_shard(
+    name: str, seed: int, shard: int, num_shards: int
+) -> ScenarioOutcome:
+    """Execute one shard of a shardable scenario end to end.
+
+    The shard's sub-instance is built, run, verified, and bounded like a
+    full scenario; :func:`replay_sharded` merges the per-shard outcomes.
+    """
+    scenario = get_scenario(name)
+    if scenario.build_shard is None:
+        raise ModelError(f"scenario {name!r} does not support sharding")
+    instance = scenario.build_shard(seed, shard, num_shards)
+    return _outcome_for(scenario, instance, seed)
+
+
+# ----------------------------------------------------------------------
+# Result transport across the pool boundary
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class _WireOutcome:
+    """A ScenarioOutcome with its lease bulk moved out of the pickle.
+
+    ``payload`` carries the packed columns inline; ``segment`` instead
+    names a shared-memory segment (and payload size) the parent claims.
+    Exactly one of the two is set.
+    """
+
+    outcome: ScenarioOutcome
+    payload: bytes | None
+    segment: tuple[str, int] | None
+
+
+def _encode_outcome(outcome: ScenarioOutcome, transport: str):
+    if transport == "object":
+        return outcome
+    payload = pack_leases(outcome.run.leases)
+    stripped = replace(outcome, run=replace(outcome.run, leases=()))
+    if transport == "shm" or (
+        transport == "auto" and len(payload) >= SHM_THRESHOLD_BYTES
+    ):
+        try:
+            name, size = share_payload(payload)
+            return _WireOutcome(outcome=stripped, payload=None, segment=(name, size))
+        except OSError:
+            pass  # no usable /dev/shm: fall back to the inline payload
+    return _WireOutcome(outcome=stripped, payload=payload, segment=None)
+
+
+def _decode_outcome(wire) -> ScenarioOutcome:
+    if isinstance(wire, ScenarioOutcome):
+        return wire
+    if wire.segment is not None:
+        payload = claim_payload(*wire.segment)
+    else:
+        payload = wire.payload
+    outcome = wire.outcome
+    return replace(outcome, run=replace(outcome.run, leases=LeaseView(payload)))
+
+
+@dataclass(frozen=True, slots=True)
+class _WireError:
+    """A worker-side failure, shipped back instead of raised.
+
+    Raising inside a pooled job would abort ``imap`` mid-stream and
+    strand the shared-memory segments sibling jobs had already
+    published; returning the failure lets the parent claim every
+    segment first and raise once, with the job named.
+    """
+
+    job: tuple
+    error: str
+
+
+def _run_job(job: tuple) -> ScenarioOutcome | _WireOutcome | _WireError:
+    name, seed, shard, num_shards, transport = job
+    try:
+        if shard is None:
+            outcome = run_scenario(name, seed)
+        else:
+            outcome = run_scenario_shard(name, seed, shard, num_shards)
+        return _encode_outcome(outcome, transport)
+    except Exception as exc:
+        return _WireError(job=job[:4], error=f"{type(exc).__name__}: {exc}")
 
 
 def _pool_context():
@@ -82,10 +190,40 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _run_pool(jobs: list[tuple], workers: int) -> list[ScenarioOutcome]:
+    context = _pool_context()
+    with context.Pool(processes=min(workers, len(jobs))) as pool:
+        wires = list(pool.imap(_run_job, jobs, chunksize=1))
+    outcomes = []
+    errors = []
+    for wire in wires:  # claim every shared segment before raising
+        if isinstance(wire, _WireError):
+            errors.append(wire)
+        else:
+            outcomes.append(_decode_outcome(wire))
+    if errors:
+        details = "; ".join(
+            f"{error.job[0]!r} (seed {error.job[1]}"
+            + (f", shard {error.job[2]}" if error.job[2] is not None else "")
+            + f"): {error.error}"
+            for error in errors
+        )
+        raise ModelError(f"{len(errors)} pooled job(s) failed: {details}")
+    return outcomes
+
+
+def _check_transport(transport: str) -> None:
+    if transport not in TRANSPORT_MODES:
+        raise ModelError(
+            f"unknown transport {transport!r}; known: {', '.join(TRANSPORT_MODES)}"
+        )
+
+
 def replay(
     names: Iterable[str] | None = None,
     seeds: Sequence[int] = (0,),
     workers: int = 1,
+    transport: str = "auto",
 ) -> list[ScenarioOutcome]:
     """Replay scenarios × seeds, fanning jobs over a process pool.
 
@@ -94,22 +232,98 @@ def replay(
             name order.
         seeds: one outcome is produced per (name, seed) pair.
         workers: pool size; ``1`` runs inline (no processes spawned).
+        transport: how lease bulk returns from workers — ``"auto"``
+            (packed columns, shared memory past
+            :data:`SHM_THRESHOLD_BYTES`), ``"packed"``, ``"shm"``, or
+            ``"object"`` (legacy whole-object pickle).  Inline runs
+            ignore it.
 
     Returns:
         Outcomes in deterministic job order — names outermost, seeds
         innermost — regardless of ``workers``.
     """
+    _check_transport(transport)
     if names is None:
         names = scenario_names()
-    jobs = [(name, seed) for name in names for seed in seeds]
+    jobs = [(name, seed, None, 0, transport) for name in names for seed in seeds]
     # Resolve every name before forking so typos fail fast and locally.
-    for name, _ in jobs:
+    for name, *_ in jobs:
         get_scenario(name)
     if workers <= 1 or len(jobs) <= 1:
-        return [_run_job(job) for job in jobs]
-    context = _pool_context()
-    with context.Pool(processes=min(workers, len(jobs))) as pool:
-        return list(pool.imap(_run_job, jobs, chunksize=1))
+        return [run_scenario(name, seed) for name, seed, *_ in jobs]
+    return _run_pool(jobs, workers)
+
+
+def merge_shard_outcomes(
+    scenario: Scenario, outcomes: Sequence[ScenarioOutcome]
+) -> ScenarioOutcome:
+    """Fold per-shard outcomes into the unsharded scenario outcome.
+
+    The run merge is scenario-specific (``Scenario.merge_runs``); the
+    bracketing optimum sums exactly (shards partition the resources),
+    and verification conjoins.
+    """
+    if scenario.merge_runs is None:
+        raise ModelError(f"scenario {scenario.name!r} does not support sharding")
+    if not outcomes:
+        raise ModelError("cannot merge zero shard outcomes")
+    run = scenario.merge_runs([outcome.run for outcome in outcomes])
+    opt = OptBounds(
+        lower=sum(outcome.opt.lower for outcome in outcomes),
+        upper=sum(outcome.opt.upper for outcome in outcomes),
+        exact=all(outcome.opt.exact for outcome in outcomes),
+        method=outcomes[0].opt.method,
+    )
+    failures: list[str] = []
+    for outcome in outcomes:
+        failures.extend(outcome.failures)
+    return ScenarioOutcome(
+        scenario=scenario.name,
+        family=scenario.family,
+        workload=scenario.workload,
+        seed=outcomes[0].seed,
+        run=run,
+        opt=opt,
+        verified=all(outcome.verified for outcome in outcomes),
+        failures=tuple(failures),
+    )
+
+
+def replay_sharded(
+    name: str,
+    seed: int = 0,
+    shards: int = 4,
+    workers: int | None = None,
+    transport: str = "auto",
+) -> ScenarioOutcome:
+    """Replay ONE heavy scenario split into intra-scenario shards.
+
+    The scenario's resources are partitioned into ``shards`` contiguous
+    ranges; each range builds, replays, verifies, and bounds its own
+    sub-instance in parallel, and the shard outcomes merge into a single
+    :class:`ScenarioOutcome` byte-identical to ``run_scenario(name,
+    seed)`` — same leases, same cost, same report row.  ``workers``
+    defaults to ``shards``; ``shards=1`` (or one worker) runs inline.
+    """
+    _check_transport(transport)
+    if shards < 1:
+        raise ModelError("shards must be >= 1")
+    scenario = get_scenario(name)
+    if not scenario.shardable:
+        raise ModelError(f"scenario {name!r} does not support sharding")
+    if workers is None:
+        workers = shards
+    jobs = [(name, seed, shard, shards, transport) for shard in range(shards)]
+    if shards == 1 or workers <= 1:
+        outcomes = [
+            run_scenario_shard(name, seed, shard, shards)
+            for shard in range(shards)
+        ]
+    else:
+        outcomes = _run_pool(jobs, workers)
+    if len(outcomes) == 1:
+        return outcomes[0]
+    return merge_shard_outcomes(scenario, outcomes)
 
 
 def render_report(outcomes: Sequence[ScenarioOutcome], title: str = "") -> str:

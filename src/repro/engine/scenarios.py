@@ -16,8 +16,9 @@ so any scenario run is reproducible from its name and one integer.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from ..analysis.verify import (
     VerificationReport,
@@ -26,7 +27,7 @@ from ..analysis.verify import (
     verify_old,
     verify_parking,
 )
-from ..core.lease import LeaseSchedule
+from ..core.lease import Lease, LeaseSchedule
 from ..core.results import OptBounds, RunResult
 from ..core.timeline import run_online
 from ..deadlines import make_old_instance, optimal_dp, run_old
@@ -43,9 +44,19 @@ from ..setcover import (
     random_set_system,
 )
 from ..workloads import diurnal_days, exponential_batches, make_rng, markov_days, spawn
-from .events import WORKLOAD_NAMES, day_pattern
+from .broker import LeaseBroker, replay_trace
+from .events import (
+    WORKLOAD_NAMES,
+    Acquire,
+    Event,
+    day_pattern,
+    generate_resource_trace,
+)
 
 FAMILY_NAMES: tuple[str, ...] = ("parking", "setcover", "facility", "deadlines")
+
+#: The serving-layer family registered on top of :data:`FAMILY_NAMES`.
+BROKER_FAMILY = "broker"
 
 
 @dataclass(frozen=True)
@@ -62,6 +73,14 @@ class Scenario:
         verify: ``(instance, result) -> VerificationReport`` — re-checks
             feasibility against raw model semantics.
         optimum: ``instance -> OptBounds`` — the offline baseline.
+        build_shard: optional ``(seed, shard, num_shards) -> instance`` —
+            a *sub-instance* holding only the shard's resources.  Must
+            satisfy ``build(seed) == build_shard(seed, 0, 1)`` and shard
+            instances must be disjoint and exhaustive, so per-shard runs
+            merge to the unsharded run exactly.
+        merge_runs: optional ``[RunResult per shard, in shard order] ->
+            RunResult`` — reassembles the unsharded run.  Required
+            (with ``build_shard``) for :func:`repro.engine.replay_sharded`.
     """
 
     name: str
@@ -72,6 +91,13 @@ class Scenario:
     run: Callable[[object, int], RunResult]
     verify: Callable[[object, RunResult], VerificationReport]
     optimum: Callable[[object], OptBounds]
+    build_shard: Callable[[int, int, int], object] | None = None
+    merge_runs: Callable[[Sequence[RunResult]], RunResult] | None = None
+
+    @property
+    def shardable(self) -> bool:
+        """Whether the scenario supports intra-scenario sharding."""
+        return self.build_shard is not None and self.merge_runs is not None
 
 
 # ----------------------------------------------------------------------
@@ -299,6 +325,246 @@ def _deadlines_scenario(workload: str) -> Scenario:
     )
 
 
+# ----------------------------------------------------------------------
+# Broker-trace scenarios (the shardable serving-layer family)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BrokerTraceInstance:
+    """A broker event trace plus the resource range it covers.
+
+    ``resources = (lo, hi)`` names the half-open resource range the
+    events touch; the full instance has ``(0, num_resources)``.  Shard
+    instances carry the same generation parameters, so any shard is
+    reproducible from ``(seed, shard range)`` alone.
+    """
+
+    schedule: LeaseSchedule
+    workload: str
+    horizon: int
+    seed: int
+    num_resources: int
+    resources: tuple[int, int]
+    events: tuple[Event, ...]
+
+
+def _coverage_spans(
+    leases: Sequence[Lease],
+) -> dict[int, tuple[list[int], list[int]]]:
+    """Per-resource merged coverage intervals as (starts, ends) columns."""
+    by_resource: dict[int, list[tuple[int, int]]] = {}
+    for lease in leases:
+        by_resource.setdefault(lease.resource, []).append(
+            (lease.start, lease.start + lease.length)
+        )
+    spans: dict[int, tuple[list[int], list[int]]] = {}
+    for resource, intervals in by_resource.items():
+        intervals.sort()
+        starts: list[int] = []
+        ends: list[int] = []
+        for start, end in intervals:
+            if ends and start <= ends[-1]:
+                if end > ends[-1]:
+                    ends[-1] = end
+            else:
+                starts.append(start)
+                ends.append(end)
+        spans[resource] = (starts, ends)
+    return spans
+
+
+def verify_broker_trace(
+    instance: BrokerTraceInstance, result: RunResult
+) -> VerificationReport:
+    """Every acquire day covered by a purchased lease on its resource.
+
+    Interval-merges each resource's leases once and answers each of the
+    trace's acquire events with a binary search, so verification stays
+    O((L + E) log L) even for million-event shards.
+    """
+    spans = _coverage_spans(result.leases)
+    failures = []
+    checked = 0
+    for event in instance.events:
+        if type(event) is not Acquire:
+            continue
+        checked += 1
+        columns = spans.get(event.resource)
+        if columns is not None:
+            starts, ends = columns
+            where = bisect.bisect_right(starts, event.time) - 1
+            if where >= 0 and event.time < ends[where]:
+                continue
+        failures.append(
+            f"resource {event.resource} uncovered at day {event.time}"
+        )
+    return VerificationReport(
+        ok=not failures, failures=tuple(failures), checked=checked
+    )
+
+
+def broker_trace_optimum(instance: BrokerTraceInstance) -> OptBounds:
+    """Exact offline optimum: the per-resource interval-model DP, summed.
+
+    Resources are independent in the broker model (one policy each), so
+    the instance optimum is the sum of single-resource parking optima
+    over each resource's demanded days.
+    """
+    days_by_resource: dict[int, set[int]] = {}
+    for event in instance.events:
+        if type(event) is Acquire:
+            days_by_resource.setdefault(event.resource, set()).add(event.time)
+    total = 0.0
+    for resource in sorted(days_by_resource):
+        parking = make_instance(
+            instance.schedule, sorted(days_by_resource[resource])
+        )
+        total += optimal_interval(parking).cost
+    return OptBounds.exactly(total, method="dp-interval/resource")
+
+
+_BROKER_ALGORITHM = "lease broker (per-resource primal-dual)"
+_MERGED_TICK_KEYS = ("ticks",)
+
+
+def run_broker_trace(instance: BrokerTraceInstance, seed: int) -> RunResult:
+    """Replay the trace through a fresh broker; canonical result record.
+
+    ``cost`` is summed over :attr:`LeaseBroker.leases` — resource order,
+    purchase order within a resource — which is exactly the order shard
+    merging reproduces, so sharded and unsharded costs agree bitwise.
+    """
+    broker = LeaseBroker(instance.schedule)
+    stats = replay_trace(broker, instance.events)
+    leases = broker.leases
+    cost = 0.0
+    for lease in leases:
+        cost += lease.cost
+    return RunResult(
+        algorithm=_BROKER_ALGORITHM,
+        cost=cost,
+        leases=leases,
+        num_demands=stats.acquires + stats.renewals,
+        detail={
+            "broker_stats": {
+                "events": stats.events,
+                "acquires": stats.acquires,
+                "renewals": stats.renewals,
+                "releases": stats.releases,
+                "noop_releases": stats.noop_releases,
+                "expirations": stats.expirations,
+                "ticks": stats.ticks,
+                "covered_fast_path": stats.covered_fast_path,
+            },
+            "num_active": broker.num_active,
+        },
+    )
+
+
+def merge_broker_runs(runs: Sequence[RunResult]) -> RunResult:
+    """Merge per-shard broker runs into the unsharded run, byte for byte.
+
+    Shards own disjoint contiguous resource ranges in shard order, so
+    concatenating their lease tuples reproduces the unsharded
+    resource-major order.  Costs are exact (power-of-two schedule), so
+    summation order cannot perturb them.  Tick events are replicated to
+    every shard (the shared clock skeleton): tick-derived counters are
+    taken from the first shard, everything else sums.
+    """
+    if not runs:
+        raise ModelError("cannot merge zero shard runs")
+    leases: list[Lease] = []
+    cost = 0.0
+    num_demands = 0
+    num_active = 0
+    merged_stats: dict[str, int] = {}
+    for position, run in enumerate(runs):
+        leases.extend(run.leases)
+        cost += run.cost
+        num_demands += run.num_demands
+        num_active += run.detail["num_active"]
+        for key, value in run.detail["broker_stats"].items():
+            if key in _MERGED_TICK_KEYS:
+                if position == 0:
+                    merged_stats[key] = value
+            else:
+                merged_stats[key] = merged_stats.get(key, 0) + value
+    # Every shard counted its replicated ticks inside `events`; keep one.
+    ticks = merged_stats.get("ticks", 0)
+    merged_stats["events"] -= (len(runs) - 1) * ticks
+    return RunResult(
+        algorithm=_BROKER_ALGORITHM,
+        cost=cost,
+        leases=tuple(leases),
+        num_demands=num_demands,
+        detail={"broker_stats": merged_stats, "num_active": num_active},
+    )
+
+
+def make_broker_scenario(
+    workload: str,
+    name: str | None = None,
+    horizon: int = 360,
+    num_resources: int = 8,
+    tenants_per_resource: int = 2,
+    hold: int = 3,
+    tick_every: int = 32,
+    num_types: int = 4,
+) -> Scenario:
+    """A shardable serving-layer scenario over a multi-resource trace.
+
+    The schedule uses ``cost_growth=2.0`` so every lease cost, and hence
+    every cost sum, is exactly representable — shard merges cannot drift
+    by a ULP no matter how resources are grouped.  The perf harness
+    re-instantiates this family at heavy sizes via ``name``/``horizon``.
+    """
+    schedule = LeaseSchedule.power_of_two(num_types, cost_growth=2.0)
+
+    def build_shard(seed: int, shard: int, num_shards: int):
+        if not 0 <= shard < num_shards:
+            raise ModelError(
+                f"shard {shard} outside [0, {num_shards})"
+            )
+        lo = shard * num_resources // num_shards
+        hi = (shard + 1) * num_resources // num_shards
+        events = generate_resource_trace(
+            workload,
+            horizon,
+            seed,
+            num_resources=num_resources,
+            tenants_per_resource=tenants_per_resource,
+            hold=hold,
+            tick_every=tick_every,
+            resource_lo=lo,
+            resource_hi=hi,
+        )
+        return BrokerTraceInstance(
+            schedule=schedule,
+            workload=workload,
+            horizon=horizon,
+            seed=seed,
+            num_resources=num_resources,
+            resources=(lo, hi),
+            events=events,
+        )
+
+    return Scenario(
+        name=name or f"{BROKER_FAMILY}-{workload}",
+        family=BROKER_FAMILY,
+        workload=workload,
+        description=(
+            f"lease-broker trace, {num_resources} resources x "
+            f"{tenants_per_resource} tenants, K={num_types}, "
+            f"{workload} demand days (shardable)"
+        ),
+        build=lambda seed: build_shard(seed, 0, 1),
+        run=run_broker_trace,
+        verify=verify_broker_trace,
+        optimum=broker_trace_optimum,
+        build_shard=build_shard,
+        merge_runs=merge_broker_runs,
+    )
+
+
 _FAMILY_BUILDERS: dict[str, Callable[[str], Scenario]] = {
     "parking": _parking_scenario,
     "setcover": _setcover_scenario,
@@ -314,3 +580,7 @@ def _register_builtins() -> Iterator[Scenario]:
 
 
 BUILTIN_SCENARIOS: tuple[Scenario, ...] = tuple(_register_builtins())
+
+BROKER_SCENARIOS: tuple[Scenario, ...] = tuple(
+    register(make_broker_scenario(workload)) for workload in WORKLOAD_NAMES
+)

@@ -35,35 +35,54 @@ class DeterministicParkingPermit:
     def __init__(self, schedule: LeaseSchedule):
         self.schedule = schedule
         self.store = LeaseStore()
-        self._contribution: dict[tuple[int, int], float] = {}
+        # Contributions keyed per type by aligned window *start* — int
+        # keys instead of (type, start) tuples keep the per-demand loop
+        # allocation-free.
+        self._contribution: list[dict[int, float]] = [
+            {} for _ in schedule.types
+        ]
         self._dual: dict[int, float] = {}
+        # (index, length, cost, contributions) rows: plain tuples keep
+        # the per-demand candidate loop free of attribute lookups.
+        self._type_rows = tuple(
+            (t.index, t.length, t.cost, self._contribution[t.index])
+            for t in schedule.types
+        )
 
     # ------------------------------------------------------------------
     # Online interface
     # ------------------------------------------------------------------
     def on_demand(self, day: int) -> None:
-        """Serve the rainy day ``day`` (raise its dual, buy tight leases)."""
+        """Serve the rainy day ``day`` (raise its dual, buy tight leases).
+
+        The loop works on ``(type_index, aligned start)`` keys and only
+        materialises a :class:`~repro.core.lease.Lease` (via the
+        schedule's memoised window constructor) for candidates that
+        actually become tight — the serving hot path never allocates for
+        the common buy-nothing case.
+        """
         if day in self._dual:
             return  # duplicate arrival: constraint already exists
-        candidates = self.schedule.windows_covering(day)
-        slacks = [
-            candidate.cost
-            - self._contribution.get(
-                (candidate.type_index, candidate.start), 0.0
-            )
-            for candidate in candidates
-        ]
+        rows = self._type_rows
+        starts: list[int] = []
+        min_slack = None
+        for index, length, cost, contrib in rows:
+            start = day - day % length
+            starts.append(start)
+            slack = cost - contrib.get(start, 0.0)
+            if min_slack is None or slack < min_slack:
+                min_slack = slack
         # If some candidate is already tight (e.g. already bought), the
         # dual cannot be raised at all.
-        raise_by = max(0.0, min(slacks))
+        raise_by = min_slack if min_slack > 0.0 else 0.0
         self._dual[day] = raise_by
-        for candidate in candidates:
-            key = (candidate.type_index, candidate.start)
-            self._contribution[key] = (
-                self._contribution.get(key, 0.0) + raise_by
-            )
-            if self._contribution[key] >= candidate.cost - 1e-9:
-                self.store.buy(candidate)
+        window = self.schedule.window
+        buy = self.store.buy
+        for (index, length, cost, contrib), start in zip(rows, starts):
+            total = contrib.get(start, 0.0) + raise_by
+            contrib[start] = total
+            if total >= cost - 1e-9:
+                buy(window(index, start))
 
     def covers(self, day: int) -> bool:
         """Whether the current solution already covers ``day``."""

@@ -1,0 +1,107 @@
+"""Columnar lease payloads: pack/view round-trip, tuple-compatible
+equality, and the shared-memory transport handshake."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Lease, LeaseView, claim_payload, pack_leases, share_payload
+from repro.core.leasebuf import LEASE_RECORD_SIZE
+from repro.errors import ModelError
+
+LEASES = (
+    Lease(resource=0, type_index=0, start=0, length=1, cost=1.0),
+    Lease(resource=3, type_index=2, start=16, length=4, cost=3.4),
+    Lease(resource=7, type_index=1, start=100, length=64, cost=12.25),
+)
+
+
+class TestPackRoundTrip:
+    def test_round_trip(self):
+        view = LeaseView(pack_leases(LEASES))
+        assert len(view) == 3
+        assert tuple(view) == LEASES
+        assert view.to_tuple() == LEASES
+
+    def test_empty(self):
+        view = LeaseView(pack_leases(()))
+        assert len(view) == 0
+        assert tuple(view) == ()
+        assert view == ()
+
+    def test_indexing(self):
+        view = LeaseView(pack_leases(LEASES))
+        assert view[0] == LEASES[0]
+        assert view[-1] == LEASES[-1]
+        assert view[1:] == LEASES[1:]
+        with pytest.raises(IndexError):
+            view[3]
+
+    def test_payload_size(self):
+        view = LeaseView(pack_leases(LEASES))
+        assert view.nbytes == len(view.payload)
+        assert view.nbytes >= 3 * LEASE_RECORD_SIZE
+
+    def test_corrupt_payload_rejected(self):
+        payload = pack_leases(LEASES)
+        with pytest.raises(ModelError):
+            LeaseView(payload[:-1])  # truncated
+        with pytest.raises(ModelError):
+            LeaseView(b"nope" + payload[4:])  # bad magic
+        with pytest.raises(ModelError):
+            LeaseView(b"")
+
+
+class TestTupleSemantics:
+    def test_equality_both_directions(self):
+        view = LeaseView(pack_leases(LEASES))
+        assert view == LEASES
+        assert LEASES == view
+        assert view != LEASES[:-1]
+        assert view == LeaseView(pack_leases(LEASES))
+
+    def test_hash_matches_tuple(self):
+        view = LeaseView(pack_leases(LEASES))
+        assert hash(view) == hash(LEASES)
+        assert len({view, LEASES}) == 1
+
+
+lease_strategy = st.builds(
+    Lease,
+    resource=st.integers(min_value=0, max_value=10_000),
+    type_index=st.integers(min_value=0, max_value=16),
+    start=st.integers(min_value=0, max_value=10**9),
+    length=st.integers(min_value=1, max_value=10**6),
+    cost=st.floats(
+        min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+@given(st.lists(lease_strategy, max_size=40))
+def test_pack_round_trips_exactly(leases):
+    view = LeaseView(pack_leases(leases))
+    assert list(view) == leases
+    assert view == tuple(leases)
+
+
+class TestSharedMemoryTransport:
+    def test_share_and_claim(self):
+        payload = pack_leases(LEASES)
+        try:
+            name, size = share_payload(payload)
+        except OSError:  # pragma: no cover - no /dev/shm in this sandbox
+            pytest.skip("shared memory unavailable")
+        assert size == len(payload)
+        assert claim_payload(name, size) == payload
+        # The segment is unlinked after the claim: a second attach fails.
+        with pytest.raises(FileNotFoundError):
+            claim_payload(name, size)
+
+    def test_share_empty_payload(self):
+        try:
+            name, size = share_payload(b"")
+        except OSError:  # pragma: no cover - no /dev/shm in this sandbox
+            pytest.skip("shared memory unavailable")
+        assert size == 0
+        assert claim_payload(name, size) == b""

@@ -223,3 +223,119 @@ def test_broker_matches_naive_reference(ops):
         }
         assert got == reference.active(now)
         assert broker.cost == pytest.approx(reference.cost)
+
+
+# ----------------------------------------------------------------------
+# Property test: coverage-cached broker == uncached broker
+# ----------------------------------------------------------------------
+def _stats_without_fast_path(stats):
+    record = dict(vars(stats))
+    record.pop("covered_fast_path")
+    return record
+
+
+@given(operations)
+def test_coverage_caching_is_invisible(ops):
+    """Cached and uncached brokers agree on grants, stats, and cost.
+
+    The covered fast path skips the policy call entirely; for the lazy
+    primal-dual default that must never change a single grant expiry,
+    purchase, or counter (other than the fast-path counter itself).
+    """
+    cached = LeaseBroker(SHORT_SCHEDULE, coverage_caching=True)
+    uncached = LeaseBroker(SHORT_SCHEDULE, coverage_caching=False)
+    now = 0
+    for op, tenant_index, resource, delta in ops:
+        now += delta
+        tenant = f"tenant-{tenant_index}"
+        if op == "acquire":
+            assert cached.acquire(tenant, resource, now) == uncached.acquire(
+                tenant, resource, now
+            )
+        elif op == "release":
+            assert cached.release(tenant, resource, now) == uncached.release(
+                tenant, resource, now
+            )
+        else:
+            cached.tick(now)
+            uncached.tick(now)
+        assert cached.active_leases() == uncached.active_leases()
+    assert _stats_without_fast_path(cached.stats) == _stats_without_fast_path(
+        uncached.stats
+    )
+    assert uncached.stats.covered_fast_path == 0
+    assert cached.cost == uncached.cost
+    assert cached.leases == uncached.leases
+
+
+@pytest.mark.parametrize("workload", ["markov", "diurnal", "batch"])
+def test_coverage_caching_identical_on_generated_traces(workload):
+    trace = generate_trace(workload, 300, seed=13)
+    cached = LeaseBroker(LONG_SCHEDULE, coverage_caching=True)
+    uncached = LeaseBroker(LONG_SCHEDULE, coverage_caching=False)
+    cached_stats = replay_trace(cached, trace)
+    uncached_stats = replay_trace(uncached, trace)
+    assert _stats_without_fast_path(cached_stats) == _stats_without_fast_path(
+        uncached_stats
+    )
+    assert cached.cost == uncached.cost
+    assert cached.leases == uncached.leases
+    assert cached.active_leases() == uncached.active_leases()
+    # The long schedule actually exercises the fast path on these traces.
+    assert cached_stats.covered_fast_path > 0
+
+
+# ----------------------------------------------------------------------
+# Grant-table compaction
+# ----------------------------------------------------------------------
+class TestCompaction:
+    def test_closed_grants_compacted_past_retention(self):
+        broker = LeaseBroker(LONG_SCHEDULE, max_closed_grants=5)
+        for day in range(25):
+            broker.acquire("alice", 0, day)
+            broker.release("alice", 0, day)
+        assert broker.stats.compactions >= 1
+        retained = [g for g in broker._grants.values()]
+        assert len(retained) <= 2 * 5 + 1
+        # The most recent closed grants survive; ancient ones are gone.
+        with pytest.raises(ModelError):
+            broker.grant(1)
+        broker.grant(retained[-1].grant_id)
+
+    def test_active_grants_never_compacted(self):
+        broker = LeaseBroker(LONG_SCHEDULE, max_closed_grants=2)
+        broker.acquire("keeper", 99, 0)
+        for day in range(1, 20):
+            broker.acquire("alice", 0, day)
+            broker.release("alice", 0, day)
+            # Re-acquire keeps one grant live (renewal or re-open) while
+            # alice's churn triggers compactions around it.
+            keeper = broker.acquire("keeper", 99, day)
+        assert broker.grant(keeper.grant_id).is_active
+        assert any(
+            grant.grant_id == keeper.grant_id
+            for grant in broker.active_leases()
+        )
+
+    def test_compaction_disabled_with_none(self):
+        broker = LeaseBroker(LONG_SCHEDULE, max_closed_grants=None)
+        for day in range(30):
+            broker.acquire("alice", 0, day)
+            broker.release("alice", 0, day)
+        assert broker.stats.compactions == 0
+        broker.grant(1)  # full history retained
+
+    def test_compaction_does_not_disturb_stats_or_cost(self):
+        bounded = LeaseBroker(LONG_SCHEDULE, max_closed_grants=3)
+        unbounded = LeaseBroker(LONG_SCHEDULE, max_closed_grants=None)
+        trace = generate_trace("markov", 250, seed=5)
+        bounded_stats = replay_trace(bounded, trace)
+        unbounded_stats = replay_trace(unbounded, trace)
+        skip = {"compactions"}
+        assert {
+            k: v for k, v in vars(bounded_stats).items() if k not in skip
+        } == {
+            k: v for k, v in vars(unbounded_stats).items() if k not in skip
+        }
+        assert bounded.cost == unbounded.cost
+        assert bounded.active_leases() == unbounded.active_leases()

@@ -67,6 +67,64 @@ class TestDeterminism:
         assert first == second
 
 
+class TestTransport:
+    NAMES = ("parking-markov", "broker-markov", "setcover-batch")
+
+    @pytest.mark.parametrize("transport", ["auto", "packed", "shm", "object"])
+    def test_every_transport_matches_inline(self, transport):
+        inline = replay(self.NAMES, seeds=[7], workers=1)
+        pooled = replay(self.NAMES, seeds=[7], workers=2, transport=transport)
+        assert pooled == inline
+        assert render_report(pooled) == render_report(inline)
+
+    def test_packed_leases_behave_like_tuples(self):
+        (outcome,) = replay(
+            ["broker-markov"], seeds=[3], workers=2, transport="packed"
+        )
+        leases = outcome.run.leases
+        assert len(leases) > 0
+        assert leases[0].resource >= 0
+        assert tuple(leases) == leases
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ModelError):
+            replay(["parking-markov"], workers=2, transport="carrier-pigeon")
+
+    def test_pooled_job_failure_surfaces_after_claiming_results(self):
+        """A failing job must not abort siblings mid-stream (their shm
+        segments are claimed first), and the raised error names the job."""
+        from repro.engine import get_scenario, register
+        from repro.engine import scenarios as scenarios_module
+
+        base = get_scenario("parking-markov")
+
+        def explode(instance, seed):
+            raise RuntimeError("boom")
+
+        register(
+            scenarios_module.Scenario(
+                name="test-exploding",
+                family="parking",
+                workload="markov",
+                description="always fails",
+                build=base.build,
+                run=explode,
+                verify=base.verify,
+                optimum=base.optimum,
+            )
+        )
+        try:
+            with pytest.raises(ModelError, match="test-exploding.*boom"):
+                replay(
+                    ["parking-markov", "test-exploding", "broker-markov"],
+                    seeds=[7],
+                    workers=2,
+                    transport="shm",
+                )
+        finally:
+            scenarios_module._REGISTRY.pop("test-exploding", None)
+
+
 class TestRenderReport:
     def test_contains_summary_footer_and_rows(self):
         outcomes = replay(["parking-markov"], seeds=[7])

@@ -1,0 +1,124 @@
+"""Intra-scenario sharding: per-shard replay merges to the unsharded
+run byte for byte, for every shard count, worker count, and transport."""
+
+import pytest
+
+from repro.engine import (
+    WORKLOAD_NAMES,
+    make_broker_scenario,
+    merge_shard_outcomes,
+    render_report,
+    replay_sharded,
+    run_scenario,
+    run_scenario_shard,
+)
+from repro.engine.scenarios import get_scenario
+from repro.errors import ModelError
+
+
+class TestShardedReplay:
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    def test_merged_outcome_equals_unsharded(self, workload):
+        name = f"broker-{workload}"
+        unsharded = run_scenario(name, seed=7)
+        sharded = replay_sharded(name, seed=7, shards=4, workers=2)
+        assert sharded == unsharded
+        assert render_report([sharded]) == render_report([unsharded])
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 8])
+    def test_any_shard_count_is_byte_identical(self, shards):
+        unsharded = render_report([run_scenario("broker-markov", seed=3)])
+        sharded = render_report(
+            # workers=1 keeps this inline: shard semantics must not
+            # depend on the pool at all.
+            [replay_sharded("broker-markov", seed=3, shards=shards, workers=1)]
+        )
+        assert sharded == unsharded
+
+    def test_shards_partition_the_demands(self):
+        outcomes = [
+            run_scenario_shard("broker-diurnal", 5, shard, 4)
+            for shard in range(4)
+        ]
+        merged = merge_shard_outcomes(get_scenario("broker-diurnal"), outcomes)
+        assert merged.run.num_demands == sum(
+            outcome.run.num_demands for outcome in outcomes
+        )
+        assert len(merged.run.leases) == sum(
+            len(outcome.run.leases) for outcome in outcomes
+        )
+        assert merged.verified
+
+    def test_shard_stats_merge_counts_ticks_once(self):
+        unsharded = run_scenario("broker-markov", seed=2)
+        sharded = replay_sharded("broker-markov", seed=2, shards=4, workers=1)
+        assert (
+            sharded.run.detail["broker_stats"]
+            == unsharded.run.detail["broker_stats"]
+        )
+
+    def test_non_shardable_scenario_rejected(self):
+        with pytest.raises(ModelError):
+            replay_sharded("parking-markov", shards=2)
+        with pytest.raises(ModelError):
+            run_scenario_shard("parking-markov", 0, 0, 2)
+
+    def test_bad_shard_arguments_rejected(self):
+        with pytest.raises(ModelError):
+            replay_sharded("broker-markov", shards=0)
+        scenario = get_scenario("broker-markov")
+        with pytest.raises(ModelError):
+            scenario.build_shard(0, 4, 4)
+
+    def test_shardable_flag(self):
+        assert get_scenario("broker-markov").shardable
+        assert not get_scenario("parking-markov").shardable
+
+
+class TestShardPurity:
+    def test_shard_traces_partition_the_full_trace(self):
+        scenario = get_scenario("broker-batch")
+        full = scenario.build(11)
+        shard_events = []
+        for shard in range(3):
+            shard_events.append(scenario.build_shard(11, shard, 3).events)
+        # Non-tick events partition exactly; ticks replicate per shard.
+        def non_ticks(events):
+            return [e for e in events if hasattr(e, "resource")]
+
+        merged = sorted(
+            (e for events in shard_events for e in non_ticks(events)),
+            key=lambda e: (e.time, e.tenant, e.resource),
+        )
+        assert merged == sorted(
+            non_ticks(full.events),
+            key=lambda e: (e.time, e.tenant, e.resource),
+        )
+        full_ticks = [e for e in full.events if not hasattr(e, "resource")]
+        for events in shard_events:
+            assert [
+                e for e in events if not hasattr(e, "resource")
+            ] == full_ticks
+
+    def test_heavier_adhoc_scenario_shards_identically(self):
+        from repro.engine import register
+
+        scenario = register(
+            make_broker_scenario(
+                "markov",
+                name="test-broker-heavyish",
+                horizon=1024,
+                num_resources=12,
+            ),
+            replace=True,
+        )
+        try:
+            unsharded = run_scenario(scenario.name, seed=9)
+            sharded = replay_sharded(scenario.name, seed=9, shards=4, workers=2)
+            assert render_report([sharded]) == render_report([unsharded])
+            assert sharded.run.cost == unsharded.run.cost
+            assert tuple(sharded.run.leases) == tuple(unsharded.run.leases)
+        finally:
+            from repro.engine import scenarios as scenarios_module
+
+            scenarios_module._REGISTRY.pop("test-broker-heavyish", None)
