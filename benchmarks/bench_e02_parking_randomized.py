@@ -4,14 +4,23 @@ For each K, measures the *expected* ratio (mean over coin seeds) on a
 fixed workload and compares the growth against both the randomized
 O(log K) shape and the deterministic algorithm's cost on the same
 instances — randomization should win for large K.
+
+Runs on the :mod:`repro.engine` scenario/replay substrate: each K is an
+ad-hoc registered scenario whose *instance* is the fixed seed-99
+workload and whose replay seed is the randomized algorithm's coin seed,
+so all (K, coin) jobs flow through ``runner.replay`` — which also
+re-verifies feasibility per run — and the expected ratio is the mean
+over each K's outcomes.
 """
 
 from __future__ import annotations
 
 import math
+import statistics
 
-from repro.analysis import Sweep, expected_ratio
-from repro.core import LeaseSchedule, run_online
+from repro.analysis import Sweep, verify_parking
+from repro.core import LeaseSchedule, OptBounds, run_online
+from repro.engine import Scenario, register, replay
 from repro.parking import (
     DeterministicParkingPermit,
     RandomizedParkingPermit,
@@ -22,28 +31,63 @@ from repro.workloads import make_rng, markov_days
 
 HORIZON = 300
 COIN_SEEDS = range(25)
+NUM_TYPES = (2, 4, 6, 8)
+WORKLOAD_SEED = 99  # one fixed instance per K; only the coins vary
+
+
+def _scenario(num_types: int) -> Scenario:
+    schedule = LeaseSchedule.power_of_two(num_types, cost_growth=1.7)
+
+    def build(seed: int):
+        # The instance ignores the replay seed: E2 holds the workload
+        # fixed and randomizes only the algorithm's coins.
+        days = markov_days(HORIZON, 0.08, 0.85, make_rng(WORKLOAD_SEED))
+        return make_instance(schedule, days or [0])
+
+    def run(instance, seed: int):
+        return run_online(
+            RandomizedParkingPermit(instance.schedule, seed=seed),
+            instance.rainy_days,
+            name=f"randomized K={num_types}",
+        )
+
+    return Scenario(
+        name=f"bench-e02-K{num_types}",
+        family="parking",
+        workload="markov",
+        description=f"E2 sweep point, K={num_types} (seed = coin seed)",
+        build=build,
+        run=run,
+        verify=lambda instance, result: verify_parking(
+            instance, list(result.leases)
+        ),
+        optimum=lambda instance: OptBounds.exactly(
+            optimal_interval(instance).cost, method="dp-interval"
+        ),
+    )
+
+
+SCENARIOS = tuple(
+    register(_scenario(num_types), replace=True) for num_types in NUM_TYPES
+)
 
 
 def build_sweep() -> Sweep:
     sweep = Sweep("E2: randomized parking permit vs K (expected ratio)")
-    for num_types in (2, 4, 6, 8):
-        schedule = LeaseSchedule.power_of_two(num_types, cost_growth=1.7)
-        days = markov_days(HORIZON, 0.08, 0.85, make_rng(99))
-        instance = make_instance(schedule, days)
-        opt = optimal_interval(instance).cost
-
-        def run_with_seed(seed, schedule=schedule, days=days):
-            algorithm = RandomizedParkingPermit(schedule, seed=seed)
-            run_online(algorithm, days)
-            assert instance.is_feasible_solution(list(algorithm.leases))
-            return algorithm.cost
-
-        summary = expected_ratio(run_with_seed, opt, COIN_SEEDS)
-        deterministic = DeterministicParkingPermit(schedule)
-        run_online(deterministic, days)
+    outcomes = replay([s.name for s in SCENARIOS], seeds=COIN_SEEDS)
+    assert all(outcome.verified for outcome in outcomes)
+    for num_types, scenario in zip(NUM_TYPES, SCENARIOS):
+        per_k = [o for o in outcomes if o.scenario == scenario.name]
+        assert len(per_k) == len(COIN_SEEDS)
+        opt = per_k[0].opt.lower
+        mean_ratio = statistics.fmean(o.ratio for o in per_k)
+        deterministic = DeterministicParkingPermit(
+            LeaseSchedule.power_of_two(num_types, cost_growth=1.7)
+        )
+        run_online(deterministic, _days())
         sweep.add(
             {"K": num_types},
-            online_cost=summary.mean * opt,
+            online_cost=mean_ratio * opt,
             opt_cost=opt,
             # Loose explicit-constant O(log K) ceiling for the shape check.
             bound=4.0 * (math.log2(num_types) + 2.0),
@@ -52,9 +96,13 @@ def build_sweep() -> Sweep:
     return sweep
 
 
+def _days() -> list[int]:
+    return markov_days(HORIZON, 0.08, 0.85, make_rng(WORKLOAD_SEED))
+
+
 def _kernel():
     schedule = LeaseSchedule.power_of_two(8, cost_growth=1.7)
-    days = markov_days(HORIZON, 0.08, 0.85, make_rng(99))
+    days = _days()
     algorithm = RandomizedParkingPermit(schedule, seed=1)
     for day in days:
         algorithm.on_demand(day)

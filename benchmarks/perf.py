@@ -13,10 +13,11 @@ Thin front end over :mod:`repro.engine.perf`.  Typical uses::
     # the committed files
     PYTHONPATH=src python benchmarks/perf.py --mode smoke --out perf-results
 
-The committed files ``benchmarks/BENCH_p01_broker.json`` and
-``benchmarks/BENCH_p02_runner.json`` carry a frozen ``baseline`` block
-(the pre-optimization reference) plus per-mode current numbers; see
-EXPERIMENTS.md for the schema and refresh policy.
+The committed files ``benchmarks/BENCH_p01_broker.json``,
+``benchmarks/BENCH_p02_runner.json`` and ``benchmarks/BENCH_p03_serve.json``
+carry a frozen ``baseline`` block (the pre-optimization reference; for
+p03, the first recorded serving throughput) plus per-mode current
+numbers; see EXPERIMENTS.md for the schema and refresh policy.
 """
 
 from __future__ import annotations

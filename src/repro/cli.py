@@ -15,11 +15,17 @@ Subcommands::
     python -m repro engine run --scenario all --workers 4 --seed 7
     python -m repro engine run --scenario broker-markov --shards 4 --workers 4
     python -m repro engine replay --workload markov --horizon 400
+    python -m repro engine serve --socket /tmp/lease.sock --resources 8
+    python -m repro engine loadgen --socket /tmp/lease.sock --check
 
-The ``engine`` subcommands front :mod:`repro.engine`: ``list`` prints the
-scenario registry, ``run`` replays scenarios through the parallel runner
-and prints one aggregate ratio table, ``replay`` drives the lease broker
-from a generated or saved JSONL event trace.
+The ``engine`` subcommands front :mod:`repro.engine` and
+:mod:`repro.serve`: ``list`` prints the scenario registry (with its
+``shardable`` column), ``run`` replays scenarios through the parallel
+runner and prints one aggregate ratio table, ``replay`` drives the lease
+broker from a generated or saved JSONL event trace, ``serve`` puts a
+broker behind the asyncio wire protocol, and ``loadgen`` drives
+closed-loop tenants against a server (in-process by default) and checks
+the served aggregate against an inline replay of the same trace.
 """
 
 from __future__ import annotations
@@ -169,9 +175,9 @@ def cmd_engine_list(args) -> int:
 
     scenarios = all_scenarios()
     print_table(
-        ["scenario", "family", "workload", "description"],
+        ["scenario", "family", "workload", "shardable", "description"],
         [
-            [s.name, s.family, s.workload, s.description]
+            [s.name, s.family, s.workload, "yes" if s.shardable else "", s.description]
             for s in scenarios
         ],
         title=f"{len(scenarios)} registered scenarios",
@@ -180,7 +186,15 @@ def cmd_engine_list(args) -> int:
 
 
 def cmd_engine_run(args) -> int:
-    from .engine import render_report, replay, replay_sharded, scenario_names
+    import sys
+
+    from .engine import (
+        get_scenario,
+        render_report,
+        replay,
+        replay_sharded,
+        scenario_names,
+    )
 
     explicit = tuple(name for name in args.scenario if name != "all")
     if "all" in args.scenario:
@@ -192,6 +206,21 @@ def cmd_engine_run(args) -> int:
     else:
         names = explicit
     if args.shards > 1:
+        # Fail fast and plainly on non-shardable scenarios instead of
+        # letting replay_sharded raise per-name deep in the run.
+        non_shardable = [
+            name for name in names if not get_scenario(name).shardable
+        ]
+        if non_shardable:
+            print(
+                "error: --shards requires shardable scenarios, but "
+                f"{', '.join(sorted(non_shardable))} "
+                f"{'is' if len(non_shardable) == 1 else 'are'} not "
+                "(see the 'shardable' column of `engine list`); "
+                "drop --shards or pick a shardable family such as broker-*",
+                file=sys.stderr,
+            )
+            return 2
         # Intra-scenario sharding: each scenario splits by resource into
         # shard jobs; merged outcomes are byte-identical to unsharded.
         outcomes = [
@@ -259,6 +288,154 @@ def cmd_engine_replay(args) -> int:
         ],
         title=f"broker replay: {source}, K={args.num_types}",
     )
+    return 0
+
+
+def cmd_engine_serve(args) -> int:
+    import asyncio
+
+    from .serve import LeaseServer
+
+    schedule = LeaseSchedule.power_of_two(
+        args.num_types, cost_growth=args.cost_growth
+    )
+    server = LeaseServer(
+        schedule,
+        num_resources=args.resources,
+        num_shards=args.shards,
+        record=args.record,
+        session_window=args.window,
+        idle_timeout=args.idle_timeout,
+    )
+
+    async def _main() -> None:
+        where = []
+        if args.socket:
+            await server.start_unix(args.socket)
+            where.append(f"unix:{args.socket}")
+        if args.port is not None:
+            port = await server.start_tcp(args.host, args.port)
+            where.append(f"tcp:{args.host}:{port}")
+        print(
+            f"repro.serve listening on {', '.join(where)} — "
+            f"{args.resources} resources over {args.shards} shard broker(s), "
+            f"K={args.num_types}",
+            flush=True,
+        )
+        await server.run_until_stopped()
+
+    if not args.socket and args.port is None:
+        print("error: engine serve needs --socket and/or --port")
+        return 2
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_engine_loadgen(args) -> int:
+    import asyncio
+
+    from .serve import ServeError
+    from .serve.loadgen import (
+        build_serve_instance,
+        compare_with_inline,
+        drive_tenants,
+        merge_shard_payloads,
+        run_serve_instance,
+    )
+
+    instance = build_serve_instance(
+        args.workload,
+        args.horizon,
+        args.seed,
+        num_resources=args.resources,
+        tenants_per_resource=args.tenants_per_resource,
+        num_types=args.num_types,
+        cost_growth=args.cost_growth,
+        num_shards=args.shards,
+    )
+    if args.socket:
+        # Drive an already-running server; its config must match the
+        # instance or the equality check would be comparing apples to a
+        # different fruit's brokers.
+        from .serve import AsyncLeaseClient
+
+        async def _external() -> dict:
+            client = await AsyncLeaseClient.open_unix(
+                args.socket, retry_for=args.connect_timeout
+            )
+            try:
+                hello = await client.hello()
+                schedule = instance.trace.schedule
+                mismatches = [
+                    f"{field}: server has {got}, loadgen wants {want}"
+                    for field, got, want in (
+                        ("num_resources", hello["num_resources"], args.resources),
+                        ("num_shards", hello["num_shards"], args.shards),
+                        (
+                            "num_types",
+                            hello["schedule"]["num_types"],
+                            args.num_types,
+                        ),
+                        (
+                            "schedule lengths",
+                            hello["schedule"]["lengths"],
+                            [t.length for t in schedule],
+                        ),
+                        (
+                            "schedule costs",
+                            hello["schedule"]["costs"],
+                            [t.cost for t in schedule],
+                        ),
+                    )
+                    if got != want
+                ]
+                if mismatches:
+                    raise ServeError("protocol", "; ".join(mismatches))
+                report = await drive_tenants(
+                    instance, args.socket, retry_for=args.connect_timeout
+                )
+                if args.shutdown:
+                    await client.shutdown()
+                return report
+            finally:
+                await client.close()
+
+        report = asyncio.run(_external())
+        served = merge_shard_payloads(report["shards"])
+        _, equal = compare_with_inline(instance, served, args.seed)
+        requests = report["requests"]
+        source = f"unix:{args.socket}"
+    else:
+        served = run_serve_instance(instance, args.seed)
+        equal = served.detail["serve"]["report_equal"]
+        requests = served.detail["serve"]["requests"]
+        source = "in-process server"
+    stats = served.detail["broker_stats"]
+    print_table(
+        ["metric", "value"],
+        [
+            ["tenants", len(instance.tenants)],
+            ["shards", instance.num_shards],
+            ["requests sent", requests],
+            ["events applied", stats["events"]],
+            ["acquires", stats["acquires"]],
+            ["renewals", stats["renewals"]],
+            ["releases", stats["releases"]],
+            ["leases bought", len(served.leases)],
+            ["total cost", served.cost],
+            ["report equals inline replay", "yes" if equal else "NO"],
+        ],
+        title=(
+            f"loadgen: {args.workload} x{args.horizon} against {source}, "
+            f"seed {args.seed}"
+        ),
+    )
+    if args.check and not equal:
+        print("error: served aggregate diverged from the inline replay")
+        return 1
     return 0
 
 
@@ -338,6 +515,69 @@ def build_parser() -> argparse.ArgumentParser:
         "packed columns, shared memory for large results)",
     )
     engine_run.set_defaults(func=cmd_engine_run)
+
+    engine_serve = engine_sub.add_parser(
+        "serve",
+        help="serve the lease broker over TCP / unix sockets (repro.serve)",
+    )
+    engine_serve.add_argument(
+        "--socket", default=None, help="unix-socket path to listen on"
+    )
+    engine_serve.add_argument("--host", default="127.0.0.1")
+    engine_serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port to listen on (0 = ephemeral)",
+    )
+    engine_serve.add_argument("--resources", type=int, default=8,
+                              help="resource id space [0, N)")
+    engine_serve.add_argument("--shards", type=int, default=4,
+                              help="shard brokers (each its own dispatch queue)")
+    engine_serve.add_argument("--num-types", type=int, default=4)
+    engine_serve.add_argument(
+        "--cost-growth", type=float, default=2.0,
+        help="cost multiplier per length doubling (2.0 = exact float sums)",
+    )
+    engine_serve.add_argument(
+        "--record", action=argparse.BooleanOptionalAction, default=True,
+        help="keep per-shard applied-event logs for the trace op",
+    )
+    engine_serve.add_argument("--window", type=int, default=64,
+                              help="per-tenant in-flight request bound")
+    engine_serve.add_argument("--idle-timeout", type=float, default=60.0,
+                              help="seconds before idle sessions are reaped")
+    engine_serve.set_defaults(func=cmd_engine_serve)
+
+    engine_loadgen = engine_sub.add_parser(
+        "loadgen",
+        help="drive closed-loop tenants against a lease server and "
+        "check the served aggregate against an inline replay",
+    )
+    engine_loadgen.add_argument(
+        "--socket", default=None,
+        help="unix socket of a running server (default: in-process server)",
+    )
+    engine_loadgen.add_argument("--workload", default="markov")
+    engine_loadgen.add_argument("--horizon", type=int, default=192)
+    engine_loadgen.add_argument("--seed", type=int, default=0)
+    engine_loadgen.add_argument("--resources", type=int, default=8)
+    engine_loadgen.add_argument("--tenants-per-resource", type=int, default=2)
+    engine_loadgen.add_argument("--shards", type=int, default=4,
+                                help="must match the server's shard count")
+    engine_loadgen.add_argument("--num-types", type=int, default=4)
+    engine_loadgen.add_argument(
+        "--cost-growth", type=float, default=2.0,
+        help="must match the server's schedule (2.0 = exact float sums)",
+    )
+    engine_loadgen.add_argument("--connect-timeout", type=float, default=10.0)
+    engine_loadgen.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless the served aggregate equals the inline replay",
+    )
+    engine_loadgen.add_argument(
+        "--shutdown", action="store_true",
+        help="send a shutdown op to the external server when done",
+    )
+    engine_loadgen.set_defaults(func=cmd_engine_loadgen)
 
     engine_replay = engine_sub.add_parser(
         "replay", help="drive the lease broker from an event trace",

@@ -20,9 +20,11 @@ them:
   scenarios out across a process pool and aggregates per-scenario
   results into the existing ratio/table machinery.
 
-``python -m repro engine {list,run,replay}`` is the command-line front
-end; the benchmarks ``bench_e01``, ``bench_e05`` and ``bench_e14`` run on
-the same substrate.
+``python -m repro engine {list,run,replay,serve,loadgen}`` is the
+command-line front end (``serve``/``loadgen`` front the
+:mod:`repro.serve` asyncio serving layer, whose ``serve-*`` scenario
+family is registered here); the benchmarks ``bench_e01``, ``bench_e02``,
+``bench_e05`` and ``bench_e14`` run on the same substrate.
 """
 
 from .broker import BrokerStats, LeaseBroker, LeaseGrant, replay_trace
@@ -52,14 +54,17 @@ from .runner import (
 )
 from .scenarios import (
     BROKER_SCENARIOS,
+    SERVE_SCENARIOS,
     BrokerTraceInstance,
     Scenario,
     all_scenarios,
     families,
     get_scenario,
     make_broker_scenario,
+    make_serve_scenario,
     register,
     scenario_names,
+    shard_ranges,
 )
 
 __all__ = [
@@ -71,6 +76,7 @@ __all__ = [
     "LeaseBroker",
     "LeaseGrant",
     "Release",
+    "SERVE_SCENARIOS",
     "Scenario",
     "ScenarioOutcome",
     "TRANSPORT_MODES",
@@ -85,6 +91,7 @@ __all__ = [
     "generate_trace",
     "get_scenario",
     "make_broker_scenario",
+    "make_serve_scenario",
     "merge_shard_outcomes",
     "register",
     "render_report",
@@ -94,6 +101,7 @@ __all__ = [
     "run_scenario",
     "run_scenario_shard",
     "scenario_names",
+    "shard_ranges",
     "trace_from_jsonl",
     "trace_to_jsonl",
 ]

@@ -36,6 +36,16 @@ down by replaying randomized traces through cached and uncached brokers
 and asserting identical grants, stats, and cost.  Policies that consume
 randomness or mutate state on every demand should disable it.
 
+**Ownership and concurrency contract.**  A broker is *single-owner*
+mutable state: no method is locked or reentrant, and the clock must be
+driven in non-decreasing order by exactly one caller at a time.
+Concurrency lives strictly *above* this class — the serving layer
+(:mod:`repro.serve`) gives each resource shard its own broker and
+funnels every mutation through that shard's single dispatch task,
+ratcheting stale request times up to the broker clock before calling in.
+Sharing one broker between threads or event-loop tasks without such a
+serialization layer is a bug, not a supported mode.
+
 The broker consumes the typed events of :mod:`repro.engine.events`
 (:func:`replay_trace`), which is how ``python -m repro engine replay``
 and the throughput benchmark drive it.
@@ -44,7 +54,7 @@ and the throughput benchmark drive it.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Iterable
 
 from ..core.framework import OnlineLeasingAlgorithm
@@ -94,6 +104,24 @@ class BrokerStats:
     ticks: int = 0
     covered_fast_path: int = 0
     compactions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counter snapshot as a plain dict, in field order."""
+        return asdict(self)
+
+    def mergeable(self) -> dict[str, int]:
+        """The stats shape shard merges and served-vs-inline checks use.
+
+        Everything in :meth:`as_dict` except ``compactions``, which
+        counts broker-local housekeeping triggered by per-broker table
+        size: an unsharded broker and its shard decomposition cross the
+        compaction threshold at different points, so the counter is not
+        a function of the trace partition and would spuriously break
+        otherwise byte-identical merges at compaction scale.
+        """
+        stats = asdict(self)
+        del stats["compactions"]
+        return stats
 
 
 @dataclass(slots=True)

@@ -6,13 +6,16 @@ This module makes the trajectory a first-class artifact:
 
 * :func:`measure` runs one benchmark (``p01_broker``: raw broker event
   throughput on the P1 round-robin stream; ``p02_runner``: heavy-scenario
-  replay, unsharded vs intra-scenario sharded) at one of three sizes
-  (``full`` — the committed trajectory numbers, ``smoke`` — CI-sized,
-  ``unit`` — test-sized) and returns a JSON-ready record.
-* ``BENCH_p01_broker.json`` / ``BENCH_p02_runner.json`` under
-  ``benchmarks/`` hold the committed per-mode numbers plus the frozen
-  pre-optimization ``baseline`` block, so ``current vs baseline`` is the
-  headline speedup and ``fresh vs committed`` is the regression gate.
+  replay, unsharded vs intra-scenario sharded; ``p03_serve``: closed-loop
+  tenants served over a unix socket by :mod:`repro.serve`) at one of
+  three sizes (``full`` — the committed trajectory numbers, ``smoke`` —
+  CI-sized, ``unit`` — test-sized) and returns a JSON-ready record.
+* ``BENCH_p01_broker.json`` / ``BENCH_p02_runner.json`` /
+  ``BENCH_p03_serve.json`` under ``benchmarks/`` hold the committed
+  per-mode numbers plus the frozen ``baseline`` block (for p01/p02 the
+  pre-optimization reference, for p03 the first served-throughput
+  recording), so ``current vs baseline`` is the headline trajectory and
+  ``fresh vs committed`` is the regression gate.
 * :func:`check` compares a fresh record against the committed file with
   a relative tolerance (default 30%) and returns human-readable
   failures; CI runs it in smoke mode and fails on any.
@@ -41,7 +44,7 @@ from .runner import render_report, replay_sharded, run_scenario
 from .scenarios import make_broker_scenario, register
 
 SCHEMA = "repro-bench/1"
-BENCH_NAMES = ("p01_broker", "p02_runner")
+BENCH_NAMES = ("p01_broker", "p02_runner", "p03_serve")
 MODES = ("full", "smoke", "unit")
 DEFAULT_TOLERANCE = 0.30
 
@@ -49,6 +52,7 @@ DEFAULT_TOLERANCE = 0.30
 BENCH_FILES = {
     "p01_broker": "benchmarks/BENCH_p01_broker.json",
     "p02_runner": "benchmarks/BENCH_p02_runner.json",
+    "p03_serve": "benchmarks/BENCH_p03_serve.json",
 }
 
 # P1 stream shape (mirrors bench_p01_broker_throughput).
@@ -62,6 +66,13 @@ _P02_HORIZON = {"full": 4096, "smoke": 1024, "unit": 128}
 _P02_RESOURCES = {"full": 16, "smoke": 8, "unit": 4}
 _P02_SHARDS = 4
 _P02_SEED = 7
+
+# P3 serving shape: closed-loop tenants over a unix socket.
+_P03_HORIZON = {"full": 2048, "smoke": 512, "unit": 96}
+_P03_RESOURCES = {"full": 16, "smoke": 8, "unit": 4}
+_P03_SHARDS = {"full": 4, "smoke": 4, "unit": 2}
+_P03_TENANTS_PER_RESOURCE = 2
+_P03_SEED = 7
 
 
 def _require_mode(mode: str) -> None:
@@ -210,7 +221,77 @@ def measure_p02(mode: str = "smoke") -> dict:
     }
 
 
-_MEASURERS = {"p01_broker": measure_p01, "p02_runner": measure_p02}
+# ----------------------------------------------------------------------
+# P3: serving throughput (closed-loop tenants over a unix socket)
+# ----------------------------------------------------------------------
+def measure_p03(mode: str = "smoke") -> dict:
+    """Served loadgen end to end: server + tenants + equality check.
+
+    The measured seconds cover the whole serving cycle — starting the
+    shard workers, dialing one pipelined unix-socket connection per
+    tenant, the day-barriered closed-loop replay, and the final report
+    fetch — because that cycle *is* the serving hot path.  The rate is
+    server-applied events per second; ``report_equal`` asserts the
+    served aggregate matched the inline replay of the merged trace, the
+    same structural identity ``p02`` gates for shard merges.
+    """
+    _require_mode(mode)
+    from ..serve.loadgen import (
+        build_serve_instance,
+        run_serve_instance,
+        serve_once,
+        verify_serve,
+    )
+
+    instance = build_serve_instance(
+        "markov",
+        _P03_HORIZON[mode],
+        _P03_SEED,
+        num_resources=_P03_RESOURCES[mode],
+        tenants_per_resource=_P03_TENANTS_PER_RESOURCE,
+        num_shards=_P03_SHARDS[mode],
+    )
+    # Time the serving cycle alone; the merge + inline-replay judgement
+    # happens off the clock so the rate measures the server, not the
+    # verifier.
+    start = time.perf_counter()
+    report = serve_once(instance)
+    elapsed = time.perf_counter() - start
+    result = run_serve_instance(instance, _P03_SEED, report=report)
+    events = result.detail["broker_stats"]["events"]
+    serve = result.detail["serve"]
+    verified = verify_serve(instance, result).ok
+    return {
+        "schema": SCHEMA,
+        "bench": "p03_serve",
+        "mode": mode,
+        "params": {
+            "horizon": _P03_HORIZON[mode],
+            "num_resources": _P03_RESOURCES[mode],
+            "tenants_per_resource": _P03_TENANTS_PER_RESOURCE,
+            "num_shards": _P03_SHARDS[mode],
+            "seed": _P03_SEED,
+        },
+        "metrics": {
+            "events": events,
+            "requests": serve["requests"],
+            "tenants": serve["tenants"],
+            "leases": len(result.leases),
+            "cost": result.cost,
+            "elapsed_sec": round(elapsed, 4),
+            "events_per_sec": round(events / elapsed),
+            "report_equal": serve["report_equal"],
+            "verified": verified,
+        },
+        "env": _environment(),
+    }
+
+
+_MEASURERS = {
+    "p01_broker": measure_p01,
+    "p02_runner": measure_p02,
+    "p03_serve": measure_p03,
+}
 
 
 def measure(bench: str, mode: str = "smoke") -> dict:
@@ -271,10 +352,12 @@ def dump_json(data: dict, path: str | Path) -> None:
 _RATE_GATES = {
     "p01_broker": ("events_per_sec", "leases_per_sec"),
     "p02_runner": ("events_per_sec",),
+    "p03_serve": ("events_per_sec",),
 }
 _EXACT_GATES = {
     "p01_broker": ("events", "leases"),
     "p02_runner": ("events", "leases", "byte_identical", "verified"),
+    "p03_serve": ("events", "leases", "report_equal", "verified"),
 }
 
 

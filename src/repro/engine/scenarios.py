@@ -328,6 +328,30 @@ def _deadlines_scenario(workload: str) -> Scenario:
 # ----------------------------------------------------------------------
 # Broker-trace scenarios (the shardable serving-layer family)
 # ----------------------------------------------------------------------
+def shard_ranges(
+    num_resources: int, num_shards: int
+) -> tuple[tuple[int, int], ...]:
+    """The contiguous shard partition of ``range(num_resources)``.
+
+    The single source of truth for how resources map to shards — used by
+    ``build_shard`` here and by :class:`repro.serve.server.LeaseServer`,
+    so a served workload and an intra-scenario sharded replay always
+    agree on which broker owns which resource.  ``num_shards`` may
+    exceed ``num_resources`` (the surplus ranges are empty), which
+    :func:`repro.engine.replay_sharded` tolerates; the serve layer is
+    stricter and rejects it.
+    """
+    if num_shards < 1:
+        raise ModelError("num_shards must be >= 1")
+    return tuple(
+        (
+            shard * num_resources // num_shards,
+            (shard + 1) * num_resources // num_shards,
+        )
+        for shard in range(num_shards)
+    )
+
+
 @dataclass(frozen=True)
 class BrokerTraceInstance:
     """A broker event trace plus the resource range it covers.
@@ -445,16 +469,7 @@ def run_broker_trace(instance: BrokerTraceInstance, seed: int) -> RunResult:
         leases=leases,
         num_demands=stats.acquires + stats.renewals,
         detail={
-            "broker_stats": {
-                "events": stats.events,
-                "acquires": stats.acquires,
-                "renewals": stats.renewals,
-                "releases": stats.releases,
-                "noop_releases": stats.noop_releases,
-                "expirations": stats.expirations,
-                "ticks": stats.ticks,
-                "covered_fast_path": stats.covered_fast_path,
-            },
+            "broker_stats": stats.mergeable(),
             "num_active": broker.num_active,
         },
     )
@@ -465,21 +480,21 @@ def merge_broker_runs(runs: Sequence[RunResult]) -> RunResult:
 
     Shards own disjoint contiguous resource ranges in shard order, so
     concatenating their lease tuples reproduces the unsharded
-    resource-major order.  Costs are exact (power-of-two schedule), so
-    summation order cannot perturb them.  Tick events are replicated to
-    every shard (the shared clock skeleton): tick-derived counters are
-    taken from the first shard, everything else sums.
+    resource-major order — and the merged cost is *recomputed* by
+    summing that tuple in order, reproducing the unsharded run's exact
+    float association for any schedule (per-shard subtotals would drift
+    by a ULP on non-exactly-representable costs).  Tick events are
+    replicated to every shard (the shared clock skeleton): tick-derived
+    counters are taken from the first shard, everything else sums.
     """
     if not runs:
         raise ModelError("cannot merge zero shard runs")
     leases: list[Lease] = []
-    cost = 0.0
     num_demands = 0
     num_active = 0
     merged_stats: dict[str, int] = {}
     for position, run in enumerate(runs):
         leases.extend(run.leases)
-        cost += run.cost
         num_demands += run.num_demands
         num_active += run.detail["num_active"]
         for key, value in run.detail["broker_stats"].items():
@@ -491,6 +506,9 @@ def merge_broker_runs(runs: Sequence[RunResult]) -> RunResult:
     # Every shard counted its replicated ticks inside `events`; keep one.
     ticks = merged_stats.get("ticks", 0)
     merged_stats["events"] -= (len(runs) - 1) * ticks
+    cost = 0.0
+    for lease in leases:
+        cost += lease.cost
     return RunResult(
         algorithm=_BROKER_ALGORITHM,
         cost=cost,
@@ -524,8 +542,7 @@ def make_broker_scenario(
             raise ModelError(
                 f"shard {shard} outside [0, {num_shards})"
             )
-        lo = shard * num_resources // num_shards
-        hi = (shard + 1) * num_resources // num_shards
+        lo, hi = shard_ranges(num_resources, num_shards)[shard]
         events = generate_resource_trace(
             workload,
             horizon,
@@ -565,6 +582,80 @@ def make_broker_scenario(
     )
 
 
+# ----------------------------------------------------------------------
+# Serve scenarios (the loadgen family over the asyncio serving layer)
+# ----------------------------------------------------------------------
+#: The closed-loop serving family registered on top of :data:`BROKER_FAMILY`.
+SERVE_FAMILY = "serve"
+
+
+def make_serve_scenario(
+    workload: str,
+    name: str | None = None,
+    horizon: int = 128,
+    num_resources: int = 8,
+    tenants_per_resource: int = 2,
+    hold: int = 3,
+    tick_every: int = 32,
+    num_types: int = 4,
+    num_shards: int = 4,
+) -> Scenario:
+    """A serving-layer scenario: closed-loop tenants over unix sockets.
+
+    The same trace shape as :func:`make_broker_scenario`, but instead of
+    an in-process replay the events arrive as live traffic — every
+    tenant is its own pipelined client on its own unix-socket connection
+    against an in-process :class:`~repro.serve.server.LeaseServer` with
+    ``num_shards`` shard brokers.  The run returns the *served*
+    aggregate; verification fails unless it matched the inline replay of
+    the merged trace exactly (see :mod:`repro.serve.loadgen`).
+
+    :mod:`repro.serve` is imported lazily from the hooks so listing the
+    registry never pulls in the asyncio serving stack.
+    """
+
+    def build(seed: int):
+        from ..serve.loadgen import build_serve_instance
+
+        return build_serve_instance(
+            workload,
+            horizon,
+            seed,
+            num_resources=num_resources,
+            tenants_per_resource=tenants_per_resource,
+            hold=hold,
+            tick_every=tick_every,
+            num_types=num_types,
+            num_shards=num_shards,
+        )
+
+    def run(instance, seed: int) -> RunResult:
+        from ..serve.loadgen import run_serve_instance
+
+        return run_serve_instance(instance, seed)
+
+    def verify(instance, result: RunResult) -> VerificationReport:
+        from ..serve.loadgen import verify_serve
+
+        return verify_serve(instance, result)
+
+    tenants = num_resources * tenants_per_resource
+    return Scenario(
+        name=name or f"{SERVE_FAMILY}-{workload}",
+        family=SERVE_FAMILY,
+        workload=workload,
+        description=(
+            f"served lease-broker loadgen, {tenants} closed-loop tenants "
+            f"over unix sockets, {num_shards} shard brokers, "
+            f"{workload} demand days"
+        ),
+        build=build,
+        run=run,
+        verify=verify,
+        optimum=lambda instance: broker_trace_optimum(instance.trace),
+    )
+
+
 _FAMILY_BUILDERS: dict[str, Callable[[str], Scenario]] = {
     "parking": _parking_scenario,
     "setcover": _setcover_scenario,
@@ -583,4 +674,8 @@ BUILTIN_SCENARIOS: tuple[Scenario, ...] = tuple(_register_builtins())
 
 BROKER_SCENARIOS: tuple[Scenario, ...] = tuple(
     register(make_broker_scenario(workload)) for workload in WORKLOAD_NAMES
+)
+
+SERVE_SCENARIOS: tuple[Scenario, ...] = tuple(
+    register(make_serve_scenario(workload)) for workload in WORKLOAD_NAMES
 )

@@ -1,0 +1,76 @@
+"""repro.serve — the asyncio lease-serving front end.
+
+The ROADMAP's serving milestone: :mod:`repro.engine`'s synchronous
+:class:`~repro.engine.broker.LeaseBroker` put behind a real service
+boundary, so concurrent tenants multiplex over sockets instead of
+sharing one Python call stack.
+
+* :mod:`repro.serve.protocol` — the length-prefixed JSON wire protocol
+  (``acquire / renew / release / tick / stats / report / trace / drain /
+  shutdown``) with request ids and typed error frames.
+* :mod:`repro.serve.server` — :class:`LeaseServer`, an asyncio TCP +
+  unix-socket server that owns one broker per resource shard (PR 2's
+  shard ranges) and serializes every mutation through that shard's
+  dispatch queue; :class:`ServerThread` hosts its loop for sync callers.
+* :mod:`repro.serve.client` — :class:`AsyncLeaseClient` (pipelined) and
+  :class:`AsyncClientPool`, plus the blocking reconnecting
+  :class:`LeaseClient`.
+* :mod:`repro.serve.session` — per-tenant sessions: bounded in-flight
+  windows (backpressure error frames) and idle expiry.
+* :mod:`repro.serve.loadgen` — closed-loop tenant workloads over unix
+  sockets whose served aggregate is checked byte-identical against an
+  inline replay of the merged trace; powers the ``serve-*`` scenario
+  family, ``python -m repro engine {serve,loadgen}``, and the ``p03``
+  perf benchmark.
+"""
+
+from .client import AsyncClientPool, AsyncLeaseClient, LeaseClient
+from .loadgen import (
+    ServeInstance,
+    build_serve_instance,
+    compare_with_inline,
+    drive_tenants,
+    merge_shard_payloads,
+    replay_applied,
+    run_serve_instance,
+    serve_once,
+    verify_serve,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    ServeError,
+    encode_frame,
+)
+from .server import LeaseServer, ServerThread, shard_ranges
+from .session import SessionRegistry, TenantSession
+
+__all__ = [
+    "AsyncClientPool",
+    "AsyncLeaseClient",
+    "FrameDecoder",
+    "LeaseClient",
+    "LeaseServer",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeError",
+    "ServeInstance",
+    "ServerThread",
+    "SessionRegistry",
+    "TenantSession",
+    "build_serve_instance",
+    "compare_with_inline",
+    "drive_tenants",
+    "encode_frame",
+    "merge_shard_payloads",
+    "replay_applied",
+    "run_serve_instance",
+    "serve_once",
+    "shard_ranges",
+    "verify_serve",
+]

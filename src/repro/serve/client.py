@@ -1,0 +1,369 @@
+"""Clients for the lease-serving wire protocol: async and sync.
+
+:class:`AsyncLeaseClient` is the pipelining client the loadgen tenants
+use: one connection, any number of in-flight requests, responses matched
+back to awaiting callers by request id by a background reader task.
+:class:`AsyncClientPool` spreads calls round-robin over a fixed set of
+such connections.  :class:`LeaseClient` is the blocking counterpart for
+synchronous callers (scripts, tests, CLIs without an event loop): one
+socket, sequential calls, an explicit :meth:`LeaseClient.pipeline` for
+batched round trips, and optional transparent reconnect — a call that
+hits a dead connection redials (retrying the connect for a bounded
+window) and resends once, which is what lets a client ride through a
+server restart.
+
+Both clients raise :class:`~repro.serve.protocol.ServeError` when the
+server answers with an error frame, with the frame's ``kind`` preserved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import time
+from typing import Any, Sequence
+
+from ..errors import ModelError
+from .protocol import (
+    ProtocolError,
+    ServeError,
+    parse_response,
+    read_frame,
+    recv_frame,
+    request,
+    send_frame,
+    write_frame,
+)
+
+
+class AsyncLeaseClient:
+    """One pipelined protocol connection on the running event loop.
+
+    Construct through :meth:`open_unix` / :meth:`open_tcp`; both accept a
+    ``retry_for`` window during which connection refusals are retried —
+    the standard way to wait for a server that is still binding its
+    socket.
+    """
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._send_lock = asyncio.Lock()
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    async def open_unix(
+        cls, path: str, retry_for: float = 5.0
+    ) -> "AsyncLeaseClient":
+        reader, writer = await _retry_connect(
+            lambda: asyncio.open_unix_connection(path), retry_for
+        )
+        return cls(reader, writer)
+
+    @classmethod
+    async def open_tcp(
+        cls, host: str, port: int, retry_for: float = 5.0
+    ) -> "AsyncLeaseClient":
+        reader, writer = await _retry_connect(
+            lambda: asyncio.open_connection(host, port), retry_for
+        )
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------------
+    # Core call machinery
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                payload = await read_frame(self._reader)
+                if payload is None:
+                    break
+                future = self._pending.pop(payload.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(payload)
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("server closed the connection")
+                    )
+            self._pending.clear()
+
+    async def call(self, op: str, **fields: Any) -> dict:
+        """One request/response round trip; pipelines freely across tasks."""
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._send_lock:
+                await write_frame(
+                    self._writer, request(op, request_id, **fields)
+                )
+        except BaseException:
+            self._pending.pop(request_id, None)
+            raise
+        return parse_response(await future)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Op surface
+    # ------------------------------------------------------------------
+    async def hello(self) -> dict:
+        return await self.call("hello")
+
+    async def acquire(self, tenant: str, resource: int, time: int) -> dict:
+        return await self.call(
+            "acquire", tenant=tenant, resource=resource, time=time
+        )
+
+    async def renew(self, tenant: str, resource: int, time: int) -> dict:
+        return await self.call(
+            "renew", tenant=tenant, resource=resource, time=time
+        )
+
+    async def release(self, tenant: str, resource: int, time: int) -> dict:
+        return await self.call(
+            "release", tenant=tenant, resource=resource, time=time
+        )
+
+    async def tick(self, time: int) -> dict:
+        return await self.call("tick", time=time)
+
+    async def stats(self) -> dict:
+        return await self.call("stats")
+
+    async def report(self) -> dict:
+        return await self.call("report")
+
+    async def trace(self) -> dict:
+        return await self.call("trace")
+
+    async def drain(self) -> dict:
+        return await self.call("drain")
+
+    async def shutdown(self) -> dict:
+        return await self.call("shutdown")
+
+
+async def _retry_connect(factory, retry_for: float):
+    deadline = time.monotonic() + retry_for
+    while True:
+        try:
+            return await factory()
+        except (ConnectionRefusedError, FileNotFoundError, OSError):
+            if time.monotonic() >= deadline:
+                raise
+            await asyncio.sleep(0.05)
+
+
+class AsyncClientPool:
+    """A fixed pool of pipelined connections, dealt out round-robin.
+
+    ``call`` hands each request to the next connection in turn, so many
+    concurrent callers spread over every socket while each individual
+    request stays an ordinary pipelined call.
+    """
+
+    def __init__(self, clients: Sequence[AsyncLeaseClient]):
+        if not clients:
+            raise ModelError("AsyncClientPool needs at least one client")
+        self._clients = tuple(clients)
+        self._cursor = itertools.cycle(range(len(self._clients)))
+
+    @classmethod
+    async def open_unix(
+        cls, path: str, size: int = 4, retry_for: float = 5.0
+    ) -> "AsyncClientPool":
+        clients = [
+            await AsyncLeaseClient.open_unix(path, retry_for=retry_for)
+            for _ in range(size)
+        ]
+        return cls(clients)
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+    def client(self) -> AsyncLeaseClient:
+        """The next connection in round-robin order."""
+        return self._clients[next(self._cursor)]
+
+    async def call(self, op: str, **fields: Any) -> dict:
+        return await self.client().call(op, **fields)
+
+    async def close(self) -> None:
+        for client in self._clients:
+            await client.close()
+
+
+class LeaseClient:
+    """Blocking protocol client with bounded-retry connect and reconnect.
+
+    Args:
+        path: unix-socket path (exclusive with ``host``/``port``).
+        host, port: TCP address (exclusive with ``path``).
+        connect_timeout: seconds to keep retrying the initial dial (and
+            any redial) while the server is not accepting yet.
+        reconnect: when a call hits a dead connection, redial within
+            ``connect_timeout`` and resend the request once — the client
+            survives a server restart, losing only the in-flight call's
+            at-most-once guarantee (mutations here are idempotent
+            per-day, so a resend is safe).
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        connect_timeout: float = 5.0,
+        reconnect: bool = True,
+    ):
+        if (path is None) == (host is None or port is None):
+            raise ModelError(
+                "LeaseClient needs either a unix path or host+port"
+            )
+        self._path = path
+        self._addr = (host, port) if host is not None else None
+        self._connect_timeout = connect_timeout
+        self._reconnect = reconnect
+        self._ids = itertools.count(1)
+        self._sock: socket.socket | None = None
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def connect(self) -> "LeaseClient":
+        """Dial the server, retrying refusals until ``connect_timeout``."""
+        self.close()
+        deadline = time.monotonic() + self._connect_timeout
+        while True:
+            try:
+                if self._path is not None:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.connect(self._path)
+                else:
+                    sock = socket.create_connection(self._addr)
+                self._sock = sock
+                return self
+            except (ConnectionRefusedError, FileNotFoundError, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "LeaseClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def call(self, op: str, **fields: Any) -> dict:
+        """One blocking round trip, transparently redialing once if dead."""
+        try:
+            return self._call_once(op, fields)
+        except (ConnectionError, BrokenPipeError, ProtocolError, OSError):
+            if not self._reconnect:
+                raise
+            self.connect()
+            return self._call_once(op, fields)
+
+    def _call_once(self, op: str, fields: dict) -> dict:
+        if self._sock is None:
+            self.connect()
+        request_id = next(self._ids)
+        send_frame(self._sock, request(op, request_id, **fields))
+        while True:
+            payload = recv_frame(self._sock)
+            if payload is None:
+                raise ConnectionError("server closed the connection")
+            if payload.get("id") == request_id:
+                return parse_response(payload)
+
+    def pipeline(
+        self, requests: Sequence[tuple[str, dict]]
+    ) -> list[dict | ServeError]:
+        """Send every request before reading any response.
+
+        Returns one entry per request, in request order: the result dict,
+        or the :class:`ServeError` that request drew.  Unlike :meth:`call`
+        this never resends — a batch that dies mid-flight raises.
+        """
+        if self._sock is None:
+            self.connect()
+        ids = []
+        for op, fields in requests:
+            request_id = next(self._ids)
+            ids.append(request_id)
+            send_frame(self._sock, request(op, request_id, **fields))
+        by_id: dict[int, dict | ServeError] = {}
+        wanted = set(ids)
+        while wanted:
+            payload = recv_frame(self._sock)
+            if payload is None:
+                raise ConnectionError("server closed mid-pipeline")
+            request_id = payload.get("id")
+            if request_id not in wanted:
+                continue
+            wanted.discard(request_id)
+            try:
+                by_id[request_id] = parse_response(payload)
+            except ServeError as exc:
+                by_id[request_id] = exc
+        return [by_id[request_id] for request_id in ids]
+
+    # Convenience wrappers mirroring the async client.
+    def hello(self) -> dict:
+        return self.call("hello")
+
+    def acquire(self, tenant: str, resource: int, time: int) -> dict:
+        return self.call("acquire", tenant=tenant, resource=resource, time=time)
+
+    def renew(self, tenant: str, resource: int, time: int) -> dict:
+        return self.call("renew", tenant=tenant, resource=resource, time=time)
+
+    def release(self, tenant: str, resource: int, time: int) -> dict:
+        return self.call("release", tenant=tenant, resource=resource, time=time)
+
+    def tick(self, time: int) -> dict:
+        return self.call("tick", time=time)
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def report(self) -> dict:
+        return self.call("report")
+
+    def trace(self) -> dict:
+        return self.call("trace")
+
+    def drain(self) -> dict:
+        return self.call("drain")
+
+    def shutdown(self) -> dict:
+        return self.call("shutdown")

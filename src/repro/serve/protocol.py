@@ -1,0 +1,257 @@
+"""Length-prefixed JSON wire protocol for the lease-serving front end.
+
+One *frame* is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON encoding a single object.  Requests are
+envelopes ``{"id": <int>, "op": <str>, ...fields}``; responses echo the
+id as either an *ok frame* ``{"id": n, "ok": true, "result": {...}}`` or
+an *error frame* ``{"id": n, "ok": false, "error": {"kind": ...,
+"message": ...}}``.  Ids are chosen by the client and only need to be
+unique among its in-flight requests — they are what make pipelining
+possible: a client may write many request frames before reading any
+response and match responses back by id, in whatever order the server
+finishes them.
+
+The op surface mirrors the broker service plus serving control:
+
+========== ============================================================
+op         meaning
+========== ============================================================
+hello      server identity, protocol version, shard/schedule config
+acquire    grant ``tenant`` the ``resource`` from day ``time``
+renew      extend the tenant's running grant through day ``time``
+release    close the tenant's grant (no-op if none is live)
+tick       advance every shard's clock (expire grants), serve nothing
+stats      per-shard broker counters plus session registry snapshot
+report     per-shard aggregate run payloads (cost, leases, stats)
+trace      per-shard applied event logs (requires server recording)
+drain      stop admitting new acquires; renews/releases still served
+shutdown   acknowledge, then stop the server
+========== ============================================================
+
+Error *kinds* partition who misbehaved: ``protocol`` (malformed frame or
+request), ``model`` (the broker rejected the operation), ``draining``
+(acquire after drain), ``backpressure`` (tenant exceeded its in-flight
+window), ``unavailable`` (trace requested without recording).
+
+Everything here is transport-agnostic pure bytes plus thin asyncio and
+blocking-socket adapters, so the async server, the async client, and the
+sync client all speak through one encoder.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from ..errors import ModelError
+
+PROTOCOL_VERSION = 1
+
+#: Frame-length header: 4-byte big-endian unsigned payload size.
+HEADER = struct.Struct(">I")
+
+#: Hard ceiling on one frame's payload — a report frame carrying every
+#: lease of a smoke-sized run fits with orders of magnitude to spare; a
+#: corrupt or hostile length prefix does not get to allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+OPS: tuple[str, ...] = (
+    "hello",
+    "acquire",
+    "renew",
+    "release",
+    "tick",
+    "stats",
+    "report",
+    "trace",
+    "drain",
+    "shutdown",
+)
+
+#: Ops that mutate broker state and flow through a shard dispatch queue.
+MUTATION_OPS = frozenset({"acquire", "renew", "release", "tick"})
+
+ERROR_KINDS: tuple[str, ...] = (
+    "protocol",
+    "model",
+    "draining",
+    "backpressure",
+    "unavailable",
+)
+
+
+class ProtocolError(ModelError):
+    """A frame or envelope violated the wire format."""
+
+
+class ServeError(ModelError):
+    """A serve-layer request failed; ``kind`` names the error class.
+
+    Raised server-side to signal an error frame and re-raised client-side
+    when an error frame comes back, so both ends of the wire see the same
+    exception type with the same ``kind``/``message`` pair.
+    """
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+        self.message = message
+
+
+# ----------------------------------------------------------------------
+# Pure frame encoding
+# ----------------------------------------------------------------------
+def encode_frame(payload: dict) -> bytes:
+    """One wire frame: length header plus compact UTF-8 JSON body."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Decode one frame body; the payload must be a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+
+
+class FrameDecoder:
+    """Incremental frame reassembly for byte streams of any chunking.
+
+    Feed it whatever the transport produced; it returns every complete
+    frame payload and buffers the remainder.  The sync client reads
+    sockets through one of these, and the tests use it to prove frames
+    survive arbitrary fragmentation.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        self._buffer.extend(data)
+        frames: list[dict] = []
+        while True:
+            if len(self._buffer) < HEADER.size:
+                return frames
+            (length,) = HEADER.unpack_from(self._buffer)
+            _check_length(length)
+            end = HEADER.size + length
+            if len(self._buffer) < end:
+                return frames
+            body = bytes(self._buffer[HEADER.size:end])
+            del self._buffer[:end]
+            frames.append(decode_body(body))
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes of the not-yet-complete next frame."""
+        return len(self._buffer)
+
+
+# ----------------------------------------------------------------------
+# asyncio stream adapters
+# ----------------------------------------------------------------------
+async def read_frame(reader) -> dict | None:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        # IncompleteReadError subclasses EOFError, so a half-frame EOF
+        # lands here too and reads as a (slightly rude) disconnect.
+        header = await reader.readexactly(HEADER.size)
+    except (EOFError, ConnectionError, OSError):
+        return None
+    (length,) = HEADER.unpack(header)
+    _check_length(length)
+    body = await reader.readexactly(length)
+    return decode_body(body)
+
+
+async def write_frame(writer, payload: dict) -> None:
+    """Write one frame to an asyncio stream and drain the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket adapters (the sync client)
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Send one frame over a blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Receive one frame from a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exact(sock, HEADER.size)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    _check_length(length)
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_body(body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            return None
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+# ----------------------------------------------------------------------
+# Envelope helpers
+# ----------------------------------------------------------------------
+def request(op: str, request_id: int, **fields: Any) -> dict:
+    """A request envelope: id, op, and the op's fields."""
+    payload = {"id": request_id, "op": op}
+    payload.update(fields)
+    return payload
+
+
+def ok(request_id: Any, result: dict) -> dict:
+    """An ok response frame for ``request_id``."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error(request_id: Any, kind: str, message: str) -> dict:
+    """An error response frame for ``request_id``."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"kind": kind, "message": message},
+    }
+
+
+def parse_response(payload: dict) -> dict:
+    """Extract a response's result, raising :class:`ServeError` on error frames."""
+    if payload.get("ok"):
+        result = payload.get("result")
+        return result if isinstance(result, dict) else {}
+    detail = payload.get("error") or {}
+    raise ServeError(
+        str(detail.get("kind", "protocol")),
+        str(detail.get("message", "malformed error frame")),
+    )

@@ -1,0 +1,684 @@
+"""Asyncio lease-serving server: shard brokers behind a wire protocol.
+
+:class:`LeaseServer` is the service boundary the ROADMAP's first open
+item asks for — the synchronous, single-threaded
+:class:`~repro.engine.broker.LeaseBroker` put behind an asyncio TCP and
+unix-socket front end that multiplexes any number of concurrent tenants.
+
+**Ownership and threading contract.**  A broker is single-owner state:
+nothing in it is locked, and its clock must advance monotonically.  The
+server honors that by partitioning the resource space into the same
+contiguous shard ranges PR 2's intra-scenario sharding uses
+(:func:`shard_ranges`) and giving each shard its *own* broker plus its
+own ``asyncio.Queue`` and exactly one worker task.  Every mutation
+(acquire / renew / release / tick) is routed to its resource's shard
+queue and applied by that shard's worker alone — connection handlers
+never touch a broker directly, and neither does anything else.  Reads
+(``stats`` / ``report`` / ``trace``) travel through the same queues, so
+they act as barriers: a read observes every mutation enqueued before it.
+One event loop owns the whole server; :class:`ServerThread` wraps that
+loop in a daemon thread for synchronous callers (the sync client, CLI
+tests), which talk to it only over sockets.
+
+**Clock ratcheting.**  Tenants are independent closed loops, so their
+simulated days drift: a request can arrive carrying a ``time`` older
+than what its shard broker has already seen.  The worker ratchets such
+times up to the broker clock (``now = max(time, clock)``) — semantically
+"this request reaches the server *now*; its day is at least today" —
+and, when recording, logs the *applied* event, so a replay of the
+recorded trace through fresh brokers reproduces the server's state
+exactly (the serialized-trace equivalence the tests pin down).
+
+**Drain and shutdown.**  ``drain`` moves the server to a mode where new
+acquires are refused with a ``draining`` error frame while renews and
+releases — completing the lifecycle of grants already held — are still
+served, including every request already sitting in a dispatch queue.
+``shutdown`` stops accepting connections, lets the queues empty, stops
+the workers, and wakes :meth:`LeaseServer.run_until_stopped`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import threading
+
+from ..core.lease import LeaseSchedule
+from ..engine.broker import LeaseBroker, PolicyFactory
+from ..engine.events import Acquire, Event, Release, Tick, event_to_payload
+from ..engine.scenarios import shard_ranges as _shard_ranges
+from ..errors import ModelError
+from .protocol import (
+    MUTATION_OPS,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServeError,
+    error,
+    ok,
+    read_frame,
+    write_frame,
+)
+from .session import SessionRegistry
+
+#: Server lifecycle states, in order.
+STATES = ("serving", "draining", "stopped")
+
+_STOP = object()  # queue sentinel: worker exits after draining ahead of it
+
+
+def shard_ranges(num_resources: int, num_shards: int) -> tuple[tuple[int, int], ...]:
+    """The engine's shard partition, with empty server shards rejected.
+
+    Delegates to :func:`repro.engine.scenarios.shard_ranges` — one
+    formula shared with ``Scenario.build_shard`` — so a served workload
+    and an intra-scenario sharded replay agree on which broker owns
+    which resource.  Unlike replay merging, a server has no use for a
+    shard that owns zero resources, so oversubscription is an error.
+    """
+    if num_shards > num_resources:
+        raise ModelError(
+            f"num_shards ({num_shards}) cannot exceed num_resources "
+            f"({num_resources})"
+        )
+    return _shard_ranges(num_resources, num_shards)
+
+
+class _Shard:
+    """One shard: its broker, dispatch queue, worker, and applied log."""
+
+    __slots__ = ("index", "lo", "hi", "broker", "queue", "applied", "task")
+
+    def __init__(
+        self, index: int, lo: int, hi: int, broker: LeaseBroker, record: bool
+    ):
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.broker = broker
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.applied: list[Event] | None = [] if record else None
+        self.task: asyncio.Task | None = None
+
+
+def _grant_payload(grant) -> dict:
+    return {
+        "grant_id": grant.grant_id,
+        "tenant": grant.tenant,
+        "resource": grant.resource,
+        "acquired_at": grant.acquired_at,
+        "expires_at": grant.expires_at,
+        "released_at": grant.released_at,
+    }
+
+
+class LeaseServer:
+    """A lease broker served over asyncio TCP and/or unix sockets.
+
+    Args:
+        schedule: lease types backing every shard broker.
+        num_resources: size of the resource id space ``[0, num_resources)``.
+        num_shards: contiguous resource shards (one broker + one worker
+            each); must not exceed ``num_resources``.
+        policy_factory: per-resource policy override, passed through to
+            each shard's :class:`~repro.engine.broker.LeaseBroker`.
+        record: keep a per-shard log of *applied* events (clock-ratcheted
+            times) for the ``trace`` op and serialized-replay checks.
+        session_window: per-tenant in-flight request bound.
+        idle_timeout: seconds before an idle tenant session is reaped.
+        sweep_interval: seconds between reaper sweeps.
+    """
+
+    def __init__(
+        self,
+        schedule: LeaseSchedule,
+        num_resources: int,
+        num_shards: int = 1,
+        policy_factory: PolicyFactory | None = None,
+        record: bool = False,
+        session_window: int = 64,
+        idle_timeout: float = 60.0,
+        sweep_interval: float = 5.0,
+    ):
+        if num_resources < 1:
+            raise ModelError("num_resources must be >= 1")
+        self.schedule = schedule
+        self.num_resources = num_resources
+        self.ranges = shard_ranges(num_resources, num_shards)
+        self._shard_los = [lo for lo, _ in self.ranges]
+        self._shards = [
+            _Shard(
+                index,
+                lo,
+                hi,
+                LeaseBroker(schedule, policy_factory=policy_factory),
+                record,
+            )
+            for index, (lo, hi) in enumerate(self.ranges)
+        ]
+        self._record = record
+        self.sessions = SessionRegistry(
+            window=session_window, idle_timeout=idle_timeout
+        )
+        self._sweep_interval = sweep_interval
+        self._state = "serving"
+        self._servers: list[asyncio.base_events.Server] = []
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._reaper: asyncio.Task | None = None
+        self._stopped = asyncio.Event()
+        self._shutdown_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current lifecycle state: serving, draining, or stopped."""
+        return self._state
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def _ensure_workers(self) -> None:
+        if self._shards[0].task is not None:
+            return
+        for shard in self._shards:
+            shard.task = asyncio.create_task(
+                self._worker(shard), name=f"serve-shard-{shard.index}"
+            )
+        self._reaper = asyncio.create_task(
+            self._sweep_sessions(), name="serve-session-reaper"
+        )
+
+    async def start_unix(self, path: str) -> None:
+        """Start serving on a unix socket at ``path``."""
+        self._ensure_workers()
+        server = await asyncio.start_unix_server(
+            self._handle_connection, path=path
+        )
+        self._servers.append(server)
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Start serving on TCP; returns the bound port."""
+        self._ensure_workers()
+        server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port
+        )
+        self._servers.append(server)
+        return server.sockets[0].getsockname()[1]
+
+    def drain(self) -> str:
+        """Refuse new acquires; keep serving renews and releases."""
+        if self._state == "serving":
+            self._state = "draining"
+        return self._state
+
+    async def shutdown(self) -> None:
+        """Graceful stop: close listeners, empty queues, stop workers."""
+        if self._state == "stopped":
+            await self._stopped.wait()
+            return
+        self._state = "stopped"
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except Exception:
+                pass
+        if self._shards[0].task is not None:
+            for shard in self._shards:
+                await shard.queue.join()  # every enqueued request answered
+                shard.queue.put_nowait(_STOP)
+            await asyncio.gather(
+                *(shard.task for shard in self._shards),
+                return_exceptions=True,
+            )
+            # A mutation that passed its state check just before the flip
+            # can slip in behind _STOP; fail it rather than strand its
+            # future (and the connection handler awaiting it) forever.
+            for shard in self._shards:
+                while not shard.queue.empty():
+                    item = shard.queue.get_nowait()
+                    shard.queue.task_done()
+                    if item is _STOP:
+                        continue
+                    future = item[-1]
+                    if not future.done():
+                        future.set_exception(
+                            ServeError("unavailable", "server is stopped")
+                        )
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+        for writer in tuple(self._writers):
+            writer.close()
+        # Let every connection handler notice its closed transport and
+        # unwind before the loop is torn down under it.
+        lingering = [
+            task
+            for task in tuple(self._conn_tasks)
+            if task is not asyncio.current_task()
+        ]
+        if lingering:
+            await asyncio.gather(*lingering, return_exceptions=True)
+        self._stopped.set()
+
+    async def run_until_stopped(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------------
+    # Shard workers: the only code that touches a broker
+    # ------------------------------------------------------------------
+    async def _worker(self, shard: _Shard) -> None:
+        queue = shard.queue
+        broker = shard.broker
+        while True:
+            item = await queue.get()
+            if item is _STOP:
+                queue.task_done()
+                return
+            op, tenant, resource, when, future = item
+            try:
+                result = self._apply_to_shard(
+                    shard, broker, op, tenant, resource, when
+                )
+            except ServeError as exc:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            except ModelError as exc:
+                if not future.cancelled():
+                    future.set_exception(ServeError("model", str(exc)))
+            except Exception as exc:  # pragma: no cover - defensive
+                if not future.cancelled():
+                    future.set_exception(
+                        ServeError("model", f"{type(exc).__name__}: {exc}")
+                    )
+            else:
+                if not future.cancelled():
+                    future.set_result(result)
+            finally:
+                queue.task_done()
+
+    def _apply_to_shard(
+        self,
+        shard: _Shard,
+        broker: LeaseBroker,
+        op: str,
+        tenant: str | None,
+        resource: int | None,
+        when: int | None,
+    ) -> dict:
+        if op in MUTATION_OPS:
+            # Ratchet stale times to the shard clock: the request reaches
+            # this broker *now*, whatever day its tenant believes it is.
+            now = when if when >= broker.clock else broker.clock
+            if op == "acquire":
+                grant = broker.acquire(tenant, resource, now)
+                if shard.applied is not None:
+                    shard.applied.append(
+                        Acquire(time=now, tenant=tenant, resource=resource)
+                    )
+                return {"grant": _grant_payload(grant), "applied_time": now}
+            if op == "renew":
+                grant = broker.renew(tenant, resource, now)
+                if shard.applied is not None:
+                    shard.applied.append(
+                        Acquire(time=now, tenant=tenant, resource=resource)
+                    )
+                return {"grant": _grant_payload(grant), "applied_time": now}
+            if op == "release":
+                grant = broker.release(tenant, resource, now)
+                if shard.applied is not None:
+                    shard.applied.append(
+                        Release(time=now, tenant=tenant, resource=resource)
+                    )
+                return {
+                    "grant": None if grant is None else _grant_payload(grant),
+                    "applied_time": now,
+                }
+            # op == "tick"
+            broker.tick(now)
+            if shard.applied is not None:
+                shard.applied.append(Tick(time=now))
+            return {"applied_time": now}
+        if op == "stats":
+            return {
+                "index": shard.index,
+                "lo": shard.lo,
+                "hi": shard.hi,
+                "clock": broker.clock,
+                "num_active": broker.num_active,
+                "stats": broker.stats.as_dict(),
+            }
+        if op == "report":
+            leases = broker.leases
+            return {
+                "index": shard.index,
+                "cost": sum(lease.cost for lease in leases),
+                "leases": [
+                    [
+                        lease.resource,
+                        lease.type_index,
+                        lease.start,
+                        lease.length,
+                        lease.cost,
+                    ]
+                    for lease in leases
+                ],
+                "stats": broker.stats.mergeable(),
+                "num_active": broker.num_active,
+                "num_demands": broker.stats.acquires + broker.stats.renewals,
+            }
+        if op == "trace":
+            if shard.applied is None:
+                raise ServeError(
+                    "unavailable",
+                    "server was started without record=True; no applied "
+                    "trace is kept",
+                )
+            return {
+                "index": shard.index,
+                "lo": shard.lo,
+                "hi": shard.hi,
+                "events": [event_to_payload(e) for e in shard.applied],
+            }
+        raise ServeError("protocol", f"unhandled shard op {op!r}")
+
+    async def _sweep_sessions(self) -> None:
+        while True:
+            await asyncio.sleep(self._sweep_interval)
+            self.sessions.expire_idle()
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def _shard_of(self, resource: int) -> _Shard:
+        # Ranges are contiguous and exhaustive over [0, num_resources),
+        # so the owning shard is the last one starting at or before the
+        # resource — one bisect on the range starts.
+        where = bisect.bisect_right(self._shard_los, resource) - 1
+        return self._shards[where]
+
+    async def _enqueue(
+        self,
+        shard: _Shard,
+        op: str,
+        tenant: str | None,
+        resource: int | None,
+        when: int | None,
+    ) -> dict:
+        future = asyncio.get_running_loop().create_future()
+        shard.queue.put_nowait((op, tenant, resource, when, future))
+        return await future
+
+    async def _broadcast(
+        self, op: str, when: int | None = None
+    ) -> list[dict]:
+        return list(
+            await asyncio.gather(
+                *(
+                    self._enqueue(shard, op, None, None, when)
+                    for shard in self._shards
+                )
+            )
+        )
+
+    @staticmethod
+    def _field_time(payload: dict) -> int:
+        when = payload.get("time")
+        if not isinstance(when, int) or isinstance(when, bool) or when < 0:
+            raise ServeError("protocol", f"time must be an int >= 0, got {when!r}")
+        return when
+
+    def _field_tenant(self, payload: dict) -> str:
+        tenant = payload.get("tenant")
+        if not isinstance(tenant, str) or not tenant:
+            raise ServeError(
+                "protocol", f"tenant must be a non-empty string, got {tenant!r}"
+            )
+        return tenant
+
+    def _field_resource(self, payload: dict) -> int:
+        resource = payload.get("resource")
+        if (
+            not isinstance(resource, int)
+            or isinstance(resource, bool)
+            or not 0 <= resource < self.num_resources
+        ):
+            raise ServeError(
+                "protocol",
+                f"resource must be an int in [0, {self.num_resources}), "
+                f"got {resource!r}",
+            )
+        return resource
+
+    async def _apply(self, op: str, payload: dict) -> dict:
+        when = self._field_time(payload)
+        if self._state == "stopped":
+            raise ServeError("unavailable", "server is stopped")
+        if op == "tick":
+            applied = await self._broadcast("tick", when)
+            return {"applied_time": max(r["applied_time"] for r in applied)}
+        tenant = self._field_tenant(payload)
+        resource = self._field_resource(payload)
+        if op == "acquire" and self._state != "serving":
+            raise ServeError(
+                "draining", "server is draining; new acquires are refused"
+            )
+        session = self.sessions.try_acquire(tenant)
+        if session is None:
+            raise ServeError(
+                "backpressure",
+                f"tenant {tenant!r} exceeded its in-flight window "
+                f"({self.sessions.window})",
+            )
+        try:
+            return await self._enqueue(
+                self._shard_of(resource), op, tenant, resource, when
+            )
+        finally:
+            self.sessions.release(session)
+
+    def _hello(self) -> dict:
+        return {
+            "server": "repro.serve",
+            "protocol": PROTOCOL_VERSION,
+            "state": self._state,
+            "record": self._record,
+            "num_resources": self.num_resources,
+            "num_shards": self.num_shards,
+            "ranges": [list(r) for r in self.ranges],
+            "schedule": {
+                "num_types": self.schedule.num_types,
+                "lengths": [t.length for t in self.schedule],
+                "costs": [t.cost for t in self.schedule],
+            },
+        }
+
+    async def _control(self, op: str) -> dict:
+        if op == "hello":
+            return self._hello()
+        if op == "stats":
+            return {
+                "state": self._state,
+                "sessions": self.sessions.snapshot(),
+                "shards": await self._broadcast("stats"),
+            }
+        if op == "report":
+            return {"shards": await self._broadcast("report")}
+        if op == "trace":
+            return {"shards": await self._broadcast("trace")}
+        if op == "drain":
+            return {"state": self.drain()}
+        raise ServeError("protocol", f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        self._writers.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        write_lock = asyncio.Lock()
+        inflight: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    payload = await read_frame(reader)
+                except ProtocolError as exc:
+                    # The byte stream is unparseable from here on: name
+                    # the violation, then hang up rather than resync.
+                    await self._respond(
+                        writer, write_lock, error(None, "protocol", str(exc))
+                    )
+                    break
+                if payload is None:
+                    break
+                request_id = payload.get("id")
+                op = payload.get("op")
+                if op in MUTATION_OPS:
+                    # Pipelining: each mutation runs as its own task so a
+                    # connection can have many requests in the shard
+                    # queues at once; responses return in completion
+                    # order, matched by id.
+                    mutation = asyncio.create_task(
+                        self._serve_mutation(
+                            op, payload, request_id, writer, write_lock
+                        )
+                    )
+                    inflight.add(mutation)
+                    mutation.add_done_callback(inflight.discard)
+                    continue
+                if op == "shutdown":
+                    await self._respond(
+                        writer, write_lock, ok(request_id, {"state": "stopped"})
+                    )
+                    self._shutdown_task = asyncio.create_task(self.shutdown())
+                    break
+                if op not in OPS:
+                    await self._respond(
+                        writer,
+                        write_lock,
+                        error(
+                            request_id,
+                            "protocol",
+                            f"unknown op {op!r}; known: {', '.join(OPS)}",
+                        ),
+                    )
+                    continue
+                try:
+                    result = await self._control(op)
+                    frame = ok(request_id, result)
+                except ServeError as exc:
+                    frame = error(request_id, exc.kind, exc.message)
+                await self._respond(writer, write_lock, frame)
+        finally:
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _serve_mutation(
+        self, op, payload, request_id, writer, write_lock
+    ) -> None:
+        try:
+            result = await self._apply(op, payload)
+            frame = ok(request_id, result)
+        except ServeError as exc:
+            frame = error(request_id, exc.kind, exc.message)
+        await self._respond(writer, write_lock, frame)
+
+    async def _respond(self, writer, write_lock, frame: dict) -> None:
+        async with write_lock:
+            try:
+                await write_frame(writer, frame)
+            except (ConnectionError, RuntimeError, OSError):
+                pass  # client went away; its response has nowhere to go
+
+
+class ServerThread:
+    """Host a :class:`LeaseServer`'s event loop in a daemon thread.
+
+    The synchronous world's handle on the server: start it, read the
+    bound addresses, and stop it — everything else happens over sockets.
+    The thread owns the loop and the server outright (the ownership
+    contract above); the creating thread must not touch the server
+    object after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        server: LeaseServer,
+        unix_path: str | None = None,
+        tcp: tuple[str, int] | None = None,
+    ):
+        if unix_path is None and tcp is None:
+            raise ModelError("ServerThread needs a unix path or a TCP address")
+        self._server = server
+        self._unix_path = unix_path
+        self._tcp = tcp
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self.tcp_port: int | None = None
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ModelError("serve thread failed to start in time")
+        if self._error is not None:
+            raise ModelError(f"serve thread failed: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        try:
+            if self._unix_path is not None:
+                await self._server.start_unix(self._unix_path)
+            if self._tcp is not None:
+                self.tcp_port = await self._server.start_tcp(*self._tcp)
+            self._loop = asyncio.get_running_loop()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._server.run_until_stopped()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut the server down and join the thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self._server.shutdown(), self._loop
+            )
+            try:
+                future.result(timeout)
+            except Exception:
+                pass
+        self._thread.join(timeout)

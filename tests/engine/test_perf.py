@@ -24,6 +24,11 @@ def p02_record():
     return perf.measure("p02_runner", "unit")
 
 
+@pytest.fixture(scope="module")
+def p03_record():
+    return perf.measure("p03_serve", "unit")
+
+
 class TestMeasure:
     def test_p01_record_shape(self, p01_record):
         assert p01_record["schema"] == perf.SCHEMA
@@ -41,6 +46,24 @@ class TestMeasure:
         assert metrics["verified"] is True
         assert metrics["events"] > 0
         assert metrics["shard_speedup"] > 0
+
+    def test_p03_record_shape(self, p03_record):
+        assert p03_record["bench"] == "p03_serve"
+        metrics = p03_record["metrics"]
+        assert metrics["report_equal"] is True
+        assert metrics["verified"] is True
+        assert metrics["events"] > 0
+        assert metrics["events"] == metrics["requests"]
+        assert metrics["tenants"] == (
+            p03_record["params"]["num_resources"]
+            * p03_record["params"]["tenants_per_resource"]
+        )
+        assert metrics["events_per_sec"] > 0
+
+    def test_p03_is_deterministic_in_structure(self, p03_record):
+        again = perf.measure("p03_serve", "unit")
+        for key in ("events", "leases", "cost", "tenants"):
+            assert again["metrics"][key] == p03_record["metrics"][key]
 
     def test_p01_is_deterministic_in_structure(self, p01_record):
         again = perf.measure("p01_broker", "unit")

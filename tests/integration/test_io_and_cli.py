@@ -119,6 +119,33 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_engine_list_shows_shardable_column(self, capsys):
+        assert main(["engine", "list"]) == 0
+        output = capsys.readouterr().out
+        header, rows = output.splitlines()[1], output.splitlines()[3:]
+        assert "shardable" in header
+        broker_rows = [row for row in rows if "broker-" in row]
+        serve_rows = [row for row in rows if "serve-" in row]
+        assert broker_rows and all("yes" in row for row in broker_rows)
+        assert serve_rows and not any("yes" in row for row in serve_rows)
+
+    def test_engine_run_shards_rejects_non_shardable(self, capsys):
+        assert main(
+            ["engine", "run", "--scenario", "parking-markov", "--shards", "2"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "parking-markov" in err
+        assert "shardable" in err
+
+    def test_engine_loadgen_in_process(self, capsys):
+        assert main(
+            ["engine", "loadgen", "--horizon", "48", "--resources", "4",
+             "--shards", "2", "--check"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "report equals inline replay" in output
+        assert "NO" not in output
+
     def test_seed_reproducibility(self, capsys):
         main(["parking", "--horizon", "80", "--seed", "5"])
         first = capsys.readouterr().out

@@ -1,0 +1,23 @@
+"""Serve-suite fixtures: short-lived unix sockets under short paths.
+
+Unix socket paths are capped around 100 bytes by the kernel, so the
+fixtures allocate their own short ``/tmp`` directories instead of using
+pytest's (potentially deep) ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def sock_path():
+    workdir = tempfile.mkdtemp(prefix="rsv-")
+    try:
+        yield str(Path(workdir) / "serve.sock")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

@@ -1,0 +1,132 @@
+"""Client behaviour: sync calls over a threaded server, pipelining,
+reconnect across a server restart, and async pool round-robin."""
+
+import asyncio
+import contextlib
+import os
+
+import pytest
+
+from repro.core import LeaseSchedule
+from repro.serve import (
+    AsyncClientPool,
+    LeaseClient,
+    LeaseServer,
+    ServeError,
+    ServerThread,
+)
+
+SCHEDULE = LeaseSchedule.power_of_two(4, cost_growth=2.0)
+
+
+def _server() -> LeaseServer:
+    return LeaseServer(SCHEDULE, num_resources=8, num_shards=4, record=True)
+
+
+class TestSyncClient:
+    def test_basic_ops_over_a_threaded_server(self, sock_path):
+        thread = ServerThread(_server(), unix_path=sock_path).start()
+        try:
+            with LeaseClient(path=sock_path) as client:
+                hello = client.hello()
+                assert hello["protocol"] >= 1
+                grant = client.acquire("t", 2, 0)["grant"]
+                assert grant["resource"] == 2
+                assert client.release("t", 2, 0)["grant"]["released_at"] == 0
+                assert client.stats()["sessions"]["tenants"] == 1
+        finally:
+            thread.stop()
+
+    def test_pipeline_matches_responses_by_id(self, sock_path):
+        thread = ServerThread(_server(), unix_path=sock_path).start()
+        try:
+            with LeaseClient(path=sock_path) as client:
+                results = client.pipeline(
+                    [
+                        ("acquire", {"tenant": f"t{n}", "resource": n, "time": 0})
+                        for n in range(6)
+                    ]
+                )
+                assert [r["grant"]["resource"] for r in results] == list(range(6))
+        finally:
+            thread.stop()
+
+    def test_pipeline_reports_per_request_errors(self, sock_path):
+        thread = ServerThread(_server(), unix_path=sock_path).start()
+        try:
+            with LeaseClient(path=sock_path) as client:
+                good, bad = client.pipeline(
+                    [
+                        ("acquire", {"tenant": "t", "resource": 1, "time": 0}),
+                        ("acquire", {"tenant": "t", "resource": 999, "time": 0}),
+                    ]
+                )
+                assert good["grant"]["resource"] == 1
+                assert isinstance(bad, ServeError) and bad.kind == "protocol"
+        finally:
+            thread.stop()
+
+    def test_reconnect_after_server_restart(self, sock_path):
+        first = ServerThread(_server(), unix_path=sock_path).start()
+        client = LeaseClient(path=sock_path, reconnect=True).connect()
+        try:
+            assert client.acquire("t", 0, 0)["grant"]["resource"] == 0
+            first.stop()
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(sock_path)
+            second = ServerThread(_server(), unix_path=sock_path).start()
+            try:
+                # The old socket is dead; the call redials and resends.
+                grant = client.acquire("t", 1, 5)["grant"]
+                assert grant["resource"] == 1
+                # The restarted server is a fresh broker: grant ids reset.
+                assert grant["grant_id"] == 1
+            finally:
+                second.stop()
+        finally:
+            client.close()
+
+    def test_no_reconnect_raises_on_dead_server(self, sock_path):
+        thread = ServerThread(_server(), unix_path=sock_path).start()
+        client = LeaseClient(
+            path=sock_path, reconnect=False, connect_timeout=0.2
+        ).connect()
+        try:
+            client.acquire("t", 0, 0)
+            thread.stop()
+            with pytest.raises((ConnectionError, OSError)):
+                client.acquire("t", 1, 1)
+        finally:
+            client.close()
+
+    def test_needs_exactly_one_address(self):
+        with pytest.raises(Exception):
+            LeaseClient()
+        with pytest.raises(Exception):
+            LeaseClient(path="/tmp/x.sock", host="localhost", port=1)
+
+
+class TestAsyncPool:
+    def test_pool_spreads_calls_round_robin(self, sock_path):
+        async def main():
+            server = _server()
+            await server.start_unix(sock_path)
+            pool = await AsyncClientPool.open_unix(sock_path, size=3)
+            assert len(pool) == 3
+            first, second = pool.client(), pool.client()
+            assert first is not second
+            results = await asyncio.gather(
+                *(
+                    pool.call(
+                        "acquire", tenant=f"t{n}", resource=n % 8, time=0
+                    )
+                    for n in range(9)
+                )
+            )
+            await pool.close()
+            await server.shutdown()
+            return results
+
+        results = asyncio.run(main())
+        assert len(results) == 9
+        assert all("grant" in r for r in results)

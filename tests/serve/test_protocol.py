@@ -1,0 +1,81 @@
+"""Wire-protocol mechanics: framing, fragmentation, envelopes, errors."""
+
+import pytest
+
+from repro.serve.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    ServeError,
+    decode_body,
+    encode_frame,
+    error,
+    ok,
+    parse_response,
+    request,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"id": 7, "op": "acquire", "tenant": "t", "resource": 3}
+        frame = encode_frame(payload)
+        (length,) = HEADER.unpack(frame[: HEADER.size])
+        assert length == len(frame) - HEADER.size
+        assert decode_body(frame[HEADER.size:]) == payload
+
+    def test_decoder_handles_any_fragmentation(self):
+        payloads = [{"id": n, "op": "tick", "time": n} for n in range(5)]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        for chunk in (1, 2, 3, 7, len(stream)):
+            decoder = FrameDecoder()
+            seen = []
+            for start in range(0, len(stream), chunk):
+                seen.extend(decoder.feed(stream[start:start + chunk]))
+            assert seen == payloads
+            assert decoder.pending_bytes == 0
+
+    def test_decoder_buffers_partial_frames(self):
+        frame = encode_frame({"id": 1, "op": "hello"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:3]) == []
+        assert decoder.pending_bytes == 3
+        assert decoder.feed(frame[3:]) == [{"id": 1, "op": "hello"}]
+
+    def test_oversize_length_prefix_rejected(self):
+        decoder = FrameDecoder()
+        huge = HEADER.pack(MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError):
+            decoder.feed(huge)
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_body(b"[1, 2, 3]")
+        with pytest.raises(ProtocolError):
+            decode_body(b"\xff\xfe")
+
+
+class TestEnvelopes:
+    def test_request_envelope(self):
+        assert request("acquire", 9, tenant="t", resource=1, time=4) == {
+            "id": 9,
+            "op": "acquire",
+            "tenant": "t",
+            "resource": 1,
+            "time": 4,
+        }
+
+    def test_ok_frame_parses_to_result(self):
+        assert parse_response(ok(3, {"x": 1})) == {"x": 1}
+
+    def test_error_frame_raises_with_kind(self):
+        with pytest.raises(ServeError) as err:
+            parse_response(error(3, "backpressure", "window full"))
+        assert err.value.kind == "backpressure"
+        assert "window full" in err.value.message
+
+    def test_malformed_error_frame_still_raises(self):
+        with pytest.raises(ServeError) as err:
+            parse_response({"id": 1, "ok": False})
+        assert err.value.kind == "protocol"

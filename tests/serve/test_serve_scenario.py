@@ -1,0 +1,95 @@
+"""The serve-* scenario family: served aggregate byte-identical to the
+inline replay, registry integration, and the verification hook."""
+
+from dataclasses import replace
+
+from repro.engine import (
+    WORKLOAD_NAMES,
+    get_scenario,
+    render_report,
+    run_scenario,
+    scenario_names,
+)
+from repro.engine.scenarios import run_broker_trace
+from repro.serve import build_serve_instance, run_serve_instance, verify_serve
+
+
+class TestRegistry:
+    def test_registered_for_every_workload(self):
+        names = set(scenario_names())
+        for workload in WORKLOAD_NAMES:
+            assert f"serve-{workload}" in names
+            scenario = get_scenario(f"serve-{workload}")
+            assert scenario.family == "serve"
+            assert scenario.workload == workload
+            assert not scenario.shardable  # serving shards live server-side
+
+    def test_listing_does_not_import_the_serving_stack(self):
+        # Lazy hooks: the registry entry alone must not pull repro.serve.
+        scenario = get_scenario("serve-markov")
+        assert "closed-loop" in scenario.description
+
+
+class TestServedAggregate:
+    def test_rendered_report_byte_identical_to_inline_replay(self):
+        """The acceptance gate: >= 8 closed-loop tenants over unix
+        sockets, aggregate report byte-identical to the inline replay of
+        the same merged trace."""
+        seed = 3
+        scenario = get_scenario("serve-markov")
+        instance = scenario.build(seed)
+        assert len(instance.tenants) >= 8
+        served = run_scenario("serve-markov", seed=seed)
+        assert served.verified
+        assert served.run.detail["serve"]["report_equal"] is True
+        inline = replace(served, run=run_broker_trace(instance.trace, seed))
+        assert render_report([served]) == render_report([inline])
+        assert served.run.cost == inline.run.cost
+        assert tuple(served.run.leases) == tuple(inline.run.leases)
+        assert (
+            served.run.detail["broker_stats"]
+            == inline.run.detail["broker_stats"]
+        )
+        # Compared stats use the mergeable shape: broker-local
+        # housekeeping (compactions) is not a function of the partition.
+        assert "compactions" not in served.run.detail["broker_stats"]
+
+    def test_repeat_serves_are_deterministic(self):
+        first = run_scenario("serve-batch", seed=5)
+        second = run_scenario("serve-batch", seed=5)
+        assert first == second
+
+    def test_non_power_of_two_schedule_is_still_byte_identical(self):
+        # Merged cost is recomputed from the lease tuple in unsharded
+        # order, so served == inline holds even when per-lease costs are
+        # not exactly representable (1.7^k) and per-shard subtotals
+        # would drift by a ULP.
+        instance = build_serve_instance(
+            "markov", 48, seed=2, num_resources=4,
+            cost_growth=1.7, num_shards=2,
+        )
+        result = run_serve_instance(instance, seed=2)
+        assert result.detail["serve"]["report_equal"] is True
+
+    def test_optimum_brackets_the_served_cost(self):
+        outcome = run_scenario("serve-diurnal", seed=2)
+        assert outcome.opt.exact
+        assert outcome.run.cost >= outcome.opt.lower - 1e-9
+        assert outcome.ratio >= 1.0 - 1e-9
+
+
+class TestVerifyServe:
+    def test_divergence_fails_verification(self):
+        instance = build_serve_instance(
+            "markov", 48, seed=1, num_resources=4, num_shards=2
+        )
+        result = run_serve_instance(instance, seed=1)
+        assert verify_serve(instance, result).ok
+        tampered_detail = dict(result.detail)
+        tampered_detail["serve"] = {
+            **result.detail["serve"], "report_equal": False
+        }
+        tampered = replace(result, detail=tampered_detail)
+        report = verify_serve(instance, tampered)
+        assert not report.ok
+        assert any("diverged" in failure for failure in report.failures)
