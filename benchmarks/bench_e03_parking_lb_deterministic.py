@@ -3,11 +3,23 @@
 Runs the adversary (schedule c_k = 2^k, l_k = (2K)^k) against Algorithm 1
 and reports the forced ratio per K.  The paper's claim: the ratio grows
 linearly in K — no deterministic algorithm beats Omega(K).
+
+Runs on the :mod:`repro.engine` scenario/replay substrate (the E2
+pattern): each K is an ad-hoc registered scenario.  The adversary is
+*adaptive*, but its victim is deterministic, so the whole interrogation
+is a pure function of the schedule — ``build`` simply runs it and
+returns the realized :class:`ParkingPermitInstance`.  Replaying those
+days in arrival order through a fresh Algorithm 1 reproduces the exact
+adversary interaction (same demands, same state evolution, same
+purchases), which lets ``run`` go through the ordinary
+``run_online`` path and the runner re-verify feasibility per run.
 """
 
 from __future__ import annotations
 
-from repro.analysis import Sweep
+from repro.analysis import Sweep, verify_parking
+from repro.core import OptBounds, run_online
+from repro.engine import Scenario, register, replay
 from repro.parking import (
     AdaptiveAdversary,
     DeterministicParkingPermit,
@@ -16,21 +28,62 @@ from repro.parking import (
 )
 
 MAX_HORIZON = 6_000
+NUM_TYPES = (1, 2, 3, 4)
+
+
+def _forced_instance(num_types: int):
+    """Interrogate Algorithm 1 with the Theorem 2.8 adversary."""
+    schedule = adversarial_schedule(num_types)
+    adversary = AdaptiveAdversary(
+        schedule, horizon=min(schedule.lmax, MAX_HORIZON)
+    )
+    return adversary.run(DeterministicParkingPermit(schedule)).instance
+
+
+def _scenario(num_types: int) -> Scenario:
+    def build(seed: int):
+        # Deterministic interrogation: the replay seed is irrelevant,
+        # the instance is the adversary's forced request sequence.
+        return _forced_instance(num_types)
+
+    def run(instance, seed: int):
+        return run_online(
+            DeterministicParkingPermit(instance.schedule),
+            instance.rainy_days,
+            name=f"Alg 1 vs adversary, K={num_types}",
+        )
+
+    return Scenario(
+        name=f"bench-e03-K{num_types}",
+        family="parking",
+        workload="adversarial",
+        description=f"E3 sweep point, K={num_types} (Theorem 2.8 adversary)",
+        build=build,
+        run=run,
+        verify=lambda instance, result: verify_parking(
+            instance, list(result.leases)
+        ),
+        optimum=lambda instance: OptBounds.exactly(
+            optimal_general(instance).cost, method="dp-general"
+        ),
+    )
+
+
+SCENARIOS = tuple(
+    register(_scenario(num_types), replace=True) for num_types in NUM_TYPES
+)
 
 
 def build_sweep() -> Sweep:
     sweep = Sweep("E3: deterministic lower bound (Theorem 2.8 adversary)")
-    for num_types in (1, 2, 3, 4):
-        schedule = adversarial_schedule(num_types)
-        horizon = min(schedule.lmax, MAX_HORIZON)
-        adversary = AdaptiveAdversary(schedule, horizon=horizon)
-        outcome = adversary.run(DeterministicParkingPermit(schedule))
-        opt = optimal_general(outcome.instance).cost
+    outcomes = replay([s.name for s in SCENARIOS], seeds=[0])
+    assert all(outcome.verified for outcome in outcomes)
+    for num_types, outcome in zip(NUM_TYPES, outcomes):
         sweep.add(
-            {"K": num_types, "requests": outcome.num_requests},
-            online_cost=outcome.online_cost,
-            opt_cost=opt,
-            note=f"horizon {horizon}",
+            {"K": num_types, "requests": outcome.run.num_demands},
+            online_cost=outcome.run.cost,
+            opt_cost=outcome.opt.lower,
+            note=f"horizon {min(adversarial_schedule(num_types).lmax, MAX_HORIZON)}",
         )
     return sweep
 

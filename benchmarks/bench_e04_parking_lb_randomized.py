@@ -6,13 +6,25 @@ ratio of both the deterministic and the randomized algorithm.  The
 paper's claim: expected ratio grows with K (Omega(log K) for any
 algorithm); the measured means should rise monotonically-ish with K and
 stay super-constant.
+
+Runs on the :mod:`repro.engine` scenario/replay substrate (the E2
+pattern): per K, *two* ad-hoc scenarios — deterministic and randomized —
+whose ``build`` draws the instance from the hard distribution under the
+replay seed, so the seed sweep is the Monte-Carlo sample.  For the
+randomized scenario the replay seed doubles as the coin seed, exactly
+as the pre-port code passed the instance seed to
+:class:`RandomizedParkingPermit`.  Every (K, variant, seed) job flows
+through ``runner.replay`` — which also re-verifies feasibility per run —
+and the expected ratios are means over each scenario's outcomes.
 """
 
 from __future__ import annotations
 
 import statistics
 
-from repro.analysis import Sweep
+from repro.analysis import Sweep, verify_parking
+from repro.core import OptBounds, run_online
+from repro.engine import Scenario, register, replay
 from repro.parking import (
     DeterministicParkingPermit,
     RandomizedParkingPermit,
@@ -23,39 +35,74 @@ from repro.workloads import make_rng
 
 INSTANCE_SEEDS = range(30)
 BRANCHING = 8
+NUM_TYPES = (2, 3, 4, 5)
 
 
-def mean_ratio(num_types: int, algorithm_factory) -> tuple[float, float, float]:
-    ratios = []
-    total_cost = total_opt = 0.0
-    for seed in INSTANCE_SEEDS:
-        instance = sample_randomized_lower_bound(
+def _scenario(num_types: int, randomized: bool) -> Scenario:
+    def build(seed: int):
+        return sample_randomized_lower_bound(
             num_types, make_rng(seed), branching=BRANCHING
         )
-        algorithm = algorithm_factory(instance.schedule, seed)
-        for day in instance.rainy_days:
-            algorithm.on_demand(day)
-        opt = optimal_general(instance).cost
-        ratios.append(algorithm.cost / opt)
-        total_cost += algorithm.cost
-        total_opt += opt
-    return statistics.fmean(ratios), total_cost, total_opt
+
+    def run(instance, seed: int):
+        if randomized:
+            algorithm = RandomizedParkingPermit(instance.schedule, seed=seed)
+        else:
+            algorithm = DeterministicParkingPermit(instance.schedule)
+        return run_online(
+            algorithm,
+            instance.rainy_days,
+            name=f"{'rand' if randomized else 'det'} K={num_types}",
+        )
+
+    variant = "rand" if randomized else "det"
+    return Scenario(
+        name=f"bench-e04-{variant}-K{num_types}",
+        family="parking",
+        workload="adversarial",
+        description=(
+            f"E4 sweep point, K={num_types}, {variant} "
+            "(seed = instance draw, and coin seed when randomized)"
+        ),
+        build=build,
+        run=run,
+        verify=lambda instance, result: verify_parking(
+            instance, list(result.leases)
+        ),
+        optimum=lambda instance: OptBounds.exactly(
+            optimal_general(instance).cost, method="dp-general"
+        ),
+    )
+
+
+DET_SCENARIOS = tuple(
+    register(_scenario(num_types, randomized=False), replace=True)
+    for num_types in NUM_TYPES
+)
+RAND_SCENARIOS = tuple(
+    register(_scenario(num_types, randomized=True), replace=True)
+    for num_types in NUM_TYPES
+)
 
 
 def build_sweep() -> Sweep:
     sweep = Sweep("E4: randomized lower-bound distribution (Theorem 2.9)")
-    for num_types in (2, 3, 4, 5):
-        det_mean, det_cost, det_opt = mean_ratio(
-            num_types, lambda schedule, seed: DeterministicParkingPermit(schedule)
-        )
-        rand_mean, _, _ = mean_ratio(
-            num_types,
-            lambda schedule, seed: RandomizedParkingPermit(schedule, seed=seed),
-        )
+    names = [s.name for s in DET_SCENARIOS] + [s.name for s in RAND_SCENARIOS]
+    outcomes = replay(names, seeds=INSTANCE_SEEDS)
+    assert all(outcome.verified for outcome in outcomes)
+    by_scenario: dict[str, list] = {}
+    for outcome in outcomes:
+        by_scenario.setdefault(outcome.scenario, []).append(outcome)
+    for num_types, det, rand in zip(NUM_TYPES, DET_SCENARIOS, RAND_SCENARIOS):
+        det_runs = by_scenario[det.name]
+        rand_runs = by_scenario[rand.name]
+        assert len(det_runs) == len(rand_runs) == len(INSTANCE_SEEDS)
+        det_mean = statistics.fmean(o.ratio for o in det_runs)
+        rand_mean = statistics.fmean(o.ratio for o in rand_runs)
         sweep.add(
             {"K": num_types},
-            online_cost=det_cost,
-            opt_cost=det_opt,
+            online_cost=sum(o.run.cost for o in det_runs),
+            opt_cost=sum(o.opt.lower for o in det_runs),
             note=f"det E[ratio] {det_mean:.2f}, rand E[ratio] {rand_mean:.2f}",
         )
     return sweep

@@ -16,16 +16,20 @@ Subcommands::
     python -m repro engine run --scenario broker-markov --shards 4 --workers 4
     python -m repro engine replay --workload markov --horizon 400
     python -m repro engine serve --socket /tmp/lease.sock --resources 8
+    python -m repro engine cluster --socket /tmp/lease.sock --workers 2
     python -m repro engine loadgen --socket /tmp/lease.sock --check
+    python -m repro engine loadgen --cluster 2 --check
 
-The ``engine`` subcommands front :mod:`repro.engine` and
-:mod:`repro.serve`: ``list`` prints the scenario registry (with its
-``shardable`` column), ``run`` replays scenarios through the parallel
-runner and prints one aggregate ratio table, ``replay`` drives the lease
-broker from a generated or saved JSONL event trace, ``serve`` puts a
-broker behind the asyncio wire protocol, and ``loadgen`` drives
-closed-loop tenants against a server (in-process by default) and checks
-the served aggregate against an inline replay of the same trace.
+The ``engine`` subcommands front :mod:`repro.engine`, :mod:`repro.serve`
+and :mod:`repro.cluster`: ``list`` prints the scenario registry (with
+its ``shardable`` and ``cluster`` columns), ``run`` replays scenarios
+through the parallel runner and prints one aggregate ratio table,
+``replay`` drives the lease broker from a generated or saved JSONL event
+trace, ``serve`` puts a broker behind the asyncio wire protocol,
+``cluster`` spawns N ``engine serve`` worker processes behind a shard
+router on one socket, and ``loadgen`` drives closed-loop tenants against
+a server or cluster (in-process by default) and checks the served
+aggregate against an inline replay of the same trace.
 """
 
 from __future__ import annotations
@@ -175,9 +179,14 @@ def cmd_engine_list(args) -> int:
 
     scenarios = all_scenarios()
     print_table(
-        ["scenario", "family", "workload", "shardable", "description"],
+        ["scenario", "family", "workload", "shardable", "cluster", "description"],
         [
-            [s.name, s.family, s.workload, "yes" if s.shardable else "", s.description]
+            [
+                s.name, s.family, s.workload,
+                "yes" if s.shardable else "",
+                "yes" if s.cluster_servable else "",
+                s.description,
+            ]
             for s in scenarios
         ],
         title=f"{len(scenarios)} registered scenarios",
@@ -334,6 +343,58 @@ def cmd_engine_serve(args) -> int:
     return 0
 
 
+def cmd_engine_cluster(args) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from .cluster import ClusterRouter, ClusterSpec, WorkerProcess, reap
+
+    if not args.socket:
+        print("error: engine cluster needs --socket")
+        return 2
+    spec = ClusterSpec(
+        num_resources=args.resources,
+        num_workers=args.workers,
+        shards_per_worker=args.shards_per_worker,
+        num_types=args.num_types,
+        cost_growth=args.cost_growth,
+        record=args.record,
+        session_window=args.window,
+    )
+    base = Path(args.socket)
+    workers = [
+        WorkerProcess(
+            index, spec, str(base.with_name(f"{base.name}.w{index}"))
+        )
+        for index in range(spec.num_workers)
+    ]
+
+    async def _main() -> None:
+        router = ClusterRouter(spec, worker_window=args.worker_window)
+        await router.connect_workers(
+            [worker.socket_path for worker in workers],
+            retry_for=args.connect_timeout,
+            codec=args.codec,
+        )
+        await router.start_unix(args.socket)
+        print(
+            f"repro.cluster listening on unix:{args.socket} — "
+            f"{spec.num_resources} resources over {spec.num_workers} "
+            f"worker process(es) x {spec.shards_per_worker} shard(s), "
+            f"K={spec.num_types}, worker codec={args.codec}",
+            flush=True,
+        )
+        await router.run_until_stopped()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        reap(workers)
+    return 0
+
+
 def cmd_engine_loadgen(args) -> int:
     import asyncio
 
@@ -345,6 +406,51 @@ def cmd_engine_loadgen(args) -> int:
         merge_shard_payloads,
         run_serve_instance,
     )
+
+    if args.cluster:
+        # In-process cluster: spawn the worker fleet + router, drive the
+        # tenants through it, and judge against the inline replay — the
+        # cluster-* scenario loop as one command.
+        from .cluster import build_cluster_instance, run_cluster_instance
+
+        cluster_instance = build_cluster_instance(
+            args.workload,
+            args.horizon,
+            args.seed,
+            num_resources=args.resources,
+            tenants_per_resource=args.tenants_per_resource,
+            num_types=args.num_types,
+            cost_growth=args.cost_growth,
+            num_workers=args.cluster,
+            shards_per_worker=args.shards_per_worker,
+            codec=args.codec,
+        )
+        served = run_cluster_instance(cluster_instance, args.seed)
+        detail = served.detail["cluster"]
+        equal = detail["report_equal"]
+        stats = served.detail["broker_stats"]
+        print_table(
+            ["metric", "value"],
+            [
+                ["tenants", detail["tenants"]],
+                ["workers", detail["workers"]],
+                ["total shards", detail["total_shards"]],
+                ["codec", detail["codec"]],
+                ["requests sent", detail["requests"]],
+                ["events applied", stats["events"]],
+                ["leases bought", len(served.leases)],
+                ["total cost", served.cost],
+                ["report equals inline replay", "yes" if equal else "NO"],
+            ],
+            title=(
+                f"loadgen: {args.workload} x{args.horizon} against an "
+                f"in-process cluster ({args.cluster} workers), seed {args.seed}"
+            ),
+        )
+        if args.check and not equal:
+            print("error: clustered aggregate diverged from the inline replay")
+            return 1
+        return 0
 
     instance = build_serve_instance(
         args.workload,
@@ -395,7 +501,8 @@ def cmd_engine_loadgen(args) -> int:
                 if mismatches:
                     raise ServeError("protocol", "; ".join(mismatches))
                 report = await drive_tenants(
-                    instance, args.socket, retry_for=args.connect_timeout
+                    instance, args.socket, retry_for=args.connect_timeout,
+                    codec=args.codec,
                 )
                 if args.shutdown:
                     await client.shutdown()
@@ -547,6 +654,43 @@ def build_parser() -> argparse.ArgumentParser:
                               help="seconds before idle sessions are reaped")
     engine_serve.set_defaults(func=cmd_engine_serve)
 
+    engine_cluster = engine_sub.add_parser(
+        "cluster",
+        help="serve the broker from N worker processes behind a shard "
+        "router (repro.cluster)",
+    )
+    engine_cluster.add_argument(
+        "--socket", default=None,
+        help="router unix-socket path; worker sockets get .wN suffixes",
+    )
+    engine_cluster.add_argument("--workers", type=int, default=2,
+                                help="lease-server worker processes")
+    engine_cluster.add_argument("--shards-per-worker", type=int, default=2,
+                                help="broker sub-shards inside each worker")
+    engine_cluster.add_argument("--resources", type=int, default=8,
+                                help="resource id space [0, N)")
+    engine_cluster.add_argument("--num-types", type=int, default=4)
+    engine_cluster.add_argument(
+        "--cost-growth", type=float, default=2.0,
+        help="cost multiplier per length doubling (2.0 = exact float sums)",
+    )
+    engine_cluster.add_argument(
+        "--record", action=argparse.BooleanOptionalAction, default=True,
+        help="workers keep applied-event logs for the trace op",
+    )
+    engine_cluster.add_argument("--window", type=int, default=64,
+                                help="per-tenant in-flight bound (per worker)")
+    engine_cluster.add_argument(
+        "--worker-window", type=int, default=1024,
+        help="router-side per-worker in-flight op bound (backpressure)",
+    )
+    engine_cluster.add_argument(
+        "--codec", default="bin", choices=("json", "bin"),
+        help="wire codec on the router->worker links (negotiated at hello)",
+    )
+    engine_cluster.add_argument("--connect-timeout", type=float, default=15.0)
+    engine_cluster.set_defaults(func=cmd_engine_cluster)
+
     engine_loadgen = engine_sub.add_parser(
         "loadgen",
         help="drive closed-loop tenants against a lease server and "
@@ -569,6 +713,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="must match the server's schedule (2.0 = exact float sums)",
     )
     engine_loadgen.add_argument("--connect-timeout", type=float, default=10.0)
+    engine_loadgen.add_argument(
+        "--cluster", type=int, default=0, metavar="WORKERS",
+        help="drive an in-process cluster of N worker processes instead "
+        "of a single in-process server (0 = off)",
+    )
+    engine_loadgen.add_argument(
+        "--shards-per-worker", type=int, default=2,
+        help="broker sub-shards per worker when --cluster is used",
+    )
+    engine_loadgen.add_argument(
+        "--codec", default="bin", choices=("json", "bin"),
+        help="wire codec to negotiate on tenant connections",
+    )
     engine_loadgen.add_argument(
         "--check", action="store_true",
         help="exit 1 unless the served aggregate equals the inline replay",

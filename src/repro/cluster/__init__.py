@@ -1,0 +1,50 @@
+"""repro.cluster — multi-process lease serving behind one router.
+
+The scale-out layer the ROADMAP's serving milestone points at: PR 3's
+single-process :class:`~repro.serve.server.LeaseServer` multiplied
+across worker *processes*, fronted by a router that speaks the exact
+single-server wire protocol — so clients, loadgen, and CLI work against
+a cluster unchanged — while the clustered aggregate stays provably
+byte-identical to an inline replay of the merged trace.
+
+* :mod:`repro.cluster.spec` — :class:`ClusterSpec`: how the resource
+  space tiles into global shards and contiguous per-worker shard
+  groups (the engine's :func:`~repro.engine.scenarios.shard_ranges`,
+  reused verbatim).
+* :mod:`repro.cluster.router` — :class:`ClusterRouter`: consistent
+  resource→shard-group routing, coalesced (``writelines``-batched)
+  worker links speaking the negotiated binary codec, per-worker
+  backpressure windows, and cluster-wide drain/shutdown/stats/report/
+  trace barriers whose merged payloads reproduce a single server's.
+* :mod:`repro.cluster.procs` — workers as real ``python -m repro engine
+  serve`` subprocesses.
+* :mod:`repro.cluster.loadgen` — the ``cluster-*`` scenario half:
+  closed-loop tenants against a live fleet, aggregate checked
+  byte-identical against the inline replay; powers ``engine cluster``,
+  ``engine loadgen --cluster``, and the ``p04_cluster`` benchmark.
+"""
+
+from .loadgen import (
+    ClusterInstance,
+    build_cluster_instance,
+    cluster_once,
+    run_cluster_instance,
+    verify_cluster,
+)
+from .procs import WorkerProcess, reap, spawn_workers, worker_command
+from .router import ClusterRouter
+from .spec import ClusterSpec
+
+__all__ = [
+    "ClusterInstance",
+    "ClusterRouter",
+    "ClusterSpec",
+    "WorkerProcess",
+    "build_cluster_instance",
+    "cluster_once",
+    "reap",
+    "run_cluster_instance",
+    "spawn_workers",
+    "verify_cluster",
+    "worker_command",
+]

@@ -1,0 +1,251 @@
+"""Clustered loadgen: closed-loop tenants against a real worker fleet.
+
+The cluster analogue of :mod:`repro.serve.loadgen`, riding the same
+machinery end to end: the canonical trace becomes live traffic through
+:func:`~repro.serve.loadgen.drive_tenants` — unchanged, because the
+router speaks the single-server protocol — and the router's merged
+``report`` payloads fold through
+:func:`~repro.serve.loadgen.merge_shard_payloads` /
+:func:`~repro.engine.scenarios.merge_broker_runs` into one aggregate
+that must equal the inline replay of the merged trace byte for byte.
+The only new moving parts are real: N ``engine serve`` worker
+*processes* on their own unix sockets, a :class:`ClusterRouter` in
+front, and (by default) the binary codec on every router→worker link.
+
+:func:`cluster_once` performs one full cycle — spawn workers, connect
+the router, drive every tenant, fetch the merged report, shut the fleet
+down — and reports the drive-phase wall clock separately
+(``drive_seconds``), since process spawn time is operations, not
+serving.  :func:`run_cluster_instance` wraps that cycle with the same
+served-vs-inline judgement the serve family uses, recorded under
+``detail["cluster"]`` and enforced by :func:`verify_cluster`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..analysis.verify import VerificationReport
+from ..core.lease import LeaseSchedule
+from ..core.results import RunResult
+from ..engine.events import Tick, generate_resource_trace
+from ..engine.scenarios import BrokerTraceInstance, verify_broker_trace
+from ..errors import ModelError
+from ..serve.loadgen import (
+    compare_with_inline,
+    drive_tenants,
+    merge_shard_payloads,
+)
+from ..serve.protocol import CODEC_BIN, CODECS
+from .procs import reap, spawn_workers
+from .router import ClusterRouter
+from .spec import ClusterSpec
+
+
+@dataclass(frozen=True)
+class ClusterInstance:
+    """A cluster-scenario instance: canonical trace plus fleet shape.
+
+    ``trace`` is the full (unsharded) broker-trace instance whose inline
+    replay is the ground truth — exactly as in
+    :class:`~repro.serve.loadgen.ServeInstance`, which this type is
+    duck-compatible with (``.trace``, ``.tenants``) so the serve-side
+    drivers and comparators apply verbatim.
+    """
+
+    trace: BrokerTraceInstance
+    num_workers: int
+    shards_per_worker: int
+    session_window: int = 64
+    codec: str = CODEC_BIN
+    worker_window: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.codec not in CODECS:
+            raise ModelError(
+                f"unknown codec {self.codec!r}; known: {', '.join(CODECS)}"
+            )
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Every tenant named in the trace, sorted."""
+        return tuple(
+            sorted(
+                {
+                    event.tenant
+                    for event in self.trace.events
+                    if type(event) is not Tick
+                }
+            )
+        )
+
+    @property
+    def spec(self) -> ClusterSpec:
+        """The worker-fleet topology this instance is served by."""
+        return ClusterSpec(
+            num_resources=self.trace.num_resources,
+            num_workers=self.num_workers,
+            shards_per_worker=self.shards_per_worker,
+            num_types=self.trace.schedule.num_types,
+            cost_growth=_cost_growth(self.trace.schedule),
+            session_window=self.session_window,
+        )
+
+
+def _cost_growth(schedule: LeaseSchedule) -> float:
+    """Recover the power-of-two schedule's growth factor from its costs."""
+    types = list(schedule)
+    if len(types) < 2:
+        return 2.0
+    return types[1].cost / types[0].cost
+
+
+def build_cluster_instance(
+    workload: str,
+    horizon: int,
+    seed: int,
+    num_resources: int = 8,
+    tenants_per_resource: int = 2,
+    hold: int = 3,
+    tick_every: int = 32,
+    num_types: int = 4,
+    cost_growth: float = 2.0,
+    num_workers: int = 2,
+    shards_per_worker: int = 2,
+    session_window: int = 64,
+    codec: str = CODEC_BIN,
+) -> ClusterInstance:
+    """A cluster instance over :func:`generate_resource_trace` streams.
+
+    Defaults mirror :func:`~repro.serve.loadgen.build_serve_instance`
+    (``cost_growth=2.0`` keeps every cost sum exactly representable),
+    with the serving shape replaced by a fleet shape: ``num_workers``
+    processes of ``shards_per_worker`` broker sub-shards each.
+    """
+    schedule = LeaseSchedule.power_of_two(num_types, cost_growth=cost_growth)
+    events = generate_resource_trace(
+        workload,
+        horizon,
+        seed,
+        num_resources=num_resources,
+        tenants_per_resource=tenants_per_resource,
+        hold=hold,
+        tick_every=tick_every,
+    )
+    trace = BrokerTraceInstance(
+        schedule=schedule,
+        workload=workload,
+        horizon=horizon,
+        seed=seed,
+        num_resources=num_resources,
+        resources=(0, num_resources),
+        events=events,
+    )
+    return ClusterInstance(
+        trace=trace,
+        num_workers=num_workers,
+        shards_per_worker=shards_per_worker,
+        session_window=session_window,
+        codec=codec,
+    )
+
+
+def cluster_once(instance: ClusterInstance, retry_for: float = 15.0) -> dict:
+    """One full clustered serving cycle; returns the merged report.
+
+    Spawns the worker fleet, fronts it with a router on a throwaway unix
+    socket, drives every tenant closed-loop, fetches the merged
+    per-shard report, and shuts everything down — workers over the wire
+    first, then reaped.  The result carries ``drive_seconds``: the wall
+    clock of the drive phase alone (connect tenants, replay days, fetch
+    report), which is what the ``p04_cluster`` benchmark rates.
+    """
+    spec = instance.spec
+    workdir = tempfile.mkdtemp(prefix="rcl-")
+    workers = []
+    try:
+        workers = spawn_workers(spec, workdir)
+        router_socket = str(Path(workdir) / "router.sock")
+
+        async def _route_and_drive() -> dict:
+            router = ClusterRouter(spec, worker_window=instance.worker_window)
+            await router.connect_workers(
+                [w.socket_path for w in workers],
+                retry_for=retry_for,
+                codec=instance.codec,
+            )
+            await router.start_unix(router_socket)
+            try:
+                start = time.perf_counter()
+                report = await drive_tenants(
+                    instance, router_socket,
+                    retry_for=retry_for, codec=instance.codec,
+                )
+                report["drive_seconds"] = time.perf_counter() - start
+                return report
+            finally:
+                await router.shutdown()
+
+        report = asyncio.run(_route_and_drive())
+    finally:
+        reap(workers)
+        shutil.rmtree(workdir, ignore_errors=True)
+    return report
+
+
+def run_cluster_instance(
+    instance: ClusterInstance, seed: int = 0, report: dict | None = None
+) -> RunResult:
+    """Serve the instance on a cluster and return the *clustered* aggregate.
+
+    Runs :func:`cluster_once` (unless a pre-fetched ``report`` is passed
+    in), merges the router's per-shard reports, replays the merged trace
+    inline, and attaches the comparison verdict under
+    ``detail["cluster"]``.  The returned result is the cluster's — the
+    inline replay only judges it.
+    """
+    if report is None:
+        report = cluster_once(instance)
+    served = merge_shard_payloads(report["shards"])
+    _, equal = compare_with_inline(instance, served, seed)
+    detail = dict(served.detail)
+    detail["cluster"] = {
+        "tenants": len(instance.tenants),
+        "workers": instance.num_workers,
+        "shards_per_worker": instance.shards_per_worker,
+        "total_shards": instance.spec.total_shards,
+        "codec": instance.codec,
+        "transport": "unix",
+        "requests": report["requests"],
+        "report_equal": equal,
+    }
+    return replace(served, detail=detail)
+
+
+def verify_cluster(
+    instance: ClusterInstance, result: RunResult
+) -> VerificationReport:
+    """Cluster-scenario verification: coverage plus the equality verdict.
+
+    Re-checks every canonical acquire day against the purchased leases
+    (the broker-family verifier) and additionally fails unless the
+    clustered aggregate matched the inline replay of the merged trace.
+    """
+    coverage = verify_broker_trace(instance.trace, result)
+    failures = list(coverage.failures)
+    cluster_detail = result.detail.get("cluster", {})
+    if not cluster_detail.get("report_equal"):
+        failures.append(
+            "clustered aggregate report diverged from the inline replay "
+            "of the merged trace"
+        )
+    return VerificationReport(
+        ok=not failures,
+        failures=tuple(failures),
+        checked=coverage.checked + 1,
+    )

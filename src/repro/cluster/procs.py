@@ -1,0 +1,116 @@
+"""Worker process management: every worker is a real ``engine serve``.
+
+Workers are spawned as plain subprocesses running the CLI the README
+documents — ``python -m repro engine serve --socket ... --shards
+<total>`` — rather than :mod:`multiprocessing` children.  That buys
+three things: the cluster exercises the exact process an operator would
+run by hand, workers survive being spawned from daemonic pool workers
+(``subprocess`` has no such restriction, so ``cluster-*`` scenarios can
+ride the replay runner), and worker death is an observable fact
+(``poll``) instead of a shared-state mystery.
+
+The parent's ``repro`` package directory is prepended to the child's
+``PYTHONPATH``, so workers import the same code under test regardless of
+how the parent was launched.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from ..errors import ModelError
+from .spec import ClusterSpec
+
+
+def worker_command(spec: ClusterSpec, socket_path: str) -> list[str]:
+    """The exact ``engine serve`` argv one worker runs."""
+    return [
+        sys.executable, "-m", "repro", "engine", "serve",
+        "--socket", str(socket_path),
+        "--resources", str(spec.num_resources),
+        "--shards", str(spec.total_shards),
+        "--num-types", str(spec.num_types),
+        "--cost-growth", repr(spec.cost_growth),
+        "--record" if spec.record else "--no-record",
+        "--window", str(spec.session_window),
+    ]
+
+
+def _worker_env() -> dict:
+    src_root = str(Path(__file__).resolve().parents[2])
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else src_root + os.pathsep + existing
+    )
+    return env
+
+
+class WorkerProcess:
+    """One lease-server worker subprocess and its socket path."""
+
+    def __init__(
+        self,
+        index: int,
+        spec: ClusterSpec,
+        socket_path: str,
+        quiet: bool = True,
+    ):
+        self.index = index
+        self.socket_path = str(socket_path)
+        sink = subprocess.DEVNULL if quiet else None
+        self.process = subprocess.Popen(
+            worker_command(spec, socket_path),
+            env=_worker_env(),
+            stdout=sink,
+            stderr=sink,
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def stop(self, timeout: float = 10.0) -> int | None:
+        """Reap the worker: wait briefly, then terminate, then kill."""
+        try:
+            return self.process.wait(timeout=0.5)
+        except subprocess.TimeoutExpired:
+            pass
+        self.process.terminate()
+        try:
+            return self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            return self.process.wait(timeout=timeout)
+
+
+def spawn_workers(
+    spec: ClusterSpec, workdir: str | Path, quiet: bool = True
+) -> list[WorkerProcess]:
+    """Start one worker per shard group, sockets under ``workdir``.
+
+    Caller owns the lifecycle: either shut the workers down over the
+    wire (the router's ``shutdown`` barrier) and then :func:`reap`, or
+    :func:`reap` directly to terminate them.
+    """
+    workdir = Path(workdir)
+    if not workdir.is_dir():
+        raise ModelError(f"workdir {workdir} is not a directory")
+    return [
+        WorkerProcess(
+            index, spec, str(workdir / f"worker-{index}.sock"), quiet=quiet
+        )
+        for index in range(spec.num_workers)
+    ]
+
+
+def reap(workers: list[WorkerProcess], timeout: float = 10.0) -> None:
+    """Stop every worker, tolerating ones that already exited."""
+    for worker in workers:
+        try:
+            worker.stop(timeout=timeout)
+        except Exception:
+            pass

@@ -1,0 +1,656 @@
+"""The cluster front end: one router socket over N worker processes.
+
+:class:`ClusterRouter` is what tenants dial.  It speaks the exact
+protocol of a single :class:`~repro.serve.server.LeaseServer` — same
+ops, same frames, same ``hello`` shape (plus a ``cluster`` block) — so
+every existing client, the loadgen, and the CLI work against a cluster
+unchanged.  Behind it, mutations route by resource to the worker whose
+shard group owns them; control ops fan out as *barriers* and the results
+merge back into single-server shapes.
+
+**Routing and ordering.**  Each worker is reached through one
+:class:`_WorkerLink`: a pipelined connection with its own id space, a
+coalescing writer (every flush drains the whole outgoing queue through
+one ``writelines``) and a reader that relays responses back to the
+owning client connection, ids rewritten.  A client connection's frames
+are routed *synchronously in read order*, so two ops from the same
+tenant to the same worker stay ordered end to end — the same
+serialization the single server's shard queues provide.  ``tick``
+broadcasts to every worker (the shared clock skeleton); the barrier
+reads (``stats`` / ``report`` / ``trace``) ride the same links after any
+already-routed mutations, so they observe everything enqueued before
+them, worker by worker.
+
+**Backpressure propagation.**  Per-worker in-flight is bounded: a
+mutation that would push a link past ``worker_window`` unanswered ops is
+refused immediately with a ``backpressure`` error frame — the cluster
+analogue of the server's per-tenant windows, which the workers still
+enforce behind the router and whose refusals relay through verbatim.
+
+**Merge discipline.**  Every worker runs the *global* shard tiling (see
+:class:`~repro.cluster.spec.ClusterSpec`), so its ``report``/``trace``
+payloads carry global shard indices.  The router keeps exactly each
+worker's own group — by index, in global order — and concatenates, which
+reproduces the shard list a single ``LeaseServer`` with ``total_shards``
+shards would have reported.  Merging those payloads with
+:func:`~repro.engine.scenarios.merge_broker_runs` therefore equals the
+inline replay of the merged trace byte for byte, the identity the
+``cluster-*`` scenarios and CI gate continuously.
+
+**Drain and shutdown.**  ``drain`` broadcasts to every worker, then
+flips the router, so new acquires are refused at both layers while
+renews/releases complete.  ``shutdown`` acks the caller, stops the
+listeners, shuts every worker over its link, fails anything still
+pending as ``unavailable``, and wakes :meth:`run_until_stopped`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from ..errors import ModelError
+from ..serve.protocol import (
+    CODEC_BIN,
+    CODEC_JSON,
+    MUTATION_OPS,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServeError,
+    encode_frame,
+    error,
+    negotiate_codec,
+    ok,
+    parse_response,
+    read_frame,
+    request,
+    write_frame,
+)
+from ..serve.server import field_resource, field_tenant, field_time
+from .spec import ClusterSpec
+
+
+async def _drain_queue_into(queue: asyncio.Queue, batch: list) -> None:
+    batch.append(await queue.get())
+    while not queue.empty():
+        batch.append(queue.get_nowait())
+
+
+class _ClientConn:
+    """One tenant connection: codec state plus a coalescing out-pump."""
+
+    __slots__ = ("reader", "writer", "codec_ref", "outq", "closed", "pump")
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.codec_ref = [CODEC_JSON]
+        self.outq: asyncio.Queue = asyncio.Queue()
+        self.closed = False
+        self.pump = asyncio.create_task(self._pump())
+
+    def send(self, payload: dict) -> None:
+        """Queue one response payload; encoded at flush with the conn codec."""
+        if not self.closed:
+            self.outq.put_nowait(payload)
+
+    async def _pump(self) -> None:
+        while True:
+            batch: list[dict] = []
+            await _drain_queue_into(self.outq, batch)
+            codec = self.codec_ref[0]
+            try:
+                self.writer.writelines(
+                    [encode_frame(payload, codec) for payload in batch]
+                )
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                pass  # client went away; its responses have nowhere to go
+            finally:
+                for _ in batch:
+                    self.outq.task_done()
+
+    async def close(self) -> None:
+        self.closed = True
+        try:
+            await asyncio.wait_for(self.outq.join(), timeout=5.0)
+        except (asyncio.TimeoutError, Exception):
+            pass
+        self.pump.cancel()
+        try:
+            await self.pump
+        except (asyncio.CancelledError, Exception):
+            pass
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except Exception:
+            pass
+
+
+class _WorkerLink:
+    """The router's pipelined connection to one worker process."""
+
+    __slots__ = (
+        "index", "reader", "writer", "codec", "_ids", "_pending", "outq",
+        "_pump_task", "_read_task",
+    )
+
+    def __init__(self, index: int, reader, writer, codec: str):
+        self.index = index
+        self.reader = reader
+        self.writer = writer
+        self.codec = codec
+        self._ids = itertools.count(1)
+        #: link id -> (conn, client id, None) for relays,
+        #:            (None, None, future) for router-originated calls.
+        self._pending: dict[int, tuple] = {}
+        self.outq: asyncio.Queue = asyncio.Queue()
+        self._pump_task = asyncio.create_task(self._pump())
+        self._read_task = asyncio.create_task(self._read_loop())
+
+    # ------------------------------------------------------------------
+    # Construction: dial, negotiate the codec, validate the worker
+    # ------------------------------------------------------------------
+    @classmethod
+    async def open(
+        cls,
+        index: int,
+        path: str,
+        spec: ClusterSpec,
+        retry_for: float = 10.0,
+        codec: str = CODEC_BIN,
+    ) -> "_WorkerLink":
+        deadline = asyncio.get_running_loop().time() + retry_for
+        while True:
+            try:
+                reader, writer = await asyncio.open_unix_connection(path)
+                break
+            except (ConnectionRefusedError, FileNotFoundError, OSError):
+                if asyncio.get_running_loop().time() >= deadline:
+                    raise
+                await asyncio.sleep(0.05)
+        # Negotiate and validate before the pumps start, on the raw
+        # stream: worker id 0 is reserved for this one handshake.  Any
+        # handshake failure closes the fresh connection — a raised
+        # ModelError must not leak the socket.
+        try:
+            await write_frame(writer, request("hello", 0, codec=codec))
+            payload = await read_frame(reader)
+            if payload is None:
+                raise ModelError(f"worker {index} hung up during hello")
+            hello = parse_response(payload)
+            cls._validate_hello(index, hello, spec)
+        except BaseException:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+            raise
+        chosen = negotiate_codec(hello.get("codec")) if codec == CODEC_BIN else CODEC_JSON
+        return cls(index, reader, writer, chosen)
+
+    @staticmethod
+    def _validate_hello(index: int, hello: dict, spec: ClusterSpec) -> None:
+        schedule = spec.schedule()
+        mismatches = [
+            f"{field}: worker has {got!r}, cluster wants {want!r}"
+            for field, got, want in (
+                ("num_resources", hello.get("num_resources"), spec.num_resources),
+                ("num_shards", hello.get("num_shards"), spec.total_shards),
+                (
+                    "schedule lengths",
+                    hello.get("schedule", {}).get("lengths"),
+                    [t.length for t in schedule],
+                ),
+                (
+                    "schedule costs",
+                    hello.get("schedule", {}).get("costs"),
+                    [t.cost for t in schedule],
+                ),
+                ("record", hello.get("record"), spec.record),
+            )
+            if got != want
+        ]
+        if mismatches:
+            raise ModelError(
+                f"worker {index} config mismatch: " + "; ".join(mismatches)
+            )
+
+    # ------------------------------------------------------------------
+    # The two send paths: relays and router-originated calls
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Unanswered ops on this link — the backpressure signal."""
+        return len(self._pending)
+
+    def forward(self, payload: dict, conn: _ClientConn, client_id) -> None:
+        """Relay a client mutation: rewrite the id, queue the frame."""
+        link_id = next(self._ids)
+        self._pending[link_id] = (conn, client_id, None)
+        self.outq.put_nowait(
+            encode_frame({**payload, "id": link_id}, self.codec)
+        )
+
+    def call(self, op: str, **fields) -> asyncio.Future:
+        """A router-originated request; the future resolves to the raw frame."""
+        link_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[link_id] = (None, None, future)
+        self.outq.put_nowait(
+            encode_frame(request(op, link_id, **fields), self.codec)
+        )
+        return future
+
+    async def call_checked(self, op: str, **fields) -> dict:
+        """Call and parse, raising :class:`ServeError` on error frames."""
+        return parse_response(await self.call(op, **fields))
+
+    # ------------------------------------------------------------------
+    # Pumps
+    # ------------------------------------------------------------------
+    async def _pump(self) -> None:
+        # Op coalescing: one writelines/drain per wakeup moves every
+        # frame queued since the last flush — under pipelined load the
+        # router amortises its worker-side syscalls across tenants.
+        while True:
+            batch: list[bytes] = []
+            await _drain_queue_into(self.outq, batch)
+            try:
+                self.writer.writelines(batch)
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                pass  # reader loop will observe the dead link and fail pending
+            finally:
+                for _ in batch:
+                    self.outq.task_done()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                payload = await read_frame(self.reader)
+                if payload is None:
+                    break
+                entry = self._pending.pop(payload.get("id"), None)
+                if entry is None:
+                    continue
+                conn, client_id, future = entry
+                if future is not None:
+                    if not future.done():
+                        future.set_result(payload)
+                else:
+                    response = dict(payload)
+                    response["id"] = client_id
+                    conn.send(response)
+        finally:
+            self.fail_pending(f"worker {self.index} connection lost")
+
+    def fail_pending(self, why: str) -> None:
+        pending, self._pending = self._pending, {}
+        for conn, client_id, future in pending.values():
+            if future is not None:
+                if not future.done():
+                    future.set_exception(ServeError("unavailable", why))
+            else:
+                conn.send(error(client_id, "unavailable", why))
+
+    async def close(self) -> None:
+        for task in (self._pump_task, self._read_task):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self.fail_pending(f"worker {self.index} link closed")
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except Exception:
+            pass
+
+
+class ClusterRouter:
+    """Route tenant traffic over a fleet of lease-server workers.
+
+    Args:
+        spec: the cluster topology (resources, workers, shard groups).
+        worker_window: per-worker in-flight op bound; a mutation beyond
+            it is refused with a ``backpressure`` error frame instead of
+            growing the link queue without bound.
+    """
+
+    def __init__(self, spec: ClusterSpec, worker_window: int = 1024):
+        if worker_window < 1:
+            raise ModelError("worker_window must be >= 1")
+        self.spec = spec
+        self.worker_window = worker_window
+        self._links: list[_WorkerLink] = []
+        self._state = "serving"
+        self._servers: list[asyncio.base_events.Server] = []
+        self._conns: set[_ClientConn] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._stopped = asyncio.Event()
+        self._shutdown_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current lifecycle state: serving, draining, or stopped."""
+        return self._state
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._links)
+
+    async def connect_workers(
+        self,
+        socket_paths,
+        retry_for: float = 10.0,
+        codec: str = CODEC_BIN,
+    ) -> None:
+        """Dial every worker socket, negotiate codecs, validate configs."""
+        paths = list(socket_paths)
+        if len(paths) != self.spec.num_workers:
+            raise ModelError(
+                f"spec names {self.spec.num_workers} workers but "
+                f"{len(paths)} socket paths were given"
+            )
+        try:
+            for index, path in enumerate(paths):
+                self._links.append(
+                    await _WorkerLink.open(
+                        index, path, self.spec, retry_for=retry_for, codec=codec
+                    )
+                )
+        except BaseException:
+            # One bad worker must not strand the links (and their pump
+            # tasks) already opened to the good ones.
+            for link in self._links:
+                await link.close()
+            self._links.clear()
+            raise
+
+    async def start_unix(self, path: str) -> None:
+        """Start accepting tenants on a unix socket at ``path``."""
+        self._require_links()
+        server = await asyncio.start_unix_server(
+            self._handle_connection, path=path
+        )
+        self._servers.append(server)
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Start accepting tenants on TCP; returns the bound port."""
+        self._require_links()
+        server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port
+        )
+        self._servers.append(server)
+        return server.sockets[0].getsockname()[1]
+
+    def _require_links(self) -> None:
+        if not self._links:
+            raise ModelError(
+                "connect_workers must succeed before the router listens"
+            )
+
+    async def shutdown(self) -> None:
+        """Stop listeners, shut every worker over its link, unwind."""
+        if self._state == "stopped":
+            await self._stopped.wait()
+            return
+        self._state = "stopped"
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except Exception:
+                pass
+        if self._links:
+            # One concurrent broadcast bounds the whole phase at the
+            # timeout even when several workers hang.
+            async def _stop_worker(link: _WorkerLink) -> None:
+                try:
+                    await asyncio.wait_for(
+                        link.call_checked("shutdown"), timeout=10.0
+                    )
+                except Exception:
+                    pass
+
+            await asyncio.gather(
+                *(_stop_worker(link) for link in self._links)
+            )
+        for link in self._links:
+            await link.close()
+        current = asyncio.current_task()
+        lingering = [
+            task for task in tuple(self._conn_tasks) if task is not current
+        ]
+        for conn in tuple(self._conns):
+            conn.writer.close()
+        if lingering:
+            await asyncio.gather(*lingering, return_exceptions=True)
+        self._stopped.set()
+
+    async def run_until_stopped(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _hello(self) -> dict:
+        spec = self.spec
+        schedule = spec.schedule()
+        return {
+            "server": "repro.cluster",
+            "protocol": PROTOCOL_VERSION,
+            "state": self._state,
+            "record": spec.record,
+            "num_resources": spec.num_resources,
+            "num_shards": spec.total_shards,
+            "ranges": [list(r) for r in spec.ranges],
+            "schedule": {
+                "num_types": schedule.num_types,
+                "lengths": [t.length for t in schedule],
+                "costs": [t.cost for t in schedule],
+            },
+            "cluster": {
+                "workers": spec.num_workers,
+                "shards_per_worker": spec.shards_per_worker,
+                "worker_ranges": [list(r) for r in spec.worker_ranges],
+            },
+        }
+
+    def _route_mutation(
+        self, op: str, payload: dict, request_id, conn: _ClientConn
+    ) -> asyncio.Task | None:
+        when = field_time(payload)
+        if self._state == "stopped":
+            raise ServeError("unavailable", "cluster is stopped")
+        if op == "tick":
+            # Enqueue on every link *now*, synchronously — a mutation
+            # read after this tick lands behind it in each link's FIFO,
+            # preserving the single server's read-order serialization.
+            # Only the response aggregation is deferred to a task.
+            futures = [
+                link.call("tick", time=when) for link in self._links
+            ]
+            return asyncio.create_task(
+                self._finish_tick(futures, request_id, conn)
+            )
+        if op == "acquire" and self._state != "serving":
+            raise ServeError(
+                "draining", "cluster is draining; new acquires are refused"
+            )
+        field_tenant(payload)
+        resource = field_resource(payload, self.spec.num_resources)
+        link = self._links[self.spec.worker_of(resource)]
+        if link.inflight >= self.worker_window:
+            raise ServeError(
+                "backpressure",
+                f"worker {link.index} has {link.inflight} ops in flight "
+                f"(window {self.worker_window})",
+            )
+        link.forward(payload, conn, request_id)
+        return None
+
+    async def _finish_tick(
+        self, futures: list[asyncio.Future], request_id, conn: _ClientConn
+    ) -> None:
+        try:
+            results = [
+                parse_response(payload)
+                for payload in await asyncio.gather(*futures)
+            ]
+            conn.send(
+                ok(
+                    request_id,
+                    {"applied_time": max(r["applied_time"] for r in results)},
+                )
+            )
+        except ServeError as exc:
+            conn.send(error(request_id, exc.kind, exc.message))
+        except Exception as exc:
+            # A malformed worker response must still answer the client —
+            # a swallowed exception here would strand the tick forever.
+            conn.send(
+                error(
+                    request_id, "unavailable",
+                    f"tick barrier failed: {type(exc).__name__}: {exc}",
+                )
+            )
+
+    async def _broadcast(self, op: str) -> list[dict]:
+        return list(
+            await asyncio.gather(
+                *(link.call_checked(op) for link in self._links)
+            )
+        )
+
+    def _kept_shards(self, results: list[dict]) -> list[dict]:
+        """Each worker's own shard group, by global index, in order."""
+        kept: list[dict] = []
+        for link, result in zip(self._links, results):
+            lo, hi = self.spec.group(link.index)
+            by_index = {
+                shard.get("index"): shard
+                for shard in result.get("shards") or []
+            }
+            for shard_index in range(lo, hi):
+                shard = by_index.get(shard_index)
+                if shard is None:
+                    raise ServeError(
+                        "unavailable",
+                        f"worker {link.index} reported no shard {shard_index}",
+                    )
+                kept.append(shard)
+        return kept
+
+    async def _control(self, op: str) -> dict:
+        if op == "stats":
+            results = await self._broadcast("stats")
+            return {
+                "state": self._state,
+                "cluster": {
+                    "workers": self.spec.num_workers,
+                    "shards_per_worker": self.spec.shards_per_worker,
+                },
+                "workers": [
+                    {
+                        "index": link.index,
+                        "state": result["state"],
+                        "codec": link.codec,
+                        "inflight": link.inflight,
+                        "sessions": result["sessions"],
+                    }
+                    for link, result in zip(self._links, results)
+                ],
+                "shards": self._kept_shards(results),
+            }
+        if op == "report":
+            return {"shards": self._kept_shards(await self._broadcast("report"))}
+        if op == "trace":
+            return {"shards": self._kept_shards(await self._broadcast("trace"))}
+        if op == "drain":
+            await self._broadcast("drain")
+            if self._state == "serving":
+                self._state = "draining"
+            return {"state": self._state}
+        raise ServeError("protocol", f"unknown op {op!r}")
+
+    async def _handle_connection(self, reader, writer) -> None:
+        conn = _ClientConn(reader, writer)
+        self._conns.add(conn)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        inflight: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    payload = await read_frame(reader)
+                except ProtocolError as exc:
+                    conn.send(error(None, "protocol", str(exc)))
+                    break
+                if payload is None:
+                    break
+                request_id = payload.get("id")
+                op = payload.get("op")
+                if op in MUTATION_OPS:
+                    # Routed synchronously in read order — ordering to
+                    # each worker is the read order, and refusals
+                    # (validation, draining, backpressure) answer
+                    # immediately.  Only tick spawns a gather task.
+                    try:
+                        tick_task = self._route_mutation(
+                            op, payload, request_id, conn
+                        )
+                    except ServeError as exc:
+                        conn.send(error(request_id, exc.kind, exc.message))
+                        continue
+                    if tick_task is not None:
+                        inflight.add(tick_task)
+                        tick_task.add_done_callback(inflight.discard)
+                    continue
+                if op == "hello":
+                    # An explicit `codec` field renegotiates; a bare
+                    # hello is introspection and keeps the current codec.
+                    if "codec" in payload:
+                        conn.codec_ref[0] = negotiate_codec(
+                            payload.get("codec")
+                        )
+                    result = self._hello()
+                    result["codec"] = conn.codec_ref[0]
+                    conn.send(ok(request_id, result))
+                    continue
+                if op == "shutdown":
+                    conn.send(ok(request_id, {"state": "stopped"}))
+                    self._shutdown_task = asyncio.create_task(self.shutdown())
+                    break
+                if op not in OPS:
+                    conn.send(
+                        error(
+                            request_id,
+                            "protocol",
+                            f"unknown op {op!r}; known: {', '.join(OPS)}",
+                        )
+                    )
+                    continue
+                try:
+                    result = await self._control(op)
+                    conn.send(ok(request_id, result))
+                except ServeError as exc:
+                    conn.send(error(request_id, exc.kind, exc.message))
+        finally:
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+            self._conns.discard(conn)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            await conn.close()

@@ -1,0 +1,113 @@
+"""Cluster topology: how resources map onto worker processes.
+
+A cluster is ``num_workers`` :class:`~repro.serve.server.LeaseServer`
+processes behind one :class:`~repro.cluster.router.ClusterRouter`.  The
+resource space is tiled by the engine's :func:`shard_ranges` into
+``num_workers * shards_per_worker`` contiguous *global shards* — the
+same partition an intra-scenario sharded replay uses — and worker ``w``
+owns the contiguous *shard group* ``[w * shards_per_worker, (w + 1) *
+shards_per_worker)``.  Every worker process is configured with the full
+global tiling (``num_resources`` resources over ``total_shards``
+sub-shards), so the shard a resource lands in is the same number on
+every box; the router simply never sends a worker traffic outside its
+group.  That choice is what makes the clustered aggregate mergeable by
+:func:`~repro.engine.scenarios.merge_broker_runs` with zero id
+translation: concatenating each worker's *own* shard-group payloads in
+worker order reproduces the global shard list of a single server — and
+hence, merged, the inline replay — byte for byte.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..core.lease import LeaseSchedule
+from ..engine.scenarios import shard_ranges
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One cluster's full shape: resources, workers, shards, schedule.
+
+    Attributes:
+        num_resources: size of the resource id space ``[0, N)``.
+        num_workers: lease-server worker processes.
+        shards_per_worker: broker sub-shards inside each worker.
+        num_types: lease types K of every broker's schedule.
+        cost_growth: schedule cost multiplier (2.0 = exact float sums,
+            which the byte-identity gates rely on).
+        record: workers keep applied-event logs for the ``trace`` op.
+        session_window: per-tenant in-flight bound inside each worker.
+    """
+
+    num_resources: int
+    num_workers: int
+    shards_per_worker: int = 1
+    num_types: int = 4
+    cost_growth: float = 2.0
+    record: bool = False
+    session_window: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_resources < 1:
+            raise ModelError("num_resources must be >= 1")
+        if self.num_workers < 1:
+            raise ModelError("num_workers must be >= 1")
+        if self.shards_per_worker < 1:
+            raise ModelError("shards_per_worker must be >= 1")
+        if self.total_shards > self.num_resources:
+            raise ModelError(
+                f"total shards ({self.total_shards}) cannot exceed "
+                f"num_resources ({self.num_resources})"
+            )
+
+    @property
+    def total_shards(self) -> int:
+        """Global shard count: ``num_workers * shards_per_worker``."""
+        return self.num_workers * self.shards_per_worker
+
+    @cached_property
+    def ranges(self) -> tuple[tuple[int, int], ...]:
+        """The global shard tiling — the engine's partition, verbatim."""
+        return shard_ranges(self.num_resources, self.total_shards)
+
+    @cached_property
+    def worker_ranges(self) -> tuple[tuple[int, int], ...]:
+        """Per-worker resource ranges: each group's first lo to last hi."""
+        spw = self.shards_per_worker
+        return tuple(
+            (self.ranges[w * spw][0], self.ranges[(w + 1) * spw - 1][1])
+            for w in range(self.num_workers)
+        )
+
+    @cached_property
+    def _worker_los(self) -> list[int]:
+        return [lo for lo, _ in self.worker_ranges]
+
+    def worker_of(self, resource: int) -> int:
+        """The worker whose shard group owns ``resource``."""
+        if not 0 <= resource < self.num_resources:
+            raise ModelError(
+                f"resource {resource} outside [0, {self.num_resources})"
+            )
+        return bisect.bisect_right(self._worker_los, resource) - 1
+
+    def group(self, worker: int) -> tuple[int, int]:
+        """The half-open global-shard index range worker ``worker`` owns."""
+        if not 0 <= worker < self.num_workers:
+            raise ModelError(
+                f"worker {worker} outside [0, {self.num_workers})"
+            )
+        return (
+            worker * self.shards_per_worker,
+            (worker + 1) * self.shards_per_worker,
+        )
+
+    def schedule(self) -> LeaseSchedule:
+        """The lease schedule every worker broker is built from."""
+        return LeaseSchedule.power_of_two(
+            self.num_types, cost_growth=self.cost_growth
+        )

@@ -54,6 +54,7 @@ from .runner import (
 )
 from .scenarios import (
     BROKER_SCENARIOS,
+    CLUSTER_SCENARIOS,
     SERVE_SCENARIOS,
     BrokerTraceInstance,
     Scenario,
@@ -61,6 +62,7 @@ from .scenarios import (
     families,
     get_scenario,
     make_broker_scenario,
+    make_cluster_scenario,
     make_serve_scenario,
     register,
     scenario_names,
@@ -72,6 +74,7 @@ __all__ = [
     "BROKER_SCENARIOS",
     "BrokerStats",
     "BrokerTraceInstance",
+    "CLUSTER_SCENARIOS",
     "Event",
     "LeaseBroker",
     "LeaseGrant",
@@ -91,6 +94,7 @@ __all__ = [
     "generate_trace",
     "get_scenario",
     "make_broker_scenario",
+    "make_cluster_scenario",
     "make_serve_scenario",
     "merge_shard_outcomes",
     "register",

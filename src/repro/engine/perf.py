@@ -7,15 +7,21 @@ This module makes the trajectory a first-class artifact:
 * :func:`measure` runs one benchmark (``p01_broker``: raw broker event
   throughput on the P1 round-robin stream; ``p02_runner``: heavy-scenario
   replay, unsharded vs intra-scenario sharded; ``p03_serve``: closed-loop
-  tenants served over a unix socket by :mod:`repro.serve`) at one of
-  three sizes (``full`` — the committed trajectory numbers, ``smoke`` —
-  CI-sized, ``unit`` — test-sized) and returns a JSON-ready record.
+  tenants served over a unix socket by :mod:`repro.serve`;
+  ``p04_cluster``: the same closed-loop tenants against a
+  :mod:`repro.cluster` fleet — router + worker processes — with the
+  binary codec on the worker links) at one of three sizes (``full`` —
+  the committed trajectory numbers, ``smoke`` — CI-sized, ``unit`` —
+  test-sized) and returns a JSON-ready record.
 * ``BENCH_p01_broker.json`` / ``BENCH_p02_runner.json`` /
-  ``BENCH_p03_serve.json`` under ``benchmarks/`` hold the committed
-  per-mode numbers plus the frozen ``baseline`` block (for p01/p02 the
-  pre-optimization reference, for p03 the first served-throughput
-  recording), so ``current vs baseline`` is the headline trajectory and
-  ``fresh vs committed`` is the regression gate.
+  ``BENCH_p03_serve.json`` / ``BENCH_p04_cluster.json`` under
+  ``benchmarks/`` hold the committed per-mode numbers plus the frozen
+  ``baseline`` block (for p01/p02 the pre-optimization reference, for
+  p03 the first served-throughput recording, for p04 the committed p03
+  *single-process* rate the cluster is judged against), so ``current vs
+  baseline`` is the headline trajectory and ``fresh vs committed`` is
+  the regression gate.  On a multi-core machine p04 is additionally
+  required to *beat* its baseline — horizontal scale-out must pay.
 * :func:`check` compares a fresh record against the committed file with
   a relative tolerance (default 30%) and returns human-readable
   failures; CI runs it in smoke mode and fails on any.
@@ -44,7 +50,7 @@ from .runner import render_report, replay_sharded, run_scenario
 from .scenarios import make_broker_scenario, register
 
 SCHEMA = "repro-bench/1"
-BENCH_NAMES = ("p01_broker", "p02_runner", "p03_serve")
+BENCH_NAMES = ("p01_broker", "p02_runner", "p03_serve", "p04_cluster")
 MODES = ("full", "smoke", "unit")
 DEFAULT_TOLERANCE = 0.30
 
@@ -53,6 +59,7 @@ BENCH_FILES = {
     "p01_broker": "benchmarks/BENCH_p01_broker.json",
     "p02_runner": "benchmarks/BENCH_p02_runner.json",
     "p03_serve": "benchmarks/BENCH_p03_serve.json",
+    "p04_cluster": "benchmarks/BENCH_p04_cluster.json",
 }
 
 # P1 stream shape (mirrors bench_p01_broker_throughput).
@@ -73,6 +80,15 @@ _P03_RESOURCES = {"full": 16, "smoke": 8, "unit": 4}
 _P03_SHARDS = {"full": 4, "smoke": 4, "unit": 2}
 _P03_TENANTS_PER_RESOURCE = 2
 _P03_SEED = 7
+
+# P4 cluster shape: the P3 workload against a worker fleet (2 processes),
+# binary codec on the router->worker links.
+_P04_HORIZON = {"full": 2048, "smoke": 512, "unit": 96}
+_P04_RESOURCES = {"full": 16, "smoke": 8, "unit": 4}
+_P04_WORKERS = {"full": 2, "smoke": 2, "unit": 2}
+_P04_SHARDS_PER_WORKER = {"full": 2, "smoke": 2, "unit": 1}
+_P04_TENANTS_PER_RESOURCE = 2
+_P04_SEED = 7
 
 
 def _require_mode(mode: str) -> None:
@@ -287,10 +303,79 @@ def measure_p03(mode: str = "smoke") -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# P4: clustered serving throughput (router + worker processes)
+# ----------------------------------------------------------------------
+def measure_p04(mode: str = "smoke") -> dict:
+    """Clustered loadgen end to end: worker fleet + router + tenants.
+
+    The same closed-loop day-barriered workload as ``p03``, served by a
+    :mod:`repro.cluster` fleet — real ``engine serve`` worker processes
+    behind a :class:`~repro.cluster.router.ClusterRouter`, binary codec
+    on the worker links.  The rated seconds are the *drive phase* alone
+    (dial tenants, replay days, fetch the merged report); spawning the
+    worker processes is operations, not serving, and stays off the
+    clock.  ``report_equal`` asserts the clustered aggregate matched the
+    inline replay of the merged trace — the same identity ``p03`` gates
+    for the single-process server.
+    """
+    _require_mode(mode)
+    from ..cluster.loadgen import (
+        build_cluster_instance,
+        cluster_once,
+        run_cluster_instance,
+        verify_cluster,
+    )
+
+    instance = build_cluster_instance(
+        "markov",
+        _P04_HORIZON[mode],
+        _P04_SEED,
+        num_resources=_P04_RESOURCES[mode],
+        tenants_per_resource=_P04_TENANTS_PER_RESOURCE,
+        num_workers=_P04_WORKERS[mode],
+        shards_per_worker=_P04_SHARDS_PER_WORKER[mode],
+    )
+    report = cluster_once(instance)
+    elapsed = report["drive_seconds"]
+    result = run_cluster_instance(instance, _P04_SEED, report=report)
+    events = result.detail["broker_stats"]["events"]
+    cluster = result.detail["cluster"]
+    verified = verify_cluster(instance, result).ok
+    return {
+        "schema": SCHEMA,
+        "bench": "p04_cluster",
+        "mode": mode,
+        "params": {
+            "horizon": _P04_HORIZON[mode],
+            "num_resources": _P04_RESOURCES[mode],
+            "tenants_per_resource": _P04_TENANTS_PER_RESOURCE,
+            "num_workers": _P04_WORKERS[mode],
+            "shards_per_worker": _P04_SHARDS_PER_WORKER[mode],
+            "codec": cluster["codec"],
+            "seed": _P04_SEED,
+        },
+        "metrics": {
+            "events": events,
+            "requests": cluster["requests"],
+            "tenants": cluster["tenants"],
+            "workers": cluster["workers"],
+            "leases": len(result.leases),
+            "cost": result.cost,
+            "elapsed_sec": round(elapsed, 4),
+            "events_per_sec": round(events / elapsed),
+            "report_equal": cluster["report_equal"],
+            "verified": verified,
+        },
+        "env": _environment(),
+    }
+
+
 _MEASURERS = {
     "p01_broker": measure_p01,
     "p02_runner": measure_p02,
     "p03_serve": measure_p03,
+    "p04_cluster": measure_p04,
 }
 
 
@@ -353,11 +438,13 @@ _RATE_GATES = {
     "p01_broker": ("events_per_sec", "leases_per_sec"),
     "p02_runner": ("events_per_sec",),
     "p03_serve": ("events_per_sec",),
+    "p04_cluster": ("events_per_sec",),
 }
 _EXACT_GATES = {
     "p01_broker": ("events", "leases"),
     "p02_runner": ("events", "leases", "byte_identical", "verified"),
     "p03_serve": ("events", "leases", "report_equal", "verified"),
+    "p04_cluster": ("events", "leases", "report_equal", "verified"),
 }
 
 
@@ -368,9 +455,12 @@ def check(
 
     Returns human-readable failures (empty = pass).  Rate metrics fail
     past ``tolerance`` relative regression; structural metrics must match
-    exactly.  Shard speedup is additionally gated — sharded must beat
-    unsharded — whenever both the committed run and this machine have
-    more than one usable core.
+    exactly.  Two multi-core-only gates ride on top (fan-out cannot beat
+    one process on a single core, and the records say so via ``cpus``
+    rather than pretending otherwise): p02's shard speedup must exceed
+    1.0, and p04's clustered events/sec must beat its frozen baseline —
+    the committed p03 *single-process* serving rate — whenever both the
+    committed entry and this machine have more than one usable core.
     """
     bench = record["bench"]
     mode = record["mode"]
@@ -408,4 +498,17 @@ def check(
             f"(speedup {fresh['shard_speedup']}) on a "
             f"{record['env']['cpus']}-core machine"
         )
+    if (
+        bench == "p04_cluster"
+        and record["env"]["cpus"] > 1
+        and entry["env"]["cpus"] > 1
+    ):
+        baseline = committed.get("baseline", {}).get("events_per_sec")
+        if baseline is not None and fresh["events_per_sec"] <= baseline:
+            failures.append(
+                f"p04_cluster/{mode}: clustered serving no longer beats "
+                f"the single-process p03 baseline "
+                f"({fresh['events_per_sec']:,} <= {baseline:,} events/sec) "
+                f"on a {record['env']['cpus']}-core machine"
+            )
     return failures

@@ -81,6 +81,12 @@ class Scenario:
         merge_runs: optional ``[RunResult per shard, in shard order] ->
             RunResult`` — reassembles the unsharded run.  Required
             (with ``build_shard``) for :func:`repro.engine.replay_sharded`.
+        cluster_servable: the scenario's traffic can be served by a
+            :mod:`repro.cluster` worker fleet with an exact merge — true
+            for the broker-trace lineage (``broker-*``, ``serve-*``,
+            ``cluster-*``), whose resources are independent and whose
+            costs sum exactly.  Shown as the ``cluster`` column of
+            ``engine list``.
     """
 
     name: str
@@ -93,6 +99,7 @@ class Scenario:
     optimum: Callable[[object], OptBounds]
     build_shard: Callable[[int, int, int], object] | None = None
     merge_runs: Callable[[Sequence[RunResult]], RunResult] | None = None
+    cluster_servable: bool = False
 
     @property
     def shardable(self) -> bool:
@@ -579,6 +586,7 @@ def make_broker_scenario(
         optimum=broker_trace_optimum,
         build_shard=build_shard,
         merge_runs=merge_broker_runs,
+        cluster_servable=True,
     )
 
 
@@ -653,6 +661,87 @@ def make_serve_scenario(
         run=run,
         verify=verify,
         optimum=lambda instance: broker_trace_optimum(instance.trace),
+        cluster_servable=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cluster scenarios (loadgen over a multi-process worker fleet)
+# ----------------------------------------------------------------------
+#: The multi-process serving family on top of :data:`SERVE_FAMILY`.
+CLUSTER_FAMILY = "cluster"
+
+
+def make_cluster_scenario(
+    workload: str,
+    name: str | None = None,
+    horizon: int = 96,
+    num_resources: int = 8,
+    tenants_per_resource: int = 2,
+    hold: int = 3,
+    tick_every: int = 32,
+    num_types: int = 4,
+    num_workers: int = 2,
+    shards_per_worker: int = 2,
+    codec: str = "bin",
+) -> Scenario:
+    """A clustered serving scenario: tenants against a worker fleet.
+
+    The same trace shape as :func:`make_serve_scenario`, but the events
+    arrive at a :class:`~repro.cluster.router.ClusterRouter` fronting
+    ``num_workers`` real ``engine serve`` *processes* (each with
+    ``shards_per_worker`` broker sub-shards), with the binary codec on
+    the router→worker links by default.  The run returns the *clustered*
+    aggregate; verification fails unless it matched the inline replay of
+    the merged trace exactly (see :mod:`repro.cluster.loadgen`).
+
+    :mod:`repro.cluster` is imported lazily from the hooks so listing
+    the registry never pulls in the cluster stack (or spawns anything).
+    """
+
+    def build(seed: int):
+        from ..cluster.loadgen import build_cluster_instance
+
+        return build_cluster_instance(
+            workload,
+            horizon,
+            seed,
+            num_resources=num_resources,
+            tenants_per_resource=tenants_per_resource,
+            hold=hold,
+            tick_every=tick_every,
+            num_types=num_types,
+            num_workers=num_workers,
+            shards_per_worker=shards_per_worker,
+            codec=codec,
+        )
+
+    def run(instance, seed: int) -> RunResult:
+        from ..cluster.loadgen import run_cluster_instance
+
+        return run_cluster_instance(instance, seed)
+
+    def verify(instance, result: RunResult) -> VerificationReport:
+        from ..cluster.loadgen import verify_cluster
+
+        return verify_cluster(instance, result)
+
+    tenants = num_resources * tenants_per_resource
+    return Scenario(
+        name=name or f"{CLUSTER_FAMILY}-{workload}",
+        family=CLUSTER_FAMILY,
+        workload=workload,
+        description=(
+            f"clustered lease-broker loadgen, {tenants} closed-loop "
+            f"tenants routed over {num_workers} worker processes x "
+            f"{shards_per_worker} shards, codec={codec}, "
+            f"{workload} demand days"
+        ),
+        build=build,
+        run=run,
+        verify=verify,
+        optimum=lambda instance: broker_trace_optimum(instance.trace),
+        cluster_servable=True,
     )
 
 
@@ -678,4 +767,8 @@ BROKER_SCENARIOS: tuple[Scenario, ...] = tuple(
 
 SERVE_SCENARIOS: tuple[Scenario, ...] = tuple(
     register(make_serve_scenario(workload)) for workload in WORKLOAD_NAMES
+)
+
+CLUSTER_SCENARIOS: tuple[Scenario, ...] = tuple(
+    register(make_cluster_scenario(workload)) for workload in WORKLOAD_NAMES
 )

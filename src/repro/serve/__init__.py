@@ -37,13 +37,19 @@ from .loadgen import (
     verify_serve,
 )
 from .protocol import (
+    CODEC_BIN,
+    CODEC_JSON,
+    CODECS,
     MAX_FRAME_BYTES,
     OPS,
     PROTOCOL_VERSION,
     FrameDecoder,
+    LeaseRetryError,
+    LeaseTimeoutError,
     ProtocolError,
     ServeError,
     encode_frame,
+    negotiate_codec,
 )
 from .server import LeaseServer, ServerThread, shard_ranges
 from .session import SessionRegistry, TenantSession
@@ -51,9 +57,14 @@ from .session import SessionRegistry, TenantSession
 __all__ = [
     "AsyncClientPool",
     "AsyncLeaseClient",
+    "CODEC_BIN",
+    "CODEC_JSON",
+    "CODECS",
     "FrameDecoder",
     "LeaseClient",
+    "LeaseRetryError",
     "LeaseServer",
+    "LeaseTimeoutError",
     "MAX_FRAME_BYTES",
     "OPS",
     "PROTOCOL_VERSION",
@@ -68,6 +79,7 @@ __all__ = [
     "drive_tenants",
     "encode_frame",
     "merge_shard_payloads",
+    "negotiate_codec",
     "replay_applied",
     "run_serve_instance",
     "serve_once",

@@ -14,6 +14,13 @@ server restart.
 
 Both clients raise :class:`~repro.serve.protocol.ServeError` when the
 server answers with an error frame, with the frame's ``kind`` preserved.
+Failure surfaces are typed: a per-op ``deadline`` that expires raises
+:class:`~repro.serve.protocol.LeaseTimeoutError`, and a sync call whose
+redial/resend *retry budget* runs out raises
+:class:`~repro.serve.protocol.LeaseRetryError` naming the attempt count.
+Both clients can negotiate the compact binary codec at connect time
+(``codec="bin"``): the upgrade is confirmed by the server's ``hello``
+response and falls back to JSON against servers that do not speak it.
 """
 
 from __future__ import annotations
@@ -26,8 +33,13 @@ from typing import Any, Sequence
 
 from ..errors import ModelError
 from .protocol import (
+    CODEC_BIN,
+    CODEC_JSON,
+    LeaseRetryError,
+    LeaseTimeoutError,
     ProtocolError,
     ServeError,
+    encode_frame,
     parse_response,
     read_frame,
     recv_frame,
@@ -43,7 +55,8 @@ class AsyncLeaseClient:
     Construct through :meth:`open_unix` / :meth:`open_tcp`; both accept a
     ``retry_for`` window during which connection refusals are retried —
     the standard way to wait for a server that is still binding its
-    socket.
+    socket — and an optional ``codec`` to negotiate at open
+    (``"bin"`` sends a ``hello`` and upgrades only if confirmed).
     """
 
     def __init__(self, reader, writer):
@@ -52,6 +65,7 @@ class AsyncLeaseClient:
         self._ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._send_lock = asyncio.Lock()
+        self._codec = CODEC_JSON
         self._reader_task = asyncio.create_task(self._read_loop())
 
     # ------------------------------------------------------------------
@@ -59,21 +73,47 @@ class AsyncLeaseClient:
     # ------------------------------------------------------------------
     @classmethod
     async def open_unix(
-        cls, path: str, retry_for: float = 5.0
+        cls, path: str, retry_for: float = 5.0, codec: str | None = None
     ) -> "AsyncLeaseClient":
         reader, writer = await _retry_connect(
             lambda: asyncio.open_unix_connection(path), retry_for
         )
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        if codec is not None:
+            await client.negotiate(codec)
+        return client
 
     @classmethod
     async def open_tcp(
-        cls, host: str, port: int, retry_for: float = 5.0
+        cls, host: str, port: int, retry_for: float = 5.0,
+        codec: str | None = None,
     ) -> "AsyncLeaseClient":
         reader, writer = await _retry_connect(
             lambda: asyncio.open_connection(host, port), retry_for
         )
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        if codec is not None:
+            await client.negotiate(codec)
+        return client
+
+    @property
+    def codec(self) -> str:
+        """The codec this client currently emits (receives are always dual)."""
+        return self._codec
+
+    async def negotiate(self, codec: str) -> dict:
+        """Request a wire codec via ``hello``; returns the hello result.
+
+        The connection upgrades only when the server confirms the exact
+        codec; any other answer (older server, unknown codec) leaves the
+        client speaking JSON, which every server accepts.
+        """
+        result = await self.call("hello", codec=codec)
+        self._codec = (
+            CODEC_BIN if result.get("codec") == CODEC_BIN == codec
+            else CODEC_JSON
+        )
+        return result
 
     # ------------------------------------------------------------------
     # Core call machinery
@@ -103,12 +143,55 @@ class AsyncLeaseClient:
         try:
             async with self._send_lock:
                 await write_frame(
-                    self._writer, request(op, request_id, **fields)
+                    self._writer, request(op, request_id, **fields),
+                    self._codec,
                 )
         except BaseException:
             self._pending.pop(request_id, None)
             raise
         return parse_response(await future)
+
+    async def call_batch(
+        self, requests: Sequence[tuple[str, dict]]
+    ) -> list[dict | ServeError]:
+        """Send a whole batch with one ``writelines`` flush, then collect.
+
+        The hot-path coalescing primitive: every request frame is encoded
+        up front and hits the transport in a single buffered write — one
+        syscall's worth of flushing instead of one per op — while the
+        responses pipeline back as usual.  Returns one entry per request
+        in request order: the result dict or the :class:`ServeError` that
+        request drew.
+        """
+        loop = asyncio.get_running_loop()
+        ids: list[int] = []
+        futures: list[asyncio.Future] = []
+        frames: list[bytes] = []
+        for op, fields in requests:
+            request_id = next(self._ids)
+            # Encode before registering: an encode failure mid-batch
+            # must not strand earlier ids in the pending map.
+            frame = encode_frame(request(op, request_id, **fields), self._codec)
+            ids.append(request_id)
+            future = loop.create_future()
+            self._pending[request_id] = future
+            futures.append(future)
+            frames.append(frame)
+        try:
+            async with self._send_lock:
+                self._writer.writelines(frames)
+                await self._writer.drain()
+        except BaseException:
+            for request_id in ids:
+                self._pending.pop(request_id, None)
+            raise
+        results: list[dict | ServeError] = []
+        for future in futures:
+            try:
+                results.append(parse_response(await future))
+            except ServeError as exc:
+                results.append(exc)
+        return results
 
     async def close(self) -> None:
         self._reader_task.cancel()
@@ -221,10 +304,22 @@ class LeaseClient:
         connect_timeout: seconds to keep retrying the initial dial (and
             any redial) while the server is not accepting yet.
         reconnect: when a call hits a dead connection, redial within
-            ``connect_timeout`` and resend the request once — the client
+            ``connect_timeout`` and resend the request — the client
             survives a server restart, losing only the in-flight call's
             at-most-once guarantee (mutations here are idempotent
             per-day, so a resend is safe).
+        retry_budget: how many redial-and-resend attempts one logical
+            call may spend after its first try (``reconnect=False``
+            forces 0).  Exhausting the budget raises
+            :class:`~repro.serve.protocol.LeaseRetryError`.
+        deadline: default per-op response deadline in seconds; ``None``
+            waits forever.  An expired deadline raises
+            :class:`~repro.serve.protocol.LeaseTimeoutError` and
+            abandons the connection (a late response would desync the
+            stream), so the next call redials.  Deadlines are never
+            retried — the server may well have applied the op.
+        codec: wire codec to negotiate on every (re)connect; ``"bin"``
+            upgrades only when the server confirms it.
     """
 
     def __init__(
@@ -234,15 +329,24 @@ class LeaseClient:
         port: int | None = None,
         connect_timeout: float = 5.0,
         reconnect: bool = True,
+        retry_budget: int = 1,
+        deadline: float | None = None,
+        codec: str | None = None,
     ):
         if (path is None) == (host is None or port is None):
             raise ModelError(
                 "LeaseClient needs either a unix path or host+port"
             )
+        if retry_budget < 0:
+            raise ModelError("retry_budget must be >= 0")
         self._path = path
         self._addr = (host, port) if host is not None else None
         self._connect_timeout = connect_timeout
         self._reconnect = reconnect
+        self._retry_budget = retry_budget if reconnect else 0
+        self._deadline = deadline
+        self._codec_wanted = codec
+        self._codec = CODEC_JSON
         self._ids = itertools.count(1)
         self._sock: socket.socket | None = None
 
@@ -261,11 +365,32 @@ class LeaseClient:
                 else:
                     sock = socket.create_connection(self._addr)
                 self._sock = sock
-                return self
+                break
             except (ConnectionRefusedError, FileNotFoundError, OSError):
                 if time.monotonic() >= deadline:
                     raise
                 time.sleep(0.05)
+        if self._codec_wanted is not None:
+            self._negotiate()
+        return self
+
+    def _negotiate(self) -> None:
+        # Codec state is per-connection, so every (re)dial renegotiates;
+        # the request itself travels as JSON, which any server accepts.
+        self._codec = CODEC_JSON
+        request_id = next(self._ids)
+        send_frame(
+            self._sock, request("hello", request_id, codec=self._codec_wanted)
+        )
+        while True:
+            payload = recv_frame(self._sock)
+            if payload is None:
+                raise ConnectionError("server closed during codec negotiation")
+            if payload.get("id") == request_id:
+                result = parse_response(payload)
+                if result.get("codec") == CODEC_BIN == self._codec_wanted:
+                    self._codec = CODEC_BIN
+                return
 
     def close(self) -> None:
         if self._sock is not None:
@@ -283,75 +408,173 @@ class LeaseClient:
     # ------------------------------------------------------------------
     # Calls
     # ------------------------------------------------------------------
-    def call(self, op: str, **fields: Any) -> dict:
-        """One blocking round trip, transparently redialing once if dead."""
-        try:
-            return self._call_once(op, fields)
-        except (ConnectionError, BrokenPipeError, ProtocolError, OSError):
-            if not self._reconnect:
-                raise
-            self.connect()
-            return self._call_once(op, fields)
+    def call(
+        self, op: str, deadline: float | None = None, **fields: Any
+    ) -> dict:
+        """One blocking round trip within the call's retry budget.
 
-    def _call_once(self, op: str, fields: dict) -> dict:
+        A dead connection is transparently redialed and the request
+        resent until ``retry_budget`` attempts are spent; exhaustion
+        raises :class:`LeaseRetryError` (with ``reconnect=False`` the
+        raw transport error propagates instead, as before).  ``deadline``
+        overrides the client default for this op only.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return self._call_once(op, fields, deadline)
+            except (ConnectionError, BrokenPipeError, ProtocolError, OSError) as exc:
+                if self._retry_budget == 0:
+                    raise
+                if attempts > self._retry_budget:
+                    raise LeaseRetryError(
+                        f"{op!r} failed after {attempts} attempts "
+                        f"(retry budget {self._retry_budget}): {exc}",
+                        attempts=attempts,
+                    ) from exc
+                try:
+                    self.connect()
+                except OSError as redial_exc:
+                    # The redial window itself ran dry: the budget is
+                    # spent on a server that never came back.
+                    raise LeaseRetryError(
+                        f"{op!r} failed after {attempts} attempt(s); "
+                        f"redial gave up: {redial_exc}",
+                        attempts=attempts,
+                    ) from redial_exc
+
+    def _call_once(
+        self, op: str, fields: dict, deadline: float | None
+    ) -> dict:
         if self._sock is None:
             self.connect()
+        timeout = deadline if deadline is not None else self._deadline
+        expires = None if timeout is None else time.monotonic() + timeout
         request_id = next(self._ids)
-        send_frame(self._sock, request(op, request_id, **fields))
-        while True:
-            payload = recv_frame(self._sock)
-            if payload is None:
-                raise ConnectionError("server closed the connection")
-            if payload.get("id") == request_id:
-                return parse_response(payload)
+        try:
+            self._sock.settimeout(timeout)
+            send_frame(self._sock, request(op, request_id, **fields), self._codec)
+            while True:
+                if expires is not None:
+                    remaining = expires - time.monotonic()
+                    if remaining <= 0:
+                        raise socket.timeout()
+                    self._sock.settimeout(remaining)
+                payload = recv_frame(self._sock)
+                if payload is None:
+                    raise ConnectionError("server closed the connection")
+                if payload.get("id") == request_id:
+                    return parse_response(payload)
+        except socket.timeout as exc:
+            # The response may still arrive later and desync the stream:
+            # abandon the connection so the next call starts clean.  A
+            # timed-out op is never resent — the server may have applied it.
+            self.close()
+            raise LeaseTimeoutError(
+                f"no response to {op!r} within {timeout}s deadline"
+            ) from exc
+        finally:
+            if self._sock is not None and timeout is not None:
+                self._sock.settimeout(None)
 
     def pipeline(
-        self, requests: Sequence[tuple[str, dict]]
+        self, requests: Sequence[tuple[str, dict]],
+        deadline: float | None = None,
     ) -> list[dict | ServeError]:
-        """Send every request before reading any response.
+        """Send every request as one batched write, then read responses.
 
+        All request frames are encoded up front and hit the socket in a
+        single ``sendall`` — the sync side's op-coalescing hot path.
         Returns one entry per request, in request order: the result dict,
         or the :class:`ServeError` that request drew.  Unlike :meth:`call`
-        this never resends — a batch that dies mid-flight raises.
+        this never resends — a batch that dies mid-flight raises — and
+        ``deadline`` (seconds for the *whole batch*) raises
+        :class:`LeaseTimeoutError` and abandons the connection.
         """
         if self._sock is None:
             self.connect()
+        timeout = deadline if deadline is not None else self._deadline
+        expires = None if timeout is None else time.monotonic() + timeout
         ids = []
+        frames = []
         for op, fields in requests:
             request_id = next(self._ids)
             ids.append(request_id)
-            send_frame(self._sock, request(op, request_id, **fields))
+            frames.append(
+                encode_frame(request(op, request_id, **fields), self._codec)
+            )
         by_id: dict[int, dict | ServeError] = {}
         wanted = set(ids)
-        while wanted:
-            payload = recv_frame(self._sock)
-            if payload is None:
-                raise ConnectionError("server closed mid-pipeline")
-            request_id = payload.get("id")
-            if request_id not in wanted:
-                continue
-            wanted.discard(request_id)
-            try:
-                by_id[request_id] = parse_response(payload)
-            except ServeError as exc:
-                by_id[request_id] = exc
+        try:
+            self._sock.settimeout(timeout)
+            self._sock.sendall(b"".join(frames))
+            while wanted:
+                if expires is not None:
+                    remaining = expires - time.monotonic()
+                    if remaining <= 0:
+                        raise socket.timeout()
+                    self._sock.settimeout(remaining)
+                payload = recv_frame(self._sock)
+                if payload is None:
+                    raise ConnectionError("server closed mid-pipeline")
+                request_id = payload.get("id")
+                if request_id not in wanted:
+                    continue
+                wanted.discard(request_id)
+                try:
+                    by_id[request_id] = parse_response(payload)
+                except ServeError as exc:
+                    by_id[request_id] = exc
+        except socket.timeout as exc:
+            self.close()
+            raise LeaseTimeoutError(
+                f"pipeline of {len(ids)} requests incomplete after "
+                f"{timeout}s deadline ({len(wanted)} unanswered)"
+            ) from exc
+        finally:
+            if self._sock is not None and timeout is not None:
+                self._sock.settimeout(None)
         return [by_id[request_id] for request_id in ids]
 
+    @property
+    def codec(self) -> str:
+        """The codec this client currently emits (receives are always dual)."""
+        return self._codec
+
     # Convenience wrappers mirroring the async client.
-    def hello(self) -> dict:
-        return self.call("hello")
+    def hello(self, deadline: float | None = None) -> dict:
+        return self.call("hello", deadline=deadline)
 
-    def acquire(self, tenant: str, resource: int, time: int) -> dict:
-        return self.call("acquire", tenant=tenant, resource=resource, time=time)
+    def acquire(
+        self, tenant: str, resource: int, time: int,
+        deadline: float | None = None,
+    ) -> dict:
+        return self.call(
+            "acquire", deadline=deadline,
+            tenant=tenant, resource=resource, time=time,
+        )
 
-    def renew(self, tenant: str, resource: int, time: int) -> dict:
-        return self.call("renew", tenant=tenant, resource=resource, time=time)
+    def renew(
+        self, tenant: str, resource: int, time: int,
+        deadline: float | None = None,
+    ) -> dict:
+        return self.call(
+            "renew", deadline=deadline,
+            tenant=tenant, resource=resource, time=time,
+        )
 
-    def release(self, tenant: str, resource: int, time: int) -> dict:
-        return self.call("release", tenant=tenant, resource=resource, time=time)
+    def release(
+        self, tenant: str, resource: int, time: int,
+        deadline: float | None = None,
+    ) -> dict:
+        return self.call(
+            "release", deadline=deadline,
+            tenant=tenant, resource=resource, time=time,
+        )
 
-    def tick(self, time: int) -> dict:
-        return self.call("tick", time=time)
+    def tick(self, time: int, deadline: float | None = None) -> dict:
+        return self.call("tick", deadline=deadline, time=time)
 
     def stats(self) -> dict:
         return self.call("stats")

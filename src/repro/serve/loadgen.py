@@ -183,17 +183,25 @@ async def drive_tenants(
     instance: ServeInstance,
     socket_path: str,
     retry_for: float = 5.0,
+    codec: str | None = None,
 ) -> dict:
     """Drive a server at ``socket_path`` with the instance's tenants.
 
     One pipelined connection per tenant plus a control connection for
     ticks and the final report; returns ``{"shards": [...], "requests":
     n}`` where the shard payloads are the server's per-shard ``report``
-    op results.
+    op results.  ``codec="bin"`` negotiates the binary codec on every
+    connection (falling back to JSON if the server declines); the
+    ``instance`` only needs ``.tenants`` and ``.trace.events``, so the
+    cluster loadgen drives through here too.
     """
-    control = await AsyncLeaseClient.open_unix(socket_path, retry_for=retry_for)
+    control = await AsyncLeaseClient.open_unix(
+        socket_path, retry_for=retry_for, codec=codec
+    )
     clients = {
-        tenant: await AsyncLeaseClient.open_unix(socket_path, retry_for=retry_for)
+        tenant: await AsyncLeaseClient.open_unix(
+            socket_path, retry_for=retry_for, codec=codec
+        )
         for tenant in instance.tenants
     }
     requests = 0

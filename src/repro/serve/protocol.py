@@ -1,15 +1,31 @@
-"""Length-prefixed JSON wire protocol for the lease-serving front end.
+"""Length-prefixed wire protocol for the lease-serving front end.
 
-One *frame* is a 4-byte big-endian unsigned length followed by exactly
-that many bytes of UTF-8 JSON encoding a single object.  Requests are
-envelopes ``{"id": <int>, "op": <str>, ...fields}``; responses echo the
-id as either an *ok frame* ``{"id": n, "ok": true, "result": {...}}`` or
-an *error frame* ``{"id": n, "ok": false, "error": {"kind": ...,
-"message": ...}}``.  Ids are chosen by the client and only need to be
-unique among its in-flight requests — they are what make pipelining
-possible: a client may write many request frames before reading any
-response and match responses back by id, in whatever order the server
-finishes them.
+One *frame* is a 4-byte big-endian header followed by a payload body.
+The header's low 31 bits carry the body length; the high bit selects the
+*codec* the body was encoded with — clear for UTF-8 JSON (the PR 3
+format, unchanged on the wire), set for the compact binary codec below.
+Every decoder accepts both codecs on the same stream, frame by frame, so
+codec choice is purely a question of what a sender *emits*: peers
+negotiate it at ``hello`` (``codec="bin"`` requested and echoed), and a
+peer that never negotiates keeps speaking JSON against any server.
+
+Bodies encode a single object.  Requests are envelopes ``{"id": <int>,
+"op": <str>, ...fields}``; responses echo the id as either an *ok frame*
+``{"id": n, "ok": true, "result": {...}}`` or an *error frame* ``{"id":
+n, "ok": false, "error": {"kind": ..., "message": ...}}``.  Ids are
+chosen by the client and only need to be unique among its in-flight
+requests — they are what make pipelining possible: a client may write
+many request frames before reading any response and match responses back
+by id, in whatever order the server finishes them.
+
+The binary codec is shape-special-cased, not a general serializer: the
+hot mutation envelopes (acquire/renew/release/tick requests, grant and
+applied-time ok responses) pack into fixed ``struct`` layouts — one pack
+call instead of JSON string assembly — and *everything else* (control
+ops, error frames, any payload outside the fast shapes or outside u64
+ranges) rides as JSON bytes inside a binary frame.  Decoding a binary
+body therefore reproduces exactly the dict the JSON codec would have
+carried, which is the property the codec tests pin down.
 
 The op surface mirrors the broker service plus serving control:
 
@@ -47,15 +63,36 @@ from typing import Any
 
 from ..errors import ModelError
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
-#: Frame-length header: 4-byte big-endian unsigned payload size.
+#: Frame header: 4-byte big-endian word — low 31 bits payload size, high
+#: bit set when the body uses the binary codec instead of JSON.
 HEADER = struct.Struct(">I")
+
+#: High header bit: the body is binary-codec, not JSON.
+BIN_FLAG = 0x8000_0000
+_LENGTH_MASK = BIN_FLAG - 1
 
 #: Hard ceiling on one frame's payload — a report frame carrying every
 #: lease of a smoke-sized run fits with orders of magnitude to spare; a
 #: corrupt or hostile length prefix does not get to allocate gigabytes.
+#: Must stay below :data:`BIN_FLAG` so the codec bit is always free.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Wire codecs a peer may emit; every receiver decodes both.
+CODEC_JSON = "json"
+CODEC_BIN = "bin"
+CODECS: tuple[str, ...] = (CODEC_JSON, CODEC_BIN)
+
+
+def negotiate_codec(requested: object) -> str:
+    """The codec a ``hello`` negotiation settles on.
+
+    Only a recognised explicit request for the binary codec upgrades the
+    connection; anything else — absent, unknown, or malformed — falls
+    back to JSON, so negotiation can never wedge a connection.
+    """
+    return CODEC_BIN if requested == CODEC_BIN else CODEC_JSON
 
 OPS: tuple[str, ...] = (
     "hello",
@@ -86,6 +123,28 @@ class ProtocolError(ModelError):
     """A frame or envelope violated the wire format."""
 
 
+class LeaseTimeoutError(ModelError):
+    """A client-side per-op deadline expired before the response arrived.
+
+    Raised by the sync :class:`~repro.serve.client.LeaseClient` when a
+    call's ``deadline`` elapses.  The connection is abandoned (the late
+    response would desynchronise the stream), so the next call redials.
+    """
+
+
+class LeaseRetryError(ModelError):
+    """A client exhausted its retry budget for one logical call.
+
+    Wraps the final transport failure after every transparent
+    redial-and-resend attempt the budget allowed; ``attempts`` counts
+    how many times the request hit the wire.
+    """
+
+    def __init__(self, message: str, attempts: int):
+        super().__init__(message)
+        self.attempts = attempts
+
+
 class ServeError(ModelError):
     """A serve-layer request failed; ``kind`` names the error class.
 
@@ -101,21 +160,241 @@ class ServeError(ModelError):
 
 
 # ----------------------------------------------------------------------
+# Binary body codec: fixed layouts for hot shapes, JSON bytes otherwise
+# ----------------------------------------------------------------------
+_BIN_KIND_JSON = 0      # JSON bytes of the whole payload
+_BIN_KIND_MUTATION = 1  # mutation request envelope
+_BIN_KIND_GRANT = 2     # ok response: {"grant": ..., "applied_time": ...}
+_BIN_KIND_APPLIED = 3   # ok response: {"applied_time": ...}
+
+#: kind, opcode, id, time, resource, tenant byte length (+ tenant bytes).
+_MUTATION_STRUCT = struct.Struct(">BBQQQH")
+#: kind, flags (bit0: grant present), id, applied_time.
+_GRANT_HEAD_STRUCT = struct.Struct(">BBQQ")
+#: grant_id, acquired_at, expires_at, released_at (-1 = None), resource,
+#: tenant byte length (+ tenant bytes).
+_GRANT_BODY_STRUCT = struct.Struct(">QQQqQH")
+#: kind, id, applied_time.
+_APPLIED_STRUCT = struct.Struct(">BQQ")
+
+_MUTATION_OPCODES = {"acquire": 0, "renew": 1, "release": 2, "tick": 3}
+_MUTATION_OP_NAMES = {code: op for op, code in _MUTATION_OPCODES.items()}
+
+_U64_MAX = (1 << 64) - 1
+_I64_MAX = (1 << 63) - 1
+
+_MUTATION_KEYS = frozenset({"id", "op", "tenant", "resource", "time"})
+_TICK_KEYS = frozenset({"id", "op", "time"})
+_RESPONSE_KEYS = frozenset({"id", "ok", "result"})
+_GRANT_RESULT_KEYS = frozenset({"grant", "applied_time"})
+_GRANT_KEYS = frozenset(
+    {"grant_id", "tenant", "resource", "acquired_at", "expires_at",
+     "released_at"}
+)
+
+
+def _u64(value: object) -> bool:
+    return type(value) is int and 0 <= value <= _U64_MAX
+
+
+def _tenant_bytes(value: object) -> bytes | None:
+    if type(value) is not str:
+        return None
+    try:
+        raw = value.encode("utf-8")
+    except UnicodeEncodeError:
+        return None  # lone surrogates survive JSON escaping, not UTF-8
+    return raw if len(raw) <= 0xFFFF else None
+
+
+def _pack_mutation(payload: dict) -> bytes | None:
+    op = payload.get("op")
+    opcode = _MUTATION_OPCODES.get(op) if type(op) is str else None
+    if opcode is None or not _u64(payload.get("id")):
+        return None
+    if not _u64(payload.get("time")):
+        return None
+    if op == "tick":
+        if payload.keys() != _TICK_KEYS:
+            return None
+        return _MUTATION_STRUCT.pack(
+            _BIN_KIND_MUTATION, opcode, payload["id"], payload["time"], 0, 0
+        )
+    if payload.keys() != _MUTATION_KEYS or not _u64(payload.get("resource")):
+        return None
+    tenant = _tenant_bytes(payload.get("tenant"))
+    if tenant is None:
+        return None
+    return _MUTATION_STRUCT.pack(
+        _BIN_KIND_MUTATION, opcode, payload["id"], payload["time"],
+        payload["resource"], len(tenant),
+    ) + tenant
+
+
+def _pack_grant(result: dict, request_id: int) -> bytes | None:
+    grant = result.get("grant")
+    if grant is None:
+        return _GRANT_HEAD_STRUCT.pack(
+            _BIN_KIND_GRANT, 0, request_id, result["applied_time"]
+        )
+    if not isinstance(grant, dict) or grant.keys() != _GRANT_KEYS:
+        return None
+    released = grant["released_at"]
+    if released is None:
+        released = -1
+    elif not (type(released) is int and 0 <= released <= _I64_MAX):
+        return None
+    if not (
+        _u64(grant["grant_id"])
+        and _u64(grant["acquired_at"])
+        and _u64(grant["expires_at"])
+        and _u64(grant["resource"])
+    ):
+        return None
+    tenant = _tenant_bytes(grant["tenant"])
+    if tenant is None:
+        return None
+    return (
+        _GRANT_HEAD_STRUCT.pack(
+            _BIN_KIND_GRANT, 1, request_id, result["applied_time"]
+        )
+        + _GRANT_BODY_STRUCT.pack(
+            grant["grant_id"], grant["acquired_at"], grant["expires_at"],
+            released, grant["resource"], len(tenant),
+        )
+        + tenant
+    )
+
+
+def _pack_response(payload: dict) -> bytes | None:
+    if payload.keys() != _RESPONSE_KEYS or payload.get("ok") is not True:
+        return None
+    if not _u64(payload.get("id")):
+        return None
+    result = payload.get("result")
+    if not isinstance(result, dict) or not _u64(result.get("applied_time")):
+        return None
+    if result.keys() == {"applied_time"}:
+        return _APPLIED_STRUCT.pack(
+            _BIN_KIND_APPLIED, payload["id"], result["applied_time"]
+        )
+    if result.keys() == _GRANT_RESULT_KEYS:
+        return _pack_grant(result, payload["id"])
+    return None
+
+
+def encode_body_bin(payload: dict) -> bytes:
+    """Encode one payload with the binary codec.
+
+    Hot shapes pack into fixed layouts; everything else becomes JSON
+    bytes behind a kind tag, so *any* JSON-encodable payload has a
+    binary encoding and ``decode_body_bin`` always reproduces exactly
+    what the JSON codec would have carried.
+    """
+    packed = _pack_mutation(payload) or _pack_response(payload)
+    if packed is not None:
+        return packed
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return bytes([_BIN_KIND_JSON]) + body
+
+
+def _exact_tail(body: bytes, offset: int, length: int) -> bytes:
+    """The body's trailing string field, which must fill it exactly.
+
+    A truncated or padded frame is corruption and must raise — slicing
+    alone would silently shorten the field (e.g. apply a request under
+    the wrong tenant name) instead of rejecting the frame.
+    """
+    if len(body) != offset + length:
+        raise ProtocolError(
+            f"binary frame length mismatch: {len(body)} bytes, "
+            f"expected {offset + length}"
+        )
+    return body[offset:offset + length]
+
+
+def decode_body_bin(body: bytes) -> dict:
+    """Decode one binary-codec frame body back to its payload dict."""
+    if not body:
+        raise ProtocolError("empty binary frame body")
+    kind = body[0]
+    try:
+        if kind == _BIN_KIND_JSON:
+            return decode_body(body[1:])
+        if kind == _BIN_KIND_MUTATION:
+            (_, opcode, request_id, when, resource, tenant_len) = (
+                _MUTATION_STRUCT.unpack_from(body)
+            )
+            op = _MUTATION_OP_NAMES[opcode]
+            if op == "tick":
+                return {"id": request_id, "op": op, "time": when}
+            tenant = _exact_tail(
+                body, _MUTATION_STRUCT.size, tenant_len
+            ).decode("utf-8")
+            return {
+                "id": request_id, "op": op, "tenant": tenant,
+                "resource": resource, "time": when,
+            }
+        if kind == _BIN_KIND_GRANT:
+            _, flags, request_id, applied = _GRANT_HEAD_STRUCT.unpack_from(body)
+            if not flags & 1:
+                return {
+                    "id": request_id, "ok": True,
+                    "result": {"grant": None, "applied_time": applied},
+                }
+            offset = _GRANT_HEAD_STRUCT.size
+            (grant_id, acquired, expires, released, resource, tenant_len) = (
+                _GRANT_BODY_STRUCT.unpack_from(body, offset)
+            )
+            offset += _GRANT_BODY_STRUCT.size
+            tenant = _exact_tail(body, offset, tenant_len).decode("utf-8")
+            return {
+                "id": request_id,
+                "ok": True,
+                "result": {
+                    "grant": {
+                        "grant_id": grant_id,
+                        "tenant": tenant,
+                        "resource": resource,
+                        "acquired_at": acquired,
+                        "expires_at": expires,
+                        "released_at": None if released < 0 else released,
+                    },
+                    "applied_time": applied,
+                },
+            }
+        if kind == _BIN_KIND_APPLIED:
+            _, request_id, applied = _APPLIED_STRUCT.unpack(body)
+            return {
+                "id": request_id, "ok": True,
+                "result": {"applied_time": applied},
+            }
+    except (struct.error, KeyError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable binary frame: {exc}") from exc
+    raise ProtocolError(f"unknown binary frame kind {kind}")
+
+
+# ----------------------------------------------------------------------
 # Pure frame encoding
 # ----------------------------------------------------------------------
-def encode_frame(payload: dict) -> bytes:
-    """One wire frame: length header plus compact UTF-8 JSON body."""
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+def encode_frame(payload: dict, codec: str = CODEC_JSON) -> bytes:
+    """One wire frame: header plus body in the requested codec."""
+    if codec == CODEC_BIN:
+        body = encode_body_bin(payload)
+        flag = BIN_FLAG
+    else:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        flag = 0
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES "
             f"({MAX_FRAME_BYTES})"
         )
-    return HEADER.pack(len(body)) + body
+    return HEADER.pack(len(body) | flag) + body
 
 
 def decode_body(body: bytes) -> dict:
-    """Decode one frame body; the payload must be a JSON object."""
+    """Decode one JSON frame body; the payload must be a JSON object."""
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -127,11 +406,18 @@ def decode_body(body: bytes) -> dict:
     return payload
 
 
-def _check_length(length: int) -> None:
+def _split_header(word: int) -> tuple[int, bool]:
+    """Header word -> (payload length, binary-codec flag), bounds-checked."""
+    length = word & _LENGTH_MASK
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame length {length} exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
         )
+    return length, bool(word & BIN_FLAG)
+
+
+def _decode(body: bytes, binary: bool) -> dict:
+    return decode_body_bin(body) if binary else decode_body(body)
 
 
 class FrameDecoder:
@@ -152,14 +438,14 @@ class FrameDecoder:
         while True:
             if len(self._buffer) < HEADER.size:
                 return frames
-            (length,) = HEADER.unpack_from(self._buffer)
-            _check_length(length)
+            (word,) = HEADER.unpack_from(self._buffer)
+            length, binary = _split_header(word)
             end = HEADER.size + length
             if len(self._buffer) < end:
                 return frames
             body = bytes(self._buffer[HEADER.size:end])
             del self._buffer[:end]
-            frames.append(decode_body(body))
+            frames.append(_decode(body, binary))
 
     @property
     def pending_bytes(self) -> int:
@@ -178,24 +464,24 @@ async def read_frame(reader) -> dict | None:
         header = await reader.readexactly(HEADER.size)
     except (EOFError, ConnectionError, OSError):
         return None
-    (length,) = HEADER.unpack(header)
-    _check_length(length)
+    (word,) = HEADER.unpack(header)
+    length, binary = _split_header(word)
     body = await reader.readexactly(length)
-    return decode_body(body)
+    return _decode(body, binary)
 
 
-async def write_frame(writer, payload: dict) -> None:
+async def write_frame(writer, payload: dict, codec: str = CODEC_JSON) -> None:
     """Write one frame to an asyncio stream and drain the transport."""
-    writer.write(encode_frame(payload))
+    writer.write(encode_frame(payload, codec))
     await writer.drain()
 
 
 # ----------------------------------------------------------------------
 # Blocking-socket adapters (the sync client)
 # ----------------------------------------------------------------------
-def send_frame(sock: socket.socket, payload: dict) -> None:
+def send_frame(sock: socket.socket, payload: dict, codec: str = CODEC_JSON) -> None:
     """Send one frame over a blocking socket."""
-    sock.sendall(encode_frame(payload))
+    sock.sendall(encode_frame(payload, codec))
 
 
 def recv_frame(sock: socket.socket) -> dict | None:
@@ -203,12 +489,12 @@ def recv_frame(sock: socket.socket) -> dict | None:
     header = _recv_exact(sock, HEADER.size)
     if header is None:
         return None
-    (length,) = HEADER.unpack(header)
-    _check_length(length)
+    (word,) = HEADER.unpack(header)
+    length, binary = _split_header(word)
     body = _recv_exact(sock, length)
     if body is None:
         raise ProtocolError("connection closed mid-frame")
-    return decode_body(body)
+    return _decode(body, binary)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes | None:

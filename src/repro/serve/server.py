@@ -49,12 +49,14 @@ from ..engine.events import Acquire, Event, Release, Tick, event_to_payload
 from ..engine.scenarios import shard_ranges as _shard_ranges
 from ..errors import ModelError
 from .protocol import (
+    CODEC_JSON,
     MUTATION_OPS,
     OPS,
     PROTOCOL_VERSION,
     ProtocolError,
     ServeError,
     error,
+    negotiate_codec,
     ok,
     read_frame,
     write_frame,
@@ -65,6 +67,43 @@ from .session import SessionRegistry
 STATES = ("serving", "draining", "stopped")
 
 _STOP = object()  # queue sentinel: worker exits after draining ahead of it
+
+
+# ----------------------------------------------------------------------
+# Envelope field validation — shared by the server and the cluster router
+# ----------------------------------------------------------------------
+def field_time(payload: dict) -> int:
+    """The envelope's ``time`` field, validated."""
+    when = payload.get("time")
+    if not isinstance(when, int) or isinstance(when, bool) or when < 0:
+        raise ServeError("protocol", f"time must be an int >= 0, got {when!r}")
+    return when
+
+
+def field_tenant(payload: dict) -> str:
+    """The envelope's ``tenant`` field, validated."""
+    tenant = payload.get("tenant")
+    if not isinstance(tenant, str) or not tenant:
+        raise ServeError(
+            "protocol", f"tenant must be a non-empty string, got {tenant!r}"
+        )
+    return tenant
+
+
+def field_resource(payload: dict, num_resources: int) -> int:
+    """The envelope's ``resource`` field, validated against ``[0, N)``."""
+    resource = payload.get("resource")
+    if (
+        not isinstance(resource, int)
+        or isinstance(resource, bool)
+        or not 0 <= resource < num_resources
+    ):
+        raise ServeError(
+            "protocol",
+            f"resource must be an int in [0, {num_resources}), "
+            f"got {resource!r}",
+        )
+    return resource
 
 
 def shard_ranges(num_resources: int, num_shards: int) -> tuple[tuple[int, int], ...]:
@@ -430,44 +469,15 @@ class LeaseServer:
             )
         )
 
-    @staticmethod
-    def _field_time(payload: dict) -> int:
-        when = payload.get("time")
-        if not isinstance(when, int) or isinstance(when, bool) or when < 0:
-            raise ServeError("protocol", f"time must be an int >= 0, got {when!r}")
-        return when
-
-    def _field_tenant(self, payload: dict) -> str:
-        tenant = payload.get("tenant")
-        if not isinstance(tenant, str) or not tenant:
-            raise ServeError(
-                "protocol", f"tenant must be a non-empty string, got {tenant!r}"
-            )
-        return tenant
-
-    def _field_resource(self, payload: dict) -> int:
-        resource = payload.get("resource")
-        if (
-            not isinstance(resource, int)
-            or isinstance(resource, bool)
-            or not 0 <= resource < self.num_resources
-        ):
-            raise ServeError(
-                "protocol",
-                f"resource must be an int in [0, {self.num_resources}), "
-                f"got {resource!r}",
-            )
-        return resource
-
     async def _apply(self, op: str, payload: dict) -> dict:
-        when = self._field_time(payload)
+        when = field_time(payload)
         if self._state == "stopped":
             raise ServeError("unavailable", "server is stopped")
         if op == "tick":
             applied = await self._broadcast("tick", when)
             return {"applied_time": max(r["applied_time"] for r in applied)}
-        tenant = self._field_tenant(payload)
-        resource = self._field_resource(payload)
+        tenant = field_tenant(payload)
+        resource = field_resource(payload, self.num_resources)
         if op == "acquire" and self._state != "serving":
             raise ServeError(
                 "draining", "server is draining; new acquires are refused"
@@ -503,8 +513,8 @@ class LeaseServer:
         }
 
     async def _control(self, op: str) -> dict:
-        if op == "hello":
-            return self._hello()
+        # `hello` never reaches here: the connection loop intercepts it
+        # (codec negotiation needs the payload, which _control lacks).
         if op == "stats":
             return {
                 "state": self._state,
@@ -529,6 +539,11 @@ class LeaseServer:
             self._conn_tasks.add(task)
         write_lock = asyncio.Lock()
         inflight: set[asyncio.Task] = set()
+        # One mutable slot per connection: `hello` may upgrade the codec
+        # mid-stream, and every response written after the upgrade —
+        # including mutations already in flight — uses the new encoding
+        # (receivers decode both codecs, so the cutover point is free).
+        codec_ref = [CODEC_JSON]
         try:
             while True:
                 try:
@@ -537,7 +552,8 @@ class LeaseServer:
                     # The byte stream is unparseable from here on: name
                     # the violation, then hang up rather than resync.
                     await self._respond(
-                        writer, write_lock, error(None, "protocol", str(exc))
+                        writer, write_lock,
+                        error(None, "protocol", str(exc)), codec_ref,
                     )
                     break
                 if payload is None:
@@ -551,15 +567,31 @@ class LeaseServer:
                     # order, matched by id.
                     mutation = asyncio.create_task(
                         self._serve_mutation(
-                            op, payload, request_id, writer, write_lock
+                            op, payload, request_id, writer, write_lock,
+                            codec_ref,
                         )
                     )
                     inflight.add(mutation)
                     mutation.add_done_callback(inflight.discard)
                     continue
+                if op == "hello":
+                    # Codec negotiation happens here, where the payload
+                    # is visible: an explicit `codec` field renegotiates
+                    # this connection (unknown values settle on JSON); a
+                    # hello *without* the field is a plain introspection
+                    # and leaves the current codec untouched.
+                    if "codec" in payload:
+                        codec_ref[0] = negotiate_codec(payload.get("codec"))
+                    result = self._hello()
+                    result["codec"] = codec_ref[0]
+                    await self._respond(
+                        writer, write_lock, ok(request_id, result), codec_ref
+                    )
+                    continue
                 if op == "shutdown":
                     await self._respond(
-                        writer, write_lock, ok(request_id, {"state": "stopped"})
+                        writer, write_lock,
+                        ok(request_id, {"state": "stopped"}), codec_ref,
                     )
                     self._shutdown_task = asyncio.create_task(self.shutdown())
                     break
@@ -572,6 +604,7 @@ class LeaseServer:
                             "protocol",
                             f"unknown op {op!r}; known: {', '.join(OPS)}",
                         ),
+                        codec_ref,
                     )
                     continue
                 try:
@@ -579,7 +612,7 @@ class LeaseServer:
                     frame = ok(request_id, result)
                 except ServeError as exc:
                     frame = error(request_id, exc.kind, exc.message)
-                await self._respond(writer, write_lock, frame)
+                await self._respond(writer, write_lock, frame, codec_ref)
         finally:
             if inflight:
                 await asyncio.gather(*inflight, return_exceptions=True)
@@ -593,19 +626,19 @@ class LeaseServer:
                 pass
 
     async def _serve_mutation(
-        self, op, payload, request_id, writer, write_lock
+        self, op, payload, request_id, writer, write_lock, codec_ref
     ) -> None:
         try:
             result = await self._apply(op, payload)
             frame = ok(request_id, result)
         except ServeError as exc:
             frame = error(request_id, exc.kind, exc.message)
-        await self._respond(writer, write_lock, frame)
+        await self._respond(writer, write_lock, frame, codec_ref)
 
-    async def _respond(self, writer, write_lock, frame: dict) -> None:
+    async def _respond(self, writer, write_lock, frame: dict, codec_ref) -> None:
         async with write_lock:
             try:
-                await write_frame(writer, frame)
+                await write_frame(writer, frame, codec_ref[0])
             except (ConnectionError, RuntimeError, OSError):
                 pass  # client went away; its response has nowhere to go
 

@@ -1,0 +1,278 @@
+"""Router mechanics against in-process workers: topology math, hello,
+routing, barriers, drain, backpressure, and config validation.
+
+The workers here are real :class:`LeaseServer` instances on unix sockets
+inside the test's own event loop — the router cannot tell (the protocol
+is the boundary), and the tests stay fast and deterministic without
+spawning processes.  The subprocess fleet is exercised end to end by
+``test_cluster_scenario``.
+"""
+
+import asyncio
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterRouter, ClusterSpec
+from repro.core import LeaseSchedule
+from repro.errors import ModelError
+from repro.serve import AsyncLeaseClient, LeaseServer, ServeError
+from repro.serve.protocol import (
+    ok,
+    read_frame,
+    request,
+    write_frame,
+)
+
+SCHEDULE = LeaseSchedule.power_of_two(4, cost_growth=2.0)
+
+
+@pytest.fixture
+def workdir():
+    path = tempfile.mkdtemp(prefix="rcl-t-")
+    try:
+        yield Path(path)
+    finally:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+class TestSpec:
+    def test_worker_ranges_tile_the_resource_space(self):
+        for resources, workers, spw in [(8, 2, 2), (10, 3, 1), (7, 2, 3)]:
+            spec = ClusterSpec(resources, workers, spw)
+            covered = [
+                r for lo, hi in spec.worker_ranges for r in range(lo, hi)
+            ]
+            assert covered == list(range(resources))
+            # Worker ranges are exactly their shard groups' union.
+            for w in range(workers):
+                lo_shard, hi_shard = spec.group(w)
+                assert spec.worker_ranges[w] == (
+                    spec.ranges[lo_shard][0], spec.ranges[hi_shard - 1][1]
+                )
+
+    def test_worker_of_is_consistent_with_ranges(self):
+        spec = ClusterSpec(10, 3, 1)
+        for resource in range(10):
+            w = spec.worker_of(resource)
+            lo, hi = spec.worker_ranges[w]
+            assert lo <= resource < hi
+        with pytest.raises(ModelError):
+            spec.worker_of(10)
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(ModelError):
+            ClusterSpec(num_resources=3, num_workers=2, shards_per_worker=2)
+
+    def test_ranges_match_the_engine_partition(self):
+        from repro.engine import shard_ranges
+
+        spec = ClusterSpec(16, 2, 2)
+        assert spec.ranges == shard_ranges(16, 4)
+
+
+def _start_inprocess_workers(spec: ClusterSpec, workdir: Path):
+    """Real LeaseServers on unix sockets in the current loop."""
+    servers = []
+    paths = []
+
+    async def start():
+        for index in range(spec.num_workers):
+            server = LeaseServer(
+                spec.schedule(),
+                num_resources=spec.num_resources,
+                num_shards=spec.total_shards,
+                record=spec.record,
+                session_window=spec.session_window,
+            )
+            path = str(workdir / f"w{index}.sock")
+            await server.start_unix(path)
+            servers.append(server)
+            paths.append(path)
+        return servers, paths
+
+    return start()
+
+
+class TestRouting:
+    def test_hello_routing_barriers_and_drain(self, workdir):
+        spec = ClusterSpec(8, 2, 2)
+
+        async def main():
+            servers, paths = await _start_inprocess_workers(spec, workdir)
+            router = ClusterRouter(spec)
+            await router.connect_workers(paths, codec="bin")
+            router_sock = str(workdir / "router.sock")
+            await router.start_unix(router_sock)
+            client = await AsyncLeaseClient.open_unix(router_sock, codec="bin")
+            outcome = {}
+            outcome["hello"] = await client.call("hello", codec="bin")
+            # One acquire per worker range, one tick across both.
+            outcome["left"] = await client.acquire("tl", 0, 0)
+            outcome["right"] = await client.acquire("tr", 7, 0)
+            outcome["tick"] = await client.tick(1)
+            outcome["stats"] = await client.stats()
+            outcome["report"] = await client.report()
+            outcome["drain"] = await client.drain()
+            try:
+                await client.acquire("tl", 1, 1)
+                outcome["post_drain"] = None
+            except ServeError as exc:
+                outcome["post_drain"] = exc
+            outcome["release"] = await client.release("tl", 0, 1)
+            await client.close()
+            await router.shutdown()
+            outcome["worker_states"] = [s.state for s in servers]
+            return outcome
+
+        outcome = asyncio.run(main())
+        hello = outcome["hello"]
+        assert hello["server"] == "repro.cluster"
+        assert hello["codec"] == "bin"
+        assert hello["num_shards"] == 4
+        assert hello["cluster"]["workers"] == 2
+        assert hello["cluster"]["worker_ranges"] == [[0, 4], [4, 8]]
+        assert outcome["left"]["grant"]["resource"] == 0
+        assert outcome["right"]["grant"]["resource"] == 7
+        assert outcome["tick"]["applied_time"] == 1
+        stats = outcome["stats"]
+        assert stats["state"] == "serving"
+        assert len(stats["workers"]) == 2
+        assert all(w["codec"] == "bin" for w in stats["workers"])
+        # Each worker saw exactly its own tenant.
+        assert stats["workers"][0]["sessions"]["tenants"] == 1
+        assert stats["workers"][1]["sessions"]["tenants"] == 1
+        # The merged barrier keeps each worker's own shard group, in
+        # global order — indistinguishable from one 4-shard server.
+        assert [s["index"] for s in stats["shards"]] == [0, 1, 2, 3]
+        assert [s["index"] for s in outcome["report"]["shards"]] == [0, 1, 2, 3]
+        assert sum(s["stats"]["acquires"] for s in stats["shards"]) == 2
+        assert outcome["drain"]["state"] == "draining"
+        assert outcome["post_drain"] is not None
+        assert outcome["post_drain"].kind == "draining"
+        # The release was *served* during the drain (ok frame, not an
+        # error); the day-0 grant may have already expired at the tick,
+        # in which case it is a legitimate no-op release.
+        assert outcome["release"]["applied_time"] == 1
+        assert "grant" in outcome["release"]
+        # Router shutdown shut the workers down over their links.
+        assert outcome["worker_states"] == ["stopped", "stopped"]
+
+    def test_json_codec_links_serve_identically(self, workdir):
+        spec = ClusterSpec(4, 2, 1)
+
+        async def main():
+            _, paths = await _start_inprocess_workers(spec, workdir)
+            router = ClusterRouter(spec)
+            await router.connect_workers(paths, codec="json")
+            router_sock = str(workdir / "router.sock")
+            await router.start_unix(router_sock)
+            client = await AsyncLeaseClient.open_unix(router_sock)
+            grant = await client.acquire("t", 3, 0)
+            report = await client.report()
+            await client.close()
+            await router.shutdown()
+            return grant, report
+
+        grant, report = asyncio.run(main())
+        assert grant["grant"]["resource"] == 3
+        assert [s["index"] for s in report["shards"]] == [0, 1]
+
+
+async def _stub_worker(path: str, spec: ClusterSpec, answer_mutations: bool):
+    """A fake worker: a valid hello, then (optionally) eternal silence."""
+    schedule = spec.schedule()
+    hello = {
+        "server": "stub",
+        "codec": "json",
+        "num_resources": spec.num_resources,
+        "num_shards": spec.total_shards,
+        "record": spec.record,
+        "schedule": {
+            "num_types": schedule.num_types,
+            "lengths": [t.length for t in schedule],
+            "costs": [t.cost for t in schedule],
+        },
+    }
+
+    async def handle(reader, writer):
+        while True:
+            payload = await read_frame(reader)
+            if payload is None:
+                break
+            if payload.get("op") == "hello":
+                await write_frame(writer, ok(payload.get("id"), hello))
+            elif answer_mutations:
+                await write_frame(
+                    writer, ok(payload.get("id"), {"applied_time": 0})
+                )
+            # else: swallow the frame — in-flight forever.
+
+    return await asyncio.start_unix_server(handle, path=path)
+
+
+class TestBackpressureAndValidation:
+    def test_worker_window_bounds_per_worker_inflight(self, workdir):
+        """Against a worker that never answers, the second routed
+        mutation must bounce with a backpressure error frame instead of
+        queueing without bound."""
+        spec = ClusterSpec(2, 1, 1)
+
+        async def main():
+            path = str(workdir / "stub.sock")
+            stub = await _stub_worker(path, spec, answer_mutations=False)
+            router = ClusterRouter(spec, worker_window=1)
+            await router.connect_workers([path], codec="json")
+            router_sock = str(workdir / "router.sock")
+            await router.start_unix(router_sock)
+            client = await AsyncLeaseClient.open_unix(router_sock)
+            first = asyncio.ensure_future(client.acquire("t", 0, 0))
+            await asyncio.sleep(0.05)  # let the first reach the link
+            try:
+                await client.acquire("t", 1, 0)
+                bounced = None
+            except ServeError as exc:
+                bounced = exc
+            first.cancel()
+            await client.close()
+            stub.close()
+            return bounced
+
+        bounced = asyncio.run(main())
+        assert bounced is not None and bounced.kind == "backpressure"
+
+    def test_worker_config_mismatch_refused_at_connect(self, workdir):
+        spec = ClusterSpec(8, 1, 2)
+        wrong = ClusterSpec(8, 1, 1)  # stub advertises 1 shard, spec wants 2
+
+        async def main():
+            path = str(workdir / "stub.sock")
+            stub = await _stub_worker(path, wrong, answer_mutations=True)
+            router = ClusterRouter(spec)
+            try:
+                await router.connect_workers([path], retry_for=1.0)
+            finally:
+                stub.close()
+
+        with pytest.raises(ModelError, match="config mismatch"):
+            asyncio.run(main())
+
+    def test_wrong_socket_count_refused(self, workdir):
+        spec = ClusterSpec(8, 2, 2)
+
+        async def main():
+            router = ClusterRouter(spec)
+            await router.connect_workers([str(workdir / "only-one.sock")])
+
+        with pytest.raises(ModelError, match="socket paths"):
+            asyncio.run(main())
+
+    def test_listening_before_workers_refused(self, workdir):
+        async def main():
+            router = ClusterRouter(ClusterSpec(4, 2, 1))
+            await router.start_unix(str(workdir / "router.sock"))
+
+        with pytest.raises(ModelError):
+            asyncio.run(main())

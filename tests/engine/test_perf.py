@@ -29,6 +29,11 @@ def p03_record():
     return perf.measure("p03_serve", "unit")
 
 
+@pytest.fixture(scope="module")
+def p04_record():
+    return perf.measure("p04_cluster", "unit")
+
+
 class TestMeasure:
     def test_p01_record_shape(self, p01_record):
         assert p01_record["schema"] == perf.SCHEMA
@@ -59,6 +64,30 @@ class TestMeasure:
             * p03_record["params"]["tenants_per_resource"]
         )
         assert metrics["events_per_sec"] > 0
+
+    def test_p04_record_shape(self, p04_record):
+        assert p04_record["bench"] == "p04_cluster"
+        metrics = p04_record["metrics"]
+        assert metrics["report_equal"] is True
+        assert metrics["verified"] is True
+        assert metrics["events"] > 0
+        assert metrics["events"] == metrics["requests"]
+        assert metrics["workers"] == p04_record["params"]["num_workers"] == 2
+        assert metrics["tenants"] == (
+            p04_record["params"]["num_resources"]
+            * p04_record["params"]["tenants_per_resource"]
+        )
+        assert metrics["events_per_sec"] > 0
+        assert p04_record["params"]["codec"] == "bin"
+
+    def test_p04_matches_p03_structure_exactly(self, p03_record, p04_record):
+        """Same workload, same seed: the cluster must apply exactly the
+        events, buy exactly the leases, and pay exactly the cost the
+        single-process server does — scaling out changes the wall clock,
+        never the books."""
+        for key in ("events", "leases", "tenants", "requests"):
+            assert p04_record["metrics"][key] == p03_record["metrics"][key]
+        assert p04_record["metrics"]["cost"] == p03_record["metrics"]["cost"]
 
     def test_p03_is_deterministic_in_structure(self, p03_record):
         again = perf.measure("p03_serve", "unit")
@@ -168,6 +197,29 @@ class TestCheck:
             p01_record,
         )
         assert failures and "no committed numbers" in failures[0]
+
+    def test_p04_beats_baseline_gated_only_on_multicore(self, p04_record):
+        committed = self._committed(p04_record)
+        # Freeze a baseline the fresh record cannot beat.
+        committed["baseline"] = {
+            "events_per_sec": p04_record["metrics"]["events_per_sec"] * 10
+        }
+        below = copy.deepcopy(p04_record)
+        committed["modes"]["unit"]["env"]["cpus"] = 4
+        below["env"]["cpus"] = 4
+        failures = perf.check(committed, below)
+        assert any("single-process p03 baseline" in f for f in failures)
+        # Same record on a single-core machine: not gated.
+        solo = copy.deepcopy(below)
+        solo["env"]["cpus"] = 1
+        assert not any("baseline" in f for f in perf.check(committed, solo))
+        # And a cluster that does beat the baseline passes on multi-core.
+        committed["baseline"] = {
+            "events_per_sec": max(
+                1, p04_record["metrics"]["events_per_sec"] // 10
+            )
+        }
+        assert not any("baseline" in f for f in perf.check(committed, below))
 
     def test_shard_speedup_gated_only_on_multicore(self, p02_record):
         committed = self._committed(p02_record)

@@ -119,15 +119,39 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
-    def test_engine_list_shows_shardable_column(self, capsys):
+    def test_engine_list_shows_shardable_and_cluster_columns(self, capsys):
         assert main(["engine", "list"]) == 0
         output = capsys.readouterr().out
         header, rows = output.splitlines()[1], output.splitlines()[3:]
         assert "shardable" in header
-        broker_rows = [row for row in rows if "broker-" in row]
-        serve_rows = [row for row in rows if "serve-" in row]
-        assert broker_rows and all("yes" in row for row in broker_rows)
-        assert serve_rows and not any("yes" in row for row in serve_rows)
+        assert "cluster" in header
+        shardable_at = header.index("shardable")
+        cluster_at = header.index("cluster")
+
+        def flags(row):
+            return (
+                "yes" in row[shardable_at:cluster_at],
+                "yes" in row[cluster_at:cluster_at + len("cluster")],
+            )
+
+        broker_rows = [row for row in rows if " broker " in row]
+        serve_rows = [row for row in rows if " serve " in row]
+        cluster_rows = [row for row in rows if " cluster " in row]
+        parking_rows = [row for row in rows if " parking " in row]
+        assert broker_rows and all(
+            flags(row) == (True, True) for row in broker_rows
+        )
+        # Serving families shard fleet-side, not via --shards; both are
+        # cluster-servable.
+        assert serve_rows and all(
+            flags(row) == (False, True) for row in serve_rows
+        )
+        assert cluster_rows and all(
+            flags(row) == (False, True) for row in cluster_rows
+        )
+        assert parking_rows and all(
+            flags(row) == (False, False) for row in parking_rows
+        )
 
     def test_engine_run_shards_rejects_non_shardable(self, capsys):
         assert main(

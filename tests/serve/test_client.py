@@ -1,9 +1,13 @@
 """Client behaviour: sync calls over a threaded server, pipelining,
-reconnect across a server restart, and async pool round-robin."""
+reconnect across a server restart, deadlines and retry budgets as typed
+errors, codec negotiation, and async pool round-robin."""
 
 import asyncio
 import contextlib
 import os
+import socket as socketlib
+import threading
+import time
 
 import pytest
 
@@ -11,7 +15,9 @@ from repro.core import LeaseSchedule
 from repro.serve import (
     AsyncClientPool,
     LeaseClient,
+    LeaseRetryError,
     LeaseServer,
+    LeaseTimeoutError,
     ServeError,
     ServerThread,
 )
@@ -21,6 +27,36 @@ SCHEDULE = LeaseSchedule.power_of_two(4, cost_growth=2.0)
 
 def _server() -> LeaseServer:
     return LeaseServer(SCHEDULE, num_resources=8, num_shards=4, record=True)
+
+
+@contextlib.contextmanager
+def _silent_server(sock_path):
+    """A unix listener that accepts connections and never responds."""
+    listener = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    listener.bind(sock_path)
+    listener.listen(4)
+    accepted: list[socketlib.socket] = []
+
+    def accept_loop():
+        try:
+            while True:
+                conn, _ = listener.accept()
+                accepted.append(conn)
+        except OSError:
+            pass
+
+    thread = threading.Thread(target=accept_loop, daemon=True)
+    thread.start()
+    try:
+        yield
+    finally:
+        listener.close()
+        for conn in accepted:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        thread.join(timeout=2)
 
 
 class TestSyncClient:
@@ -104,6 +140,106 @@ class TestSyncClient:
             LeaseClient()
         with pytest.raises(Exception):
             LeaseClient(path="/tmp/x.sock", host="localhost", port=1)
+
+
+class TestDeadlines:
+    def test_deadline_raises_typed_timeout_against_a_silent_server(
+        self, sock_path
+    ):
+        with _silent_server(sock_path):
+            client = LeaseClient(path=sock_path, reconnect=False).connect()
+            try:
+                start = time.monotonic()
+                with pytest.raises(LeaseTimeoutError):
+                    client.acquire("t", 0, 0, deadline=0.25)
+                elapsed = time.monotonic() - start
+                assert 0.2 <= elapsed < 5.0
+                # The connection was abandoned: a late response cannot
+                # desync a future call's stream.
+                assert client._sock is None
+            finally:
+                client.close()
+
+    def test_pipeline_deadline_covers_the_whole_batch(self, sock_path):
+        with _silent_server(sock_path):
+            client = LeaseClient(path=sock_path, reconnect=False).connect()
+            try:
+                with pytest.raises(LeaseTimeoutError):
+                    client.pipeline(
+                        [
+                            ("acquire", {"tenant": "t", "resource": 0, "time": 0}),
+                            ("tick", {"time": 1}),
+                        ],
+                        deadline=0.25,
+                    )
+            finally:
+                client.close()
+
+    def test_default_deadline_from_the_constructor(self, sock_path):
+        with _silent_server(sock_path):
+            client = LeaseClient(
+                path=sock_path, reconnect=False, deadline=0.25
+            ).connect()
+            try:
+                with pytest.raises(LeaseTimeoutError):
+                    client.tick(0)
+            finally:
+                client.close()
+
+    def test_deadline_met_by_a_live_server_is_harmless(self, sock_path):
+        thread = ServerThread(_server(), unix_path=sock_path).start()
+        try:
+            with LeaseClient(path=sock_path) as client:
+                grant = client.acquire("t", 1, 0, deadline=5.0)
+                assert grant["grant"]["resource"] == 1
+        finally:
+            thread.stop()
+
+
+class TestRetryBudget:
+    def test_budget_exhaustion_raises_typed_error(self, sock_path):
+        thread = ServerThread(_server(), unix_path=sock_path).start()
+        client = LeaseClient(
+            path=sock_path, retry_budget=2, connect_timeout=0.3
+        ).connect()
+        try:
+            assert client.acquire("t", 0, 0)["grant"]["resource"] == 0
+            thread.stop()
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(sock_path)
+            with pytest.raises(LeaseRetryError) as err:
+                client.acquire("t", 1, 1)
+            assert err.value.attempts >= 1
+        finally:
+            client.close()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(Exception):
+            LeaseClient(path="/tmp/x.sock", retry_budget=-1)
+
+
+class TestSyncCodec:
+    def test_binary_codec_negotiated_and_renegotiated_after_redial(
+        self, sock_path
+    ):
+        first = ServerThread(_server(), unix_path=sock_path).start()
+        client = LeaseClient(path=sock_path, codec="bin").connect()
+        try:
+            assert client.codec == "bin"
+            assert client.acquire("t", 0, 0)["grant"]["resource"] == 0
+            first.stop()
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(sock_path)
+            second = ServerThread(_server(), unix_path=sock_path).start()
+            try:
+                # Redial renegotiates: the call survives the restart and
+                # the upgraded codec survives with it.
+                assert client.acquire("t", 1, 2)["grant"]["resource"] == 1
+                assert client.codec == "bin"
+            finally:
+                second.stop()
+        finally:
+            client.close()
 
 
 class TestAsyncPool:

@@ -162,6 +162,136 @@ class TestDrain:
         assert exc is not None and exc.kind == "backpressure"
 
 
+class TestCodecNegotiation:
+    def test_hello_upgrades_to_binary_and_serves_identically(self, sock_path):
+        async def main():
+            server = LeaseServer(SCHEDULE, num_resources=4, num_shards=2)
+            await server.start_unix(sock_path)
+            plain = await AsyncLeaseClient.open_unix(sock_path)
+            binary = await AsyncLeaseClient.open_unix(sock_path, codec="bin")
+            assert binary.codec == "bin"
+            assert plain.codec == "json"
+            hello = await binary.call("hello", codec="bin")
+            a = await plain.acquire("t-json", 0, 3)
+            b = await binary.acquire("t-bin", 1, 3)
+            released = await binary.release("t-bin", 1, 3)
+            ticked = await binary.tick(4)
+            await plain.close()
+            await binary.close()
+            await server.shutdown()
+            return hello, a, b, released, ticked
+
+        hello, a, b, released, ticked = asyncio.run(main())
+        assert hello["codec"] == "bin"
+        # Same result shapes whichever codec carried them.
+        assert a["grant"]["resource"] == 0 and b["grant"]["resource"] == 1
+        assert released["grant"]["released_at"] == 3
+        assert ticked["applied_time"] == 4
+
+    def test_bare_hello_preserves_a_negotiated_codec(self, sock_path):
+        """A hello without a codec field is introspection, not
+        renegotiation — it must not silently downgrade the connection."""
+
+        async def main():
+            server = LeaseServer(SCHEDULE, num_resources=2, num_shards=1)
+            await server.start_unix(sock_path)
+            client = await AsyncLeaseClient.open_unix(sock_path, codec="bin")
+            bare = await client.hello()
+            explicit_down = await client.call("hello", codec="json")
+            await client.close()
+            await server.shutdown()
+            return bare, explicit_down
+
+        bare, explicit_down = asyncio.run(main())
+        assert bare["codec"] == "bin"  # untouched by the bare hello
+        assert explicit_down["codec"] == "json"  # explicit requests act
+
+    def test_unknown_codec_falls_back_to_json(self, sock_path):
+        async def main():
+            server = LeaseServer(SCHEDULE, num_resources=2, num_shards=1)
+            await server.start_unix(sock_path)
+            client = await AsyncLeaseClient.open_unix(sock_path, codec="zstd")
+            hello = await client.call("hello", codec="zstd")
+            grant = await client.acquire("t", 0, 0)
+            await client.close()
+            await server.shutdown()
+            return client.codec, hello, grant
+
+        codec, hello, grant = asyncio.run(main())
+        assert codec == "json"  # client refused to upgrade unconfirmed
+        assert hello["codec"] == "json"  # server negotiated down
+        assert grant["grant"]["resource"] == 0
+
+    def test_call_batch_coalesces_and_matches_sequential(self, sock_path):
+        async def main():
+            server = LeaseServer(SCHEDULE, num_resources=8, num_shards=4)
+            await server.start_unix(sock_path)
+            client = await AsyncLeaseClient.open_unix(sock_path, codec="bin")
+            results = await client.call_batch(
+                [
+                    ("acquire", {"tenant": f"t{n}", "resource": n, "time": 0})
+                    for n in range(6)
+                ]
+                + [("acquire", {"tenant": "t", "resource": 99, "time": 0})]
+            )
+            await client.close()
+            await server.shutdown()
+            return results
+
+        results = asyncio.run(main())
+        assert [r["grant"]["resource"] for r in results[:6]] == list(range(6))
+        from repro.serve import ServeError as SE
+        assert isinstance(results[6], SE) and results[6].kind == "protocol"
+
+
+class TestDrainMidBatch:
+    def test_drain_arriving_mid_pipelined_batch(self, sock_path):
+        """A pipelined batch with drain in the middle: the drain ack and
+        every post-drain acquire refusal are deterministic, releases are
+        served regardless, and — the strong invariant — whatever subset
+        of the batch was applied, the served totals equal an inline
+        replay of the recorded (serialized) traces."""
+        from repro.serve import LeaseClient, ServerThread
+
+        server = LeaseServer(
+            SCHEDULE, num_resources=4, num_shards=2, record=True
+        )
+        thread = ServerThread(server, unix_path=sock_path).start()
+        try:
+            with LeaseClient(path=sock_path, codec="bin") as client:
+                held = client.acquire("t0", 0, 0)
+                assert held["grant"]["resource"] == 0
+                batch = client.pipeline(
+                    [
+                        ("acquire", {"tenant": "t1", "resource": 1, "time": 0}),
+                        ("release", {"tenant": "t0", "resource": 0, "time": 0}),
+                        ("drain", {}),
+                        ("acquire", {"tenant": "t2", "resource": 2, "time": 0}),
+                        ("acquire", {"tenant": "t3", "resource": 3, "time": 0}),
+                    ]
+                )
+                report = client.report()
+                trace = client.trace()
+        finally:
+            thread.stop()
+        first_acquire, release, drained, late_a, late_b = batch
+        assert drained["state"] == "draining"
+        # Releases complete the lifecycle of held grants during a drain.
+        assert isinstance(release, dict)
+        assert release["grant"]["released_at"] == 0
+        # Acquires pipelined behind the drain are refused by it.
+        for late in (late_a, late_b):
+            assert isinstance(late, ServeError) and late.kind == "draining"
+        # The acquire ahead of the drain raced it: served or refused,
+        # but never lost — and the books must balance either way.
+        assert isinstance(first_acquire, (dict, ServeError))
+        served = merge_shard_payloads(report["shards"])
+        replayed = replay_applied(SCHEDULE, trace)
+        assert served.cost == replayed.cost
+        assert tuple(served.leases) == tuple(replayed.leases)
+        assert served.detail["broker_stats"] == replayed.detail["broker_stats"]
+
+
 class TestWireValidation:
     def test_bad_fields_and_unknown_ops_get_error_frames(self, sock_path):
         async def main():
