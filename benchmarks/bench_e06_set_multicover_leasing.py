@@ -4,6 +4,12 @@ Three sweeps, one per parameter (n, delta, K), measuring the mean ratio
 over coin seeds against the exact Figure 3.2 ILP optimum.  The paper's
 claim: ratio grows like log(delta K) * log n — slow growth in every
 parameter, always below the explicit-constant ceiling.
+
+Runs on the :mod:`repro.engine` substrate: every sweep point is a
+registered ``setcover-e06-*`` scenario whose instance is a fixed draw
+and whose replay seed is the algorithm's coin seed, so the whole grid —
+including per-run feasibility verification — is one ``runner.replay``
+call over the coin seeds.
 """
 
 from __future__ import annotations
@@ -11,12 +17,10 @@ from __future__ import annotations
 import math
 
 from repro.analysis import Sweep
-from repro.core import LeaseSchedule, run_online
-from repro.setcover import (
-    OnlineSetMulticoverLeasing,
-    optimum,
-    random_instance,
-)
+from repro.core import LeaseSchedule
+from repro.engine import get_scenario, replay
+from repro.engine.paper import E06_SCENARIOS
+from repro.setcover import OnlineSetMulticoverLeasing, random_instance
 from repro.workloads import make_rng
 
 COIN_SEEDS = range(8)
@@ -30,56 +34,30 @@ def bound_for(instance) -> float:
     )
 
 
-def measure(instance) -> tuple[float, float]:
-    opt = optimum(instance)
-    costs = []
-    for seed in COIN_SEEDS:
-        algorithm = OnlineSetMulticoverLeasing(instance, seed=seed)
-        run_online(algorithm, instance.demands)
-        assert instance.is_feasible_solution(list(algorithm.leases))
-        costs.append(algorithm.cost)
-    return sum(costs) / len(costs), opt.lower
+_SWEEP_KIND = {"n": "n", "d": "delta", "K": "K"}
 
 
 def build_sweep() -> Sweep:
     sweep = Sweep("E6: SetMulticoverLeasing mean ratio (Theorem 3.3)")
-    # Sweep n with delta, K fixed.
-    for n in (6, 12, 24, 48):
-        instance = random_instance(
-            num_elements=n, num_sets=max(4, n // 2), memberships=3,
-            schedule=LeaseSchedule.power_of_two(2), horizon=24,
-            num_demands=24, rng=make_rng(100 + n), max_coverage=2,
-        )
-        mean_cost, opt = measure(instance)
+    outcomes = replay(E06_SCENARIOS, seeds=COIN_SEEDS)
+    assert all(outcome.verified for outcome in outcomes)
+    for name in E06_SCENARIOS:
+        scenario = get_scenario(name)
+        instance = scenario.build(0)
+        per_point = [o for o in outcomes if o.scenario == name]
+        assert len(per_point) == len(COIN_SEEDS)
+        mean_cost = sum(o.run.cost for o in per_point) / len(per_point)
+        tag = name.removeprefix("setcover-e06-")
         sweep.add(
-            {"sweep": "n", "n": n, "delta": instance.system.delta, "K": 2},
-            online_cost=mean_cost, opt_cost=opt, bound=bound_for(instance),
-        )
-    # Sweep delta (memberships) with n, K fixed.
-    for memberships in (2, 4, 6):
-        instance = random_instance(
-            num_elements=12, num_sets=8, memberships=memberships,
-            schedule=LeaseSchedule.power_of_two(2), horizon=24,
-            num_demands=24, rng=make_rng(200 + memberships), max_coverage=2,
-        )
-        mean_cost, opt = measure(instance)
-        sweep.add(
-            {"sweep": "delta", "n": 12, "delta": instance.system.delta,
-             "K": 2},
-            online_cost=mean_cost, opt_cost=opt, bound=bound_for(instance),
-        )
-    # Sweep K with n, delta fixed.
-    for num_types in (1, 2, 3, 4):
-        instance = random_instance(
-            num_elements=12, num_sets=8, memberships=3,
-            schedule=LeaseSchedule.power_of_two(num_types), horizon=24,
-            num_demands=24, rng=make_rng(300), max_coverage=2,
-        )
-        mean_cost, opt = measure(instance)
-        sweep.add(
-            {"sweep": "K", "n": 12, "delta": instance.system.delta,
-             "K": num_types},
-            online_cost=mean_cost, opt_cost=opt, bound=bound_for(instance),
+            {
+                "sweep": _SWEEP_KIND[tag[0]],
+                "n": instance.system.num_elements,
+                "delta": instance.system.delta,
+                "K": instance.schedule.num_types,
+            },
+            online_cost=mean_cost,
+            opt_cost=per_point[0].opt.lower,
+            bound=bound_for(instance),
         )
     return sweep
 

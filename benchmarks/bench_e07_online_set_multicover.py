@@ -3,6 +3,10 @@
 The leasing algorithm, fed the degenerate buy-forever schedule, becomes
 the optimal O(log delta log n) algorithm for classical online set
 multicover.  Sweeps n and reports mean ratios against the exact ILP.
+
+Runs on the :mod:`repro.engine` substrate: each n is the registered
+``setcover-e07-n*`` scenario (fixed instance draw, replay seed = coin
+seed), so the sweep is one ``runner.replay`` call over the coin seeds.
 """
 
 from __future__ import annotations
@@ -10,67 +14,37 @@ from __future__ import annotations
 import math
 
 from repro.analysis import Sweep
-from repro.core import run_online
-from repro.setcover import (
-    OnlineSetMulticoverLeasing,
-    non_leasing_instance,
-    optimum,
-)
-from repro.workloads import make_rng
+from repro.engine import get_scenario, replay
+from repro.engine.paper import E07_SCENARIOS
+from repro.setcover import OnlineSetMulticoverLeasing
 
 COIN_SEEDS = range(8)
 
 
-def build_instance(n, seed):
-    rng = make_rng(seed)
-    num_sets = max(4, n // 2)
-    sets = []
-    for _ in range(num_sets):
-        size = rng.randint(2, max(2, n // 2))
-        sets.append(set(rng.sample(range(n), size)))
-    # Guarantee coverage depth 2 for every element.
-    for element in range(n):
-        containing = [i for i, members in enumerate(sets) if element in members]
-        while len(containing) < 2:
-            target = rng.randrange(num_sets)
-            sets[target].add(element)
-            containing = [
-                i for i, members in enumerate(sets) if element in members
-            ]
-    costs = [1.0 + rng.random() * 3.0 for _ in range(num_sets)]
-    demands = [
-        (element, t, rng.randint(1, 2))
-        for t, element in enumerate(rng.sample(range(n), n))
-    ]
-    return non_leasing_instance(n, sets, costs, horizon=n + 1, demands=demands)
-
-
 def build_sweep() -> Sweep:
     sweep = Sweep("E7: OnlineSetMulticover (K=1, infinite lease; Cor 3.4)")
-    for n in (8, 16, 32):
-        instance = build_instance(n, seed=n)
-        opt = optimum(instance)
-        costs = []
-        for seed in COIN_SEEDS:
-            algorithm = OnlineSetMulticoverLeasing(instance, seed=seed)
-            run_online(algorithm, instance.demands)
-            assert instance.is_feasible_solution(list(algorithm.leases))
-            costs.append(algorithm.cost)
+    outcomes = replay(E07_SCENARIOS, seeds=COIN_SEEDS)
+    assert all(outcome.verified for outcome in outcomes)
+    for name in E07_SCENARIOS:
+        instance = get_scenario(name).build(0)
+        per_point = [o for o in outcomes if o.scenario == name]
+        assert len(per_point) == len(COIN_SEEDS)
+        n = instance.system.num_elements
         delta = instance.system.delta
         bound = (
             4.0 * (math.log(delta) + 2.0) * (2.0 * math.log2(n + 1) + 2.0)
         )
         sweep.add(
             {"n": n, "delta": delta},
-            online_cost=sum(costs) / len(costs),
-            opt_cost=opt.lower,
+            online_cost=sum(o.run.cost for o in per_point) / len(per_point),
+            opt_cost=per_point[0].opt.lower,
             bound=bound,
         )
     return sweep
 
 
 def _kernel():
-    instance = build_instance(32, seed=32)
+    instance = get_scenario("setcover-e07-n32").build(0)
     algorithm = OnlineSetMulticoverLeasing(instance, seed=0)
     for demand in instance.demands:
         algorithm.on_demand(demand)

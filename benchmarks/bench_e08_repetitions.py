@@ -5,6 +5,11 @@ mean ratio against the exact ILP of the equivalent multicover rewriting
 (the r-th arrival of an element demands coverage r).  Claim: ratio within
 O(log delta log(delta n)) — the improvement over Alon et al.'s
 O(log^2(mn)).
+
+Runs on the :mod:`repro.engine` substrate: each stream is the registered
+``setcover-e08-n*`` scenario (fixed stream, replay seed = coin seed);
+the runner re-checks assignment validity per run via
+``verify_repetitions`` and brackets against the rewriting's ILP.
 """
 
 from __future__ import annotations
@@ -12,85 +17,41 @@ from __future__ import annotations
 import math
 
 from repro.analysis import Sweep
-from repro.setcover import (
-    OnlineSetCoverWithRepetitions,
-    SetMulticoverLeasingInstance,
-    non_leasing_instance,
-    optimum,
-    repetitions_to_multicover,
-)
-from repro.workloads import make_rng
+from repro.engine import get_scenario, replay
+from repro.engine.paper import E08_SCENARIOS
+from repro.setcover import OnlineSetCoverWithRepetitions
 
 COIN_SEEDS = range(8)
 
 
-def build_stream(n, arrivals, seed):
-    rng = make_rng(seed)
-    num_sets = max(6, n)
-    sets = []
-    for _ in range(num_sets):
-        size = rng.randint(2, max(2, n // 2))
-        sets.append(set(rng.sample(range(n), size)))
-    depth_needed = 4
-    for element in range(n):
-        while (
-            sum(1 for members in sets if element in members) < depth_needed
-        ):
-            sets[rng.randrange(num_sets)].add(element)
-    costs = [1.0 + rng.random() * 3.0 for _ in range(num_sets)]
-    counts: dict[int, int] = {}
-    stream = []
-    t = 0
-    while len(stream) < arrivals:
-        element = rng.randrange(n)
-        if counts.get(element, 0) >= depth_needed:
-            continue
-        counts[element] = counts.get(element, 0) + 1
-        stream.append((element, t))
-        t += 1
-    base = non_leasing_instance(
-        n, sets, costs, horizon=t + 1, demands=[(e, tt, 1) for e, tt in stream]
-    )
-    return base, stream
-
-
 def build_sweep() -> Sweep:
     sweep = Sweep("E8: OnlineSetCoverWithRepetitions (Cor 3.5)")
-    for n, arrivals in ((6, 12), (12, 24), (24, 36)):
-        base, stream = build_stream(n, arrivals, seed=n)
-        # Exact baseline: multicover rewriting of the same stream.
-        rewritten = SetMulticoverLeasingInstance(
-            system=base.system,
-            schedule=base.schedule,
-            demands=tuple(repetitions_to_multicover(stream)),
-        )
-        opt = optimum(rewritten)
-        costs = []
-        for seed in COIN_SEEDS:
-            algorithm = OnlineSetCoverWithRepetitions(base, seed=seed)
-            for demand in stream:
-                algorithm.on_demand(demand)
-            assert algorithm.is_assignment_valid()
-            costs.append(algorithm.cost)
-        delta = base.system.delta
+    outcomes = replay(E08_SCENARIOS, seeds=COIN_SEEDS)
+    assert all(outcome.verified for outcome in outcomes)
+    for name in E08_SCENARIOS:
+        instance = get_scenario(name).build(0)
+        per_point = [o for o in outcomes if o.scenario == name]
+        assert len(per_point) == len(COIN_SEEDS)
+        n = instance.base.system.num_elements
+        delta = instance.base.system.delta
         bound = (
             4.0
             * (math.log(delta) + 2.0)
             * (2.0 * math.log2(delta * n + 1) + 2.0)
         )
         sweep.add(
-            {"n": n, "arrivals": arrivals, "delta": delta},
-            online_cost=sum(costs) / len(costs),
-            opt_cost=opt.lower,
+            {"n": n, "arrivals": len(instance.stream), "delta": delta},
+            online_cost=sum(o.run.cost for o in per_point) / len(per_point),
+            opt_cost=per_point[0].opt.lower,
             bound=bound,
         )
     return sweep
 
 
 def _kernel():
-    base, stream = build_stream(24, 36, seed=24)
-    algorithm = OnlineSetCoverWithRepetitions(base, seed=0)
-    for demand in stream:
+    instance = get_scenario("setcover-e08-n24").build(0)
+    algorithm = OnlineSetCoverWithRepetitions(instance.base, seed=0)
+    for demand in instance.stream:
         algorithm.on_demand(demand)
     return algorithm.cost
 

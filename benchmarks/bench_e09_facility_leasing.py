@@ -6,80 +6,53 @@ reports ratio against the exact MILP optimum next to the pattern's
 4(3+K) H_lmax bound.  Claims: every ratio below its bound; the 'natural'
 patterns have small H (log lmax), exponential arrivals have the largest H
 (the conjectured-hard regime).
+
+Runs on the :mod:`repro.engine` substrate: each pattern is the
+registered ``facility-e09-*`` scenario (fixed instance; the two-phase
+algorithm is deterministic), replayed and re-verified by the runner.
 """
 
 from __future__ import annotations
 
 from repro.analysis import Sweep
 from repro.core import LeaseSchedule
+from repro.engine import get_scenario, replay
+from repro.engine.paper import E09_PATTERNS, E09_SCENARIOS, e09_batches
 from repro.facility import (
     harmonic_series,
-    make_instance,
-    optimum,
     run_facility_leasing,
     theoretical_bound,
 )
-from repro.workloads import (
-    constant_batches,
-    exponential_batches,
-    make_rng,
-    nonincreasing_batches,
-    polynomial_batches,
-)
-
-STEPS = 8
-NUM_FACILITIES = 4
-
-
-def patterns(rng):
-    return {
-        "constant": constant_batches(STEPS, 2),
-        "nonincreasing": nonincreasing_batches(STEPS, 6, rng),
-        "polynomial": [min(size, 12) for size in polynomial_batches(STEPS, 1)],
-        "exponential": [min(size, 24) for size in exponential_batches(6)],
-    }
 
 
 def build_sweep() -> Sweep:
     sweep = Sweep("E9: facility leasing by arrival pattern (Theorem 4.5)")
     schedule = LeaseSchedule.power_of_two(3)
-    for name, batches in patterns(make_rng(5)).items():
-        instance = make_instance(
-            schedule,
-            num_facilities=NUM_FACILITIES,
-            batch_sizes=batches,
-            rng=make_rng(42),
-        )
-        algorithm = run_facility_leasing(instance)
-        assert instance.is_feasible_solution(
-            list(algorithm.leases), algorithm.connections
-        )
-        opt = optimum(instance)
+    outcomes = replay(E09_SCENARIOS, seeds=[0])
+    assert all(outcome.verified for outcome in outcomes)
+    by_name = {outcome.scenario: outcome for outcome in outcomes}
+    for pattern, name in zip(E09_PATTERNS, E09_SCENARIOS):
+        outcome = by_name[name]
+        batches = e09_batches(pattern)
         sweep.add(
             {
-                "pattern": name,
-                "clients": instance.num_clients,
+                "pattern": pattern,
+                "clients": outcome.run.num_demands,
                 "H": round(harmonic_series(batches), 2),
             },
-            online_cost=algorithm.cost,
-            opt_cost=opt.lower,
+            online_cost=outcome.run.cost,
+            opt_cost=outcome.opt.lower,
             bound=theoretical_bound(schedule, batches),
             note=(
-                f"lease {algorithm.leasing_cost:.0f} + "
-                f"conn {algorithm.connection_cost:.0f}"
+                f"lease {outcome.run.detail['leasing_cost']:.0f} + "
+                f"conn {outcome.run.detail['connection_cost']:.0f}"
             ),
         )
     return sweep
 
 
 def _kernel():
-    schedule = LeaseSchedule.power_of_two(3)
-    instance = make_instance(
-        schedule,
-        num_facilities=NUM_FACILITIES,
-        batch_sizes=constant_batches(STEPS, 2),
-        rng=make_rng(42),
-    )
+    instance = get_scenario("facility-e09-constant").build(0)
     return run_facility_leasing(instance).cost
 
 

@@ -3,66 +3,57 @@
 Two sweeps against the exact DP optimum: uniform slack (ratio must stay
 below 2K regardless of slack) and growing maximum slack (ratio ceiling
 grows like K + dmax/lmin).
+
+Runs on the :mod:`repro.engine` substrate: each regime point is the
+registered ``deadline-e10-*`` scenario whose replay seed draws the
+instance (OLD is deterministic); the sweep reports the worst ratio over
+the instance draws, each re-verified by the runner.
 """
 
 from __future__ import annotations
 
 from repro.analysis import Sweep
 from repro.core import LeaseSchedule
-from repro.deadlines import make_old_instance, optimal_dp, run_old
+from repro.deadlines import make_old_instance, run_old
+from repro.engine import replay
+from repro.engine.paper import E10_POINTS, E10_SCENARIOS
 from repro.workloads import deadline_arrivals, make_rng
 
 HORIZON = 200
 SEEDS = range(5)
-
-
-def worst_ratio(schedule, max_slack, uniform_slack):
-    worst = (0.0, 1.0)
-    for seed in SEEDS:
-        clients = deadline_arrivals(
-            HORIZON, 0.35, max_slack=max_slack, rng=make_rng(seed),
-            uniform_slack=uniform_slack,
-        )
-        if not clients:
-            continue
-        instance = make_old_instance(schedule, clients).normalized()
-        algorithm = run_old(instance)
-        assert instance.is_feasible_solution(list(algorithm.leases))
-        opt = optimal_dp(instance)
-        if algorithm.cost / opt > worst[0] / worst[1]:
-            worst = (algorithm.cost, opt)
-    return worst
+K = 3
 
 
 def build_sweep() -> Sweep:
     sweep = Sweep("E10: OLD competitive ratios (Theorem 5.3)")
-    schedule = LeaseSchedule.power_of_two(3)
-    K = schedule.num_types
-    for slack in (0, 2, 4, 8):
-        cost, opt = worst_ratio(schedule, max_slack=0, uniform_slack=slack)
-        sweep.add(
-            {"regime": "uniform", "slack": slack},
-            online_cost=cost,
-            opt_cost=opt,
-            bound=2.0 * K,
-            note="bound 2K",
-        )
-    for max_slack in (2, 6, 12, 24):
-        cost, opt = worst_ratio(
-            schedule, max_slack=max_slack, uniform_slack=None
-        )
-        sweep.add(
-            {"regime": "non-uniform", "slack": max_slack},
-            online_cost=cost,
-            opt_cost=opt,
-            bound=2.0 * K + max_slack / schedule.lmin + 2.0,
-            note="bound 2K+dmax/lmin+2",
-        )
+    schedule = LeaseSchedule.power_of_two(K)
+    outcomes = replay(E10_SCENARIOS, seeds=SEEDS)
+    assert all(outcome.verified for outcome in outcomes)
+    for (tag, params), name in zip(E10_POINTS, E10_SCENARIOS):
+        per_point = [o for o in outcomes if o.scenario == name]
+        assert len(per_point) == len(SEEDS)
+        worst = max(per_point, key=lambda o: o.run.cost / o.opt.lower)
+        if params["uniform_slack"] is not None:
+            sweep.add(
+                {"regime": "uniform", "slack": params["uniform_slack"]},
+                online_cost=worst.run.cost,
+                opt_cost=worst.opt.lower,
+                bound=2.0 * K,
+                note="bound 2K",
+            )
+        else:
+            sweep.add(
+                {"regime": "non-uniform", "slack": params["max_slack"]},
+                online_cost=worst.run.cost,
+                opt_cost=worst.opt.lower,
+                bound=2.0 * K + params["max_slack"] / schedule.lmin + 2.0,
+                note="bound 2K+dmax/lmin+2",
+            )
     return sweep
 
 
 def _kernel():
-    schedule = LeaseSchedule.power_of_two(3)
+    schedule = LeaseSchedule.power_of_two(K)
     clients = deadline_arrivals(
         HORIZON, 0.35, max_slack=12, rng=make_rng(0)
     )

@@ -4,34 +4,36 @@ Runs the primal-dual algorithm on the exact Figure 5.3 construction for
 growing dmax/lmin and shows the measured ratio tracks the designed
 Omega(dmax/lmin) floor — the lower bound is real, not an analysis
 artefact.
+
+Runs on the :mod:`repro.engine` substrate: each (dmax, lmin) point is
+the registered ``deadline-e11-*`` scenario whose ``build`` materialises
+the tight construction (fully deterministic), replayed and re-verified
+by the runner.
 """
 
 from __future__ import annotations
 
 from repro.analysis import Sweep
-from repro.deadlines import (
-    expected_ratio_lower_bound,
-    optimal_dp,
-    run_old,
-    tight_example,
-)
+from repro.deadlines import expected_ratio_lower_bound, run_old, tight_example
+from repro.engine import replay
+from repro.engine.paper import E11_POINTS, E11_SCENARIOS
 
 
 def build_sweep() -> Sweep:
     sweep = Sweep("E11: OLD tight example (Figure 5.3)")
-    for dmax, lmin in ((8, 1), (16, 1), (32, 1), (64, 1), (32, 2), (32, 4)):
-        instance = tight_example(dmax=dmax, lmin=lmin, epsilon=0.01)
-        algorithm = run_old(instance)
-        assert instance.is_feasible_solution(list(algorithm.leases))
-        opt = optimal_dp(instance)
+    outcomes = replay(E11_SCENARIOS, seeds=[0])
+    assert all(outcome.verified for outcome in outcomes)
+    by_name = {outcome.scenario: outcome for outcome in outcomes}
+    for (tag, (dmax, lmin)), name in zip(E11_POINTS, E11_SCENARIOS):
+        outcome = by_name[name]
         sweep.add(
             {
                 "dmax": dmax,
                 "lmin": lmin,
                 "designed": expected_ratio_lower_bound(dmax, lmin),
             },
-            online_cost=algorithm.cost,
-            opt_cost=opt,
+            online_cost=outcome.run.cost,
+            opt_cost=outcome.opt.lower,
         )
     return sweep
 

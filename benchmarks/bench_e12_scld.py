@@ -4,6 +4,11 @@ Sweeps the slack budget and the schedule size on random set systems with
 deadline demands, measuring mean ratios against the exact Figure 5.4 ILP.
 Claims: all ratios below the explicit-constant bound, and slack helps
 (OPT falls as slack grows while the algorithm keeps pace).
+
+Runs on the :mod:`repro.engine` substrate: each sweep point is the
+registered ``deadline-e12-*`` scenario (fixed instance draw, replay
+seed = threshold coin seed), replayed and re-verified by the runner
+against the Figure 5.4 ILP.
 """
 
 from __future__ import annotations
@@ -12,39 +17,12 @@ import math
 
 from repro.analysis import Sweep
 from repro.core import LeaseSchedule
-from repro.deadlines import DeadlineElement, OnlineSCLD, SCLDInstance
-from repro.lp import opt_bounds
-from repro.setcover import random_set_system
+from repro.deadlines import OnlineSCLD, random_scld_instance
+from repro.engine import get_scenario, replay
+from repro.engine.paper import E12_POINTS, E12_SCENARIOS
 from repro.workloads import make_rng
 
 COIN_SEEDS = range(6)
-NUM_ELEMENTS = 12
-NUM_SETS = 8
-HORIZON = 32
-NUM_DEMANDS = 24
-
-
-def build_instance(schedule, max_slack, seed):
-    rng = make_rng(seed)
-    system = random_set_system(
-        NUM_ELEMENTS, NUM_SETS, 3, schedule, rng
-    )
-    raw = sorted(
-        (
-            (
-                rng.randrange(NUM_ELEMENTS),
-                rng.randrange(HORIZON),
-                rng.randint(0, max_slack),
-            )
-            for _ in range(NUM_DEMANDS)
-        ),
-        key=lambda d: d[1],
-    )
-    return SCLDInstance(
-        system=system,
-        schedule=schedule,
-        demands=tuple(DeadlineElement(*d) for d in raw),
-    )
 
 
 def bound_for(instance, max_slack) -> float:
@@ -59,46 +37,33 @@ def bound_for(instance, max_slack) -> float:
     )
 
 
-def measure(instance):
-    opt = opt_bounds(instance.to_covering_program())
-    costs = []
-    for seed in COIN_SEEDS:
-        algorithm = OnlineSCLD(instance, seed=seed)
-        for demand in instance.demands:
-            algorithm.on_demand(demand)
-        assert instance.is_feasible_solution(list(algorithm.leases))
-        costs.append(algorithm.cost)
-    return sum(costs) / len(costs), opt.lower
-
-
 def build_sweep() -> Sweep:
     sweep = Sweep("E12: SCLD mean ratio (Theorem 5.7)")
-    schedule = LeaseSchedule.power_of_two(2)
-    for max_slack in (0, 2, 6, 12):
-        instance = build_instance(schedule, max_slack, seed=max_slack)
-        mean_cost, opt = measure(instance)
+    outcomes = replay(E12_SCENARIOS, seeds=COIN_SEEDS)
+    assert all(outcome.verified for outcome in outcomes)
+    for (tag, params), name in zip(E12_POINTS, E12_SCENARIOS):
+        instance = get_scenario(name).build(0)
+        per_point = [o for o in outcomes if o.scenario == name]
+        assert len(per_point) == len(COIN_SEEDS)
         sweep.add(
-            {"sweep": "dmax", "dmax": max_slack, "K": 2},
-            online_cost=mean_cost,
-            opt_cost=opt,
-            bound=bound_for(instance, max_slack),
-        )
-    for num_types in (1, 2, 3):
-        schedule_k = LeaseSchedule.power_of_two(num_types)
-        instance = build_instance(schedule_k, 4, seed=50 + num_types)
-        mean_cost, opt = measure(instance)
-        sweep.add(
-            {"sweep": "K", "dmax": 4, "K": num_types},
-            online_cost=mean_cost,
-            opt_cost=opt,
-            bound=bound_for(instance, 4),
+            {
+                "sweep": "dmax" if tag.startswith("d") else "K",
+                "dmax": params["max_slack"],
+                "K": params["num_types"],
+            },
+            online_cost=sum(o.run.cost for o in per_point) / len(per_point),
+            opt_cost=per_point[0].opt.lower,
+            bound=bound_for(instance, params["max_slack"]),
         )
     return sweep
 
 
 def _kernel():
     schedule = LeaseSchedule.power_of_two(3)
-    instance = build_instance(schedule, 6, seed=0)
+    instance = random_scld_instance(
+        schedule, num_elements=12, num_sets=8, memberships=3,
+        horizon=32, num_demands=24, max_slack=6, rng=make_rng(0),
+    )
     algorithm = OnlineSCLD(instance, seed=0)
     for demand in instance.demands:
         algorithm.on_demand(demand)

@@ -5,6 +5,11 @@ Chapter 5 bound replaces it with log lmax.  Holding the set system and
 lmax fixed while growing the horizon (and the demand count with it), the
 mean ratio should flatten out rather than climb with log(n) — the
 measured signature of time independence.
+
+Runs on the :mod:`repro.engine` substrate: each horizon is the
+registered ``deadline-e13-h*`` scenario — the same fixed set system with
+a longer time-shifted demand stream (fixed draw, replay seed = coin
+seed), replayed and re-verified by the runner.
 """
 
 from __future__ import annotations
@@ -13,58 +18,34 @@ import math
 
 from repro.analysis import Sweep
 from repro.core import LeaseSchedule
-from repro.deadlines import DeadlineElement, OnlineSCLD, SCLDInstance
-from repro.lp import opt_bounds
-from repro.setcover import random_set_system
-from repro.workloads import make_rng
+from repro.deadlines import OnlineSCLD
+from repro.engine import get_scenario, replay
+from repro.engine.paper import E13_HORIZONS, E13_SCENARIOS
 
 COIN_SEEDS = range(6)
-NUM_ELEMENTS = 10
 NUM_SETS = 8
-
-
-def build_instance(schedule, horizon, seed):
-    rng = make_rng(seed)
-    system = random_set_system(NUM_ELEMENTS, NUM_SETS, 3, schedule, rng)
-    demands = sorted(
-        (
-            (rng.randrange(NUM_ELEMENTS), t, 0)
-            for t in range(0, horizon, 2)
-        ),
-        key=lambda d: d[1],
-    )
-    return SCLDInstance(
-        system=system,
-        schedule=schedule,
-        demands=tuple(DeadlineElement(*d) for d in demands),
-    )
 
 
 def build_sweep() -> Sweep:
     sweep = Sweep("E13: time-independence of SCLD (Corollary 5.8)")
     schedule = LeaseSchedule.power_of_two(2)  # lmax fixed at 2
-    m = NUM_SETS
-    K = schedule.num_types
-    lmax = schedule.lmax
     bound = (
-        4.0 * (math.log(m * K) + 2.0) * (2.0 * math.log2(max(2, lmax)) + 3.0)
+        4.0
+        * (math.log(NUM_SETS * schedule.num_types) + 2.0)
+        * (2.0 * math.log2(max(2, schedule.lmax)) + 3.0)
     )
-    for horizon in (16, 32, 64, 128):
-        instance = build_instance(schedule, horizon, seed=7)
-        opt = opt_bounds(
-            instance.to_covering_program(), exact_variable_limit=6000
-        )
-        costs = []
-        for seed in COIN_SEEDS:
-            algorithm = OnlineSCLD(instance, seed=seed)
-            for demand in instance.demands:
-                algorithm.on_demand(demand)
-            assert instance.is_feasible_solution(list(algorithm.leases))
-            costs.append(algorithm.cost)
+    outcomes = replay(E13_SCENARIOS, seeds=COIN_SEEDS)
+    assert all(outcome.verified for outcome in outcomes)
+    for horizon, name in zip(E13_HORIZONS, E13_SCENARIOS):
+        per_point = [o for o in outcomes if o.scenario == name]
+        assert len(per_point) == len(COIN_SEEDS)
         sweep.add(
-            {"horizon": horizon, "demands": len(instance.demands)},
-            online_cost=sum(costs) / len(costs),
-            opt_cost=opt.lower,
+            {
+                "horizon": horizon,
+                "demands": per_point[0].run.num_demands,
+            },
+            online_cost=sum(o.run.cost for o in per_point) / len(per_point),
+            opt_cost=per_point[0].opt.lower,
             bound=bound,
             note="bound is horizon-free",
         )
@@ -72,8 +53,7 @@ def build_sweep() -> Sweep:
 
 
 def _kernel():
-    schedule = LeaseSchedule.power_of_two(2)
-    instance = build_instance(schedule, 128, seed=7)
+    instance = get_scenario("deadline-e13-h128").build(0)
     algorithm = OnlineSCLD(instance, seed=0)
     for demand in instance.demands:
         algorithm.on_demand(demand)

@@ -7,75 +7,65 @@ variant, and the prediction-free primal-dual algorithm.  Expected shape:
 at error 0 the forecast policies approach OPT and beat primal-dual; as
 error grows, the pure policy degrades past primal-dual while the hedged
 variant's ratio stays capped.
+
+Runs on the :mod:`repro.engine` substrate: every (policy, error) pair is
+a registered ``forecast-*`` scenario on one fixed bursty instance, with
+the replay seed seeding the oracle's noise — the whole grid plus the
+``forecast-primal-dual`` baseline flows through ``runner.replay`` with
+per-run feasibility verification.
 """
 
 from __future__ import annotations
 
 from repro.analysis import Sweep
-from repro.core import LeaseSchedule, run_online
-from repro.extensions import (
-    ForecastParkingPermit,
-    HedgedForecastParkingPermit,
-    NoisyOracle,
+from repro.engine import get_scenario, replay
+from repro.engine.paper import (
+    E15_BASELINE_SCENARIO,
+    E15_ERRORS,
+    E15_HEDGED_SCENARIOS,
+    E15_PURE_SCENARIOS,
 )
-from repro.parking import (
-    DeterministicParkingPermit,
-    make_instance,
-    optimal_interval,
-)
-from repro.workloads import burst_days, make_rng
+from repro.extensions import HedgedForecastParkingPermit, NoisyOracle
+from repro.workloads import make_rng
 
-ERROR_RATES = (0.0, 0.1, 0.25, 0.5, 1.0)
 SEEDS = range(6)
 
 
 def build_sweep() -> Sweep:
     sweep = Sweep("E15: predictions vs error rate (stochastic outlook)")
-    schedule = LeaseSchedule.power_of_two(4, cost_growth=1.5)
-    days = burst_days(240, 5, 12, make_rng(4))
-    instance = make_instance(schedule, days)
-    opt = optimal_interval(instance).cost
+    outcomes = replay(
+        E15_PURE_SCENARIOS + E15_HEDGED_SCENARIOS, seeds=SEEDS
+    )
+    assert all(outcome.verified for outcome in outcomes)
+    (baseline,) = replay([E15_BASELINE_SCENARIO], seeds=[0])
+    assert baseline.verified
+    primal_dual_ratio = baseline.run.cost / baseline.opt.lower
 
-    primal_dual = DeterministicParkingPermit(schedule)
-    run_online(primal_dual, instance.rainy_days)
-    primal_dual_ratio = primal_dual.cost / opt
-
-    for error in ERROR_RATES:
-        pure_costs, hedged_costs = [], []
-        for seed in SEEDS:
-            oracle = NoisyOracle(instance, error, make_rng(1000 + seed))
-            pure = ForecastParkingPermit(schedule, oracle)
-            run_online(pure, instance.rainy_days)
-            assert instance.is_feasible_solution(list(pure.leases))
-            pure_costs.append(pure.cost)
-
-            oracle2 = NoisyOracle(instance, error, make_rng(1000 + seed))
-            hedged = HedgedForecastParkingPermit(
-                schedule, oracle2, hedge=1.0
-            )
-            run_online(hedged, instance.rainy_days)
-            assert instance.is_feasible_solution(list(hedged.leases))
-            hedged_costs.append(hedged.cost)
+    for error, pure_name, hedged_name in zip(
+        E15_ERRORS, E15_PURE_SCENARIOS, E15_HEDGED_SCENARIOS
+    ):
+        pure = [o for o in outcomes if o.scenario == pure_name]
+        hedged = [o for o in outcomes if o.scenario == hedged_name]
+        assert len(pure) == len(hedged) == len(SEEDS)
+        opt = pure[0].opt.lower
         sweep.add(
             {"error": error, "policy": "pure"},
-            online_cost=sum(pure_costs) / len(pure_costs),
+            online_cost=sum(o.run.cost for o in pure) / len(pure),
             opt_cost=opt,
             note=f"primal-dual ratio {primal_dual_ratio:.2f}",
         )
         sweep.add(
             {"error": error, "policy": "hedged"},
-            online_cost=sum(hedged_costs) / len(hedged_costs),
+            online_cost=sum(o.run.cost for o in hedged) / len(hedged),
             opt_cost=opt,
         )
     return sweep
 
 
 def _kernel():
-    schedule = LeaseSchedule.power_of_two(4, cost_growth=1.5)
-    days = burst_days(240, 5, 12, make_rng(4))
-    instance = make_instance(schedule, days)
+    instance = get_scenario("forecast-hedged-e25").build(0)
     oracle = NoisyOracle(instance, 0.25, make_rng(1))
-    policy = HedgedForecastParkingPermit(schedule, oracle)
+    policy = HedgedForecastParkingPermit(instance.schedule, oracle)
     for day in instance.rainy_days:
         policy.on_demand(day)
     return policy.cost
@@ -98,5 +88,5 @@ def test_e15_forecast(benchmark):
     # binds on dense-rain windows — unit-tested in
     # tests/extensions/test_forecast.py); it must not cost materially
     # more at any error level.
-    for error in ERROR_RATES:
+    for error in E15_ERRORS:
         assert ratio[(error, "hedged")] <= 1.05 * ratio[(error, "pure")]

@@ -22,6 +22,7 @@ from .verify import (
     verify_multicover,
     verify_old,
     verify_parking,
+    verify_repetitions,
     verify_scld,
 )
 
@@ -44,5 +45,6 @@ __all__ = [
     "verify_multicover",
     "verify_old",
     "verify_parking",
+    "verify_repetitions",
     "verify_scld",
 ]

@@ -17,6 +17,7 @@ from ..deadlines.scld import SCLDInstance
 from ..facility.model import Connection, FacilityLeasingInstance
 from ..parking.model import ParkingPermitInstance
 from ..setcover.model import SetMulticoverLeasingInstance
+from ..setcover.special_cases import RepetitionsInstance
 
 
 @dataclass(frozen=True)
@@ -123,6 +124,65 @@ def verify_old(
         ok=not failures,
         failures=tuple(failures),
         checked=len(instance.clients),
+    )
+
+
+def verify_repetitions(
+    instance: RepetitionsInstance,
+    assignments: list[tuple[int, int, int]],
+    leases: list[Lease],
+) -> VerificationReport:
+    """Every repeated arrival got a fresh, containing, leased set.
+
+    Re-checks the Corollary 3.5 requirements from the run's outputs
+    alone: the assignment list matches the arrival stream one to one,
+    each assigned set contains its element and holds a lease covering
+    the arrival time, and no element reuses a set across its arrivals.
+    """
+    failures: list[str] = []
+    if len(assignments) != len(instance.stream):
+        failures.append(
+            f"{len(assignments)} assignments for "
+            f"{len(instance.stream)} arrivals"
+        )
+    used: dict[int, set[int]] = {}
+    sets = instance.base.system.sets
+    for (element, arrival), assignment in zip(instance.stream, assignments):
+        got_element, got_arrival, set_index = assignment
+        if (got_element, got_arrival) != (element, arrival):
+            failures.append(
+                f"assignment ({got_element},{got_arrival}) does not match "
+                f"arrival ({element},{arrival})"
+            )
+            continue
+        if not 0 <= set_index < len(sets):
+            failures.append(
+                f"element {element}@{arrival} assigned nonexistent "
+                f"set {set_index}"
+            )
+            continue
+        if element not in sets[set_index]:
+            failures.append(
+                f"element {element}@{arrival} assigned non-containing "
+                f"set {set_index}"
+            )
+        elif not any(
+            lease.resource == set_index and lease.covers(arrival)
+            for lease in leases
+        ):
+            failures.append(
+                f"element {element}@{arrival} assigned set {set_index} "
+                "with no active lease"
+            )
+        elif set_index in used.get(element, set()):
+            failures.append(
+                f"element {element}@{arrival} reuses set {set_index}"
+            )
+        used.setdefault(element, set()).add(set_index)
+    return VerificationReport(
+        ok=not failures,
+        failures=tuple(failures),
+        checked=len(instance.stream),
     )
 
 

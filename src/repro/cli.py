@@ -174,22 +174,62 @@ def cmd_old(args) -> int:
     return 0
 
 
+def _resolve_families(requested, *, where) -> list[str] | None:
+    """Validate ``--family`` values against the registry; None on error.
+
+    Repeated families are deduplicated (first occurrence wins) so a
+    doubled ``--family`` flag never runs a scenario twice.
+    """
+    import sys
+
+    from .engine import families
+
+    selected: list[str] = []
+    for family in requested:
+        if family not in selected:
+            selected.append(family)
+    known = families()
+    unknown = [family for family in selected if family not in known]
+    if unknown:
+        print(
+            f"error: unknown famil{'y' if len(unknown) == 1 else 'ies'} "
+            f"{', '.join(sorted(unknown))} for {where}; "
+            f"known: {', '.join(known)}",
+            file=sys.stderr,
+        )
+        return None
+    return selected
+
+
 def cmd_engine_list(args) -> int:
     from .engine import all_scenarios
 
     scenarios = all_scenarios()
+    title = f"{len(scenarios)} registered scenarios"
+    if args.family:
+        selected = _resolve_families(args.family, where="engine list")
+        if selected is None:
+            return 2
+        scenarios = tuple(s for s in scenarios if s.family in selected)
+        title = (
+            f"{len(scenarios)} registered scenarios "
+            f"(family {', '.join(selected)})"
+        )
     print_table(
-        ["scenario", "family", "workload", "shardable", "cluster", "description"],
+        [
+            "scenario", "family", "workload", "paper result",
+            "shardable", "cluster", "description",
+        ],
         [
             [
-                s.name, s.family, s.workload,
+                s.name, s.family, s.workload, s.paper_result,
                 "yes" if s.shardable else "",
                 "yes" if s.cluster_servable else "",
                 s.description,
             ]
             for s in scenarios
         ],
-        title=f"{len(scenarios)} registered scenarios",
+        title=title,
     )
     return 0
 
@@ -198,6 +238,7 @@ def cmd_engine_run(args) -> int:
     import sys
 
     from .engine import (
+        by_family,
         get_scenario,
         render_report,
         replay,
@@ -205,15 +246,37 @@ def cmd_engine_run(args) -> int:
         scenario_names,
     )
 
-    explicit = tuple(name for name in args.scenario if name != "all")
-    if "all" in args.scenario:
-        # 'all' expands to the registry; explicitly named extras (e.g.
-        # ad-hoc registered scenarios) still run alongside it.
+    requested = tuple(args.scenario or ())
+    if not requested and not args.family:
+        print(
+            "error: engine run needs --scenario and/or --family",
+            file=sys.stderr,
+        )
+        return 2
+    # --family is validated whatever else is selected, so a typo is
+    # refused (exit 2) even next to --scenario all.
+    family_names: tuple[str, ...] = ()
+    if args.family:
+        selected = _resolve_families(args.family, where="engine run")
+        if selected is None:
+            return 2
+        family_names = tuple(
+            s.name for family in selected for s in by_family(family)
+        )
+    explicit = tuple(name for name in requested if name != "all")
+    if "all" in requested:
+        # 'all' expands to the registry (covering every family);
+        # explicitly named extras (e.g. ad-hoc registered scenarios)
+        # still run alongside it.
         names = scenario_names() + tuple(
             name for name in explicit if name not in scenario_names()
         )
     else:
-        names = explicit
+        # Family selections expand first (in registry name order), then
+        # explicitly named scenarios not already covered.
+        names = family_names + tuple(
+            name for name in explicit if name not in family_names
+        )
     if args.shards > 1:
         # Fail fast and plainly on non-shardable scenarios instead of
         # letting replay_sharded raise per-name deep in the run.
@@ -598,14 +661,24 @@ def build_parser() -> argparse.ArgumentParser:
     engine_list = engine_sub.add_parser(
         "list", help="print the scenario registry"
     )
+    engine_list.add_argument(
+        "--family", action="append", default=None,
+        help="only list scenarios of this family (repeatable), "
+        "e.g. --family setcover --family forecast",
+    )
     engine_list.set_defaults(func=cmd_engine_list)
 
     engine_run = engine_sub.add_parser(
         "run", help="replay scenarios and print the aggregate ratio table"
     )
     engine_run.add_argument(
-        "--scenario", action="append", default=None, required=True,
+        "--scenario", action="append", default=None,
         help="scenario name, repeatable; 'all' replays the whole registry",
+    )
+    engine_run.add_argument(
+        "--family", action="append", default=None,
+        help="replay every scenario of a family (repeatable), "
+        "e.g. --family deadlines",
     )
     engine_run.add_argument("--seed", type=int, default=0)
     engine_run.add_argument("--workers", type=int, default=1,

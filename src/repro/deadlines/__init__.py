@@ -1,11 +1,29 @@
 """Leasing with flexible demands (thesis Chapter 5).
 
-The deadline extension of the leasing model: OLD (online leasing with
-deadlines, Theta(K + d_max/l_min)-competitive deterministic primal-dual,
-Theorem 5.3) with its tight example (Proposition 5.4), plus SCLD (set
-cover leasing with deadlines, Algorithm 5 / Theorem 5.7) whose ``d = 0``
-case improves SetCoverLeasing to a time-independent factor
-(Corollary 5.8).
+The deadline extension of the leasing model.  The paper objects each
+type models, and the claim its benchmark measures:
+
+* :class:`OLDInstance` / :class:`DeadlineClient` — online leasing with
+  deadlines: clients ``(t, d)`` must be served by a lease intersecting
+  ``[t, t + d]``.  :class:`OnlineLeasingWithDeadlines` (:func:`run_old`)
+  is the deterministic primal-dual Algorithm of Section 5.3; benchmark
+  E10 (scenarios ``deadline-e10-*``) measures its ``O(K)`` uniform /
+  ``O(K + d_max/l_min)`` non-uniform ratios (Theorem 5.3) against the
+  exact DP, and :func:`tight_example` materialises the Figure 5.3
+  construction whose measured ratio benchmark E11 (``deadline-e11-*``)
+  matches to the designed ``Omega(d_max/l_min)`` floor
+  (Proposition 5.4).
+* :class:`SCLDInstance` / :class:`DeadlineElement` — set cover leasing
+  with deadlines.  :class:`OnlineSCLD` is the randomized Algorithm 5;
+  benchmark E12 (``deadline-e12-*``) measures the
+  ``O(log(m (K + d_max/l_min)) log l_max)`` ratio (Theorem 5.7) against
+  the Figure 5.4 ILP, and benchmark E13 (``deadline-e13-*``) holds the
+  system fixed while the horizon grows to exhibit the time-independent
+  factor of Corollary 5.8.
+
+Exact DP/ILP baselines and the seeded instance builders
+(:func:`random_scld_instance`, :func:`periodic_scld_instance`) feed the
+``repro.engine`` scenario/replay substrate (see ``repro.engine.paper``).
 """
 
 from .model import DeadlineClient, OLDInstance, make_old_instance
@@ -20,6 +38,8 @@ from .scld import (
     DeadlineElement,
     OnlineSCLD,
     SCLDInstance,
+    periodic_scld_instance,
+    random_scld_instance,
     scld_from_setcover,
 )
 from .tight_example import expected_ratio_lower_bound, tight_example
@@ -37,6 +57,8 @@ __all__ = [
     "optimal_dp",
     "optimal_leases",
     "optimum",
+    "periodic_scld_instance",
+    "random_scld_instance",
     "run_old",
     "scld_from_setcover",
     "tight_example",

@@ -226,3 +226,77 @@ def scld_from_setcover(
             for e, t in demands
         ),
     )
+
+
+def random_scld_instance(
+    schedule: LeaseSchedule,
+    num_elements: int,
+    num_sets: int,
+    memberships: int,
+    horizon: int,
+    num_demands: int,
+    max_slack: int,
+    rng: random.Random,
+) -> SCLDInstance:
+    """The E12 workload: random deadline demands on a random set system.
+
+    ``num_demands`` triples ``(element, arrival, slack)`` are drawn
+    uniformly (slack in ``[0, max_slack]``) and sorted by arrival — the
+    instances the Theorem 5.7 benchmark and the ``deadline-e12-*``
+    scenarios replay.
+    """
+    from ..setcover.generators import random_set_system
+
+    system = random_set_system(
+        num_elements, num_sets, memberships, schedule, rng
+    )
+    raw = sorted(
+        (
+            (
+                rng.randrange(num_elements),
+                rng.randrange(horizon),
+                rng.randint(0, max_slack),
+            )
+            for _ in range(num_demands)
+        ),
+        key=lambda d: d[1],
+    )
+    return SCLDInstance(
+        system=system,
+        schedule=schedule,
+        demands=tuple(DeadlineElement(*d) for d in raw),
+    )
+
+
+def periodic_scld_instance(
+    schedule: LeaseSchedule,
+    num_elements: int,
+    num_sets: int,
+    memberships: int,
+    horizon: int,
+    rng: random.Random,
+    every: int = 2,
+) -> SCLDInstance:
+    """The E13 workload: one zero-slack demand every ``every`` days.
+
+    Holding the set system and ``l_max`` fixed while only the horizon
+    grows isolates the Corollary 5.8 claim — the competitive factor is
+    time-independent — which the ``deadline-e13-*`` scenarios measure.
+    """
+    from ..setcover.generators import random_set_system
+
+    system = random_set_system(
+        num_elements, num_sets, memberships, schedule, rng
+    )
+    demands = sorted(
+        (
+            (rng.randrange(num_elements), t, 0)
+            for t in range(0, horizon, every)
+        ),
+        key=lambda d: d[1],
+    )
+    return SCLDInstance(
+        system=system,
+        schedule=schedule,
+        demands=tuple(DeadlineElement(*d) for d in demands),
+    )

@@ -16,6 +16,10 @@ them:
 * :mod:`repro.engine.scenarios` — a registry naming every problem-family
   × workload combination as a first-class :class:`Scenario` with build,
   run, verify, and offline-optimum hooks.
+* :mod:`repro.engine.paper` — the paper-experiment scenario families
+  (``setcover-e06..08``, ``facility-e09``, ``deadline-e10..13``,
+  ``forecast-*``) plus :data:`EXPERIMENT_INDEX`, the machine-readable
+  experiment-to-engine map for E1–E15.
 * :mod:`repro.engine.runner` — a batched replay engine that fans
   scenarios out across a process pool and aggregates per-scenario
   results into the existing ratio/table machinery.
@@ -23,8 +27,9 @@ them:
 ``python -m repro engine {list,run,replay,serve,loadgen}`` is the
 command-line front end (``serve``/``loadgen`` front the
 :mod:`repro.serve` asyncio serving layer, whose ``serve-*`` scenario
-family is registered here); the benchmarks ``bench_e01``, ``bench_e02``,
-``bench_e05`` and ``bench_e14`` run on the same substrate.
+family is registered here); every ``bench_e*`` benchmark is a thin
+wrapper over the same substrate — E1–E5/E14 register their sweep points
+ad hoc at import, E6–E13/E15 resolve them from the central registry.
 """
 
 from .broker import BrokerStats, LeaseBroker, LeaseGrant, replay_trace
@@ -42,6 +47,7 @@ from .events import (
     trace_from_jsonl,
     trace_to_jsonl,
 )
+from .paper import EXPERIMENT_INDEX, ExperimentEntry, experiment
 from .runner import (
     TRANSPORT_MODES,
     ScenarioOutcome,
@@ -59,6 +65,7 @@ from .scenarios import (
     BrokerTraceInstance,
     Scenario,
     all_scenarios,
+    by_family,
     families,
     get_scenario,
     make_broker_scenario,
@@ -75,7 +82,9 @@ __all__ = [
     "BrokerStats",
     "BrokerTraceInstance",
     "CLUSTER_SCENARIOS",
+    "EXPERIMENT_INDEX",
     "Event",
+    "ExperimentEntry",
     "LeaseBroker",
     "LeaseGrant",
     "Release",
@@ -86,9 +95,11 @@ __all__ = [
     "Tick",
     "WORKLOAD_NAMES",
     "all_scenarios",
+    "by_family",
     "day_pattern",
     "event_from_payload",
     "event_to_payload",
+    "experiment",
     "families",
     "generate_resource_trace",
     "generate_trace",

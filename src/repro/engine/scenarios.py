@@ -87,6 +87,10 @@ class Scenario:
             ``cluster-*``), whose resources are independent and whose
             costs sum exactly.  Shown as the ``cluster`` column of
             ``engine list``.
+        paper_result: the paper claim the scenario's run/verify loop
+            exercises (e.g. ``"Thm 3.3"``); empty for serving-layer
+            scenarios whose subject is the system, not the paper.  Shown
+            as the ``paper result`` column of ``engine list``.
     """
 
     name: str
@@ -100,6 +104,7 @@ class Scenario:
     build_shard: Callable[[int, int, int], object] | None = None
     merge_runs: Callable[[Sequence[RunResult]], RunResult] | None = None
     cluster_servable: bool = False
+    paper_result: str = ""
 
     @property
     def shardable(self) -> bool:
@@ -179,6 +184,7 @@ def _parking_scenario(workload: str) -> Scenario:
         optimum=lambda instance: OptBounds.exactly(
             optimal_interval(instance).cost, method="dp-interval"
         ),
+        paper_result="Thm 2.7",
     )
 
 
@@ -229,6 +235,7 @@ def _setcover_scenario(workload: str) -> Scenario:
             instance, list(result.leases)
         ),
         optimum=setcover_optimum,
+        paper_result="Thm 3.3",
     )
 
 
@@ -283,6 +290,7 @@ def _facility_scenario(workload: str) -> Scenario:
             instance, list(result.leases), list(result.detail["connections"])
         ),
         optimum=facility_optimum,
+        paper_result="Thm 4.5",
     )
 
 
@@ -329,6 +337,7 @@ def _deadlines_scenario(workload: str) -> Scenario:
         optimum=lambda instance: OptBounds.exactly(
             optimal_dp(instance), method="dp"
         ),
+        paper_result="Thm 5.3",
     )
 
 

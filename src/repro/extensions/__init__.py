@@ -6,7 +6,10 @@
 * :mod:`repro.extensions.forecast` — prediction-augmented parking permit
   (Sections 3.5/5.6 outlook on stochastic demands): noisy clairvoyant
   oracles, a follow-the-prediction policy, and a hedged variant with a
-  worst-case spending cap.
+  worst-case spending cap.  Benchmark E15 (the ``forecast-*`` scenario
+  family in ``repro.engine.paper``) sweeps the oracle error rate and
+  measures both policies against the exact interval-model DP, with the
+  replay seed seeding the oracle's noise.
 """
 
 from .capacitated import (

@@ -1,11 +1,27 @@
 """Facility leasing (thesis Chapter 4).
 
-The first time-independent competitive algorithm for facility leasing:
-clients arrive in batches and connect to leased facilities in a metric
-space.  The package provides the metric substrate, the instance model and
-Figure 4.1 ILP, the two-phase primal-dual online algorithm of Section 4.3
-(``(3 + K) H_{l_max}``-competitive by Theorem 4.5), exact and heuristic
-offline baselines, and the arrival patterns of Corollary 4.7.
+The first time-independent competitive algorithm for facility leasing.
+The paper objects each type models, and the claim its benchmark
+measures:
+
+* :class:`FacilityLeasingInstance` / :class:`Client` /
+  :class:`ClientBatch` — the Section 4.2 model: client batches arrive
+  over time and each client connects to a facility holding a lease
+  active at its arrival, paying metric connection cost plus leasing
+  cost.  :class:`DistanceMatrix` and the point generators supply the
+  metric substrate; :func:`optimal_ilp`/:func:`optimum` solve the
+  Figure 4.1 MILP exactly.
+* :class:`OnlineFacilityLeasing` (:func:`run_facility_leasing`) — the
+  two-phase primal-dual algorithm of Section 4.3,
+  ``(3 + K) H_{l_max}``-competitive by Theorem 4.5.  Benchmark E9
+  (scenarios ``facility-e09-*``) measures that ratio against the exact
+  MILP across the Corollary 4.7 arrival patterns
+  (:func:`harmonic_series`, :func:`theoretical_bound`) — constant,
+  non-increasing, polynomial, and the conjectured-hard exponential
+  regime.
+
+Every benchmark runs through the ``repro.engine`` scenario/replay
+substrate (see ``repro.engine.paper``).
 """
 
 from .arrivals import harmonic_series, make_instance, theoretical_bound

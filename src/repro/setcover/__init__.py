@@ -1,11 +1,30 @@
 """Set multicover leasing (thesis Chapter 3).
 
-The first online algorithms for the set cover leasing family: the
-randomized ``O(log(delta K) log n)`` algorithm for SetMulticoverLeasing
-(Theorem 3.3) plus its special cases — SetCoverLeasing,
-OnlineSetMulticover (Corollary 3.4) and OnlineSetCoverWithRepetitions
-(Corollary 3.5) — together with offline greedy/ILP baselines and random
-instance generators.
+The first online algorithms for the set cover leasing family.  The paper
+objects each type models, and the claim its benchmark measures:
+
+* :class:`SetMulticoverLeasingInstance` / :class:`SetSystem` /
+  :class:`MulticoverDemand` — the Section 3.2 model: elements arrive
+  over time and must be covered by ``p`` *distinct* sets, each holding a
+  lease active at the arrival.  :class:`OnlineSetMulticoverLeasing` is
+  the randomized Algorithm 3+4; benchmark E6 (scenarios
+  ``setcover-e06-*``) measures its ``O(log(delta K) log n)`` competitive
+  ratio (Theorem 3.3) against the exact Figure 3.2 ILP.
+* :func:`non_leasing_instance` / :func:`random_classic_multicover_instance`
+  — the ``K = 1`` infinite-lease degeneration: the leasing algorithm
+  becomes the optimal ``O(log delta log n)`` classical online set
+  multicover algorithm; benchmark E7 (``setcover-e07-*``) measures
+  Corollary 3.4.
+* :class:`OnlineSetCoverWithRepetitions` / :class:`RepetitionsInstance`
+  — Alon et al.'s repetitions problem (every repeated arrival needs a
+  fresh set) via widened threshold draws; benchmark E8
+  (``setcover-e08-*``) measures the Corollary 3.5
+  ``O(log delta log(delta n))`` improvement against the multicover
+  rewriting's ILP.
+
+Offline greedy/ILP baselines and seeded instance generators round out
+the package; every benchmark runs through the ``repro.engine``
+scenario/replay substrate (see ``repro.engine.paper``).
 """
 
 from .fractional import candidate_sum, fractional_cost, raise_fractions
@@ -20,7 +39,10 @@ from .offline import GreedySolution, greedy, optimal_leases, optimum
 from .special_cases import (
     OnlineSetCoverLeasing,
     OnlineSetCoverWithRepetitions,
+    RepetitionsInstance,
     non_leasing_instance,
+    random_classic_multicover_instance,
+    random_repetitions_instance,
     repetitions_to_multicover,
 )
 
@@ -30,6 +52,7 @@ __all__ = [
     "OnlineSetCoverLeasing",
     "OnlineSetCoverWithRepetitions",
     "OnlineSetMulticoverLeasing",
+    "RepetitionsInstance",
     "SetMulticoverLeasingInstance",
     "SetSystem",
     "candidate_sum",
@@ -39,7 +62,9 @@ __all__ = [
     "optimal_leases",
     "optimum",
     "raise_fractions",
+    "random_classic_multicover_instance",
     "random_instance",
+    "random_repetitions_instance",
     "random_set_system",
     "repetitions_to_multicover",
 ]

@@ -17,6 +17,8 @@ parameters:
 from __future__ import annotations
 
 import math
+import random
+from dataclasses import dataclass
 
 from ..core.framework import buy_forever_schedule
 from ..core.lease import Lease, LeaseSchedule
@@ -139,6 +141,105 @@ class OnlineSetCoverWithRepetitions(OnlineSetMulticoverLeasing):
                 return False
             seen[element].add(set_index)
         return True
+
+
+def random_classic_multicover_instance(
+    num_elements: int, rng: random.Random
+) -> SetMulticoverLeasingInstance:
+    """The E7 instance family: classical online set multicover (Cor 3.4).
+
+    A random set system where every element is contained in at least two
+    sets (so coverage-2 demands are always feasible), wrapped into the
+    ``K = 1`` infinite-lease form — the workload the Corollary 3.4
+    benchmark and the ``setcover-e07-*`` scenarios replay.
+    """
+    num_sets = max(4, num_elements // 2)
+    sets: list[set[int]] = []
+    for _ in range(num_sets):
+        size = rng.randint(2, max(2, num_elements // 2))
+        sets.append(set(rng.sample(range(num_elements), size)))
+    # Guarantee coverage depth 2 for every element.
+    for element in range(num_elements):
+        containing = [i for i, members in enumerate(sets) if element in members]
+        while len(containing) < 2:
+            target = rng.randrange(num_sets)
+            sets[target].add(element)
+            containing = [
+                i for i, members in enumerate(sets) if element in members
+            ]
+    costs = [1.0 + rng.random() * 3.0 for _ in range(num_sets)]
+    demands = [
+        (element, t, rng.randint(1, 2))
+        for t, element in enumerate(rng.sample(range(num_elements), num_elements))
+    ]
+    return non_leasing_instance(
+        num_elements, sets, costs, horizon=num_elements + 1, demands=demands
+    )
+
+
+@dataclass(frozen=True)
+class RepetitionsInstance:
+    """An OnlineSetCoverWithRepetitions workload: base instance + stream.
+
+    ``base`` is the ``K = 1`` infinite-lease instance the algorithm runs
+    on; ``stream`` is the repeated-arrival sequence ``(element, t)`` fed
+    to :meth:`OnlineSetCoverWithRepetitions.on_demand`.  The exact ILP
+    baseline lives on :meth:`rewritten` — the multicover rewriting of the
+    same stream (the r-th arrival of an element demands coverage r).
+    """
+
+    base: SetMulticoverLeasingInstance
+    stream: tuple[tuple[int, int], ...]
+
+    def rewritten(self) -> SetMulticoverLeasingInstance:
+        """The equivalent multicover instance (the Corollary 3.5 baseline)."""
+        return SetMulticoverLeasingInstance(
+            system=self.base.system,
+            schedule=self.base.schedule,
+            demands=tuple(repetitions_to_multicover(list(self.stream))),
+        )
+
+
+def random_repetitions_instance(
+    num_elements: int, arrivals: int, rng: random.Random
+) -> RepetitionsInstance:
+    """The E8 workload: a repeated-arrival stream with bounded depth.
+
+    Every element is pushed into at least four sets, and no element
+    arrives more than four times, so each arrival can always be served by
+    a fresh set — the stream the Corollary 3.5 benchmark and the
+    ``setcover-e08-*`` scenarios replay.
+    """
+    num_sets = max(6, num_elements)
+    sets: list[set[int]] = []
+    for _ in range(num_sets):
+        size = rng.randint(2, max(2, num_elements // 2))
+        sets.append(set(rng.sample(range(num_elements), size)))
+    depth_needed = 4
+    for element in range(num_elements):
+        while (
+            sum(1 for members in sets if element in members) < depth_needed
+        ):
+            sets[rng.randrange(num_sets)].add(element)
+    costs = [1.0 + rng.random() * 3.0 for _ in range(num_sets)]
+    counts: dict[int, int] = {}
+    stream: list[tuple[int, int]] = []
+    t = 0
+    while len(stream) < arrivals:
+        element = rng.randrange(num_elements)
+        if counts.get(element, 0) >= depth_needed:
+            continue
+        counts[element] = counts.get(element, 0) + 1
+        stream.append((element, t))
+        t += 1
+    base = non_leasing_instance(
+        num_elements,
+        sets,
+        costs,
+        horizon=t + 1,
+        demands=[(e, tt, 1) for e, tt in stream],
+    )
+    return RepetitionsInstance(base=base, stream=tuple(stream))
 
 
 def repetitions_to_multicover(

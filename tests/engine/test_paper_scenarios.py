@@ -1,0 +1,205 @@
+"""The experiment-to-engine map: E-index completeness, paper-scenario
+determinism, seed contracts, and the E11 closed form."""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import io as repro_io
+from repro.deadlines import expected_ratio_lower_bound
+from repro.engine import (
+    EXPERIMENT_INDEX,
+    experiment,
+    get_scenario,
+    render_report,
+    replay,
+    run_scenario,
+)
+from repro.engine import scenarios as scenarios_module
+from repro.engine.paper import (
+    E06_SCENARIOS,
+    E07_SCENARIOS,
+    E08_SCENARIOS,
+    E09_SCENARIOS,
+    E10_SCENARIOS,
+    E11_POINTS,
+    E11_SCENARIOS,
+    E12_SCENARIOS,
+    E13_SCENARIOS,
+    E15_SCENARIOS,
+)
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+#: One cheap representative per ported experiment (used where running
+#: every sweep point would slow tier-1 for no extra coverage).
+REPRESENTATIVES = (
+    "setcover-e06-n6",
+    "setcover-e07-n8",
+    "setcover-e08-n6",
+    "facility-e09-constant",
+    "deadline-e10-u0",
+    "deadline-e11-d8",
+    "deadline-e12-d0",
+    "deadline-e13-h16",
+    "forecast-pure-e25",
+    "forecast-hedged-e0",
+    "forecast-primal-dual",
+)
+
+
+class TestExperimentIndex:
+    def test_covers_e1_through_e15(self):
+        assert [entry.ident for entry in EXPERIMENT_INDEX] == [
+            f"E{i}" for i in range(1, 16)
+        ]
+        for entry in EXPERIMENT_INDEX:
+            assert entry.scenarios
+            assert entry.module
+            assert entry.claim
+
+    def test_engine_registered_rows_resolve(self):
+        for entry in EXPERIMENT_INDEX:
+            if entry.registrar is not None:
+                continue
+            for name in entry.scenarios:
+                scenario = get_scenario(name)
+                assert scenario.description
+                assert scenario.paper_result
+
+    def test_adhoc_rows_resolve_after_bench_import(self):
+        """E1–E5/E14 register their sweep points at bench import; every
+        indexed name must then resolve.  The registry is restored so the
+        ad-hoc scenarios don't leak into whole-registry tests."""
+        saved = dict(scenarios_module._REGISTRY)
+        sys.path.insert(0, str(BENCHMARKS_DIR))
+        try:
+            for entry in EXPERIMENT_INDEX:
+                if entry.registrar is None:
+                    continue
+                importlib.import_module(entry.registrar)
+                for name in entry.scenarios:
+                    assert get_scenario(name).description
+        finally:
+            sys.path.remove(str(BENCHMARKS_DIR))
+            scenarios_module._REGISTRY.clear()
+            scenarios_module._REGISTRY.update(saved)
+
+    def test_experiment_lookup(self):
+        assert experiment("E11").scenarios == E11_SCENARIOS
+        with pytest.raises(KeyError):
+            experiment("E99")
+
+    def test_ported_families_fully_indexed(self):
+        assert experiment("E6").scenarios == E06_SCENARIOS
+        assert experiment("E7").scenarios == E07_SCENARIOS
+        assert experiment("E8").scenarios == E08_SCENARIOS
+        assert experiment("E9").scenarios == E09_SCENARIOS
+        assert experiment("E10").scenarios == E10_SCENARIOS
+        assert experiment("E12").scenarios == E12_SCENARIOS
+        assert experiment("E13").scenarios == E13_SCENARIOS
+        assert experiment("E15").scenarios == E15_SCENARIOS
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVES)
+class TestRepresentativeScenarios:
+    def test_runs_verified_and_bounded(self, name):
+        outcome = run_scenario(name, seed=1)
+        assert outcome.verified, outcome.failures[:3]
+        assert outcome.run.num_demands > 0
+        assert outcome.opt.lower > 0
+        # Online can never beat the true offline optimum.
+        assert outcome.run.cost >= outcome.opt.lower - 1e-6
+
+    def test_same_seed_byte_identical_report(self, name):
+        first = render_report(replay([name], seeds=[5]))
+        second = render_report(replay([name], seeds=[5]))
+        assert first == second
+
+
+class TestSeedContracts:
+    def test_fixed_instance_families_ignore_replay_seed(self):
+        # E6/E7/E12/E13/E15: the paper fixes the workload; only the
+        # algorithm's coins (or oracle noise) follow the replay seed.
+        for name in (
+            "setcover-e06-n6",
+            "setcover-e07-n8",
+            "deadline-e12-d2",
+            "deadline-e13-h16",
+            "forecast-pure-e50",
+        ):
+            scenario = get_scenario(name)
+            assert repro_io.dumps(scenario.build(1)) == repro_io.dumps(
+                scenario.build(2)
+            )
+
+    def test_e10_replay_seed_draws_the_instance(self):
+        scenario = get_scenario("deadline-e10-s2")
+        assert repro_io.dumps(scenario.build(1)) != repro_io.dumps(
+            scenario.build(2)
+        )
+
+    def test_coin_seed_varies_the_run(self):
+        scenario = get_scenario("setcover-e06-n6")
+        instance = scenario.build(0)
+        costs = {scenario.run(instance, seed).cost for seed in range(4)}
+        assert len(costs) > 1
+
+
+class TestVerifyRepetitions:
+    def test_invalid_assignments_report_instead_of_crashing(self):
+        """Corrupt run outputs must yield a failing report (never an
+        exception inside the runner): non-containing sets, unleased
+        sets, out-of-range indices, and same-element reuse."""
+        from repro.analysis import verify_repetitions
+
+        instance = get_scenario("setcover-e08-n6").build(0)
+        element, arrival = instance.stream[0]
+        containing = [
+            i
+            for i, members in enumerate(instance.base.system.sets)
+            if element in members
+        ]
+        non_containing = next(
+            i
+            for i in range(len(instance.base.system.sets))
+            if i not in containing
+        )
+        for set_index, expected in (
+            (non_containing, "non-containing"),
+            (containing[0], "no active lease"),
+            (len(instance.base.system.sets), "nonexistent"),
+            (-1, "nonexistent"),
+        ):
+            report = verify_repetitions(
+                instance, [(element, arrival, set_index)], []
+            )
+            assert not report.ok
+            assert any(expected in failure for failure in report.failures), (
+                expected,
+                report.failures,
+            )
+
+    def test_valid_run_verifies(self):
+        outcome = run_scenario("setcover-e08-n6", seed=3)
+        assert outcome.verified
+
+
+class TestE11ClosedForm:
+    def test_tight_example_cost_matches_closed_form(self):
+        """The measured ratio realises the designed Omega(dmax/lmin)
+        floor and stays within the Step-2 overshoot factor."""
+        outcomes = replay(E11_SCENARIOS, seeds=[0])
+        assert all(outcome.verified for outcome in outcomes)
+        for (tag, (dmax, lmin)), outcome in zip(E11_POINTS, outcomes):
+            designed = expected_ratio_lower_bound(dmax, lmin)
+            assert outcome.ratio >= 0.9 * designed
+            assert outcome.ratio <= 2.2 * designed + 2.0
+
+    def test_every_seed_replays_the_same_construction(self):
+        first = run_scenario("deadline-e11-d16", seed=0)
+        second = run_scenario("deadline-e11-d16", seed=9)
+        assert first.run.cost == second.run.cost
+        assert first.opt == second.opt
