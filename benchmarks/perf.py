@@ -13,11 +13,13 @@ Thin front end over :mod:`repro.engine.perf`.  Typical uses::
     # the committed files
     PYTHONPATH=src python benchmarks/perf.py --mode smoke --out perf-results
 
-The committed files ``benchmarks/BENCH_p01_broker.json``,
-``benchmarks/BENCH_p02_runner.json`` and ``benchmarks/BENCH_p03_serve.json``
-carry a frozen ``baseline`` block (the pre-optimization reference; for
-p03, the first recorded serving throughput) plus per-mode current
-numbers; see EXPERIMENTS.md for the schema and refresh policy.
+The committed ``benchmarks/BENCH_*.json`` files carry a frozen
+``baseline`` block (the pre-optimization reference; for p03, the first
+recorded serving throughput; for p05, the first recorded uninstrumented
+rate) plus per-mode current numbers; see EXPERIMENTS.md for the schema
+and refresh policy.  ``p05_obs`` additionally gates the observability
+overhead: the instrumented serving rate must stay within 10% of the
+uninstrumented rate measured in the same run.
 """
 
 from __future__ import annotations
@@ -75,6 +77,13 @@ def main(argv: list[str] | None = None) -> int:
                 f", shard speedup {metrics['shard_speedup']}x "
                 f"({record['env']['cpus']} cpus), "
                 f"byte-identical={metrics['byte_identical']}"
+            )
+        if "overhead_ratio" in metrics:
+            line += (
+                f", off {metrics['off_events_per_sec']:,}/s vs "
+                f"on {metrics['on_events_per_sec']:,}/s "
+                f"(ratio {metrics['overhead_ratio']}), "
+                f"identical={metrics['reports_identical']}"
             )
         print(line)
         committed_path = REPO_ROOT / perf.BENCH_FILES[bench]

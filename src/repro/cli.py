@@ -19,6 +19,7 @@ Subcommands::
     python -m repro engine cluster --socket /tmp/lease.sock --workers 2
     python -m repro engine loadgen --socket /tmp/lease.sock --check
     python -m repro engine loadgen --cluster 2 --check
+    python -m repro engine metrics --socket /tmp/lease.sock --validate
 
 The ``engine`` subcommands front :mod:`repro.engine`, :mod:`repro.serve`
 and :mod:`repro.cluster`: ``list`` prints the scenario registry (with
@@ -27,9 +28,11 @@ through the parallel runner and prints one aggregate ratio table,
 ``replay`` drives the lease broker from a generated or saved JSONL event
 trace, ``serve`` puts a broker behind the asyncio wire protocol,
 ``cluster`` spawns N ``engine serve`` worker processes behind a shard
-router on one socket, and ``loadgen`` drives closed-loop tenants against
+router on one socket, ``loadgen`` drives closed-loop tenants against
 a server or cluster (in-process by default) and checks the served
-aggregate against an inline replay of the same trace.
+aggregate against an inline replay of the same trace, and ``metrics``
+scrapes a running server or router's Prometheus exposition over the
+``metrics`` protocol verb.
 """
 
 from __future__ import annotations
@@ -366,11 +369,16 @@ def cmd_engine_replay(args) -> int:
 def cmd_engine_serve(args) -> int:
     import asyncio
 
+    from .obs import MetricsRegistry, TraceSink
     from .serve import LeaseServer
 
     schedule = LeaseSchedule.power_of_two(
         args.num_types, cost_growth=args.cost_growth
     )
+    # The operator-facing default is instrumented; the library default
+    # stays off so embedded servers pay nothing unless asked.
+    metrics = MetricsRegistry(enabled=args.metrics)
+    trace = TraceSink(args.trace_jsonl)
     server = LeaseServer(
         schedule,
         num_resources=args.resources,
@@ -378,6 +386,8 @@ def cmd_engine_serve(args) -> int:
         record=args.record,
         session_window=args.window,
         idle_timeout=args.idle_timeout,
+        metrics=metrics,
+        trace=trace,
     )
 
     async def _main() -> None:
@@ -388,10 +398,13 @@ def cmd_engine_serve(args) -> int:
         if args.port is not None:
             port = await server.start_tcp(args.host, args.port)
             where.append(f"tcp:{args.host}:{port}")
+        extras = [f"metrics {'on' if args.metrics else 'off'}"]
+        if args.trace_jsonl:
+            extras.append(f"trace {args.trace_jsonl}")
         print(
             f"repro.serve listening on {', '.join(where)} — "
             f"{args.resources} resources over {args.shards} shard broker(s), "
-            f"K={args.num_types}",
+            f"K={args.num_types}, {', '.join(extras)}",
             flush=True,
         )
         await server.run_until_stopped()
@@ -403,6 +416,8 @@ def cmd_engine_serve(args) -> int:
         asyncio.run(_main())
     except KeyboardInterrupt:
         pass
+    finally:
+        trace.close()
     return 0
 
 
@@ -433,7 +448,13 @@ def cmd_engine_cluster(args) -> int:
     ]
 
     async def _main() -> None:
-        router = ClusterRouter(spec, worker_window=args.worker_window)
+        from .obs import MetricsRegistry
+
+        router = ClusterRouter(
+            spec,
+            worker_window=args.worker_window,
+            metrics=MetricsRegistry(enabled=args.metrics),
+        )
         await router.connect_workers(
             [worker.socket_path for worker in workers],
             retry_for=args.connect_timeout,
@@ -444,7 +465,8 @@ def cmd_engine_cluster(args) -> int:
             f"repro.cluster listening on unix:{args.socket} — "
             f"{spec.num_resources} resources over {spec.num_workers} "
             f"worker process(es) x {spec.shards_per_worker} shard(s), "
-            f"K={spec.num_types}, worker codec={args.codec}",
+            f"K={spec.num_types}, worker codec={args.codec}, "
+            f"metrics {'on' if args.metrics else 'off'}",
             flush=True,
         )
         await router.run_until_stopped()
@@ -458,9 +480,94 @@ def cmd_engine_cluster(args) -> int:
     return 0
 
 
+def cmd_engine_metrics(args) -> int:
+    import asyncio
+    import json
+    import sys
+
+    from .obs import parse_exposition, validate_exposition
+    from .serve import AsyncLeaseClient
+
+    if not args.socket:
+        print("error: engine metrics needs --socket", file=sys.stderr)
+        return 2
+
+    async def _scrape() -> str:
+        client = await AsyncLeaseClient.open_unix(
+            args.socket, retry_for=args.connect_timeout
+        )
+        try:
+            return (await client.call("metrics"))["text"]
+        finally:
+            await client.close()
+
+    text = asyncio.run(_scrape())
+    if args.json:
+        families = parse_exposition(text)
+        print(
+            json.dumps(
+                {
+                    name: {
+                        "type": family.type,
+                        "samples": [
+                            [sample_name, labels, value]
+                            for sample_name, labels, value in family.samples
+                        ],
+                    }
+                    for name, family in sorted(families.items())
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(text, end="")
+    if args.validate:
+        failures = validate_exposition(text)
+        if failures:
+            for failure in failures:
+                print(f"invalid exposition: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"exposition valid: {len(parse_exposition(text))} families",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _print_tenant_latencies(registry) -> None:
+    """Per-tenant op-latency percentiles from the loadgen histograms.
+
+    Printed only under ``--check``: the percentiles ride the same
+    closed-loop drive as the equality judgement, but never enter the
+    verified report fields — observation, not behaviour.
+    """
+    from .obs import latency_summary
+    from .serve.loadgen import LOADGEN_LATENCY_METRIC
+
+    summary = latency_summary(registry, LOADGEN_LATENCY_METRIC)
+    if not summary:
+        return
+    print_table(
+        ["tenant", "ops", "p50 ms", "p95 ms", "p99 ms"],
+        [
+            [
+                tenant,
+                int(row["count"]),
+                f"{row['p50'] * 1e3:.3f}",
+                f"{row['p95'] * 1e3:.3f}",
+                f"{row['p99'] * 1e3:.3f}",
+            ]
+            for tenant, row in sorted(summary.items())
+        ],
+        title="per-tenant op latency (client side)",
+    )
+
+
 def cmd_engine_loadgen(args) -> int:
     import asyncio
 
+    from .obs import MetricsRegistry
     from .serve import ServeError
     from .serve.loadgen import (
         build_serve_instance,
@@ -468,13 +575,23 @@ def cmd_engine_loadgen(args) -> int:
         drive_tenants,
         merge_shard_payloads,
         run_serve_instance,
+        serve_once,
     )
+
+    # --check turns on client-side latency sampling so the verdict
+    # table can carry per-tenant percentiles alongside the equality
+    # judgement.
+    latency = MetricsRegistry(enabled=args.check)
 
     if args.cluster:
         # In-process cluster: spawn the worker fleet + router, drive the
         # tenants through it, and judge against the inline replay — the
         # cluster-* scenario loop as one command.
-        from .cluster import build_cluster_instance, run_cluster_instance
+        from .cluster import (
+            build_cluster_instance,
+            cluster_once,
+            run_cluster_instance,
+        )
 
         cluster_instance = build_cluster_instance(
             args.workload,
@@ -488,7 +605,10 @@ def cmd_engine_loadgen(args) -> int:
             shards_per_worker=args.shards_per_worker,
             codec=args.codec,
         )
-        served = run_cluster_instance(cluster_instance, args.seed)
+        report = cluster_once(cluster_instance, latency_registry=latency)
+        served = run_cluster_instance(
+            cluster_instance, args.seed, report=report
+        )
         detail = served.detail["cluster"]
         equal = detail["report_equal"]
         stats = served.detail["broker_stats"]
@@ -510,9 +630,14 @@ def cmd_engine_loadgen(args) -> int:
                 f"in-process cluster ({args.cluster} workers), seed {args.seed}"
             ),
         )
-        if args.check and not equal:
-            print("error: clustered aggregate diverged from the inline replay")
-            return 1
+        if args.check:
+            _print_tenant_latencies(latency)
+            if not equal:
+                print(
+                    "error: clustered aggregate diverged from the "
+                    "inline replay"
+                )
+                return 1
         return 0
 
     instance = build_serve_instance(
@@ -565,7 +690,7 @@ def cmd_engine_loadgen(args) -> int:
                     raise ServeError("protocol", "; ".join(mismatches))
                 report = await drive_tenants(
                     instance, args.socket, retry_for=args.connect_timeout,
-                    codec=args.codec,
+                    codec=args.codec, latency_registry=latency,
                 )
                 if args.shutdown:
                     await client.shutdown()
@@ -579,7 +704,8 @@ def cmd_engine_loadgen(args) -> int:
         requests = report["requests"]
         source = f"unix:{args.socket}"
     else:
-        served = run_serve_instance(instance, args.seed)
+        report = serve_once(instance, latency_registry=latency)
+        served = run_serve_instance(instance, args.seed, report=report)
         equal = served.detail["serve"]["report_equal"]
         requests = served.detail["serve"]["requests"]
         source = "in-process server"
@@ -603,9 +729,11 @@ def cmd_engine_loadgen(args) -> int:
             f"seed {args.seed}"
         ),
     )
-    if args.check and not equal:
-        print("error: served aggregate diverged from the inline replay")
-        return 1
+    if args.check:
+        _print_tenant_latencies(latency)
+        if not equal:
+            print("error: served aggregate diverged from the inline replay")
+            return 1
     return 0
 
 
@@ -725,6 +853,16 @@ def build_parser() -> argparse.ArgumentParser:
                               help="per-tenant in-flight request bound")
     engine_serve.add_argument("--idle-timeout", type=float, default=60.0,
                               help="seconds before idle sessions are reaped")
+    engine_serve.add_argument(
+        "--metrics", action=argparse.BooleanOptionalAction, default=True,
+        help="sample per-op latency histograms and wire counters, served "
+        "back by the 'metrics' protocol verb (engine metrics scrapes it)",
+    )
+    engine_serve.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="append one JSONL span per dispatched request "
+        "(id, tenant, resource, op, enqueue/dispatch/reply timestamps)",
+    )
     engine_serve.set_defaults(func=cmd_engine_serve)
 
     engine_cluster = engine_sub.add_parser(
@@ -762,7 +900,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="wire codec on the router->worker links (negotiated at hello)",
     )
     engine_cluster.add_argument("--connect-timeout", type=float, default=15.0)
+    engine_cluster.add_argument(
+        "--metrics", action=argparse.BooleanOptionalAction, default=True,
+        help="sample per-link relay latency and in-flight gauges on the "
+        "router, served back by the 'metrics' protocol verb",
+    )
     engine_cluster.set_defaults(func=cmd_engine_cluster)
+
+    engine_metrics = engine_sub.add_parser(
+        "metrics",
+        help="scrape a running server or router's Prometheus exposition "
+        "over the 'metrics' protocol verb",
+    )
+    engine_metrics.add_argument(
+        "--socket", default=None,
+        help="unix socket of a running engine serve / engine cluster",
+    )
+    engine_metrics.add_argument("--connect-timeout", type=float, default=10.0)
+    engine_metrics.add_argument(
+        "--validate", action="store_true",
+        help="run the exposition through the structural validator; "
+        "exit 1 on any failure",
+    )
+    engine_metrics.add_argument(
+        "--json", action="store_true",
+        help="print the parsed exposition as JSON instead of text format",
+    )
+    engine_metrics.set_defaults(func=cmd_engine_metrics)
 
     engine_loadgen = engine_sub.add_parser(
         "loadgen",

@@ -36,6 +36,7 @@ from ..core.results import RunResult
 from ..engine.events import Tick, generate_resource_trace
 from ..engine.scenarios import BrokerTraceInstance, verify_broker_trace
 from ..errors import ModelError
+from ..obs.metrics import MetricsRegistry
 from ..serve.loadgen import (
     compare_with_inline,
     drive_tenants,
@@ -155,7 +156,12 @@ def build_cluster_instance(
     )
 
 
-def cluster_once(instance: ClusterInstance, retry_for: float = 15.0) -> dict:
+def cluster_once(
+    instance: ClusterInstance,
+    retry_for: float = 15.0,
+    metrics: MetricsRegistry | None = None,
+    latency_registry: MetricsRegistry | None = None,
+) -> dict:
     """One full clustered serving cycle; returns the merged report.
 
     Spawns the worker fleet, fronts it with a router on a throwaway unix
@@ -164,6 +170,9 @@ def cluster_once(instance: ClusterInstance, retry_for: float = 15.0) -> dict:
     first, then reaped.  The result carries ``drive_seconds``: the wall
     clock of the drive phase alone (connect tenants, replay days, fetch
     report), which is what the ``p04_cluster`` benchmark rates.
+    ``metrics`` instruments the router's worker links;
+    ``latency_registry`` samples client-side per-tenant op latency, as
+    in :func:`~repro.serve.loadgen.drive_tenants`.
     """
     spec = instance.spec
     workdir = tempfile.mkdtemp(prefix="rcl-")
@@ -173,7 +182,9 @@ def cluster_once(instance: ClusterInstance, retry_for: float = 15.0) -> dict:
         router_socket = str(Path(workdir) / "router.sock")
 
         async def _route_and_drive() -> dict:
-            router = ClusterRouter(spec, worker_window=instance.worker_window)
+            router = ClusterRouter(
+                spec, worker_window=instance.worker_window, metrics=metrics
+            )
             await router.connect_workers(
                 [w.socket_path for w in workers],
                 retry_for=retry_for,
@@ -185,6 +196,7 @@ def cluster_once(instance: ClusterInstance, retry_for: float = 15.0) -> dict:
                 report = await drive_tenants(
                     instance, router_socket,
                     retry_for=retry_for, codec=instance.codec,
+                    latency_registry=latency_registry,
                 )
                 report["drive_seconds"] = time.perf_counter() - start
                 return report

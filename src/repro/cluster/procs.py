@@ -36,6 +36,12 @@ def worker_command(spec: ClusterSpec, socket_path: str) -> list[str]:
         "--cost-growth", repr(spec.cost_growth),
         "--record" if spec.record else "--no-record",
         "--window", str(spec.session_window),
+        # Workers stay uninstrumented: the fleet's observability lives
+        # at the router (relay latency, in-flight gauges) plus the
+        # worker stats folded in at scrape time, so per-request
+        # sampling inside workers would cost hot-path time for metrics
+        # nothing scrapes.
+        "--no-metrics",
     ]
 
 

@@ -50,6 +50,8 @@ import asyncio
 import itertools
 
 from ..errors import ModelError
+from ..obs.export import export_sessions, export_shards
+from ..obs.metrics import MetricsRegistry
 from ..serve.protocol import (
     CODEC_BIN,
     CODEC_JSON,
@@ -134,21 +136,58 @@ class _WorkerLink:
 
     __slots__ = (
         "index", "reader", "writer", "codec", "_ids", "_pending", "outq",
-        "_pump_task", "_read_task",
+        "_pump_task", "_read_task", "_metrics_on", "_clock", "_registry",
+        "_latency", "_frames", "_failures",
     )
 
-    def __init__(self, index: int, reader, writer, codec: str):
+    def __init__(
+        self,
+        index: int,
+        reader,
+        writer,
+        codec: str,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.index = index
         self.reader = reader
         self.writer = writer
         self.codec = codec
         self._ids = itertools.count(1)
-        #: link id -> (conn, client id, None) for relays,
-        #:            (None, None, future) for router-originated calls.
+        #: link id -> (conn, client id, None, op, t0) for relays,
+        #:            (None, None, future, op, t0) for router calls.
         self._pending: dict[int, tuple] = {}
         self.outq: asyncio.Queue = asyncio.Queue()
+        registry = metrics if metrics is not None else MetricsRegistry(
+            enabled=False
+        )
+        self._registry = registry
+        self._metrics_on = registry.enabled
+        self._clock = registry.clock
+        self._latency: dict = {}
+        self._frames = registry.counter(
+            "cluster_worker_frames_total",
+            help="Frames the router sent to this worker, by wire codec.",
+            worker=str(index),
+            codec=codec,
+        )
+        self._failures = registry.counter(
+            "cluster_link_failures_total",
+            help="In-flight ops failed because the worker link died.",
+            worker=str(index),
+        )
         self._pump_task = asyncio.create_task(self._pump())
         self._read_task = asyncio.create_task(self._read_loop())
+
+    def _latency_hist(self, op: str):
+        hist = self._latency.get(op)
+        if hist is None:
+            hist = self._latency[op] = self._registry.histogram(
+                "cluster_relay_latency_seconds",
+                help="Router-observed latency from send to worker reply.",
+                op=op,
+                worker=str(self.index),
+            )
+        return hist
 
     # ------------------------------------------------------------------
     # Construction: dial, negotiate the codec, validate the worker
@@ -161,6 +200,7 @@ class _WorkerLink:
         spec: ClusterSpec,
         retry_for: float = 10.0,
         codec: str = CODEC_BIN,
+        metrics: MetricsRegistry | None = None,
     ) -> "_WorkerLink":
         deadline = asyncio.get_running_loop().time() + retry_for
         while True:
@@ -190,7 +230,7 @@ class _WorkerLink:
                 pass
             raise
         chosen = negotiate_codec(hello.get("codec")) if codec == CODEC_BIN else CODEC_JSON
-        return cls(index, reader, writer, chosen)
+        return cls(index, reader, writer, chosen, metrics=metrics)
 
     @staticmethod
     def _validate_hello(index: int, hello: dict, spec: ClusterSpec) -> None:
@@ -230,7 +270,9 @@ class _WorkerLink:
     def forward(self, payload: dict, conn: _ClientConn, client_id) -> None:
         """Relay a client mutation: rewrite the id, queue the frame."""
         link_id = next(self._ids)
-        self._pending[link_id] = (conn, client_id, None)
+        t0 = self._clock() if self._metrics_on else 0.0
+        self._pending[link_id] = (conn, client_id, None, payload.get("op"), t0)
+        self._frames.inc()
         self.outq.put_nowait(
             encode_frame({**payload, "id": link_id}, self.codec)
         )
@@ -239,7 +281,9 @@ class _WorkerLink:
         """A router-originated request; the future resolves to the raw frame."""
         link_id = next(self._ids)
         future = asyncio.get_running_loop().create_future()
-        self._pending[link_id] = (None, None, future)
+        t0 = self._clock() if self._metrics_on else 0.0
+        self._pending[link_id] = (None, None, future, op, t0)
+        self._frames.inc()
         self.outq.put_nowait(
             encode_frame(request(op, link_id, **fields), self.codec)
         )
@@ -277,7 +321,9 @@ class _WorkerLink:
                 entry = self._pending.pop(payload.get("id"), None)
                 if entry is None:
                     continue
-                conn, client_id, future = entry
+                conn, client_id, future, op, t0 = entry
+                if self._metrics_on:
+                    self._latency_hist(op).observe(self._clock() - t0)
                 if future is not None:
                     if not future.done():
                         future.set_result(payload)
@@ -290,7 +336,9 @@ class _WorkerLink:
 
     def fail_pending(self, why: str) -> None:
         pending, self._pending = self._pending, {}
-        for conn, client_id, future in pending.values():
+        if pending:
+            self._failures.inc(len(pending))
+        for conn, client_id, future, _op, _t0 in pending.values():
             if future is not None:
                 if not future.done():
                     future.set_exception(ServeError("unavailable", why))
@@ -320,13 +368,26 @@ class ClusterRouter:
         worker_window: per-worker in-flight op bound; a mutation beyond
             it is refused with a ``backpressure`` error frame instead of
             growing the link queue without bound.
+        metrics: live instrumentation registry shared by every worker
+            link (relay latency histograms, codec-mix frame counters,
+            link-failure counters); ``None`` disables continuous
+            sampling — the ``metrics`` verb still answers with the
+            scrape-time export either way.
     """
 
-    def __init__(self, spec: ClusterSpec, worker_window: int = 1024):
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        worker_window: int = 1024,
+        metrics: MetricsRegistry | None = None,
+    ):
         if worker_window < 1:
             raise ModelError("worker_window must be >= 1")
         self.spec = spec
         self.worker_window = worker_window
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            enabled=False
+        )
         self._links: list[_WorkerLink] = []
         self._state = "serving"
         self._servers: list[asyncio.base_events.Server] = []
@@ -364,7 +425,8 @@ class ClusterRouter:
             for index, path in enumerate(paths):
                 self._links.append(
                     await _WorkerLink.open(
-                        index, path, self.spec, retry_for=retry_for, codec=codec
+                        index, path, self.spec, retry_for=retry_for,
+                        codec=codec, metrics=self.metrics,
                     )
                 )
         except BaseException:
@@ -577,12 +639,56 @@ class ClusterRouter:
             return {"shards": self._kept_shards(await self._broadcast("report"))}
         if op == "trace":
             return {"shards": self._kept_shards(await self._broadcast("trace"))}
+        if op == "metrics":
+            return {"text": self.render_metrics(await self._broadcast("stats"))}
         if op == "drain":
             await self._broadcast("drain")
             if self._state == "serving":
                 self._state = "draining"
             return {"state": self._state}
         raise ServeError("protocol", f"unknown op {op!r}")
+
+    def render_metrics(self, results: list[dict]) -> str:
+        """The cluster's Prometheus text exposition, from a stats barrier.
+
+        ``results`` are the workers' ``stats`` payloads, one per link.
+        Each worker's own shard group exports through the same folder a
+        single server uses — so broker counters carry identical names
+        cluster-wide, just with a ``worker`` label ahead of ``shard`` —
+        plus per-worker link gauges (in-flight ops, window) and session
+        totals.  The router's live registry (relay latency, codec mix,
+        link failures) is appended when metrics are enabled; family
+        names are disjoint, so the concatenation stays valid.
+        """
+        registry = MetricsRegistry(clock=self.metrics.clock)
+        for link, result in zip(self._links, results):
+            worker = str(link.index)
+            registry.gauge(
+                "cluster_worker_inflight",
+                help="Unanswered ops on the worker link at scrape time.",
+                worker=worker,
+            ).set(link.inflight)
+            registry.gauge(
+                "cluster_worker_window",
+                help="Per-worker in-flight op bound.",
+                worker=worker,
+            ).set(self.worker_window)
+            lo, hi = self.spec.group(link.index)
+            by_index = {
+                shard.get("index"): shard
+                for shard in result.get("shards") or []
+            }
+            own = [
+                by_index[index]
+                for index in range(lo, hi)
+                if by_index.get(index) is not None
+            ]
+            export_shards(registry, own, worker=worker)
+            export_sessions(registry, result["sessions"], worker=worker)
+        text = registry.render_prometheus()
+        if self.metrics.enabled:
+            text += self.metrics.render_prometheus()
+        return text
 
     async def _handle_connection(self, reader, writer) -> None:
         conn = _ClientConn(reader, writer)

@@ -109,6 +109,18 @@ class BrokerStats:
         """Counter snapshot as a plain dict, in field order."""
         return asdict(self)
 
+    def full_dict(self) -> dict[str, int]:
+        """Every counter, operational ones included — the exporter surface.
+
+        The metrics exporter (:mod:`repro.obs.export`) reads this rather
+        than reaching into dataclass internals: it is the explicit
+        "everything, including operational-only counters such as
+        ``compactions``" view, free to grow new fields without touching
+        :meth:`as_dict` (frozen alongside :meth:`mergeable` for
+        shard-merge byte-identity).
+        """
+        return asdict(self)
+
     def mergeable(self) -> dict[str, int]:
         """The stats shape shard merges and served-vs-inline checks use.
 
@@ -573,6 +585,16 @@ class LeaseBroker:
     def num_active(self) -> int:
         """Number of currently live grants."""
         return len(self._active)
+
+    @property
+    def num_grants(self) -> int:
+        """Grant-table size: every retained record, live or closed."""
+        return len(self._grants)
+
+    @property
+    def heap_size(self) -> int:
+        """Expiry-heap size, stale entries included (a laziness gauge)."""
+        return len(self._grant_heap)
 
 
 def replay_trace(broker: LeaseBroker, events: Iterable[Event]) -> BrokerStats:

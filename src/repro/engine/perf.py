@@ -10,18 +10,25 @@ This module makes the trajectory a first-class artifact:
   tenants served over a unix socket by :mod:`repro.serve`;
   ``p04_cluster``: the same closed-loop tenants against a
   :mod:`repro.cluster` fleet — router + worker processes — with the
-  binary codec on the worker links) at one of three sizes (``full`` —
+  binary codec on the worker links; ``p05_obs``: the p03 serving cycle
+  with :mod:`repro.obs` instrumentation off vs fully on — latency
+  histograms, wire counters, JSONL trace spans — rating the
+  observability overhead) at one of three sizes (``full`` —
   the committed trajectory numbers, ``smoke`` — CI-sized, ``unit`` —
   test-sized) and returns a JSON-ready record.
 * ``BENCH_p01_broker.json`` / ``BENCH_p02_runner.json`` /
-  ``BENCH_p03_serve.json`` / ``BENCH_p04_cluster.json`` under
+  ``BENCH_p03_serve.json`` / ``BENCH_p04_cluster.json`` /
+  ``BENCH_p05_obs.json`` under
   ``benchmarks/`` hold the committed per-mode numbers plus the frozen
   ``baseline`` block (for p01/p02 the pre-optimization reference, for
   p03 the first served-throughput recording, for p04 the committed p03
-  *single-process* rate the cluster is judged against), so ``current vs
+  *single-process* rate the cluster is judged against, for p05 the
+  first recorded uninstrumented rate), so ``current vs
   baseline`` is the headline trajectory and ``fresh vs committed`` is
   the regression gate.  On a multi-core machine p04 is additionally
   required to *beat* its baseline — horizontal scale-out must pay.
+  p05 additionally gates the overhead itself: the instrumented rate
+  must stay within 10% of the uninstrumented rate of the same run.
 * :func:`check` compares a fresh record against the committed file with
   a relative tolerance (default 30%) and returns human-readable
   failures; CI runs it in smoke mode and fails on any.
@@ -50,9 +57,14 @@ from .runner import render_report, replay_sharded, run_scenario
 from .scenarios import make_broker_scenario, register
 
 SCHEMA = "repro-bench/1"
-BENCH_NAMES = ("p01_broker", "p02_runner", "p03_serve", "p04_cluster")
+BENCH_NAMES = (
+    "p01_broker", "p02_runner", "p03_serve", "p04_cluster", "p05_obs"
+)
 MODES = ("full", "smoke", "unit")
 DEFAULT_TOLERANCE = 0.30
+#: Instrumented serving must keep at least this fraction of the
+#: uninstrumented rate measured in the same p05 run.
+OBS_OVERHEAD_FLOOR = 0.90
 
 #: Committed trajectory files, relative to the repository root.
 BENCH_FILES = {
@@ -60,6 +72,7 @@ BENCH_FILES = {
     "p02_runner": "benchmarks/BENCH_p02_runner.json",
     "p03_serve": "benchmarks/BENCH_p03_serve.json",
     "p04_cluster": "benchmarks/BENCH_p04_cluster.json",
+    "p05_obs": "benchmarks/BENCH_p05_obs.json",
 }
 
 # P1 stream shape (mirrors bench_p01_broker_throughput).
@@ -89,6 +102,16 @@ _P04_WORKERS = {"full": 2, "smoke": 2, "unit": 2}
 _P04_SHARDS_PER_WORKER = {"full": 2, "smoke": 2, "unit": 1}
 _P04_TENANTS_PER_RESOURCE = 2
 _P04_SEED = 7
+
+# P5 observability-overhead shape: the P3 serving cycle, rated with the
+# instrumentation off and fully on.  Best-of-rounds per arm because the
+# quantity of interest is a *ratio* of two wall-clock rates.
+_P05_HORIZON = {"full": 2048, "smoke": 512, "unit": 96}
+_P05_RESOURCES = {"full": 16, "smoke": 8, "unit": 4}
+_P05_SHARDS = {"full": 4, "smoke": 4, "unit": 2}
+_P05_ROUNDS = {"full": 3, "smoke": 6, "unit": 2}
+_P05_TENANTS_PER_RESOURCE = 2
+_P05_SEED = 7
 
 
 def _require_mode(mode: str) -> None:
@@ -371,11 +394,138 @@ def measure_p04(mode: str = "smoke") -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# P5: observability overhead (instrumented vs bare serving)
+# ----------------------------------------------------------------------
+def measure_p05(mode: str = "smoke") -> dict:
+    """The p03 serving cycle: instrumentation off, metrics on, traced.
+
+    Three arms per round, interleaved so machine drift hits them all:
+
+    * ``off`` — the library default: null instruments, zero sampling.
+    * ``on`` — a live server-side :class:`MetricsRegistry` (per-op
+      latency histograms, wire-byte counters, session counters): the
+      ``engine serve`` default.  This is the gated arm — the cost of
+      leaving metrics on in production must stay within
+      :data:`OBS_OVERHEAD_FLOOR` of bare serving.
+    * ``traced`` — everything lit: metrics plus a :class:`TraceSink`
+      writing one JSONL span per dispatched request plus client-side
+      loadgen latency histograms.  Recorded for the trajectory, not
+      gated: tracing is a debugging flag, priced here so the flag's
+      cost is a number instead of folklore.
+
+    Best-of-rounds per arm, because the headline number is a *ratio*
+    of wall clocks and single rounds are noisy.  Two structural
+    identities ride along: ``report_equal`` (every arm matches the
+    inline replay — the p03 gate) and ``reports_identical`` (the
+    instrumented aggregates are identical to the bare one —
+    observation must not perturb behaviour).
+    """
+    _require_mode(mode)
+    import tempfile
+
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.trace import TraceSink
+    from ..serve.loadgen import (
+        build_serve_instance,
+        run_serve_instance,
+        serve_once,
+        verify_serve,
+    )
+
+    instance = build_serve_instance(
+        "markov",
+        _P05_HORIZON[mode],
+        _P05_SEED,
+        num_resources=_P05_RESOURCES[mode],
+        tenants_per_resource=_P05_TENANTS_PER_RESOURCE,
+        num_shards=_P05_SHARDS[mode],
+    )
+    best = {"off": None, "on": None, "traced": None}
+    reports: dict = {"off": None, "on": None, "traced": None}
+    trace_spans = 0
+    with tempfile.NamedTemporaryFile(
+        prefix="p05-trace-", suffix=".jsonl"
+    ) as handle:
+        arms = {
+            "off": lambda: serve_once(instance),
+            "on": lambda: serve_once(instance, metrics=MetricsRegistry()),
+            "traced": lambda: serve_once(
+                instance,
+                metrics=MetricsRegistry(),
+                trace_sink=TraceSink(handle.name),
+                latency_registry=MetricsRegistry(),
+            ),
+        }
+        for _ in range(_P05_ROUNDS[mode]):
+            for arm, run in arms.items():
+                start = time.perf_counter()
+                reports[arm] = run()
+                elapsed = time.perf_counter() - start
+                if best[arm] is None or elapsed < best[arm]:
+                    best[arm] = elapsed
+        handle.seek(0)
+        trace_spans = sum(1 for _ in handle)
+    results = {
+        arm: run_serve_instance(instance, _P05_SEED, report=report)
+        for arm, report in reports.items()
+    }
+    bare = results["off"]
+    reports_identical = all(
+        result.cost == bare.cost
+        and result.leases == bare.leases
+        and result.detail["broker_stats"] == bare.detail["broker_stats"]
+        for result in results.values()
+    )
+    events = bare.detail["broker_stats"]["events"]
+    report_equal = all(
+        result.detail["serve"]["report_equal"]
+        for result in results.values()
+    )
+    verified = all(
+        verify_serve(instance, result).ok for result in results.values()
+    )
+    return {
+        "schema": SCHEMA,
+        "bench": "p05_obs",
+        "mode": mode,
+        "params": {
+            "horizon": _P05_HORIZON[mode],
+            "num_resources": _P05_RESOURCES[mode],
+            "tenants_per_resource": _P05_TENANTS_PER_RESOURCE,
+            "num_shards": _P05_SHARDS[mode],
+            "rounds": _P05_ROUNDS[mode],
+            "seed": _P05_SEED,
+        },
+        "metrics": {
+            "events": events,
+            "requests": bare.detail["serve"]["requests"],
+            "tenants": bare.detail["serve"]["tenants"],
+            "leases": len(bare.leases),
+            "cost": bare.cost,
+            "off_elapsed_sec": round(best["off"], 4),
+            "on_elapsed_sec": round(best["on"], 4),
+            "traced_elapsed_sec": round(best["traced"], 4),
+            "off_events_per_sec": round(events / best["off"]),
+            "on_events_per_sec": round(events / best["on"]),
+            "traced_events_per_sec": round(events / best["traced"]),
+            "overhead_ratio": round(best["on"] / best["off"], 4),
+            "traced_ratio": round(best["traced"] / best["off"], 4),
+            "trace_spans": trace_spans,
+            "reports_identical": reports_identical,
+            "report_equal": report_equal,
+            "verified": verified,
+        },
+        "env": _environment(),
+    }
+
+
 _MEASURERS = {
     "p01_broker": measure_p01,
     "p02_runner": measure_p02,
     "p03_serve": measure_p03,
     "p04_cluster": measure_p04,
+    "p05_obs": measure_p05,
 }
 
 
@@ -439,12 +589,16 @@ _RATE_GATES = {
     "p02_runner": ("events_per_sec",),
     "p03_serve": ("events_per_sec",),
     "p04_cluster": ("events_per_sec",),
+    "p05_obs": ("off_events_per_sec", "on_events_per_sec"),
 }
 _EXACT_GATES = {
     "p01_broker": ("events", "leases"),
     "p02_runner": ("events", "leases", "byte_identical", "verified"),
     "p03_serve": ("events", "leases", "report_equal", "verified"),
     "p04_cluster": ("events", "leases", "report_equal", "verified"),
+    "p05_obs": (
+        "events", "leases", "reports_identical", "report_equal", "verified",
+    ),
 }
 
 
@@ -461,6 +615,10 @@ def check(
     1.0, and p04's clustered events/sec must beat its frozen baseline —
     the committed p03 *single-process* serving rate — whenever both the
     committed entry and this machine have more than one usable core.
+    p05 carries its own machine-independent gate: the instrumented rate
+    must stay at or above :data:`OBS_OVERHEAD_FLOOR` times the
+    uninstrumented rate *of the same run* — a ratio of two wall clocks
+    on the same box, so it holds regardless of how slow the box is.
     """
     bench = record["bench"]
     mode = record["mode"]
@@ -510,5 +668,15 @@ def check(
                 f"the single-process p03 baseline "
                 f"({fresh['events_per_sec']:,} <= {baseline:,} events/sec) "
                 f"on a {record['env']['cpus']}-core machine"
+            )
+    if bench == "p05_obs":
+        floor = fresh["off_events_per_sec"] * OBS_OVERHEAD_FLOOR
+        if fresh["on_events_per_sec"] < floor:
+            failures.append(
+                f"p05_obs/{mode}: instrumented serving dropped to "
+                f"{fresh['on_events_per_sec']:,} events/sec — below "
+                f"{OBS_OVERHEAD_FLOOR:.0%} of the uninstrumented "
+                f"{fresh['off_events_per_sec']:,} events/sec from the "
+                f"same run (overhead ratio {fresh['overhead_ratio']})"
             )
     return failures

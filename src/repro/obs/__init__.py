@@ -1,0 +1,61 @@
+"""repro.obs — the observability subsystem: metrics, scrape, and traces.
+
+The ops-plane layer the ROADMAP's "Durability and an ops plane" item
+names: counters, gauges, and fixed-bucket histograms in a labeled
+registry with Prometheus text exposition, an in-repo parser that
+validates any exposition (CI scrapes a live fleet through it), and a
+structured per-op JSONL trace sink.  Instrumentation threads through
+every serving layer — broker counters and grant-table gauges, per-op
+dispatch latency in :mod:`repro.serve.server`, per-worker link gauges in
+:mod:`repro.cluster.router` — behind one determinism contract: every
+clock is injectable, disabled instrumentation is allocation-free, and
+enabling metrics or tracing never changes a served or clustered
+aggregate report (CI-gated byte-identity, metrics on and off).
+
+* :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` in a :class:`MetricsRegistry`; ``render_prometheus``
+  and a JSON ``snapshot`` form; shared null instruments for the disabled
+  path.
+* :mod:`repro.obs.promparse` — parser for the text exposition format
+  plus :func:`validate_exposition`, the structural validator the CI
+  scrape jobs and the round-trip tests run.
+* :mod:`repro.obs.trace` — :class:`TraceSink`, flag-gated JSONL spans
+  (request id, tenant, resource, op, enqueue/dispatch/reply times).
+* :mod:`repro.obs.export` — scrape-time exporters folding broker /
+  session / shard state into a registry, shared by the server's and the
+  router's ``metrics`` protocol verb.
+"""
+
+from .export import export_sessions, export_shards
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_summary,
+)
+from .promparse import ParsedFamily, parse_exposition, validate_exposition
+from .trace import NULL_TRACE, TraceSink
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_TRACE",
+    "ParsedFamily",
+    "TraceSink",
+    "export_sessions",
+    "export_shards",
+    "latency_summary",
+    "parse_exposition",
+    "validate_exposition",
+]

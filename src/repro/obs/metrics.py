@@ -1,0 +1,429 @@
+"""Metrics core: counters, gauges, fixed-bucket histograms, a registry.
+
+Three instrument types cover the serving layers' needs:
+
+* :class:`Counter` — a monotonically increasing count (events applied,
+  bytes moved, refusals issued);
+* :class:`Gauge` — a point-in-time level (queue depth, live grants,
+  in-flight ops on a worker link);
+* :class:`Histogram` — observations bucketed against a *fixed* ladder of
+  upper bounds (per-op latency).  Buckets are fixed at construction so
+  ``observe`` is one bisect plus two adds — no allocation, no rebalance
+  — and renders in Prometheus cumulative-``le`` form with the implicit
+  ``+Inf`` bucket, ``_sum``, and ``_count`` series.
+
+A :class:`MetricsRegistry` names instruments and their label sets:
+``registry.counter("serve_bytes_in_total", conn="tcp")`` returns *the*
+counter for that (name, labels) pair, creating it on first sight — so
+instrumented code caches handles once and the hot path is a bare method
+call.  Rendering (:meth:`MetricsRegistry.render_prometheus`) emits the
+Prometheus text exposition format, which :mod:`repro.obs.promparse`
+parses back; :meth:`MetricsRegistry.snapshot` is the JSON form.
+
+**Determinism contract.**  Nothing here reads a clock behind the
+caller's back: the registry *carries* an injectable monotonic clock
+(``registry.clock``) purely as the agreed sampling source for whoever
+instruments with it.  A registry constructed with ``enabled=False``
+hands out the shared null instruments (:data:`NULL_COUNTER` and
+friends) — module singletons whose methods do nothing — so disabled
+instrumentation allocates nothing per call and leaves no trace in the
+rendered output.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import Callable
+
+from ..errors import ModelError
+
+#: Default latency ladder (seconds): 100µs .. 10s, roughly 2.5x steps.
+#: Matches the serving layers' observed per-op dispatch times — the
+#: bottom buckets resolve the unix-socket fast path, the top ones catch
+#: barrier ops and stalls.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (>= 0) to the count."""
+        self.value += amount
+
+
+class Gauge:
+    """A level that can move both ways."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Observations against a fixed ladder of inclusive upper bounds.
+
+    ``bounds`` are the finite ``le`` bucket edges, strictly increasing;
+    the ``+Inf`` bucket is implicit.  ``counts[i]`` is the number of
+    observations in bucket ``i`` alone (*not* cumulative — rendering
+    accumulates), ``counts[-1]`` the overflow past the last bound.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ModelError(
+                "histogram bounds must be non-empty and strictly increasing"
+            )
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (``le`` bounds are inclusive)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[int]:
+        """Per-bucket cumulative counts, one entry per finite bound + Inf."""
+        out = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile by linear interpolation within buckets.
+
+        The standard histogram-quantile estimate: find the bucket the
+        rank lands in and interpolate between its edges.  Observations
+        past the last finite bound clamp to that bound (the same
+        convention Prometheus' ``histogram_quantile`` uses); an empty
+        histogram returns 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ModelError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for index, bucket_count in enumerate(self.counts):
+            previous = running
+            running += bucket_count
+            if running >= rank and bucket_count:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                lo = 0.0 if index == 0 else self.bounds[index - 1]
+                hi = self.bounds[index]
+                return lo + (hi - lo) * ((rank - previous) / bucket_count)
+        return self.bounds[-1]
+
+
+class _NullCounter(Counter):
+    """The disabled path's counter: same surface, does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def dec(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__((1.0,))
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: Shared no-op instruments a disabled registry hands out — module
+#: singletons, so the disabled path never allocates.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+_TYPES = ("counter", "gauge", "histogram")
+
+
+class _Family:
+    """One metric name: its type, help text, and per-label-set series."""
+
+    __slots__ = ("name", "type", "help", "bounds", "series")
+
+    def __init__(self, name: str, kind: str, help_text: str, bounds):
+        self.name = name
+        self.type = kind
+        self.help = help_text
+        self.bounds = bounds
+        #: label tuple (sorted (key, value) pairs) -> instrument
+        self.series: dict[tuple, Counter | Gauge | Histogram] = {}
+
+
+def _valid_name(name: str) -> bool:
+    if not name or not (name[0].isalpha() or name[0] == "_"):
+        return False
+    return all(c.isalnum() or c in "_:" for c in name)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or (
+        isinstance(value, float) and value.is_integer()
+    ):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(bound)
+
+
+def _render_labels(labels: tuple, extra: tuple = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in pairs
+    )
+    return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """Named, labeled instruments plus rendering, behind one enable flag.
+
+    Args:
+        enabled: when ``False`` every factory returns the shared null
+            instrument and :meth:`render_prometheus` renders nothing —
+            the allocation-free disabled path.
+        clock: the monotonic-seconds source instrumented code should
+            sample with (injectable so tests and replays stay
+            deterministic); the registry itself never calls it.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.enabled = enabled
+        self.clock = clock
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument factories
+    # ------------------------------------------------------------------
+    def _family(
+        self, name: str, kind: str, help_text: str, bounds=None
+    ) -> _Family:
+        if not _valid_name(name):
+            raise ModelError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text, bounds)
+            self._families[name] = family
+        elif family.type != kind:
+            raise ModelError(
+                f"metric {name!r} is a {family.type}, not a {kind}"
+            )
+        elif kind == "histogram" and family.bounds != bounds:
+            raise ModelError(
+                f"histogram {name!r} re-registered with different buckets"
+            )
+        return family
+
+    @staticmethod
+    def _label_key(labels: dict) -> tuple:
+        for key in labels:
+            if not _valid_name(key) or key == "le":
+                raise ModelError(f"invalid label name {key!r}")
+        return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        """The counter for (name, labels), created on first sight."""
+        if not self.enabled:
+            return NULL_COUNTER
+        family = self._family(name, "counter", help)
+        key = self._label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = Counter()
+        return series
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        """The gauge for (name, labels), created on first sight."""
+        if not self.enabled:
+            return NULL_GAUGE
+        family = self._family(name, "gauge", help)
+        key = self._label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = Gauge()
+        return series
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        """The histogram for (name, labels), created on first sight."""
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        bounds = tuple(float(b) for b in buckets)
+        family = self._family(name, "histogram", help, bounds)
+        key = self._label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = Histogram(bounds)
+        return series
+
+    # ------------------------------------------------------------------
+    # Introspection and rendering
+    # ------------------------------------------------------------------
+    def names(self) -> tuple[str, ...]:
+        """Registered family names, sorted."""
+        return tuple(sorted(self._families))
+
+    def render_prometheus(self) -> str:
+        """The whole registry in Prometheus text exposition format.
+
+        Families render in name order, series in label order, so the
+        output is a deterministic function of the registry state — the
+        property the round-trip tests rely on.
+        """
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.type}")
+            for key in sorted(family.series):
+                series = family.series[key]
+                if family.type == "histogram":
+                    cumulative = series.cumulative()
+                    for bound, running in zip(series.bounds, cumulative):
+                        le = (("le", _format_bound(bound)),)
+                        lines.append(
+                            f"{name}_bucket{_render_labels(key, le)} "
+                            f"{running}"
+                        )
+                    lines.append(
+                        f'{name}_bucket{_render_labels(key, (("le", "+Inf"),))} '
+                        f"{cumulative[-1]}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_render_labels(key)} "
+                        f"{_format_value(series.sum)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(key)} {series.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(key)} "
+                        f"{_format_value(series.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """JSON-ready registry state (the exposition's structured twin)."""
+        out: dict = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            series_out = []
+            for key in sorted(family.series):
+                series = family.series[key]
+                entry: dict = {"labels": dict(key)}
+                if family.type == "histogram":
+                    entry["buckets"] = {
+                        _format_bound(bound): running
+                        for bound, running in zip(
+                            series.bounds, series.cumulative()
+                        )
+                    }
+                    entry["buckets"]["+Inf"] = series.count
+                    entry["sum"] = series.sum
+                    entry["count"] = series.count
+                else:
+                    entry["value"] = series.value
+                series_out.append(entry)
+            out[name] = {
+                "type": family.type,
+                "help": family.help,
+                "series": series_out,
+            }
+        return out
+
+
+def latency_summary(
+    registry: MetricsRegistry, name: str
+) -> dict[str, dict[str, float]]:
+    """Per-series p50/p95/p99 summaries of one histogram family.
+
+    Keyed by the series' label values joined with ``,`` (most callers
+    use a single label such as ``tenant``, so the key reads as the
+    tenant name).  Used by ``loadgen --check`` to print per-tenant
+    op-latency percentiles from the client-side histograms.
+    """
+    family = registry._families.get(name)
+    if family is None or family.type != "histogram":
+        return {}
+    out: dict[str, dict[str, float]] = {}
+    for key in sorted(family.series):
+        series = family.series[key]
+        label = ",".join(value for _, value in key) or "(all)"
+        out[label] = {
+            "count": series.count,
+            "p50": series.quantile(0.50),
+            "p95": series.quantile(0.95),
+            "p99": series.quantile(0.99),
+        }
+    return out

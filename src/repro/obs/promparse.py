@@ -1,0 +1,259 @@
+"""Parse and validate the Prometheus text exposition format.
+
+The in-repo scrape validator: CI drives a live fleet, hits the
+``metrics`` protocol verb, and runs the returned text through
+:func:`validate_exposition` — so "the server renders something that
+looks like metrics" is actually "the exposition parses and its
+structural invariants hold".  The same parser backs the round-trip
+tests (``parse(render(registry))`` must reproduce the registry's
+snapshot values).
+
+:func:`parse_exposition` understands the subset the renderer emits plus
+the standard format's escapes: ``# HELP`` / ``# TYPE`` comments, one
+sample per line as ``name{label="value",...} number``, histogram
+families spread over ``_bucket`` / ``_sum`` / ``_count`` suffixed
+samples.  Validation checks, per family:
+
+* every sample line belongs to a ``# TYPE``-declared family;
+* counter and histogram values are finite and non-negative; gauges
+  merely finite;
+* histograms: every series has a ``+Inf`` bucket, cumulative bucket
+  counts are non-decreasing in ``le`` order, the ``+Inf`` bucket equals
+  ``_count``, and ``_sum`` / ``_count`` exist.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ModelError
+
+
+@dataclass
+class ParsedFamily:
+    """One parsed metric family: declared type, help, and its samples."""
+
+    name: str
+    type: str = ""
+    help: str = ""
+    #: (sample name, labels) -> value; sample name keeps any
+    #: ``_bucket``/``_sum``/``_count`` suffix.
+    samples: list[tuple[str, dict, float]] = field(default_factory=list)
+
+
+_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family_of(sample_name: str, declared: dict) -> str:
+    """The family a sample belongs to (strip histogram suffixes)."""
+    for suffix in _SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in declared:
+                return base
+    return sample_name
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(body: str, line_no: int) -> dict:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.find("=", i)
+        if eq < 0:
+            raise ModelError(f"line {line_no}: malformed label set {body!r}")
+        key = body[i:eq].strip().lstrip(",").strip()
+        if eq + 1 >= len(body) or body[eq + 1] != '"':
+            raise ModelError(
+                f"line {line_no}: label value for {key!r} is not quoted"
+            )
+        j = eq + 2
+        raw: list[str] = []
+        while j < len(body):
+            c = body[j]
+            if c == "\\" and j + 1 < len(body):
+                raw.append(body[j : j + 2])
+                j += 2
+                continue
+            if c == '"':
+                break
+            raw.append(c)
+            j += 1
+        else:
+            raise ModelError(
+                f"line {line_no}: unterminated label value for {key!r}"
+            )
+        labels[key] = _unescape("".join(raw))
+        i = j + 1
+    return labels
+
+
+def _parse_sample(line: str, line_no: int) -> tuple[str, dict, float]:
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        if close < brace:
+            raise ModelError(f"line {line_no}: unbalanced braces")
+        name = line[:brace].strip()
+        labels = _parse_labels(line[brace + 1 : close], line_no)
+        rest = line[close + 1 :].strip()
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise ModelError(f"line {line_no}: no value on sample line")
+        name, rest = parts[0], parts[1].strip()
+        labels = {}
+    # A trailing timestamp (standard format) would be a second token;
+    # the in-repo renderer never emits one, so refuse rather than guess.
+    value_token = rest.split()[0] if rest else ""
+    if not value_token or len(rest.split()) != 1:
+        raise ModelError(f"line {line_no}: expected exactly one value, got {rest!r}")
+    try:
+        value = float(value_token)
+    except ValueError as exc:
+        raise ModelError(
+            f"line {line_no}: unparseable value {value_token!r}"
+        ) from exc
+    return name, labels, value
+
+
+def parse_exposition(text: str) -> dict[str, ParsedFamily]:
+    """Parse one text exposition into its families, strictly.
+
+    Raises :class:`~repro.errors.ModelError` on any line that is neither
+    a comment, blank, nor a well-formed sample, and on samples whose
+    family was never declared with ``# TYPE``.
+    """
+    families: dict[str, ParsedFamily] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                family = families.setdefault(name, ParsedFamily(name))
+                if parts[1] == "TYPE":
+                    kind = parts[3] if len(parts) > 3 else ""
+                    if kind not in ("counter", "gauge", "histogram"):
+                        raise ModelError(
+                            f"line {line_no}: unknown metric type {kind!r}"
+                        )
+                    if family.type:
+                        raise ModelError(
+                            f"line {line_no}: duplicate TYPE for {name}"
+                        )
+                    family.type = kind
+                else:
+                    family.help = parts[3] if len(parts) > 3 else ""
+            continue
+        name, labels, value = _parse_sample(line, line_no)
+        base = _family_of(name, families)
+        family = families.get(base)
+        if family is None or not family.type:
+            raise ModelError(
+                f"line {line_no}: sample {name!r} has no # TYPE declaration"
+            )
+        family.samples.append((name, labels, value))
+    return families
+
+
+def _series_key(labels: dict) -> tuple:
+    return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+
+def _validate_histogram(family: ParsedFamily) -> list[str]:
+    failures: list[str] = []
+    buckets: dict[tuple, list[tuple[float, float]]] = {}
+    sums: dict[tuple, float] = {}
+    counts: dict[tuple, float] = {}
+    for name, labels, value in family.samples:
+        key = _series_key(labels)
+        if name == f"{family.name}_bucket":
+            le = labels.get("le")
+            if le is None:
+                failures.append(f"{family.name}: bucket sample without le")
+                continue
+            bound = math.inf if le == "+Inf" else float(le)
+            buckets.setdefault(key, []).append((bound, value))
+        elif name == f"{family.name}_sum":
+            sums[key] = value
+        elif name == f"{family.name}_count":
+            counts[key] = value
+        else:
+            failures.append(
+                f"{family.name}: unexpected histogram sample {name!r}"
+            )
+    for key, series in buckets.items():
+        where = f"{family.name}{dict(key) if key else ''}"
+        series.sort()
+        bounds = [b for b, _ in series]
+        values = [v for _, v in series]
+        if not bounds or bounds[-1] != math.inf:
+            failures.append(f"{where}: no +Inf bucket")
+            continue
+        if any(v2 < v1 for v1, v2 in zip(values, values[1:])):
+            failures.append(f"{where}: cumulative bucket counts decrease")
+        if key not in counts:
+            failures.append(f"{where}: missing _count sample")
+        elif values[-1] != counts[key]:
+            failures.append(
+                f"{where}: +Inf bucket {values[-1]} != _count {counts[key]}"
+            )
+        if key not in sums:
+            failures.append(f"{where}: missing _sum sample")
+    for key in counts:
+        if key not in buckets:
+            failures.append(
+                f"{family.name}{dict(key) if key else ''}: "
+                "_count without any buckets"
+            )
+    return failures
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Structural validation; returns human-readable failures (empty = ok).
+
+    Parsing errors are reported as failures rather than raised, so CI
+    can print them all and exit non-zero once.
+    """
+    try:
+        families = parse_exposition(text)
+    except ModelError as exc:
+        return [str(exc)]
+    failures: list[str] = []
+    if not families:
+        return ["exposition declares no metric families"]
+    for family in families.values():
+        if not family.type:
+            failures.append(f"{family.name}: HELP without TYPE")
+            continue
+        if family.type == "histogram":
+            failures.extend(_validate_histogram(family))
+            continue
+        for name, labels, value in family.samples:
+            if name != family.name:
+                failures.append(
+                    f"{family.name}: unexpected sample name {name!r}"
+                )
+            if math.isnan(value) or math.isinf(value):
+                failures.append(f"{name}: non-finite value {value!r}")
+            elif family.type == "counter" and value < 0:
+                failures.append(f"{name}: negative counter value {value!r}")
+    return failures

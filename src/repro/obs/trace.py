@@ -1,0 +1,88 @@
+"""Flag-gated structured tracing: one JSON object per op, one per line.
+
+A :class:`TraceSink` is the ops-plane counterpart of the metrics
+registry: where histograms aggregate, the sink keeps every span.  The
+server's dispatch loop emits one span per queued op — request id,
+tenant, resource, op kind, and the enqueue/dispatch/reply timestamps
+from the sink's injectable monotonic clock — so a captured trace can be
+replayed against the latency histograms (`t_reply - t_enq` per line is
+exactly what ``serve_op_latency_seconds`` observed).
+
+Tracing is off unless a path is configured (``--trace-jsonl`` on
+``engine serve``); the disabled sink is a shared null object whose
+``emit`` is a no-op, keeping the hot path allocation-free.  Spans never
+feed verified reports: timestamps are wall-clock and the byte-identity
+gates run with tracing both on and off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+
+class TraceSink:
+    """Append-only JSONL span writer with an injectable clock.
+
+    Spans are buffered in-process and flushed on every ``flush()`` /
+    ``close()`` and every ``flush_every`` emits, so a crashed process
+    loses at most one buffer of spans while the hot path stays a list
+    append plus a dict build.
+    """
+
+    __slots__ = ("path", "clock", "enabled", "emitted", "_buffer", "_flush_every")
+
+    def __init__(self, path=None, *, clock=time.monotonic, flush_every: int = 256):
+        self.path = path
+        self.clock = clock
+        self.enabled = path is not None
+        self.emitted = 0
+        self._buffer: list[str] = []
+        self._flush_every = max(1, int(flush_every))
+        if self.enabled:
+            # Truncate eagerly so a run that emits nothing still leaves
+            # an (empty) trace file rather than a stale one.
+            with open(self.path, "w", encoding="utf-8"):
+                pass
+
+    def emit(self, span: dict) -> None:
+        """Record one span (a flat JSON-serialisable dict)."""
+        if not self.enabled:
+            return
+        self._buffer.append(json.dumps(span, sort_keys=True, separators=(",", ":")))
+        self.emitted += 1
+        if len(self._buffer) >= self._flush_every:
+            self.flush()
+
+    def span(self, *, op: str, tenant, resource, request_id: int,
+             t_enq: float, t_disp: float, t_reply: float) -> None:
+        """Emit the standard dispatch-loop span shape."""
+        if not self.enabled:
+            return
+        self.emit(
+            {
+                "id": request_id,
+                "op": op,
+                "tenant": tenant,
+                "resource": resource,
+                "t_enq": t_enq,
+                "t_disp": t_disp,
+                "t_reply": t_reply,
+            }
+        )
+
+    def flush(self) -> None:
+        if not self.enabled or not self._buffer:
+            return
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(self._buffer) + "\n")
+        self._buffer.clear()
+
+    def close(self) -> None:
+        self.flush()
+        self.enabled = False
+
+
+#: Shared disabled sink for callers that want "maybe tracing" without a
+#: None check on the hot path.
+NULL_TRACE = TraceSink(None)

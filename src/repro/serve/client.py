@@ -32,6 +32,7 @@ import time
 from typing import Any, Sequence
 
 from ..errors import ModelError
+from ..obs.metrics import MetricsRegistry
 from .protocol import (
     CODEC_BIN,
     CODEC_JSON,
@@ -320,6 +321,10 @@ class LeaseClient:
             retried — the server may well have applied the op.
         codec: wire codec to negotiate on every (re)connect; ``"bin"``
             upgrades only when the server confirms it.
+        metrics: registry for the client-side failure counters
+            (``client_retries_total``, ``client_timeouts_total``,
+            ``client_retry_exhausted_total`` — the client-side mirror of
+            the router's link counters); ``None`` counts nothing.
     """
 
     def __init__(
@@ -332,6 +337,7 @@ class LeaseClient:
         retry_budget: int = 1,
         deadline: float | None = None,
         codec: str | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if (path is None) == (host is None or port is None):
             raise ModelError(
@@ -339,6 +345,21 @@ class LeaseClient:
             )
         if retry_budget < 0:
             raise ModelError("retry_budget must be >= 0")
+        registry = metrics if metrics is not None else MetricsRegistry(
+            enabled=False
+        )
+        self._retries_counter = registry.counter(
+            "client_retries_total",
+            help="Redial-and-resend attempts after a dead connection.",
+        )
+        self._timeouts_counter = registry.counter(
+            "client_timeouts_total",
+            help="Calls abandoned because their deadline expired.",
+        )
+        self._exhausted_counter = registry.counter(
+            "client_retry_exhausted_total",
+            help="Logical calls that spent their whole retry budget.",
+        )
         self._path = path
         self._addr = (host, port) if host is not None else None
         self._connect_timeout = connect_timeout
@@ -428,16 +449,19 @@ class LeaseClient:
                 if self._retry_budget == 0:
                     raise
                 if attempts > self._retry_budget:
+                    self._exhausted_counter.inc()
                     raise LeaseRetryError(
                         f"{op!r} failed after {attempts} attempts "
                         f"(retry budget {self._retry_budget}): {exc}",
                         attempts=attempts,
                     ) from exc
+                self._retries_counter.inc()
                 try:
                     self.connect()
                 except OSError as redial_exc:
                     # The redial window itself ran dry: the budget is
                     # spent on a server that never came back.
+                    self._exhausted_counter.inc()
                     raise LeaseRetryError(
                         f"{op!r} failed after {attempts} attempt(s); "
                         f"redial gave up: {redial_exc}",
@@ -471,6 +495,7 @@ class LeaseClient:
             # abandon the connection so the next call starts clean.  A
             # timed-out op is never resent — the server may have applied it.
             self.close()
+            self._timeouts_counter.inc()
             raise LeaseTimeoutError(
                 f"no response to {op!r} within {timeout}s deadline"
             ) from exc
@@ -528,6 +553,7 @@ class LeaseClient:
                     by_id[request_id] = exc
         except socket.timeout as exc:
             self.close()
+            self._timeouts_counter.inc()
             raise LeaseTimeoutError(
                 f"pipeline of {len(ids)} requests incomplete after "
                 f"{timeout}s deadline ({len(wanted)} unanswered)"

@@ -67,8 +67,14 @@ from ..engine.scenarios import (
     verify_broker_trace,
 )
 from ..errors import ModelError
+from ..obs.metrics import Histogram, MetricsRegistry
+from ..obs.trace import TraceSink
 from .client import AsyncLeaseClient
 from .server import LeaseServer
+
+#: Histogram family the loadgen samples client-observed op latency into,
+#: one series per tenant; ``loadgen --check`` prints its percentiles.
+LOADGEN_LATENCY_METRIC = "loadgen_op_latency_seconds"
 
 
 @dataclass(frozen=True)
@@ -167,14 +173,27 @@ def _day_schedule(
     ]
 
 
-async def _tenant_burst(client: AsyncLeaseClient, events: list[Event]) -> int:
-    """One tenant's same-day events, strictly closed-loop (one in flight)."""
+async def _tenant_burst(
+    client: AsyncLeaseClient,
+    events: list[Event],
+    hist: Histogram | None = None,
+    clock=None,
+) -> int:
+    """One tenant's same-day events, strictly closed-loop (one in flight).
+
+    With ``hist`` given, each op's client-observed round-trip latency is
+    sampled into it using ``clock`` (the loadgen registry's monotonic
+    source); without it nothing is timed.
+    """
     sent = 0
     for event in events:
+        t0 = clock() if hist is not None else 0.0
         if type(event) is Release:
             await client.release(event.tenant, event.resource, event.time)
         else:
             await client.acquire(event.tenant, event.resource, event.time)
+        if hist is not None:
+            hist.observe(clock() - t0)
         sent += 1
     return sent
 
@@ -184,6 +203,7 @@ async def drive_tenants(
     socket_path: str,
     retry_for: float = 5.0,
     codec: str | None = None,
+    latency_registry: MetricsRegistry | None = None,
 ) -> dict:
     """Drive a server at ``socket_path`` with the instance's tenants.
 
@@ -194,6 +214,12 @@ async def drive_tenants(
     connection (falling back to JSON if the server declines); the
     ``instance`` only needs ``.tenants`` and ``.trace.events``, so the
     cluster loadgen drives through here too.
+
+    ``latency_registry``, when given and enabled, receives one
+    :data:`LOADGEN_LATENCY_METRIC` histogram series per tenant with
+    every op's client-observed round-trip latency — the data behind the
+    ``loadgen --check`` percentile lines.  Latencies are wall-clock and
+    never enter the report's verified fields.
     """
     control = await AsyncLeaseClient.open_unix(
         socket_path, retry_for=retry_for, codec=codec
@@ -204,6 +230,18 @@ async def drive_tenants(
         )
         for tenant in instance.tenants
     }
+    hists: dict[str, Histogram] = {}
+    obs_clock = None
+    if latency_registry is not None and latency_registry.enabled:
+        obs_clock = latency_registry.clock
+        hists = {
+            tenant: latency_registry.histogram(
+                LOADGEN_LATENCY_METRIC,
+                help="Client-observed op round-trip latency, per tenant.",
+                tenant=tenant,
+            )
+            for tenant in instance.tenants
+        }
     requests = 0
     try:
         for day, has_tick, releases, acquires in _day_schedule(
@@ -217,7 +255,10 @@ async def drive_tenants(
                     continue
                 counts = await asyncio.gather(
                     *(
-                        _tenant_burst(clients[tenant], events)
+                        _tenant_burst(
+                            clients[tenant], events,
+                            hists.get(tenant), obs_clock,
+                        )
                         for tenant, events in phase.items()
                     )
                 )
@@ -286,13 +327,21 @@ def compare_with_inline(
     return inline, equal
 
 
-def serve_once(instance: ServeInstance) -> dict:
+def serve_once(
+    instance: ServeInstance,
+    metrics: MetricsRegistry | None = None,
+    trace_sink: TraceSink | None = None,
+    latency_registry: MetricsRegistry | None = None,
+) -> dict:
     """One full serving cycle: in-process server, tenants, final report.
 
     Starts a :class:`~repro.serve.server.LeaseServer` on a throwaway
     unix socket, drives every tenant closed-loop, and returns the
     ``report`` payload.  This is the whole *serving* hot path and
-    nothing else — the perf harness times exactly this call.
+    nothing else — the perf harness times exactly this call, with
+    ``metrics``/``trace_sink`` passed through to the server (the
+    observability-overhead bench) and ``latency_registry`` to the
+    client side.
     """
     trace = instance.trace
 
@@ -302,10 +351,14 @@ def serve_once(instance: ServeInstance) -> dict:
             num_resources=trace.num_resources,
             num_shards=instance.num_shards,
             session_window=instance.session_window,
+            metrics=metrics,
+            trace=trace_sink,
         )
         await server.start_unix(socket_path)
         try:
-            return await drive_tenants(instance, socket_path)
+            return await drive_tenants(
+                instance, socket_path, latency_registry=latency_registry
+            )
         finally:
             await server.shutdown()
 

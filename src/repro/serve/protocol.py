@@ -40,6 +40,7 @@ tick       advance every shard's clock (expire grants), serve nothing
 stats      per-shard broker counters plus session registry snapshot
 report     per-shard aggregate run payloads (cost, leases, stats)
 trace      per-shard applied event logs (requires server recording)
+metrics    Prometheus text exposition of the whole process (ops plane)
 drain      stop admitting new acquires; renews/releases still served
 shutdown   acknowledge, then stop the server
 ========== ============================================================
@@ -103,6 +104,7 @@ OPS: tuple[str, ...] = (
     "stats",
     "report",
     "trace",
+    "metrics",
     "drain",
     "shutdown",
 )
@@ -456,8 +458,13 @@ class FrameDecoder:
 # ----------------------------------------------------------------------
 # asyncio stream adapters
 # ----------------------------------------------------------------------
-async def read_frame(reader) -> dict | None:
-    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+async def read_frame(reader, bytes_counter=None) -> dict | None:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF.
+
+    ``bytes_counter``, when given, receives ``.inc(n)`` with the frame's
+    full wire size (header included) — the serve layer's bytes-in
+    instrumentation hook, ``None`` (no call at all) when disabled.
+    """
     try:
         # IncompleteReadError subclasses EOFError, so a half-frame EOF
         # lands here too and reads as a (slightly rude) disconnect.
@@ -467,12 +474,22 @@ async def read_frame(reader) -> dict | None:
     (word,) = HEADER.unpack(header)
     length, binary = _split_header(word)
     body = await reader.readexactly(length)
+    if bytes_counter is not None:
+        bytes_counter.inc(HEADER.size + length)
     return _decode(body, binary)
 
 
-async def write_frame(writer, payload: dict, codec: str = CODEC_JSON) -> None:
-    """Write one frame to an asyncio stream and drain the transport."""
-    writer.write(encode_frame(payload, codec))
+async def write_frame(
+    writer, payload: dict, codec: str = CODEC_JSON, bytes_counter=None
+) -> None:
+    """Write one frame to an asyncio stream and drain the transport.
+
+    ``bytes_counter`` mirrors :func:`read_frame`'s hook on the way out.
+    """
+    frame = encode_frame(payload, codec)
+    if bytes_counter is not None:
+        bytes_counter.inc(len(frame))
+    writer.write(frame)
     await writer.drain()
 
 

@@ -29,6 +29,22 @@ and, when recording, logs the *applied* event, so a replay of the
 recorded trace through fresh brokers reproduces the server's state
 exactly (the serialized-trace equivalence the tests pin down).
 
+**Observability.**  A server optionally carries a
+:class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.trace.TraceSink`.  With metrics on, the dispatch loop
+samples per-op latency (enqueue to reply, the registry's injectable
+monotonic clock) into histograms keyed by op kind, the frame adapters
+count bytes in/out, and the session registry counts backpressure
+refusals and idle expiries.  The ``metrics`` protocol verb is a
+*scrape*: it rides the ``stats`` barrier broadcast, folds the per-shard
+broker counters and gauges into a fresh registry
+(:mod:`repro.obs.export`), and appends the live registry's rendering —
+so broker state costs nothing on the hot path and the exposition is
+valid Prometheus text either way.  With tracing on, the dispatch loop
+also emits one JSONL span per op.  Neither touches broker state or any
+served payload, so aggregate reports stay byte-identical to inline
+replay with instrumentation on or off (CI-gated).
+
 **Drain and shutdown.**  ``drain`` moves the server to a mode where new
 acquires are refused with a ``draining`` error frame while renews and
 releases — completing the lifecycle of grants already held — are still
@@ -48,6 +64,9 @@ from ..engine.broker import LeaseBroker, PolicyFactory
 from ..engine.events import Acquire, Event, Release, Tick, event_to_payload
 from ..engine.scenarios import shard_ranges as _shard_ranges
 from ..errors import ModelError
+from ..obs.export import export_sessions, export_shards
+from ..obs.metrics import Histogram, MetricsRegistry
+from ..obs.trace import NULL_TRACE, TraceSink
 from .protocol import (
     CODEC_JSON,
     MUTATION_OPS,
@@ -166,6 +185,11 @@ class LeaseServer:
         session_window: per-tenant in-flight request bound.
         idle_timeout: seconds before an idle tenant session is reaped.
         sweep_interval: seconds between reaper sweeps.
+        metrics: live instrumentation registry; ``None`` (the default)
+            serves with a disabled registry — null instruments, no
+            per-op sampling, nothing rendered into the ``metrics`` verb
+            beyond the scrape-time broker/session export.
+        trace: per-op JSONL span sink; ``None`` disables tracing.
     """
 
     def __init__(
@@ -178,6 +202,8 @@ class LeaseServer:
         session_window: int = 64,
         idle_timeout: float = 60.0,
         sweep_interval: float = 5.0,
+        metrics: MetricsRegistry | None = None,
+        trace: TraceSink | None = None,
     ):
         if num_resources < 1:
             raise ModelError("num_resources must be >= 1")
@@ -196,8 +222,45 @@ class LeaseServer:
             for index, (lo, hi) in enumerate(self.ranges)
         ]
         self._record = record
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            enabled=False
+        )
+        self.trace = trace if trace is not None else NULL_TRACE
+        #: Sample timestamps at all? One flag read per queue item.
+        self._sample = self.metrics.enabled or self.trace.enabled
+        self._obs_clock = (
+            self.metrics.clock if self.metrics.enabled else self.trace.clock
+        )
+        self._latency: dict[str, Histogram] = {}
+        # None (not a null counter) when disabled: the frame adapters
+        # skip the call entirely instead of invoking a no-op.
+        self._bytes_in = (
+            self.metrics.counter(
+                "serve_bytes_in_total",
+                help="Request bytes received, frame headers included.",
+            )
+            if self.metrics.enabled
+            else None
+        )
+        self._bytes_out = (
+            self.metrics.counter(
+                "serve_bytes_out_total",
+                help="Response bytes written, frame headers included.",
+            )
+            if self.metrics.enabled
+            else None
+        )
         self.sessions = SessionRegistry(
-            window=session_window, idle_timeout=idle_timeout
+            window=session_window,
+            idle_timeout=idle_timeout,
+            refusal_counter=self.metrics.counter(
+                "serve_backpressure_refusals_total",
+                help="Requests refused because a tenant window was full.",
+            ),
+            expiry_counter=self.metrics.counter(
+                "serve_session_expiries_total",
+                help="Idle tenant sessions reaped by the sweeper.",
+            ),
         )
         self._sweep_interval = sweep_interval
         self._state = "serving"
@@ -306,6 +369,7 @@ class LeaseServer:
         ]
         if lingering:
             await asyncio.gather(*lingering, return_exceptions=True)
+        self.trace.flush()
         self._stopped.set()
 
     async def run_until_stopped(self) -> None:
@@ -315,6 +379,16 @@ class LeaseServer:
     # ------------------------------------------------------------------
     # Shard workers: the only code that touches a broker
     # ------------------------------------------------------------------
+    def _latency_hist(self, op: str) -> Histogram:
+        hist = self._latency.get(op)
+        if hist is None:
+            hist = self._latency[op] = self.metrics.histogram(
+                "serve_op_latency_seconds",
+                help="Per-op latency from enqueue to reply, by op kind.",
+                op=op,
+            )
+        return hist
+
     async def _worker(self, shard: _Shard) -> None:
         queue = shard.queue
         broker = shard.broker
@@ -323,7 +397,8 @@ class LeaseServer:
             if item is _STOP:
                 queue.task_done()
                 return
-            op, tenant, resource, when, future = item
+            op, tenant, resource, when, req_id, t_enq, future = item
+            t_disp = self._obs_clock() if self._sample else 0.0
             try:
                 result = self._apply_to_shard(
                     shard, broker, op, tenant, resource, when
@@ -343,6 +418,18 @@ class LeaseServer:
                 if not future.cancelled():
                     future.set_result(result)
             finally:
+                if self._sample:
+                    t_reply = self._obs_clock()
+                    self._latency_hist(op).observe(t_reply - t_enq)
+                    self.trace.span(
+                        op=op,
+                        tenant=tenant,
+                        resource=resource,
+                        request_id=req_id,
+                        t_enq=t_enq,
+                        t_disp=t_disp,
+                        t_reply=t_reply,
+                    )
                 queue.task_done()
 
     def _apply_to_shard(
@@ -395,6 +482,12 @@ class LeaseServer:
                 "clock": broker.clock,
                 "num_active": broker.num_active,
                 "stats": broker.stats.as_dict(),
+                "stats_full": broker.stats.full_dict(),
+                "grant_table": broker.num_grants,
+                "expiry_heap": broker.heap_size,
+                # Queue length observed by the barrier itself: the number
+                # of requests that arrived behind this stats op.
+                "queue_depth": shard.queue.qsize(),
             }
         if op == "report":
             leases = broker.leases
@@ -452,9 +545,11 @@ class LeaseServer:
         tenant: str | None,
         resource: int | None,
         when: int | None,
+        req_id=None,
     ) -> dict:
         future = asyncio.get_running_loop().create_future()
-        shard.queue.put_nowait((op, tenant, resource, when, future))
+        t_enq = self._obs_clock() if self._sample else 0.0
+        shard.queue.put_nowait((op, tenant, resource, when, req_id, t_enq, future))
         return await future
 
     async def _broadcast(
@@ -491,7 +586,8 @@ class LeaseServer:
             )
         try:
             return await self._enqueue(
-                self._shard_of(resource), op, tenant, resource, when
+                self._shard_of(resource), op, tenant, resource, when,
+                payload.get("id"),
             )
         finally:
             self.sessions.release(session)
@@ -525,9 +621,29 @@ class LeaseServer:
             return {"shards": await self._broadcast("report")}
         if op == "trace":
             return {"shards": await self._broadcast("trace")}
+        if op == "metrics":
+            return {"text": self.render_metrics(await self._broadcast("stats"))}
         if op == "drain":
             return {"state": self.drain()}
         raise ServeError("protocol", f"unknown op {op!r}")
+
+    def render_metrics(self, shard_stats: list[dict]) -> str:
+        """The process's Prometheus text exposition, from a stats barrier.
+
+        Scrape-time families (broker counters/gauges, session totals,
+        queue depths) are folded into a fresh registry from the
+        broadcast payloads; the live registry's families (latency
+        histograms, byte and refusal counters) are appended when metrics
+        are enabled.  The two renders use disjoint family names, so the
+        concatenation is itself a valid exposition.
+        """
+        registry = MetricsRegistry(clock=self.metrics.clock)
+        export_shards(registry, shard_stats)
+        export_sessions(registry, self.sessions.snapshot())
+        text = registry.render_prometheus()
+        if self.metrics.enabled:
+            text += self.metrics.render_prometheus()
+        return text
 
     # ------------------------------------------------------------------
     # Connections
@@ -547,7 +663,7 @@ class LeaseServer:
         try:
             while True:
                 try:
-                    payload = await read_frame(reader)
+                    payload = await read_frame(reader, self._bytes_in)
                 except ProtocolError as exc:
                     # The byte stream is unparseable from here on: name
                     # the violation, then hang up rather than resync.
@@ -638,7 +754,7 @@ class LeaseServer:
     async def _respond(self, writer, write_lock, frame: dict, codec_ref) -> None:
         async with write_lock:
             try:
-                await write_frame(writer, frame, codec_ref[0])
+                await write_frame(writer, frame, codec_ref[0], self._bytes_out)
             except (ConnectionError, RuntimeError, OSError):
                 pass  # client went away; its response has nowhere to go
 

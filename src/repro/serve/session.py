@@ -66,6 +66,11 @@ class SessionRegistry:
         idle_timeout: seconds of inactivity before :meth:`expire_idle`
             drops a session with nothing in flight.
         clock: monotonic-seconds source; injectable for tests.
+        refusal_counter: anything with ``.inc()``, bumped once per
+            backpressure refusal (the server passes its registry's
+            ``serve_backpressure_refusals_total``); ``None`` = no call.
+        expiry_counter: likewise, bumped by the number of sessions each
+            :meth:`expire_idle` sweep reaps.
     """
 
     def __init__(
@@ -73,6 +78,8 @@ class SessionRegistry:
         window: int = 64,
         idle_timeout: float = 60.0,
         clock: Callable[[], float] = time.monotonic,
+        refusal_counter=None,
+        expiry_counter=None,
     ):
         require_positive_int(window, "window")
         if idle_timeout <= 0:
@@ -80,6 +87,8 @@ class SessionRegistry:
         self.window = window
         self.idle_timeout = idle_timeout
         self._clock = clock
+        self._refusal_counter = refusal_counter
+        self._expiry_counter = expiry_counter
         self._sessions: dict[str, TenantSession] = {}
         self.expired_total = 0
 
@@ -99,6 +108,8 @@ class SessionRegistry:
         """Claim an in-flight slot for ``tenant``; ``None`` = backpressure."""
         record = self.session(tenant)
         if not record.try_acquire(self._clock()):
+            if self._refusal_counter is not None:
+                self._refusal_counter.inc()
             return None
         return record
 
@@ -118,6 +129,8 @@ class SessionRegistry:
         for tenant in doomed:
             del self._sessions[tenant]
         self.expired_total += len(doomed)
+        if doomed and self._expiry_counter is not None:
+            self._expiry_counter.inc(len(doomed))
         return doomed
 
     def snapshot(self) -> dict:

@@ -18,6 +18,7 @@ import pytest
 from repro.cluster import ClusterRouter, ClusterSpec
 from repro.core import LeaseSchedule
 from repro.errors import ModelError
+from repro.obs import MetricsRegistry, parse_exposition, validate_exposition
 from repro.serve import AsyncLeaseClient, LeaseServer, ServeError
 from repro.serve.protocol import (
     ok,
@@ -179,6 +180,83 @@ class TestRouting:
         grant, report = asyncio.run(main())
         assert grant["grant"]["resource"] == 3
         assert [s["index"] for s in report["shards"]] == [0, 1]
+
+
+class TestRouterMetrics:
+    def test_metrics_verb_folds_fleet_state(self, workdir):
+        """The router's scrape: per-link gauges and relay latency from
+        its own registry, worker broker/session state folded in at
+        scrape time — and the concatenation is a valid exposition."""
+        spec = ClusterSpec(8, 2, 2)
+
+        async def main():
+            _, paths = await _start_inprocess_workers(spec, workdir)
+            router = ClusterRouter(spec, metrics=MetricsRegistry())
+            await router.connect_workers(paths, codec="bin")
+            router_sock = str(workdir / "router.sock")
+            await router.start_unix(router_sock)
+            client = await AsyncLeaseClient.open_unix(router_sock, codec="bin")
+            await client.acquire("tl", 0, 0)
+            await client.acquire("tr", 7, 0)
+            await client.tick(1)
+            text = (await client.call("metrics"))["text"]
+            await client.close()
+            await router.shutdown()
+            return text
+
+        text = asyncio.run(main())
+        assert validate_exposition(text) == []
+        families = parse_exposition(text)
+        for name in (
+            "cluster_worker_inflight",
+            "cluster_worker_window",
+            "cluster_worker_frames_total",
+            "cluster_relay_latency_seconds",
+            "broker_acquires_total",
+            "serve_session_tenants",
+        ):
+            assert name in families, name
+        # Both workers report their links and their shard groups.
+        workers = {
+            labels["worker"]
+            for _, labels, _ in families["cluster_worker_inflight"].samples
+        }
+        assert workers == {"0", "1"}
+        acquires = sum(
+            value
+            for _, _, value in families["broker_acquires_total"].samples
+        )
+        assert acquires == 2
+        # Relay latency was sampled for the routed mutations.
+        count = sum(
+            value
+            for name, _, value in families[
+                "cluster_relay_latency_seconds"
+            ].samples
+            if name.endswith("_count")
+        )
+        assert count >= 2
+
+    def test_metrics_verb_without_registry_still_scrapes(self, workdir):
+        spec = ClusterSpec(4, 2, 1)
+
+        async def main():
+            _, paths = await _start_inprocess_workers(spec, workdir)
+            router = ClusterRouter(spec)
+            await router.connect_workers(paths, codec="json")
+            router_sock = str(workdir / "router.sock")
+            await router.start_unix(router_sock)
+            client = await AsyncLeaseClient.open_unix(router_sock)
+            text = (await client.call("metrics"))["text"]
+            await client.close()
+            await router.shutdown()
+            return text
+
+        text = asyncio.run(main())
+        assert validate_exposition(text) == []
+        families = parse_exposition(text)
+        assert "cluster_worker_inflight" in families
+        assert "cluster_relay_latency_seconds" not in families
 
 
 async def _stub_worker(path: str, spec: ClusterSpec, answer_mutations: bool):

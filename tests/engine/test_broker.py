@@ -286,6 +286,35 @@ def test_coverage_caching_identical_on_generated_traces(workload):
 
 
 # ----------------------------------------------------------------------
+# Stats surfaces
+# ----------------------------------------------------------------------
+class TestStatsSurfaces:
+    def test_full_dict_carries_every_counter(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        broker.acquire("a", 0, 0)
+        broker.release("a", 0, 0)
+        full = broker.stats.full_dict()
+        # The exporter surface is a superset of the merge-frozen shapes:
+        # everything in as_dict, compactions included.
+        assert full == broker.stats.as_dict()
+        assert set(broker.stats.mergeable()) | {"compactions"} == set(full)
+        assert full["acquires"] == 1
+        assert full["releases"] == 1
+
+    def test_table_size_properties_track_grants(self):
+        broker = LeaseBroker(LONG_SCHEDULE)
+        assert broker.num_grants == 0
+        broker.acquire("a", 0, 0)
+        broker.acquire("b", 1, 0)
+        assert broker.num_grants == 2
+        assert broker.heap_size >= broker.num_active == 2
+        broker.release("a", 0, 0)
+        # Closed grants stay in the table until compaction.
+        assert broker.num_grants == 2
+        assert broker.num_active == 1
+
+
+# ----------------------------------------------------------------------
 # Grant-table compaction
 # ----------------------------------------------------------------------
 class TestCompaction:

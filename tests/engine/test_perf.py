@@ -34,6 +34,11 @@ def p04_record():
     return perf.measure("p04_cluster", "unit")
 
 
+@pytest.fixture(scope="module")
+def p05_record():
+    return perf.measure("p05_obs", "unit")
+
+
 class TestMeasure:
     def test_p01_record_shape(self, p01_record):
         assert p01_record["schema"] == perf.SCHEMA
@@ -88,6 +93,27 @@ class TestMeasure:
         for key in ("events", "leases", "tenants", "requests"):
             assert p04_record["metrics"][key] == p03_record["metrics"][key]
         assert p04_record["metrics"]["cost"] == p03_record["metrics"]["cost"]
+
+    def test_p05_record_shape(self, p05_record):
+        assert p05_record["bench"] == "p05_obs"
+        metrics = p05_record["metrics"]
+        # Observation must not perturb behaviour: every arm's aggregate
+        # is identical to the bare one, and all match the inline replay.
+        assert metrics["reports_identical"] is True
+        assert metrics["report_equal"] is True
+        assert metrics["verified"] is True
+        assert metrics["events"] > 0
+        for arm in ("off", "on", "traced"):
+            assert metrics[f"{arm}_events_per_sec"] > 0
+        # One span per dispatched request plus the broadcast ticks.
+        assert metrics["trace_spans"] >= metrics["requests"]
+        assert metrics["overhead_ratio"] > 0
+        assert metrics["traced_ratio"] > 0
+
+    def test_p05_matches_p03_structure_exactly(self, p03_record, p05_record):
+        for key in ("events", "leases", "tenants", "requests"):
+            assert p05_record["metrics"][key] == p03_record["metrics"][key]
+        assert p05_record["metrics"]["cost"] == p03_record["metrics"]["cost"]
 
     def test_p03_is_deterministic_in_structure(self, p03_record):
         again = perf.measure("p03_serve", "unit")
@@ -220,6 +246,27 @@ class TestCheck:
             )
         }
         assert not any("baseline" in f for f in perf.check(committed, below))
+
+    def test_p05_overhead_gate_is_machine_independent(self, p05_record):
+        """The metrics-on arm must hold 90% of the bare rate measured in
+        the *same run* — gated on every machine, since it is a ratio of
+        two wall clocks from the same box."""
+        committed = self._committed(p05_record)
+        heavy = copy.deepcopy(p05_record)
+        heavy["metrics"]["off_events_per_sec"] = 10_000
+        heavy["metrics"]["on_events_per_sec"] = 8_500
+        heavy["metrics"]["overhead_ratio"] = round(10_000 / 8_500, 4)
+        # Keep the committed rates close so only the overhead gate fires.
+        committed["modes"]["unit"]["metrics"]["off_events_per_sec"] = 10_000
+        committed["modes"]["unit"]["metrics"]["on_events_per_sec"] = 8_500
+        failures = perf.check(committed, heavy)
+        assert any("instrumented serving dropped" in f for f in failures)
+        # 95% of the bare rate: inside the floor, no failure.
+        fine = copy.deepcopy(heavy)
+        fine["metrics"]["on_events_per_sec"] = 9_500
+        assert not any(
+            "instrumented" in f for f in perf.check(committed, fine)
+        )
 
     def test_shard_speedup_gated_only_on_multicore(self, p02_record):
         committed = self._committed(p02_record)

@@ -1,0 +1,223 @@
+"""Metrics core: instrument semantics, registry label handling, the
+null (disabled) path, quantiles, and the rendered exposition's
+histogram invariants."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_summary,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 12
+
+    def test_histogram_bucket_boundaries_are_inclusive(self):
+        hist = Histogram((1.0, 2.0, 4.0))
+        # An observation exactly on a bound lands in that bound's bucket
+        # (Prometheus `le` semantics).
+        for value in (0.5, 1.0, 2.0, 3.0, 4.0, 99.0):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 2, 1]
+        assert hist.cumulative() == [2, 3, 5, 6]
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(0.5 + 1 + 2 + 3 + 4 + 99)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ModelError):
+            Histogram(())
+        with pytest.raises(ModelError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ModelError):
+            Histogram((2.0, 1.0))
+
+    def test_quantile_interpolates_within_buckets(self):
+        hist = Histogram((10.0, 20.0))
+        for _ in range(10):
+            hist.observe(5.0)  # all in the first bucket
+        # Rank 5 of 10 → halfway through [0, 10].
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+        assert hist.quantile(1.0) == pytest.approx(10.0)
+
+    def test_quantile_overflow_clamps_to_last_bound(self):
+        hist = Histogram((1.0,))
+        hist.observe(50.0)
+        assert hist.quantile(0.99) == 1.0
+
+    def test_quantile_edge_cases(self):
+        hist = Histogram((1.0,))
+        assert hist.quantile(0.5) == 0.0  # empty histogram
+        with pytest.raises(ModelError):
+            hist.quantile(1.5)
+
+
+class TestRegistry:
+    def test_same_name_and_labels_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops_total", op="acquire")
+        b = registry.counter("ops_total", op="acquire")
+        c = registry.counter("ops_total", op="release")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("depth", shard="0", worker="1")
+        b = registry.gauge("depth", worker="1", shard="0")
+        assert a is b
+
+    def test_type_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total")
+        with pytest.raises(ModelError):
+            registry.gauge("thing_total")
+        registry.histogram("lat_seconds")
+        with pytest.raises(ModelError):
+            registry.histogram("lat_seconds", buckets=(1.0, 2.0))
+
+    def test_invalid_names_and_labels_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ModelError):
+            registry.counter("9starts_with_digit")
+        with pytest.raises(ModelError):
+            registry.counter("has space")
+        with pytest.raises(ModelError):
+            registry.counter("ok_total", **{"bad-label": "x"})
+        with pytest.raises(ModelError):
+            # 'le' is reserved for histogram bucket rendering.
+            registry.histogram("lat_seconds2", le="0.5")
+
+    def test_disabled_registry_hands_out_shared_nulls(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a_total") is NULL_COUNTER
+        assert registry.gauge("b") is NULL_GAUGE
+        assert registry.histogram("c_seconds") is NULL_HISTOGRAM
+        # Null instruments swallow updates and render nothing.
+        NULL_COUNTER.inc()
+        NULL_GAUGE.set(9)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0
+        assert NULL_HISTOGRAM.count == 0
+        assert registry.render_prometheus() == ""
+        assert registry.names() == ()
+
+    def test_injectable_clock_is_carried_not_called(self):
+        calls = []
+
+        def clock():
+            calls.append(1)
+            return 42.0
+
+        registry = MetricsRegistry(clock=clock)
+        registry.counter("x_total").inc()
+        registry.render_prometheus()
+        assert registry.clock is clock
+        assert calls == []  # the registry itself never samples
+
+
+class TestRendering:
+    def test_histogram_exposition_invariants(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "op_latency_seconds", help="per-op latency", buckets=(0.1, 1.0),
+            op="acquire",
+        )
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(7.0)  # overflow → +Inf only
+        text = registry.render_prometheus()
+        assert "# HELP op_latency_seconds per-op latency" in text
+        assert "# TYPE op_latency_seconds histogram" in text
+        # Cumulative buckets, +Inf equals _count, _sum carries the total.
+        assert (
+            'op_latency_seconds_bucket{op="acquire",le="0.1"} 1' in text
+        )
+        assert 'op_latency_seconds_bucket{op="acquire",le="1"} 2' in text
+        assert (
+            'op_latency_seconds_bucket{op="acquire",le="+Inf"} 3' in text
+        )
+        assert 'op_latency_seconds_count{op="acquire"} 3' in text
+        assert 'op_latency_seconds_sum{op="acquire"} 7.55' in text
+
+    def test_rendering_is_deterministic_and_sorted(self):
+        def build(order):
+            registry = MetricsRegistry()
+            for name, labels in order:
+                registry.counter(name, **labels).inc()
+            return registry.render_prometheus()
+
+        series = [
+            ("z_total", {"shard": "1"}),
+            ("a_total", {}),
+            ("z_total", {"shard": "0"}),
+        ]
+        assert build(series) == build(list(reversed(series)))
+        text = build(series)
+        assert text.index("a_total") < text.index("z_total")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total", tenant='with"quote\nand\\slash').inc()
+        text = registry.render_prometheus()
+        assert r'tenant="with\"quote\nand\\slash"' in text
+
+    def test_snapshot_mirrors_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", shard="0").inc(7)
+        hist = registry.histogram("lat_seconds", buckets=(1.0,))
+        hist.observe(0.5)
+        snap = registry.snapshot()
+        assert snap["events_total"]["type"] == "counter"
+        assert snap["events_total"]["series"][0]["value"] == 7
+        lat = snap["lat_seconds"]["series"][0]
+        assert lat["buckets"] == {"1": 1, "+Inf": 1}
+        assert lat["count"] == 1
+
+
+class TestLatencySummary:
+    def test_per_tenant_percentiles(self):
+        registry = MetricsRegistry()
+        for tenant, value in (("a", 0.2), ("a", 0.4), ("b", 0.9)):
+            registry.histogram(
+                "loadgen_op_latency_seconds", buckets=(0.5, 1.0),
+                tenant=tenant,
+            ).observe(value)
+        summary = latency_summary(registry, "loadgen_op_latency_seconds")
+        assert set(summary) == {"a", "b"}
+        assert summary["a"]["count"] == 2
+        assert 0.0 < summary["a"]["p50"] <= 0.5
+        assert 0.5 < summary["b"]["p99"] <= 1.0
+
+    def test_absent_or_wrong_type_is_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("not_a_histogram").inc()
+        assert latency_summary(registry, "missing") == {}
+        assert latency_summary(registry, "not_a_histogram") == {}
+
+
+def test_default_latency_buckets_are_strictly_increasing():
+    assert all(
+        b2 > b1
+        for b1, b2 in zip(DEFAULT_LATENCY_BUCKETS, DEFAULT_LATENCY_BUCKETS[1:])
+    )

@@ -1,0 +1,161 @@
+"""Exposition parser and validator: round-trips against the renderer,
+strictness on malformed input, and the histogram structural checks."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.obs import (
+    MetricsRegistry,
+    parse_exposition,
+    validate_exposition,
+)
+
+
+def _instrumented_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "events_total", help="events applied", shard="0"
+    ).inc(12)
+    registry.counter("events_total", shard="1").inc(3)
+    registry.gauge("queue_depth", shard="0").set(4)
+    hist = registry.histogram(
+        "op_latency_seconds", help="per-op latency", buckets=(0.1, 1.0),
+        op="acquire",
+    )
+    hist.observe(0.05)
+    hist.observe(0.7)
+    hist.observe(3.0)
+    registry.counter("odd_total", tenant='quo"te\nnl\\bs').inc()
+    return registry
+
+
+class TestRoundTrip:
+    def test_parse_of_render_reproduces_the_registry(self):
+        registry = _instrumented_registry()
+        families = parse_exposition(registry.render_prometheus())
+        assert set(families) == set(registry.names())
+        events = families["events_total"]
+        assert events.type == "counter"
+        assert events.help == "events applied"
+        assert sorted(
+            (labels["shard"], value)
+            for _, labels, value in events.samples
+        ) == [("0", 12.0), ("1", 3.0)]
+        latency = families["op_latency_seconds"]
+        assert latency.type == "histogram"
+        by_name = {}
+        for name, labels, value in latency.samples:
+            by_name.setdefault(name, []).append((labels, value))
+        buckets = {
+            labels["le"]: value
+            for labels, value in by_name["op_latency_seconds_bucket"]
+        }
+        assert buckets == {"0.1": 1.0, "1": 2.0, "+Inf": 3.0}
+        assert by_name["op_latency_seconds_count"][0][1] == 3.0
+        assert by_name["op_latency_seconds_sum"][0][1] == pytest.approx(3.75)
+
+    def test_escaped_label_values_round_trip(self):
+        registry = _instrumented_registry()
+        families = parse_exposition(registry.render_prometheus())
+        (_, labels, _), = families["odd_total"].samples
+        assert labels["tenant"] == 'quo"te\nnl\\bs'
+
+    def test_rendered_exposition_validates_clean(self):
+        assert validate_exposition(
+            _instrumented_registry().render_prometheus()
+        ) == []
+
+
+class TestParserStrictness:
+    def test_sample_without_type_declaration_rejected(self):
+        with pytest.raises(ModelError, match="no # TYPE"):
+            parse_exposition("orphan_total 3\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ModelError, match="unknown metric type"):
+            parse_exposition("# TYPE x summary\nx 1\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(ModelError, match="duplicate TYPE"):
+            parse_exposition("# TYPE x counter\n# TYPE x counter\nx 1\n")
+
+    def test_malformed_lines_rejected(self):
+        for bad in (
+            "# TYPE x counter\nx\n",  # no value
+            "# TYPE x counter\nx notanumber\n",
+            '# TYPE x counter\nx{a="1} 3\n',  # unterminated label value
+            '# TYPE x counter\nx{a=1} 3\n',  # unquoted label value
+            "# TYPE x counter\nx 3 1700000000\n",  # trailing timestamp
+        ):
+            with pytest.raises(ModelError):
+                parse_exposition(bad)
+
+    def test_comments_and_blank_lines_ignored(self):
+        families = parse_exposition(
+            "\n# just a comment\n# TYPE ok_total counter\n\nok_total 1\n"
+        )
+        assert families["ok_total"].samples == [("ok_total", {}, 1.0)]
+
+
+class TestValidator:
+    def test_empty_exposition_fails(self):
+        assert validate_exposition("") == [
+            "exposition declares no metric families"
+        ]
+
+    def test_parse_errors_become_failures(self):
+        failures = validate_exposition("junk without declaration 3 4\n")
+        assert failures and "line 1" in failures[0]
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="1"} 2\n'
+            "lat_sum 1.5\n"
+            "lat_count 2\n"
+        )
+        assert any("no +Inf" in f for f in validate_exposition(text))
+
+    def test_histogram_decreasing_buckets(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="1"} 5\n'
+            'lat_bucket{le="2"} 3\n'
+            'lat_bucket{le="+Inf"} 5\n'
+            "lat_sum 4.0\n"
+            "lat_count 5\n"
+        )
+        assert any("decrease" in f for f in validate_exposition(text))
+
+    def test_histogram_inf_count_mismatch(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="+Inf"} 4\n'
+            "lat_sum 4.0\n"
+            "lat_count 5\n"
+        )
+        assert any("!= _count" in f for f in validate_exposition(text))
+
+    def test_histogram_missing_sum_and_count(self):
+        text = "# TYPE lat histogram\n" 'lat_bucket{le="+Inf"} 4\n'
+        failures = validate_exposition(text)
+        assert any("_count" in f for f in failures)
+        assert any("_sum" in f for f in failures)
+
+    def test_count_without_buckets(self):
+        text = "# TYPE lat histogram\nlat_count 5\nlat_sum 1.0\n"
+        assert any(
+            "without any buckets" in f for f in validate_exposition(text)
+        )
+
+    def test_negative_counter_and_nonfinite_values(self):
+        text = "# TYPE bad_total counter\nbad_total -1\n"
+        assert any("negative" in f for f in validate_exposition(text))
+        text = "# TYPE weird gauge\nweird nan\n"
+        assert any("non-finite" in f for f in validate_exposition(text))
+
+    def test_help_without_type_fails_validation(self):
+        assert any(
+            "HELP without TYPE" in f
+            for f in validate_exposition("# HELP ghost nothing here\n")
+        )

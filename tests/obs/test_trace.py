@@ -1,0 +1,69 @@
+"""Trace sink: span shape, buffering/flush behaviour, the disabled
+null path, and the injectable clock contract."""
+
+import json
+
+from repro.obs import NULL_TRACE, TraceSink
+
+
+def _read_spans(path):
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestTraceSink:
+    def test_span_shape_and_flush(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = TraceSink(str(path))
+        sink.span(
+            op="acquire", tenant="t0", resource=3, request_id=7,
+            t_enq=1.0, t_disp=1.5, t_reply=2.0,
+        )
+        assert sink.emitted == 1
+        assert _read_spans(path) == []  # buffered, not yet flushed
+        sink.flush()
+        (span,) = _read_spans(path)
+        assert span == {
+            "id": 7, "op": "acquire", "tenant": "t0", "resource": 3,
+            "t_enq": 1.0, "t_disp": 1.5, "t_reply": 2.0,
+        }
+
+    def test_auto_flush_every_n_emits(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = TraceSink(str(path), flush_every=4)
+        for i in range(9):
+            sink.emit({"i": i})
+        # Two full buffers flushed; the ninth span still buffered.
+        assert len(_read_spans(path)) == 8
+        sink.close()
+        assert [s["i"] for s in _read_spans(path)] == list(range(9))
+
+    def test_construction_truncates_stale_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"stale": true}\n')
+        sink = TraceSink(str(path))
+        sink.close()
+        assert _read_spans(path) == []
+
+    def test_close_disables_further_emits(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = TraceSink(str(path))
+        sink.emit({"a": 1})
+        sink.close()
+        sink.emit({"b": 2})
+        assert len(_read_spans(path)) == 1
+
+    def test_injectable_clock_is_carried(self, tmp_path):
+        clock = lambda: 123.0  # noqa: E731
+        sink = TraceSink(str(tmp_path / "t.jsonl"), clock=clock)
+        assert sink.clock is clock
+
+    def test_null_sink_does_nothing(self):
+        NULL_TRACE.emit({"x": 1})
+        NULL_TRACE.span(
+            op="tick", tenant=None, resource=None, request_id=None,
+            t_enq=0.0, t_disp=0.0, t_reply=0.0,
+        )
+        NULL_TRACE.flush()
+        assert NULL_TRACE.enabled is False
+        assert NULL_TRACE.emitted == 0

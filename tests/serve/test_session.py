@@ -46,6 +46,19 @@ class TestBackpressure:
         with pytest.raises(Exception):
             SessionRegistry(window=0, clock=clock)
 
+    def test_refusals_feed_the_injected_counter(self, clock):
+        from repro.obs import Counter
+
+        refusals = Counter()
+        registry = SessionRegistry(
+            window=1, idle_timeout=10.0, clock=clock,
+            refusal_counter=refusals,
+        )
+        registry.try_acquire("t")
+        registry.try_acquire("t")
+        registry.try_acquire("t")
+        assert refusals.value == 2
+
 
 class TestIdleExpiry:
     def test_idle_sessions_expire(self, clock):
@@ -65,6 +78,20 @@ class TestIdleExpiry:
         clock.now = 100.0
         assert registry.expire_idle() == ("idle",)
         assert len(registry) == 1  # busy is pinned by its in-flight request
+
+    def test_expiries_feed_the_injected_counter(self, clock):
+        from repro.obs import Counter
+
+        expiries = Counter()
+        registry = SessionRegistry(
+            window=4, idle_timeout=5.0, clock=clock,
+            expiry_counter=expiries,
+        )
+        for tenant in ("a", "b"):
+            registry.release(registry.try_acquire(tenant))
+        clock.now = 6.0
+        assert registry.expire_idle() == ("a", "b")
+        assert expiries.value == 2
 
     def test_touch_resets_the_idle_timer(self, clock):
         registry = SessionRegistry(window=4, idle_timeout=5.0, clock=clock)
