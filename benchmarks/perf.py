@@ -19,7 +19,9 @@ recorded serving throughput; for p05, the first recorded uninstrumented
 rate) plus per-mode current numbers; see EXPERIMENTS.md for the schema
 and refresh policy.  ``p05_obs`` additionally gates the observability
 overhead: the instrumented serving rate must stay within 10% of the
-uninstrumented rate measured in the same run.
+uninstrumented rate measured in the same run.  ``p06_durable`` gates
+durability the same way: batch-fsynced serving must keep at least 80%
+of the WAL-off rate from the same run.
 """
 
 from __future__ import annotations
@@ -83,6 +85,16 @@ def main(argv: list[str] | None = None) -> int:
                 f", off {metrics['off_events_per_sec']:,}/s vs "
                 f"on {metrics['on_events_per_sec']:,}/s "
                 f"(ratio {metrics['overhead_ratio']}), "
+                f"identical={metrics['reports_identical']}"
+            )
+        if "batch_ratio" in metrics:
+            line += (
+                f", off {metrics['off_events_per_sec']:,}/s vs "
+                f"batch {metrics['batch_events_per_sec']:,}/s vs "
+                f"always {metrics['always_events_per_sec']:,}/s "
+                f"(ratios {metrics['batch_ratio']}/"
+                f"{metrics['always_ratio']}), "
+                f"wal {metrics['wal_bytes']:,}B, "
                 f"identical={metrics['reports_identical']}"
             )
         print(line)

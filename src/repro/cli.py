@@ -19,6 +19,7 @@ Subcommands::
     python -m repro engine cluster --socket /tmp/lease.sock --workers 2
     python -m repro engine loadgen --socket /tmp/lease.sock --check
     python -m repro engine loadgen --cluster 2 --check
+    python -m repro engine chaos --workers 2 --kills 2 --check
     python -m repro engine metrics --socket /tmp/lease.sock --validate
 
 The ``engine`` subcommands front :mod:`repro.engine`, :mod:`repro.serve`
@@ -30,9 +31,11 @@ trace, ``serve`` puts a broker behind the asyncio wire protocol,
 ``cluster`` spawns N ``engine serve`` worker processes behind a shard
 router on one socket, ``loadgen`` drives closed-loop tenants against
 a server or cluster (in-process by default) and checks the served
-aggregate against an inline replay of the same trace, and ``metrics``
-scrapes a running server or router's Prometheus exposition over the
-``metrics`` protocol verb.
+aggregate against an inline replay of the same trace, ``chaos``
+SIGKILLs workers in a WAL'd supervised cluster mid-loadgen and demands
+the post-crash aggregate still equal the inline replay byte for byte,
+and ``metrics`` scrapes a running server or router's Prometheus
+exposition over the ``metrics`` protocol verb.
 """
 
 from __future__ import annotations
@@ -379,6 +382,12 @@ def cmd_engine_serve(args) -> int:
     # stays off so embedded servers pay nothing unless asked.
     metrics = MetricsRegistry(enabled=args.metrics)
     trace = TraceSink(args.trace_jsonl)
+    wal_kwargs = {}
+    if args.wal_dir:
+        wal_kwargs["wal_dir"] = args.wal_dir
+        wal_kwargs["fsync"] = args.fsync
+        if args.snapshot_every is not None:
+            wal_kwargs["snapshot_every"] = args.snapshot_every
     server = LeaseServer(
         schedule,
         num_resources=args.resources,
@@ -388,6 +397,7 @@ def cmd_engine_serve(args) -> int:
         idle_timeout=args.idle_timeout,
         metrics=metrics,
         trace=trace,
+        **wal_kwargs,
     )
 
     async def _main() -> None:
@@ -399,6 +409,10 @@ def cmd_engine_serve(args) -> int:
             port = await server.start_tcp(args.host, args.port)
             where.append(f"tcp:{args.host}:{port}")
         extras = [f"metrics {'on' if args.metrics else 'off'}"]
+        if args.wal_dir:
+            extras.append(f"wal {args.wal_dir} (fsync={args.fsync})")
+            if server.recovered_events:
+                extras.append(f"recovered {server.recovered_events} events")
         if args.trace_jsonl:
             extras.append(f"trace {args.trace_jsonl}")
         print(
@@ -425,7 +439,13 @@ def cmd_engine_cluster(args) -> int:
     import asyncio
     from pathlib import Path
 
-    from .cluster import ClusterRouter, ClusterSpec, WorkerProcess, reap
+    from .cluster import (
+        ClusterRouter,
+        ClusterSpec,
+        WorkerProcess,
+        make_respawner,
+        reap,
+    )
 
     if not args.socket:
         print("error: engine cluster needs --socket")
@@ -438,6 +458,9 @@ def cmd_engine_cluster(args) -> int:
         cost_growth=args.cost_growth,
         record=args.record,
         session_window=args.window,
+        wal_root=args.wal_root,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
     )
     base = Path(args.socket)
     workers = [
@@ -454,6 +477,9 @@ def cmd_engine_cluster(args) -> int:
             spec,
             worker_window=args.worker_window,
             metrics=MetricsRegistry(enabled=args.metrics),
+            # Durable fleets run supervised: a dead worker respawns with
+            # its WAL directory and recovers instead of failing traffic.
+            respawn=make_respawner(workers) if args.wal_root else None,
         )
         await router.connect_workers(
             [worker.socket_path for worker in workers],
@@ -461,12 +487,16 @@ def cmd_engine_cluster(args) -> int:
             codec=args.codec,
         )
         await router.start_unix(args.socket)
+        durability = (
+            f"wal {args.wal_root} (fsync={args.fsync}, supervised)"
+            if args.wal_root else "wal off"
+        )
         print(
             f"repro.cluster listening on unix:{args.socket} — "
             f"{spec.num_resources} resources over {spec.num_workers} "
             f"worker process(es) x {spec.shards_per_worker} shard(s), "
             f"K={spec.num_types}, worker codec={args.codec}, "
-            f"metrics {'on' if args.metrics else 'off'}",
+            f"{durability}, metrics {'on' if args.metrics else 'off'}",
             flush=True,
         )
         await router.run_until_stopped()
@@ -477,6 +507,96 @@ def cmd_engine_cluster(args) -> int:
         pass
     finally:
         reap(workers)
+    return 0
+
+
+def cmd_engine_chaos(args) -> int:
+    import tempfile
+
+    from .durable.chaos import (
+        build_chaos_instance,
+        default_kill_schedule,
+        run_chaos,
+    )
+
+    explicit = []
+    for item in args.kill or ():
+        day, sep, worker = item.partition(":")
+        if not sep or not day.isdigit() or not worker.isdigit():
+            print(f"error: --kill wants DAY:WORKER, got {item!r}")
+            return 2
+        explicit.append((int(day), int(worker)))
+
+    # Chaos state is throwaway by design — the WAL tree only needs to
+    # outlive the kills inside this one run — so default to a temp dir.
+    tmp = None
+    wal_root = args.wal_root
+    if wal_root is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        wal_root = tmp.name
+    try:
+        instance = build_chaos_instance(
+            args.workload,
+            args.horizon,
+            args.seed,
+            wal_root,
+            num_resources=args.resources,
+            tenants_per_resource=args.tenants_per_resource,
+            num_workers=args.workers,
+            shards_per_worker=args.shards_per_worker,
+            fsync=args.fsync,
+            snapshot_every=args.snapshot_every,
+        )
+        schedule = (
+            tuple(explicit)
+            if explicit
+            else default_kill_schedule(instance, kills=args.kills)
+        )
+        outcome = run_chaos(
+            instance, kill_schedule=schedule, retry_for=args.connect_timeout
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    def _fmt(kills) -> str:
+        return (
+            ", ".join(f"day {day} -> worker {w}" for day, w in kills)
+            or "none"
+        )
+
+    print_table(
+        ["metric", "value"],
+        [
+            ["workers", args.workers],
+            ["fsync", outcome.fsync],
+            ["scheduled kills", _fmt(outcome.scheduled)],
+            ["executed kills", _fmt(outcome.executed)],
+            ["respawns", outcome.respawns],
+            ["requests sent", outcome.requests],
+            ["leases bought", len(outcome.result.leases)],
+            ["total cost", outcome.cost],
+            [
+                "report equals inline replay",
+                "yes" if outcome.report_equal else "NO",
+            ],
+        ],
+        title=(
+            f"chaos: {args.workload} x{args.horizon}, seed {args.seed} — "
+            f"SIGKILL {len(outcome.scheduled)} worker(s) mid-load"
+        ),
+    )
+    if args.check and not outcome.ok:
+        if not outcome.report_equal:
+            print(
+                "error: post-crash aggregate diverged from the inline replay"
+            )
+        else:
+            print(
+                "error: scheduled kill(s) never executed "
+                "(victim already dead?)"
+            )
+        return 1
     return 0
 
 
@@ -863,6 +983,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one JSONL span per dispatched request "
         "(id, tenant, resource, op, enqueue/dispatch/reply timestamps)",
     )
+    engine_serve.add_argument(
+        "--wal-dir", default=None, metavar="PATH",
+        help="per-shard write-ahead-log directory; a restart against the "
+        "same directory recovers the broker byte-identically before "
+        "accepting traffic",
+    )
+    engine_serve.add_argument(
+        "--fsync", default="batch", choices=("off", "batch", "always"),
+        help="WAL fsync policy; only 'always' makes acked ops survive "
+        "kill -9",
+    )
+    engine_serve.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="appended events between periodic broker snapshots "
+        "(snapshots truncate the WAL tail)",
+    )
     engine_serve.set_defaults(func=cmd_engine_serve)
 
     engine_cluster = engine_sub.add_parser(
@@ -905,7 +1041,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample per-link relay latency and in-flight gauges on the "
         "router, served back by the 'metrics' protocol verb",
     )
+    engine_cluster.add_argument(
+        "--wal-root", default=None, metavar="PATH",
+        help="directory for per-worker WAL trees "
+        "(PATH/worker-N/shard-M); also turns on supervision: a dead "
+        "worker is respawned against its WAL and recovers in place",
+    )
+    engine_cluster.add_argument(
+        "--fsync", default="batch", choices=("off", "batch", "always"),
+        help="worker WAL fsync policy; only 'always' makes acked ops "
+        "survive kill -9",
+    )
+    engine_cluster.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="appended events between periodic broker snapshots inside "
+        "each worker",
+    )
     engine_cluster.set_defaults(func=cmd_engine_cluster)
+
+    engine_chaos = engine_sub.add_parser(
+        "chaos",
+        help="SIGKILL workers in a WAL'd cluster mid-loadgen and check "
+        "the post-crash aggregate against the inline replay",
+    )
+    engine_chaos.add_argument("--workload", default="markov")
+    engine_chaos.add_argument("--horizon", type=int, default=192)
+    engine_chaos.add_argument("--seed", type=int, default=0)
+    engine_chaos.add_argument("--resources", type=int, default=8)
+    engine_chaos.add_argument("--tenants-per-resource", type=int, default=2)
+    engine_chaos.add_argument("--workers", type=int, default=2,
+                              help="lease-server worker processes")
+    engine_chaos.add_argument("--shards-per-worker", type=int, default=2,
+                              help="broker sub-shards inside each worker")
+    engine_chaos.add_argument(
+        "--fsync", default="always", choices=("off", "batch", "always"),
+        help="worker WAL fsync policy; anything weaker than 'always' is "
+        "expected to fail the check when a kill lands in an unsynced batch",
+    )
+    engine_chaos.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="appended events between periodic broker snapshots",
+    )
+    engine_chaos.add_argument(
+        "--wal-root", default=None, metavar="PATH",
+        help="WAL tree for the fleet (default: a temp dir, removed after)",
+    )
+    engine_chaos.add_argument(
+        "--kills", type=int, default=2,
+        help="deterministic kill count, spread evenly through the horizon "
+        "round-robin over workers",
+    )
+    engine_chaos.add_argument(
+        "--kill", action="append", metavar="DAY:WORKER",
+        help="explicit kill point (repeatable); overrides --kills",
+    )
+    engine_chaos.add_argument("--connect-timeout", type=float, default=60.0)
+    engine_chaos.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless every kill executed and the post-crash "
+        "aggregate equals the inline replay byte for byte",
+    )
+    engine_chaos.set_defaults(func=cmd_engine_chaos)
 
     engine_metrics = engine_sub.add_parser(
         "metrics",

@@ -31,7 +31,13 @@ from .loadgen import (
     run_cluster_instance,
     verify_cluster,
 )
-from .procs import WorkerProcess, reap, spawn_workers, worker_command
+from .procs import (
+    WorkerProcess,
+    make_respawner,
+    reap,
+    spawn_workers,
+    worker_command,
+)
 from .router import ClusterRouter
 from .spec import ClusterSpec
 
@@ -42,6 +48,7 @@ __all__ = [
     "WorkerProcess",
     "build_cluster_instance",
     "cluster_once",
+    "make_respawner",
     "reap",
     "run_cluster_instance",
     "spawn_workers",

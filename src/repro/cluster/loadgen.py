@@ -43,7 +43,7 @@ from ..serve.loadgen import (
     merge_shard_payloads,
 )
 from ..serve.protocol import CODEC_BIN, CODECS
-from .procs import reap, spawn_workers
+from .procs import make_respawner, reap, spawn_workers
 from .router import ClusterRouter
 from .spec import ClusterSpec
 
@@ -65,6 +65,10 @@ class ClusterInstance:
     session_window: int = 64
     codec: str = CODEC_BIN
     worker_window: int = 1024
+    record: bool = False
+    wal_root: str | None = None
+    fsync: str = "batch"
+    snapshot_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.codec not in CODECS:
@@ -94,7 +98,11 @@ class ClusterInstance:
             shards_per_worker=self.shards_per_worker,
             num_types=self.trace.schedule.num_types,
             cost_growth=_cost_growth(self.trace.schedule),
+            record=self.record,
             session_window=self.session_window,
+            wal_root=self.wal_root,
+            fsync=self.fsync,
+            snapshot_every=self.snapshot_every,
         )
 
 
@@ -120,6 +128,10 @@ def build_cluster_instance(
     shards_per_worker: int = 2,
     session_window: int = 64,
     codec: str = CODEC_BIN,
+    record: bool = False,
+    wal_root: str | None = None,
+    fsync: str = "batch",
+    snapshot_every: int | None = None,
 ) -> ClusterInstance:
     """A cluster instance over :func:`generate_resource_trace` streams.
 
@@ -153,14 +165,22 @@ def build_cluster_instance(
         shards_per_worker=shards_per_worker,
         session_window=session_window,
         codec=codec,
+        record=record,
+        wal_root=wal_root,
+        fsync=fsync,
+        snapshot_every=snapshot_every,
     )
 
 
 def cluster_once(
     instance: ClusterInstance,
-    retry_for: float = 15.0,
+    # Generous: on a loaded single-core box a worker interpreter can
+    # take tens of seconds just to boot; a short deadline here turns
+    # CPU contention into spurious connect failures.
+    retry_for: float = 60.0,
     metrics: MetricsRegistry | None = None,
     latency_registry: MetricsRegistry | None = None,
+    fault_hook=None,
 ) -> dict:
     """One full clustered serving cycle; returns the merged report.
 
@@ -173,6 +193,13 @@ def cluster_once(
     ``metrics`` instruments the router's worker links;
     ``latency_registry`` samples client-side per-tenant op latency, as
     in :func:`~repro.serve.loadgen.drive_tenants`.
+
+    A WAL'd instance (``wal_root`` set) runs *supervised*: the router
+    gets a respawn callback over the spawned fleet, so a worker that
+    dies mid-drive is restarted with its WAL directory, recovers, and
+    the drive rides through the crash.  ``fault_hook(day, workers)``,
+    when given, is called before each simulated day's traffic — the
+    chaos harness's kill injection point.
     """
     spec = instance.spec
     workdir = tempfile.mkdtemp(prefix="rcl-")
@@ -180,10 +207,16 @@ def cluster_once(
     try:
         workers = spawn_workers(spec, workdir)
         router_socket = str(Path(workdir) / "router.sock")
+        respawn = make_respawner(workers) if spec.wal_root else None
+        on_day = (
+            None if fault_hook is None
+            else (lambda day: fault_hook(day, workers))
+        )
 
         async def _route_and_drive() -> dict:
             router = ClusterRouter(
-                spec, worker_window=instance.worker_window, metrics=metrics
+                spec, worker_window=instance.worker_window, metrics=metrics,
+                respawn=respawn,
             )
             await router.connect_workers(
                 [w.socket_path for w in workers],
@@ -197,8 +230,10 @@ def cluster_once(
                     instance, router_socket,
                     retry_for=retry_for, codec=instance.codec,
                     latency_registry=latency_registry,
+                    on_day=on_day,
                 )
                 report["drive_seconds"] = time.perf_counter() - start
+                report["respawns"] = sum(w.respawns for w in workers)
                 return report
             finally:
                 await router.shutdown()
@@ -234,6 +269,7 @@ def run_cluster_instance(
         "codec": instance.codec,
         "transport": "unix",
         "requests": report["requests"],
+        "respawns": report.get("respawns", 0),
         "report_equal": equal,
     }
     return replace(served, detail=detail)

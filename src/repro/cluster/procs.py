@@ -25,9 +25,17 @@ from ..errors import ModelError
 from .spec import ClusterSpec
 
 
-def worker_command(spec: ClusterSpec, socket_path: str) -> list[str]:
-    """The exact ``engine serve`` argv one worker runs."""
-    return [
+def worker_command(
+    spec: ClusterSpec, socket_path: str, wal_dir: str | None = None
+) -> list[str]:
+    """The exact ``engine serve`` argv one worker runs.
+
+    The single builder every spawn and respawn goes through — the spec's
+    serving shape, the durability flags, and the instrumentation stance
+    are encoded here once, so a respawned worker is guaranteed to come
+    back with the exact configuration it died with.
+    """
+    argv = [
         sys.executable, "-m", "repro", "engine", "serve",
         "--socket", str(socket_path),
         "--resources", str(spec.num_resources),
@@ -43,6 +51,11 @@ def worker_command(spec: ClusterSpec, socket_path: str) -> list[str]:
         # nothing scrapes.
         "--no-metrics",
     ]
+    if wal_dir is not None:
+        argv += ["--wal-dir", str(wal_dir), "--fsync", spec.fsync]
+        if spec.snapshot_every is not None:
+            argv += ["--snapshot-every", str(spec.snapshot_every)]
+    return argv
 
 
 def _worker_env() -> dict:
@@ -66,10 +79,17 @@ class WorkerProcess:
         quiet: bool = True,
     ):
         self.index = index
+        self.spec = spec
         self.socket_path = str(socket_path)
-        sink = subprocess.DEVNULL if quiet else None
-        self.process = subprocess.Popen(
-            worker_command(spec, socket_path),
+        self.quiet = quiet
+        self.wal_dir = spec.worker_wal_dir(index)
+        self.respawns = 0
+        self.process = self._spawn()
+
+    def _spawn(self) -> subprocess.Popen:
+        sink = subprocess.DEVNULL if self.quiet else None
+        return subprocess.Popen(
+            worker_command(self.spec, self.socket_path, wal_dir=self.wal_dir),
             env=_worker_env(),
             stdout=sink,
             stderr=sink,
@@ -78,6 +98,31 @@ class WorkerProcess:
     @property
     def alive(self) -> bool:
         return self.process.poll() is None
+
+    def respawn(self) -> str:
+        """Replace the worker process in place; returns the socket path.
+
+        Kills whatever is left of the old process (a hung worker must
+        release the socket before its successor binds it), unlinks the
+        stale socket file, and starts a fresh process through the same
+        :func:`worker_command` argv — including the WAL directory, so
+        the successor recovers the predecessor's durable state before
+        accepting traffic.  Mutating ``self.process`` in place keeps
+        :func:`reap` pointed at the live incarnation.
+        """
+        if self.alive:
+            self.process.kill()
+        try:
+            self.process.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            pass
+        try:
+            os.unlink(self.socket_path)
+        except FileNotFoundError:
+            pass
+        self.respawns += 1
+        self.process = self._spawn()
+        return self.socket_path
 
     def stop(self, timeout: float = 10.0) -> int | None:
         """Reap the worker: wait briefly, then terminate, then kill."""
@@ -111,6 +156,20 @@ def spawn_workers(
         )
         for index in range(spec.num_workers)
     ]
+
+
+def make_respawner(workers: list[WorkerProcess]):
+    """A ``respawn(index) -> socket_path`` callback over a worker fleet.
+
+    What the router's supervision calls (off the event loop, in an
+    executor) when it finds a worker dead: restart that worker in place
+    and hand back the socket to redial.
+    """
+
+    def respawn(index: int) -> str:
+        return workers[index].respawn()
+
+    return respawn
 
 
 def reap(workers: list[WorkerProcess], timeout: float = 10.0) -> None:

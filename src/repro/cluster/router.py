@@ -37,6 +37,22 @@ shards would have reported.  Merging those payloads with
 inline replay of the merged trace byte for byte, the identity the
 ``cluster-*`` scenarios and CI gate continuously.
 
+**Supervision and recovery.**  With a ``respawn`` callback configured,
+every link lives inside a :class:`_WorkerSlot` supervisor.  A worker
+death is detected two ways — the link reader hits EOF the moment the
+process dies (the kernel closes its sockets), and a periodic heartbeat
+``hello`` catches a process that is alive but hung.  The slot then takes
+ownership of the link's unanswered ops, *holds* every new frame for that
+worker in a bounded queue, and restarts the worker through the callback
+(off the event loop) with jittered exponential backoff between
+attempts.  Once the successor is up — having replayed its WAL, when the
+fleet is durable — the slot resends the in-flight ops oldest-first with
+a ``retry`` marker (the worker's applied-log dedup makes the resend
+exactly-once) and then releases the held frames in arrival order, so
+per-connection FIFO order survives the crash end to end.  Tenants
+observe a stall, not an error; only a worker that stays dead past the
+respawn budget fails its traffic with typed ``unavailable`` frames.
+
 **Drain and shutdown.**  ``drain`` broadcasts to every worker, then
 flips the router, so new acquires are refused at both layers while
 renews/releases complete.  ``shutdown`` acks the caller, stops the
@@ -48,6 +64,8 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
+from collections import deque
 
 from ..errors import ModelError
 from ..obs.export import export_sessions, export_shards
@@ -137,7 +155,7 @@ class _WorkerLink:
     __slots__ = (
         "index", "reader", "writer", "codec", "_ids", "_pending", "outq",
         "_pump_task", "_read_task", "_metrics_on", "_clock", "_registry",
-        "_latency", "_frames", "_failures",
+        "_latency", "_frames", "_failures", "_on_death", "_closing",
     )
 
     def __init__(
@@ -147,15 +165,20 @@ class _WorkerLink:
         writer,
         codec: str,
         metrics: MetricsRegistry | None = None,
+        on_death=None,
     ):
         self.index = index
         self.reader = reader
         self.writer = writer
         self.codec = codec
         self._ids = itertools.count(1)
-        #: link id -> (conn, client id, None, op, t0) for relays,
-        #:            (None, None, future, op, t0) for router calls.
+        #: link id -> (conn, client id, None, op, payload, t0) for relays,
+        #:            (None, None, future, op, payload, t0) for router
+        #: calls.  The original payload rides along so a supervisor can
+        #: resend the op verbatim on a successor link.
         self._pending: dict[int, tuple] = {}
+        self._on_death = on_death
+        self._closing = False
         self.outq: asyncio.Queue = asyncio.Queue()
         registry = metrics if metrics is not None else MetricsRegistry(
             enabled=False
@@ -201,6 +224,7 @@ class _WorkerLink:
         retry_for: float = 10.0,
         codec: str = CODEC_BIN,
         metrics: MetricsRegistry | None = None,
+        on_death=None,
     ) -> "_WorkerLink":
         deadline = asyncio.get_running_loop().time() + retry_for
         while True:
@@ -230,7 +254,9 @@ class _WorkerLink:
                 pass
             raise
         chosen = negotiate_codec(hello.get("codec")) if codec == CODEC_BIN else CODEC_JSON
-        return cls(index, reader, writer, chosen, metrics=metrics)
+        return cls(
+            index, reader, writer, chosen, metrics=metrics, on_death=on_death
+        )
 
     @staticmethod
     def _validate_hello(index: int, hello: dict, spec: ClusterSpec) -> None:
@@ -271,27 +297,60 @@ class _WorkerLink:
         """Relay a client mutation: rewrite the id, queue the frame."""
         link_id = next(self._ids)
         t0 = self._clock() if self._metrics_on else 0.0
-        self._pending[link_id] = (conn, client_id, None, payload.get("op"), t0)
+        self._pending[link_id] = (
+            conn, client_id, None, payload.get("op"), payload, t0
+        )
         self._frames.inc()
         self.outq.put_nowait(
             encode_frame({**payload, "id": link_id}, self.codec)
         )
 
-    def call(self, op: str, **fields) -> asyncio.Future:
-        """A router-originated request; the future resolves to the raw frame."""
+    def call(self, op: str, _future: asyncio.Future | None = None, **fields):
+        """A router-originated request; the future resolves to the raw frame.
+
+        ``_future`` lets a supervisor re-attach a caller already awaiting
+        an answer (a call held across a worker respawn) instead of
+        minting a fresh future nobody awaits.
+        """
         link_id = next(self._ids)
-        future = asyncio.get_running_loop().create_future()
-        t0 = self._clock() if self._metrics_on else 0.0
-        self._pending[link_id] = (None, None, future, op, t0)
-        self._frames.inc()
-        self.outq.put_nowait(
-            encode_frame(request(op, link_id, **fields), self.codec)
+        future = (
+            _future if _future is not None
+            else asyncio.get_running_loop().create_future()
         )
+        t0 = self._clock() if self._metrics_on else 0.0
+        payload = request(op, link_id, **fields)
+        self._pending[link_id] = (None, None, future, op, payload, t0)
+        self._frames.inc()
+        self.outq.put_nowait(encode_frame(payload, self.codec))
         return future
 
     async def call_checked(self, op: str, **fields) -> dict:
         """Call and parse, raising :class:`ServeError` on error frames."""
         return parse_response(await self.call(op, **fields))
+
+    def resend(self, entry: tuple) -> None:
+        """Re-issue one taken pending entry on this (successor) link.
+
+        Mutations travel with ``retry: true`` so a worker that already
+        applied the op before dying answers from its applied-log dedup
+        instead of applying twice; idempotent control reads go verbatim.
+        """
+        conn, client_id, future, op, payload, _t0 = entry
+        if future is not None and future.done():
+            return
+        link_id = next(self._ids)
+        t0 = self._clock() if self._metrics_on else 0.0
+        self._pending[link_id] = (conn, client_id, future, op, payload, t0)
+        self._frames.inc()
+        body = {**payload, "id": link_id}
+        if op in MUTATION_OPS:
+            body["retry"] = True
+        self.outq.put_nowait(encode_frame(body, self.codec))
+
+    def take_pending(self) -> list[tuple]:
+        """Strip and return the unanswered ops, oldest (lowest id) first."""
+        pending, self._pending = self._pending, {}
+        return [entry for _link_id, entry in sorted(pending.items())]
 
     # ------------------------------------------------------------------
     # Pumps
@@ -321,7 +380,7 @@ class _WorkerLink:
                 entry = self._pending.pop(payload.get("id"), None)
                 if entry is None:
                     continue
-                conn, client_id, future, op, t0 = entry
+                conn, client_id, future, op, _payload, t0 = entry
                 if self._metrics_on:
                     self._latency_hist(op).observe(self._clock() - t0)
                 if future is not None:
@@ -332,13 +391,19 @@ class _WorkerLink:
                     response["id"] = client_id
                     conn.send(response)
         finally:
-            self.fail_pending(f"worker {self.index} connection lost")
+            # A supervised link hands its unanswered ops to the slot for
+            # resend after respawn; an unsupervised (or closing) one
+            # fails them, the pre-supervision behaviour.
+            if self._on_death is not None and not self._closing:
+                self._on_death()
+            else:
+                self.fail_pending(f"worker {self.index} connection lost")
 
     def fail_pending(self, why: str) -> None:
         pending, self._pending = self._pending, {}
         if pending:
             self._failures.inc(len(pending))
-        for conn, client_id, future, _op, _t0 in pending.values():
+        for conn, client_id, future, _op, _payload, _t0 in pending.values():
             if future is not None:
                 if not future.done():
                     future.set_exception(ServeError("unavailable", why))
@@ -346,6 +411,7 @@ class _WorkerLink:
                 conn.send(error(client_id, "unavailable", why))
 
     async def close(self) -> None:
+        self._closing = True
         for task in (self._pump_task, self._read_task):
             task.cancel()
             try:
@@ -358,6 +424,277 @@ class _WorkerLink:
             await self.writer.wait_closed()
         except Exception:
             pass
+
+
+class _WorkerSlot:
+    """One worker's seat at the router: a link, supervised or not.
+
+    Unsupervised (no ``respawn`` callback) the slot is a pass-through to
+    its link and a dead worker fails its in-flight ops, exactly the
+    pre-supervision contract.  Supervised, the slot owns recovery: on
+    link death it takes the unanswered ops, holds new frames in a
+    bounded queue, restarts the worker through ``respawn`` (in an
+    executor — it forks processes) with jittered exponential backoff,
+    reconnects, resends the taken ops oldest-first with the ``retry``
+    marker, then drains the held frames in arrival order.  Exhausting
+    ``max_respawns`` fails everything with typed ``unavailable``.
+    """
+
+    __slots__ = (
+        "index", "path", "spec", "codec_pref", "retry_for", "link",
+        "state", "respawn", "hold_limit", "max_respawns", "backoff_base",
+        "backoff_cap", "heartbeat_every", "heartbeat_timeout", "_held",
+        "_registry", "_recover_task", "_heartbeat_task", "_closing",
+        "_deaths", "_respawns", "_held_counter",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        path: str,
+        spec: ClusterSpec,
+        codec_pref: str,
+        retry_for: float,
+        registry: MetricsRegistry,
+        respawn=None,
+        hold_limit: int = 4096,
+        max_respawns: int = 5,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+        heartbeat_every: float = 2.0,
+        heartbeat_timeout: float = 10.0,
+    ):
+        self.index = index
+        self.path = path
+        self.spec = spec
+        self.codec_pref = codec_pref
+        self.retry_for = retry_for
+        self.link: _WorkerLink | None = None
+        self.state = "up"
+        self.respawn = respawn
+        self.hold_limit = hold_limit
+        self.max_respawns = max_respawns
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.heartbeat_every = heartbeat_every
+        self.heartbeat_timeout = heartbeat_timeout
+        self._held: deque = deque()
+        self._registry = registry
+        self._recover_task: asyncio.Task | None = None
+        self._heartbeat_task: asyncio.Task | None = None
+        self._closing = False
+        self._deaths = registry.counter(
+            "cluster_worker_deaths_total",
+            help="Times the router found this worker's link dead.",
+            worker=str(index),
+        )
+        self._respawns = registry.counter(
+            "cluster_respawns_total",
+            help="Worker restarts the router's supervision performed.",
+            worker=str(index),
+        )
+        self._held_counter = registry.counter(
+            "cluster_held_frames_total",
+            help="Frames held while this worker was being respawned.",
+            worker=str(index),
+        )
+
+    @property
+    def supervised(self) -> bool:
+        return self.respawn is not None
+
+    async def open(self) -> None:
+        """Dial the worker and, when supervised, start the heartbeat."""
+        self.link = await _WorkerLink.open(
+            self.index, self.path, self.spec, retry_for=self.retry_for,
+            codec=self.codec_pref, metrics=self._registry,
+            on_death=self._link_died if self.supervised else None,
+        )
+        if self.supervised and self._heartbeat_task is None:
+            self._heartbeat_task = asyncio.create_task(self._heartbeat())
+
+    # ------------------------------------------------------------------
+    # The link surface the router routes through
+    # ------------------------------------------------------------------
+    @property
+    def codec(self) -> str:
+        link = self.link
+        return link.codec if link is not None else self.codec_pref
+
+    @property
+    def inflight(self) -> int:
+        link = self.link
+        return (link.inflight if link is not None else 0) + len(self._held)
+
+    def forward(self, payload: dict, conn: _ClientConn, client_id) -> None:
+        if self.state == "up":
+            self.link.forward(payload, conn, client_id)
+        elif self.state == "recovering":
+            self._hold(("forward", payload, conn, client_id))
+        else:
+            raise ServeError(
+                "unavailable",
+                f"worker {self.index} is gone (respawn budget exhausted)",
+            )
+
+    def call(self, op: str, **fields) -> asyncio.Future:
+        if self.state == "up":
+            return self.link.call(op, **fields)
+        future = asyncio.get_running_loop().create_future()
+        if self.state == "recovering":
+            try:
+                self._hold(("call", op, fields, future))
+            except ServeError as exc:
+                future.set_exception(exc)
+        else:
+            future.set_exception(
+                ServeError(
+                    "unavailable",
+                    f"worker {self.index} is gone "
+                    f"(respawn budget exhausted)",
+                )
+            )
+        return future
+
+    async def call_checked(self, op: str, **fields) -> dict:
+        return parse_response(await self.call(op, **fields))
+
+    def begin_shutdown(self) -> None:
+        """Stop treating link EOF as worker death: shutdown is expected.
+
+        Called before the router broadcasts ``shutdown`` to the fleet.
+        A worker that acks the broadcast closes its end of the link
+        while it writes its final snapshots; without this flag the
+        read-EOF supervision path would mistake that for a crash and
+        ``respawn`` — whose first act is SIGKILLing the old process —
+        cutting the graceful stop short mid-snapshot.
+        """
+        self._closing = True
+
+    def _hold(self, item: tuple) -> None:
+        if len(self._held) >= self.hold_limit:
+            raise ServeError(
+                "backpressure",
+                f"worker {self.index} is recovering with "
+                f"{len(self._held)} frames already held "
+                f"(hold limit {self.hold_limit})",
+            )
+        self._held_counter.inc()
+        self._held.append(item)
+
+    # ------------------------------------------------------------------
+    # Death, recovery, heartbeat
+    # ------------------------------------------------------------------
+    def _link_died(self) -> None:
+        link = self.link
+        if link is None or self._closing:
+            return
+        self.link = None
+        self.state = "recovering"
+        self._deaths.inc()
+        pending = link.take_pending()
+        self._recover_task = asyncio.create_task(self._recover(link, pending))
+
+    async def _recover(self, dead_link: _WorkerLink, pending: list) -> None:
+        try:
+            await dead_link.close()
+            loop = asyncio.get_running_loop()
+            delay = self.backoff_base
+            for attempt in range(1, self.max_respawns + 1):
+                try:
+                    path = await loop.run_in_executor(
+                        None, self.respawn, self.index
+                    )
+                    link = await _WorkerLink.open(
+                        self.index, path, self.spec,
+                        retry_for=self.retry_for, codec=self.codec_pref,
+                        metrics=self._registry, on_death=self._link_died,
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    if attempt == self.max_respawns:
+                        break
+                    await asyncio.sleep(delay * (0.5 + random.random()))
+                    delay = min(delay * 2, self.backoff_cap)
+                    continue
+                self._respawns.inc()
+                self.path = path
+                # No awaits from here to the state flip: resends and the
+                # held drain land in the link queue atomically, keeping
+                # per-connection FIFO order across the crash.
+                for entry in pending:
+                    link.resend(entry)
+                held, self._held = self._held, deque()
+                for item in held:
+                    if item[0] == "forward":
+                        _, payload, conn, client_id = item
+                        link.forward(payload, conn, client_id)
+                    else:
+                        _, op, fields, future = item
+                        if not future.done():
+                            link.call(op, _future=future, **fields)
+                self.link = link
+                self.state = "up"
+                return
+            self.state = "down"
+            self._fail_all(
+                pending,
+                f"worker {self.index} did not come back after "
+                f"{self.max_respawns} respawn attempts",
+            )
+        except asyncio.CancelledError:
+            self._fail_all(pending, "router is shutting down")
+            raise
+
+    def _fail_all(self, pending: list, why: str) -> None:
+        for conn, client_id, future, _op, _payload, _t0 in pending:
+            if future is not None:
+                if not future.done():
+                    future.set_exception(ServeError("unavailable", why))
+            else:
+                conn.send(error(client_id, "unavailable", why))
+        held, self._held = self._held, deque()
+        for item in held:
+            if item[0] == "forward":
+                _, payload, conn, client_id = item
+                conn.send(error(payload.get("id"), "unavailable", why))
+            else:
+                _, _op, _fields, future = item
+                if not future.done():
+                    future.set_exception(ServeError("unavailable", why))
+
+    async def _heartbeat(self) -> None:
+        # Read-EOF catches a dead process instantly; the heartbeat is
+        # for the hung-but-alive worker, whose socket never closes.  A
+        # timed-out hello severs the link so the EOF path takes over.
+        while True:
+            await asyncio.sleep(self.heartbeat_every)
+            link = self.link
+            if link is None or self._closing:
+                continue
+            future = link.call("hello")
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(future), timeout=self.heartbeat_timeout
+                )
+            except asyncio.TimeoutError:
+                link.writer.close()
+            except Exception:
+                pass
+
+    async def close(self) -> None:
+        self._closing = True
+        for task in (self._heartbeat_task, self._recover_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        self._fail_all([], "router is shutting down")
+        if self.link is not None:
+            await self.link.close()
 
 
 class ClusterRouter:
@@ -373,6 +710,23 @@ class ClusterRouter:
             link-failure counters); ``None`` disables continuous
             sampling — the ``metrics`` verb still answers with the
             scrape-time export either way.
+        respawn: ``respawn(index) -> socket_path`` callback that
+            restarts a dead worker and returns the socket to redial
+            (see :func:`~repro.cluster.procs.make_respawner`).  Enables
+            supervision: worker death is detected (read-EOF plus
+            heartbeat), the worker restarted with backoff, in-flight
+            ops resent with the ``retry`` marker, and new frames held
+            meanwhile.  ``None`` keeps the fail-fast contract: a dead
+            worker fails its in-flight ops as ``unavailable``.
+        hold_limit: bound on frames held per recovering worker; beyond
+            it new mutations draw ``backpressure`` refusals.
+        max_respawns: respawn attempts per death before the worker is
+            declared gone and its traffic failed.
+        respawn_backoff: base of the jittered exponential backoff
+            (seconds) between failed respawn attempts.
+        heartbeat_every: seconds between supervision heartbeats.
+        heartbeat_timeout: unanswered-heartbeat window after which a
+            hung worker's link is severed to force recovery.
     """
 
     def __init__(
@@ -380,15 +734,31 @@ class ClusterRouter:
         spec: ClusterSpec,
         worker_window: int = 1024,
         metrics: MetricsRegistry | None = None,
+        respawn=None,
+        hold_limit: int = 4096,
+        max_respawns: int = 5,
+        respawn_backoff: float = 0.1,
+        heartbeat_every: float = 2.0,
+        heartbeat_timeout: float = 10.0,
     ):
         if worker_window < 1:
             raise ModelError("worker_window must be >= 1")
+        if hold_limit < 1:
+            raise ModelError("hold_limit must be >= 1")
+        if max_respawns < 1:
+            raise ModelError("max_respawns must be >= 1")
         self.spec = spec
         self.worker_window = worker_window
         self.metrics = metrics if metrics is not None else MetricsRegistry(
             enabled=False
         )
-        self._links: list[_WorkerLink] = []
+        self.respawn = respawn
+        self.hold_limit = hold_limit
+        self.max_respawns = max_respawns
+        self.respawn_backoff = respawn_backoff
+        self.heartbeat_every = heartbeat_every
+        self.heartbeat_timeout = heartbeat_timeout
+        self._slots: list[_WorkerSlot] = []
         self._state = "serving"
         self._servers: list[asyncio.base_events.Server] = []
         self._conns: set[_ClientConn] = set()
@@ -406,7 +776,7 @@ class ClusterRouter:
 
     @property
     def num_workers(self) -> int:
-        return len(self._links)
+        return len(self._slots)
 
     async def connect_workers(
         self,
@@ -423,18 +793,23 @@ class ClusterRouter:
             )
         try:
             for index, path in enumerate(paths):
-                self._links.append(
-                    await _WorkerLink.open(
-                        index, path, self.spec, retry_for=retry_for,
-                        codec=codec, metrics=self.metrics,
-                    )
+                slot = _WorkerSlot(
+                    index, path, self.spec, codec, retry_for, self.metrics,
+                    respawn=self.respawn,
+                    hold_limit=self.hold_limit,
+                    max_respawns=self.max_respawns,
+                    backoff_base=self.respawn_backoff,
+                    heartbeat_every=self.heartbeat_every,
+                    heartbeat_timeout=self.heartbeat_timeout,
                 )
+                await slot.open()
+                self._slots.append(slot)
         except BaseException:
-            # One bad worker must not strand the links (and their pump
+            # One bad worker must not strand the slots (and their pump
             # tasks) already opened to the good ones.
-            for link in self._links:
-                await link.close()
-            self._links.clear()
+            for slot in self._slots:
+                await slot.close()
+            self._slots.clear()
             raise
 
     async def start_unix(self, path: str) -> None:
@@ -455,7 +830,7 @@ class ClusterRouter:
         return server.sockets[0].getsockname()[1]
 
     def _require_links(self) -> None:
-        if not self._links:
+        if not self._slots:
             raise ModelError(
                 "connect_workers must succeed before the router listens"
             )
@@ -473,22 +848,31 @@ class ClusterRouter:
                 await server.wait_closed()
             except Exception:
                 pass
-        if self._links:
+        if self._slots:
+            # Expected EOFs ahead: a worker that acks the broadcast
+            # closes its link while writing final snapshots, which must
+            # not trip the death-detection respawn path.
+            for slot in self._slots:
+                slot.begin_shutdown()
             # One concurrent broadcast bounds the whole phase at the
-            # timeout even when several workers hang.
-            async def _stop_worker(link: _WorkerLink) -> None:
+            # timeout even when several workers hang.  Slots without a
+            # live link have nothing to shut down over the wire — the
+            # caller reaps their processes.
+            async def _stop_worker(slot: _WorkerSlot) -> None:
+                if slot.link is None:
+                    return
                 try:
                     await asyncio.wait_for(
-                        link.call_checked("shutdown"), timeout=10.0
+                        slot.call_checked("shutdown"), timeout=10.0
                     )
                 except Exception:
                     pass
 
             await asyncio.gather(
-                *(_stop_worker(link) for link in self._links)
+                *(_stop_worker(slot) for slot in self._slots)
             )
-        for link in self._links:
-            await link.close()
+        for slot in self._slots:
+            await slot.close()
         current = asyncio.current_task()
         lingering = [
             task for task in tuple(self._conn_tasks) if task is not current
@@ -539,9 +923,10 @@ class ClusterRouter:
             # Enqueue on every link *now*, synchronously — a mutation
             # read after this tick lands behind it in each link's FIFO,
             # preserving the single server's read-order serialization.
+            # (A recovering slot holds its tick in the same FIFO.)
             # Only the response aggregation is deferred to a task.
             futures = [
-                link.call("tick", time=when) for link in self._links
+                slot.call("tick", time=when) for slot in self._slots
             ]
             return asyncio.create_task(
                 self._finish_tick(futures, request_id, conn)
@@ -552,14 +937,14 @@ class ClusterRouter:
             )
         field_tenant(payload)
         resource = field_resource(payload, self.spec.num_resources)
-        link = self._links[self.spec.worker_of(resource)]
-        if link.inflight >= self.worker_window:
+        slot = self._slots[self.spec.worker_of(resource)]
+        if slot.inflight >= self.worker_window:
             raise ServeError(
                 "backpressure",
-                f"worker {link.index} has {link.inflight} ops in flight "
+                f"worker {slot.index} has {slot.inflight} ops in flight "
                 f"(window {self.worker_window})",
             )
-        link.forward(payload, conn, request_id)
+        slot.forward(payload, conn, request_id)
         return None
 
     async def _finish_tick(
@@ -591,14 +976,14 @@ class ClusterRouter:
     async def _broadcast(self, op: str) -> list[dict]:
         return list(
             await asyncio.gather(
-                *(link.call_checked(op) for link in self._links)
+                *(slot.call_checked(op) for slot in self._slots)
             )
         )
 
     def _kept_shards(self, results: list[dict]) -> list[dict]:
         """Each worker's own shard group, by global index, in order."""
         kept: list[dict] = []
-        for link, result in zip(self._links, results):
+        for link, result in zip(self._slots, results):
             lo, hi = self.spec.group(link.index)
             by_index = {
                 shard.get("index"): shard
@@ -625,13 +1010,14 @@ class ClusterRouter:
                 },
                 "workers": [
                     {
-                        "index": link.index,
+                        "index": slot.index,
                         "state": result["state"],
-                        "codec": link.codec,
-                        "inflight": link.inflight,
+                        "codec": slot.codec,
+                        "inflight": slot.inflight,
+                        "slot": slot.state,
                         "sessions": result["sessions"],
                     }
-                    for link, result in zip(self._links, results)
+                    for slot, result in zip(self._slots, results)
                 ],
                 "shards": self._kept_shards(results),
             }
@@ -661,7 +1047,7 @@ class ClusterRouter:
         names are disjoint, so the concatenation stays valid.
         """
         registry = MetricsRegistry(clock=self.metrics.clock)
-        for link, result in zip(self._links, results):
+        for link, result in zip(self._slots, results):
             worker = str(link.index)
             registry.gauge(
                 "cluster_worker_inflight",

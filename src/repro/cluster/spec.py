@@ -23,6 +23,8 @@ import bisect
 from dataclasses import dataclass
 from functools import cached_property
 
+from pathlib import Path
+
 from ..core.lease import LeaseSchedule
 from ..engine.scenarios import shard_ranges
 from ..errors import ModelError
@@ -41,6 +43,18 @@ class ClusterSpec:
             which the byte-identity gates rely on).
         record: workers keep applied-event logs for the ``trace`` op.
         session_window: per-tenant in-flight bound inside each worker.
+        wal_root: directory under which each worker keeps its per-shard
+            write-ahead logs (``wal_root/worker-<i>/shard-<j>/``);
+            ``None`` runs the fleet without durability.  A WAL'd fleet
+            should also set ``record=True`` — the applied-event log is
+            what lets a recovered worker deduplicate the router's
+            retried in-flight ops, the exactly-once half of recovery.
+        fsync: WAL fsync policy for every worker (``off`` / ``batch`` /
+            ``always``); only ``always`` makes acked ops survive
+            ``kill -9``.
+        snapshot_every: appended events between periodic broker
+            snapshots inside each worker; ``None`` keeps the server
+            default.
     """
 
     num_resources: int
@@ -50,6 +64,9 @@ class ClusterSpec:
     cost_growth: float = 2.0
     record: bool = False
     session_window: int = 64
+    wal_root: str | None = None
+    fsync: str = "batch"
+    snapshot_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_resources < 1:
@@ -63,6 +80,20 @@ class ClusterSpec:
                 f"total shards ({self.total_shards}) cannot exceed "
                 f"num_resources ({self.num_resources})"
             )
+        # Imported lazily: repro.durable.wal reaches back into
+        # repro.serve at import time, and loading it from this module's
+        # top level would close an import cycle through serve.server.
+        from ..durable.wal import require_fsync_mode
+
+        require_fsync_mode(self.fsync)
+        if self.snapshot_every is not None and self.snapshot_every < 1:
+            raise ModelError("snapshot_every must be >= 1")
+
+    def worker_wal_dir(self, worker: int) -> str | None:
+        """Worker ``worker``'s WAL directory, or ``None`` when WAL is off."""
+        if self.wal_root is None:
+            return None
+        return str(Path(self.wal_root) / f"worker-{worker}")
 
     @property
     def total_shards(self) -> int:

@@ -1,0 +1,29 @@
+"""Durability layer: per-shard WALs, snapshots, recovery, fault injection.
+
+:mod:`repro.durable.wal` persists each serving shard's applied events as
+binary wire frames plus periodic broker snapshots, and recovers a
+byte-identical broker on restart.  :mod:`repro.durable.chaos` is the
+fault-injection harness: it SIGKILLs cluster workers mid-loadgen on a
+schedule and asserts the merged clustered report still matches the
+inline replay byte for byte.
+"""
+
+from .wal import (
+    DEFAULT_SNAPSHOT_EVERY,
+    FSYNC_MODES,
+    ShardRecovery,
+    ShardWal,
+    read_wal_records,
+    recover_shard,
+    require_fsync_mode,
+)
+
+__all__ = [
+    "DEFAULT_SNAPSHOT_EVERY",
+    "FSYNC_MODES",
+    "ShardRecovery",
+    "ShardWal",
+    "read_wal_records",
+    "recover_shard",
+    "require_fsync_mode",
+]

@@ -581,6 +581,108 @@ class LeaseBroker:
         self._leases_cache = (key, result)
         return result
 
+    # ------------------------------------------------------------------
+    # Durable state (snapshot / restore)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-ready full broker state for durable snapshots.
+
+        Coverage entries are emitted as an *ordered list* in resource
+        first-touch order: :attr:`cost` sums per-policy costs in
+        ``_coverage`` insertion order, so restoring the resources in any
+        other order could drift the float sum by a ULP.  The expiry heap
+        is stored verbatim (a valid heap round-trips as a list), grants
+        in id order (which is insertion order), and per-policy state via
+        the policy's own ``state_dict``.
+        """
+        coverage_rows = []
+        for resource, coverage in self._coverage.items():
+            state_dict = getattr(coverage.policy, "state_dict", None)
+            if state_dict is None:
+                raise ModelError(
+                    f"policy {type(coverage.policy).__name__} is not "
+                    "snapshottable (no state_dict/restore_state)"
+                )
+            coverage_rows.append(
+                {
+                    "resource": resource,
+                    "covered_until": coverage.covered_until,
+                    "seen": coverage.seen,
+                    "policy": state_dict(),
+                }
+            )
+        grants = [
+            [
+                grant.grant_id,
+                grant.tenant,
+                grant.resource,
+                grant.acquired_at,
+                grant.expires_at,
+                -1 if grant.released_at is None else grant.released_at,
+            ]
+            for grant in self._grants.values()
+        ]
+        return {
+            "version": 1,
+            "clock": self._clock,
+            "next_grant_id": self._next_grant_id,
+            "closed": self._closed,
+            "stats": self.stats.full_dict(),
+            "grants": grants,
+            "grant_heap": [list(entry) for entry in self._grant_heap],
+            "coverage": coverage_rows,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`snapshot_state` snapshot into this fresh broker.
+
+        The broker must be freshly constructed with the same schedule
+        and policy factory the snapshot was taken under; restoring over
+        existing state raises.  After the restore the broker is
+        byte-identical to the one snapshotted: same grants, heap, clock,
+        stats, coverage horizons, policy purchases, and float cost sums.
+        """
+        if self._coverage or self._grants or self.stats.events:
+            raise ModelError("restore_state requires a fresh broker")
+        for row in state["coverage"]:
+            resource = int(row["resource"])
+            coverage = self._coverage_of(resource)
+            restore = getattr(coverage.policy, "restore_state", None)
+            if restore is None:
+                raise ModelError(
+                    f"policy {type(coverage.policy).__name__} is not "
+                    "snapshottable (no state_dict/restore_state)"
+                )
+            restore(row["policy"])
+            coverage.covered_until = int(row["covered_until"])
+            coverage.seen = int(row["seen"])
+        for grant_id, tenant, resource, acquired, expires, released in state[
+            "grants"
+        ]:
+            released_at = None if released < 0 else int(released)
+            grant = _Grant(
+                grant_id=int(grant_id),
+                tenant=str(tenant),
+                resource=int(resource),
+                acquired_at=int(acquired),
+                expires_at=int(expires),
+                released_at=released_at,
+            )
+            self._grants[grant.grant_id] = grant
+            if released_at is None:
+                self._active[(grant.tenant, grant.resource)] = grant.grant_id
+        self._grant_heap = [
+            (int(expires), int(grant_id))
+            for expires, grant_id in state["grant_heap"]
+        ]
+        self._clock = int(state["clock"])
+        self._next_grant_id = int(state["next_grant_id"])
+        self._closed = int(state["closed"])
+        self.stats = BrokerStats(
+            **{key: int(value) for key, value in state["stats"].items()}
+        )
+        self._leases_cache = None
+
     @property
     def num_active(self) -> int:
         """Number of currently live grants."""

@@ -13,7 +13,9 @@ This module makes the trajectory a first-class artifact:
   binary codec on the worker links; ``p05_obs``: the p03 serving cycle
   with :mod:`repro.obs` instrumentation off vs fully on — latency
   histograms, wire counters, JSONL trace spans — rating the
-  observability overhead) at one of three sizes (``full`` —
+  observability overhead; ``p06_durable``: the p03 serving cycle with
+  the :mod:`repro.durable` WAL off, batch-fsynced, and fsynced per
+  append — pricing durability) at one of three sizes (``full`` —
   the committed trajectory numbers, ``smoke`` — CI-sized, ``unit`` —
   test-sized) and returns a JSON-ready record.
 * ``BENCH_p01_broker.json`` / ``BENCH_p02_runner.json`` /
@@ -29,6 +31,9 @@ This module makes the trajectory a first-class artifact:
   required to *beat* its baseline — horizontal scale-out must pay.
   p05 additionally gates the overhead itself: the instrumented rate
   must stay within 10% of the uninstrumented rate of the same run.
+  p06 gates durability the same way: batch-fsynced serving must keep
+  at least 80% of the WAL-off rate measured in the same run
+  (per-append fsync is recorded, not gated — its cost is the disk's).
 * :func:`check` compares a fresh record against the committed file with
   a relative tolerance (default 30%) and returns human-readable
   failures; CI runs it in smoke mode and fails on any.
@@ -58,13 +63,17 @@ from .scenarios import make_broker_scenario, register
 
 SCHEMA = "repro-bench/1"
 BENCH_NAMES = (
-    "p01_broker", "p02_runner", "p03_serve", "p04_cluster", "p05_obs"
+    "p01_broker", "p02_runner", "p03_serve", "p04_cluster", "p05_obs",
+    "p06_durable",
 )
 MODES = ("full", "smoke", "unit")
 DEFAULT_TOLERANCE = 0.30
 #: Instrumented serving must keep at least this fraction of the
 #: uninstrumented rate measured in the same p05 run.
 OBS_OVERHEAD_FLOOR = 0.90
+#: Batch-fsynced durable serving must keep at least this fraction of
+#: the WAL-off rate measured in the same p06 run.
+DURABLE_BATCH_FLOOR = 0.80
 
 #: Committed trajectory files, relative to the repository root.
 BENCH_FILES = {
@@ -73,6 +82,7 @@ BENCH_FILES = {
     "p03_serve": "benchmarks/BENCH_p03_serve.json",
     "p04_cluster": "benchmarks/BENCH_p04_cluster.json",
     "p05_obs": "benchmarks/BENCH_p05_obs.json",
+    "p06_durable": "benchmarks/BENCH_p06_durable.json",
 }
 
 # P1 stream shape (mirrors bench_p01_broker_throughput).
@@ -112,6 +122,17 @@ _P05_SHARDS = {"full": 4, "smoke": 4, "unit": 2}
 _P05_ROUNDS = {"full": 3, "smoke": 6, "unit": 2}
 _P05_TENANTS_PER_RESOURCE = 2
 _P05_SEED = 7
+
+# P6 durability shape: the P3 serving cycle with the WAL off, batched
+# fsync, and per-append fsync, interleaved.  Every durable arm gets a
+# FRESH WAL directory each round — reusing one would recover the prior
+# round's state on startup and replay on top of it.
+_P06_HORIZON = {"full": 2048, "smoke": 512, "unit": 96}
+_P06_RESOURCES = {"full": 16, "smoke": 8, "unit": 4}
+_P06_SHARDS = {"full": 4, "smoke": 4, "unit": 2}
+_P06_ROUNDS = {"full": 3, "smoke": 6, "unit": 2}
+_P06_TENANTS_PER_RESOURCE = 2
+_P06_SEED = 7
 
 
 def _require_mode(mode: str) -> None:
@@ -520,12 +541,147 @@ def measure_p05(mode: str = "smoke") -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# P6: durability overhead (WAL off vs batch fsync vs per-append fsync)
+# ----------------------------------------------------------------------
+def measure_p06(mode: str = "smoke") -> dict:
+    """The p03 serving cycle priced under :mod:`repro.durable`'s WAL.
+
+    Three arms per round, interleaved so machine drift hits them all:
+
+    * ``off`` — no WAL at all: the library default, the baseline.
+    * ``batch`` — WAL on, fsync at dispatch-queue drain: the ``engine
+      serve --wal-dir`` default.  This is the gated arm — batched
+      durability must keep at least :data:`DURABLE_BATCH_FLOOR` of the
+      WAL-off rate from the same run.
+    * ``always`` — fsync per append: the only mode under which an
+      *acked* op survives ``kill -9``, and the mode ``engine chaos``
+      runs.  Recorded for the trajectory, not gated: its cost is the
+      disk's sync latency, wildly machine-dependent, and pricing it is
+      the point.
+
+    Each durable arm runs against a fresh WAL directory every round (a
+    reused directory would recover the previous round before serving).
+    Best-of-rounds per arm, because the headline numbers are *ratios*
+    of wall clocks.  Arms are rated on the *drive window* — tenants
+    connecting through final report — not the whole cycle: startup
+    recovery and the teardown snapshot are per-shard constants whose
+    fsyncs would otherwise be billed as per-event throughput, punishing
+    exactly the short runs CI uses.  The always arm still pays its
+    per-append fsyncs inside that window, which is the cost being
+    priced.  The p03 identities ride along: every arm's report
+    must equal the inline replay, and the durable arms' aggregates must
+    be identical to the WAL-off one — durability must not perturb
+    behaviour.  ``wal_bytes`` records one round's total on-disk WAL
+    footprint under fsync=always, log + snapshot files included.
+    """
+    _require_mode(mode)
+    import shutil
+    import tempfile
+
+    from ..serve.loadgen import (
+        build_serve_instance,
+        run_serve_instance,
+        serve_once,
+        verify_serve,
+    )
+
+    instance = build_serve_instance(
+        "markov",
+        _P06_HORIZON[mode],
+        _P06_SEED,
+        num_resources=_P06_RESOURCES[mode],
+        tenants_per_resource=_P06_TENANTS_PER_RESOURCE,
+        num_shards=_P06_SHARDS[mode],
+    )
+    arms = ("off", "batch", "always")
+    best: dict = {arm: None for arm in arms}
+    reports: dict = {arm: None for arm in arms}
+    wal_bytes = 0
+    root = Path(tempfile.mkdtemp(prefix="p06-wal-"))
+    try:
+        for round_index in range(_P06_ROUNDS[mode]):
+            for arm in arms:
+                wal_dir = None
+                if arm != "off":
+                    wal_dir = str(root / f"{arm}-{round_index}")
+                timings: dict = {}
+                reports[arm] = serve_once(
+                    instance,
+                    timings=timings,
+                    **({} if wal_dir is None
+                       else {"wal_dir": wal_dir, "fsync": arm}),
+                )
+                elapsed = timings["drive"]
+                if best[arm] is None or elapsed < best[arm]:
+                    best[arm] = elapsed
+        last_always = root / f"always-{_P06_ROUNDS[mode] - 1}"
+        wal_bytes = sum(
+            f.stat().st_size for f in last_always.rglob("*") if f.is_file()
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    results = {
+        arm: run_serve_instance(instance, _P06_SEED, report=report)
+        for arm, report in reports.items()
+    }
+    bare = results["off"]
+    reports_identical = all(
+        result.cost == bare.cost
+        and result.leases == bare.leases
+        and result.detail["broker_stats"] == bare.detail["broker_stats"]
+        for result in results.values()
+    )
+    events = bare.detail["broker_stats"]["events"]
+    report_equal = all(
+        result.detail["serve"]["report_equal"]
+        for result in results.values()
+    )
+    verified = all(
+        verify_serve(instance, result).ok for result in results.values()
+    )
+    return {
+        "schema": SCHEMA,
+        "bench": "p06_durable",
+        "mode": mode,
+        "params": {
+            "horizon": _P06_HORIZON[mode],
+            "num_resources": _P06_RESOURCES[mode],
+            "tenants_per_resource": _P06_TENANTS_PER_RESOURCE,
+            "num_shards": _P06_SHARDS[mode],
+            "rounds": _P06_ROUNDS[mode],
+            "seed": _P06_SEED,
+        },
+        "metrics": {
+            "events": events,
+            "requests": bare.detail["serve"]["requests"],
+            "tenants": bare.detail["serve"]["tenants"],
+            "leases": len(bare.leases),
+            "cost": bare.cost,
+            "off_elapsed_sec": round(best["off"], 4),
+            "batch_elapsed_sec": round(best["batch"], 4),
+            "always_elapsed_sec": round(best["always"], 4),
+            "off_events_per_sec": round(events / best["off"]),
+            "batch_events_per_sec": round(events / best["batch"]),
+            "always_events_per_sec": round(events / best["always"]),
+            "batch_ratio": round(best["batch"] / best["off"], 4),
+            "always_ratio": round(best["always"] / best["off"], 4),
+            "wal_bytes": wal_bytes,
+            "reports_identical": reports_identical,
+            "report_equal": report_equal,
+            "verified": verified,
+        },
+        "env": _environment(),
+    }
+
+
 _MEASURERS = {
     "p01_broker": measure_p01,
     "p02_runner": measure_p02,
     "p03_serve": measure_p03,
     "p04_cluster": measure_p04,
     "p05_obs": measure_p05,
+    "p06_durable": measure_p06,
 }
 
 
@@ -590,6 +746,7 @@ _RATE_GATES = {
     "p03_serve": ("events_per_sec",),
     "p04_cluster": ("events_per_sec",),
     "p05_obs": ("off_events_per_sec", "on_events_per_sec"),
+    "p06_durable": ("off_events_per_sec", "batch_events_per_sec"),
 }
 _EXACT_GATES = {
     "p01_broker": ("events", "leases"),
@@ -597,6 +754,9 @@ _EXACT_GATES = {
     "p03_serve": ("events", "leases", "report_equal", "verified"),
     "p04_cluster": ("events", "leases", "report_equal", "verified"),
     "p05_obs": (
+        "events", "leases", "reports_identical", "report_equal", "verified",
+    ),
+    "p06_durable": (
         "events", "leases", "reports_identical", "report_equal", "verified",
     ),
 }
@@ -678,5 +838,15 @@ def check(
                 f"{OBS_OVERHEAD_FLOOR:.0%} of the uninstrumented "
                 f"{fresh['off_events_per_sec']:,} events/sec from the "
                 f"same run (overhead ratio {fresh['overhead_ratio']})"
+            )
+    if bench == "p06_durable":
+        floor = fresh["off_events_per_sec"] * DURABLE_BATCH_FLOOR
+        if fresh["batch_events_per_sec"] < floor:
+            failures.append(
+                f"p06_durable/{mode}: batch-fsynced serving dropped to "
+                f"{fresh['batch_events_per_sec']:,} events/sec — below "
+                f"{DURABLE_BATCH_FLOOR:.0%} of the WAL-off "
+                f"{fresh['off_events_per_sec']:,} events/sec from the "
+                f"same run (batch ratio {fresh['batch_ratio']})"
             )
     return failures

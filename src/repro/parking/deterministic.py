@@ -105,3 +105,46 @@ class DeterministicParkingPermit:
     def duals(self) -> dict[int, float]:
         """The dual value assigned to each served day (Figure 2.2 duals)."""
         return dict(self._dual)
+
+    # ------------------------------------------------------------------
+    # Durable state (snapshot / restore)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-ready algorithm state for durable snapshots.
+
+        Purchases are recorded as ``(type_index, start)`` pairs in
+        purchase order: restoring re-buys them through the schedule's
+        memoised window constructor in the same order, so the store's
+        float cost accumulation — and hence every downstream cost sum —
+        is reproduced bit for bit.  Contributions and duals are emitted
+        as sorted pairs (JSON objects would stringify the int keys).
+        """
+        return {
+            "purchases": [
+                [lease.type_index, lease.start] for lease in self.store.leases
+            ],
+            "contribution": [
+                sorted(contrib.items()) for contrib in self._contribution
+            ],
+            "dual": sorted(self._dual.items()),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`state_dict` snapshot into this (fresh) instance.
+
+        Mutates the existing ``_contribution`` dicts in place —
+        ``_type_rows`` holds references to them, so rebinding would
+        silently disconnect the hot-path candidate loop from the
+        restored contributions.
+        """
+        window = self.schedule.window
+        buy = self.store.buy
+        for type_index, start in state["purchases"]:
+            buy(window(int(type_index), int(start)))
+        for contrib, pairs in zip(self._contribution, state["contribution"]):
+            contrib.clear()
+            for start, value in pairs:
+                contrib[int(start)] = float(value)
+        self._dual.clear()
+        for day, value in state["dual"]:
+            self._dual[int(day)] = float(value)

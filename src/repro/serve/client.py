@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
 import time
 from typing import Any, Sequence
@@ -67,6 +68,9 @@ class AsyncLeaseClient:
         self._pending: dict[int, asyncio.Future] = {}
         self._send_lock = asyncio.Lock()
         self._codec = CODEC_JSON
+        #: Dial attempts the opening factory spent (1 = first try
+        #: connected); the loadgen sums these into its report.
+        self.connect_attempts = 1
         self._reader_task = asyncio.create_task(self._read_loop())
 
     # ------------------------------------------------------------------
@@ -76,10 +80,11 @@ class AsyncLeaseClient:
     async def open_unix(
         cls, path: str, retry_for: float = 5.0, codec: str | None = None
     ) -> "AsyncLeaseClient":
-        reader, writer = await _retry_connect(
+        reader, writer, attempts = await _retry_connect(
             lambda: asyncio.open_unix_connection(path), retry_for
         )
         client = cls(reader, writer)
+        client.connect_attempts = attempts
         if codec is not None:
             await client.negotiate(codec)
         return client
@@ -89,10 +94,11 @@ class AsyncLeaseClient:
         cls, host: str, port: int, retry_for: float = 5.0,
         codec: str | None = None,
     ) -> "AsyncLeaseClient":
-        reader, writer = await _retry_connect(
+        reader, writer, attempts = await _retry_connect(
             lambda: asyncio.open_connection(host, port), retry_for
         )
         client = cls(reader, writer)
+        client.connect_attempts = attempts
         if codec is not None:
             await client.negotiate(codec)
         return client
@@ -246,15 +252,38 @@ class AsyncLeaseClient:
         return await self.call("shutdown")
 
 
+#: Dial-retry backoff shape shared by both clients: exponential from
+#: ``BASE`` capped at ``CAP``, with full jitter (a uniform factor in
+#: [0.5, 1.5)) so a fleet of tenants redialing one restarting server
+#: spreads out instead of stampeding each backoff tick together.
+CONNECT_BACKOFF_BASE = 0.02
+CONNECT_BACKOFF_CAP = 0.5
+
+
+def _next_backoff(delay: float) -> tuple[float, float]:
+    """(jittered sleep for this attempt, grown delay for the next)."""
+    return (
+        delay * (0.5 + random.random()),
+        min(delay * 2.0, CONNECT_BACKOFF_CAP),
+    )
+
+
 async def _retry_connect(factory, retry_for: float):
+    """Dial until ``retry_for`` runs out; returns (reader, writer, attempts)."""
     deadline = time.monotonic() + retry_for
+    delay = CONNECT_BACKOFF_BASE
+    attempts = 0
     while True:
+        attempts += 1
         try:
-            return await factory()
+            reader, writer = await factory()
+            return reader, writer, attempts
         except (ConnectionRefusedError, FileNotFoundError, OSError):
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise
-            await asyncio.sleep(0.05)
+            sleep, delay = _next_backoff(delay)
+            await asyncio.sleep(min(sleep, deadline - now))
 
 
 class AsyncClientPool:
@@ -360,6 +389,12 @@ class LeaseClient:
             "client_retry_exhausted_total",
             help="Logical calls that spent their whole retry budget.",
         )
+        self._connects_counter = registry.counter(
+            "client_connect_attempts_total",
+            help="Socket dial attempts, including backoff retries.",
+        )
+        #: Running total of dial attempts this client has spent.
+        self.connect_attempts = 0
         self._path = path
         self._addr = (host, port) if host is not None else None
         self._connect_timeout = connect_timeout
@@ -375,10 +410,19 @@ class LeaseClient:
     # Connection management
     # ------------------------------------------------------------------
     def connect(self) -> "LeaseClient":
-        """Dial the server, retrying refusals until ``connect_timeout``."""
+        """Dial the server, retrying refusals until ``connect_timeout``.
+
+        Refusals back off exponentially with jitter (the shared
+        :data:`CONNECT_BACKOFF_BASE` / :data:`CONNECT_BACKOFF_CAP`
+        shape) so a fleet of reconnecting clients does not hammer a
+        server that is still restarting in lockstep.
+        """
         self.close()
         deadline = time.monotonic() + self._connect_timeout
+        delay = CONNECT_BACKOFF_BASE
         while True:
+            self.connect_attempts += 1
+            self._connects_counter.inc()
             try:
                 if self._path is not None:
                     sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -388,9 +432,11 @@ class LeaseClient:
                 self._sock = sock
                 break
             except (ConnectionRefusedError, FileNotFoundError, OSError):
-                if time.monotonic() >= deadline:
+                now = time.monotonic()
+                if now >= deadline:
                     raise
-                time.sleep(0.05)
+                sleep, delay = _next_backoff(delay)
+                time.sleep(min(sleep, deadline - now))
         if self._codec_wanted is not None:
             self._negotiate()
         return self

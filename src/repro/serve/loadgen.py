@@ -44,6 +44,7 @@ from __future__ import annotations
 import asyncio
 import shutil
 import tempfile
+import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 
@@ -204,6 +205,7 @@ async def drive_tenants(
     retry_for: float = 5.0,
     codec: str | None = None,
     latency_registry: MetricsRegistry | None = None,
+    on_day=None,
 ) -> dict:
     """Drive a server at ``socket_path`` with the instance's tenants.
 
@@ -220,6 +222,10 @@ async def drive_tenants(
     every op's client-observed round-trip latency — the data behind the
     ``loadgen --check`` percentile lines.  Latencies are wall-clock and
     never enter the report's verified fields.
+
+    ``on_day``, when given, is called with each simulated day *before*
+    that day's tick and bursts — the fault-injection hook the chaos
+    harness uses to kill workers at deterministic points in the run.
     """
     control = await AsyncLeaseClient.open_unix(
         socket_path, retry_for=retry_for, codec=codec
@@ -247,6 +253,8 @@ async def drive_tenants(
         for day, has_tick, releases, acquires in _day_schedule(
             instance.trace.events
         ):
+            if on_day is not None:
+                on_day(day)
             if has_tick:
                 await control.tick(day)
                 requests += 1
@@ -269,6 +277,9 @@ async def drive_tenants(
             await client.close()
         await control.close()
     report["requests"] = requests
+    report["connect_attempts"] = control.connect_attempts + sum(
+        client.connect_attempts for client in clients.values()
+    )
     return report
 
 
@@ -332,6 +343,10 @@ def serve_once(
     metrics: MetricsRegistry | None = None,
     trace_sink: TraceSink | None = None,
     latency_registry: MetricsRegistry | None = None,
+    wal_dir: str | None = None,
+    fsync: str = "batch",
+    snapshot_every: int | None = None,
+    timings: dict | None = None,
 ) -> dict:
     """One full serving cycle: in-process server, tenants, final report.
 
@@ -341,9 +356,26 @@ def serve_once(
     nothing else — the perf harness times exactly this call, with
     ``metrics``/``trace_sink`` passed through to the server (the
     observability-overhead bench) and ``latency_registry`` to the
-    client side.
+    client side.  ``wal_dir`` (with ``fsync``/``snapshot_every``)
+    enables the per-shard write-ahead log, which the durability-overhead
+    bench prices against this same call with the WAL off.
+
+    When a ``timings`` dict is passed in, ``timings["drive"]`` receives
+    the wall-clock seconds of the drive window alone — tenants
+    connecting through final report, excluding server startup
+    (recovery) and shutdown (the final snapshot + fsync).  The
+    durability bench rates throughput on this window: teardown
+    snapshots are a per-shard constant, not a per-event cost, and
+    folding them into the rate would punish short runs for durability
+    they already paid for.
     """
     trace = instance.trace
+    wal_kwargs: dict = {}
+    if wal_dir is not None:
+        wal_kwargs["wal_dir"] = wal_dir
+        wal_kwargs["fsync"] = fsync
+        if snapshot_every is not None:
+            wal_kwargs["snapshot_every"] = snapshot_every
 
     async def _serve_and_drive(socket_path: str) -> dict:
         server = LeaseServer(
@@ -353,12 +385,17 @@ def serve_once(
             session_window=instance.session_window,
             metrics=metrics,
             trace=trace_sink,
+            **wal_kwargs,
         )
         await server.start_unix(socket_path)
         try:
-            return await drive_tenants(
+            start = time.perf_counter()
+            report = await drive_tenants(
                 instance, socket_path, latency_registry=latency_registry
             )
+            if timings is not None:
+                timings["drive"] = time.perf_counter() - start
+            return report
         finally:
             await server.shutdown()
 

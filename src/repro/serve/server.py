@@ -58,10 +58,19 @@ from __future__ import annotations
 import asyncio
 import bisect
 import threading
+import time as _time
+from pathlib import Path
 
 from ..core.lease import LeaseSchedule
 from ..engine.broker import LeaseBroker, PolicyFactory
-from ..engine.events import Acquire, Event, Release, Tick, event_to_payload
+from ..engine.events import (
+    Acquire,
+    Event,
+    Release,
+    Tick,
+    event_from_payload,
+    event_to_payload,
+)
 from ..engine.scenarios import shard_ranges as _shard_ranges
 from ..errors import ModelError
 from ..obs.export import export_sessions, export_shards
@@ -145,7 +154,10 @@ def shard_ranges(num_resources: int, num_shards: int) -> tuple[tuple[int, int], 
 class _Shard:
     """One shard: its broker, dispatch queue, worker, and applied log."""
 
-    __slots__ = ("index", "lo", "hi", "broker", "queue", "applied", "task")
+    __slots__ = (
+        "index", "lo", "hi", "broker", "queue", "applied", "task",
+        "wal", "applied_keys",
+    )
 
     def __init__(
         self, index: int, lo: int, hi: int, broker: LeaseBroker, record: bool
@@ -157,6 +169,26 @@ class _Shard:
         self.queue: asyncio.Queue = asyncio.Queue()
         self.applied: list[Event] | None = [] if record else None
         self.task: asyncio.Task | None = None
+        #: Per-shard WAL, None when the server runs without durability.
+        self.wal: ShardWal | None = None
+        #: Applied-event identity keys for retry dedup (WAL + record
+        #: servers only): ``(kind, tenant, resource, applied_time)``.
+        self.applied_keys: set[tuple] | None = None
+
+
+def _applied_key(
+    op: str, tenant: str | None, resource: int | None, now: int
+) -> tuple:
+    """The dedup identity of one applied event.
+
+    ``acquire`` covers renewals — both record an ``Acquire`` in the
+    applied stream, so a retried renew matches the acquire key its
+    original application left behind.
+    """
+    if op == "tick":
+        return ("tick", None, None, now)
+    kind = "acquire" if op in ("acquire", "renew") else "release"
+    return (kind, tenant, resource, now)
 
 
 def _grant_payload(grant) -> dict:
@@ -190,6 +222,16 @@ class LeaseServer:
             per-op sampling, nothing rendered into the ``metrics`` verb
             beyond the scrape-time broker/session export.
         trace: per-op JSONL span sink; ``None`` disables tracing.
+        wal_dir: root directory for per-shard write-ahead logs
+            (``<wal_dir>/shard-<i>/``).  When set, every applied
+            mutation is logged before its reply and, on startup, each
+            shard recovers snapshot + WAL into a byte-identical broker
+            before the listeners open.  ``None`` disables durability.
+        fsync: WAL durability policy — ``off`` / ``batch`` (fsync at
+            dispatch-queue drain) / ``always`` (fsync per append; the
+            only mode under which an acked op survives ``kill -9``).
+        snapshot_every: applied events between automatic grant-table
+            snapshots (each snapshot truncates the shard's WAL).
     """
 
     def __init__(
@@ -204,7 +246,16 @@ class LeaseServer:
         sweep_interval: float = 5.0,
         metrics: MetricsRegistry | None = None,
         trace: TraceSink | None = None,
+        wal_dir: str | Path | None = None,
+        fsync: str = "batch",
+        snapshot_every: int | None = None,
     ):
+        # Imported lazily: repro.durable.wal itself imports the wire
+        # protocol from this package, so a module-level import here
+        # would close an import cycle whenever repro.durable loads
+        # first.
+        from ..durable.wal import DEFAULT_SNAPSHOT_EVERY, require_fsync_mode
+
         if num_resources < 1:
             raise ModelError("num_resources must be >= 1")
         self.schedule = schedule
@@ -262,6 +313,24 @@ class LeaseServer:
                 help="Idle tenant sessions reaped by the sweeper.",
             ),
         )
+        #: WAL records replayed by the last startup recovery.
+        self.recovered_events = 0
+        self._wal_dir = None if wal_dir is None else Path(wal_dir)
+        self._fsync = require_fsync_mode(fsync)
+        if snapshot_every is None:
+            snapshot_every = DEFAULT_SNAPSHOT_EVERY
+        if snapshot_every < 1:
+            raise ModelError("snapshot_every must be >= 1")
+        self._snapshot_every = snapshot_every
+        self._recovered = False
+        self._dedup_hits = (
+            self.metrics.counter(
+                "serve_retry_dedup_total",
+                help="Retry-marked mutations answered from the applied log.",
+            )
+            if self.metrics.enabled
+            else None
+        )
         self._sweep_interval = sweep_interval
         self._state = "serving"
         self._servers: list[asyncio.base_events.Server] = []
@@ -286,6 +355,8 @@ class LeaseServer:
     def _ensure_workers(self) -> None:
         if self._shards[0].task is not None:
             return
+        if self._wal_dir is not None and not self._recovered:
+            self._recover()
         for shard in self._shards:
             shard.task = asyncio.create_task(
                 self._worker(shard), name=f"serve-shard-{shard.index}"
@@ -293,6 +364,101 @@ class LeaseServer:
         self._reaper = asyncio.create_task(
             self._sweep_sessions(), name="serve-session-reaper"
         )
+
+    # ------------------------------------------------------------------
+    # Durable recovery: replay snapshot + WAL before accepting traffic
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild every shard broker from its snapshot + WAL.
+
+        Runs synchronously before the first listener opens — a worker
+        never serves a request against un-recovered state.  Restoring a
+        snapshot and replaying the log's tail reproduces the
+        pre-crash broker byte for byte (the :mod:`repro.durable`
+        invariant the tests pin down); the applied-event log and the
+        retry-dedup key set are rebuilt alongside so the ``trace`` op
+        and exactly-once retries survive the restart too.
+        """
+        from ..durable.wal import ShardWal, recover_shard
+
+        self._recovered = True
+        recovered_total = 0
+        hist = (
+            self.metrics.histogram(
+                "durable_recovery_seconds",
+                help="Per-shard snapshot+WAL recovery time.",
+            )
+            if self.metrics.enabled
+            else None
+        )
+        for shard in self._shards:
+            started = _time.perf_counter()
+            directory = self._wal_dir / f"shard-{shard.index}"
+            recovery = recover_shard(directory)
+            if recovery.state is not None:
+                shard.broker.restore_state(recovery.state)
+            if shard.applied is not None and recovery.applied is not None:
+                shard.applied.extend(
+                    event_from_payload(payload)
+                    for payload in recovery.applied
+                )
+            broker = shard.broker
+            applied = shard.applied
+            for record in recovery.records:
+                op = record["op"]
+                when = record["time"]
+                if op == "acquire":
+                    broker._acquire(record["tenant"], record["resource"], when)
+                    if applied is not None:
+                        applied.append(
+                            Acquire(
+                                time=when,
+                                tenant=record["tenant"],
+                                resource=record["resource"],
+                            )
+                        )
+                elif op == "release":
+                    broker._release(record["tenant"], record["resource"], when)
+                    if applied is not None:
+                        applied.append(
+                            Release(
+                                time=when,
+                                tenant=record["tenant"],
+                                resource=record["resource"],
+                            )
+                        )
+                elif op == "tick":
+                    broker.tick(when)
+                    if applied is not None:
+                        applied.append(Tick(time=when))
+            shard.wal = ShardWal(
+                directory,
+                fsync=self._fsync,
+                metrics=self.metrics if self.metrics.enabled else None,
+                shard=shard.index,
+            )
+            shard.wal.seq = recovery.last_seq
+            if applied is not None:
+                shard.applied_keys = {
+                    _applied_key(
+                        "acquire" if isinstance(event, Acquire) else
+                        "release" if isinstance(event, Release) else "tick",
+                        getattr(event, "tenant", None),
+                        getattr(event, "resource", None),
+                        event.time,
+                    )
+                    for event in applied
+                }
+            recovered_total += recovery.events
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "wal_recovered_events_total",
+                    help="WAL records replayed at startup.",
+                    shard=str(shard.index),
+                ).inc(recovery.events)
+            if hist is not None:
+                hist.observe(_time.perf_counter() - started)
+        self.recovered_events = recovered_total
 
     async def start_unix(self, path: str) -> None:
         """Start serving on a unix socket at ``path``."""
@@ -352,6 +518,13 @@ class LeaseServer:
                         future.set_exception(
                             ServeError("unavailable", "server is stopped")
                         )
+        for shard in self._shards:
+            if shard.wal is not None:
+                # Graceful stop: fold the tail into a final snapshot so
+                # the next start recovers without replaying the log.
+                if shard.wal.appended_since_snapshot:
+                    self._maybe_snapshot_now(shard)
+                shard.wal.close()
         if self._reaper is not None:
             self._reaper.cancel()
             try:
@@ -397,11 +570,11 @@ class LeaseServer:
             if item is _STOP:
                 queue.task_done()
                 return
-            op, tenant, resource, when, req_id, t_enq, future = item
+            op, tenant, resource, when, req_id, retry, t_enq, future = item
             t_disp = self._obs_clock() if self._sample else 0.0
             try:
                 result = self._apply_to_shard(
-                    shard, broker, op, tenant, resource, when
+                    shard, broker, op, tenant, resource, when, retry
                 )
             except ServeError as exc:
                 if not future.cancelled():
@@ -431,6 +604,50 @@ class LeaseServer:
                         t_reply=t_reply,
                     )
                 queue.task_done()
+                if shard.wal is not None and queue.qsize() == 0:
+                    # Burst boundary: the queue drained, so under
+                    # fsync="batch" everything applied this burst goes
+                    # durable in one fsync.
+                    shard.wal.flush()
+
+    def _maybe_snapshot(self, shard: _Shard) -> None:
+        if shard.wal.appended_since_snapshot >= self._snapshot_every:
+            self._maybe_snapshot_now(shard)
+
+    def _maybe_snapshot_now(self, shard: _Shard) -> None:
+        applied = (
+            None
+            if shard.applied is None
+            else [event_to_payload(event) for event in shard.applied]
+        )
+        shard.wal.write_snapshot(
+            shard.broker.snapshot_state(), applied=applied
+        )
+
+    def _dedup_reply(
+        self,
+        broker: LeaseBroker,
+        op: str,
+        tenant: str | None,
+        resource: int | None,
+        now: int,
+    ) -> dict:
+        """Synthesize the reply for an already-applied retried mutation.
+
+        The broker is left untouched — the whole point — so the reply is
+        reconstructed from current state: an acquire/renew reports the
+        tenant's live grant (if it still has one), a release reports the
+        grant as already gone.
+        """
+        if self._dedup_hits is not None:
+            self._dedup_hits.inc()
+        if op == "tick":
+            return {"applied_time": now}
+        if op == "release":
+            return {"grant": None, "applied_time": now}
+        grants = broker.active_leases(resource=resource, tenant=tenant)
+        grant = _grant_payload(grants[0]) if grants else None
+        return {"grant": grant, "applied_time": now}
 
     def _apply_to_shard(
         self,
@@ -440,39 +657,76 @@ class LeaseServer:
         tenant: str | None,
         resource: int | None,
         when: int | None,
+        retry: bool = False,
     ) -> dict:
         if op in MUTATION_OPS:
             # Ratchet stale times to the shard clock: the request reaches
             # this broker *now*, whatever day its tenant believes it is.
             now = when if when >= broker.clock else broker.clock
+            keys = shard.applied_keys
+            key = None
+            if keys is not None:
+                # Exactly-once under crash-retry: a retry-marked frame
+                # whose applied identity is already in the log was
+                # applied before the sender lost the reply — answer it
+                # without touching the broker.  Unmarked traffic never
+                # consults the set, so legitimate repeats (same-day
+                # re-acquires) behave exactly as without a WAL.
+                key = _applied_key(op, tenant, resource, now)
+                if retry and key in keys:
+                    return self._dedup_reply(broker, op, tenant, resource, now)
+            wal = shard.wal
             if op == "acquire":
                 grant = broker.acquire(tenant, resource, now)
+                if keys is not None:
+                    keys.add(key)
                 if shard.applied is not None:
                     shard.applied.append(
                         Acquire(time=now, tenant=tenant, resource=resource)
                     )
+                if wal is not None:
+                    wal.append("acquire", now, tenant=tenant, resource=resource)
+                    self._maybe_snapshot(shard)
                 return {"grant": _grant_payload(grant), "applied_time": now}
             if op == "renew":
                 grant = broker.renew(tenant, resource, now)
+                if keys is not None:
+                    keys.add(key)
                 if shard.applied is not None:
                     shard.applied.append(
                         Acquire(time=now, tenant=tenant, resource=resource)
                     )
+                if wal is not None:
+                    # Renewals enter the WAL as acquires, mirroring the
+                    # applied-trace stream: replay reproduces the same
+                    # acquire-or-renew classification from broker state.
+                    wal.append("acquire", now, tenant=tenant, resource=resource)
+                    self._maybe_snapshot(shard)
                 return {"grant": _grant_payload(grant), "applied_time": now}
             if op == "release":
                 grant = broker.release(tenant, resource, now)
+                if keys is not None:
+                    keys.add(key)
                 if shard.applied is not None:
                     shard.applied.append(
                         Release(time=now, tenant=tenant, resource=resource)
                     )
+                if wal is not None:
+                    wal.append("release", now, tenant=tenant, resource=resource)
+                    self._maybe_snapshot(shard)
                 return {
                     "grant": None if grant is None else _grant_payload(grant),
                     "applied_time": now,
                 }
             # op == "tick"
             broker.tick(now)
+            if keys is not None:
+                keys.add(key)
             if shard.applied is not None:
                 shard.applied.append(Tick(time=now))
+            if wal is not None:
+                wal.append("tick", now)
+                self._maybe_snapshot(shard)
             return {"applied_time": now}
         if op == "stats":
             return {
@@ -546,10 +800,13 @@ class LeaseServer:
         resource: int | None,
         when: int | None,
         req_id=None,
+        retry: bool = False,
     ) -> dict:
         future = asyncio.get_running_loop().create_future()
         t_enq = self._obs_clock() if self._sample else 0.0
-        shard.queue.put_nowait((op, tenant, resource, when, req_id, t_enq, future))
+        shard.queue.put_nowait(
+            (op, tenant, resource, when, req_id, retry, t_enq, future)
+        )
         return await future
 
     async def _broadcast(
@@ -566,10 +823,18 @@ class LeaseServer:
 
     async def _apply(self, op: str, payload: dict) -> dict:
         when = field_time(payload)
+        retry = payload.get("retry") is True
         if self._state == "stopped":
             raise ServeError("unavailable", "server is stopped")
         if op == "tick":
-            applied = await self._broadcast("tick", when)
+            applied = await asyncio.gather(
+                *(
+                    self._enqueue(
+                        shard, "tick", None, None, when, retry=retry
+                    )
+                    for shard in self._shards
+                )
+            )
             return {"applied_time": max(r["applied_time"] for r in applied)}
         tenant = field_tenant(payload)
         resource = field_resource(payload, self.num_resources)
@@ -587,7 +852,7 @@ class LeaseServer:
         try:
             return await self._enqueue(
                 self._shard_of(resource), op, tenant, resource, when,
-                payload.get("id"),
+                payload.get("id"), retry,
             )
         finally:
             self.sessions.release(session)
@@ -598,6 +863,8 @@ class LeaseServer:
             "protocol": PROTOCOL_VERSION,
             "state": self._state,
             "record": self._record,
+            "wal": self._wal_dir is not None,
+            "fsync": self._fsync if self._wal_dir is not None else None,
             "num_resources": self.num_resources,
             "num_shards": self.num_shards,
             "ranges": [list(r) for r in self.ranges],

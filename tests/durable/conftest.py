@@ -1,0 +1,23 @@
+"""Durable-suite fixtures: short socket paths, same as the serve suite.
+
+Unix socket paths are capped around 100 bytes by the kernel, so the
+fixture allocates its own short ``/tmp`` directory instead of using
+pytest's (potentially deep) ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def sock_path():
+    workdir = tempfile.mkdtemp(prefix="rdu-")
+    try:
+        yield str(Path(workdir) / "serve.sock")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

@@ -1,0 +1,144 @@
+"""Broker snapshot/restore: byte-identical state across a restart.
+
+The recovery invariant the WAL rides on: restoring a snapshot into a
+fresh broker and continuing the trace must be indistinguishable — state,
+stats, grants, float cost sums — from the broker that never stopped.
+"""
+
+import json
+
+import pytest
+
+from repro.core import LeaseSchedule
+from repro.engine import LeaseBroker, generate_trace, replay_trace
+from repro.engine.events import generate_resource_trace
+from repro.errors import ModelError
+from repro.parking import DeterministicParkingPermit
+
+SCHEDULE = LeaseSchedule.power_of_two(4, cost_growth=1.7)
+
+
+def _snapshot_roundtrip(state: dict) -> dict:
+    """Force the JSON round trip a real snapshot file goes through."""
+    return json.loads(json.dumps(state))
+
+
+class TestPolicyState:
+    def test_state_dict_roundtrip_mid_stream(self):
+        left = DeterministicParkingPermit(SCHEDULE)
+        for day in (0, 1, 5, 9, 17):
+            left.on_demand(day)
+        right = DeterministicParkingPermit(SCHEDULE)
+        right.restore_state(_snapshot_roundtrip(left.state_dict()))
+        assert right.cost == left.cost
+        assert right.leases == left.leases
+        assert right.duals == left.duals
+        # Continue both: the restored instance must behave identically.
+        for day in (18, 25, 40):
+            left.on_demand(day)
+            right.on_demand(day)
+        assert right.cost == left.cost
+        assert right.leases == left.leases
+        assert right.duals == left.duals
+
+    def test_restored_contribution_dicts_feed_the_hot_path(self):
+        # _type_rows holds references to the contribution dicts; restore
+        # must mutate them in place or on_demand reads stale zeros.
+        policy = DeterministicParkingPermit(SCHEDULE)
+        policy.on_demand(3)
+        restored = DeterministicParkingPermit(SCHEDULE)
+        restored.restore_state(policy.state_dict())
+        assert all(
+            row[3] is restored._contribution[row[0]]
+            for row in restored._type_rows
+        )
+        assert restored._contribution == policy._contribution
+
+
+class TestBrokerSnapshot:
+    def _split_replay(self, trace, cut):
+        continuous = LeaseBroker(SCHEDULE)
+        replay_trace(continuous, trace)
+
+        first = LeaseBroker(SCHEDULE)
+        replay_trace(first, trace[:cut])
+        state = _snapshot_roundtrip(first.snapshot_state())
+        recovered = LeaseBroker(SCHEDULE)
+        recovered.restore_state(state)
+        replay_trace(recovered, trace[cut:])
+        return continuous, recovered
+
+    def test_mid_trace_snapshot_restore_continue_is_byte_identical(self):
+        trace = generate_trace("markov", 300, seed=11)
+        continuous, recovered = self._split_replay(trace, len(trace) // 2)
+        assert recovered.snapshot_state() == continuous.snapshot_state()
+        assert recovered.cost == continuous.cost
+        assert recovered.leases == continuous.leases
+        assert recovered.stats.full_dict() == continuous.stats.full_dict()
+        assert recovered.active_leases() == continuous.active_leases()
+
+    @pytest.mark.parametrize("workload", ["markov", "diurnal", "adversarial"])
+    def test_identity_holds_at_every_quartile(self, workload):
+        trace = generate_resource_trace(
+            workload, 128, 7, num_resources=4, tenants_per_resource=2
+        )
+        for cut in (1, len(trace) // 4, len(trace) // 2, len(trace) - 1):
+            continuous, recovered = self._split_replay(trace, cut)
+            assert (
+                recovered.snapshot_state() == continuous.snapshot_state()
+            ), f"divergence at cut {cut}"
+
+    def test_restore_requires_fresh_broker(self):
+        broker = LeaseBroker(SCHEDULE)
+        broker.acquire("alice", 0, 0)
+        state = broker.snapshot_state()
+        with pytest.raises(ModelError, match="fresh"):
+            broker.restore_state(state)
+
+    def test_snapshot_rejects_stateless_policy(self):
+        class Opaque:
+            def on_demand(self, day):
+                pass
+
+            cost = 0.0
+            leases = ()
+
+        broker = LeaseBroker(
+            SCHEDULE, policy_factory=lambda resource: Opaque()
+        )
+        with pytest.raises(ModelError, match="covering day"):
+            # Opaque buys nothing, so the acquire itself fails first;
+            # exercise snapshot via a policy that exists but is opaque.
+            broker.acquire("alice", 0, 0)
+
+        class OpaqueCovering(Opaque):
+            leases = ()
+
+            def __init__(self):
+                from repro.core.store import LeaseStore
+
+                self.store = LeaseStore()
+                self.store.buy(SCHEDULE.window(3, 0))
+
+        broker = LeaseBroker(
+            SCHEDULE, policy_factory=lambda resource: OpaqueCovering()
+        )
+        broker.acquire("alice", 0, 0)
+        with pytest.raises(ModelError, match="not snapshottable"):
+            broker.snapshot_state()
+
+    def test_grant_table_and_heap_survive_verbatim(self):
+        trace = generate_trace("markov", 200, seed=3)
+        broker = LeaseBroker(SCHEDULE)
+        replay_trace(broker, trace)
+        state = _snapshot_roundtrip(broker.snapshot_state())
+        recovered = LeaseBroker(SCHEDULE)
+        recovered.restore_state(state)
+        assert recovered._grant_heap == broker._grant_heap
+        assert recovered._active == broker._active
+        assert recovered.clock == broker.clock
+        assert recovered.num_grants == broker.num_grants
+        # Expiry behaviour after restore matches: tick far forward.
+        broker.tick(broker.clock + 1000)
+        recovered.tick(recovered.clock + 1000)
+        assert recovered.stats.full_dict() == broker.stats.full_dict()

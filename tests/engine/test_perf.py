@@ -39,6 +39,11 @@ def p05_record():
     return perf.measure("p05_obs", "unit")
 
 
+@pytest.fixture(scope="module")
+def p06_record():
+    return perf.measure("p06_durable", "unit")
+
+
 class TestMeasure:
     def test_p01_record_shape(self, p01_record):
         assert p01_record["schema"] == perf.SCHEMA
@@ -114,6 +119,27 @@ class TestMeasure:
         for key in ("events", "leases", "tenants", "requests"):
             assert p05_record["metrics"][key] == p03_record["metrics"][key]
         assert p05_record["metrics"]["cost"] == p03_record["metrics"]["cost"]
+
+    def test_p06_record_shape(self, p06_record):
+        assert p06_record["bench"] == "p06_durable"
+        metrics = p06_record["metrics"]
+        # Durability must not perturb behaviour: every arm's aggregate
+        # is identical to the WAL-off one, and all match the replay.
+        assert metrics["reports_identical"] is True
+        assert metrics["report_equal"] is True
+        assert metrics["verified"] is True
+        assert metrics["events"] > 0
+        for arm in ("off", "batch", "always"):
+            assert metrics[f"{arm}_events_per_sec"] > 0
+        assert metrics["batch_ratio"] > 0
+        assert metrics["always_ratio"] > 0
+        # The always arm left a real WAL on disk (log + snapshots).
+        assert metrics["wal_bytes"] > 0
+
+    def test_p06_matches_p03_structure_exactly(self, p03_record, p06_record):
+        for key in ("events", "leases", "tenants", "requests"):
+            assert p06_record["metrics"][key] == p03_record["metrics"][key]
+        assert p06_record["metrics"]["cost"] == p03_record["metrics"]["cost"]
 
     def test_p03_is_deterministic_in_structure(self, p03_record):
         again = perf.measure("p03_serve", "unit")
@@ -266,6 +292,27 @@ class TestCheck:
         fine["metrics"]["on_events_per_sec"] = 9_500
         assert not any(
             "instrumented" in f for f in perf.check(committed, fine)
+        )
+
+    def test_p06_batch_gate_is_machine_independent(self, p06_record):
+        """The batch-fsync arm must hold 80% of the WAL-off rate from
+        the *same run* — a ratio of two wall clocks from the same box,
+        so it gates everywhere."""
+        committed = self._committed(p06_record)
+        heavy = copy.deepcopy(p06_record)
+        heavy["metrics"]["off_events_per_sec"] = 10_000
+        heavy["metrics"]["batch_events_per_sec"] = 7_500
+        heavy["metrics"]["batch_ratio"] = round(10_000 / 7_500, 4)
+        # Keep the committed rates close so only the ratio gate fires.
+        committed["modes"]["unit"]["metrics"]["off_events_per_sec"] = 10_000
+        committed["modes"]["unit"]["metrics"]["batch_events_per_sec"] = 7_500
+        failures = perf.check(committed, heavy)
+        assert any("batch-fsynced serving dropped" in f for f in failures)
+        # 85% of the WAL-off rate: inside the floor, no failure.
+        fine = copy.deepcopy(heavy)
+        fine["metrics"]["batch_events_per_sec"] = 8_500
+        assert not any(
+            "batch-fsynced" in f for f in perf.check(committed, fine)
         )
 
     def test_shard_speedup_gated_only_on_multicore(self, p02_record):

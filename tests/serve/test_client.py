@@ -266,3 +266,112 @@ class TestAsyncPool:
         results = asyncio.run(main())
         assert len(results) == 9
         assert all("grant" in r for r in results)
+
+
+@contextlib.contextmanager
+def _resetting_server(sock_path):
+    """A unix listener that accepts each connection and closes it at once
+    — every call sees its connection reset mid-stream."""
+    listener = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    listener.bind(sock_path)
+    listener.listen(8)
+
+    def accept_loop():
+        try:
+            while True:
+                conn, _ = listener.accept()
+                conn.close()
+        except OSError:
+            pass
+
+    thread = threading.Thread(target=accept_loop, daemon=True)
+    thread.start()
+    try:
+        yield
+    finally:
+        listener.close()
+        thread.join(timeout=2)
+
+
+class TestConnectionReset:
+    def test_pipeline_reset_mid_batch_raises_and_never_resends(
+        self, sock_path
+    ):
+        """A batch that dies mid-flight must raise the transport error —
+        pipeline() has no resend path even on a reconnecting client, so
+        a reset cannot silently double-apply half a batch."""
+        with _resetting_server(sock_path):
+            client = LeaseClient(path=sock_path, reconnect=True).connect()
+            try:
+                with pytest.raises((ConnectionError, OSError)):
+                    client.pipeline(
+                        [
+                            ("acquire", {"tenant": "t", "resource": 0, "time": 0}),
+                            ("tick", {"time": 1}),
+                        ]
+                    )
+            finally:
+                client.close()
+
+    def test_repeated_resets_exhaust_budget_as_typed_error(self, sock_path):
+        """Every redial lands on a server that resets again: the retry
+        budget drains and the caller gets LeaseRetryError carrying the
+        true attempt count, not a raw socket exception."""
+        with _resetting_server(sock_path):
+            client = LeaseClient(
+                path=sock_path, reconnect=True, retry_budget=2,
+                connect_timeout=1.0,
+            ).connect()
+            try:
+                with pytest.raises(LeaseRetryError) as err:
+                    client.acquire("t", 0, 0)
+                assert err.value.attempts == 3  # first try + 2 retries
+                # Initial dial plus one per retry, at least.
+                assert client.connect_attempts >= 3
+            finally:
+                client.close()
+
+    def test_timeout_after_reset_still_typed(self, sock_path):
+        """A reset followed by a silent redial target ends in the typed
+        deadline error, not a bare socket.timeout: the mid-pipeline
+        failure modes stay distinguishable to callers."""
+        thread = ServerThread(_server(), unix_path=sock_path).start()
+        client = LeaseClient(
+            path=sock_path, reconnect=True, retry_budget=2,
+            connect_timeout=1.0, deadline=0.25,
+        ).connect()
+        try:
+            assert client.acquire("t", 0, 0)["grant"]["resource"] == 0
+            thread.stop()
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(sock_path)
+            with _silent_server(sock_path):
+                # Dead conn -> redial succeeds -> resend -> silence.
+                with pytest.raises(LeaseTimeoutError):
+                    client.acquire("t", 1, 1)
+        finally:
+            client.close()
+
+    def test_dialing_a_slow_starter_spends_backoff_attempts(self, sock_path):
+        """connect() keeps redialing with jittered backoff while the
+        server is still coming up, and surfaces the spent attempts."""
+        thread_box = {}
+
+        def late_start():
+            time.sleep(0.4)
+            thread_box["server"] = ServerThread(
+                _server(), unix_path=sock_path
+            ).start()
+
+        starter = threading.Thread(target=late_start)
+        starter.start()
+        client = LeaseClient(path=sock_path, connect_timeout=10.0)
+        try:
+            client.connect()
+            assert client.acquire("t", 0, 0)["grant"]["resource"] == 0
+            assert client.connect_attempts >= 2
+        finally:
+            client.close()
+            starter.join(timeout=5)
+            if "server" in thread_box:
+                thread_box["server"].stop()
