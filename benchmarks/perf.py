@@ -21,7 +21,9 @@ and refresh policy.  ``p05_obs`` additionally gates the observability
 overhead: the instrumented serving rate must stay within 10% of the
 uninstrumented rate measured in the same run.  ``p06_durable`` gates
 durability the same way: batch-fsynced serving must keep at least 80%
-of the WAL-off rate from the same run.
+of the WAL-off rate from the same run.  ``p07_admin`` gates the HTTP
+ops plane: serving with the plane mounted and scraped at 4 Hz must keep
+at least 90% of the bare rate from the same run.
 """
 
 from __future__ import annotations
@@ -95,6 +97,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"(ratios {metrics['batch_ratio']}/"
                 f"{metrics['always_ratio']}), "
                 f"wal {metrics['wal_bytes']:,}B, "
+                f"identical={metrics['reports_identical']}"
+            )
+        if "admin_ratio" in metrics:
+            line += (
+                f", bare {metrics['bare_events_per_sec']:,}/s vs "
+                f"admin {metrics['admin_events_per_sec']:,}/s "
+                f"(ratio {metrics['admin_ratio']}), "
                 f"identical={metrics['reports_identical']}"
             )
         print(line)

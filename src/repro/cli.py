@@ -21,6 +21,7 @@ Subcommands::
     python -m repro engine loadgen --cluster 2 --check
     python -m repro engine chaos --workers 2 --kills 2 --check
     python -m repro engine metrics --socket /tmp/lease.sock --validate
+    python -m repro engine trace-tree spans/*.jsonl --json
 
 The ``engine`` subcommands front :mod:`repro.engine`, :mod:`repro.serve`
 and :mod:`repro.cluster`: ``list`` prints the scenario registry (with
@@ -34,8 +35,12 @@ a server or cluster (in-process by default) and checks the served
 aggregate against an inline replay of the same trace, ``chaos``
 SIGKILLs workers in a WAL'd supervised cluster mid-loadgen and demands
 the post-crash aggregate still equal the inline replay byte for byte,
-and ``metrics`` scrapes a running server or router's Prometheus
-exposition over the ``metrics`` protocol verb.
+``metrics`` scrapes a running server or router's Prometheus
+exposition over the ``metrics`` protocol verb, and ``trace-tree``
+merges a fleet's span JSONL files and reconstructs one causal tree per
+traced op.  ``serve`` and ``cluster`` additionally mount the
+:mod:`repro.admin` HTTP ops plane beside the lease listener when
+``--admin-port`` is given.
 """
 
 from __future__ import annotations
@@ -408,6 +413,13 @@ def cmd_engine_serve(args) -> int:
         if args.port is not None:
             port = await server.start_tcp(args.host, args.port)
             where.append(f"tcp:{args.host}:{port}")
+        admin = None
+        if args.admin_port is not None:
+            from .admin import AdminPlane
+
+            admin = AdminPlane(server)
+            admin_port = await admin.start_tcp(args.admin_host, args.admin_port)
+            where.append(f"admin http://{args.admin_host}:{admin_port}")
         extras = [f"metrics {'on' if args.metrics else 'off'}"]
         if args.wal_dir:
             extras.append(f"wal {args.wal_dir} (fsync={args.fsync})")
@@ -421,7 +433,11 @@ def cmd_engine_serve(args) -> int:
             f"K={args.num_types}, {', '.join(extras)}",
             flush=True,
         )
-        await server.run_until_stopped()
+        try:
+            await server.run_until_stopped()
+        finally:
+            if admin is not None:
+                await admin.close()
 
     if not args.socket and args.port is None:
         print("error: engine serve needs --socket and/or --port")
@@ -461,6 +477,8 @@ def cmd_engine_cluster(args) -> int:
         wal_root=args.wal_root,
         fsync=args.fsync,
         snapshot_every=args.snapshot_every,
+        worker_metrics=args.worker_metrics,
+        trace_root=args.trace_root,
     )
     base = Path(args.socket)
     workers = [
@@ -471,12 +489,14 @@ def cmd_engine_cluster(args) -> int:
     ]
 
     async def _main() -> None:
-        from .obs import MetricsRegistry
+        from .obs import MetricsRegistry, TraceSink
 
         router = ClusterRouter(
             spec,
             worker_window=args.worker_window,
             metrics=MetricsRegistry(enabled=args.metrics),
+            trace=TraceSink(args.trace_jsonl),
+            collect_worker_metrics=args.worker_metrics,
             # Durable fleets run supervised: a dead worker respawns with
             # its WAL directory and recovers instead of failing traffic.
             respawn=make_respawner(workers) if args.wal_root else None,
@@ -487,19 +507,35 @@ def cmd_engine_cluster(args) -> int:
             codec=args.codec,
         )
         await router.start_unix(args.socket)
+        admin = None
+        admin_at = ""
+        if args.admin_port is not None:
+            from .admin import AdminPlane
+
+            admin = AdminPlane(router)
+            admin_port = await admin.start_tcp(args.admin_host, args.admin_port)
+            admin_at = f", admin http://{args.admin_host}:{admin_port}"
         durability = (
             f"wal {args.wal_root} (fsync={args.fsync}, supervised)"
             if args.wal_root else "wal off"
         )
+        metrics_stance = "on" if args.metrics else "off"
+        if args.worker_metrics:
+            metrics_stance += "+workers"
         print(
             f"repro.cluster listening on unix:{args.socket} — "
             f"{spec.num_resources} resources over {spec.num_workers} "
             f"worker process(es) x {spec.shards_per_worker} shard(s), "
             f"K={spec.num_types}, worker codec={args.codec}, "
-            f"{durability}, metrics {'on' if args.metrics else 'off'}",
+            f"{durability}, metrics {metrics_stance}{admin_at}",
             flush=True,
         )
-        await router.run_until_stopped()
+        try:
+            await router.run_until_stopped()
+        finally:
+            if admin is not None:
+                await admin.close()
+            router.trace.close()
 
     try:
         asyncio.run(_main())
@@ -655,6 +691,77 @@ def cmd_engine_metrics(args) -> int:
     return 0
 
 
+def cmd_engine_trace_tree(args) -> int:
+    import json
+    import sys
+
+    from .obs import (
+        build_trace_trees,
+        load_spans,
+        render_trace_tree,
+        trace_tree_payload,
+    )
+
+    try:
+        spans = load_spans(args.files)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trees = build_trace_trees(spans)
+    if args.trace:
+        missing = [trace for trace in args.trace if trace not in trees]
+        if missing:
+            print(
+                f"error: no spans for trace(s) {', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 1
+        trees = {trace: trees[trace] for trace in args.trace}
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    trace: trace_tree_payload(roots)
+                    for trace, roots in trees.items()
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    if not trees:
+        print(
+            f"no trace-context spans in {len(spans)} span(s) from "
+            f"{len(args.files)} file(s)"
+        )
+        return 0
+    for trace in sorted(trees):
+        print(render_trace_tree(trace, trees[trace]))
+    return 0
+
+
+def _tenant_latency_payload(registry) -> dict:
+    """Machine-readable per-tenant latency percentiles (``--json``).
+
+    Times are seconds, mirroring the histogram's own unit; ``count`` is
+    the sampled op count.  Shape:
+    ``{tenant: {count, p50, p95, p99}}`` sorted by tenant.
+    """
+    from .obs import latency_summary
+    from .serve.loadgen import LOADGEN_LATENCY_METRIC
+
+    summary = latency_summary(registry, LOADGEN_LATENCY_METRIC)
+    return {
+        tenant: {
+            "count": int(row["count"]),
+            "p50": row["p50"],
+            "p95": row["p95"],
+            "p99": row["p99"],
+        }
+        for tenant, row in sorted(summary.items())
+    }
+
+
 def _print_tenant_latencies(registry) -> None:
     """Per-tenant op-latency percentiles from the loadgen histograms.
 
@@ -686,8 +793,9 @@ def _print_tenant_latencies(registry) -> None:
 
 def cmd_engine_loadgen(args) -> int:
     import asyncio
+    import json
 
-    from .obs import MetricsRegistry
+    from .obs import MetricsRegistry, TraceSink
     from .serve import ServeError
     from .serve.loadgen import (
         build_serve_instance,
@@ -702,6 +810,7 @@ def cmd_engine_loadgen(args) -> int:
     # table can carry per-tenant percentiles alongside the equality
     # judgement.
     latency = MetricsRegistry(enabled=args.check)
+    client_trace = TraceSink(args.trace_jsonl)
 
     if args.cluster:
         # In-process cluster: spawn the worker fleet + router, drive the
@@ -725,39 +834,66 @@ def cmd_engine_loadgen(args) -> int:
             shards_per_worker=args.shards_per_worker,
             codec=args.codec,
         )
-        report = cluster_once(cluster_instance, latency_registry=latency)
+        report = cluster_once(
+            cluster_instance,
+            latency_registry=latency,
+            client_trace=client_trace,
+        )
+        client_trace.close()
         served = run_cluster_instance(
             cluster_instance, args.seed, report=report
         )
         detail = served.detail["cluster"]
         equal = detail["report_equal"]
         stats = served.detail["broker_stats"]
-        print_table(
-            ["metric", "value"],
-            [
-                ["tenants", detail["tenants"]],
-                ["workers", detail["workers"]],
-                ["total shards", detail["total_shards"]],
-                ["codec", detail["codec"]],
-                ["requests sent", detail["requests"]],
-                ["events applied", stats["events"]],
-                ["leases bought", len(served.leases)],
-                ["total cost", served.cost],
-                ["report equals inline replay", "yes" if equal else "NO"],
-            ],
-            title=(
-                f"loadgen: {args.workload} x{args.horizon} against an "
-                f"in-process cluster ({args.cluster} workers), seed {args.seed}"
-            ),
-        )
-        if args.check:
-            _print_tenant_latencies(latency)
-            if not equal:
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "workload": args.workload,
+                        "horizon": args.horizon,
+                        "seed": args.seed,
+                        "source": f"in-process cluster ({args.cluster} workers)",
+                        "requests": detail["requests"],
+                        "events": stats["events"],
+                        "leases": len(served.leases),
+                        "cost": served.cost,
+                        "report_equal": equal,
+                        "tenant_latency": _tenant_latency_payload(latency),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print_table(
+                ["metric", "value"],
+                [
+                    ["tenants", detail["tenants"]],
+                    ["workers", detail["workers"]],
+                    ["total shards", detail["total_shards"]],
+                    ["codec", detail["codec"]],
+                    ["requests sent", detail["requests"]],
+                    ["events applied", stats["events"]],
+                    ["leases bought", len(served.leases)],
+                    ["total cost", served.cost],
+                    ["report equals inline replay", "yes" if equal else "NO"],
+                ],
+                title=(
+                    f"loadgen: {args.workload} x{args.horizon} against an "
+                    f"in-process cluster ({args.cluster} workers), "
+                    f"seed {args.seed}"
+                ),
+            )
+            if args.check:
+                _print_tenant_latencies(latency)
+        if args.check and not equal:
+            if not args.json:
                 print(
                     "error: clustered aggregate diverged from the "
                     "inline replay"
                 )
-                return 1
+            return 1
         return 0
 
     instance = build_serve_instance(
@@ -811,6 +947,7 @@ def cmd_engine_loadgen(args) -> int:
                 report = await drive_tenants(
                     instance, args.socket, retry_for=args.connect_timeout,
                     codec=args.codec, latency_registry=latency,
+                    client_trace=client_trace,
                 )
                 if args.shutdown:
                     await client.shutdown()
@@ -819,41 +956,66 @@ def cmd_engine_loadgen(args) -> int:
                 await client.close()
 
         report = asyncio.run(_external())
+        client_trace.close()
         served = merge_shard_payloads(report["shards"])
         _, equal = compare_with_inline(instance, served, args.seed)
         requests = report["requests"]
         source = f"unix:{args.socket}"
     else:
-        report = serve_once(instance, latency_registry=latency)
+        report = serve_once(
+            instance, latency_registry=latency, client_trace=client_trace
+        )
+        client_trace.close()
         served = run_serve_instance(instance, args.seed, report=report)
         equal = served.detail["serve"]["report_equal"]
         requests = served.detail["serve"]["requests"]
         source = "in-process server"
     stats = served.detail["broker_stats"]
-    print_table(
-        ["metric", "value"],
-        [
-            ["tenants", len(instance.tenants)],
-            ["shards", instance.num_shards],
-            ["requests sent", requests],
-            ["events applied", stats["events"]],
-            ["acquires", stats["acquires"]],
-            ["renewals", stats["renewals"]],
-            ["releases", stats["releases"]],
-            ["leases bought", len(served.leases)],
-            ["total cost", served.cost],
-            ["report equals inline replay", "yes" if equal else "NO"],
-        ],
-        title=(
-            f"loadgen: {args.workload} x{args.horizon} against {source}, "
-            f"seed {args.seed}"
-        ),
-    )
-    if args.check:
-        _print_tenant_latencies(latency)
-        if not equal:
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "workload": args.workload,
+                    "horizon": args.horizon,
+                    "seed": args.seed,
+                    "source": source,
+                    "requests": requests,
+                    "events": stats["events"],
+                    "leases": len(served.leases),
+                    "cost": served.cost,
+                    "report_equal": equal,
+                    "tenant_latency": _tenant_latency_payload(latency),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print_table(
+            ["metric", "value"],
+            [
+                ["tenants", len(instance.tenants)],
+                ["shards", instance.num_shards],
+                ["requests sent", requests],
+                ["events applied", stats["events"]],
+                ["acquires", stats["acquires"]],
+                ["renewals", stats["renewals"]],
+                ["releases", stats["releases"]],
+                ["leases bought", len(served.leases)],
+                ["total cost", served.cost],
+                ["report equals inline replay", "yes" if equal else "NO"],
+            ],
+            title=(
+                f"loadgen: {args.workload} x{args.horizon} against {source}, "
+                f"seed {args.seed}"
+            ),
+        )
+        if args.check:
+            _print_tenant_latencies(latency)
+    if args.check and not equal:
+        if not args.json:
             print("error: served aggregate diverged from the inline replay")
-            return 1
+        return 1
     return 0
 
 
@@ -999,6 +1161,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="appended events between periodic broker snapshots "
         "(snapshots truncate the WAL tail)",
     )
+    engine_serve.add_argument(
+        "--admin-host", default="127.0.0.1",
+        help="bind host for the HTTP admin plane",
+    )
+    engine_serve.add_argument(
+        "--admin-port", type=int, default=None, metavar="PORT",
+        help="mount the repro.admin HTTP ops plane beside the lease "
+        "listener (0 = ephemeral): GET /metrics /healthz /readyz "
+        "/leases /trace/{id}, POST /leases/{id}/force-release, "
+        "POST /workers/{n}/drain|undrain",
+    )
     engine_serve.set_defaults(func=cmd_engine_serve)
 
     engine_cluster = engine_sub.add_parser(
@@ -1056,6 +1229,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-every", type=int, default=None, metavar="N",
         help="appended events between periodic broker snapshots inside "
         "each worker",
+    )
+    engine_cluster.add_argument(
+        "--worker-metrics", action=argparse.BooleanOptionalAction,
+        default=False,
+        help="run every worker with its own live metrics registry and "
+        "fold each worker's scrape into the router's 'metrics' verb, "
+        "relabeled worker=\"N\"",
+    )
+    engine_cluster.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="router relay-span JSONL file: one span per trace-context "
+        "frame relayed to a worker",
+    )
+    engine_cluster.add_argument(
+        "--trace-root", default=None, metavar="DIR",
+        help="directory for per-worker dispatch-span JSONL files "
+        "(DIR/worker-N.jsonl); merge them with the router and client "
+        "files via engine trace-tree",
+    )
+    engine_cluster.add_argument(
+        "--admin-host", default="127.0.0.1",
+        help="bind host for the HTTP admin plane",
+    )
+    engine_cluster.add_argument(
+        "--admin-port", type=int, default=None, metavar="PORT",
+        help="mount the repro.admin HTTP ops plane on the router "
+        "(0 = ephemeral); /leases and force-release span the whole "
+        "fleet, /workers/{n}/drain|undrain round-trip to worker n",
     )
     engine_cluster.set_defaults(func=cmd_engine_cluster)
 
@@ -1124,6 +1325,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine_metrics.set_defaults(func=cmd_engine_metrics)
 
+    engine_trace_tree = engine_sub.add_parser(
+        "trace-tree",
+        help="merge span JSONL files (client + router + workers) and "
+        "print one causal tree per traced op",
+    )
+    engine_trace_tree.add_argument(
+        "files", nargs="+", metavar="SPANS.jsonl",
+        help="span files to merge, in any order",
+    )
+    engine_trace_tree.add_argument(
+        "--trace", action="append", default=None, metavar="ID",
+        help="only this trace id (repeatable); exit 1 if absent",
+    )
+    engine_trace_tree.add_argument(
+        "--json", action="store_true",
+        help="print the nested span trees as JSON instead of text",
+    )
+    engine_trace_tree.set_defaults(func=cmd_engine_trace_tree)
+
     engine_loadgen = engine_sub.add_parser(
         "loadgen",
         help="drive closed-loop tenants against a lease server and "
@@ -1164,8 +1384,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 unless the served aggregate equals the inline replay",
     )
     engine_loadgen.add_argument(
+        "--json", action="store_true",
+        help="print the verdict and per-tenant p50/p95/p99 latency "
+        "summary as one JSON object instead of tables (latency needs "
+        "--check, which turns sampling on)",
+    )
+    engine_loadgen.add_argument(
         "--shutdown", action="store_true",
         help="send a shutdown op to the external server when done",
+    )
+    engine_loadgen.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="write client-originated trace-context spans (one JSON "
+        "object per op) to PATH; pair with the server/router span "
+        "files and `engine trace-tree`",
     )
     engine_loadgen.set_defaults(func=cmd_engine_loadgen)
 

@@ -37,6 +37,7 @@ from ..engine.events import Tick, generate_resource_trace
 from ..engine.scenarios import BrokerTraceInstance, verify_broker_trace
 from ..errors import ModelError
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceSink
 from ..serve.loadgen import (
     compare_with_inline,
     drive_tenants,
@@ -69,6 +70,8 @@ class ClusterInstance:
     wal_root: str | None = None
     fsync: str = "batch"
     snapshot_every: int | None = None
+    worker_metrics: bool = False
+    trace_root: str | None = None
 
     def __post_init__(self) -> None:
         if self.codec not in CODECS:
@@ -103,6 +106,8 @@ class ClusterInstance:
             wal_root=self.wal_root,
             fsync=self.fsync,
             snapshot_every=self.snapshot_every,
+            worker_metrics=self.worker_metrics,
+            trace_root=self.trace_root,
         )
 
 
@@ -132,6 +137,8 @@ def build_cluster_instance(
     wal_root: str | None = None,
     fsync: str = "batch",
     snapshot_every: int | None = None,
+    worker_metrics: bool = False,
+    trace_root: str | None = None,
 ) -> ClusterInstance:
     """A cluster instance over :func:`generate_resource_trace` streams.
 
@@ -169,6 +176,8 @@ def build_cluster_instance(
         wal_root=wal_root,
         fsync=fsync,
         snapshot_every=snapshot_every,
+        worker_metrics=worker_metrics,
+        trace_root=trace_root,
     )
 
 
@@ -181,6 +190,8 @@ def cluster_once(
     metrics: MetricsRegistry | None = None,
     latency_registry: MetricsRegistry | None = None,
     fault_hook=None,
+    router_trace: TraceSink | None = None,
+    client_trace: TraceSink | None = None,
 ) -> dict:
     """One full clustered serving cycle; returns the merged report.
 
@@ -200,6 +211,12 @@ def cluster_once(
     the drive rides through the crash.  ``fault_hook(day, workers)``,
     when given, is called before each simulated day's traffic — the
     chaos harness's kill injection point.
+
+    ``router_trace`` gives the router a span sink (relay spans);
+    ``client_trace`` makes the tenants trace originators.  Pair them
+    with ``instance.trace_root`` (per-worker dispatch-span files) for a
+    fully traced fleet whose merged files reconstruct one causal tree
+    per op through ``engine trace-tree``.
     """
     spec = instance.spec
     workdir = tempfile.mkdtemp(prefix="rcl-")
@@ -216,7 +233,8 @@ def cluster_once(
         async def _route_and_drive() -> dict:
             router = ClusterRouter(
                 spec, worker_window=instance.worker_window, metrics=metrics,
-                respawn=respawn,
+                respawn=respawn, trace=router_trace,
+                collect_worker_metrics=spec.worker_metrics,
             )
             await router.connect_workers(
                 [w.socket_path for w in workers],
@@ -231,6 +249,7 @@ def cluster_once(
                     retry_for=retry_for, codec=instance.codec,
                     latency_registry=latency_registry,
                     on_day=on_day,
+                    client_trace=client_trace,
                 )
                 report["drive_seconds"] = time.perf_counter() - start
                 report["respawns"] = sum(w.respawns for w in workers)

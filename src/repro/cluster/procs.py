@@ -26,7 +26,10 @@ from .spec import ClusterSpec
 
 
 def worker_command(
-    spec: ClusterSpec, socket_path: str, wal_dir: str | None = None
+    spec: ClusterSpec,
+    socket_path: str,
+    wal_dir: str | None = None,
+    trace_path: str | None = None,
 ) -> list[str]:
     """The exact ``engine serve`` argv one worker runs.
 
@@ -34,6 +37,14 @@ def worker_command(
     serving shape, the durability flags, and the instrumentation stance
     are encoded here once, so a respawned worker is guaranteed to come
     back with the exact configuration it died with.
+
+    The instrumentation stance follows the spec: by default workers stay
+    uninstrumented — the fleet's observability lives at the router plus
+    the worker stats folded in at scrape time, so per-request sampling
+    inside workers would cost hot-path time for metrics nothing scrapes
+    — but ``spec.worker_metrics`` turns on each worker's live registry
+    so the router can fold the workers' own scrapes into the fleet
+    exposition.
     """
     argv = [
         sys.executable, "-m", "repro", "engine", "serve",
@@ -44,13 +55,10 @@ def worker_command(
         "--cost-growth", repr(spec.cost_growth),
         "--record" if spec.record else "--no-record",
         "--window", str(spec.session_window),
-        # Workers stay uninstrumented: the fleet's observability lives
-        # at the router (relay latency, in-flight gauges) plus the
-        # worker stats folded in at scrape time, so per-request
-        # sampling inside workers would cost hot-path time for metrics
-        # nothing scrapes.
-        "--no-metrics",
+        "--metrics" if spec.worker_metrics else "--no-metrics",
     ]
+    if trace_path is not None:
+        argv += ["--trace-jsonl", str(trace_path)]
     if wal_dir is not None:
         argv += ["--wal-dir", str(wal_dir), "--fsync", spec.fsync]
         if spec.snapshot_every is not None:
@@ -83,13 +91,17 @@ class WorkerProcess:
         self.socket_path = str(socket_path)
         self.quiet = quiet
         self.wal_dir = spec.worker_wal_dir(index)
+        self.trace_path = spec.worker_trace_path(index)
         self.respawns = 0
         self.process = self._spawn()
 
     def _spawn(self) -> subprocess.Popen:
         sink = subprocess.DEVNULL if self.quiet else None
         return subprocess.Popen(
-            worker_command(self.spec, self.socket_path, wal_dir=self.wal_dir),
+            worker_command(
+                self.spec, self.socket_path, wal_dir=self.wal_dir,
+                trace_path=self.trace_path,
+            ),
             env=_worker_env(),
             stdout=sink,
             stderr=sink,

@@ -70,6 +70,14 @@ from collections import deque
 from ..errors import ModelError
 from ..obs.export import export_sessions, export_shards
 from ..obs.metrics import MetricsRegistry
+from ..obs.promparse import merge_expositions, relabel_exposition
+from ..obs.trace import NULL_TRACE, TraceSink
+from ..obs.tracetree import (
+    build_trace_trees,
+    load_spans,
+    new_id,
+    trace_tree_payload,
+)
 from ..serve.protocol import (
     CODEC_BIN,
     CODEC_JSON,
@@ -87,7 +95,12 @@ from ..serve.protocol import (
     request,
     write_frame,
 )
-from ..serve.server import field_resource, field_tenant, field_time
+from ..serve.server import (
+    field_resource,
+    field_tenant,
+    field_time,
+    trace_context,
+)
 from .spec import ClusterSpec
 
 
@@ -156,6 +169,7 @@ class _WorkerLink:
         "index", "reader", "writer", "codec", "_ids", "_pending", "outq",
         "_pump_task", "_read_task", "_metrics_on", "_clock", "_registry",
         "_latency", "_frames", "_failures", "_on_death", "_closing",
+        "_trace",
     )
 
     def __init__(
@@ -166,17 +180,22 @@ class _WorkerLink:
         codec: str,
         metrics: MetricsRegistry | None = None,
         on_death=None,
+        trace: TraceSink | None = None,
     ):
         self.index = index
         self.reader = reader
         self.writer = writer
         self.codec = codec
         self._ids = itertools.count(1)
-        #: link id -> (conn, client id, None, op, payload, t0) for relays,
-        #:            (None, None, future, op, payload, t0) for router
-        #: calls.  The original payload rides along so a supervisor can
-        #: resend the op verbatim on a successor link.
+        #: link id -> (conn, client id, None, op, payload, t0, span) for
+        #: relays, (None, None, future, op, payload, t0, None) for
+        #: router calls.  The payload rides along so a supervisor can
+        #: resend the op verbatim on a successor link; ``span`` is the
+        #: relay span context (trace id, relay span id, parent span id,
+        #: tenant, resource) when the frame carried one and the router
+        #: traces, else None.
         self._pending: dict[int, tuple] = {}
+        self._trace = trace if trace is not None else NULL_TRACE
         self._on_death = on_death
         self._closing = False
         self.outq: asyncio.Queue = asyncio.Queue()
@@ -225,6 +244,7 @@ class _WorkerLink:
         codec: str = CODEC_BIN,
         metrics: MetricsRegistry | None = None,
         on_death=None,
+        trace: TraceSink | None = None,
     ) -> "_WorkerLink":
         deadline = asyncio.get_running_loop().time() + retry_for
         while True:
@@ -255,7 +275,8 @@ class _WorkerLink:
             raise
         chosen = negotiate_codec(hello.get("codec")) if codec == CODEC_BIN else CODEC_JSON
         return cls(
-            index, reader, writer, chosen, metrics=metrics, on_death=on_death
+            index, reader, writer, chosen, metrics=metrics,
+            on_death=on_death, trace=trace,
         )
 
     @staticmethod
@@ -294,11 +315,34 @@ class _WorkerLink:
         return len(self._pending)
 
     def forward(self, payload: dict, conn: _ClientConn, client_id) -> None:
-        """Relay a client mutation: rewrite the id, queue the frame."""
+        """Relay a client mutation: rewrite the id, queue the frame.
+
+        When the frame carries a trace context and the router has a
+        sink, the relay re-parents it: a relay span id is minted, the
+        forwarded frame's context names it (so the worker's dispatch
+        span becomes the relay span's child), and the relay span itself
+        — parented to the client's span — is emitted when the worker
+        answers.  The rewrite is stored in pending, so a resend after a
+        worker respawn reuses the same relay span identity.
+        """
+        span = None
+        if self._trace.enabled:
+            context = trace_context(payload)
+            if context is not None:
+                relay_span = new_id()
+                payload = {**payload, "trace": f"{context[0]}-{relay_span}"}
+                span = (
+                    context[0], relay_span, context[1],
+                    payload.get("tenant"), payload.get("resource"),
+                )
         link_id = next(self._ids)
-        t0 = self._clock() if self._metrics_on else 0.0
+        t0 = (
+            self._clock() if self._metrics_on
+            else self._trace.clock() if span is not None
+            else 0.0
+        )
         self._pending[link_id] = (
-            conn, client_id, None, payload.get("op"), payload, t0
+            conn, client_id, None, payload.get("op"), payload, t0, span
         )
         self._frames.inc()
         self.outq.put_nowait(
@@ -319,7 +363,7 @@ class _WorkerLink:
         )
         t0 = self._clock() if self._metrics_on else 0.0
         payload = request(op, link_id, **fields)
-        self._pending[link_id] = (None, None, future, op, payload, t0)
+        self._pending[link_id] = (None, None, future, op, payload, t0, None)
         self._frames.inc()
         self.outq.put_nowait(encode_frame(payload, self.codec))
         return future
@@ -335,12 +379,14 @@ class _WorkerLink:
         applied the op before dying answers from its applied-log dedup
         instead of applying twice; idempotent control reads go verbatim.
         """
-        conn, client_id, future, op, payload, _t0 = entry
+        conn, client_id, future, op, payload, _t0, span = entry
         if future is not None and future.done():
             return
         link_id = next(self._ids)
         t0 = self._clock() if self._metrics_on else 0.0
-        self._pending[link_id] = (conn, client_id, future, op, payload, t0)
+        self._pending[link_id] = (
+            conn, client_id, future, op, payload, t0, span
+        )
         self._frames.inc()
         body = {**payload, "id": link_id}
         if op in MUTATION_OPS:
@@ -380,9 +426,24 @@ class _WorkerLink:
                 entry = self._pending.pop(payload.get("id"), None)
                 if entry is None:
                     continue
-                conn, client_id, future, op, _payload, t0 = entry
+                conn, client_id, future, op, _payload, t0, span = entry
                 if self._metrics_on:
                     self._latency_hist(op).observe(self._clock() - t0)
+                if span is not None:
+                    trace_id, span_id, parent, tenant, resource = span
+                    self._trace.span(
+                        op=op,
+                        tenant=tenant,
+                        resource=resource,
+                        request_id=client_id,
+                        t_enq=t0,
+                        t_disp=t0,
+                        t_reply=self._trace.clock(),
+                        trace=trace_id,
+                        span_id=span_id,
+                        parent=parent,
+                        kind="relay",
+                    )
                 if future is not None:
                     if not future.done():
                         future.set_result(payload)
@@ -403,7 +464,8 @@ class _WorkerLink:
         pending, self._pending = self._pending, {}
         if pending:
             self._failures.inc(len(pending))
-        for conn, client_id, future, _op, _payload, _t0 in pending.values():
+        for conn, client_id, future, _op, _payload, _t0, _span in \
+                pending.values():
             if future is not None:
                 if not future.done():
                     future.set_exception(ServeError("unavailable", why))
@@ -445,7 +507,8 @@ class _WorkerSlot:
         "state", "respawn", "hold_limit", "max_respawns", "backoff_base",
         "backoff_cap", "heartbeat_every", "heartbeat_timeout", "_held",
         "_registry", "_recover_task", "_heartbeat_task", "_closing",
-        "_deaths", "_respawns", "_held_counter",
+        "_deaths", "_respawns", "_held_counter", "trace",
+        "respawns_done", "redriven_frames",
     )
 
     def __init__(
@@ -463,6 +526,7 @@ class _WorkerSlot:
         backoff_cap: float = 2.0,
         heartbeat_every: float = 2.0,
         heartbeat_timeout: float = 10.0,
+        trace: TraceSink | None = None,
     ):
         self.index = index
         self.path = path
@@ -480,9 +544,15 @@ class _WorkerSlot:
         self.heartbeat_timeout = heartbeat_timeout
         self._held: deque = deque()
         self._registry = registry
+        self.trace = trace if trace is not None else NULL_TRACE
         self._recover_task: asyncio.Task | None = None
         self._heartbeat_task: asyncio.Task | None = None
         self._closing = False
+        # Plain-int supervision tallies, kept regardless of whether the
+        # live registry is enabled: the scrape-time export renders them
+        # as cluster_worker_respawns_total / cluster_redriven_frames_total.
+        self.respawns_done = 0
+        self.redriven_frames = 0
         self._deaths = registry.counter(
             "cluster_worker_deaths_total",
             help="Times the router found this worker's link dead.",
@@ -509,6 +579,7 @@ class _WorkerSlot:
             self.index, self.path, self.spec, retry_for=self.retry_for,
             codec=self.codec_pref, metrics=self._registry,
             on_death=self._link_died if self.supervised else None,
+            trace=self.trace,
         )
         if self.supervised and self._heartbeat_task is None:
             self._heartbeat_task = asyncio.create_task(self._heartbeat())
@@ -609,6 +680,7 @@ class _WorkerSlot:
                         self.index, path, self.spec,
                         retry_for=self.retry_for, codec=self.codec_pref,
                         metrics=self._registry, on_death=self._link_died,
+                        trace=self.trace,
                     )
                 except asyncio.CancelledError:
                     raise
@@ -619,6 +691,7 @@ class _WorkerSlot:
                     delay = min(delay * 2, self.backoff_cap)
                     continue
                 self._respawns.inc()
+                self.respawns_done += 1
                 self.path = path
                 # No awaits from here to the state flip: resends and the
                 # held drain land in the link queue atomically, keeping
@@ -626,6 +699,7 @@ class _WorkerSlot:
                 for entry in pending:
                     link.resend(entry)
                 held, self._held = self._held, deque()
+                self.redriven_frames += len(pending) + len(held)
                 for item in held:
                     if item[0] == "forward":
                         _, payload, conn, client_id = item
@@ -648,7 +722,7 @@ class _WorkerSlot:
             raise
 
     def _fail_all(self, pending: list, why: str) -> None:
-        for conn, client_id, future, _op, _payload, _t0 in pending:
+        for conn, client_id, future, _op, _payload, _t0, _span in pending:
             if future is not None:
                 if not future.done():
                     future.set_exception(ServeError("unavailable", why))
@@ -727,6 +801,19 @@ class ClusterRouter:
         heartbeat_every: seconds between supervision heartbeats.
         heartbeat_timeout: unanswered-heartbeat window after which a
             hung worker's link is severed to force recovery.
+        trace: router-side JSONL span sink.  With a sink configured,
+            every relayed mutation carrying a trace context leaves a
+            ``relay`` span here — parented to the client's span, parent
+            of the worker's dispatch span — so a merged fleet trace
+            reconstructs the full client → router → worker tree.
+            ``None`` disables router spans (contexts still relay
+            through to the workers untouched).
+        collect_worker_metrics: fold each worker's *own* scrape (its
+            ``metrics`` verb, live histograms included) into the
+            router's exposition, every sample relabeled with
+            ``worker="N"``; the router then skips its own shard/session
+            fold so no family is reported twice.  Enable when the
+            workers run with live metrics (``--worker-metrics``).
     """
 
     def __init__(
@@ -740,6 +827,8 @@ class ClusterRouter:
         respawn_backoff: float = 0.1,
         heartbeat_every: float = 2.0,
         heartbeat_timeout: float = 10.0,
+        trace: TraceSink | None = None,
+        collect_worker_metrics: bool = False,
     ):
         if worker_window < 1:
             raise ModelError("worker_window must be >= 1")
@@ -758,6 +847,8 @@ class ClusterRouter:
         self.respawn_backoff = respawn_backoff
         self.heartbeat_every = heartbeat_every
         self.heartbeat_timeout = heartbeat_timeout
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.collect_worker_metrics = collect_worker_metrics
         self._slots: list[_WorkerSlot] = []
         self._state = "serving"
         self._servers: list[asyncio.base_events.Server] = []
@@ -801,6 +892,7 @@ class ClusterRouter:
                     backoff_base=self.respawn_backoff,
                     heartbeat_every=self.heartbeat_every,
                     heartbeat_timeout=self.heartbeat_timeout,
+                    trace=self.trace,
                 )
                 await slot.open()
                 self._slots.append(slot)
@@ -881,6 +973,7 @@ class ClusterRouter:
             conn.writer.close()
         if lingering:
             await asyncio.gather(*lingering, return_exceptions=True)
+        self.trace.flush()
         self._stopped.set()
 
     async def run_until_stopped(self) -> None:
@@ -896,6 +989,7 @@ class ClusterRouter:
         return {
             "server": "repro.cluster",
             "protocol": PROTOCOL_VERSION,
+            "trace": True,
             "state": self._state,
             "record": spec.record,
             "num_resources": spec.num_resources,
@@ -925,8 +1019,16 @@ class ClusterRouter:
             # preserving the single server's read-order serialization.
             # (A recovering slot holds its tick in the same FIFO.)
             # Only the response aggregation is deferred to a task.
+            # A traced tick propagates its context verbatim to every
+            # worker — the broadcast is fan-out, not relay, so the
+            # workers' dispatch spans parent to the client span
+            # directly and no relay span is minted.
+            extra = (
+                {"trace": payload["trace"]} if "trace" in payload else {}
+            )
             futures = [
-                slot.call("tick", time=when) for slot in self._slots
+                slot.call("tick", time=when, **extra)
+                for slot in self._slots
             ]
             return asyncio.create_task(
                 self._finish_tick(futures, request_id, conn)
@@ -1026,25 +1128,88 @@ class ClusterRouter:
         if op == "trace":
             return {"shards": self._kept_shards(await self._broadcast("trace"))}
         if op == "metrics":
-            return {"text": self.render_metrics(await self._broadcast("stats"))}
+            parts = [
+                self.render_metrics(
+                    await self._broadcast("stats"),
+                    include_shards=not self.collect_worker_metrics,
+                )
+            ]
+            if self.collect_worker_metrics:
+                worker_texts = await self._broadcast("metrics")
+                parts.extend(
+                    relabel_exposition(result["text"], worker=str(slot.index))
+                    for slot, result in zip(self._slots, worker_texts)
+                )
+            # Workers share family names with each other (and the
+            # router may share session families with them): merge, do
+            # not concatenate, so each family is declared exactly once.
+            return {"text": merge_expositions(*parts)}
+        if op == "leases":
+            return {"shards": await self._cluster_leases()}
         if op == "drain":
             await self._broadcast("drain")
             if self._state == "serving":
                 self._state = "draining"
             return {"state": self._state}
+        if op == "undrain":
+            await self._broadcast("undrain")
+            if self._state == "draining":
+                self._state = "serving"
+            return {"state": self._state}
         raise ServeError("protocol", f"unknown op {op!r}")
 
-    def render_metrics(self, results: list[dict]) -> str:
+    async def _cluster_leases(self) -> list[dict]:
+        """The fleet's lease book: each worker's own shards, ids prefixed.
+
+        A worker names its leases ``<shard>:<grant_id>``; the cluster
+        form is ``<worker>:<shard>:<grant_id>``, so an id identifies the
+        owning process too and force-release can route without a scan.
+        """
+        results = await self._broadcast("leases")
+        shards: list[dict] = []
+        for slot, result in zip(self._slots, results):
+            lo, hi = self.spec.group(slot.index)
+            by_index = {
+                shard.get("index"): shard
+                for shard in result.get("shards") or []
+            }
+            for shard_index in range(lo, hi):
+                shard = by_index.get(shard_index)
+                if shard is None:
+                    raise ServeError(
+                        "unavailable",
+                        f"worker {slot.index} reported no shard "
+                        f"{shard_index}",
+                    )
+                shard = dict(shard)
+                shard["leases"] = [
+                    dict(
+                        lease,
+                        lease_id=f"{slot.index}:{lease['lease_id']}",
+                    )
+                    for lease in shard.get("leases") or []
+                ]
+                shards.append(shard)
+        return shards
+
+    def render_metrics(
+        self, results: list[dict], include_shards: bool = True
+    ) -> str:
         """The cluster's Prometheus text exposition, from a stats barrier.
 
         ``results`` are the workers' ``stats`` payloads, one per link.
         Each worker's own shard group exports through the same folder a
         single server uses — so broker counters carry identical names
         cluster-wide, just with a ``worker`` label ahead of ``shard`` —
-        plus per-worker link gauges (in-flight ops, window) and session
-        totals.  The router's live registry (relay latency, codec mix,
-        link failures) is appended when metrics are enabled; family
-        names are disjoint, so the concatenation stays valid.
+        plus per-worker link gauges (in-flight ops, window, liveness)
+        and the supervision tallies (respawns performed, frames redriven
+        after a respawn).  The router's live registry (relay latency,
+        codec mix, link failures) is appended when metrics are enabled;
+        family names are disjoint, so the concatenation stays valid.
+
+        ``include_shards=False`` skips the shard/session fold — the
+        ``metrics`` verb uses it when it appends the workers' own
+        relabeled scrapes, which already carry those families.
         """
         registry = MetricsRegistry(clock=self.metrics.clock)
         for link, result in zip(self._slots, results):
@@ -1059,6 +1224,25 @@ class ClusterRouter:
                 help="Per-worker in-flight op bound.",
                 worker=worker,
             ).set(self.worker_window)
+            registry.gauge(
+                "cluster_worker_up",
+                help="1 when the worker's link is up, 0 while it is "
+                "recovering or gone.",
+                worker=worker,
+            ).set(1.0 if link.state == "up" else 0.0)
+            registry.counter(
+                "cluster_worker_respawns_total",
+                help="Worker restarts supervision completed successfully.",
+                worker=worker,
+            ).inc(link.respawns_done)
+            registry.counter(
+                "cluster_redriven_frames_total",
+                help="In-flight and held frames redriven onto a "
+                "respawned worker.",
+                worker=worker,
+            ).inc(link.redriven_frames)
+            if not include_shards:
+                continue
             lo, hi = self.spec.group(link.index)
             by_index = {
                 shard.get("index"): shard
@@ -1075,6 +1259,108 @@ class ClusterRouter:
         if self.metrics.enabled:
             text += self.metrics.render_prometheus()
         return text
+
+    # ------------------------------------------------------------------
+    # Admin backend — the surface repro.admin.AdminPlane mounts over HTTP
+    # ------------------------------------------------------------------
+    async def admin_metrics(self) -> str:
+        """The ``GET /metrics`` exposition (same text as the wire verb)."""
+        return (await self._control("metrics"))["text"]
+
+    def admin_health(self) -> dict:
+        """Liveness: router state plus each worker slot's condition."""
+        return {
+            "state": self._state,
+            "workers": [
+                {
+                    "index": slot.index,
+                    "slot": slot.state,
+                    "inflight": slot.inflight,
+                    "respawns": slot.respawns_done,
+                }
+                for slot in self._slots
+            ],
+        }
+
+    def admin_ready(self) -> tuple[bool, dict]:
+        """Readiness: every worker link up and the router admitting work."""
+        slots_up = all(slot.state == "up" for slot in self._slots)
+        ready = bool(self._slots) and slots_up and self._state == "serving"
+        return ready, {
+            "ready": ready,
+            "state": self._state,
+            "workers_up": slots_up,
+            "workers": {
+                str(slot.index): slot.state for slot in self._slots
+            },
+        }
+
+    async def admin_leases(
+        self, tenant: str | None = None, resource: int | None = None
+    ) -> list[dict]:
+        """The fleet's live lease book, filtered and stably sorted."""
+        shards = await self._cluster_leases()
+        book = [
+            lease
+            for shard in shards
+            for lease in shard["leases"]
+            if (tenant is None or lease["tenant"] == tenant)
+            and (resource is None or lease["resource"] == resource)
+        ]
+        book.sort(key=lambda l: (l["resource"], l["tenant"], l["lease_id"]))
+        return book
+
+    async def admin_force_release(self, lease_id: str) -> dict | None:
+        """Durably force-release one lease anywhere in the fleet.
+
+        The release is injected through the owning worker's slot — the
+        same path client mutations ride — so it is WAL'd by the worker,
+        recorded as a replayable event, and, should the worker die
+        mid-op, resent by supervision with the ``retry`` marker, which
+        the worker's applied-log dedup collapses to exactly-once.
+        """
+        book = await self.admin_leases()
+        lease = next(
+            (l for l in book if l["lease_id"] == lease_id), None
+        )
+        if lease is None:
+            return None
+        slot = self._slots[self.spec.worker_of(lease["resource"])]
+        result = await slot.call_checked(
+            "release",
+            tenant=lease["tenant"],
+            resource=lease["resource"],
+            time=0,
+        )
+        return {"lease_id": lease_id, "released": dict(lease), **result}
+
+    async def admin_drain(self, worker: int) -> str | None:
+        """Drain one worker (refuse its new acquires); router state kept."""
+        if not 0 <= worker < len(self._slots):
+            return None
+        result = await self._slots[worker].call_checked("drain")
+        return result["state"]
+
+    async def admin_undrain(self, worker: int) -> str | None:
+        if not 0 <= worker < len(self._slots):
+            return None
+        result = await self._slots[worker].call_checked("undrain")
+        return result["state"]
+
+    def admin_trace(self, trace_id: str) -> list[dict] | None:
+        """The span tree for one trace id from the router's own sink.
+
+        Router-local spans only (the ``relay`` hops); merging a whole
+        fleet's files is ``engine trace-tree``'s job.
+        """
+        if not self.trace.enabled:
+            return None
+        self.trace.flush()
+        trees = build_trace_trees(load_spans([self.trace.path]))
+        roots = trees.get(trace_id)
+        if not roots:
+            return None
+        return trace_tree_payload(roots)
 
     async def _handle_connection(self, reader, writer) -> None:
         conn = _ClientConn(reader, writer)

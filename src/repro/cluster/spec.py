@@ -55,6 +55,19 @@ class ClusterSpec:
         snapshot_every: appended events between periodic broker
             snapshots inside each worker; ``None`` keeps the server
             default.
+        worker_metrics: run every worker with its live metrics registry
+            enabled (per-op latency histograms, byte counters, WAL
+            instrumentation).  The router's ``metrics`` verb can then
+            fold each worker's own scrape into the fleet exposition,
+            relabeled ``worker="N"``.  Off by default: per-request
+            sampling inside workers costs hot-path time for metrics
+            nothing scrapes unless asked for.
+        trace_root: directory under which each worker writes its JSONL
+            span file (``trace_root/worker-<i>.jsonl``); ``None`` runs
+            the fleet untraced.  With tracing on, a worker emits one
+            dispatch span per op — trace-context-linked when the frame
+            carried one — and ``engine trace-tree`` can merge the
+            fleet's files into causal trees.
     """
 
     num_resources: int
@@ -67,6 +80,8 @@ class ClusterSpec:
     wal_root: str | None = None
     fsync: str = "batch"
     snapshot_every: int | None = None
+    worker_metrics: bool = False
+    trace_root: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_resources < 1:
@@ -94,6 +109,12 @@ class ClusterSpec:
         if self.wal_root is None:
             return None
         return str(Path(self.wal_root) / f"worker-{worker}")
+
+    def worker_trace_path(self, worker: int) -> str | None:
+        """Worker ``worker``'s span file, or ``None`` when tracing is off."""
+        if self.trace_root is None:
+            return None
+        return str(Path(self.trace_root) / f"worker-{worker}.jsonl")
 
     @property
     def total_shards(self) -> int:

@@ -15,7 +15,10 @@ This module makes the trajectory a first-class artifact:
   histograms, wire counters, JSONL trace spans — rating the
   observability overhead; ``p06_durable``: the p03 serving cycle with
   the :mod:`repro.durable` WAL off, batch-fsynced, and fsynced per
-  append — pricing durability) at one of three sizes (``full`` —
+  append — pricing durability; ``p07_admin``: the p03 serving cycle
+  bare vs with the :mod:`repro.admin` HTTP ops plane mounted and a
+  background scraper polling ``/metrics`` + ``/leases`` at 4 Hz —
+  pricing the admin plane under load) at one of three sizes (``full`` —
   the committed trajectory numbers, ``smoke`` — CI-sized, ``unit`` —
   test-sized) and returns a JSON-ready record.
 * ``BENCH_p01_broker.json`` / ``BENCH_p02_runner.json`` /
@@ -64,7 +67,7 @@ from .scenarios import make_broker_scenario, register
 SCHEMA = "repro-bench/1"
 BENCH_NAMES = (
     "p01_broker", "p02_runner", "p03_serve", "p04_cluster", "p05_obs",
-    "p06_durable",
+    "p06_durable", "p07_admin",
 )
 MODES = ("full", "smoke", "unit")
 DEFAULT_TOLERANCE = 0.30
@@ -74,6 +77,9 @@ OBS_OVERHEAD_FLOOR = 0.90
 #: Batch-fsynced durable serving must keep at least this fraction of
 #: the WAL-off rate measured in the same p06 run.
 DURABLE_BATCH_FLOOR = 0.80
+#: Serving with the admin plane mounted and scraped must keep at least
+#: this fraction of the bare rate measured in the same p07 run.
+ADMIN_OVERHEAD_FLOOR = 0.90
 
 #: Committed trajectory files, relative to the repository root.
 BENCH_FILES = {
@@ -83,6 +89,7 @@ BENCH_FILES = {
     "p04_cluster": "benchmarks/BENCH_p04_cluster.json",
     "p05_obs": "benchmarks/BENCH_p05_obs.json",
     "p06_durable": "benchmarks/BENCH_p06_durable.json",
+    "p07_admin": "benchmarks/BENCH_p07_admin.json",
 }
 
 # P1 stream shape (mirrors bench_p01_broker_throughput).
@@ -133,6 +140,16 @@ _P06_SHARDS = {"full": 4, "smoke": 4, "unit": 2}
 _P06_ROUNDS = {"full": 3, "smoke": 6, "unit": 2}
 _P06_TENANTS_PER_RESOURCE = 2
 _P06_SEED = 7
+
+# P7 admin-plane shape: the P3 serving cycle bare vs with the HTTP ops
+# plane mounted and a background scraper polling it at 4 Hz.
+_P07_HORIZON = {"full": 2048, "smoke": 512, "unit": 96}
+_P07_RESOURCES = {"full": 16, "smoke": 8, "unit": 4}
+_P07_SHARDS = {"full": 4, "smoke": 4, "unit": 2}
+_P07_ROUNDS = {"full": 3, "smoke": 6, "unit": 2}
+_P07_TENANTS_PER_RESOURCE = 2
+_P07_SEED = 7
+_P07_POLL_HZ = 4.0
 
 
 def _require_mode(mode: str) -> None:
@@ -675,6 +692,113 @@ def measure_p06(mode: str = "smoke") -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# P7: admin-plane overhead (bare vs mounted + actively scraped)
+# ----------------------------------------------------------------------
+def measure_p07(mode: str = "smoke") -> dict:
+    """The p03 serving cycle bare vs with the ops plane scraped at 4 Hz.
+
+    Two arms per round, interleaved so machine drift hits both:
+
+    * ``bare`` — the p03 cycle untouched: no admin listener at all.
+    * ``admin`` — an :class:`~repro.admin.AdminPlane` mounted on an
+      ephemeral TCP port beside the lease socket, with a background
+      scraper hitting ``GET /metrics`` and ``GET /leases`` at
+      :data:`_P07_POLL_HZ` for the whole drive.  That is the realistic
+      ops posture: every ``/metrics`` scrape runs the stats barrier
+      across all shards and every ``/leases`` folds the live book, so
+      this arm prices the plane *under observation*, not merely bound.
+
+    This is the gated arm: it must keep at least
+    :data:`ADMIN_OVERHEAD_FLOOR` of the bare rate from the same run — a
+    ratio of two wall clocks on one box, machine-independent.  Best of
+    rounds per arm, since the headline is a ratio.  The p03 identities
+    ride along: both arms' aggregates must equal the inline replay, and
+    the admin arm's aggregate must be identical to the bare one —
+    being watched must not perturb behaviour.
+    """
+    _require_mode(mode)
+    from ..serve.loadgen import (
+        build_serve_instance,
+        run_serve_instance,
+        serve_once,
+        verify_serve,
+    )
+
+    instance = build_serve_instance(
+        "markov",
+        _P07_HORIZON[mode],
+        _P07_SEED,
+        num_resources=_P07_RESOURCES[mode],
+        tenants_per_resource=_P07_TENANTS_PER_RESOURCE,
+        num_shards=_P07_SHARDS[mode],
+    )
+    arms = {
+        "bare": lambda: serve_once(instance),
+        "admin": lambda: serve_once(
+            instance, admin=True, admin_poll_hz=_P07_POLL_HZ
+        ),
+    }
+    best: dict = {arm: None for arm in arms}
+    reports: dict = {arm: None for arm in arms}
+    for _ in range(_P07_ROUNDS[mode]):
+        for arm, run in arms.items():
+            start = time.perf_counter()
+            reports[arm] = run()
+            elapsed = time.perf_counter() - start
+            if best[arm] is None or elapsed < best[arm]:
+                best[arm] = elapsed
+    results = {
+        arm: run_serve_instance(instance, _P07_SEED, report=report)
+        for arm, report in reports.items()
+    }
+    bare = results["bare"]
+    admin = results["admin"]
+    reports_identical = (
+        admin.cost == bare.cost
+        and admin.leases == bare.leases
+        and admin.detail["broker_stats"] == bare.detail["broker_stats"]
+    )
+    events = bare.detail["broker_stats"]["events"]
+    report_equal = all(
+        result.detail["serve"]["report_equal"]
+        for result in results.values()
+    )
+    verified = all(
+        verify_serve(instance, result).ok for result in results.values()
+    )
+    return {
+        "schema": SCHEMA,
+        "bench": "p07_admin",
+        "mode": mode,
+        "params": {
+            "horizon": _P07_HORIZON[mode],
+            "num_resources": _P07_RESOURCES[mode],
+            "tenants_per_resource": _P07_TENANTS_PER_RESOURCE,
+            "num_shards": _P07_SHARDS[mode],
+            "rounds": _P07_ROUNDS[mode],
+            "poll_hz": _P07_POLL_HZ,
+            "seed": _P07_SEED,
+        },
+        "metrics": {
+            "events": events,
+            "requests": bare.detail["serve"]["requests"],
+            "tenants": bare.detail["serve"]["tenants"],
+            "leases": len(bare.leases),
+            "cost": bare.cost,
+            "bare_elapsed_sec": round(best["bare"], 4),
+            "admin_elapsed_sec": round(best["admin"], 4),
+            "bare_events_per_sec": round(events / best["bare"]),
+            "admin_events_per_sec": round(events / best["admin"]),
+            "admin_ratio": round(best["admin"] / best["bare"], 4),
+            "reports_identical": reports_identical,
+            "report_equal": report_equal,
+            "verified": verified,
+        },
+        "env": _environment(),
+    }
+
+
 _MEASURERS = {
     "p01_broker": measure_p01,
     "p02_runner": measure_p02,
@@ -682,6 +806,7 @@ _MEASURERS = {
     "p04_cluster": measure_p04,
     "p05_obs": measure_p05,
     "p06_durable": measure_p06,
+    "p07_admin": measure_p07,
 }
 
 
@@ -747,6 +872,7 @@ _RATE_GATES = {
     "p04_cluster": ("events_per_sec",),
     "p05_obs": ("off_events_per_sec", "on_events_per_sec"),
     "p06_durable": ("off_events_per_sec", "batch_events_per_sec"),
+    "p07_admin": ("bare_events_per_sec", "admin_events_per_sec"),
 }
 _EXACT_GATES = {
     "p01_broker": ("events", "leases"),
@@ -757,6 +883,9 @@ _EXACT_GATES = {
         "events", "leases", "reports_identical", "report_equal", "verified",
     ),
     "p06_durable": (
+        "events", "leases", "reports_identical", "report_equal", "verified",
+    ),
+    "p07_admin": (
         "events", "leases", "reports_identical", "report_equal", "verified",
     ),
 }
@@ -848,5 +977,16 @@ def check(
                 f"{DURABLE_BATCH_FLOOR:.0%} of the WAL-off "
                 f"{fresh['off_events_per_sec']:,} events/sec from the "
                 f"same run (batch ratio {fresh['batch_ratio']})"
+            )
+    if bench == "p07_admin":
+        floor = fresh["bare_events_per_sec"] * ADMIN_OVERHEAD_FLOOR
+        if fresh["admin_events_per_sec"] < floor:
+            failures.append(
+                f"p07_admin/{mode}: serving under an actively scraped "
+                f"admin plane dropped to "
+                f"{fresh['admin_events_per_sec']:,} events/sec — below "
+                f"{ADMIN_OVERHEAD_FLOOR:.0%} of the bare "
+                f"{fresh['bare_events_per_sec']:,} events/sec from the "
+                f"same run (admin ratio {fresh['admin_ratio']})"
             )
     return failures

@@ -20,7 +20,12 @@ aggregate report (CI-gated byte-identity, metrics on and off).
   plus :func:`validate_exposition`, the structural validator the CI
   scrape jobs and the round-trip tests run.
 * :mod:`repro.obs.trace` — :class:`TraceSink`, flag-gated JSONL spans
-  (request id, tenant, resource, op, enqueue/dispatch/reply times).
+  (request id, tenant, resource, op, enqueue/dispatch/reply times, and
+  the distributed trace context: trace id, span id, parent, kind).
+* :mod:`repro.obs.tracetree` — the read side of distributed tracing:
+  merge a fleet's JSONL span files and reconstruct one causal tree per
+  trace id (``engine trace-tree`` and the admin plane's
+  ``/trace/{id}`` endpoint).
 * :mod:`repro.obs.export` — scrape-time exporters folding broker /
   session / shard state into a registry, shared by the server's and the
   router's ``metrics`` protocol verb.
@@ -38,8 +43,22 @@ from .metrics import (
     MetricsRegistry,
     latency_summary,
 )
-from .promparse import ParsedFamily, parse_exposition, validate_exposition
+from .promparse import (
+    ParsedFamily,
+    merge_expositions,
+    parse_exposition,
+    relabel_exposition,
+    validate_exposition,
+)
 from .trace import NULL_TRACE, TraceSink
+from .tracetree import (
+    SpanNode,
+    build_trace_trees,
+    load_spans,
+    new_id,
+    render_trace_tree,
+    trace_tree_payload,
+)
 
 __all__ = [
     "Counter",
@@ -52,10 +71,18 @@ __all__ = [
     "NULL_HISTOGRAM",
     "NULL_TRACE",
     "ParsedFamily",
+    "SpanNode",
     "TraceSink",
+    "build_trace_trees",
     "export_sessions",
     "export_shards",
     "latency_summary",
+    "load_spans",
+    "new_id",
     "parse_exposition",
+    "merge_expositions",
+    "relabel_exposition",
+    "render_trace_tree",
+    "trace_tree_payload",
     "validate_exposition",
 ]

@@ -17,9 +17,16 @@ samples.  Validation checks, per family:
 * every sample line belongs to a ``# TYPE``-declared family;
 * counter and histogram values are finite and non-negative; gauges
   merely finite;
-* histograms: every series has a ``+Inf`` bucket, cumulative bucket
-  counts are non-decreasing in ``le`` order, the ``+Inf`` bucket equals
-  ``_count``, and ``_sum`` / ``_count`` exist.
+* histograms: every series has a ``+Inf`` bucket, bucket ``le`` bounds
+  are strictly increasing in emission order (duplicates and shuffled
+  buckets are each flagged), bucket counts are finite and cumulative
+  (non-decreasing in ``le`` order), the ``+Inf`` bucket equals
+  ``_count``, and ``_sum`` / ``_count`` exist and are finite.
+
+:func:`relabel_exposition` is the transformation counterpart: it
+injects a fixed label set into every sample line of an exposition —
+how the cluster router folds its workers' own scrapes into one
+fleet-wide exposition, each prefixed with ``worker="N"``.
 """
 
 from __future__ import annotations
@@ -202,9 +209,20 @@ def _validate_histogram(family: ParsedFamily) -> list[str]:
             )
     for key, series in buckets.items():
         where = f"{family.name}{dict(key) if key else ''}"
+        emitted = [b for b, _ in series]
+        # Bounds must arrive strictly increasing: a duplicated le is a
+        # double-emitted bucket, a shuffled one a mangled exposition —
+        # sorting would mask both, so flag them before reordering.
+        if len(set(emitted)) != len(emitted):
+            failures.append(f"{where}: duplicate le bucket bounds")
+        elif any(b2 < b1 for b1, b2 in zip(emitted, emitted[1:])):
+            failures.append(f"{where}: bucket le bounds out of order")
         series.sort()
         bounds = [b for b, _ in series]
         values = [v for _, v in series]
+        if any(math.isnan(v) or math.isinf(v) for v in values):
+            failures.append(f"{where}: non-finite bucket count")
+            continue
         if not bounds or bounds[-1] != math.inf:
             failures.append(f"{where}: no +Inf bucket")
             continue
@@ -212,12 +230,16 @@ def _validate_histogram(family: ParsedFamily) -> list[str]:
             failures.append(f"{where}: cumulative bucket counts decrease")
         if key not in counts:
             failures.append(f"{where}: missing _count sample")
+        elif math.isnan(counts[key]) or math.isinf(counts[key]):
+            failures.append(f"{where}: non-finite _count value")
         elif values[-1] != counts[key]:
             failures.append(
                 f"{where}: +Inf bucket {values[-1]} != _count {counts[key]}"
             )
         if key not in sums:
             failures.append(f"{where}: missing _sum sample")
+        elif math.isnan(sums[key]) or math.isinf(sums[key]):
+            failures.append(f"{where}: non-finite _sum value")
     for key in counts:
         if key not in buckets:
             failures.append(
@@ -257,3 +279,77 @@ def validate_exposition(text: str) -> list[str]:
             elif family.type == "counter" and value < 0:
                 failures.append(f"{name}: negative counter value {value!r}")
     return failures
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def relabel_exposition(text: str, **labels: str) -> str:
+    """Inject a fixed label set into every sample line of an exposition.
+
+    Comments and blank lines pass through untouched; every sample gains
+    the given labels ahead of its existing ones.  The caller owns
+    disjointness — injecting a label a sample already carries would
+    leave the duplicate in place.  Used by the cluster router to fold
+    per-worker scrapes into one exposition, each sample tagged
+    ``worker="N"``.
+    """
+    injected = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    if not injected:
+        return text
+    out: list[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            out.append(raw)
+            continue
+        brace = raw.find("{")
+        if brace >= 0:
+            close = raw.rfind("}")
+            if close < brace:
+                raise ModelError(f"unbalanced braces on sample line {raw!r}")
+            body = raw[brace + 1 : close].strip()
+            joined = f"{injected},{body}" if body else injected
+            out.append(raw[:brace] + "{" + joined + raw[close:])
+        else:
+            parts = raw.split(None, 1)
+            if len(parts) != 2:
+                raise ModelError(f"no value on sample line {raw!r}")
+            out.append(parts[0] + "{" + injected + "} " + parts[1])
+    tail = "\n" if text.endswith("\n") else ""
+    return "\n".join(out) + tail
+
+
+def merge_expositions(*texts: str) -> str:
+    """Concatenate expositions into one valid document.
+
+    Plain concatenation breaks when two inputs declare the same family
+    (e.g. every worker's scrape carries its own ``# TYPE
+    broker_acquires_total``): the result has duplicate declarations,
+    which strict parsers — including :func:`parse_exposition` — reject.
+    This keeps only the *first* ``# HELP`` / ``# TYPE`` line per family
+    and passes every sample line through, so same-name families merge
+    into one declaration with the union of their (caller-disjoint)
+    series.  Used by the cluster router to fold relabeled per-worker
+    scrapes behind its own families.
+    """
+    declared: set[tuple[str, str]] = set()
+    out: list[str] = []
+    for text in texts:
+        for raw in text.splitlines():
+            line = raw.strip()
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                    key = (parts[1], parts[2])
+                    if key in declared:
+                        continue
+                    declared.add(key)
+            out.append(raw)
+    return "\n".join(out) + ("\n" if out else "")

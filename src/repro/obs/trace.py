@@ -55,21 +55,36 @@ class TraceSink:
             self.flush()
 
     def span(self, *, op: str, tenant, resource, request_id: int,
-             t_enq: float, t_disp: float, t_reply: float) -> None:
-        """Emit the standard dispatch-loop span shape."""
+             t_enq: float, t_disp: float, t_reply: float,
+             trace: str | None = None, span_id: str | None = None,
+             parent: str | None = None, kind: str | None = None) -> None:
+        """Emit the standard dispatch-loop span shape.
+
+        The four optional fields carry the distributed trace context:
+        ``trace`` is the 16-hex trace id shared by every hop of one op,
+        ``span_id`` names this hop, ``parent`` names the hop that caused
+        it (``None`` at the root), and ``kind`` says which hop this is
+        (``client`` / ``relay`` / ``dispatch``).  They are emitted only
+        when a trace context was actually attached, so untraced spans
+        keep the exact PR 6 shape.
+        """
         if not self.enabled:
             return
-        self.emit(
-            {
-                "id": request_id,
-                "op": op,
-                "tenant": tenant,
-                "resource": resource,
-                "t_enq": t_enq,
-                "t_disp": t_disp,
-                "t_reply": t_reply,
-            }
-        )
+        record = {
+            "id": request_id,
+            "op": op,
+            "tenant": tenant,
+            "resource": resource,
+            "t_enq": t_enq,
+            "t_disp": t_disp,
+            "t_reply": t_reply,
+        }
+        if trace is not None:
+            record["trace"] = trace
+            record["span_id"] = span_id
+            record["parent"] = parent
+            record["kind"] = kind
+        self.emit(record)
 
     def flush(self) -> None:
         if not self.enabled or not self._buffer:

@@ -34,9 +34,12 @@ from typing import Any, Sequence
 
 from ..errors import ModelError
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACE, TraceSink
+from ..obs.tracetree import new_id
 from .protocol import (
     CODEC_BIN,
     CODEC_JSON,
+    MUTATION_OPS,
     LeaseRetryError,
     LeaseTimeoutError,
     ProtocolError,
@@ -61,13 +64,18 @@ class AsyncLeaseClient:
     (``"bin"`` sends a ``hello`` and upgrades only if confirmed).
     """
 
-    def __init__(self, reader, writer):
+    def __init__(self, reader, writer, trace: TraceSink | None = None):
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._send_lock = asyncio.Lock()
         self._codec = CODEC_JSON
+        #: Client-side span sink; mutations originate a trace context
+        #: (and emit a ``kind="client"`` root span) only when this sink
+        #: is enabled AND the server advertised trace support at hello.
+        self._trace_sink = trace if trace is not None else NULL_TRACE
+        self._peer_trace = False
         #: Dial attempts the opening factory spent (1 = first try
         #: connected); the loadgen sums these into its report.
         self.connect_attempts = 1
@@ -78,29 +86,36 @@ class AsyncLeaseClient:
     # ------------------------------------------------------------------
     @classmethod
     async def open_unix(
-        cls, path: str, retry_for: float = 5.0, codec: str | None = None
+        cls, path: str, retry_for: float = 5.0, codec: str | None = None,
+        trace: TraceSink | None = None,
     ) -> "AsyncLeaseClient":
         reader, writer, attempts = await _retry_connect(
             lambda: asyncio.open_unix_connection(path), retry_for
         )
-        client = cls(reader, writer)
+        client = cls(reader, writer, trace=trace)
         client.connect_attempts = attempts
         if codec is not None:
             await client.negotiate(codec)
+        elif trace is not None and trace.enabled:
+            # No codec preference, but the trace capability still has to
+            # be discovered before the first mutation can carry an id.
+            await client.hello()
         return client
 
     @classmethod
     async def open_tcp(
         cls, host: str, port: int, retry_for: float = 5.0,
-        codec: str | None = None,
+        codec: str | None = None, trace: TraceSink | None = None,
     ) -> "AsyncLeaseClient":
         reader, writer, attempts = await _retry_connect(
             lambda: asyncio.open_connection(host, port), retry_for
         )
-        client = cls(reader, writer)
+        client = cls(reader, writer, trace=trace)
         client.connect_attempts = attempts
         if codec is not None:
             await client.negotiate(codec)
+        elif trace is not None and trace.enabled:
+            await client.hello()
         return client
 
     @property
@@ -142,9 +157,38 @@ class AsyncLeaseClient:
                     )
             self._pending.clear()
 
+    def _start_span(self, op: str, fields: dict):
+        """Attach a fresh trace context to a mutation; ``None`` when off.
+
+        Mutates ``fields`` in place (adds the ``trace`` field) and
+        returns the bookkeeping tuple :meth:`_finish_span` closes.
+        """
+        if not (
+            self._peer_trace
+            and self._trace_sink.enabled
+            and op in MUTATION_OPS
+        ):
+            return None
+        trace_id = new_id()
+        span_id = new_id()
+        fields["trace"] = f"{trace_id}-{span_id}"
+        return (
+            trace_id, span_id, op, fields.get("tenant"),
+            fields.get("resource"), self._trace_sink.clock(),
+        )
+
+    def _finish_span(self, span, request_id: int) -> None:
+        trace_id, span_id, op, tenant, resource, t0 = span
+        self._trace_sink.span(
+            op=op, tenant=tenant, resource=resource, request_id=request_id,
+            t_enq=t0, t_disp=t0, t_reply=self._trace_sink.clock(),
+            trace=trace_id, span_id=span_id, parent=None, kind="client",
+        )
+
     async def call(self, op: str, **fields: Any) -> dict:
         """One request/response round trip; pipelines freely across tasks."""
         request_id = next(self._ids)
+        span = self._start_span(op, fields)
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:
@@ -156,7 +200,15 @@ class AsyncLeaseClient:
         except BaseException:
             self._pending.pop(request_id, None)
             raise
-        return parse_response(await future)
+        try:
+            payload = await future
+        finally:
+            if span is not None:
+                self._finish_span(span, request_id)
+        result = parse_response(payload)
+        if op == "hello":
+            self._peer_trace = bool(result.get("trace"))
+        return result
 
     async def call_batch(
         self, requests: Sequence[tuple[str, dict]]
@@ -174,8 +226,13 @@ class AsyncLeaseClient:
         ids: list[int] = []
         futures: list[asyncio.Future] = []
         frames: list[bytes] = []
+        spans: list[tuple | None] = []
         for op, fields in requests:
             request_id = next(self._ids)
+            # Trace contexts go on a copy — the caller's field dicts are
+            # theirs, and a batch must not leave ids behind in them.
+            fields = dict(fields)
+            spans.append(self._start_span(op, fields))
             # Encode before registering: an encode failure mid-batch
             # must not strand earlier ids in the pending map.
             frame = encode_frame(request(op, request_id, **fields), self._codec)
@@ -193,11 +250,14 @@ class AsyncLeaseClient:
                 self._pending.pop(request_id, None)
             raise
         results: list[dict | ServeError] = []
-        for future in futures:
+        for request_id, future, span in zip(ids, futures, spans):
             try:
                 results.append(parse_response(await future))
             except ServeError as exc:
                 results.append(exc)
+            finally:
+                if span is not None:
+                    self._finish_span(span, request_id)
         return results
 
     async def close(self) -> None:

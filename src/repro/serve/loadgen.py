@@ -206,6 +206,7 @@ async def drive_tenants(
     codec: str | None = None,
     latency_registry: MetricsRegistry | None = None,
     on_day=None,
+    client_trace: TraceSink | None = None,
 ) -> dict:
     """Drive a server at ``socket_path`` with the instance's tenants.
 
@@ -226,13 +227,19 @@ async def drive_tenants(
     ``on_day``, when given, is called with each simulated day *before*
     that day's tick and bursts — the fault-injection hook the chaos
     harness uses to kill workers at deterministic points in the run.
+
+    ``client_trace``, when given and enabled, makes every connection a
+    trace originator: each mutation is sent with a fresh trace context
+    (and leaves a ``client`` span in the sink), which the server — or
+    the router and its workers — link their own spans to.  Span files
+    from all sides merge into causal trees via ``engine trace-tree``.
     """
     control = await AsyncLeaseClient.open_unix(
-        socket_path, retry_for=retry_for, codec=codec
+        socket_path, retry_for=retry_for, codec=codec, trace=client_trace
     )
     clients = {
         tenant: await AsyncLeaseClient.open_unix(
-            socket_path, retry_for=retry_for, codec=codec
+            socket_path, retry_for=retry_for, codec=codec, trace=client_trace
         )
         for tenant in instance.tenants
     }
@@ -276,6 +283,8 @@ async def drive_tenants(
         for client in clients.values():
             await client.close()
         await control.close()
+        if client_trace is not None:
+            client_trace.flush()
     report["requests"] = requests
     report["connect_attempts"] = control.connect_attempts + sum(
         client.connect_attempts for client in clients.values()
@@ -338,6 +347,40 @@ def compare_with_inline(
     return inline, equal
 
 
+async def _admin_http_get(port: int, path: str) -> bytes:
+    """One raw HTTP GET against the admin plane (scraper-style)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        return await reader.read(-1)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+async def _poll_admin(port: int, hz: float) -> None:
+    """Background scraper: hit /metrics and /leases at ``hz`` forever.
+
+    What a real scrape loop does to a serving process — the p07 bench
+    runs this against the admin arm to price the ops plane under load.
+    Connection errors are swallowed: the plane may be mid-teardown.
+    """
+    period = 1.0 / hz
+    while True:
+        for path in ("/metrics", "/leases"):
+            try:
+                await _admin_http_get(port, path)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                pass
+        await asyncio.sleep(period)
+
+
 def serve_once(
     instance: ServeInstance,
     metrics: MetricsRegistry | None = None,
@@ -347,6 +390,9 @@ def serve_once(
     fsync: str = "batch",
     snapshot_every: int | None = None,
     timings: dict | None = None,
+    admin: bool = False,
+    admin_poll_hz: float = 4.0,
+    client_trace: TraceSink | None = None,
 ) -> dict:
     """One full serving cycle: in-process server, tenants, final report.
 
@@ -368,6 +414,13 @@ def serve_once(
     snapshots are a per-shard constant, not a per-event cost, and
     folding them into the rate would punish short runs for durability
     they already paid for.
+
+    ``admin=True`` mounts a :class:`~repro.admin.AdminPlane` on an
+    ephemeral TCP port beside the unix lease socket and runs a
+    background scraper polling ``/metrics`` and ``/leases`` at
+    ``admin_poll_hz`` for the whole drive — the p07 bench's admin arm.
+    ``client_trace`` flows through to :func:`drive_tenants`, making the
+    tenants trace originators.
     """
     trace = instance.trace
     wal_kwargs: dict = {}
@@ -388,15 +441,35 @@ def serve_once(
             **wal_kwargs,
         )
         await server.start_unix(socket_path)
+        plane = None
+        scraper = None
+        if admin:
+            # Imported lazily: repro.admin imports nothing from here,
+            # but the serving hot path should not pay the import unless
+            # the admin arm is actually requested.
+            from ..admin.plane import AdminPlane
+
+            plane = AdminPlane(server)
+            port = await plane.start_tcp()
+            scraper = asyncio.create_task(_poll_admin(port, admin_poll_hz))
         try:
             start = time.perf_counter()
             report = await drive_tenants(
-                instance, socket_path, latency_registry=latency_registry
+                instance, socket_path, latency_registry=latency_registry,
+                client_trace=client_trace,
             )
             if timings is not None:
                 timings["drive"] = time.perf_counter() - start
             return report
         finally:
+            if scraper is not None:
+                scraper.cancel()
+                try:
+                    await scraper
+                except (asyncio.CancelledError, Exception):
+                    pass
+            if plane is not None:
+                await plane.close()
             await server.shutdown()
 
     workdir = tempfile.mkdtemp(prefix="rsv-")

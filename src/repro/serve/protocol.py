@@ -41,9 +41,21 @@ stats      per-shard broker counters plus session registry snapshot
 report     per-shard aggregate run payloads (cost, leases, stats)
 trace      per-shard applied event logs (requires server recording)
 metrics    Prometheus text exposition of the whole process (ops plane)
+leases     live lease book: every active grant, folded across shards
 drain      stop admitting new acquires; renews/releases still served
+undrain    resume admitting acquires after a drain
 shutdown   acknowledge, then stop the server
 ========== ============================================================
+
+Mutation envelopes may carry an optional **trace context** — a
+``"trace"`` field of the form ``"<trace-id>-<span-id>"``, two
+16-hex-digit u64s (W3C traceparent, shrunk to the two words this
+system needs).  The JSON codec carries it as a plain extra field; the
+binary codec reserves the high bit of the opcode byte and appends the
+two words as a fixed trailer.  Peers advertise trace support at
+``hello`` (``"trace": true`` in the result), and a client only attaches
+the field after seeing the advertisement, so old peers interop
+unchanged.
 
 Error *kinds* partition who misbehaved: ``protocol`` (malformed frame or
 request), ``model`` (the broker rejected the operation), ``draining``
@@ -105,7 +117,9 @@ OPS: tuple[str, ...] = (
     "report",
     "trace",
     "metrics",
+    "leases",
     "drain",
+    "undrain",
     "shutdown",
 )
 
@@ -123,6 +137,35 @@ ERROR_KINDS: tuple[str, ...] = (
 
 class ProtocolError(ModelError):
     """A frame or envelope violated the wire format."""
+
+
+# ----------------------------------------------------------------------
+# Trace context: "<trace-id>-<span-id>", two 16-hex-digit u64s
+# ----------------------------------------------------------------------
+_TRACE_LEN = 33  # 16 hex + "-" + 16 hex
+
+
+def format_trace(trace_id: int, span_id: int) -> str:
+    """Render a trace context field from its two u64 words."""
+    return f"{trace_id:016x}-{span_id:016x}"
+
+
+def parse_trace(value: object) -> tuple[int, int] | None:
+    """``(trace_id, span_id)`` from a trace field; ``None`` if malformed.
+
+    Malformed contexts are dropped, never fatal: tracing is observation,
+    and a bad field must not take down the op that carried it.
+    """
+    if type(value) is not str or len(value) != _TRACE_LEN or value[16] != "-":
+        return None
+    try:
+        trace_id = int(value[:16], 16)
+        span_id = int(value[17:], 16)
+    except ValueError:
+        return None
+    if trace_id < 0 or span_id < 0:
+        return None
+    return trace_id, span_id
 
 
 class LeaseTimeoutError(ModelError):
@@ -170,7 +213,13 @@ _BIN_KIND_GRANT = 2     # ok response: {"grant": ..., "applied_time": ...}
 _BIN_KIND_APPLIED = 3   # ok response: {"applied_time": ...}
 
 #: kind, opcode, id, time, resource, tenant byte length (+ tenant bytes).
+#: The opcode byte reserves its high bit (:data:`_TRACE_FLAG`): when
+#: set, a :data:`_TRACE_STRUCT` trailer follows the tenant bytes.
 _MUTATION_STRUCT = struct.Struct(">BBQQQH")
+#: Trace-context trailer: trace id, span id (two u64 words).
+_TRACE_STRUCT = struct.Struct(">QQ")
+#: High opcode bit: the mutation body ends in a trace-context trailer.
+_TRACE_FLAG = 0x80
 #: kind, flags (bit0: grant present), id, applied_time.
 _GRANT_HEAD_STRUCT = struct.Struct(">BBQQ")
 #: grant_id, acquired_at, expires_at, released_at (-1 = None), resource,
@@ -216,13 +265,22 @@ def _pack_mutation(payload: dict) -> bytes | None:
         return None
     if not _u64(payload.get("time")):
         return None
+    keys = payload.keys()
+    trailer = b""
+    if "trace" in keys:
+        context = parse_trace(payload["trace"])
+        if context is None or payload["trace"] != format_trace(*context):
+            return None  # non-canonical context rides as JSON bytes
+        trailer = _TRACE_STRUCT.pack(*context)
+        opcode |= _TRACE_FLAG
+        keys = keys - {"trace"}
     if op == "tick":
-        if payload.keys() != _TICK_KEYS:
+        if keys != _TICK_KEYS:
             return None
         return _MUTATION_STRUCT.pack(
             _BIN_KIND_MUTATION, opcode, payload["id"], payload["time"], 0, 0
-        )
-    if payload.keys() != _MUTATION_KEYS or not _u64(payload.get("resource")):
+        ) + trailer
+    if keys != _MUTATION_KEYS or not _u64(payload.get("resource")):
         return None
     tenant = _tenant_bytes(payload.get("tenant"))
     if tenant is None:
@@ -230,7 +288,7 @@ def _pack_mutation(payload: dict) -> bytes | None:
     return _MUTATION_STRUCT.pack(
         _BIN_KIND_MUTATION, opcode, payload["id"], payload["time"],
         payload["resource"], len(tenant),
-    ) + tenant
+    ) + tenant + trailer
 
 
 def _pack_grant(result: dict, request_id: int) -> bytes | None:
@@ -327,16 +385,30 @@ def decode_body_bin(body: bytes) -> dict:
             (_, opcode, request_id, when, resource, tenant_len) = (
                 _MUTATION_STRUCT.unpack_from(body)
             )
+            trace = None
+            if opcode & _TRACE_FLAG:
+                # The trailer sits at the very end; strip it first so the
+                # tenant field below still fills the body exactly.
+                split = len(body) - _TRACE_STRUCT.size
+                if split < _MUTATION_STRUCT.size:
+                    raise ProtocolError("binary frame too short for trace")
+                trace = format_trace(*_TRACE_STRUCT.unpack_from(body, split))
+                body = body[:split]
+                opcode &= ~_TRACE_FLAG
             op = _MUTATION_OP_NAMES[opcode]
             if op == "tick":
-                return {"id": request_id, "op": op, "time": when}
-            tenant = _exact_tail(
-                body, _MUTATION_STRUCT.size, tenant_len
-            ).decode("utf-8")
-            return {
-                "id": request_id, "op": op, "tenant": tenant,
-                "resource": resource, "time": when,
-            }
+                payload = {"id": request_id, "op": op, "time": when}
+            else:
+                tenant = _exact_tail(
+                    body, _MUTATION_STRUCT.size, tenant_len
+                ).decode("utf-8")
+                payload = {
+                    "id": request_id, "op": op, "tenant": tenant,
+                    "resource": resource, "time": when,
+                }
+            if trace is not None:
+                payload["trace"] = trace
+            return payload
         if kind == _BIN_KIND_GRANT:
             _, flags, request_id, applied = _GRANT_HEAD_STRUCT.unpack_from(body)
             if not flags & 1:

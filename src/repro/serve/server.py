@@ -76,6 +76,12 @@ from ..errors import ModelError
 from ..obs.export import export_sessions, export_shards
 from ..obs.metrics import Histogram, MetricsRegistry
 from ..obs.trace import NULL_TRACE, TraceSink
+from ..obs.tracetree import (
+    build_trace_trees,
+    load_spans,
+    new_id,
+    trace_tree_payload,
+)
 from .protocol import (
     CODEC_JSON,
     MUTATION_OPS,
@@ -86,6 +92,7 @@ from .protocol import (
     error,
     negotiate_codec,
     ok,
+    parse_trace,
     read_frame,
     write_frame,
 )
@@ -200,6 +207,22 @@ def _grant_payload(grant) -> dict:
         "expires_at": grant.expires_at,
         "released_at": grant.released_at,
     }
+
+
+def trace_context(payload: dict) -> tuple[str, str] | None:
+    """``(trace_id, parent_span_id)`` hex words from an envelope, if any.
+
+    Shared by the server and the cluster router.  Malformed contexts
+    decode to ``None`` — tracing is observation and must never fail the
+    op that carried it.
+    """
+    raw = payload.get("trace")
+    if raw is None:
+        return None
+    parsed = parse_trace(raw)
+    if parsed is None:
+        return None
+    return f"{parsed[0]:016x}", f"{parsed[1]:016x}"
 
 
 class LeaseServer:
@@ -483,6 +506,12 @@ class LeaseServer:
             self._state = "draining"
         return self._state
 
+    def undrain(self) -> str:
+        """Resume admitting acquires after a drain (stopped stays stopped)."""
+        if self._state == "draining":
+            self._state = "serving"
+        return self._state
+
     async def shutdown(self) -> None:
         """Graceful stop: close listeners, empty queues, stop workers."""
         if self._state == "stopped":
@@ -570,7 +599,8 @@ class LeaseServer:
             if item is _STOP:
                 queue.task_done()
                 return
-            op, tenant, resource, when, req_id, retry, t_enq, future = item
+            (op, tenant, resource, when, req_id, retry, t_enq, trace_ctx,
+             future) = item
             t_disp = self._obs_clock() if self._sample else 0.0
             try:
                 result = self._apply_to_shard(
@@ -594,15 +624,33 @@ class LeaseServer:
                 if self._sample:
                     t_reply = self._obs_clock()
                     self._latency_hist(op).observe(t_reply - t_enq)
-                    self.trace.span(
-                        op=op,
-                        tenant=tenant,
-                        resource=resource,
-                        request_id=req_id,
-                        t_enq=t_enq,
-                        t_disp=t_disp,
-                        t_reply=t_reply,
-                    )
+                    if trace_ctx is None:
+                        self.trace.span(
+                            op=op,
+                            tenant=tenant,
+                            resource=resource,
+                            request_id=req_id,
+                            t_enq=t_enq,
+                            t_disp=t_disp,
+                            t_reply=t_reply,
+                        )
+                    else:
+                        # The dispatch span inherits the envelope's trace
+                        # context: same trace id, parented to the hop
+                        # that forwarded the frame here.
+                        self.trace.span(
+                            op=op,
+                            tenant=tenant,
+                            resource=resource,
+                            request_id=req_id,
+                            t_enq=t_enq,
+                            t_disp=t_disp,
+                            t_reply=t_reply,
+                            trace=trace_ctx[0],
+                            span_id=new_id(),
+                            parent=trace_ctx[1],
+                            kind="dispatch",
+                        )
                 queue.task_done()
                 if shard.wal is not None and queue.qsize() == 0:
                     # Burst boundary: the queue drained, so under
@@ -775,6 +823,22 @@ class LeaseServer:
                 "hi": shard.hi,
                 "events": [event_to_payload(e) for e in shard.applied],
             }
+        if op == "leases":
+            # The live lease book, observed through the dispatch queue so
+            # it is a barrier like stats: it sees every mutation enqueued
+            # before it.  Lease ids are "<shard>:<grant_id>" — stable
+            # handles for the admin plane's force-release.
+            return {
+                "index": shard.index,
+                "clock": broker.clock,
+                "leases": [
+                    dict(
+                        _grant_payload(grant),
+                        lease_id=f"{shard.index}:{grant.grant_id}",
+                    )
+                    for grant in broker.active_leases()
+                ],
+            }
         raise ServeError("protocol", f"unhandled shard op {op!r}")
 
     async def _sweep_sessions(self) -> None:
@@ -801,11 +865,12 @@ class LeaseServer:
         when: int | None,
         req_id=None,
         retry: bool = False,
+        trace: tuple[str, str] | None = None,
     ) -> dict:
         future = asyncio.get_running_loop().create_future()
         t_enq = self._obs_clock() if self._sample else 0.0
         shard.queue.put_nowait(
-            (op, tenant, resource, when, req_id, retry, t_enq, future)
+            (op, tenant, resource, when, req_id, retry, t_enq, trace, future)
         )
         return await future
 
@@ -824,13 +889,15 @@ class LeaseServer:
     async def _apply(self, op: str, payload: dict) -> dict:
         when = field_time(payload)
         retry = payload.get("retry") is True
+        trace = trace_context(payload)
         if self._state == "stopped":
             raise ServeError("unavailable", "server is stopped")
         if op == "tick":
             applied = await asyncio.gather(
                 *(
                     self._enqueue(
-                        shard, "tick", None, None, when, retry=retry
+                        shard, "tick", None, None, when, retry=retry,
+                        trace=trace,
                     )
                     for shard in self._shards
                 )
@@ -852,7 +919,7 @@ class LeaseServer:
         try:
             return await self._enqueue(
                 self._shard_of(resource), op, tenant, resource, when,
-                payload.get("id"), retry,
+                payload.get("id"), retry, trace,
             )
         finally:
             self.sessions.release(session)
@@ -861,6 +928,7 @@ class LeaseServer:
         return {
             "server": "repro.serve",
             "protocol": PROTOCOL_VERSION,
+            "trace": True,
             "state": self._state,
             "record": self._record,
             "wal": self._wal_dir is not None,
@@ -890,8 +958,12 @@ class LeaseServer:
             return {"shards": await self._broadcast("trace")}
         if op == "metrics":
             return {"text": self.render_metrics(await self._broadcast("stats"))}
+        if op == "leases":
+            return {"shards": await self._broadcast("leases")}
         if op == "drain":
             return {"state": self.drain()}
+        if op == "undrain":
+            return {"state": self.undrain()}
         raise ServeError("protocol", f"unknown op {op!r}")
 
     def render_metrics(self, shard_stats: list[dict]) -> str:
@@ -911,6 +983,113 @@ class LeaseServer:
         if self.metrics.enabled:
             text += self.metrics.render_prometheus()
         return text
+
+    # ------------------------------------------------------------------
+    # Admin backend — the surface repro.admin.AdminPlane mounts over HTTP
+    # ------------------------------------------------------------------
+    async def admin_metrics(self) -> str:
+        """The ``GET /metrics`` exposition (rides the stats barrier)."""
+        return self.render_metrics(await self._broadcast("stats"))
+
+    def admin_health(self) -> dict:
+        """Liveness: the process is up and can say what state it is in.
+
+        Carries the per-tenant session rows (in-flight, served,
+        rejected, idle seconds) so one curl answers both "is it up" and
+        "who is talking to it".
+        """
+        return {
+            "state": self._state,
+            "shards": self.num_shards,
+            "wal": self._wal_dir is not None,
+            "recovered_events": self.recovered_events,
+            "sessions": self.sessions.tenant_snapshot(),
+        }
+
+    def admin_ready(self) -> tuple[bool, dict]:
+        """Readiness: recovery complete and every shard accepting work.
+
+        Readiness is stricter than liveness: a WAL'd server that has not
+        finished recovery, or one that is draining or stopped, is alive
+        but not ready — a load balancer should not send it acquires.
+        """
+        workers_up = self._shards[0].task is not None
+        recovered = self._wal_dir is None or self._recovered
+        ready = workers_up and recovered and self._state == "serving"
+        return ready, {
+            "ready": ready,
+            "state": self._state,
+            "workers_up": workers_up,
+            "recovered": recovered,
+        }
+
+    async def admin_leases(
+        self, tenant: str | None = None, resource: int | None = None
+    ) -> list[dict]:
+        """The live lease book, folded across shards, filtered, sorted.
+
+        Rides the ``leases`` dispatch-queue barrier, so the book reflects
+        every mutation enqueued before the call.  Sorted by (resource,
+        tenant, lease_id) — a stable order for pagination.
+        """
+        shards = await self._broadcast("leases")
+        book = [
+            lease
+            for shard in shards
+            for lease in shard["leases"]
+            if (tenant is None or lease["tenant"] == tenant)
+            and (resource is None or lease["resource"] == resource)
+        ]
+        book.sort(key=lambda l: (l["resource"], l["tenant"], l["lease_id"]))
+        return book
+
+    async def admin_force_release(self, lease_id: str) -> dict | None:
+        """Durably force-release one lease by its ``<shard>:<grant_id>`` id.
+
+        The mutation is injected through the normal dispatch path — an
+        ordinary ``release`` frame with ``time=0`` (clock-ratcheted to
+        the owning shard's today) — so it rides the WAL, lands in the
+        applied trace as a replayable :class:`Release`, and carries the
+        same retry-dedup identity as any client release.  Returns the
+        reply payload, or ``None`` when no live lease has that id.
+        """
+        book = await self.admin_leases()
+        lease = next((l for l in book if l["lease_id"] == lease_id), None)
+        if lease is None:
+            return None
+        result = await self._apply(
+            "release",
+            {"tenant": lease["tenant"], "resource": lease["resource"],
+             "time": 0},
+        )
+        return {"lease_id": lease_id, "released": dict(lease), **result}
+
+    def admin_drain(self, worker: int) -> str | None:
+        """Drain this process (a single server is worker 0, only)."""
+        if worker != 0:
+            return None
+        return self.drain()
+
+    def admin_undrain(self, worker: int) -> str | None:
+        if worker != 0:
+            return None
+        return self.undrain()
+
+    def admin_trace(self, trace_id: str) -> list[dict] | None:
+        """The span tree for one trace id from this process's sink.
+
+        Flushes the sink first so spans emitted moments ago are visible.
+        Returns the nested payload, or ``None`` when tracing is off or
+        the id has left no spans here.
+        """
+        if not self.trace.enabled:
+            return None
+        self.trace.flush()
+        trees = build_trace_trees(load_spans([self.trace.path]))
+        roots = trees.get(trace_id)
+        if not roots:
+            return None
+        return trace_tree_payload(roots)
 
     # ------------------------------------------------------------------
     # Connections

@@ -144,3 +144,24 @@ class SessionRegistry:
             "served": sum(s.served for s in self._sessions.values()),
             "rejected": sum(s.rejected for s in self._sessions.values()),
         }
+
+    def tenant_snapshot(self) -> list[dict]:
+        """JSON-ready per-tenant rows for the admin health endpoint.
+
+        One row per live session, sorted by tenant name so the output
+        is stable across calls; ``idle_sec`` is seconds since the
+        tenant's last request on the injected clock.
+        """
+        now = self._clock()
+        return [
+            {
+                "tenant": record.tenant,
+                "inflight": record.inflight,
+                "served": record.served,
+                "rejected": record.rejected,
+                "idle_sec": round(now - record.last_active, 3),
+            }
+            for record in sorted(
+                self._sessions.values(), key=lambda record: record.tenant
+            )
+        ]

@@ -1,0 +1,189 @@
+"""The minimal HTTP/1.1 layer: request parsing, limits, and the
+one-request-per-connection server loop."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.admin.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_LINES,
+    HttpError,
+    HttpRequest,
+    HttpServer,
+    json_response,
+    read_request,
+    text_response,
+)
+
+
+def _parse(data: bytes) -> HttpRequest | None:
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(main())
+
+
+class TestReadRequest:
+    def test_parses_method_path_query_headers(self):
+        request = _parse(
+            b"GET /leases?tenant=t-0&limit=5 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Accept: */*\r\n"
+            b"\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/leases"
+        assert request.query == {"tenant": "t-0", "limit": "5"}
+        assert request.headers["host"] == "localhost"
+        assert request.body == b""
+
+    def test_percent_decodes_path_and_keeps_blank_query_values(self):
+        request = _parse(b"GET /trace/ab%20cd?x= HTTP/1.1\r\n\r\n")
+        assert request.path == "/trace/ab cd"
+        assert request.query == {"x": ""}
+
+    def test_reads_content_length_body(self):
+        request = _parse(
+            b"POST /leases/0:1/force-release HTTP/1.1\r\n"
+            b"Content-Length: 4\r\n"
+            b"\r\n"
+            b"{}ok"
+        )
+        assert request.method == "POST"
+        assert request.body == b"{}ok"
+
+    def test_clean_close_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(b"GET /healthz\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_non_http_version_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(b"GET /healthz SPDY/3\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_header_without_colon_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(b"GET / HTTP/1.1\r\nbogus header\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_too_many_header_lines_is_400(self):
+        flood = b"".join(
+            b"x-h%d: v\r\n" % i for i in range(MAX_HEADER_LINES + 1)
+        )
+        with pytest.raises(HttpError) as exc:
+            _parse(b"GET / HTTP/1.1\r\n" + flood + b"\r\n")
+        assert exc.value.status == 400
+        assert "too many" in exc.value.message
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_oversized_content_length_is_400(self):
+        huge = str(MAX_BODY_BYTES + 1).encode()
+        with pytest.raises(HttpError) as exc:
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: " + huge + b"\r\n\r\n")
+        assert exc.value.status == 400
+
+
+class TestResponses:
+    def test_json_response_is_sorted_and_newline_terminated(self):
+        response = json_response({"b": 1, "a": 2})
+        assert response.status == 200
+        assert response.content_type == "application/json"
+        assert response.body.endswith(b"\n")
+        assert json.loads(response.body) == {"a": 2, "b": 1}
+        assert response.body.index(b'"a"') < response.body.index(b'"b"')
+
+    def test_text_response_defaults_to_prometheus_type(self):
+        response = text_response("x_total 1\n")
+        assert response.content_type.startswith("text/plain")
+        assert response.body == b"x_total 1\n"
+
+
+async def _raw_request(port: int, payload: bytes) -> tuple[int, bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(payload)
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body
+
+
+class TestHttpServer:
+    def test_serves_one_request_then_closes(self):
+        async def handler(request):
+            return json_response({"path": request.path})
+
+        async def main():
+            server = HttpServer(handler)
+            port = await server.start_tcp()
+            try:
+                return await _raw_request(
+                    port, b"GET /healthz HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await server.close()
+
+        status, body = asyncio.run(main())
+        assert status == 200
+        assert json.loads(body) == {"path": "/healthz"}
+
+    def test_handler_http_error_maps_to_json_error_body(self):
+        async def handler(request):
+            raise HttpError(404, "nope")
+
+        async def main():
+            server = HttpServer(handler)
+            port = await server.start_tcp()
+            try:
+                return await _raw_request(port, b"GET /x HTTP/1.1\r\n\r\n")
+            finally:
+                await server.close()
+
+        status, body = asyncio.run(main())
+        assert status == 404
+        assert json.loads(body) == {"error": "nope"}
+
+    def test_malformed_request_gets_400_not_a_hang(self):
+        async def handler(request):  # pragma: no cover - never reached
+            return json_response({})
+
+        async def main():
+            server = HttpServer(handler)
+            port = await server.start_tcp()
+            try:
+                return await _raw_request(port, b"garbage\r\n\r\n")
+            finally:
+                await server.close()
+
+        status, body = asyncio.run(main())
+        assert status == 400
+        assert "malformed" in json.loads(body)["error"]
+
+    def test_port_is_none_until_started_and_after_close(self):
+        async def handler(request):  # pragma: no cover
+            return json_response({})
+
+        async def main():
+            server = HttpServer(handler)
+            assert server.port is None
+            port = await server.start_tcp()
+            assert server.port == port
+            await server.close()
+            assert server.port is None
+
+        asyncio.run(main())

@@ -1,0 +1,214 @@
+"""AdminPlane routing over a fake backend: every endpoint, pagination,
+parameter validation, and the sync-or-async backend contract."""
+
+import asyncio
+import json
+
+from repro.admin import AdminPlane
+from repro.admin.plane import DEFAULT_PAGE_LIMIT, MAX_PAGE_LIMIT
+
+
+class FakeBackend:
+    """Backend double mixing sync and async admin methods on purpose —
+    the plane must await coroutines and pass plain values through."""
+
+    def __init__(self, leases=None, ready=True):
+        self.leases = leases or []
+        self.ready = ready
+        self.calls = []
+
+    async def admin_metrics(self):
+        return "# TYPE up gauge\nup 1\n"
+
+    def admin_health(self):
+        return {"state": "serving", "shards": 2}
+
+    def admin_ready(self):
+        return self.ready, {"ready": self.ready, "state": "serving"}
+
+    async def admin_leases(self, tenant=None, resource=None):
+        self.calls.append(("leases", tenant, resource))
+        book = self.leases
+        if tenant is not None:
+            book = [l for l in book if l["tenant"] == tenant]
+        if resource is not None:
+            book = [l for l in book if l["resource"] == resource]
+        return book
+
+    def admin_trace(self, trace_id):
+        if trace_id == "ab" * 8:
+            return [{"kind": "client", "children": []}]
+        return None
+
+    async def admin_force_release(self, lease_id):
+        self.calls.append(("force-release", lease_id))
+        if lease_id == "0:1":
+            return {"lease_id": lease_id, "ok": True}
+        return None
+
+    def admin_drain(self, worker):
+        self.calls.append(("drain", worker))
+        return "draining" if worker == 0 else None
+
+    def admin_undrain(self, worker):
+        return "serving" if worker == 0 else None
+
+
+def _book(n):
+    return [
+        {"tenant": f"t-{i % 2}", "resource": i, "lease_id": f"0:{i}"}
+        for i in range(n)
+    ]
+
+
+def _request(backend, method, target):
+    """Run one HTTP request against a plane over ``backend``."""
+
+    async def main():
+        plane = AdminPlane(backend)
+        port = await plane.start_tcp()
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(f"{method} {target} HTTP/1.1\r\n\r\n".encode())
+            await writer.drain()
+            raw = await reader.read(-1)
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await plane.close()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status = int(head.split(b" ", 2)[1])
+        content_type = ""
+        for line in head.decode("latin-1").splitlines():
+            if line.lower().startswith("content-type:"):
+                content_type = line.split(":", 1)[1].strip()
+        return status, content_type, body
+
+    return asyncio.run(main())
+
+
+class TestReadEndpoints:
+    def test_metrics_is_prometheus_text(self):
+        status, content_type, body = _request(FakeBackend(), "GET", "/metrics")
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4"
+        assert b"up 1" in body
+
+    def test_healthz_returns_backend_dict(self):
+        status, content_type, body = _request(FakeBackend(), "GET", "/healthz")
+        assert status == 200
+        assert content_type == "application/json"
+        assert json.loads(body) == {"state": "serving", "shards": 2}
+
+    def test_readyz_200_when_ready(self):
+        status, _, body = _request(FakeBackend(ready=True), "GET", "/readyz")
+        assert status == 200
+        assert json.loads(body)["ready"] is True
+
+    def test_readyz_503_when_not_ready(self):
+        status, _, body = _request(FakeBackend(ready=False), "GET", "/readyz")
+        assert status == 503
+        assert json.loads(body)["ready"] is False
+
+    def test_trace_tree_found(self):
+        status, _, body = _request(FakeBackend(), "GET", f"/trace/{'ab' * 8}")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["trace"] == "ab" * 8
+        assert payload["roots"][0]["kind"] == "client"
+
+    def test_trace_tree_missing_is_404(self):
+        status, _, body = _request(FakeBackend(), "GET", "/trace/deadbeef")
+        assert status == 404
+
+    def test_unknown_path_is_404(self):
+        status, _, _ = _request(FakeBackend(), "GET", "/nope")
+        assert status == 404
+
+    def test_unsupported_method_is_405(self):
+        status, _, _ = _request(FakeBackend(), "DELETE", "/leases")
+        assert status == 405
+
+
+class TestLeasesPagination:
+    def test_defaults(self):
+        backend = FakeBackend(leases=_book(3))
+        status, _, body = _request(backend, "GET", "/leases")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["total"] == 3
+        assert payload["offset"] == 0
+        assert payload["limit"] == DEFAULT_PAGE_LIMIT
+        assert [l["lease_id"] for l in payload["leases"]] == [
+            "0:0", "0:1", "0:2",
+        ]
+
+    def test_offset_and_limit_slice_the_book(self):
+        backend = FakeBackend(leases=_book(10))
+        _, _, body = _request(backend, "GET", "/leases?offset=4&limit=3")
+        payload = json.loads(body)
+        assert payload["total"] == 10
+        assert [l["resource"] for l in payload["leases"]] == [4, 5, 6]
+
+    def test_limit_is_clamped_to_max(self):
+        backend = FakeBackend(leases=_book(2))
+        _, _, body = _request(
+            backend, "GET", f"/leases?limit={MAX_PAGE_LIMIT * 10}"
+        )
+        assert json.loads(body)["limit"] == MAX_PAGE_LIMIT
+
+    def test_tenant_and_resource_filters_reach_backend(self):
+        backend = FakeBackend(leases=_book(6))
+        _, _, body = _request(
+            backend, "GET", "/leases?tenant=t-1&resource=3"
+        )
+        payload = json.loads(body)
+        assert backend.calls == [("leases", "t-1", 3)]
+        assert [l["resource"] for l in payload["leases"]] == [3]
+
+    def test_non_integer_params_are_400(self):
+        for target in (
+            "/leases?resource=abc",
+            "/leases?offset=-1",
+            "/leases?limit=huge",
+        ):
+            status, _, body = _request(FakeBackend(), "GET", target)
+            assert status == 400, target
+            assert "error" in json.loads(body)
+
+
+class TestMutations:
+    def test_force_release_hits_backend_and_returns_result(self):
+        backend = FakeBackend()
+        status, _, body = _request(
+            backend, "POST", "/leases/0:1/force-release"
+        )
+        assert status == 200
+        assert json.loads(body) == {"lease_id": "0:1", "ok": True}
+        assert ("force-release", "0:1") in backend.calls
+
+    def test_force_release_unknown_lease_is_404(self):
+        status, _, _ = _request(
+            FakeBackend(), "POST", "/leases/9:9/force-release"
+        )
+        assert status == 404
+
+    def test_drain_and_undrain_round_trip(self):
+        status, _, body = _request(FakeBackend(), "POST", "/workers/0/drain")
+        assert status == 200
+        assert json.loads(body) == {"worker": 0, "state": "draining"}
+        status, _, body = _request(FakeBackend(), "POST", "/workers/0/undrain")
+        assert status == 200
+        assert json.loads(body) == {"worker": 0, "state": "serving"}
+
+    def test_unknown_worker_is_404(self):
+        status, _, _ = _request(FakeBackend(), "POST", "/workers/7/drain")
+        assert status == 404
+
+    def test_non_integer_worker_is_400(self):
+        status, _, _ = _request(FakeBackend(), "POST", "/workers/two/drain")
+        assert status == 400
+
+    def test_post_to_unknown_path_is_404(self):
+        status, _, _ = _request(FakeBackend(), "POST", "/leases/0:1/evict")
+        assert status == 404

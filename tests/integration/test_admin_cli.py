@@ -1,0 +1,121 @@
+"""The PR 8 CLI surface: ``engine loadgen --json`` summaries and the
+``engine trace-tree`` reconstructor over merged span files."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLoadgenJson:
+    ARGS = [
+        "engine", "loadgen", "--horizon", "48", "--resources", "4",
+        "--shards", "2", "--check", "--json",
+    ]
+
+    def test_emits_machine_readable_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "markov"
+        assert payload["horizon"] == 48
+        assert payload["report_equal"] is True
+        assert payload["requests"] > 0
+        assert payload["leases"] > 0
+        latencies = payload["tenant_latency"]
+        assert latencies, "--check samples per-tenant latency"
+        for tenant, row in latencies.items():
+            assert set(row) == {"count", "p50", "p95", "p99"}
+            assert row["count"] > 0
+            assert 0 <= row["p50"] <= row["p95"] <= row["p99"]
+
+    def test_json_is_the_whole_stdout(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        json.loads(out)  # no tables around the object
+
+    def test_without_json_keeps_the_tables(self, capsys):
+        assert main(self.ARGS[:-1]) == 0
+        out = capsys.readouterr().out
+        assert "report equals inline replay" in out
+        assert "per-tenant op latency" in out
+
+
+def _span(trace, span_id, parent=None, kind="client", op="acquire"):
+    span = {
+        "id": 1, "op": op, "tenant": "t-0", "resource": 2,
+        "t_enq": 1.0, "t_disp": 1.0, "t_reply": 1.5,
+        "trace": trace, "span_id": span_id, "kind": kind,
+    }
+    if parent is not None:
+        span["parent"] = parent
+    return span
+
+
+@pytest.fixture
+def span_files(tmp_path):
+    """Two files splitting one client -> relay -> dispatch trace, plus
+    a second single-span trace."""
+    trace_a, trace_b = "aa" * 8, "bb" * 8
+    client = tmp_path / "client.jsonl"
+    fleet = tmp_path / "fleet.jsonl"
+    client.write_text(
+        json.dumps(_span(trace_a, "c" * 16)) + "\n"
+        + json.dumps(_span(trace_b, "d" * 16, op="release")) + "\n"
+    )
+    fleet.write_text(
+        json.dumps(_span(trace_a, "r" * 16, parent="c" * 16, kind="relay"))
+        + "\n"
+        + json.dumps(
+            _span(trace_a, "w" * 16, parent="r" * 16, kind="dispatch")
+        )
+        + "\n"
+    )
+    return trace_a, trace_b, [str(client), str(fleet)]
+
+
+class TestTraceTree:
+    def test_renders_one_tree_per_trace(self, span_files, capsys):
+        trace_a, trace_b, files = span_files
+        assert main(["engine", "trace-tree", *files]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {trace_a}" in out
+        assert f"trace {trace_b}" in out
+        lines = out.splitlines()
+        a_at = lines.index(f"trace {trace_a}")
+        assert lines[a_at + 1].startswith("  - client acquire")
+        assert lines[a_at + 2].startswith("    - relay acquire")
+        assert lines[a_at + 3].startswith("      - dispatch acquire")
+
+    def test_trace_filter_selects_and_json_nests(self, span_files, capsys):
+        trace_a, _, files = span_files
+        assert main(
+            ["engine", "trace-tree", *files, "--trace", trace_a, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert list(payload) == [trace_a]
+        (root,) = payload[trace_a]
+        assert root["kind"] == "client"
+        (relay,) = root["children"]
+        (dispatch,) = relay["children"]
+        assert relay["kind"] == "relay"
+        assert dispatch["kind"] == "dispatch"
+
+    def test_unknown_trace_filter_fails(self, span_files, capsys):
+        _, _, files = span_files
+        assert main(
+            ["engine", "trace-tree", *files, "--trace", "ff" * 8]
+        ) == 1
+        assert "no spans for trace" in capsys.readouterr().err
+
+    def test_unreadable_file_fails_with_two(self, tmp_path, capsys):
+        assert main(
+            ["engine", "trace-tree", str(tmp_path / "absent.jsonl")]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_span_files_without_context_say_so(self, tmp_path, capsys):
+        path = tmp_path / "plain.jsonl"
+        path.write_text('{"id": 1, "op": "acquire", "t_enq": 0.0}\n')
+        assert main(["engine", "trace-tree", str(path)]) == 0
+        assert "no trace-context spans" in capsys.readouterr().out

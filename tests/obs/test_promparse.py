@@ -159,3 +159,201 @@ class TestValidator:
             "HELP without TYPE" in f
             for f in validate_exposition("# HELP ghost nothing here\n")
         )
+
+
+class TestValidatorEdgeCases:
+    """The malformed-exposition corpus: each corruption must be flagged."""
+
+    def test_escaped_backslash_quote_newline_label_values(self):
+        text = (
+            "# TYPE esc_total counter\n"
+            'esc_total{nl="a\\nb",path="C:\\\\tmp",quote="say \\"hi\\""} 1\n'
+        )
+        families = parse_exposition(text)
+        ((_, labels, value),) = families["esc_total"].samples
+        assert labels == {
+            "path": "C:\\tmp",
+            "quote": 'say "hi"',
+            "nl": "a\nb",
+        }
+        assert value == 1.0
+        assert validate_exposition(text) == []
+
+    def test_positive_inf_counter_sample_flagged(self):
+        text = "# TYPE runaway_total counter\nrunaway_total +Inf\n"
+        assert any(
+            "non-finite" in f for f in validate_exposition(text)
+        )
+
+    def test_nan_counter_sample_flagged(self):
+        text = "# TYPE runaway_total counter\nrunaway_total NaN\n"
+        assert any(
+            "non-finite" in f for f in validate_exposition(text)
+        )
+
+    def test_nan_bucket_count_flagged(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="1"} NaN\n'
+            'lat_bucket{le="+Inf"} 4\n'
+            "lat_sum 2.0\n"
+            "lat_count 4\n"
+        )
+        assert any(
+            "non-finite bucket count" in f for f in validate_exposition(text)
+        )
+
+    def test_nan_count_and_inf_sum_flagged(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="+Inf"} 4\n'
+            "lat_sum +Inf\n"
+            "lat_count NaN\n"
+        )
+        failures = validate_exposition(text)
+        assert any("non-finite _count" in f for f in failures)
+        assert any("non-finite _sum" in f for f in failures)
+
+    def test_out_of_order_le_bounds_flagged(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="2"} 3\n'
+            'lat_bucket{le="1"} 1\n'
+            'lat_bucket{le="+Inf"} 4\n'
+            "lat_sum 2.0\n"
+            "lat_count 4\n"
+        )
+        assert any(
+            "out of order" in f for f in validate_exposition(text)
+        )
+
+    def test_duplicate_le_bounds_flagged(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="1"} 1\n'
+            'lat_bucket{le="1"} 2\n'
+            'lat_bucket{le="+Inf"} 4\n'
+            "lat_sum 2.0\n"
+            "lat_count 4\n"
+        )
+        failures = validate_exposition(text)
+        assert any("duplicate le bucket bounds" in f for f in failures)
+        # Duplicate wins over out-of-order: one corruption, one flag.
+        assert not any("out of order" in f for f in failures)
+
+    def test_missing_sum_alone_flagged(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="+Inf"} 2\n'
+            "lat_count 2\n"
+        )
+        failures = validate_exposition(text)
+        assert any("missing _sum" in f for f in failures)
+        assert not any("_count" in f for f in failures)
+
+
+class TestRelabelExposition:
+    def test_injects_into_labeled_and_bare_samples(self):
+        from repro.obs import relabel_exposition
+
+        text = (
+            "# HELP x_total help text\n"
+            "# TYPE x_total counter\n"
+            'x_total{shard="0"} 3\n'
+            "bare_total 1\n"
+        )
+        out = relabel_exposition(
+            "# TYPE bare_total counter\n" + text, worker="2"
+        )
+        assert '# TYPE x_total counter' in out
+        assert 'x_total{worker="2",shard="0"} 3' in out
+        assert 'bare_total{worker="2"} 1' in out
+
+    def test_roundtrips_through_the_parser(self):
+        from repro.obs import relabel_exposition
+
+        registry = _instrumented_registry()
+        relabeled = relabel_exposition(
+            registry.render_prometheus(), worker="7"
+        )
+        assert validate_exposition(relabeled) == []
+        families = parse_exposition(relabeled)
+        for family in families.values():
+            for _, labels, _ in family.samples:
+                assert labels["worker"] == "7"
+        # Values survive untouched.
+        events = families["events_total"]
+        assert sorted(
+            (labels["shard"], value) for _, labels, value in events.samples
+        ) == [("0", 12.0), ("1", 3.0)]
+
+    def test_injected_values_are_escaped(self):
+        from repro.obs import relabel_exposition
+
+        out = relabel_exposition(
+            "# TYPE x counter\nx 1\n", tag='a"b\\c\nd'
+        )
+        ((_, labels, _),) = parse_exposition(out)["x"].samples
+        assert labels["tag"] == 'a"b\\c\nd'
+
+    def test_no_labels_returns_text_unchanged(self):
+        from repro.obs import relabel_exposition
+
+        text = "# TYPE x counter\nx 1\n"
+        assert relabel_exposition(text) == text
+
+    def test_trailing_newline_preserved_and_absent_stays_absent(self):
+        from repro.obs import relabel_exposition
+
+        assert relabel_exposition("# TYPE x counter\nx 1\n", w="0").endswith(
+            "\n"
+        )
+        assert not relabel_exposition(
+            "# TYPE x counter\nx 1", w="0"
+        ).endswith("\n")
+
+    def test_malformed_sample_lines_rejected(self):
+        from repro.obs import relabel_exposition
+
+        with pytest.raises(ModelError, match="unbalanced"):
+            relabel_exposition('x{a="1" 3\n', w="0")
+        with pytest.raises(ModelError, match="no value"):
+            relabel_exposition("loner\n", w="0")
+
+
+class TestMergeExpositions:
+    def test_duplicate_family_declarations_collapse_to_one(self):
+        from repro.obs import merge_expositions
+
+        worker = (
+            "# HELP w_total per-worker counter.\n"
+            "# TYPE w_total counter\n"
+            'w_total{{worker="{n}"}} {v}\n'
+        )
+        merged = merge_expositions(
+            worker.format(n=0, v=3), worker.format(n=1, v=4)
+        )
+        assert merged.count("# TYPE w_total") == 1
+        assert merged.count("# HELP w_total") == 1
+        families = parse_exposition(merged)
+        assert validate_exposition(merged) == []
+        assert sorted(
+            families["w_total"].samples, key=lambda s: s[1]["worker"]
+        ) == [
+            ("w_total", {"worker": "0"}, 3.0),
+            ("w_total", {"worker": "1"}, 4.0),
+        ]
+
+    def test_disjoint_families_pass_through(self):
+        from repro.obs import merge_expositions
+
+        a = "# TYPE a_total counter\na_total 1\n"
+        b = "# TYPE b_total counter\nb_total 2\n"
+        merged = merge_expositions(a, b)
+        assert validate_exposition(merged) == []
+        assert set(parse_exposition(merged)) == {"a_total", "b_total"}
+
+    def test_empty_input_is_empty(self):
+        from repro.obs import merge_expositions
+
+        assert merge_expositions() == ""

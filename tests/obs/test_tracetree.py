@@ -1,0 +1,148 @@
+"""Trace-tree reconstruction: id minting, strict span loading, causal
+linking (orphans become roots, never vanish), and the two renderings."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    build_trace_trees,
+    load_spans,
+    new_id,
+    render_trace_tree,
+    trace_tree_payload,
+)
+
+
+def _span(trace, span_id, parent=None, kind="dispatch", **extra):
+    span = {
+        "id": 1,
+        "op": "acquire",
+        "tenant": "t-0",
+        "resource": 3,
+        "t_enq": extra.pop("t_enq", 1.0),
+        "t_disp": 1.0,
+        "t_reply": extra.pop("t_reply", 2.0),
+        "trace": trace,
+        "span_id": span_id,
+        "kind": kind,
+    }
+    if parent is not None:
+        span["parent"] = parent
+    span.update(extra)
+    return span
+
+
+class TestNewId:
+    def test_sixteen_hex_digits_and_distinct(self):
+        ids = {new_id() for _ in range(64)}
+        assert len(ids) == 64
+        for word in ids:
+            assert len(word) == 16
+            int(word, 16)
+
+
+class TestLoadSpans:
+    def test_merges_files_skipping_blank_lines(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text('{"op": "acquire"}\n\n{"op": "tick"}\n')
+        b.write_text('{"op": "release"}\n')
+        spans = load_spans([a, b])
+        assert [s["op"] for s in spans] == ["acquire", "tick", "release"]
+
+    def test_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            load_spans([path])
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{truncated\n")
+        with pytest.raises(json.JSONDecodeError):
+            load_spans([path])
+
+
+class TestBuildTraceTrees:
+    def test_client_relay_dispatch_chain_links_one_root(self):
+        trace = "aa" * 8
+        spans = [
+            _span(trace, "c" * 16, kind="client"),
+            _span(trace, "r" * 16, parent="c" * 16, kind="relay"),
+            _span(trace, "d" * 16, parent="r" * 16, kind="dispatch"),
+        ]
+        trees = build_trace_trees(spans)
+        (roots,) = trees.values()
+        assert len(roots) == 1
+        chain = [node.span["kind"] for node in roots[0].walk()]
+        assert chain == ["client", "relay", "dispatch"]
+
+    def test_untraced_spans_are_ignored(self):
+        spans = [
+            {"id": 1, "op": "acquire", "t_enq": 0.0},
+            _span("bb" * 8, "c" * 16, kind="client"),
+        ]
+        trees = build_trace_trees(spans)
+        assert list(trees) == ["bb" * 8]
+
+    def test_orphan_becomes_an_extra_root(self):
+        trace = "cc" * 8
+        spans = [
+            _span(trace, "c" * 16, kind="client"),
+            # Parent never appears: the router's file was not merged in.
+            _span(trace, "d" * 16, parent="gone", kind="dispatch"),
+        ]
+        (roots,) = build_trace_trees(spans).values()
+        assert len(roots) == 2
+        assert {r.span["kind"] for r in roots} == {"client", "dispatch"}
+
+    def test_children_and_roots_sorted_by_enqueue_time(self):
+        trace = "dd" * 8
+        spans = [
+            _span(trace, "c" * 16, kind="client", t_enq=0.0),
+            _span(trace, "2" * 16, parent="c" * 16, t_enq=2.0),
+            _span(trace, "1" * 16, parent="c" * 16, t_enq=1.0),
+        ]
+        (roots,) = build_trace_trees(spans).values()
+        assert [n.span["span_id"] for n in roots[0].children] == [
+            "1" * 16,
+            "2" * 16,
+        ]
+
+    def test_self_parent_does_not_loop(self):
+        trace = "ee" * 8
+        (roots,) = build_trace_trees(
+            [_span(trace, "s" * 16, parent="s" * 16)]
+        ).values()
+        assert len(roots) == 1
+        assert len(list(roots[0].walk())) == 1
+
+
+class TestRenderings:
+    def _tree(self):
+        trace = "ff" * 8
+        spans = [
+            _span(trace, "c" * 16, kind="client"),
+            _span(trace, "d" * 16, parent="c" * 16, kind="dispatch"),
+        ]
+        return trace, build_trace_trees(spans)[trace]
+
+    def test_payload_nests_children(self):
+        _, roots = self._tree()
+        payload = trace_tree_payload(roots)
+        assert len(payload) == 1
+        assert payload[0]["kind"] == "client"
+        (child,) = payload[0]["children"]
+        assert child["kind"] == "dispatch"
+        assert child["children"] == []
+        json.dumps(payload)  # JSON-ready, no cycles
+
+    def test_render_indents_and_names_spans(self):
+        trace, roots = self._tree()
+        text = render_trace_tree(trace, roots)
+        lines = text.splitlines()
+        assert lines[0] == f"trace {trace}"
+        assert lines[1].startswith("  - client acquire tenant=t-0")
+        assert lines[2].startswith("    - dispatch acquire")
+        assert "1000.000ms" in lines[1]
