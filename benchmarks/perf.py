@@ -23,7 +23,10 @@ uninstrumented rate measured in the same run.  ``p06_durable`` gates
 durability the same way: batch-fsynced serving must keep at least 80%
 of the WAL-off rate from the same run.  ``p07_admin`` gates the HTTP
 ops plane: serving with the plane mounted and scraped at 4 Hz must keep
-at least 90% of the bare rate from the same run.
+at least 90% of the bare rate from the same run.  ``p08_flight`` gates
+the whole live-debugging layer — metrics, trace spans, the history
+ring, a running profiler, and a scraper pulling ``/metrics/history``
+and ``/profile`` — at the same 90% floor against the bare rate.
 """
 
 from __future__ import annotations
@@ -104,6 +107,16 @@ def main(argv: list[str] | None = None) -> int:
                 f", bare {metrics['bare_events_per_sec']:,}/s vs "
                 f"admin {metrics['admin_events_per_sec']:,}/s "
                 f"(ratio {metrics['admin_ratio']}), "
+                f"identical={metrics['reports_identical']}"
+            )
+        if "flight_ratio" in metrics:
+            line += (
+                f", off {metrics['off_events_per_sec']:,}/s vs "
+                f"flight {metrics['flight_events_per_sec']:,}/s "
+                f"(ratio {metrics['flight_ratio']}), "
+                f"{metrics['trace_spans']:,} spans, "
+                f"{metrics['history_samples']} history samples, "
+                f"{metrics['profile_samples']:,} profile samples, "
                 f"identical={metrics['reports_identical']}"
             )
         print(line)

@@ -1,13 +1,17 @@
 """A deliberately small asyncio HTTP/1.1 server for the ops plane.
 
 The admin plane needs exactly enough HTTP to be curl-able and
-scrape-able: parse one request (method, path, query, headers, optional
-body), hand it to a handler, write one response, close.  Every
-connection serves a single request (``Connection: close``), which keeps
-the state machine trivial and is how scrapers and curl behave anyway.
-Nothing here touches the lease wire protocol — the admin plane is a
-separate listener mounted *beside* the lease listener, never in front
-of it.
+scrape-able: parse a request (method, path, query, headers, optional
+body), hand it to a handler, write a response.  Connections are
+keep-alive by default (HTTP/1.1 semantics), so a scraper polling
+``/metrics`` at 4 Hz reuses one socket instead of churning through the
+accept path — but each connection serves at most
+:data:`MAX_REQUESTS_PER_CONNECTION` requests before the server closes
+it, which bounds how long any single peer can pin a connection open.  A
+client that sends ``Connection: close``, a parse error, or a cleanly
+closed stream all end the loop early.  Nothing here touches the lease
+wire protocol — the admin plane is a separate listener mounted *beside*
+the lease listener, never in front of it.
 
 Stdlib only, by constraint and by design: the whole point of the ops
 plane is that an operator can hit it with ``curl`` against a process
@@ -25,6 +29,9 @@ from urllib.parse import parse_qsl, unquote, urlsplit
 MAX_REQUEST_LINE = 8192
 MAX_HEADER_LINES = 64
 MAX_BODY_BYTES = 1 << 20
+
+#: Keep-alive bound: a connection serves at most this many requests.
+MAX_REQUESTS_PER_CONNECTION = 32
 
 _REASONS = {
     200: "OK",
@@ -124,20 +131,23 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
     )
 
 
-def _encode_response(response: HttpResponse) -> bytes:
+def _encode_response(
+    response: HttpResponse, *, keep_alive: bool = False
+) -> bytes:
     reason = _REASONS.get(response.status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
     head = (
         f"HTTP/1.1 {response.status} {reason}\r\n"
         f"Content-Type: {response.content_type}\r\n"
         f"Content-Length: {len(response.body)}\r\n"
-        f"Connection: close\r\n"
+        f"Connection: {connection}\r\n"
         f"\r\n"
     )
     return head.encode("latin-1") + response.body
 
 
 class HttpServer:
-    """One-request-per-connection asyncio HTTP listener.
+    """Keep-alive asyncio HTTP listener with a per-connection request cap.
 
     ``handler`` is an async callable ``(HttpRequest) -> HttpResponse``;
     raising :class:`HttpError` maps to a JSON error body with that
@@ -172,29 +182,58 @@ class HttpServer:
 
     async def _serve_connection(self, reader, writer) -> None:
         try:
-            try:
-                request = await read_request(reader)
-                if request is None:
-                    return
-                response = await self._handler(request)
-            except HttpError as exc:
-                response = json_response(
-                    {"error": exc.message}, status=exc.status
-                )
-            except (asyncio.IncompleteReadError, ConnectionError):
-                return
-            except Exception as exc:  # pragma: no cover - defensive
-                response = json_response(
-                    {"error": f"{type(exc).__name__}: {exc}"}, status=500
-                )
-            try:
-                writer.write(_encode_response(response))
-                await writer.drain()
-            except (ConnectionError, RuntimeError, OSError):
-                pass
+            await self._serve_requests(reader, writer)
+        except asyncio.CancelledError:
+            # Teardown cancelled us mid-request (e.g. a /profile capture
+            # still sleeping); the connection is closed below either way.
+            pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
             except Exception:
                 pass
+
+    async def _serve_requests(self, reader, writer) -> None:
+        for served in range(MAX_REQUESTS_PER_CONNECTION):
+            keep_alive = served + 1 < MAX_REQUESTS_PER_CONNECTION
+            try:
+                request = await read_request(reader)
+            except HttpError as exc:
+                # After a parse error the stream position is undefined;
+                # answer and drop the connection.
+                request = None
+                keep_alive = False
+                response = json_response(
+                    {"error": exc.message}, status=exc.status
+                )
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            else:
+                if request is None:
+                    return
+                if request.headers.get("connection", "").lower() == "close":
+                    keep_alive = False
+                try:
+                    response = await self._handler(request)
+                except HttpError as exc:
+                    # A handler error (404, 400 on a bad param) answers
+                    # a fully parsed request — the stream is intact, so
+                    # the connection stays reusable.
+                    response = json_response(
+                        {"error": exc.message}, status=exc.status
+                    )
+                except Exception as exc:  # pragma: no cover - defensive
+                    response = json_response(
+                        {"error": f"{type(exc).__name__}: {exc}"},
+                        status=500,
+                    )
+            try:
+                writer.write(
+                    _encode_response(response, keep_alive=keep_alive)
+                )
+                await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                return
+            if not keep_alive:
+                return

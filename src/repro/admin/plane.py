@@ -9,10 +9,12 @@ any object implementing the ``admin_*`` backend surface:
 endpoint                                  backend call
 ========================================  =====================================
 ``GET /metrics``                          ``admin_metrics() -> str``
+``GET /metrics/history?family=&window=``  ``admin_history(family, window)``
 ``GET /healthz``                          ``admin_health() -> dict``
 ``GET /readyz``                           ``admin_ready() -> (bool, dict)``
 ``GET /leases?tenant=&resource=``         ``admin_leases(tenant, resource)``
 ``GET /trace/{trace_id}``                 ``admin_trace(trace_id)``
+``GET /profile?seconds=``                 ``admin_profile(seconds)``
 ``POST /leases/{id}/force-release``       ``admin_force_release(lease_id)``
 ``POST /workers/{n}/drain``               ``admin_drain(n)``
 ``POST /workers/{n}/undrain``             ``admin_undrain(n)``
@@ -45,6 +47,10 @@ from .http import HttpError, HttpRequest, HttpResponse, HttpServer, \
 DEFAULT_PAGE_LIMIT = 256
 MAX_PAGE_LIMIT = 4096
 
+#: ``GET /profile`` capture-window bounds (seconds).
+DEFAULT_PROFILE_SECONDS = 1.0
+MAX_PROFILE_SECONDS = 30.0
+
 
 async def _call(value):
     """Await a backend result if the backend chose to be async."""
@@ -63,6 +69,19 @@ def _int_param(query: dict, name: str, default: int | None) -> int | None:
         raise HttpError(400, f"{name} must be an integer, got {raw!r}") from None
     if value < 0:
         raise HttpError(400, f"{name} must be >= 0, got {value}")
+    return value
+
+
+def _float_param(query: dict, name: str, default: float | None) -> float | None:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise HttpError(400, f"{name} must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise HttpError(400, f"{name} must be > 0, got {value}")
     return value
 
 
@@ -98,6 +117,22 @@ class AdminPlane:
     async def _route_get(self, request, parts) -> HttpResponse:
         if parts == ["metrics"]:
             return text_response(await _call(self.backend.admin_metrics()))
+        if parts == ["metrics", "history"]:
+            family = request.query.get("family")
+            window = _float_param(request.query, "window", None)
+            return json_response(
+                await _call(
+                    self.backend.admin_history(family=family, window=window)
+                )
+            )
+        if parts == ["profile"]:
+            seconds = _float_param(
+                request.query, "seconds", DEFAULT_PROFILE_SECONDS
+            )
+            seconds = min(seconds, MAX_PROFILE_SECONDS)
+            return json_response(
+                await _call(self.backend.admin_profile(seconds))
+            )
         if parts == ["healthz"]:
             return json_response(await _call(self.backend.admin_health()))
         if parts == ["readyz"]:

@@ -22,6 +22,7 @@ Subcommands::
     python -m repro engine chaos --workers 2 --kills 2 --check
     python -m repro engine metrics --socket /tmp/lease.sock --validate
     python -m repro engine trace-tree spans/*.jsonl --json
+    python -m repro engine flamegraph capture.json
 
 The ``engine`` subcommands front :mod:`repro.engine`, :mod:`repro.serve`
 and :mod:`repro.cluster`: ``list`` prints the scenario registry (with
@@ -36,9 +37,11 @@ aggregate against an inline replay of the same trace, ``chaos``
 SIGKILLs workers in a WAL'd supervised cluster mid-loadgen and demands
 the post-crash aggregate still equal the inline replay byte for byte,
 ``metrics`` scrapes a running server or router's Prometheus
-exposition over the ``metrics`` protocol verb, and ``trace-tree``
+exposition over the ``metrics`` protocol verb, ``trace-tree``
 merges a fleet's span JSONL files and reconstructs one causal tree per
-traced op.  ``serve`` and ``cluster`` additionally mount the
+traced op, and ``flamegraph`` renders a ``/profile`` capture as
+collapsed-stack text (the format flamegraph tooling consumes).
+``serve`` and ``cluster`` additionally mount the
 :mod:`repro.admin` HTTP ops plane beside the lease listener when
 ``--admin-port`` is given.
 """
@@ -740,6 +743,38 @@ def cmd_engine_trace_tree(args) -> int:
     return 0
 
 
+def cmd_engine_flamegraph(args) -> int:
+    import json
+    import sys
+
+    from .obs import render_collapsed
+
+    try:
+        if args.capture == "-":
+            capture = json.load(sys.stdin)
+        else:
+            with open(args.capture, "r", encoding="utf-8") as handle:
+                capture = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(capture, dict) or "stacks" not in capture:
+        print(
+            "error: not a /profile capture (expected a JSON object with "
+            "a 'stacks' field)",
+            file=sys.stderr,
+        )
+        return 2
+    text = render_collapsed(capture)
+    print(text, end="")
+    if not text:
+        print(
+            "no samples in capture (profiler idle or window too short)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _tenant_latency_payload(registry) -> dict:
     """Machine-readable per-tenant latency percentiles (``--json``).
 
@@ -1168,8 +1203,9 @@ def build_parser() -> argparse.ArgumentParser:
     engine_serve.add_argument(
         "--admin-port", type=int, default=None, metavar="PORT",
         help="mount the repro.admin HTTP ops plane beside the lease "
-        "listener (0 = ephemeral): GET /metrics /healthz /readyz "
-        "/leases /trace/{id}, POST /leases/{id}/force-release, "
+        "listener (0 = ephemeral): GET /metrics /metrics/history "
+        "/healthz /readyz /leases /trace/{id} /profile, "
+        "POST /leases/{id}/force-release, "
         "POST /workers/{n}/drain|undrain",
     )
     engine_serve.set_defaults(func=cmd_engine_serve)
@@ -1256,7 +1292,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--admin-port", type=int, default=None, metavar="PORT",
         help="mount the repro.admin HTTP ops plane on the router "
         "(0 = ephemeral); /leases and force-release span the whole "
-        "fleet, /workers/{n}/drain|undrain round-trip to worker n",
+        "fleet, /trace/{id} federates live spans from every worker, "
+        "/workers/{n}/drain|undrain round-trip to worker n",
     )
     engine_cluster.set_defaults(func=cmd_engine_cluster)
 
@@ -1343,6 +1380,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the nested span trees as JSON instead of text",
     )
     engine_trace_tree.set_defaults(func=cmd_engine_trace_tree)
+
+    engine_flamegraph = engine_sub.add_parser(
+        "flamegraph",
+        help="render a GET /profile JSON capture as collapsed-stack "
+        "text (one 'stack count' line per distinct stack)",
+    )
+    engine_flamegraph.add_argument(
+        "capture", metavar="CAPTURE.json",
+        help="profile capture file from GET /profile ('-' = stdin)",
+    )
+    engine_flamegraph.set_defaults(func=cmd_engine_flamegraph)
 
     engine_loadgen = engine_sub.add_parser(
         "loadgen",

@@ -69,12 +69,13 @@ from collections import deque
 
 from ..errors import ModelError
 from ..obs.export import export_sessions, export_shards
+from ..obs.history import MetricsHistory
 from ..obs.metrics import MetricsRegistry
+from ..obs.profile import SamplingProfiler
 from ..obs.promparse import merge_expositions, relabel_exposition
 from ..obs.trace import NULL_TRACE, TraceSink
 from ..obs.tracetree import (
     build_trace_trees,
-    load_spans,
     new_id,
     trace_tree_payload,
 )
@@ -829,6 +830,8 @@ class ClusterRouter:
         heartbeat_timeout: float = 10.0,
         trace: TraceSink | None = None,
         collect_worker_metrics: bool = False,
+        history: MetricsHistory | None = None,
+        profiler: SamplingProfiler | None = None,
     ):
         if worker_window < 1:
             raise ModelError("worker_window must be >= 1")
@@ -849,6 +852,17 @@ class ClusterRouter:
         self.heartbeat_timeout = heartbeat_timeout
         self.trace = trace if trace is not None else NULL_TRACE
         self.collect_worker_metrics = collect_worker_metrics
+        # Same live-debugging surface as a single server: a snapshot
+        # ring over the router's registry and an off-until-asked
+        # profiler, both mounted by the admin plane.
+        self.history = (
+            history if history is not None else MetricsHistory(self.metrics)
+        )
+        self.profiler = (
+            profiler if profiler is not None else SamplingProfiler()
+        )
+        self._profile_lock = asyncio.Lock()
+        self._history_task: asyncio.Task | None = None
         self._slots: list[_WorkerSlot] = []
         self._state = "serving"
         self._servers: list[asyncio.base_events.Server] = []
@@ -926,6 +940,17 @@ class ClusterRouter:
             raise ModelError(
                 "connect_workers must succeed before the router listens"
             )
+        if self.history.enabled and self._history_task is None:
+            self._history_task = asyncio.create_task(
+                self._sample_history(), name="router-history-sampler"
+            )
+
+    async def _sample_history(self) -> None:
+        # asyncio.sleep paces the loop; each sample timestamps itself on
+        # the ring's injectable clock.
+        while True:
+            await asyncio.sleep(self.history.interval)
+            self.history.sample()
 
     async def shutdown(self) -> None:
         """Stop listeners, shut every worker over its link, unwind."""
@@ -965,6 +990,13 @@ class ClusterRouter:
             )
         for slot in self._slots:
             await slot.close()
+        if self._history_task is not None:
+            self._history_task.cancel()
+            try:
+                await self._history_task
+            except asyncio.CancelledError:
+                pass
+        self.profiler.stop()
         current = asyncio.current_task()
         lingering = [
             task for task in tuple(self._conn_tasks) if task is not current
@@ -1101,7 +1133,7 @@ class ClusterRouter:
                 kept.append(shard)
         return kept
 
-    async def _control(self, op: str) -> dict:
+    async def _control(self, op: str, payload: dict | None = None) -> dict:
         if op == "stats":
             results = await self._broadcast("stats")
             return {
@@ -1146,6 +1178,9 @@ class ClusterRouter:
             return {"text": merge_expositions(*parts)}
         if op == "leases":
             return {"shards": await self._cluster_leases()}
+        if op == "spans":
+            trace_id = (payload or {}).get("trace")
+            return {"spans": await self.federated_spans(trace_id)}
         if op == "drain":
             await self._broadcast("drain")
             if self._state == "serving":
@@ -1347,20 +1382,70 @@ class ClusterRouter:
         result = await self._slots[worker].call_checked("undrain")
         return result["state"]
 
-    def admin_trace(self, trace_id: str) -> list[dict] | None:
-        """The span tree for one trace id from the router's own sink.
+    async def federated_spans(
+        self, trace_id: str | None = None
+    ) -> list[dict]:
+        """The fleet's live spans: router relays + every worker's sink.
 
-        Router-local spans only (the ``relay`` hops); merging a whole
-        fleet's files is ``engine trace-tree``'s job.
+        The trace analogue of the ``--worker-metrics`` fold: the router
+        contributes its own :meth:`TraceSink.live_spans` (relay hops),
+        then broadcasts the ``spans`` verb so each worker answers from
+        its live sink — including spans a pre-crash incarnation wrote,
+        since sinks append across respawns — and each worker's spans are
+        tagged ``worker="N"``.  With ``trace_id``, workers filter at the
+        source, so only the matching spans cross the wire.
         """
-        if not self.trace.enabled:
-            return None
-        self.trace.flush()
-        trees = build_trace_trees(load_spans([self.trace.path]))
+        fields = {} if trace_id is None else {"trace": trace_id}
+        spans = self.trace.live_spans()
+        if trace_id is not None:
+            spans = [s for s in spans if s.get("trace") == trace_id]
+        worker_answers = await asyncio.gather(
+            *(slot.call_checked("spans", **fields) for slot in self._slots)
+        )
+        for slot, answer in zip(self._slots, worker_answers):
+            spans.extend(
+                dict(span, worker=str(slot.index))
+                for span in answer.get("spans") or []
+            )
+        return spans
+
+    async def admin_trace(self, trace_id: str) -> list[dict] | None:
+        """The *federated* span tree for one trace id, mid-run.
+
+        Pulls the matching spans live from the router's sink and every
+        worker's (the ``spans`` broadcast), links them into one causal
+        tree, and returns the nested payload — structurally identical to
+        ``engine trace-tree`` over the offline-merged fleet JSONL,
+        because both feed :func:`build_trace_trees`, which dedupes by
+        ``(trace, span_id)`` and orders children by ``(t_enq,
+        span_id)``.  ``None`` when no process holds spans for the id.
+        """
+        spans = await self.federated_spans(trace_id)
+        trees = build_trace_trees(spans)
         roots = trees.get(trace_id)
         if not roots:
             return None
         return trace_tree_payload(roots)
+
+    def admin_history(
+        self, family: str | None = None, window: float | None = None
+    ) -> dict:
+        """``GET /metrics/history``: windowed deltas/rates from the ring."""
+        return self.history.query(family=family, window=window)
+
+    async def admin_profile(self, seconds: float) -> dict:
+        """``GET /profile?seconds=``: capture the router's own stacks."""
+        async with self._profile_lock:
+            started_here = not self.profiler.running
+            if started_here:
+                self.profiler.clear()
+                self.profiler.start()
+            try:
+                await asyncio.sleep(seconds)
+            finally:
+                if started_here:
+                    self.profiler.stop()
+            return self.profiler.snapshot()
 
     async def _handle_connection(self, reader, writer) -> None:
         conn = _ClientConn(reader, writer)
@@ -1421,7 +1506,7 @@ class ClusterRouter:
                     )
                     continue
                 try:
-                    result = await self._control(op)
+                    result = await self._control(op, payload)
                     conn.send(ok(request_id, result))
                 except ServeError as exc:
                     conn.send(error(request_id, exc.kind, exc.message))

@@ -29,9 +29,21 @@ aggregate report (CI-gated byte-identity, metrics on and off).
 * :mod:`repro.obs.export` — scrape-time exporters folding broker /
   session / shard state into a registry, shared by the server's and the
   router's ``metrics`` protocol verb.
+* :mod:`repro.obs.history` — :class:`MetricsHistory`, a bounded ring of
+  registry snapshots answering windowed delta/rate queries (the admin
+  planes' ``/metrics/history`` endpoint).
+* :mod:`repro.obs.profile` — :class:`SamplingProfiler`, a thread-based
+  collapsed-stack sampler with zero cost when off (``/profile`` and
+  ``engine flamegraph``).
 """
 
 from .export import export_sessions, export_shards
+from .history import (
+    DEFAULT_HISTORY_CAPACITY,
+    DEFAULT_HISTORY_INTERVAL,
+    NULL_HISTORY,
+    MetricsHistory,
+)
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     NULL_COUNTER,
@@ -42,6 +54,13 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     latency_summary,
+)
+from .profile import (
+    DEFAULT_PROFILE_CAPACITY,
+    DEFAULT_PROFILE_HZ,
+    SamplingProfiler,
+    collapse_frame,
+    render_collapsed,
 )
 from .promparse import (
     ParsedFamily,
@@ -62,18 +81,26 @@ from .tracetree import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_HISTORY_CAPACITY",
+    "DEFAULT_HISTORY_INTERVAL",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_PROFILE_CAPACITY",
+    "DEFAULT_PROFILE_HZ",
     "Gauge",
     "Histogram",
+    "MetricsHistory",
     "MetricsRegistry",
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
+    "NULL_HISTORY",
     "NULL_TRACE",
     "ParsedFamily",
+    "SamplingProfiler",
     "SpanNode",
     "TraceSink",
     "build_trace_trees",
+    "collapse_frame",
     "export_sessions",
     "export_shards",
     "latency_summary",
@@ -82,6 +109,7 @@ __all__ = [
     "parse_exposition",
     "merge_expositions",
     "relabel_exposition",
+    "render_collapsed",
     "render_trace_tree",
     "trace_tree_payload",
     "validate_exposition",

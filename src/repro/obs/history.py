@@ -1,0 +1,244 @@
+"""Metrics history: a bounded in-process time-series ring over snapshots.
+
+The live registry answers "what is the counter *now*"; debugging a fleet
+mid-incident needs "what was it doing over the last minute".  A
+:class:`MetricsHistory` closes that gap without any external store: it
+periodically captures :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+into a bounded ring (``capacity`` samples, oldest evicted first) and
+answers windowed delta/rate queries over it — counter deltas become
+events/sec, histogram bucket deltas become p50/p95/p99 *over the
+window* rather than since process start.
+
+Discipline matches the rest of :mod:`repro.obs`:
+
+* The clock is injectable and *carried, not called* at construction —
+  timestamps are whatever ``clock()`` returns at each :meth:`sample`.
+* The ring itself never schedules anything.  The serving layers drive
+  ``sample()`` from an asyncio task at ``interval`` seconds
+  (:class:`~repro.serve.server.LeaseServer` and
+  :class:`~repro.cluster.router.ClusterRouter` both do); tests drive it
+  by hand with a fake clock.
+* Disabled is free: a history over a disabled registry (or over
+  ``None``) stores nothing and answers empty queries, so the off path
+  costs one attribute check.
+
+Exposed as ``GET /metrics/history?family=&window=`` on both the server
+and router admin planes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from ..errors import ModelError
+from .metrics import MetricsRegistry
+
+#: Default seconds between samples when the serving layer drives the ring.
+DEFAULT_HISTORY_INTERVAL = 1.0
+#: Default ring size: with the default interval, ~4 minutes of history.
+DEFAULT_HISTORY_CAPACITY = 256
+
+_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+class MetricsHistory:
+    """Bounded ring of ``(timestamp, registry snapshot)`` samples."""
+
+    __slots__ = ("registry", "interval", "capacity", "clock", "enabled",
+                 "_samples")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        interval: float = DEFAULT_HISTORY_INTERVAL,
+        capacity: int = DEFAULT_HISTORY_CAPACITY,
+        clock=None,
+    ):
+        if interval <= 0:
+            raise ModelError("history interval must be > 0 seconds")
+        if capacity < 2:
+            raise ModelError("history capacity must be >= 2 samples")
+        self.registry = registry
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self.enabled = registry is not None and registry.enabled
+        if clock is None:
+            clock = registry.clock if registry is not None else time.monotonic
+        self.clock = clock
+        self._samples: deque[tuple[float, dict]] = deque(maxlen=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def sample(self) -> None:
+        """Capture one ``(clock(), snapshot())`` pair into the ring."""
+        if not self.enabled:
+            return
+        self._samples.append((self.clock(), self.registry.snapshot()))
+
+    def query(self, family: str | None = None,
+              window: float | None = None) -> dict:
+        """Windowed deltas and rates over the sampled history.
+
+        ``window`` keeps only samples at most that many seconds older
+        than the newest one (``None`` = the whole ring); ``family``
+        restricts the answer to one metric family.  Counters report
+        ``first``/``last``/``delta``/``rate_per_sec``; gauges report
+        ``last``/``min``/``max``; histograms report the windowed
+        ``count_delta``/``sum_delta``/``rate_per_sec`` plus
+        p50/p95/p99 estimated from the window's bucket *deltas* — the
+        "p95 over the last N seconds" a point-in-time scrape cannot
+        answer.  Rates divide by the sampled span, so they are exact for
+        the ring's own timeline regardless of wall-clock jitter.
+        """
+        samples = list(self._samples)
+        if window is not None:
+            if window <= 0:
+                raise ModelError("history window must be > 0 seconds")
+            newest = samples[-1][0] if samples else 0.0
+            samples = [s for s in samples if s[0] >= newest - window]
+        out = {
+            "enabled": self.enabled,
+            "interval": self.interval,
+            "capacity": self.capacity,
+            "samples": len(samples),
+            "window": window,
+            "span_seconds": (
+                samples[-1][0] - samples[0][0] if len(samples) > 1 else 0.0
+            ),
+            "families": {},
+        }
+        if len(samples) < 2:
+            return out
+        t_first, first = samples[0]
+        t_last, last = samples[-1]
+        span = t_last - t_first
+        names = sorted(last)
+        if family is not None:
+            names = [name for name in names if name == family]
+        for name in names:
+            fam = last[name]
+            prior = first.get(name, {})
+            rows = []
+            for series in fam["series"]:
+                before = _matching_series(prior, series["labels"])
+                if fam["type"] == "histogram":
+                    rows.append(
+                        _histogram_row(series, before, span)
+                    )
+                elif fam["type"] == "counter":
+                    rows.append(
+                        _counter_row(series, before, span)
+                    )
+                else:
+                    rows.append(_gauge_row(series, samples, name))
+            out["families"][name] = {"type": fam["type"], "series": rows}
+        return out
+
+
+def _matching_series(family: dict, labels: dict) -> dict | None:
+    for series in family.get("series", ()):
+        if series["labels"] == labels:
+            return series
+    return None
+
+
+def _counter_row(series: dict, before: dict | None, span: float) -> dict:
+    first = before["value"] if before is not None else 0
+    delta = series["value"] - first
+    return {
+        "labels": series["labels"],
+        "first": first,
+        "last": series["value"],
+        "delta": delta,
+        "rate_per_sec": round(delta / span, 6) if span > 0 else None,
+    }
+
+
+def _gauge_row(series: dict, samples, name: str) -> dict:
+    values = []
+    for _, snapshot in samples:
+        match = _matching_series(snapshot.get(name, {}), series["labels"])
+        if match is not None:
+            values.append(match["value"])
+    return {
+        "labels": series["labels"],
+        "last": series["value"],
+        "min": min(values) if values else series["value"],
+        "max": max(values) if values else series["value"],
+    }
+
+
+def _histogram_row(series: dict, before: dict | None, span: float) -> dict:
+    count_first = before["count"] if before is not None else 0
+    sum_first = before["sum"] if before is not None else 0.0
+    count_delta = series["count"] - count_first
+    row = {
+        "labels": series["labels"],
+        "count_delta": count_delta,
+        "sum_delta": series["sum"] - sum_first,
+        "rate_per_sec": (
+            round(count_delta / span, 6) if span > 0 else None
+        ),
+    }
+    deltas = _bucket_deltas(
+        series["buckets"], before["buckets"] if before is not None else None
+    )
+    for label, q in _QUANTILES:
+        row[label] = _delta_quantile(deltas, count_delta, q)
+    return row
+
+
+def _bucket_deltas(
+    last: dict, first: dict | None
+) -> list[tuple[float, int]]:
+    """Per-bucket (non-cumulative) windowed counts, by ascending bound.
+
+    Snapshot buckets are cumulative and keyed by formatted bound
+    (``+Inf`` last); the window's own distribution is the difference of
+    the two cumulative ladders, de-accumulated bucket by bucket.
+    """
+    def bound(key: str) -> float:
+        return float("inf") if key == "+Inf" else float(key)
+
+    ordered = sorted(last, key=bound)
+    deltas = []
+    previous = 0
+    for key in ordered:
+        cumulative = last[key] - (first.get(key, 0) if first else 0)
+        deltas.append((bound(key), cumulative - previous))
+        previous = cumulative
+    return deltas
+
+
+def _delta_quantile(
+    deltas: list[tuple[float, int]], total: int, q: float
+) -> float:
+    """Interpolated quantile over windowed bucket deltas.
+
+    Mirrors :meth:`repro.obs.metrics.Histogram.quantile`: find the
+    bucket the rank lands in, interpolate between its edges, clamp the
+    overflow bucket to the last finite bound, 0.0 when empty.
+    """
+    if total <= 0:
+        return 0.0
+    finite = [b for b, _ in deltas if b != float("inf")]
+    top = finite[-1] if finite else 0.0
+    rank = q * total
+    running = 0
+    for index, (bound, count) in enumerate(deltas):
+        previous = running
+        running += count
+        if running >= rank and count:
+            if bound == float("inf"):
+                return top
+            lo = 0.0 if index == 0 else deltas[index - 1][0]
+            return lo + (bound - lo) * ((rank - previous) / count)
+    return top
+
+
+#: Shared disabled ring for callers that want "maybe history" without a
+#: None check — samples nothing, answers empty queries.
+NULL_HISTORY = MetricsHistory(None)

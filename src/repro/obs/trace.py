@@ -18,7 +18,28 @@ gates run with tracing both on and off.
 from __future__ import annotations
 
 import json
+import os
 import time
+
+#: One shared encoder for the hot emit path.  ``json.dumps`` with
+#: non-default kwargs builds a fresh ``JSONEncoder`` per call, which is
+#: most of the per-span cost; a cached encoder halves it.
+_ENCODE = json.JSONEncoder(sort_keys=True, separators=(",", ":")).encode
+
+#: value -> its JSON rendering, for the handful of op/tenant/resource
+#: values a server ever sees.  Rendering a span is the per-request cost
+#: of tracing, and the string fields repeat from a tiny set — caching
+#: their quoted forms lets :meth:`TraceSink.span` build the standard
+#: line with one f-string instead of a dict build plus a full encode.
+_QUOTED: dict = {}
+
+
+def _quoted(value) -> str:
+    rendered = _QUOTED.get(value)
+    if rendered is None:
+        rendered = _ENCODE(value)
+        _QUOTED[value] = rendered
+    return rendered
 
 
 class TraceSink:
@@ -40,16 +61,25 @@ class TraceSink:
         self._buffer: list[str] = []
         self._flush_every = max(1, int(flush_every))
         if self.enabled:
-            # Truncate eagerly so a run that emits nothing still leaves
-            # an (empty) trace file rather than a stale one.
-            with open(self.path, "w", encoding="utf-8"):
+            # Append, never truncate: a respawned worker reopens the
+            # same path and must keep its pre-crash spans (the federated
+            # /trace/{id} and offline merge both rely on them).  Opening
+            # in append mode still creates the file, so a run that emits
+            # nothing leaves an (empty) trace file rather than none.
+            # Like the WAL, the sink owns its directory: `engine cluster
+            # --trace-root DIR` points every worker at a DIR nobody has
+            # made yet.
+            parent = os.path.dirname(str(self.path))
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8"):
                 pass
 
     def emit(self, span: dict) -> None:
         """Record one span (a flat JSON-serialisable dict)."""
         if not self.enabled:
             return
-        self._buffer.append(json.dumps(span, sort_keys=True, separators=(",", ":")))
+        self._buffer.append(_ENCODE(span))
         self.emitted += 1
         if len(self._buffer) >= self._flush_every:
             self.flush()
@@ -70,21 +100,37 @@ class TraceSink:
         """
         if not self.enabled:
             return
-        record = {
-            "id": request_id,
-            "op": op,
-            "tenant": tenant,
-            "resource": resource,
-            "t_enq": t_enq,
-            "t_disp": t_disp,
-            "t_reply": t_reply,
-        }
         if trace is not None:
-            record["trace"] = trace
-            record["span_id"] = span_id
-            record["parent"] = parent
-            record["kind"] = kind
-        self.emit(record)
+            self.emit({
+                "id": request_id,
+                "op": op,
+                "tenant": tenant,
+                "resource": resource,
+                "t_enq": t_enq,
+                "t_disp": t_disp,
+                "t_reply": t_reply,
+                "trace": trace,
+                "span_id": span_id,
+                "parent": parent,
+                "kind": kind,
+            })
+            return
+        # Untraced fast path: the shape is fixed, the string fields
+        # repeat from a tiny set, and ``repr`` of an int/float is its
+        # JSON rendering — so build the line directly (keys in the same
+        # sorted order the encoder would emit) instead of paying a dict
+        # build plus a full JSON encode per dispatched request.  The id
+        # is an int on every client op; only ticks leave it unset.
+        self._buffer.append(
+            f'{{"id":{"null" if request_id is None else request_id},'
+            f'"op":{_quoted(op)},'
+            f'"resource":{_quoted(resource)},"t_disp":{t_disp!r},'
+            f'"t_enq":{t_enq!r},"t_reply":{t_reply!r},'
+            f'"tenant":{_quoted(tenant)}}}'
+        )
+        self.emitted += 1
+        if len(self._buffer) >= self._flush_every:
+            self.flush()
 
     def flush(self) -> None:
         if not self.enabled or not self._buffer:
@@ -92,6 +138,29 @@ class TraceSink:
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write("\n".join(self._buffer) + "\n")
         self._buffer.clear()
+
+    def live_spans(self) -> list[dict]:
+        """Every span this sink's file holds right now, parsed.
+
+        Flushes the in-process buffer first, then reads the file back —
+        so the result covers spans emitted moments ago *and* spans a
+        previous incarnation of this process wrote before a crash (the
+        file is opened append-mode at construction).  The read side of
+        federated ``/trace/{id}``: a worker answers the router's
+        ``spans`` verb with exactly this.  Empty when tracing is off.
+        """
+        if self.path is None:
+            return []
+        self.flush()
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return [
+                    json.loads(line)
+                    for line in handle
+                    if line.strip()
+                ]
+        except FileNotFoundError:
+            return []
 
     def close(self) -> None:
         self.flush()

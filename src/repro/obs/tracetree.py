@@ -82,13 +82,26 @@ def build_trace_trees(spans: Iterable[dict]) -> dict[str, list[SpanNode]]:
     has exactly one root (the client span); orphaned spans — parents
     missing from the merged stream — surface as extra roots rather
     than disappearing.
+
+    Duplicate spans — the same ``(trace, span_id)`` seen twice, e.g. a
+    live buffer federated through the router *and* the same sink's file
+    merged offline — collapse to the first occurrence, so overlapping
+    sources never double a node or fork the tree.
     """
     by_trace: dict[str, list[dict]] = {}
+    seen: set[tuple[str, str]] = set()
     for span in spans:
         trace = span.get("trace")
         if trace is None:
             continue
-        by_trace.setdefault(str(trace), []).append(span)
+        trace = str(trace)
+        span_id = span.get("span_id")
+        if span_id is not None:
+            key = (trace, str(span_id))
+            if key in seen:
+                continue
+            seen.add(key)
+        by_trace.setdefault(trace, []).append(span)
     trees: dict[str, list[SpanNode]] = {}
     for trace, members in by_trace.items():
         nodes = {}

@@ -348,11 +348,16 @@ def compare_with_inline(
 
 
 async def _admin_http_get(port: int, path: str) -> bytes:
-    """One raw HTTP GET against the admin plane (scraper-style)."""
+    """One raw HTTP GET against the admin plane (scraper-style).
+
+    Sends ``Connection: close`` so the read-to-EOF below terminates —
+    the plane's listener is keep-alive by default.
+    """
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     try:
         writer.write(
-            f"GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n".encode("ascii")
+            f"GET {path} HTTP/1.1\r\nHost: localhost\r\n"
+            f"Connection: close\r\n\r\n".encode("ascii")
         )
         await writer.drain()
         return await reader.read(-1)
@@ -364,16 +369,24 @@ async def _admin_http_get(port: int, path: str) -> bytes:
             pass
 
 
-async def _poll_admin(port: int, hz: float) -> None:
-    """Background scraper: hit /metrics and /leases at ``hz`` forever.
+#: What the default admin scraper polls each cycle.
+DEFAULT_POLL_PATHS = ("/metrics", "/leases")
+
+
+async def _poll_admin(
+    port: int, hz: float, paths: tuple[str, ...] = DEFAULT_POLL_PATHS
+) -> None:
+    """Background scraper: hit each admin path at ``hz`` forever.
 
     What a real scrape loop does to a serving process — the p07 bench
-    runs this against the admin arm to price the ops plane under load.
-    Connection errors are swallowed: the plane may be mid-teardown.
+    runs this against the admin arm to price the ops plane under load,
+    and the p08 flight bench widens ``paths`` to the history and
+    profiler endpoints.  Connection errors are swallowed: the plane may
+    be mid-teardown.
     """
     period = 1.0 / hz
     while True:
-        for path in ("/metrics", "/leases"):
+        for path in paths:
             try:
                 await _admin_http_get(port, path)
             except (ConnectionError, OSError, asyncio.IncompleteReadError):
@@ -392,7 +405,10 @@ def serve_once(
     timings: dict | None = None,
     admin: bool = False,
     admin_poll_hz: float = 4.0,
+    admin_poll_paths: tuple[str, ...] = DEFAULT_POLL_PATHS,
     client_trace: TraceSink | None = None,
+    history=None,
+    profiler=None,
 ) -> dict:
     """One full serving cycle: in-process server, tenants, final report.
 
@@ -417,10 +433,14 @@ def serve_once(
 
     ``admin=True`` mounts a :class:`~repro.admin.AdminPlane` on an
     ephemeral TCP port beside the unix lease socket and runs a
-    background scraper polling ``/metrics`` and ``/leases`` at
-    ``admin_poll_hz`` for the whole drive — the p07 bench's admin arm.
-    ``client_trace`` flows through to :func:`drive_tenants`, making the
-    tenants trace originators.
+    background scraper polling each of ``admin_poll_paths`` at
+    ``admin_poll_hz`` for the whole drive — the p07 bench's admin arm;
+    the p08 flight bench widens the paths to ``/metrics/history`` and
+    ``/profile``.  ``history`` and ``profiler`` flow through to the
+    server (a :class:`~repro.obs.history.MetricsHistory` ring and a
+    :class:`~repro.obs.profile.SamplingProfiler`); ``client_trace``
+    flows through to :func:`drive_tenants`, making the tenants trace
+    originators.
     """
     trace = instance.trace
     wal_kwargs: dict = {}
@@ -438,6 +458,8 @@ def serve_once(
             session_window=instance.session_window,
             metrics=metrics,
             trace=trace_sink,
+            history=history,
+            profiler=profiler,
             **wal_kwargs,
         )
         await server.start_unix(socket_path)
@@ -451,7 +473,9 @@ def serve_once(
 
             plane = AdminPlane(server)
             port = await plane.start_tcp()
-            scraper = asyncio.create_task(_poll_admin(port, admin_poll_hz))
+            scraper = asyncio.create_task(
+                _poll_admin(port, admin_poll_hz, admin_poll_paths)
+            )
         try:
             start = time.perf_counter()
             report = await drive_tenants(

@@ -42,6 +42,8 @@ report     per-shard aggregate run payloads (cost, leases, stats)
 trace      per-shard applied event logs (requires server recording)
 metrics    Prometheus text exposition of the whole process (ops plane)
 leases     live lease book: every active grant, folded across shards
+spans      live trace spans from the process's sink (optionally one
+           trace id); the router federates it across the fleet
 drain      stop admitting new acquires; renews/releases still served
 undrain    resume admitting acquires after a drain
 shutdown   acknowledge, then stop the server
@@ -75,6 +77,11 @@ import struct
 from typing import Any
 
 from ..errors import ModelError
+
+#: Shared encoder for frame bodies.  ``json.dumps`` with non-default
+#: ``separators`` builds a fresh ``JSONEncoder`` per call; this is the
+#: per-frame hot path, so cache one.
+_JSON_ENCODE = json.JSONEncoder(separators=(",", ":")).encode
 
 PROTOCOL_VERSION = 2
 
@@ -118,6 +125,7 @@ OPS: tuple[str, ...] = (
     "trace",
     "metrics",
     "leases",
+    "spans",
     "drain",
     "undrain",
     "shutdown",
@@ -354,7 +362,7 @@ def encode_body_bin(payload: dict) -> bytes:
     packed = _pack_mutation(payload) or _pack_response(payload)
     if packed is not None:
         return packed
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    body = _JSON_ENCODE(payload).encode("utf-8")
     return bytes([_BIN_KIND_JSON]) + body
 
 
@@ -457,7 +465,7 @@ def encode_frame(payload: dict, codec: str = CODEC_JSON) -> bytes:
         body = encode_body_bin(payload)
         flag = BIN_FLAG
     else:
-        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        body = _JSON_ENCODE(payload).encode("utf-8")
         flag = 0
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(

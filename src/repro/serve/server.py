@@ -74,11 +74,12 @@ from ..engine.events import (
 from ..engine.scenarios import shard_ranges as _shard_ranges
 from ..errors import ModelError
 from ..obs.export import export_sessions, export_shards
+from ..obs.history import MetricsHistory
 from ..obs.metrics import Histogram, MetricsRegistry
+from ..obs.profile import SamplingProfiler
 from ..obs.trace import NULL_TRACE, TraceSink
 from ..obs.tracetree import (
     build_trace_trees,
-    load_spans,
     new_id,
     trace_tree_payload,
 )
@@ -272,6 +273,8 @@ class LeaseServer:
         wal_dir: str | Path | None = None,
         fsync: str = "batch",
         snapshot_every: int | None = None,
+        history: MetricsHistory | None = None,
+        profiler: SamplingProfiler | None = None,
     ):
         # Imported lazily: repro.durable.wal itself imports the wire
         # protocol from this package, so a module-level import here
@@ -355,6 +358,17 @@ class LeaseServer:
             else None
         )
         self._sweep_interval = sweep_interval
+        # History rides the live registry (disabled registry -> disabled
+        # ring); the profiler is always mountable but costs nothing
+        # until a capture starts it.
+        self.history = (
+            history if history is not None else MetricsHistory(self.metrics)
+        )
+        self.profiler = (
+            profiler if profiler is not None else SamplingProfiler()
+        )
+        self._profile_lock = asyncio.Lock()
+        self._history_task: asyncio.Task | None = None
         self._state = "serving"
         self._servers: list[asyncio.base_events.Server] = []
         self._writers: set[asyncio.StreamWriter] = set()
@@ -387,6 +401,10 @@ class LeaseServer:
         self._reaper = asyncio.create_task(
             self._sweep_sessions(), name="serve-session-reaper"
         )
+        if self.history.enabled:
+            self._history_task = asyncio.create_task(
+                self._sample_history(), name="serve-history-sampler"
+            )
 
     # ------------------------------------------------------------------
     # Durable recovery: replay snapshot + WAL before accepting traffic
@@ -554,12 +572,14 @@ class LeaseServer:
                 if shard.wal.appended_since_snapshot:
                     self._maybe_snapshot_now(shard)
                 shard.wal.close()
-        if self._reaper is not None:
-            self._reaper.cancel()
-            try:
-                await self._reaper
-            except asyncio.CancelledError:
-                pass
+        for periodic in (self._reaper, self._history_task):
+            if periodic is not None:
+                periodic.cancel()
+                try:
+                    await periodic
+                except asyncio.CancelledError:
+                    pass
+        self.profiler.stop()
         for writer in tuple(self._writers):
             writer.close()
         # Let every connection handler notice its closed transport and
@@ -846,6 +866,14 @@ class LeaseServer:
             await asyncio.sleep(self._sweep_interval)
             self.sessions.expire_idle()
 
+    async def _sample_history(self) -> None:
+        # asyncio.sleep paces the loop; the sample's own timestamp comes
+        # from the ring's injectable clock, so sleep jitter never skews
+        # the recorded rates.
+        while True:
+            await asyncio.sleep(self.history.interval)
+            self.history.sample()
+
     # ------------------------------------------------------------------
     # Request dispatch
     # ------------------------------------------------------------------
@@ -943,9 +971,9 @@ class LeaseServer:
             },
         }
 
-    async def _control(self, op: str) -> dict:
+    async def _control(self, op: str, payload: dict | None = None) -> dict:
         # `hello` never reaches here: the connection loop intercepts it
-        # (codec negotiation needs the payload, which _control lacks).
+        # (codec negotiation needs the payload for codec negotiation).
         if op == "stats":
             return {
                 "state": self._state,
@@ -960,6 +988,8 @@ class LeaseServer:
             return {"text": self.render_metrics(await self._broadcast("stats"))}
         if op == "leases":
             return {"shards": await self._broadcast("leases")}
+        if op == "spans":
+            return {"spans": self.spans((payload or {}).get("trace"))}
         if op == "drain":
             return {"state": self.drain()}
         if op == "undrain":
@@ -983,6 +1013,18 @@ class LeaseServer:
         if self.metrics.enabled:
             text += self.metrics.render_prometheus()
         return text
+
+    def spans(self, trace_id: str | None = None) -> list[dict]:
+        """This process's live spans (the ``spans`` verb's answer).
+
+        Flushed-buffer-plus-file, via :meth:`TraceSink.live_spans` — so
+        the answer includes spans a pre-crash incarnation wrote.  With
+        ``trace_id``, only that trace's spans.
+        """
+        spans = self.trace.live_spans()
+        if trace_id is not None:
+            spans = [s for s in spans if s.get("trace") == trace_id]
+        return spans
 
     # ------------------------------------------------------------------
     # Admin backend — the surface repro.admin.AdminPlane mounts over HTTP
@@ -1084,12 +1126,38 @@ class LeaseServer:
         """
         if not self.trace.enabled:
             return None
-        self.trace.flush()
-        trees = build_trace_trees(load_spans([self.trace.path]))
+        trees = build_trace_trees(self.spans(trace_id))
         roots = trees.get(trace_id)
         if not roots:
             return None
         return trace_tree_payload(roots)
+
+    def admin_history(
+        self, family: str | None = None, window: float | None = None
+    ) -> dict:
+        """``GET /metrics/history``: windowed deltas/rates from the ring."""
+        return self.history.query(family=family, window=window)
+
+    async def admin_profile(self, seconds: float) -> dict:
+        """``GET /profile?seconds=``: capture and aggregate stacks.
+
+        Starts the sampler only if it is not already running (an
+        externally driven capture keeps its window), sleeps out the
+        requested capture, and returns the aggregated snapshot.
+        Serialized: concurrent captures queue rather than clobbering
+        each other's windows.
+        """
+        async with self._profile_lock:
+            started_here = not self.profiler.running
+            if started_here:
+                self.profiler.clear()
+                self.profiler.start()
+            try:
+                await asyncio.sleep(seconds)
+            finally:
+                if started_here:
+                    self.profiler.stop()
+            return self.profiler.snapshot()
 
     # ------------------------------------------------------------------
     # Connections
@@ -1170,7 +1238,7 @@ class LeaseServer:
                     )
                     continue
                 try:
-                    result = await self._control(op)
+                    result = await self._control(op, payload)
                     frame = ok(request_id, result)
                 except ServeError as exc:
                     frame = error(request_id, exc.kind, exc.message)

@@ -1,5 +1,5 @@
 """The minimal HTTP/1.1 layer: request parsing, limits, and the
-one-request-per-connection server loop."""
+bounded keep-alive server loop."""
 
 import asyncio
 import json
@@ -9,6 +9,7 @@ import pytest
 from repro.admin.http import (
     MAX_BODY_BYTES,
     MAX_HEADER_LINES,
+    MAX_REQUESTS_PER_CONNECTION,
     HttpError,
     HttpRequest,
     HttpServer,
@@ -112,6 +113,12 @@ class TestResponses:
 
 
 async def _raw_request(port: int, payload: bytes) -> tuple[int, bytes]:
+    """One request, reading the response to EOF.
+
+    The payload must either send ``Connection: close`` or be malformed
+    (the server drops the connection after a parse error) — a keep-alive
+    request would leave the read-to-EOF waiting forever.
+    """
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     writer.write(payload)
     await writer.drain()
@@ -121,6 +128,23 @@ async def _raw_request(port: int, payload: bytes) -> tuple[int, bytes]:
     head, _, body = raw.partition(b"\r\n\r\n")
     status = int(head.split(b" ", 2)[1])
     return status, body
+
+
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str], bytes]:
+    """One framed response off a keep-alive connection."""
+    status_line = await reader.readline()
+    status = int(status_line.split(b" ", 2)[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers["content-length"]))
+    return status, headers, body
 
 
 class TestHttpServer:
@@ -133,7 +157,8 @@ class TestHttpServer:
             port = await server.start_tcp()
             try:
                 return await _raw_request(
-                    port, b"GET /healthz HTTP/1.1\r\n\r\n"
+                    port,
+                    b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
                 )
             finally:
                 await server.close()
@@ -150,7 +175,9 @@ class TestHttpServer:
             server = HttpServer(handler)
             port = await server.start_tcp()
             try:
-                return await _raw_request(port, b"GET /x HTTP/1.1\r\n\r\n")
+                return await _raw_request(
+                    port, b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n"
+                )
             finally:
                 await server.close()
 
@@ -187,3 +214,99 @@ class TestHttpServer:
             assert server.port is None
 
         asyncio.run(main())
+
+
+class TestKeepAlive:
+    def _run(self, main):
+        async def wrapped():
+            async def handler(request):
+                if request.path == "/boom":
+                    raise HttpError(404, "nope")
+                return json_response({"path": request.path})
+
+            server = HttpServer(handler)
+            port = await server.start_tcp()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                try:
+                    return await main(reader, writer)
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+            finally:
+                await server.close()
+
+        return asyncio.run(wrapped())
+
+    def test_sequential_requests_reuse_one_connection(self):
+        async def main(reader, writer):
+            got = []
+            for i in range(3):
+                writer.write(b"GET /r%d HTTP/1.1\r\n\r\n" % i)
+                await writer.drain()
+                status, headers, body = await _read_response(reader)
+                got.append(
+                    (status, headers["connection"], json.loads(body)["path"])
+                )
+            return got
+
+        assert self._run(main) == [
+            (200, "keep-alive", f"/r{i}") for i in range(3)
+        ]
+
+    def test_handler_error_keeps_the_connection_alive(self):
+        async def main(reader, writer):
+            writer.write(b"GET /boom HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            status, headers, _ = await _read_response(reader)
+            assert (status, headers["connection"]) == (404, "keep-alive")
+            writer.write(b"GET /after HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            status, _, body = await _read_response(reader)
+            return status, json.loads(body)
+
+        assert self._run(main) == (200, {"path": "/after"})
+
+    def test_connection_close_header_is_honored(self):
+        async def main(reader, writer):
+            writer.write(b"GET /one HTTP/1.1\r\nConnection: close\r\n\r\n")
+            await writer.drain()
+            status, headers, _ = await _read_response(reader)
+            trailing = await reader.read(-1)
+            return status, headers["connection"], trailing
+
+        assert self._run(main) == (200, "close", b"")
+
+    def test_request_cap_bounds_one_connection(self):
+        async def main(reader, writer):
+            connections = []
+            for i in range(MAX_REQUESTS_PER_CONNECTION):
+                writer.write(b"GET /n HTTP/1.1\r\n\r\n")
+                await writer.drain()
+                _, headers, _ = await _read_response(reader)
+                connections.append(headers["connection"])
+            trailing = await reader.read(-1)
+            return connections, trailing
+
+        connections, trailing = self._run(main)
+        assert connections[:-1] == ["keep-alive"] * (
+            MAX_REQUESTS_PER_CONNECTION - 1
+        )
+        assert connections[-1] == "close"
+        assert trailing == b""
+
+    def test_parse_error_answers_then_drops_the_connection(self):
+        async def main(reader, writer):
+            writer.write(b"garbage\r\n\r\n")
+            await writer.drain()
+            status, headers, body = await _read_response(reader)
+            trailing = await reader.read(-1)
+            return status, headers["connection"], json.loads(body), trailing
+
+        status, connection, body, trailing = self._run(main)
+        assert status == 400
+        assert connection == "close"
+        assert "malformed" in body["error"]
+        assert trailing == b""

@@ -5,7 +5,12 @@ import asyncio
 import json
 
 from repro.admin import AdminPlane
-from repro.admin.plane import DEFAULT_PAGE_LIMIT, MAX_PAGE_LIMIT
+from repro.admin.plane import (
+    DEFAULT_PAGE_LIMIT,
+    DEFAULT_PROFILE_SECONDS,
+    MAX_PAGE_LIMIT,
+    MAX_PROFILE_SECONDS,
+)
 
 
 class FakeBackend:
@@ -53,6 +58,14 @@ class FakeBackend:
     def admin_undrain(self, worker):
         return "serving" if worker == 0 else None
 
+    def admin_history(self, family=None, window=None):
+        self.calls.append(("history", family, window))
+        return {"enabled": True, "families": {}}
+
+    async def admin_profile(self, seconds):
+        self.calls.append(("profile", seconds))
+        return {"seconds": seconds, "stacks": {}}
+
 
 def _book(n):
     return [
@@ -69,7 +82,10 @@ def _request(backend, method, target):
         port = await plane.start_tcp()
         try:
             reader, writer = await asyncio.open_connection("127.0.0.1", port)
-            writer.write(f"{method} {target} HTTP/1.1\r\n\r\n".encode())
+            writer.write(
+                f"{method} {target} HTTP/1.1\r\n"
+                f"Connection: close\r\n\r\n".encode()
+            )
             await writer.drain()
             raw = await reader.read(-1)
             writer.close()
@@ -175,6 +191,62 @@ class TestLeasesPagination:
             status, _, body = _request(FakeBackend(), "GET", target)
             assert status == 400, target
             assert "error" in json.loads(body)
+
+
+class TestMetricsHistory:
+    def test_defaults_pass_none_for_family_and_window(self):
+        backend = FakeBackend()
+        status, content_type, body = _request(
+            backend, "GET", "/metrics/history"
+        )
+        assert status == 200
+        assert content_type == "application/json"
+        assert json.loads(body)["enabled"] is True
+        assert backend.calls == [("history", None, None)]
+
+    def test_family_and_window_params_reach_backend(self):
+        backend = FakeBackend()
+        _request(
+            backend, "GET", "/metrics/history?family=ops_total&window=30"
+        )
+        assert backend.calls == [("history", "ops_total", 30.0)]
+
+    def test_non_numeric_window_is_400(self):
+        status, _, body = _request(
+            FakeBackend(), "GET", "/metrics/history?window=soon"
+        )
+        assert status == 400
+        assert "window" in json.loads(body)["error"]
+
+    def test_non_positive_window_is_400(self):
+        status, _, _ = _request(
+            FakeBackend(), "GET", "/metrics/history?window=0"
+        )
+        assert status == 400
+
+
+class TestProfile:
+    def test_seconds_defaults(self):
+        backend = FakeBackend()
+        status, _, body = _request(backend, "GET", "/profile")
+        assert status == 200
+        assert json.loads(body)["seconds"] == DEFAULT_PROFILE_SECONDS
+        assert backend.calls == [("profile", DEFAULT_PROFILE_SECONDS)]
+
+    def test_seconds_param_reaches_backend(self):
+        backend = FakeBackend()
+        _request(backend, "GET", "/profile?seconds=2.5")
+        assert backend.calls == [("profile", 2.5)]
+
+    def test_seconds_is_clamped_to_max(self):
+        backend = FakeBackend()
+        _request(backend, "GET", "/profile?seconds=9000")
+        assert backend.calls == [("profile", MAX_PROFILE_SECONDS)]
+
+    def test_bad_seconds_is_400(self):
+        for target in ("/profile?seconds=fast", "/profile?seconds=-1"):
+            status, _, _ = _request(FakeBackend(), "GET", target)
+            assert status == 400, target
 
 
 class TestMutations:

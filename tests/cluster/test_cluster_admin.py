@@ -26,6 +26,7 @@ from repro.obs import (
     build_trace_trees,
     load_spans,
     parse_exposition,
+    trace_tree_payload,
     validate_exposition,
 )
 from repro.serve import (
@@ -47,7 +48,9 @@ def workdir():
 
 async def _http(port: int, method: str, target: str):
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
-    writer.write(f"{method} {target} HTTP/1.1\r\n\r\n".encode())
+    writer.write(
+        f"{method} {target} HTTP/1.1\r\nConnection: close\r\n\r\n".encode()
+    )
     await writer.drain()
     raw = await reader.read(-1)
     writer.close()
@@ -198,6 +201,61 @@ class TestRouterAdminPlane:
         assert missing[0] == 404
 
 
+class TestRouterLiveDebugging:
+    def test_metrics_history_samples_the_router_registry(self, workdir):
+        from repro.obs import MetricsHistory
+
+        spec = ClusterSpec(8, 2, 2)
+
+        async def main():
+            _, paths = await _start_workers(spec, workdir)
+            registry = MetricsRegistry()
+            router, plane = await _mounted_router(
+                spec, paths, metrics=registry,
+                history=MetricsHistory(registry, interval=0.02),
+            )
+            router_sock = str(workdir / "router.sock")
+            await router.start_unix(router_sock)
+            client = await AsyncLeaseClient.open_unix(router_sock)
+            await client.acquire("t-0", 0, 0)
+            while len(router.history) < 3:
+                await asyncio.sleep(0.02)
+            await client.acquire("t-1", 7, 0)
+            await asyncio.sleep(0.05)
+            out = await _http(plane.port, "GET", "/metrics/history")
+            await client.close()
+            await plane.close()
+            await router.shutdown()
+            return out
+
+        status, body = asyncio.run(main())
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert payload["samples"] >= 3
+        # A relay family moved between samples.
+        frames = payload["families"]["cluster_worker_frames_total"]["series"]
+        assert sum(row["delta"] for row in frames) > 0
+
+    def test_profile_endpoint_captures_router_stacks(self, workdir):
+        spec = ClusterSpec(8, 2, 2)
+
+        async def main():
+            _, paths = await _start_workers(spec, workdir)
+            router, plane = await _mounted_router(spec, paths)
+            out = await _http(plane.port, "GET", "/profile?seconds=0.2")
+            await plane.close()
+            await router.shutdown()
+            return out
+
+        status, body = asyncio.run(main())
+        assert status == 200
+        capture = json.loads(body)
+        assert capture["running"] is False
+        assert capture["samples"] >= 1
+        assert capture["stacks"]
+
+
 class TestSupervisionMetrics:
     def test_respawn_and_redrive_counters_in_the_scrape(self, workdir):
         spec = ClusterSpec(8, 2, 2)
@@ -346,6 +404,101 @@ class TestFleetTraceEndToEnd:
                     )
         # At least one acquire made the full three-hop journey.
         assert ("acquire", "acquire", "acquire") in chains
+
+
+class TestFederatedTrace:
+    """Live ``GET /trace/{id}`` on the router: the federated pull must
+    reconstruct the same causal tree the offline merge does — before a
+    crash, through SIGKILL + respawn, and in the offline files after."""
+
+    @staticmethod
+    def _skeleton(payload):
+        """(span_id, kind, children) — the structure the gate is about,
+        ignoring source-dependent extras like the ``worker`` label."""
+        return [
+            (node["span_id"], node["kind"],
+             TestFederatedTrace._skeleton(node["children"]))
+            for node in payload
+        ]
+
+    def test_live_tree_matches_offline_merge_through_kill(self, tmp_path):
+        trace_root = tmp_path / "spans"
+        trace_root.mkdir()
+        spec = ClusterSpec(
+            8, 2, 2, trace_root=str(trace_root),
+            wal_root=str(tmp_path / "wal"), fsync="always",
+        )
+        workdir = tempfile.mkdtemp(prefix="rcl-t-")
+        workers = []
+        try:
+            workers = spawn_workers(spec, workdir)
+
+            async def main():
+                router = ClusterRouter(
+                    spec, respawn=make_respawner(workers),
+                    trace=TraceSink(tmp_path / "router.jsonl"),
+                )
+                await router.connect_workers(
+                    [w.socket_path for w in workers], retry_for=60.0
+                )
+                router_sock = str(Path(workdir) / "router.sock")
+                await router.start_unix(router_sock)
+                plane = AdminPlane(router)
+                await plane.start_tcp()
+                client = await AsyncLeaseClient.open_unix(
+                    router_sock, retry_for=60.0,
+                    trace=TraceSink(tmp_path / "client.jsonl"),
+                )
+                await client.acquire("t-0", 0, 0)
+                await client.acquire("t-1", 7, 0)  # worker 1's resource
+                client._trace_sink.flush()
+                victim = next(
+                    s for s in load_spans([tmp_path / "client.jsonl"])
+                    if s.get("resource") == 7
+                )["trace"]
+                # Live federated pull mid-run.  Side effect the crash leg
+                # depends on: answering `spans` flushes each worker's sink
+                # to its file, making the dispatch span durable.
+                before = await _http(plane.port, "GET", f"/trace/{victim}")
+                # SIGKILL the owning worker, no warning, no flush.
+                workers[1].process.kill()
+                workers[1].process.wait(timeout=10.0)
+                # Same query while the worker is dead: supervision
+                # respawns it (same WAL, same trace path, opened
+                # append-mode) and the pre-crash span is still there.
+                after = await _http(plane.port, "GET", f"/trace/{victim}")
+                await client.close()
+                await plane.close()
+                await router.shutdown()
+                return victim, before, after
+
+            victim, before, after = asyncio.run(main())
+        finally:
+            reap(workers)
+            shutil.rmtree(workdir, ignore_errors=True)
+
+        assert before[0] == 200 and after[0] == 200
+        live_before = json.loads(before[1])["roots"]
+        live_after = json.loads(after[1])["roots"]
+        # The offline ground truth: the fleet's own files, merged.  (The
+        # client's file stays out on both sides — the fleet never holds
+        # the client hop, so the relay roots the tree in each view.)
+        offline_spans = load_spans(
+            [tmp_path / "router.jsonl"]
+            + [spec.worker_trace_path(i) for i in range(2)]
+        )
+        offline = trace_tree_payload(build_trace_trees(offline_spans)[victim])
+        assert self._skeleton(live_before) == self._skeleton(offline)
+        assert self._skeleton(live_after) == self._skeleton(offline)
+        # The tree really is the relay -> dispatch chain, and the
+        # dispatch span in the post-kill answer came from the respawned
+        # worker's sink, relabeled with its slot.
+        (root,) = live_after
+        assert root["kind"] == "relay"
+        (dispatch,) = root["children"]
+        assert dispatch["kind"] == "dispatch"
+        assert dispatch["worker"] == "1"
+        assert dispatch["op"] == "acquire"
 
 
 class TestForceReleaseSurvivesKill:

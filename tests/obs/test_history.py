@@ -1,0 +1,161 @@
+"""Metrics history ring: sampling, windowed delta/rate queries over
+counters, gauges, and histogram bucket deltas, and the disabled path."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.obs import (
+    DEFAULT_HISTORY_CAPACITY,
+    DEFAULT_HISTORY_INTERVAL,
+    NULL_HISTORY,
+    MetricsHistory,
+    MetricsRegistry,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def _history(capacity=8):
+    clock = FakeClock()
+    registry = MetricsRegistry(clock=clock)
+    history = MetricsHistory(registry, capacity=capacity, clock=clock)
+    return clock, registry, history
+
+
+class TestConstruction:
+    def test_defaults(self):
+        history = MetricsHistory(MetricsRegistry())
+        assert history.interval == DEFAULT_HISTORY_INTERVAL
+        assert history.capacity == DEFAULT_HISTORY_CAPACITY
+        assert history.enabled
+
+    def test_rejects_bad_interval_and_capacity(self):
+        with pytest.raises(ModelError):
+            MetricsHistory(MetricsRegistry(), interval=0)
+        with pytest.raises(ModelError):
+            MetricsHistory(MetricsRegistry(), capacity=1)
+
+    def test_clock_defaults_to_the_registry_clock(self):
+        clock = FakeClock(7.0)
+        history = MetricsHistory(MetricsRegistry(clock=clock))
+        assert history.clock is clock
+
+
+class TestSampling:
+    def test_sample_appends_timestamped_snapshots(self):
+        clock, registry, history = _history()
+        registry.counter("ops_total").inc()
+        history.sample()
+        clock.now = 5.0
+        registry.counter("ops_total").inc(3)
+        history.sample()
+        assert len(history) == 2
+
+    def test_ring_evicts_oldest_at_capacity(self):
+        clock, registry, history = _history(capacity=2)
+        for t in (0.0, 1.0, 2.0):
+            clock.now = t
+            history.sample()
+        assert len(history) == 2
+        # Only the two newest samples remain: span covers [1.0, 2.0].
+        assert history.query()["span_seconds"] == 1.0
+
+
+class TestQuery:
+    def test_counter_delta_and_rate_over_the_ring(self):
+        clock, registry, history = _history()
+        registry.counter("ops_total").inc(10)
+        history.sample()
+        clock.now = 4.0
+        registry.counter("ops_total").inc(6)
+        history.sample()
+        row = history.query()["families"]["ops_total"]["series"][0]
+        assert row["first"] == 10
+        assert row["last"] == 16
+        assert row["delta"] == 6
+        assert row["rate_per_sec"] == 1.5
+
+    def test_gauge_reports_last_min_max_over_samples(self):
+        clock, registry, history = _history()
+        gauge = registry.gauge("queue_depth")
+        for t, value in ((0.0, 5), (1.0, 9), (2.0, 2)):
+            clock.now = t
+            gauge.set(value)
+            history.sample()
+        row = history.query()["families"]["queue_depth"]["series"][0]
+        assert (row["last"], row["min"], row["max"]) == (2, 2, 9)
+
+    def test_histogram_quantiles_come_from_windowed_deltas(self):
+        clock, registry, history = _history()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        # Before the window: a hundred fast observations.
+        for _ in range(100):
+            hist.observe(0.05)
+        history.sample()
+        # Inside the window: all slow.
+        clock.now = 10.0
+        for _ in range(10):
+            hist.observe(0.5)
+        history.sample()
+        row = history.query()["families"]["lat"]["series"][0]
+        assert row["count_delta"] == 10
+        assert row["rate_per_sec"] == 1.0
+        # The window's p50 reflects only the slow tail, not the
+        # pre-window fast observations a lifetime quantile would see.
+        assert 0.1 < row["p50"] <= 1.0
+
+    def test_window_drops_older_samples(self):
+        clock, registry, history = _history()
+        counter = registry.counter("ops_total")
+        for t in (0.0, 10.0, 20.0):
+            clock.now = t
+            counter.inc()
+            history.sample()
+        narrow = history.query(window=10.0)
+        assert narrow["samples"] == 2
+        assert narrow["span_seconds"] == 10.0
+        assert narrow["families"]["ops_total"]["series"][0]["delta"] == 1
+
+    def test_family_filter_restricts_the_answer(self):
+        clock, registry, history = _history()
+        registry.counter("a_total").inc()
+        registry.counter("b_total").inc()
+        history.sample()
+        clock.now = 1.0
+        history.sample()
+        out = history.query(family="a_total")
+        assert list(out["families"]) == ["a_total"]
+
+    def test_rejects_non_positive_window(self):
+        _, _, history = _history()
+        with pytest.raises(ModelError):
+            history.query(window=0)
+
+    def test_single_sample_answers_structure_without_families(self):
+        _, registry, history = _history()
+        registry.counter("ops_total").inc()
+        history.sample()
+        out = history.query()
+        assert out["samples"] == 1
+        assert out["families"] == {}
+
+
+class TestDisabled:
+    def test_null_history_samples_nothing(self):
+        NULL_HISTORY.sample()
+        assert len(NULL_HISTORY) == 0
+        out = NULL_HISTORY.query()
+        assert out["enabled"] is False
+        assert out["families"] == {}
+
+    def test_history_over_disabled_registry_is_disabled(self):
+        history = MetricsHistory(MetricsRegistry(enabled=False))
+        history.sample()
+        assert not history.enabled
+        assert len(history) == 0

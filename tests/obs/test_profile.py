@@ -1,0 +1,142 @@
+"""Sampling profiler: lifecycle, stack collapsing, the bounded ring,
+snapshot aggregation, and the collapsed-stack rendering."""
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ModelError
+from repro.obs import (
+    DEFAULT_PROFILE_CAPACITY,
+    DEFAULT_PROFILE_HZ,
+    SamplingProfiler,
+    collapse_frame,
+    render_collapsed,
+)
+
+
+def _busy_until(stop: threading.Event) -> None:
+    def inner_hot_loop():
+        while not stop.is_set():
+            sum(range(50))
+
+    inner_hot_loop()
+
+
+class TestCollapseFrame:
+    def test_renders_root_first_semicolon_joined(self):
+        def leaf():
+            return collapse_frame(sys._getframe())
+
+        def mid():
+            return leaf()
+
+        stack = mid()
+        assert "test_profile:mid;test_profile:leaf" in stack
+        parts = stack.split(";")
+        assert parts[-1] == "test_profile:leaf"
+        assert parts[-2] == "test_profile:mid"
+
+
+class TestLifecycle:
+    def test_rejects_bad_hz_and_capacity(self):
+        with pytest.raises(ModelError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ModelError):
+            SamplingProfiler(capacity=0)
+
+    def test_defaults(self):
+        profiler = SamplingProfiler()
+        assert profiler.hz == DEFAULT_PROFILE_HZ
+        assert profiler.capacity == DEFAULT_PROFILE_CAPACITY
+        assert not profiler.running
+        assert profiler.samples == 0
+
+    def test_zero_cost_when_off_no_thread_until_start(self):
+        before = threading.active_count()
+        SamplingProfiler()
+        assert threading.active_count() == before
+
+    def test_start_stop_is_idempotent(self):
+        profiler = SamplingProfiler(hz=200)
+        profiler.start()
+        profiler.start()  # no second thread
+        assert profiler.running
+        assert (
+            sum(
+                1
+                for t in threading.enumerate()
+                if t.name == "repro-profiler"
+            )
+            == 1
+        )
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_samples_a_busy_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_until, args=(stop,))
+        worker.start()
+        profiler = SamplingProfiler(hz=500)
+        profiler.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while profiler.samples < 5 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            profiler.stop()
+            stop.set()
+            worker.join()
+        assert profiler.samples >= 5
+        snapshot = profiler.snapshot()
+        assert any(
+            "test_profile:inner_hot_loop" in stack
+            for stack in snapshot["stacks"]
+        )
+
+    def test_ring_is_bounded_by_capacity(self):
+        profiler = SamplingProfiler(hz=100, capacity=4)
+        # Feed the ring directly: the bound is the ring's, not the
+        # sampler thread's.
+        for i in range(10):
+            profiler._ring.append(f"stack{i % 2}")
+            profiler.samples += 1
+        snapshot = profiler.snapshot()
+        assert profiler.samples == 10
+        assert snapshot["retained"] == 4
+
+    def test_clear_resets_ring_and_counter(self):
+        profiler = SamplingProfiler()
+        profiler._ring.append("a;b")
+        profiler.samples = 3
+        profiler.clear()
+        assert profiler.samples == 0
+        assert profiler.snapshot()["retained"] == 0
+
+
+class TestSnapshot:
+    def test_aggregates_and_orders_heaviest_first(self):
+        profiler = SamplingProfiler(hz=50, capacity=16)
+        for stack, count in (("a;b", 1), ("a;c", 3), ("a;d", 1)):
+            for _ in range(count):
+                profiler._ring.append(stack)
+                profiler.samples += 1
+        snapshot = profiler.snapshot()
+        assert snapshot["hz"] == 50.0
+        assert snapshot["capacity"] == 16
+        assert snapshot["running"] is False
+        assert list(snapshot["stacks"]) == ["a;c", "a;b", "a;d"]
+        assert snapshot["stacks"]["a;c"] == 3
+
+
+class TestRenderCollapsed:
+    def test_emits_stack_count_lines_heaviest_first(self):
+        capture = {"stacks": {"a;b": 2, "a;c": 5}}
+        assert render_collapsed(capture) == "a;c 5\na;b 2\n"
+
+    def test_empty_capture_renders_empty(self):
+        assert render_collapsed({"stacks": {}}) == ""
+        assert render_collapsed({}) == ""

@@ -28,6 +28,27 @@ class TestTraceSink:
             "t_enq": 1.0, "t_disp": 1.5, "t_reply": 2.0,
         }
 
+    def test_tick_span_with_no_request_id_is_valid_json(self, tmp_path):
+        # Ticks dispatch with request_id=None: the fast-path line must
+        # render JSON null, byte-identical to the encoder's output.
+        path = tmp_path / "trace.jsonl"
+        sink = TraceSink(str(path))
+        sink.span(
+            op="tick", tenant=None, resource=None, request_id=None,
+            t_enq=1.0, t_disp=1.5, t_reply=2.0,
+        )
+        sink.flush()
+        line = path.read_text().strip()
+        assert json.loads(line)["id"] is None
+        assert line == json.dumps(
+            {
+                "id": None, "op": "tick", "resource": None,
+                "t_disp": 1.5, "t_enq": 1.0, "t_reply": 2.0,
+                "tenant": None,
+            },
+            sort_keys=True, separators=(",", ":"),
+        )
+
     def test_auto_flush_every_n_emits(self, tmp_path):
         path = tmp_path / "trace.jsonl"
         sink = TraceSink(str(path), flush_every=4)
@@ -38,12 +59,51 @@ class TestTraceSink:
         sink.close()
         assert [s["i"] for s in _read_spans(path)] == list(range(9))
 
-    def test_construction_truncates_stale_file(self, tmp_path):
+    def test_construction_appends_to_an_existing_file(self, tmp_path):
+        # A respawned worker reopens its trace path and must keep the
+        # spans its previous incarnation wrote before crashing.
         path = tmp_path / "trace.jsonl"
-        path.write_text('{"stale": true}\n')
+        path.write_text('{"id": 1, "op": "pre-crash"}\n')
         sink = TraceSink(str(path))
+        sink.emit({"id": 2, "op": "post-respawn"})
         sink.close()
+        assert [s["op"] for s in _read_spans(path)] == [
+            "pre-crash", "post-respawn",
+        ]
+
+    def test_construction_creates_a_missing_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        TraceSink(str(path))
+        assert path.exists()
         assert _read_spans(path) == []
+
+    def test_traced_span_carries_the_trace_context(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = TraceSink(str(path))
+        sink.span(
+            op="acquire", tenant="t0", resource=3, request_id=7,
+            t_enq=1.0, t_disp=1.5, t_reply=2.0,
+            trace="ab" * 8, span_id="cd" * 8, parent=None, kind="dispatch",
+        )
+        sink.flush()
+        (span,) = _read_spans(path)
+        assert span["trace"] == "ab" * 8
+        assert span["span_id"] == "cd" * 8
+        assert span["parent"] is None
+        assert span["kind"] == "dispatch"
+
+    def test_live_spans_covers_buffer_and_prior_incarnation(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"id": 1}\n')
+        sink = TraceSink(str(path))
+        sink.emit({"id": 2})  # still buffered
+        spans = sink.live_spans()
+        assert [s["id"] for s in spans] == [1, 2]
+        # live_spans flushed the buffer as a side effect.
+        assert [s["id"] for s in _read_spans(path)] == [1, 2]
+
+    def test_live_spans_is_empty_when_disabled(self):
+        assert NULL_TRACE.live_spans() == []
 
     def test_close_disables_further_emits(self, tmp_path):
         path = tmp_path / "trace.jsonl"

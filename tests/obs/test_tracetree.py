@@ -119,6 +119,63 @@ class TestBuildTraceTrees:
         assert len(list(roots[0].walk())) == 1
 
 
+class TestFederatedMerge:
+    """The overlap cases federation creates: the same span arriving via a
+    worker's live buffer *and* its JSONL file, and partial live views."""
+
+    def test_duplicate_spans_collapse_to_one_node(self):
+        trace = "ab" * 8
+        chain = [
+            _span(trace, "c" * 16, kind="client"),
+            _span(trace, "d" * 16, parent="c" * 16, kind="dispatch"),
+        ]
+        # The same spans again, as a federated pull would relabel them.
+        relabeled = [dict(span, worker="0") for span in chain]
+        (roots,) = build_trace_trees(chain + relabeled).values()
+        assert len(roots) == 1
+        nodes = list(roots[0].walk())
+        assert len(nodes) == 2
+        # First occurrence wins: the unlabeled offline span, not the
+        # relabeled federated copy.
+        assert all("worker" not in n.span for n in nodes)
+
+    def test_duplicates_within_one_stream_also_collapse(self):
+        trace = "cd" * 8
+        span = _span(trace, "c" * 16, kind="client")
+        (roots,) = build_trace_trees([span, dict(span)]).values()
+        assert len(list(roots[0].walk())) == 1
+
+    def test_orphan_relay_renders_as_root(self):
+        # A live federated pull can see a worker's relay span before the
+        # client's own span is anywhere: the relay must surface as a
+        # root, not vanish.
+        trace = "ef" * 8
+        spans = [
+            _span(
+                trace, "r" * 16, parent="c" * 16, kind="relay", worker="1"
+            ),
+            _span(
+                trace, "d" * 16, parent="r" * 16, kind="dispatch",
+                worker="1",
+            ),
+        ]
+        (roots,) = build_trace_trees(spans).values()
+        assert len(roots) == 1
+        assert roots[0].span["kind"] == "relay"
+        rendered = render_trace_tree(trace, roots)
+        assert "- relay acquire" in rendered
+        assert "- dispatch acquire" in rendered
+
+    def test_same_span_id_in_different_traces_is_not_a_duplicate(self):
+        shared = "5" * 16
+        spans = [
+            _span("aa" * 8, shared, kind="client"),
+            _span("bb" * 8, shared, kind="client"),
+        ]
+        trees = build_trace_trees(spans)
+        assert set(trees) == {"aa" * 8, "bb" * 8}
+
+
 class TestRenderings:
     def _tree(self):
         trace = "ff" * 8

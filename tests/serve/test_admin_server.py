@@ -19,7 +19,9 @@ SCHEDULE = LeaseSchedule.power_of_two(4, cost_growth=2.0)
 
 async def _http(port: int, method: str, target: str):
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
-    writer.write(f"{method} {target} HTTP/1.1\r\n\r\n".encode())
+    writer.write(
+        f"{method} {target} HTTP/1.1\r\nConnection: close\r\n\r\n".encode()
+    )
     await writer.drain()
     raw = await reader.read(-1)
     writer.close()
@@ -183,6 +185,74 @@ class TestReadSurface:
 
         status, _ = asyncio.run(main())
         assert status == 404
+
+
+class TestLiveDebugging:
+    def test_metrics_history_reports_windowed_counter_deltas(
+        self, sock_path
+    ):
+        from repro.obs import MetricsHistory, MetricsRegistry
+
+        async def main():
+            registry = MetricsRegistry()
+            server = LeaseServer(
+                SCHEDULE, num_resources=8, num_shards=2,
+                metrics=registry,
+                history=MetricsHistory(registry, interval=0.02),
+            )
+            plane = await _mounted(server, sock_path)
+            client = await AsyncLeaseClient.open_unix(sock_path)
+            await client.acquire("t-0", 1, 0)
+            # Let the sampler task take at least two snapshots either
+            # side of the acquire above.
+            while len(server.history) < 3:
+                await asyncio.sleep(0.02)
+            await client.acquire("t-0", 2, 1)
+            await asyncio.sleep(0.05)
+            everything = await _http(plane.port, "GET", "/metrics/history")
+            filtered = await _http(
+                plane.port, "GET",
+                "/metrics/history?family=serve_bytes_in_total&window=60",
+            )
+            bad = await _http(
+                plane.port, "GET", "/metrics/history?window=-3"
+            )
+            await client.close()
+            await plane.close()
+            await server.shutdown()
+            return everything, filtered, bad
+
+        everything, filtered, bad = asyncio.run(main())
+        assert everything[0] == 200
+        payload = json.loads(everything[1])
+        assert payload["enabled"] is True
+        assert payload["samples"] >= 3
+        rows = payload["families"]["serve_bytes_in_total"]["series"]
+        # The second acquire's request bytes arrived between samples.
+        assert sum(row["delta"] for row in rows) > 0
+        narrow = json.loads(filtered[1])
+        assert list(narrow["families"]) == ["serve_bytes_in_total"]
+        assert bad[0] == 400
+
+    def test_profile_endpoint_captures_live_stacks(self, sock_path):
+        async def main():
+            server = LeaseServer(SCHEDULE, num_resources=8, num_shards=2)
+            plane = await _mounted(server, sock_path)
+            out = await _http(plane.port, "GET", "/profile?seconds=0.2")
+            bad = await _http(plane.port, "GET", "/profile?seconds=nope")
+            await plane.close()
+            await server.shutdown()
+            return out, bad
+
+        out, bad = asyncio.run(main())
+        assert out[0] == 200
+        capture = json.loads(out[1])
+        # The capture ran and stopped; the asyncio main thread was busy
+        # sleeping out this very request, so stacks are never empty.
+        assert capture["running"] is False
+        assert capture["samples"] >= 1
+        assert capture["stacks"]
+        assert bad[0] == 400
 
 
 class TestForceRelease:

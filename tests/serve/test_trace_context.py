@@ -168,6 +168,70 @@ class TestSpanLinkage:
         assert all("trace" not in span for span in spans)
         assert build_trace_trees(spans) == {}
 
+    def test_spans_verb_pulls_the_live_buffer(self, tmp_path):
+        """The ``spans`` protocol op answers from the live sink —
+        flushed file plus still-buffered spans — so a federated pull
+        sees work that finished moments ago, mid-run."""
+
+        async def main(sock):
+            server = LeaseServer(
+                SCHEDULE, num_resources=8, num_shards=2,
+                trace=TraceSink(tmp_path / "server.jsonl"),
+            )
+            await server.start_unix(sock)
+            client = await AsyncLeaseClient.open_unix(
+                sock, trace=TraceSink(tmp_path / "client.jsonl")
+            )
+            await client.acquire("t-0", 1, 0)
+            await client.acquire("t-1", 2, 0)
+            everything = await client.call("spans")
+            traced = [
+                s for s in everything["spans"] if s.get("trace")
+            ]
+            one = await client.call("spans", trace=traced[0]["trace"])
+            none = await client.call("spans", trace="0" * 16)
+            await client.close()
+            await server.shutdown()
+            return everything, traced, one, none
+
+        import shutil
+        import tempfile
+
+        workdir = tempfile.mkdtemp(prefix="rsv-")
+        try:
+            everything, traced, one, none = asyncio.run(
+                main(f"{workdir}/t.sock")
+            )
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        # Both acquires' dispatch spans are visible without any flush
+        # having been requested, and each carries its trace context.
+        assert len(traced) == 2
+        assert {s["kind"] for s in traced} == {"dispatch"}
+        assert [s["trace"] for s in one["spans"]] == [traced[0]["trace"]]
+        assert none["spans"] == []
+
+    def test_spans_verb_is_empty_when_tracing_is_off(self, tmp_path):
+        async def main(sock):
+            server = LeaseServer(SCHEDULE, num_resources=8, num_shards=2)
+            await server.start_unix(sock)
+            client = await AsyncLeaseClient.open_unix(sock)
+            await client.acquire("t-0", 1, 0)
+            out = await client.call("spans")
+            await client.close()
+            await server.shutdown()
+            return out
+
+        import shutil
+        import tempfile
+
+        workdir = tempfile.mkdtemp(prefix="rsv-")
+        try:
+            out = asyncio.run(main(f"{workdir}/t.sock"))
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        assert out["spans"] == []
+
     def test_spans_are_observation_only(self, tmp_path):
         """Tracing must not perturb the served state: identical run with
         and without sinks produces identical reports."""
