@@ -27,6 +27,9 @@ at least 90% of the bare rate from the same run.  ``p08_flight`` gates
 the whole live-debugging layer — metrics, trace spans, the history
 ring, a running profiler, and a scraper pulling ``/metrics/history``
 and ``/profile`` — at the same 90% floor against the bare rate.
+``p09_direct`` gates the cluster topology split: on a multi-core
+machine the direct data plane must at least match the routed relay
+measured in the same run.
 """
 
 from __future__ import annotations
@@ -107,6 +110,14 @@ def main(argv: list[str] | None = None) -> int:
                 f", bare {metrics['bare_events_per_sec']:,}/s vs "
                 f"admin {metrics['admin_events_per_sec']:,}/s "
                 f"(ratio {metrics['admin_ratio']}), "
+                f"identical={metrics['reports_identical']}"
+            )
+        if "direct_ratio" in metrics:
+            line += (
+                f", routed {metrics['routed_events_per_sec']:,}/s vs "
+                f"direct {metrics['direct_events_per_sec']:,}/s "
+                f"(speedup {metrics['direct_ratio']}x, "
+                f"{record['env']['cpus']} cpus), "
                 f"identical={metrics['reports_identical']}"
             )
         if "flight_ratio" in metrics:

@@ -19,7 +19,8 @@ Subcommands::
     python -m repro engine cluster --socket /tmp/lease.sock --workers 2
     python -m repro engine loadgen --socket /tmp/lease.sock --check
     python -m repro engine loadgen --cluster 2 --check
-    python -m repro engine chaos --workers 2 --kills 2 --check
+    python -m repro engine loadgen --cluster 2 --direct --check
+    python -m repro engine chaos --workers 2 --kills 2 --direct --check
     python -m repro engine metrics --socket /tmp/lease.sock --validate
     python -m repro engine trace-tree spans/*.jsonl --json
     python -m repro engine flamegraph capture.json
@@ -232,13 +233,14 @@ def cmd_engine_list(args) -> int:
     print_table(
         [
             "scenario", "family", "workload", "paper result",
-            "shardable", "cluster", "description",
+            "shardable", "cluster", "direct", "description",
         ],
         [
             [
                 s.name, s.family, s.workload, s.paper_result,
                 "yes" if s.shardable else "",
                 "yes" if s.cluster_servable else "",
+                "yes" if s.direct_servable else "",
                 s.description,
             ]
             for s in scenarios
@@ -482,12 +484,23 @@ def cmd_engine_cluster(args) -> int:
         snapshot_every=args.snapshot_every,
         worker_metrics=args.worker_metrics,
         trace_root=args.trace_root,
+        transport=args.worker_transport,
     )
     base = Path(args.socket)
+    if spec.transport == "tcp":
+        from .cluster import format_endpoint, free_tcp_port
+
+        endpoints = [
+            format_endpoint("tcp", "127.0.0.1", free_tcp_port())
+            for _ in range(spec.num_workers)
+        ]
+    else:
+        endpoints = [
+            str(base.with_name(f"{base.name}.w{index}"))
+            for index in range(spec.num_workers)
+        ]
     workers = [
-        WorkerProcess(
-            index, spec, str(base.with_name(f"{base.name}.w{index}"))
-        )
+        WorkerProcess(index, spec, endpoints[index])
         for index in range(spec.num_workers)
     ]
 
@@ -505,11 +518,19 @@ def cmd_engine_cluster(args) -> int:
             respawn=make_respawner(workers) if args.wal_root else None,
         )
         await router.connect_workers(
-            [worker.socket_path for worker in workers],
+            [worker.endpoint for worker in workers],
             retry_for=args.connect_timeout,
             codec=args.codec,
         )
         await router.start_unix(args.socket)
+        tcp_at = ""
+        if args.port is not None:
+            bound = await router.start_tcp(
+                port=args.port, reuse_port=args.reuse_port
+            )
+            tcp_at = f" + tcp:127.0.0.1:{bound}"
+            if args.reuse_port:
+                tcp_at += " (SO_REUSEPORT)"
         admin = None
         admin_at = ""
         if args.admin_port is not None:
@@ -526,13 +547,25 @@ def cmd_engine_cluster(args) -> int:
         if args.worker_metrics:
             metrics_stance += "+workers"
         print(
-            f"repro.cluster listening on unix:{args.socket} — "
+            f"repro.cluster listening on unix:{args.socket}{tcp_at} — "
             f"{spec.num_resources} resources over {spec.num_workers} "
             f"worker process(es) x {spec.shards_per_worker} shard(s), "
             f"K={spec.num_types}, worker codec={args.codec}, "
             f"{durability}, metrics {metrics_stance}{admin_at}",
             flush=True,
         )
+        if args.direct:
+            table = router.route_table()
+            endpoints_line = ", ".join(
+                f"w{row['index']}={row['endpoint']}"
+                for row in table["workers"]
+            )
+            print(
+                f"direct data plane: route handshake at epoch "
+                f"{table['epoch']} over {spec.transport} — "
+                f"{endpoints_line}",
+                flush=True,
+            )
         try:
             await router.run_until_stopped()
         finally:
@@ -585,6 +618,7 @@ def cmd_engine_chaos(args) -> int:
             shards_per_worker=args.shards_per_worker,
             fsync=args.fsync,
             snapshot_every=args.snapshot_every,
+            topology="direct" if args.direct else "routed",
         )
         schedule = (
             tuple(explicit)
@@ -608,6 +642,7 @@ def cmd_engine_chaos(args) -> int:
         ["metric", "value"],
         [
             ["workers", args.workers],
+            ["topology", "direct" if args.direct else "routed"],
             ["fsync", outcome.fsync],
             ["scheduled kills", _fmt(outcome.scheduled)],
             ["executed kills", _fmt(outcome.executed)],
@@ -829,6 +864,7 @@ def _print_tenant_latencies(registry) -> None:
 def cmd_engine_loadgen(args) -> int:
     import asyncio
     import json
+    import sys
 
     from .obs import MetricsRegistry, TraceSink
     from .serve import ServeError
@@ -836,10 +872,25 @@ def cmd_engine_loadgen(args) -> int:
         build_serve_instance,
         compare_with_inline,
         drive_tenants,
+        drive_tenants_direct,
         merge_shard_payloads,
         run_serve_instance,
         serve_once,
     )
+
+    # Fail fast and plainly when --direct has no data plane to use,
+    # mirroring the --shards convention: the in-process single server
+    # has no router to handshake with.
+    if args.direct and not args.cluster and not args.socket:
+        print(
+            "error: --direct needs a cluster data plane, but the "
+            "in-process single server has no router to handshake with "
+            "(see the 'direct' column of `engine list`); "
+            "add --cluster N or point --socket at an `engine cluster` "
+            "router",
+            file=sys.stderr,
+        )
+        return 2
 
     # --check turns on client-side latency sampling so the verdict
     # table can carry per-tenant percentiles alongside the equality
@@ -868,6 +919,7 @@ def cmd_engine_loadgen(args) -> int:
             num_workers=args.cluster,
             shards_per_worker=args.shards_per_worker,
             codec=args.codec,
+            topology="direct" if args.direct else "routed",
         )
         report = cluster_once(
             cluster_instance,
@@ -888,7 +940,10 @@ def cmd_engine_loadgen(args) -> int:
                         "workload": args.workload,
                         "horizon": args.horizon,
                         "seed": args.seed,
-                        "source": f"in-process cluster ({args.cluster} workers)",
+                        "source": (
+                            f"in-process cluster ({args.cluster} workers, "
+                            f"{detail['topology']})"
+                        ),
                         "requests": detail["requests"],
                         "events": stats["events"],
                         "leases": len(served.leases),
@@ -908,6 +963,7 @@ def cmd_engine_loadgen(args) -> int:
                     ["workers", detail["workers"]],
                     ["total shards", detail["total_shards"]],
                     ["codec", detail["codec"]],
+                    ["topology", detail["topology"]],
                     ["requests sent", detail["requests"]],
                     ["events applied", stats["events"]],
                     ["leases bought", len(served.leases)],
@@ -979,7 +1035,17 @@ def cmd_engine_loadgen(args) -> int:
                 ]
                 if mismatches:
                     raise ServeError("protocol", "; ".join(mismatches))
-                report = await drive_tenants(
+                if args.direct and not (
+                    (hello.get("cluster") or {}).get("direct")
+                ):
+                    raise ServeError(
+                        "protocol",
+                        f"server at unix:{args.socket} does not offer a "
+                        "direct data plane (no routing handshake in its "
+                        "hello); drop --direct or start `engine cluster`",
+                    )
+                drive = drive_tenants_direct if args.direct else drive_tenants
+                report = await drive(
                     instance, args.socket, retry_for=args.connect_timeout,
                     codec=args.codec, latency_registry=latency,
                     client_trace=client_trace,
@@ -990,12 +1056,16 @@ def cmd_engine_loadgen(args) -> int:
             finally:
                 await client.close()
 
-        report = asyncio.run(_external())
+        try:
+            report = asyncio.run(_external())
+        except ServeError as exc:
+            print(f"error: {exc.message}", file=sys.stderr)
+            return 2
         client_trace.close()
         served = merge_shard_payloads(report["shards"])
         _, equal = compare_with_inline(instance, served, args.seed)
         requests = report["requests"]
-        source = f"unix:{args.socket}"
+        source = f"unix:{args.socket}" + (" (direct)" if args.direct else "")
     else:
         report = serve_once(
             instance, latency_registry=latency, client_trace=client_trace
@@ -1223,6 +1293,28 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="lease-server worker processes")
     engine_cluster.add_argument("--shards-per-worker", type=int, default=2,
                                 help="broker sub-shards inside each worker")
+    engine_cluster.add_argument(
+        "--worker-transport", default="unix", choices=("unix", "tcp"),
+        help="what the workers listen on: unix socket files next to the "
+        "router's (.wN suffixes) or pre-allocated loopback TCP ports — "
+        "the endpoints the route handshake hands to direct clients",
+    )
+    engine_cluster.add_argument(
+        "--direct", action="store_true",
+        help="print the direct data plane (route handshake + worker "
+        "endpoints) in the banner; clients opt in per connection with "
+        "`loadgen --direct`",
+    )
+    engine_cluster.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="also accept tenants on TCP at this port (0 = ephemeral) "
+        "beside the unix socket",
+    )
+    engine_cluster.add_argument(
+        "--reuse-port", action="store_true",
+        help="bind the TCP listener with SO_REUSEPORT so several router "
+        "replicas can share one control-plane port",
+    )
     engine_cluster.add_argument("--resources", type=int, default=8,
                                 help="resource id space [0, N)")
     engine_cluster.add_argument("--num-types", type=int, default=4)
@@ -1335,6 +1427,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine_chaos.add_argument("--connect-timeout", type=float, default=60.0)
     engine_chaos.add_argument(
+        "--direct", action="store_true",
+        help="drive the kills over the two-plane direct topology: "
+        "tenants handshake with the router and dial workers directly, "
+        "so a kill severs their data links too and recovery exercises "
+        "the client-side re-handshake + marked resend",
+    )
+    engine_chaos.add_argument(
         "--check", action="store_true",
         help="exit 1 unless every kill executed and the post-crash "
         "aggregate equals the inline replay byte for byte",
@@ -1426,6 +1525,14 @@ def build_parser() -> argparse.ArgumentParser:
     engine_loadgen.add_argument(
         "--codec", default="bin", choices=("json", "bin"),
         help="wire codec to negotiate on tenant connections",
+    )
+    engine_loadgen.add_argument(
+        "--direct", action="store_true",
+        help="two-plane topology: tenants perform the routing handshake "
+        "and send mutations straight to the owning worker, keeping the "
+        "router for ticks and barriers only; needs a cluster "
+        "(--cluster N, or --socket at an `engine cluster` router) — "
+        "exits 2 up front otherwise",
     )
     engine_loadgen.add_argument(
         "--check", action="store_true",

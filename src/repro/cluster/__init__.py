@@ -17,14 +17,25 @@ byte-identical to an inline replay of the merged trace.
   backpressure windows, and cluster-wide drain/shutdown/stats/report/
   trace barriers whose merged payloads reproduce a single server's.
 * :mod:`repro.cluster.procs` — workers as real ``python -m repro engine
-  serve`` subprocesses.
+  serve`` subprocesses, on unix sockets or pre-allocated loopback TCP
+  ports.
+* :mod:`repro.cluster.liveness` — :class:`WorkerLiveness`: the
+  clock-driven up/suspect/dead machine behind the router's fleet-health
+  view, fed by beats off every worker-link frame.
 * :mod:`repro.cluster.loadgen` — the ``cluster-*`` scenario half:
   closed-loop tenants against a live fleet, aggregate checked
   byte-identical against the inline replay; powers ``engine cluster``,
   ``engine loadgen --cluster``, and the ``p04_cluster`` benchmark.
 """
 
+from .liveness import (
+    LIVE_DEAD,
+    LIVE_SUSPECT,
+    LIVE_UP,
+    WorkerLiveness,
+)
 from .loadgen import (
+    TOPOLOGIES,
     ClusterInstance,
     build_cluster_instance,
     cluster_once,
@@ -33,22 +44,37 @@ from .loadgen import (
 )
 from .procs import (
     WorkerProcess,
+    free_tcp_port,
     make_respawner,
     reap,
     spawn_workers,
     worker_command,
 )
 from .router import ClusterRouter
-from .spec import ClusterSpec
+from .spec import (
+    TRANSPORTS,
+    ClusterSpec,
+    format_endpoint,
+    parse_endpoint,
+)
 
 __all__ = [
+    "LIVE_DEAD",
+    "LIVE_SUSPECT",
+    "LIVE_UP",
+    "TOPOLOGIES",
+    "TRANSPORTS",
     "ClusterInstance",
     "ClusterRouter",
     "ClusterSpec",
+    "WorkerLiveness",
     "WorkerProcess",
     "build_cluster_instance",
     "cluster_once",
+    "format_endpoint",
+    "free_tcp_port",
     "make_respawner",
+    "parse_endpoint",
     "reap",
     "run_cluster_instance",
     "spawn_workers",

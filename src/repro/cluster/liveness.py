@@ -1,0 +1,102 @@
+"""Router-side worker liveness: a clock-driven up/suspect/dead machine.
+
+The router already *reacts* to worker death (read-EOF severs the link
+and supervision respawns the victim); this module makes liveness an
+*observable state* so the control plane can answer "how healthy is the
+fleet" without waiting for a failure to surface as an error frame.
+
+Every worker starts ``up``.  Each heartbeat (or any frame read off the
+worker's link — response traffic is proof of life) records a beat; the
+state of a worker is then purely a function of the injected clock:
+
+``up``      last beat within ``suspect_after`` seconds
+``suspect`` beat missed for ``suspect_after``..``dead_after`` seconds
+``dead``    beat missed for ``dead_after``+ seconds, or death observed
+            directly (read-EOF, kill -9)
+
+The clock is carried, never called at import: tests drive the whole
+machine with a fake clock and zero wall-clock sleeps, which is also why
+states are computed on read instead of by a background timer.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import ModelError
+
+#: Liveness states in increasing order of concern.
+LIVE_UP = "up"
+LIVE_SUSPECT = "suspect"
+LIVE_DEAD = "dead"
+
+#: Seconds without a beat before a worker turns suspect / dead.  The
+#: defaults sit above the router's heartbeat interval (2s) and at its
+#: heartbeat timeout (10s) so a single delayed beat never flaps a
+#: healthy worker through suspect.
+SUSPECT_AFTER = 4.0
+DEAD_AFTER = 10.0
+
+
+class WorkerLiveness:
+    """Beat bookkeeping for one fleet, states derived on demand."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        suspect_after: float = SUSPECT_AFTER,
+        dead_after: float = DEAD_AFTER,
+        clock=time.monotonic,
+    ):
+        if num_workers < 1:
+            raise ModelError("num_workers must be >= 1")
+        if not 0 < suspect_after < dead_after:
+            raise ModelError(
+                "need 0 < suspect_after < dead_after, got "
+                f"{suspect_after} / {dead_after}"
+            )
+        self.num_workers = num_workers
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self._clock = clock
+        now = clock()
+        self._last_beat = [now] * num_workers
+        self._declared_dead = [False] * num_workers
+
+    def _check(self, worker: int) -> None:
+        if not 0 <= worker < self.num_workers:
+            raise ModelError(
+                f"worker {worker} outside [0, {self.num_workers})"
+            )
+
+    def beat(self, worker: int) -> None:
+        """Record proof of life; clears a direct death declaration."""
+        self._check(worker)
+        self._last_beat[worker] = self._clock()
+        self._declared_dead[worker] = False
+
+    def declare_dead(self, worker: int) -> None:
+        """Skip the timers: death was observed directly (read-EOF)."""
+        self._check(worker)
+        self._declared_dead[worker] = True
+
+    def state(self, worker: int) -> str:
+        """The worker's liveness state at the clock's current reading."""
+        self._check(worker)
+        if self._declared_dead[worker]:
+            return LIVE_DEAD
+        silence = self._clock() - self._last_beat[worker]
+        if silence >= self.dead_after:
+            return LIVE_DEAD
+        if silence >= self.suspect_after:
+            return LIVE_SUSPECT
+        return LIVE_UP
+
+    def states(self) -> list[str]:
+        """Every worker's state, indexed by worker."""
+        return [self.state(worker) for worker in range(self.num_workers)]
+
+    def silence(self, worker: int) -> float:
+        """Seconds since the worker's last recorded beat."""
+        self._check(worker)
+        return max(0.0, self._clock() - self._last_beat[worker])

@@ -41,12 +41,19 @@ from ..obs.trace import TraceSink
 from ..serve.loadgen import (
     compare_with_inline,
     drive_tenants,
+    drive_tenants_direct,
     merge_shard_payloads,
 )
 from ..serve.protocol import CODEC_BIN, CODECS
 from .procs import make_respawner, reap, spawn_workers
 from .router import ClusterRouter
-from .spec import ClusterSpec
+from .spec import TRANSPORTS, ClusterSpec
+
+#: How tenants reach the fleet's data plane.  ``routed`` relays every
+#: mutation through the router (the pre-PR-10 shape, and the baseline
+#: arm of the ``p09_direct`` benchmark); ``direct`` performs the routing
+#: handshake and sends mutations straight to the owning worker.
+TOPOLOGIES: tuple[str, ...] = ("routed", "direct")
 
 
 @dataclass(frozen=True)
@@ -72,11 +79,23 @@ class ClusterInstance:
     snapshot_every: int | None = None
     worker_metrics: bool = False
     trace_root: str | None = None
+    topology: str = "routed"
+    transport: str = "unix"
 
     def __post_init__(self) -> None:
         if self.codec not in CODECS:
             raise ModelError(
                 f"unknown codec {self.codec!r}; known: {', '.join(CODECS)}"
+            )
+        if self.topology not in TOPOLOGIES:
+            raise ModelError(
+                f"unknown topology {self.topology!r}; "
+                f"known: {', '.join(TOPOLOGIES)}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ModelError(
+                f"unknown transport {self.transport!r}; "
+                f"known: {', '.join(TRANSPORTS)}"
             )
 
     @property
@@ -108,6 +127,7 @@ class ClusterInstance:
             snapshot_every=self.snapshot_every,
             worker_metrics=self.worker_metrics,
             trace_root=self.trace_root,
+            transport=self.transport,
         )
 
 
@@ -139,6 +159,8 @@ def build_cluster_instance(
     snapshot_every: int | None = None,
     worker_metrics: bool = False,
     trace_root: str | None = None,
+    topology: str = "routed",
+    transport: str = "unix",
 ) -> ClusterInstance:
     """A cluster instance over :func:`generate_resource_trace` streams.
 
@@ -178,6 +200,8 @@ def build_cluster_instance(
         snapshot_every=snapshot_every,
         worker_metrics=worker_metrics,
         trace_root=trace_root,
+        topology=topology,
+        transport=transport,
     )
 
 
@@ -230,6 +254,11 @@ def cluster_once(
             else (lambda day: fault_hook(day, workers))
         )
 
+        drive = (
+            drive_tenants_direct if instance.topology == "direct"
+            else drive_tenants
+        )
+
         async def _route_and_drive() -> dict:
             router = ClusterRouter(
                 spec, worker_window=instance.worker_window, metrics=metrics,
@@ -237,14 +266,14 @@ def cluster_once(
                 collect_worker_metrics=spec.worker_metrics,
             )
             await router.connect_workers(
-                [w.socket_path for w in workers],
+                [w.endpoint for w in workers],
                 retry_for=retry_for,
                 codec=instance.codec,
             )
             await router.start_unix(router_socket)
             try:
                 start = time.perf_counter()
-                report = await drive_tenants(
+                report = await drive(
                     instance, router_socket,
                     retry_for=retry_for, codec=instance.codec,
                     latency_registry=latency_registry,
@@ -286,9 +315,12 @@ def run_cluster_instance(
         "shards_per_worker": instance.shards_per_worker,
         "total_shards": instance.spec.total_shards,
         "codec": instance.codec,
-        "transport": "unix",
+        "transport": instance.transport,
+        "topology": instance.topology,
         "requests": report["requests"],
         "respawns": report.get("respawns", 0),
+        "handshakes": report.get("handshakes", 0),
+        "retried_ops": report.get("retried_ops", 0),
         "report_equal": equal,
     }
     return replace(served, detail=detail)

@@ -102,7 +102,16 @@ from ..serve.server import (
     field_time,
     trace_context,
 )
-from .spec import ClusterSpec
+from .liveness import LIVE_SUSPECT, LIVE_UP, WorkerLiveness
+from .spec import ClusterSpec, format_endpoint, parse_endpoint
+
+
+async def _dial(endpoint: str):
+    """Open a stream to a worker endpoint, unix or tcp."""
+    kind, address = parse_endpoint(endpoint)
+    if kind == "unix":
+        return await asyncio.open_unix_connection(address[0])
+    return await asyncio.open_connection(address[0], address[1])
 
 
 async def _drain_queue_into(queue: asyncio.Queue, batch: list) -> None:
@@ -169,8 +178,8 @@ class _WorkerLink:
     __slots__ = (
         "index", "reader", "writer", "codec", "_ids", "_pending", "outq",
         "_pump_task", "_read_task", "_metrics_on", "_clock", "_registry",
-        "_latency", "_frames", "_failures", "_on_death", "_closing",
-        "_trace",
+        "_latency", "_frames", "_failures", "_on_death", "_on_beat",
+        "_closing", "_trace",
     )
 
     def __init__(
@@ -181,12 +190,14 @@ class _WorkerLink:
         codec: str,
         metrics: MetricsRegistry | None = None,
         on_death=None,
+        on_beat=None,
         trace: TraceSink | None = None,
     ):
         self.index = index
         self.reader = reader
         self.writer = writer
         self.codec = codec
+        self._on_beat = on_beat
         self._ids = itertools.count(1)
         #: link id -> (conn, client id, None, op, payload, t0, span) for
         #: relays, (None, None, future, op, payload, t0, None) for
@@ -239,18 +250,19 @@ class _WorkerLink:
     async def open(
         cls,
         index: int,
-        path: str,
+        endpoint: str,
         spec: ClusterSpec,
         retry_for: float = 10.0,
         codec: str = CODEC_BIN,
         metrics: MetricsRegistry | None = None,
         on_death=None,
+        on_beat=None,
         trace: TraceSink | None = None,
     ) -> "_WorkerLink":
         deadline = asyncio.get_running_loop().time() + retry_for
         while True:
             try:
-                reader, writer = await asyncio.open_unix_connection(path)
+                reader, writer = await _dial(endpoint)
                 break
             except (ConnectionRefusedError, FileNotFoundError, OSError):
                 if asyncio.get_running_loop().time() >= deadline:
@@ -277,7 +289,7 @@ class _WorkerLink:
         chosen = negotiate_codec(hello.get("codec")) if codec == CODEC_BIN else CODEC_JSON
         return cls(
             index, reader, writer, chosen, metrics=metrics,
-            on_death=on_death, trace=trace,
+            on_death=on_death, on_beat=on_beat, trace=trace,
         )
 
     @staticmethod
@@ -424,6 +436,10 @@ class _WorkerLink:
                 payload = await read_frame(self.reader)
                 if payload is None:
                     break
+                if self._on_beat is not None:
+                    # Any frame off the link is proof of life — heartbeat
+                    # replies and relayed responses alike feed liveness.
+                    self._on_beat()
                 entry = self._pending.pop(payload.get("id"), None)
                 if entry is None:
                     continue
@@ -509,13 +525,13 @@ class _WorkerSlot:
         "backoff_cap", "heartbeat_every", "heartbeat_timeout", "_held",
         "_registry", "_recover_task", "_heartbeat_task", "_closing",
         "_deaths", "_respawns", "_held_counter", "trace",
-        "respawns_done", "redriven_frames",
+        "respawns_done", "redriven_frames", "liveness",
     )
 
     def __init__(
         self,
         index: int,
-        path: str,
+        endpoint: str,
         spec: ClusterSpec,
         codec_pref: str,
         retry_for: float,
@@ -528,10 +544,15 @@ class _WorkerSlot:
         heartbeat_every: float = 2.0,
         heartbeat_timeout: float = 10.0,
         trace: TraceSink | None = None,
+        liveness: WorkerLiveness | None = None,
     ):
         self.index = index
-        self.path = path
+        # Normalised endpoint string ("unix:<path>" / "tcp:<host>:<port>"):
+        # what the link dials and the route handshake hands to clients.
+        kind, address = parse_endpoint(str(endpoint))
+        self.path = format_endpoint(kind, *address)
         self.spec = spec
+        self.liveness = liveness
         self.codec_pref = codec_pref
         self.retry_for = retry_for
         self.link: _WorkerLink | None = None
@@ -574,14 +595,20 @@ class _WorkerSlot:
     def supervised(self) -> bool:
         return self.respawn is not None
 
+    def _beat(self) -> None:
+        if self.liveness is not None:
+            self.liveness.beat(self.index)
+
     async def open(self) -> None:
         """Dial the worker and, when supervised, start the heartbeat."""
         self.link = await _WorkerLink.open(
             self.index, self.path, self.spec, retry_for=self.retry_for,
             codec=self.codec_pref, metrics=self._registry,
             on_death=self._link_died if self.supervised else None,
+            on_beat=self._beat if self.liveness is not None else None,
             trace=self.trace,
         )
+        self._beat()
         if self.supervised and self._heartbeat_task is None:
             self._heartbeat_task = asyncio.create_task(self._heartbeat())
 
@@ -663,6 +690,8 @@ class _WorkerSlot:
             return
         self.link = None
         self.state = "recovering"
+        if self.liveness is not None:
+            self.liveness.declare_dead(self.index)
         self._deaths.inc()
         pending = link.take_pending()
         self._recover_task = asyncio.create_task(self._recover(link, pending))
@@ -681,6 +710,9 @@ class _WorkerSlot:
                         self.index, path, self.spec,
                         retry_for=self.retry_for, codec=self.codec_pref,
                         metrics=self._registry, on_death=self._link_died,
+                        on_beat=(
+                            self._beat if self.liveness is not None else None
+                        ),
                         trace=self.trace,
                     )
                 except asyncio.CancelledError:
@@ -693,7 +725,9 @@ class _WorkerSlot:
                     continue
                 self._respawns.inc()
                 self.respawns_done += 1
-                self.path = path
+                kind, address = parse_endpoint(str(path))
+                self.path = format_endpoint(kind, *address)
+                self._beat()
                 # No awaits from here to the state flip: resends and the
                 # held drain land in the link queue atomically, keeping
                 # per-connection FIFO order across the crash.
@@ -832,6 +866,7 @@ class ClusterRouter:
         collect_worker_metrics: bool = False,
         history: MetricsHistory | None = None,
         profiler: SamplingProfiler | None = None,
+        liveness: WorkerLiveness | None = None,
     ):
         if worker_window < 1:
             raise ModelError("worker_window must be >= 1")
@@ -840,6 +875,12 @@ class ClusterRouter:
         if max_respawns < 1:
             raise ModelError("max_respawns must be >= 1")
         self.spec = spec
+        # Control-plane health state: beats ride every frame the links
+        # read, states derive from the tracker's (injectable) clock.
+        self.liveness = (
+            liveness if liveness is not None
+            else WorkerLiveness(spec.num_workers)
+        )
         self.worker_window = worker_window
         self.metrics = metrics if metrics is not None else MetricsRegistry(
             enabled=False
@@ -885,16 +926,20 @@ class ClusterRouter:
 
     async def connect_workers(
         self,
-        socket_paths,
+        endpoints,
         retry_for: float = 10.0,
         codec: str = CODEC_BIN,
     ) -> None:
-        """Dial every worker socket, negotiate codecs, validate configs."""
-        paths = list(socket_paths)
+        """Dial every worker endpoint, negotiate codecs, validate configs.
+
+        ``endpoints`` accepts ``unix:<path>`` / ``tcp:<host>:<port>``
+        strings; bare socket paths keep working (normalised to unix).
+        """
+        paths = list(endpoints)
         if len(paths) != self.spec.num_workers:
             raise ModelError(
                 f"spec names {self.spec.num_workers} workers but "
-                f"{len(paths)} socket paths were given"
+                f"{len(paths)} socket paths / endpoints were given"
             )
         try:
             for index, path in enumerate(paths):
@@ -907,6 +952,7 @@ class ClusterRouter:
                     heartbeat_every=self.heartbeat_every,
                     heartbeat_timeout=self.heartbeat_timeout,
                     trace=self.trace,
+                    liveness=self.liveness,
                 )
                 await slot.open()
                 self._slots.append(slot)
@@ -926,11 +972,23 @@ class ClusterRouter:
         )
         self._servers.append(server)
 
-    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> int:
-        """Start accepting tenants on TCP; returns the bound port."""
+    async def start_tcp(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        reuse_port: bool = False,
+    ) -> int:
+        """Start accepting tenants on TCP; returns the bound port.
+
+        ``reuse_port=True`` binds with ``SO_REUSEPORT`` so several
+        router replicas can share one port — with the data plane gone
+        direct, the router is a stateless-enough control plane that the
+        kernel can spread handshake/barrier connections across replicas.
+        """
         self._require_links()
         server = await asyncio.start_server(
-            self._handle_connection, host=host, port=port
+            self._handle_connection, host=host, port=port,
+            reuse_port=reuse_port or None,
         )
         self._servers.append(server)
         return server.sockets[0].getsockname()[1]
@@ -1036,7 +1094,39 @@ class ClusterRouter:
                 "workers": spec.num_workers,
                 "shards_per_worker": spec.shards_per_worker,
                 "worker_ranges": [list(r) for r in spec.worker_ranges],
+                "direct": True,
+                "transport": spec.transport,
             },
+        }
+
+    @property
+    def route_epoch(self) -> int:
+        """The fleet's routing epoch: total successful respawns.
+
+        Endpoints are stable across respawns (same socket file / same
+        port), so what a direct client must notice after a ``kill -9``
+        is not a moved address but a *new process* behind the old one —
+        the epoch moves exactly when that happens, and a ``route`` call
+        carrying a stale epoch gets a typed ``stale-route`` error
+        telling the client to re-handshake.
+        """
+        return sum(slot.respawns_done for slot in self._slots)
+
+    def route_table(self) -> dict:
+        """The ``route`` reply: resource->worker map plus data endpoints."""
+        liveness = self.liveness.states()
+        workers = self.spec.route_workers(
+            [slot.path for slot in self._slots]
+        )
+        for slot, row in zip(self._slots, workers):
+            row["epoch"] = slot.respawns_done
+            row["state"] = slot.state
+            row["liveness"] = liveness[slot.index]
+        return {
+            "epoch": self.route_epoch,
+            "num_resources": self.spec.num_resources,
+            "transport": self.spec.transport,
+            "workers": workers,
         }
 
     def _route_mutation(
@@ -1134,6 +1224,21 @@ class ClusterRouter:
         return kept
 
     async def _control(self, op: str, payload: dict | None = None) -> dict:
+        if op == "route":
+            # The routing handshake and the heartbeat are one verb: a
+            # bare call returns the table, a call carrying the client's
+            # cached epoch doubles as a staleness check — if supervision
+            # replaced a worker since, the typed error tells the client
+            # to drop its cached table and re-handshake.
+            known = (payload or {}).get("epoch")
+            current = self.route_epoch
+            if known is not None and int(known) != current:
+                raise ServeError(
+                    "stale-route",
+                    f"routing epoch moved {int(known)} -> {current}; "
+                    "re-handshake",
+                )
+            return self.route_table()
         if op == "stats":
             results = await self._broadcast("stats")
             return {
@@ -1265,6 +1370,15 @@ class ClusterRouter:
                 "recovering or gone.",
                 worker=worker,
             ).set(1.0 if link.state == "up" else 0.0)
+            registry.gauge(
+                "cluster_worker_liveness",
+                help="Beat-derived liveness: 2 up, 1 suspect, 0 dead.",
+                worker=worker,
+            ).set(
+                {LIVE_UP: 2.0, LIVE_SUSPECT: 1.0}.get(
+                    self.liveness.state(link.index), 0.0
+                )
+            )
             registry.counter(
                 "cluster_worker_respawns_total",
                 help="Worker restarts supervision completed successfully.",
@@ -1312,6 +1426,7 @@ class ClusterRouter:
                     "slot": slot.state,
                     "inflight": slot.inflight,
                     "respawns": slot.respawns_done,
+                    "liveness": self.liveness.state(slot.index),
                 }
                 for slot in self._slots
             ],

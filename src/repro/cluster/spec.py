@@ -29,6 +29,38 @@ from ..core.lease import LeaseSchedule
 from ..engine.scenarios import shard_ranges
 from ..errors import ModelError
 
+#: Worker transports a cluster can run its data plane over.
+TRANSPORTS: tuple[str, ...] = ("unix", "tcp")
+
+
+def format_endpoint(kind: str, *address) -> str:
+    """Render a worker endpoint string: ``unix:<path>`` / ``tcp:<host>:<port>``."""
+    if kind == "unix":
+        (path,) = address
+        return f"unix:{path}"
+    if kind == "tcp":
+        host, port = address
+        return f"tcp:{host}:{int(port)}"
+    raise ModelError(f"unknown endpoint kind {kind!r}; known: {TRANSPORTS}")
+
+
+def parse_endpoint(endpoint: str) -> tuple[str, tuple]:
+    """Split an endpoint string into ``(kind, address)``.
+
+    ``unix:<path>`` parses to ``("unix", (path,))`` and
+    ``tcp:<host>:<port>`` to ``("tcp", (host, port))``.  A bare path
+    (no recognised scheme) is taken as a unix socket so every
+    pre-endpoint caller that passed socket paths keeps working.
+    """
+    if endpoint.startswith("unix:"):
+        return "unix", (endpoint[len("unix:"):],)
+    if endpoint.startswith("tcp:"):
+        host, sep, port = endpoint[len("tcp:"):].rpartition(":")
+        if not sep or not port.isdigit():
+            raise ModelError(f"malformed tcp endpoint {endpoint!r}")
+        return "tcp", (host, int(port))
+    return "unix", (endpoint,)
+
 
 @dataclass(frozen=True)
 class ClusterSpec:
@@ -68,6 +100,11 @@ class ClusterSpec:
             dispatch span per op — trace-context-linked when the frame
             carried one — and ``engine trace-tree`` can merge the
             fleet's files into causal trees.
+        transport: what the workers listen on — ``unix`` (socket files
+            next to the router's) or ``tcp`` (loopback ports, the
+            remote-host shape).  Routing is transport-blind; the choice
+            only decides the endpoint strings the ``route`` handshake
+            hands to direct clients.
     """
 
     num_resources: int
@@ -82,8 +119,13 @@ class ClusterSpec:
     snapshot_every: int | None = None
     worker_metrics: bool = False
     trace_root: str | None = None
+    transport: str = "unix"
 
     def __post_init__(self) -> None:
+        if self.transport not in TRANSPORTS:
+            raise ModelError(
+                f"unknown transport {self.transport!r}; known: {TRANSPORTS}"
+            )
         if self.num_resources < 1:
             raise ModelError("num_resources must be >= 1")
         if self.num_workers < 1:
@@ -157,6 +199,29 @@ class ClusterSpec:
             worker * self.shards_per_worker,
             (worker + 1) * self.shards_per_worker,
         )
+
+    def route_workers(self, endpoints) -> list[dict]:
+        """The data-plane half of a ``route`` reply: one row per worker.
+
+        Each row pairs a worker's contiguous resource range (derived
+        from the global shard tiling, so it is exactly what
+        :meth:`worker_of` would answer) with the endpoint a direct
+        client should dial.  The router decorates these rows with
+        per-worker epochs and liveness before answering.
+        """
+        if len(endpoints) != self.num_workers:
+            raise ModelError(
+                f"spec wants {self.num_workers} endpoints, "
+                f"got {len(endpoints)}"
+            )
+        return [
+            {
+                "index": w,
+                "range": list(self.worker_ranges[w]),
+                "endpoint": endpoints[w],
+            }
+            for w in range(self.num_workers)
+        ]
 
     def schedule(self) -> LeaseSchedule:
         """The lease schedule every worker broker is built from."""

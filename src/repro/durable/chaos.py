@@ -52,6 +52,7 @@ def build_chaos_instance(
     fsync: str = "always",
     snapshot_every: int | None = None,
     tick_every: int = 32,
+    topology: str = "routed",
 ) -> ClusterInstance:
     """A cluster instance shaped for fault injection.
 
@@ -61,6 +62,11 @@ def build_chaos_instance(
     per-append fsync makes *acked* ops survive ``SIGKILL``; weaker modes
     trade that away for throughput and would fail the byte-identity
     gate whenever a kill lands inside an unsynced batch.
+
+    ``topology="direct"`` drives the kills against the two-plane shape:
+    tenants hold direct worker connections, so a kill severs *their*
+    links too, and recovery exercises the client-side stale-route
+    re-handshake + marked resend on top of the router's supervision.
     """
     return build_cluster_instance(
         workload,
@@ -75,6 +81,7 @@ def build_chaos_instance(
         wal_root=wal_root,
         fsync=fsync,
         snapshot_every=snapshot_every,
+        topology=topology,
     )
 
 

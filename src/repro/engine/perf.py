@@ -22,7 +22,10 @@ This module makes the trajectory a first-class artifact:
   cycle bare vs with the whole live-debugging layer lit at once —
   metrics, JSONL trace spans, the history sampling ring, the sampling
   profiler running, and an admin scraper additionally polling
-  ``/metrics/history`` + ``/profile`` — pricing in-flight debugging) at
+  ``/metrics/history`` + ``/profile`` — pricing in-flight debugging;
+  ``p09_direct``: the p04 clustered workload rated twice in the same
+  run — data plane relayed through the router vs sent direct to the
+  owning workers after a route handshake — pricing the router hop) at
   one of three sizes (``full`` —
   the committed trajectory numbers, ``smoke`` — CI-sized, ``unit`` —
   test-sized) and returns a JSON-ready record.
@@ -42,6 +45,8 @@ This module makes the trajectory a first-class artifact:
   p06 gates durability the same way: batch-fsynced serving must keep
   at least 80% of the WAL-off rate measured in the same run
   (per-append fsync is recorded, not gated — its cost is the disk's).
+  p09 gates the topology split: on a multi-core machine the direct
+  data plane must at least match the routed relay from the same run.
 * :func:`check` compares a fresh record against the committed file with
   a relative tolerance (default 30%) and returns human-readable
   failures; CI runs it in smoke mode and fails on any.
@@ -72,7 +77,7 @@ from .scenarios import make_broker_scenario, register
 SCHEMA = "repro-bench/1"
 BENCH_NAMES = (
     "p01_broker", "p02_runner", "p03_serve", "p04_cluster", "p05_obs",
-    "p06_durable", "p07_admin", "p08_flight",
+    "p06_durable", "p07_admin", "p08_flight", "p09_direct",
 )
 MODES = ("full", "smoke", "unit")
 DEFAULT_TOLERANCE = 0.30
@@ -100,6 +105,7 @@ BENCH_FILES = {
     "p06_durable": "benchmarks/BENCH_p06_durable.json",
     "p07_admin": "benchmarks/BENCH_p07_admin.json",
     "p08_flight": "benchmarks/BENCH_p08_flight.json",
+    "p09_direct": "benchmarks/BENCH_p09_direct.json",
 }
 
 # P1 stream shape (mirrors bench_p01_broker_throughput).
@@ -185,6 +191,18 @@ _P08_POLL_PATHS = (
     "/metrics/history?window=30",
     "/profile?seconds=0.05",
 )
+
+# P9 topology shape: the P4 clustered workload, rated twice in the same
+# run — data plane relayed through the router vs direct to the owning
+# workers after a route handshake.  Arms interleave round by round
+# because the gated quantity is a ratio of two wall clocks.
+_P09_HORIZON = {"full": 2048, "smoke": 512, "unit": 96}
+_P09_RESOURCES = {"full": 16, "smoke": 8, "unit": 4}
+_P09_WORKERS = {"full": 2, "smoke": 2, "unit": 2}
+_P09_SHARDS_PER_WORKER = {"full": 2, "smoke": 2, "unit": 1}
+_P09_ROUNDS = {"full": 3, "smoke": 2, "unit": 1}
+_P09_TENANTS_PER_RESOURCE = 2
+_P09_SEED = 7
 
 
 def _require_mode(mode: str) -> None:
@@ -1003,6 +1021,119 @@ def measure_p08(mode: str = "smoke") -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# P9: direct data plane vs routed relay (two-arm cluster topology)
+# ----------------------------------------------------------------------
+def measure_p09(mode: str = "smoke") -> dict:
+    """Clustered serving, routed vs direct, from the same run.
+
+    Two arms over the identical ``p04``-shaped instance, interleaved so
+    machine drift hits both:
+
+    * ``routed`` — every tenant mutation relays through the router (the
+      pre-direct shape; the baseline arm).
+    * ``direct`` — tenants perform the route handshake, then send
+      acquire/renew/release straight to the owning worker; the router
+      keeps only ticks, barriers, and supervision.
+
+    Each arm is a full :func:`~repro.cluster.loadgen.cluster_once`
+    cycle; the rated seconds are the drive phase alone, best of
+    ``rounds`` per arm.  ``direct_ratio`` is the direct arm's speedup
+    over the routed arm (routed wall clock / direct wall clock) — the
+    headline number, gated ``>= 1.0`` on multi-core machines only:
+    removing the router hop must pay where there are cores to pay with,
+    while a single-core box serialises both arms and the record says so
+    via ``cpus``.  Both arms must stay byte-identical to the inline
+    replay (``report_equal``) and to *each other* on cost, leases, and
+    broker counters (``reports_identical``) — the topology moves bytes,
+    never behaviour.
+    """
+    _require_mode(mode)
+    from dataclasses import replace
+
+    from ..cluster.loadgen import (
+        build_cluster_instance,
+        cluster_once,
+        run_cluster_instance,
+        verify_cluster,
+    )
+
+    routed = build_cluster_instance(
+        "markov",
+        _P09_HORIZON[mode],
+        _P09_SEED,
+        num_resources=_P09_RESOURCES[mode],
+        tenants_per_resource=_P09_TENANTS_PER_RESOURCE,
+        num_workers=_P09_WORKERS[mode],
+        shards_per_worker=_P09_SHARDS_PER_WORKER[mode],
+        topology="routed",
+    )
+    arms = {"routed": routed, "direct": replace(routed, topology="direct")}
+    best: dict = {arm: None for arm in arms}
+    reports: dict = {arm: None for arm in arms}
+    for _ in range(_P09_ROUNDS[mode]):
+        for arm, instance in arms.items():
+            report = cluster_once(instance)
+            elapsed = report["drive_seconds"]
+            if best[arm] is None or elapsed < best[arm]:
+                best[arm] = elapsed
+                reports[arm] = report
+    results = {
+        arm: run_cluster_instance(arms[arm], _P09_SEED, report=reports[arm])
+        for arm in arms
+    }
+    base = results["routed"]
+    reports_identical = all(
+        result.cost == base.cost
+        and result.leases == base.leases
+        and result.detail["broker_stats"] == base.detail["broker_stats"]
+        for result in results.values()
+    )
+    events = base.detail["broker_stats"]["events"]
+    report_equal = all(
+        result.detail["cluster"]["report_equal"]
+        for result in results.values()
+    )
+    verified = all(
+        verify_cluster(arms[arm], result).ok
+        for arm, result in results.items()
+    )
+    return {
+        "schema": SCHEMA,
+        "bench": "p09_direct",
+        "mode": mode,
+        "params": {
+            "horizon": _P09_HORIZON[mode],
+            "num_resources": _P09_RESOURCES[mode],
+            "tenants_per_resource": _P09_TENANTS_PER_RESOURCE,
+            "num_workers": _P09_WORKERS[mode],
+            "shards_per_worker": _P09_SHARDS_PER_WORKER[mode],
+            "codec": routed.codec,
+            "rounds": _P09_ROUNDS[mode],
+            "seed": _P09_SEED,
+        },
+        "metrics": {
+            "events": events,
+            "requests": reports["routed"]["requests"],
+            "tenants": len(routed.tenants),
+            "workers": routed.num_workers,
+            "leases": len(base.leases),
+            "cost": base.cost,
+            "routed_elapsed_sec": round(best["routed"], 4),
+            "direct_elapsed_sec": round(best["direct"], 4),
+            "routed_events_per_sec": round(events / best["routed"]),
+            "direct_events_per_sec": round(events / best["direct"]),
+            "direct_ratio": round(best["routed"] / best["direct"], 4),
+            "handshakes": reports["direct"].get("handshakes", 0),
+            "retried_ops": reports["direct"].get("retried_ops", 0),
+            "reports_identical": reports_identical,
+            "report_equal": report_equal,
+            "verified": verified,
+        },
+        "env": _environment(),
+    }
+
+
 _MEASURERS = {
     "p01_broker": measure_p01,
     "p02_runner": measure_p02,
@@ -1012,6 +1143,7 @@ _MEASURERS = {
     "p06_durable": measure_p06,
     "p07_admin": measure_p07,
     "p08_flight": measure_p08,
+    "p09_direct": measure_p09,
 }
 
 
@@ -1079,6 +1211,7 @@ _RATE_GATES = {
     "p06_durable": ("off_events_per_sec", "batch_events_per_sec"),
     "p07_admin": ("bare_events_per_sec", "admin_events_per_sec"),
     "p08_flight": ("off_events_per_sec", "flight_events_per_sec"),
+    "p09_direct": ("routed_events_per_sec", "direct_events_per_sec"),
 }
 _EXACT_GATES = {
     "p01_broker": ("events", "leases"),
@@ -1097,6 +1230,9 @@ _EXACT_GATES = {
     "p08_flight": (
         "events", "leases", "layers_lit", "reports_identical",
         "report_equal", "verified",
+    ),
+    "p09_direct": (
+        "events", "leases", "reports_identical", "report_equal", "verified",
     ),
 }
 
@@ -1211,4 +1347,17 @@ def check(
                 f"{FLIGHT_OVERHEAD_FLOOR:.0%} of the bare rate "
                 f"(ratio ceiling {ceiling:.4f})"
             )
+    if (
+        bench == "p09_direct"
+        and record["env"]["cpus"] > 1
+        and entry["env"]["cpus"] > 1
+        and fresh["direct_ratio"] < 1.0
+    ):
+        failures.append(
+            f"p09_direct/{mode}: the direct data plane no longer beats "
+            f"the routed relay ({fresh['direct_events_per_sec']:,} < "
+            f"{fresh['routed_events_per_sec']:,} events/sec, ratio "
+            f"{fresh['direct_ratio']}) on a "
+            f"{record['env']['cpus']}-core machine"
+        )
     return failures

@@ -24,12 +24,19 @@ sharing one Python call stack.
   perf benchmark.
 """
 
-from .client import AsyncClientPool, AsyncLeaseClient, LeaseClient
+from .client import (
+    AsyncClientPool,
+    AsyncLeaseClient,
+    DirectLeaseClient,
+    LeaseClient,
+    parse_worker_endpoint,
+)
 from .loadgen import (
     ServeInstance,
     build_serve_instance,
     compare_with_inline,
     drive_tenants,
+    drive_tenants_direct,
     merge_shard_payloads,
     replay_applied,
     run_serve_instance,
@@ -60,6 +67,7 @@ __all__ = [
     "CODEC_BIN",
     "CODEC_JSON",
     "CODECS",
+    "DirectLeaseClient",
     "FrameDecoder",
     "LeaseClient",
     "LeaseRetryError",
@@ -77,9 +85,11 @@ __all__ = [
     "build_serve_instance",
     "compare_with_inline",
     "drive_tenants",
+    "drive_tenants_direct",
     "encode_frame",
     "merge_shard_payloads",
     "negotiate_codec",
+    "parse_worker_endpoint",
     "replay_applied",
     "run_serve_instance",
     "serve_once",

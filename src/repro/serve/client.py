@@ -4,7 +4,11 @@
 use: one connection, any number of in-flight requests, responses matched
 back to awaiting callers by request id by a background reader task.
 :class:`AsyncClientPool` spreads calls round-robin over a fixed set of
-such connections.  :class:`LeaseClient` is the blocking counterpart for
+such connections.  :class:`DirectLeaseClient` is the two-plane cluster
+client: it performs the routing handshake (the ``route`` verb) against
+a cluster router, then sends mutations straight to the owning worker
+over per-worker links, keeping the router only for ticks, barriers,
+and staleness probes.  :class:`LeaseClient` is the blocking counterpart for
 synchronous callers (scripts, tests, CLIs without an event loop): one
 socket, sequential calls, an explicit :meth:`LeaseClient.pipeline` for
 batched round trips, and optional transparent reconnect — a call that
@@ -26,6 +30,7 @@ response and falls back to JSON against servers that do not speak it.
 from __future__ import annotations
 
 import asyncio
+import bisect
 import itertools
 import random
 import socket
@@ -383,6 +388,325 @@ class AsyncClientPool:
     async def close(self) -> None:
         for client in self._clients:
             await client.close()
+
+
+def parse_worker_endpoint(endpoint: str) -> tuple[str, tuple]:
+    """Split a ``route`` endpoint string into ``(kind, address)``.
+
+    ``unix:<path>`` -> ``("unix", (path,))``, ``tcp:<host>:<port>`` ->
+    ``("tcp", (host, port))``; a bare path is taken as a unix socket.
+    Kept local rather than imported from :mod:`repro.cluster.spec` —
+    the serve layer must not import the cluster layer (the cluster is
+    built on top of it), and these few lines are the whole shared
+    grammar.
+    """
+    if endpoint.startswith("unix:"):
+        return "unix", (endpoint[len("unix:"):],)
+    if endpoint.startswith("tcp:"):
+        host, sep, port = endpoint[len("tcp:"):].rpartition(":")
+        if not sep or not port.isdigit():
+            raise ModelError(f"malformed tcp endpoint {endpoint!r}")
+        return "tcp", (host, int(port))
+    return "unix", (endpoint,)
+
+
+class DirectLeaseClient:
+    """Two-plane cluster client: control via the router, data direct.
+
+    The routed data path pays a relay per mutation; this client removes
+    it.  At open it performs the *routing handshake* — a ``route`` call
+    on the control connection returning the resource→worker map (derived
+    from the cluster spec's shard tiling) plus each worker's endpoint —
+    and then sends every ``acquire``/``renew``/``release`` straight to
+    the owning worker over a lazily-dialed per-worker link.  The router
+    stays in the loop only as the control plane: ticks, stats/report/
+    trace/drain barriers, and the handshake itself.
+
+    Staleness is epoch-based.  Worker endpoints are stable across
+    supervised respawns (same socket file / same port), so the hazard
+    after a ``kill -9`` is a *new process* behind the old address; the
+    route table's ``epoch`` (total respawns fleet-wide) moves exactly
+    then.  A mutation that hits a dead link re-handshakes — repeatedly,
+    within ``recover_for``, until the route table shows the owning
+    worker ``up`` again — redials, and resends the op *marked*
+    ``retry=True``, so a WAL'd worker's applied-identity dedup answers
+    an already-applied op from its log instead of applying it twice:
+    exactly-once, end to end, without the router buffering anything.
+    Closed-loop tenants have at most one op in flight, so the resend
+    can never reorder a tenant's stream.
+
+    ``heartbeat_every`` (seconds), when set, starts a background task
+    that periodically repeats the ``route`` call carrying the cached
+    epoch — a liveness beat for the router's tracker and an early
+    staleness probe for the client (a ``stale-route`` answer triggers
+    re-handshake before the data path ever notices).  Tests drive the
+    same probe deterministically through :meth:`check_route`.
+    """
+
+    def __init__(
+        self,
+        control: AsyncLeaseClient,
+        codec: str | None = None,
+        retry_for: float = 5.0,
+        recover_for: float = 60.0,
+        heartbeat_every: float | None = None,
+        trace: TraceSink | None = None,
+    ):
+        self._control = control
+        self._codec = codec
+        self._retry_for = retry_for
+        self._recover_for = recover_for
+        self._trace = trace
+        self._route: dict | None = None
+        self._los: list[int] = []
+        self._links: dict[int, AsyncLeaseClient] = {}
+        self._dial_locks: dict[int, asyncio.Lock] = {}
+        self._handshake_lock = asyncio.Lock()
+        #: Route handshakes performed (1 = the opening one).
+        self.handshakes = 0
+        #: Mutations resent (marked ``retry``) after a dead data link.
+        self.retried_ops = 0
+        self._heartbeat_task: asyncio.Task | None = None
+        if heartbeat_every is not None:
+            self._heartbeat_task = asyncio.create_task(
+                self._heartbeat_loop(heartbeat_every)
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    async def open_unix(
+        cls, path: str, retry_for: float = 5.0, codec: str | None = None,
+        recover_for: float = 60.0, heartbeat_every: float | None = None,
+        trace: TraceSink | None = None,
+    ) -> "DirectLeaseClient":
+        control = await AsyncLeaseClient.open_unix(
+            path, retry_for=retry_for, codec=codec, trace=trace
+        )
+        client = cls(
+            control, codec=codec, retry_for=retry_for,
+            recover_for=recover_for, heartbeat_every=heartbeat_every,
+            trace=trace,
+        )
+        await client.handshake()
+        return client
+
+    @classmethod
+    async def open_tcp(
+        cls, host: str, port: int, retry_for: float = 5.0,
+        codec: str | None = None, recover_for: float = 60.0,
+        heartbeat_every: float | None = None,
+        trace: TraceSink | None = None,
+    ) -> "DirectLeaseClient":
+        control = await AsyncLeaseClient.open_tcp(
+            host, port, retry_for=retry_for, codec=codec, trace=trace
+        )
+        client = cls(
+            control, codec=codec, retry_for=retry_for,
+            recover_for=recover_for, heartbeat_every=heartbeat_every,
+            trace=trace,
+        )
+        await client.handshake()
+        return client
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int | None:
+        """The cached routing epoch; ``None`` before the handshake."""
+        return None if self._route is None else self._route["epoch"]
+
+    @property
+    def route(self) -> dict | None:
+        """The cached route table, verbatim from the last handshake."""
+        return self._route
+
+    def _install(self, table: dict) -> None:
+        workers = sorted(table["workers"], key=lambda row: row["index"])
+        old = self._route
+        self._route = dict(table, workers=workers)
+        self._los = [row["range"][0] for row in workers]
+        if old is None:
+            return
+        # Endpoints are stable, processes are not: a worker whose
+        # per-slot epoch moved is a *different process* behind the same
+        # address, and the cached link points at its corpse.
+        by_index = {row["index"]: row for row in old["workers"]}
+        for row in workers:
+            stale = by_index.get(row["index"])
+            if stale is not None and stale.get("epoch") != row.get("epoch"):
+                self._drop_link(row["index"])
+
+    def _drop_link(self, index: int) -> None:
+        link = self._links.pop(index, None)
+        if link is not None:
+            asyncio.ensure_future(link.close())
+
+    async def handshake(self) -> dict:
+        """(Re)fetch the route table from the router and install it."""
+        async with self._handshake_lock:
+            table = await self._control.call("route")
+            self._install(table)
+            self.handshakes += 1
+            return self._route
+
+    async def check_route(self) -> bool:
+        """One heartbeat: probe the cached epoch, re-handshake if stale.
+
+        Returns ``True`` when the probe found the table stale (and the
+        re-handshake installed a fresh one) — the deterministic form of
+        what the background heartbeat does on a timer.
+        """
+        if self._route is None:
+            await self.handshake()
+            return True
+        try:
+            await self._control.call("route", epoch=self._route["epoch"])
+            return False
+        except ServeError as exc:
+            if exc.kind != "stale-route":
+                raise
+            await self.handshake()
+            return True
+
+    async def _heartbeat_loop(self, every: float) -> None:
+        while True:
+            await asyncio.sleep(every)
+            try:
+                await self.check_route()
+            except (ConnectionError, OSError, ServeError):
+                # The control link itself may be mid-restart; the next
+                # beat (or the data path's own recovery) retries.
+                pass
+
+    def worker_of(self, resource: int) -> int:
+        """The worker index owning ``resource`` per the cached table."""
+        if self._route is None:
+            raise ModelError("route handshake has not completed")
+        if not 0 <= resource < self._route["num_resources"]:
+            raise ModelError(
+                f"resource {resource} outside "
+                f"[0, {self._route['num_resources']})"
+            )
+        return bisect.bisect_right(self._los, resource) - 1
+
+    async def _link(self, index: int) -> AsyncLeaseClient:
+        link = self._links.get(index)
+        if link is not None:
+            return link
+        lock = self._dial_locks.setdefault(index, asyncio.Lock())
+        async with lock:
+            link = self._links.get(index)
+            if link is None:
+                link = await self._dial(
+                    self._route["workers"][index]["endpoint"]
+                )
+                self._links[index] = link
+            return link
+
+    async def _dial(self, endpoint: str) -> AsyncLeaseClient:
+        kind, address = parse_worker_endpoint(endpoint)
+        if kind == "unix":
+            return await AsyncLeaseClient.open_unix(
+                address[0], retry_for=self._retry_for, codec=self._codec,
+                trace=self._trace,
+            )
+        return await AsyncLeaseClient.open_tcp(
+            address[0], address[1], retry_for=self._retry_for,
+            codec=self._codec, trace=self._trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    async def _mutate(self, op: str, tenant: str, resource: int, when: int):
+        index = self.worker_of(resource)
+        try:
+            link = await self._link(index)
+            return await link.call(
+                op, tenant=tenant, resource=resource, time=when
+            )
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            return await self._recover_and_resend(
+                op, index, tenant=tenant, resource=resource, time=when
+            )
+
+    async def _recover_and_resend(self, op: str, index: int, **fields):
+        """Ride through a worker death: re-handshake, redial, resend once.
+
+        The original send raced the worker's death, so whether the op
+        was applied is unknowable from here — the resend carries the
+        ``retry`` marker and the recovered worker's applied-identity
+        dedup makes the pair exactly-once.  Keeps re-handshaking (the
+        router's supervision is respawning the worker meanwhile) until
+        the table shows the owner ``up`` and a fresh dial succeeds, for
+        at most ``recover_for`` seconds.
+        """
+        self._drop_link(index)
+        deadline = time.monotonic() + self._recover_for
+        delay = CONNECT_BACKOFF_BASE
+        while True:
+            try:
+                table = await self.handshake()
+                row = table["workers"][index]
+                if row.get("state", "up") == "up":
+                    link = await self._link(index)
+                    result = await link.call(op, retry=True, **fields)
+                    self.retried_ops += 1
+                    return result
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                self._drop_link(index)
+            now = time.monotonic()
+            if now >= deadline:
+                raise LeaseRetryError(
+                    f"{op!r} not recoverable: worker {index} did not come "
+                    f"back within {self._recover_for}s",
+                    attempts=1,
+                )
+            sleep, delay = _next_backoff(delay)
+            await asyncio.sleep(min(sleep, deadline - now))
+
+    # ------------------------------------------------------------------
+    # Op surface (mutations direct, control via the router)
+    # ------------------------------------------------------------------
+    async def acquire(self, tenant: str, resource: int, time: int) -> dict:
+        return await self._mutate("acquire", tenant, resource, time)
+
+    async def renew(self, tenant: str, resource: int, time: int) -> dict:
+        return await self._mutate("renew", tenant, resource, time)
+
+    async def release(self, tenant: str, resource: int, time: int) -> dict:
+        return await self._mutate("release", tenant, resource, time)
+
+    async def tick(self, time: int) -> dict:
+        return await self._control.tick(time)
+
+    async def stats(self) -> dict:
+        return await self._control.stats()
+
+    async def report(self) -> dict:
+        return await self._control.report()
+
+    @property
+    def connect_attempts(self) -> int:
+        """Dial attempts across the control and all data connections."""
+        return self._control.connect_attempts + sum(
+            link.connect_attempts for link in self._links.values()
+        )
+
+    async def close(self) -> None:
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for index in list(self._links):
+            link = self._links.pop(index)
+            await link.close()
+        await self._control.close()
 
 
 class LeaseClient:

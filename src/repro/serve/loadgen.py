@@ -70,7 +70,7 @@ from ..engine.scenarios import (
 from ..errors import ModelError
 from ..obs.metrics import Histogram, MetricsRegistry
 from ..obs.trace import TraceSink
-from .client import AsyncLeaseClient
+from .client import AsyncLeaseClient, DirectLeaseClient
 from .server import LeaseServer
 
 #: Histogram family the loadgen samples client-observed op latency into,
@@ -288,6 +288,108 @@ async def drive_tenants(
     report["requests"] = requests
     report["connect_attempts"] = control.connect_attempts + sum(
         client.connect_attempts for client in clients.values()
+    )
+    return report
+
+
+async def drive_tenants_direct(
+    instance: ServeInstance,
+    socket_path: str,
+    retry_for: float = 5.0,
+    codec: str | None = None,
+    latency_registry: MetricsRegistry | None = None,
+    on_day=None,
+    client_trace: TraceSink | None = None,
+    recover_for: float = 60.0,
+) -> dict:
+    """Drive a *cluster router* at ``socket_path`` over direct data paths.
+
+    The two-plane counterpart of :func:`drive_tenants`: each tenant is a
+    :class:`~repro.serve.client.DirectLeaseClient` that handshakes with
+    the router once (the ``route`` verb) and then sends its acquires,
+    renews, and releases straight to the owning worker; the router only
+    sees the ticks, the final ``report`` barrier, and the handshakes.
+
+    The determinism argument is unchanged.  The coordinator still steps
+    the fleet bulk-synchronously — the day's tick is awaited on the
+    control connection *before* any tenant fires, and the tick barrier
+    completes on every worker before it answers, so every direct
+    mutation a tenant then sends lands behind the tick in its worker's
+    dispatch queue; the releases/acquires phase barriers do the rest.
+    Within a phase, direct ops on distinct (tenant, resource) keys
+    interleave arbitrarily — exactly the interleaving freedom the routed
+    drive admits, and the one the broker's outcome is invariant under.
+    A worker killed mid-drive surfaces as a dead link; the tenant's
+    client re-handshakes until supervision brings the worker back and
+    resends the op retry-marked, which the recovered worker's
+    applied-identity dedup makes exactly-once (see
+    :class:`~repro.serve.client.DirectLeaseClient`).
+
+    Returns the same shape as :func:`drive_tenants`, plus
+    ``handshakes`` (route calls across all tenants) and ``retried_ops``
+    (mutations resent after a worker death).
+    """
+    control = await AsyncLeaseClient.open_unix(
+        socket_path, retry_for=retry_for, codec=codec, trace=client_trace
+    )
+    clients = {
+        tenant: await DirectLeaseClient.open_unix(
+            socket_path, retry_for=retry_for, codec=codec,
+            recover_for=recover_for, trace=client_trace,
+        )
+        for tenant in instance.tenants
+    }
+    hists: dict[str, Histogram] = {}
+    obs_clock = None
+    if latency_registry is not None and latency_registry.enabled:
+        obs_clock = latency_registry.clock
+        hists = {
+            tenant: latency_registry.histogram(
+                LOADGEN_LATENCY_METRIC,
+                help="Client-observed op round-trip latency, per tenant.",
+                tenant=tenant,
+            )
+            for tenant in instance.tenants
+        }
+    requests = 0
+    try:
+        for day, has_tick, releases, acquires in _day_schedule(
+            instance.trace.events
+        ):
+            if on_day is not None:
+                on_day(day)
+            if has_tick:
+                await control.tick(day)
+                requests += 1
+            for phase in (releases, acquires):
+                if not phase:
+                    continue
+                counts = await asyncio.gather(
+                    *(
+                        _tenant_burst(
+                            clients[tenant], events,
+                            hists.get(tenant), obs_clock,
+                        )
+                        for tenant, events in phase.items()
+                    )
+                )
+                requests += sum(counts)
+        report = await control.report()
+    finally:
+        for client in clients.values():
+            await client.close()
+        await control.close()
+        if client_trace is not None:
+            client_trace.flush()
+    report["requests"] = requests
+    report["connect_attempts"] = control.connect_attempts + sum(
+        client.connect_attempts for client in clients.values()
+    )
+    report["handshakes"] = sum(
+        client.handshakes for client in clients.values()
+    )
+    report["retried_ops"] = sum(
+        client.retried_ops for client in clients.values()
     )
     return report
 

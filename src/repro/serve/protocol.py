@@ -116,6 +116,7 @@ def negotiate_codec(requested: object) -> str:
 
 OPS: tuple[str, ...] = (
     "hello",
+    "route",
     "acquire",
     "renew",
     "release",
@@ -140,6 +141,7 @@ ERROR_KINDS: tuple[str, ...] = (
     "draining",
     "backpressure",
     "unavailable",
+    "stale-route",
 )
 
 

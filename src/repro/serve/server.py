@@ -509,11 +509,22 @@ class LeaseServer:
         )
         self._servers.append(server)
 
-    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> int:
-        """Start serving on TCP; returns the bound port."""
+    async def start_tcp(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        reuse_port: bool = False,
+    ) -> int:
+        """Start serving on TCP; returns the bound port.
+
+        ``reuse_port=True`` binds with ``SO_REUSEPORT`` so replicas can
+        share a port (the cluster router uses this for its control
+        plane; a lone lease server rarely wants it).
+        """
         self._ensure_workers()
         server = await asyncio.start_server(
-            self._handle_connection, host=host, port=port
+            self._handle_connection, host=host, port=port,
+            reuse_port=reuse_port or None,
         )
         self._servers.append(server)
         return server.sockets[0].getsockname()[1]
@@ -974,6 +985,14 @@ class LeaseServer:
     async def _control(self, op: str, payload: dict | None = None) -> dict:
         # `hello` never reaches here: the connection loop intercepts it
         # (codec negotiation needs the payload for codec negotiation).
+        if op == "route":
+            # In the protocol for the cluster router's handshake; a
+            # lone server has no fleet to hand out.
+            raise ServeError(
+                "protocol",
+                "route needs a cluster router; this is a single lease "
+                "server — dial it directly",
+            )
         if op == "stats":
             return {
                 "state": self._state,

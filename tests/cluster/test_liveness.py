@@ -1,0 +1,107 @@
+"""The worker liveness state machine, driven entirely by a fake clock —
+zero wall-clock sleeps, states computed on read."""
+
+import pytest
+
+from repro.cluster import (
+    LIVE_DEAD,
+    LIVE_SUSPECT,
+    LIVE_UP,
+    WorkerLiveness,
+)
+from repro.errors import ModelError
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def fleet(clock):
+    return WorkerLiveness(2, suspect_after=4.0, dead_after=10.0, clock=clock)
+
+
+class TestStateMachine:
+    def test_every_worker_starts_up(self, fleet):
+        assert fleet.states() == [LIVE_UP, LIVE_UP]
+        assert fleet.silence(0) == 0.0
+
+    def test_silence_walks_up_suspect_dead(self, clock, fleet):
+        """The full decline: a missed heartbeat turns the worker suspect
+        after ``suspect_after`` and dead after ``dead_after``, with no
+        beat and no sleep — only the clock moves."""
+        clock.advance(3.9)
+        assert fleet.state(0) == LIVE_UP
+        clock.advance(0.1)
+        assert fleet.state(0) == LIVE_SUSPECT  # exactly at the boundary
+        clock.advance(5.9)
+        assert fleet.state(0) == LIVE_SUSPECT
+        clock.advance(0.1)
+        assert fleet.state(0) == LIVE_DEAD
+        assert fleet.silence(0) == pytest.approx(10.0)
+
+    def test_beat_resets_the_timers(self, clock, fleet):
+        clock.advance(9.0)
+        assert fleet.state(0) == LIVE_SUSPECT
+        fleet.beat(0)
+        assert fleet.state(0) == LIVE_UP
+        assert fleet.silence(0) == 0.0
+        # The un-beaten neighbour keeps declining independently.
+        assert fleet.state(1) == LIVE_SUSPECT
+
+    def test_declare_dead_skips_the_timers(self, clock, fleet):
+        """Read-EOF (kill -9 observed directly) must not wait out
+        ``dead_after``: the declaration is immediate, and the next beat
+        — the respawned successor answering — clears it."""
+        fleet.declare_dead(1)
+        assert fleet.state(1) == LIVE_DEAD
+        assert fleet.states() == [LIVE_UP, LIVE_DEAD]
+        # Supervised respawn: the successor's first frame is a beat.
+        fleet.beat(1)
+        assert fleet.state(1) == LIVE_UP
+
+    def test_dead_by_silence_recovers_on_beat_too(self, clock, fleet):
+        clock.advance(30.0)
+        assert fleet.states() == [LIVE_DEAD, LIVE_DEAD]
+        fleet.beat(0)
+        assert fleet.states() == [LIVE_UP, LIVE_DEAD]
+
+
+class TestValidation:
+    def test_bounds_checked_everywhere(self, fleet):
+        for method in (fleet.beat, fleet.declare_dead, fleet.state,
+                       fleet.silence):
+            with pytest.raises(ModelError):
+                method(2)
+            with pytest.raises(ModelError):
+                method(-1)
+
+    def test_thresholds_must_be_ordered(self, clock):
+        with pytest.raises(ModelError):
+            WorkerLiveness(1, suspect_after=5.0, dead_after=5.0, clock=clock)
+        with pytest.raises(ModelError):
+            WorkerLiveness(1, suspect_after=0.0, dead_after=1.0, clock=clock)
+        with pytest.raises(ModelError):
+            WorkerLiveness(0, clock=clock)
+
+    def test_defaults_leave_heartbeat_headroom(self):
+        """The shipped thresholds must sit above the router's 2s
+        heartbeat so one delayed beat never flaps a healthy worker."""
+        from repro.cluster.liveness import DEAD_AFTER, SUSPECT_AFTER
+
+        assert SUSPECT_AFTER > 2.0
+        assert DEAD_AFTER > SUSPECT_AFTER

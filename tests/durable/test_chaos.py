@@ -102,3 +102,26 @@ class TestChaosRun:
         assert outcome.fsync == "always"
         assert outcome.requests > 0
         assert outcome.result.cost == pytest.approx(outcome.cost)
+
+    def test_direct_topology_sigkill_recovers_byte_identically(
+        self, sock_path
+    ):
+        """The same gate over the two-plane shape: tenants hold *direct*
+        worker links, so each kill severs their data connections too.
+        Recovery must compose the router's supervised respawn with the
+        clients' stale-route re-handshake and marked resend — and the
+        merged report must still equal the inline replay exactly."""
+        instance = _instance(sock_path + ".wal", topology="direct")
+        outcome = run_chaos(
+            instance, kill_schedule=default_kill_schedule(instance, kills=2)
+        )
+        assert outcome.executed == outcome.scheduled
+        assert len(outcome.executed) == 2
+        assert outcome.respawns >= 2
+        assert outcome.ok
+        detail = outcome.result.detail["cluster"]
+        assert detail["topology"] == "direct"
+        # Every tenant handshook at least once; the kills forced the
+        # severed ones back through the route table.
+        assert detail["handshakes"] >= len(instance.tenants)
+        assert detail["retried_ops"] >= 1

@@ -44,6 +44,11 @@ def p06_record():
     return perf.measure("p06_durable", "unit")
 
 
+@pytest.fixture(scope="module")
+def p09_record():
+    return perf.measure("p09_direct", "unit")
+
+
 class TestMeasure:
     def test_p01_record_shape(self, p01_record):
         assert p01_record["schema"] == perf.SCHEMA
@@ -140,6 +145,32 @@ class TestMeasure:
         for key in ("events", "leases", "tenants", "requests"):
             assert p06_record["metrics"][key] == p03_record["metrics"][key]
         assert p06_record["metrics"]["cost"] == p03_record["metrics"]["cost"]
+
+    def test_p09_record_shape(self, p09_record):
+        assert p09_record["bench"] == "p09_direct"
+        metrics = p09_record["metrics"]
+        # The topology moves bytes, never behaviour: both arms equal
+        # the inline replay and each other.
+        assert metrics["reports_identical"] is True
+        assert metrics["report_equal"] is True
+        assert metrics["verified"] is True
+        assert metrics["events"] > 0
+        assert metrics["events"] == metrics["requests"]
+        assert metrics["workers"] == p09_record["params"]["num_workers"] == 2
+        for arm in ("routed", "direct"):
+            assert metrics[f"{arm}_events_per_sec"] > 0
+        assert metrics["direct_ratio"] > 0
+        # Every tenant of the direct arm performed the route handshake.
+        assert metrics["handshakes"] >= metrics["tenants"]
+        assert metrics["retried_ops"] == 0  # nothing died
+
+    def test_p09_matches_p04_structure_exactly(self, p04_record, p09_record):
+        """Same workload, same seed, same fleet shape: both topologies
+        must apply exactly the events and pay exactly the cost the
+        routed cluster bench does."""
+        for key in ("events", "leases", "tenants", "requests"):
+            assert p09_record["metrics"][key] == p04_record["metrics"][key]
+        assert p09_record["metrics"]["cost"] == p04_record["metrics"]["cost"]
 
     def test_p03_is_deterministic_in_structure(self, p03_record):
         again = perf.measure("p03_serve", "unit")
@@ -313,6 +344,32 @@ class TestCheck:
         fine["metrics"]["batch_events_per_sec"] = 8_500
         assert not any(
             "batch-fsynced" in f for f in perf.check(committed, fine)
+        )
+
+    def test_p09_direct_beats_routed_gated_only_on_multicore(
+        self, p09_record
+    ):
+        """The direct data plane must at least match the routed relay
+        from the same run — but only where there are cores to pay with;
+        a 1-cpu box serialises both arms and is not gated."""
+        committed = self._committed(p09_record)
+        committed["modes"]["unit"]["env"]["cpus"] = 4
+        slow = copy.deepcopy(p09_record)
+        slow["env"]["cpus"] = 4
+        slow["metrics"]["direct_ratio"] = 0.9
+        failures = perf.check(committed, slow)
+        assert any("no longer beats the routed relay" in f for f in failures)
+        # Same record on a single-core machine: not gated.
+        solo = copy.deepcopy(slow)
+        solo["env"]["cpus"] = 1
+        assert not any(
+            "routed relay" in f for f in perf.check(committed, solo)
+        )
+        # A ratio at or above 1.0 passes on multi-core.
+        fine = copy.deepcopy(slow)
+        fine["metrics"]["direct_ratio"] = 1.0
+        assert not any(
+            "routed relay" in f for f in perf.check(committed, fine)
         )
 
     def test_shard_speedup_gated_only_on_multicore(self, p02_record):
